@@ -1,0 +1,28 @@
+//! E11 — Example 7.2: the iteration-count gadgets.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncql_core::eval::eval_closed;
+use ncql_core::expr::Expr;
+use ncql_object::Value;
+use ncql_queries::iterate;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_iteration_nesting");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    for n in [16u64, 64] {
+        let input = Expr::Const(Value::atom_set(0..n));
+        group.bench_with_input(BenchmarkId::new("count_n", n), &n, |b, _| {
+            b.iter(|| eval_closed(&iterate::count_n(input.clone())).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("count_log_n", n), &n, |b, _| {
+            b.iter(|| eval_closed(&iterate::count_log_n(input.clone())).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("count_log_squared_n", n), &n, |b, _| {
+            b.iter(|| eval_closed(&iterate::count_log_squared_n(input.clone())).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

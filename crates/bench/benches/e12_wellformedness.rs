@@ -1,0 +1,31 @@
+//! E12 — bounded algebraic-law checking of dcr combiners (§2).
+use criterion::{criterion_group, criterion_main, Criterion};
+use ncql_core::derived;
+use ncql_core::expr::Expr;
+use ncql_core::wellformed::{CheckOptions, LawChecker};
+use ncql_object::{Type, Value};
+use ncql_translate::orderly;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_wellformedness");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    let input = Value::atom_set(0..8);
+    let f = Expr::lam("y", Type::Base, Expr::singleton(Expr::var("y")));
+    let union = derived::union_combiner(Type::Base);
+    group.bench_function("bounded_law_check_union", |b| {
+        b.iter(|| {
+            let mut checker = LawChecker::default();
+            checker
+                .check_dcr_instance(&Expr::Empty(Type::Base), &f, &union, &input, &CheckOptions::default())
+                .unwrap()
+        })
+    });
+    group.bench_function("syntactic_orderly_check", |b| {
+        b.iter(|| orderly::recognize_combiner(&Expr::Empty(Type::Base), &union))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E1 — §1 parity example: evaluation time of the dcr, esr and loop variants.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncql_core::eval::eval_closed;
+use ncql_core::expr::Expr;
+use ncql_object::Value;
+use ncql_queries::parity;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_parity");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    for n in [64u64, 256, 1024] {
+        let input = Expr::Const(Value::atom_set(0..n));
+        group.bench_with_input(BenchmarkId::new("dcr", n), &n, |b, _| {
+            b.iter(|| eval_closed(&parity::parity_dcr(input.clone())).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("esr", n), &n, |b, _| {
+            b.iter(|| eval_closed(&parity::parity_esr(input.clone())).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("loop", n), &n, |b, _| {
+            b.iter(|| eval_closed(&parity::parity_loop(input.clone())).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E2 — transitive closure (§1 / Example 7.1): dcr vs log-loop vs element-wise.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncql_core::eval::eval_closed;
+use ncql_core::expr::Expr;
+use ncql_queries::{datagen, graph};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_transitive_closure");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(800));
+    for n in [8u64, 16, 32] {
+        let r = Expr::Const(datagen::path_graph(n).to_value());
+        group.bench_with_input(BenchmarkId::new("dcr", n), &n, |b, _| {
+            b.iter(|| eval_closed(&graph::tc_dcr(r.clone())).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("log_loop", n), &n, |b, _| {
+            b.iter(|| eval_closed(&graph::tc_log_loop(r.clone())).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("elementwise", n), &n, |b, _| {
+            b.iter(|| eval_closed(&graph::tc_elementwise(r.clone())).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("baseline_seminaive", n), &n, |b, _| {
+            let rel = datagen::path_graph(n);
+            b.iter(|| rel.transitive_closure_seminaive())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E3 — Proposition 2.1: overhead of the dcr→esr→sri translations.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncql_core::derived;
+use ncql_core::eval::eval_closed;
+use ncql_core::expr::Expr;
+use ncql_object::{Type, Value};
+use ncql_translate::prop21;
+use std::time::Duration;
+
+fn parity_parts() -> (Expr, Expr) {
+    (
+        Expr::lam("y", Type::Base, Expr::Bool(true)),
+        Expr::lam2(
+            "a",
+            "b",
+            Type::prod(Type::Bool, Type::Bool),
+            derived::xor(Expr::var("a"), Expr::var("b")),
+        ),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_recursion_translations");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    for n in [32u64, 128] {
+        let input = Expr::Const(Value::atom_set(0..n));
+        let (f, u) = parity_parts();
+        let direct = Expr::dcr(Expr::Bool(false), f.clone(), u.clone(), input.clone());
+        let via_esr = prop21::dcr_via_esr(Expr::Bool(false), f.clone(), u.clone(), input.clone(), Type::Base, Type::Bool);
+        let via_sri = prop21::dcr_via_sri(Expr::Bool(false), f, u, input, Type::Base, Type::Bool);
+        group.bench_with_input(BenchmarkId::new("direct_dcr", n), &n, |b, _| {
+            b.iter(|| eval_closed(&direct).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("via_esr", n), &n, |b, _| {
+            b.iter(|| eval_closed(&via_esr).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("via_sri", n), &n, |b, _| {
+            b.iter(|| eval_closed(&via_sri).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

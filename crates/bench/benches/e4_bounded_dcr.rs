@@ -1,0 +1,24 @@
+//! E4 — Proposition 2.2: bounded vs unbounded recursion over flat relations.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncql_core::eval::eval_closed;
+use ncql_core::expr::Expr;
+use ncql_queries::{datagen, graph};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_bounded_dcr");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(800));
+    for n in [6u64, 10, 14] {
+        let r = Expr::Const(datagen::cycle_graph(n).to_value());
+        group.bench_with_input(BenchmarkId::new("unbounded_dcr", n), &n, |b, _| {
+            b.iter(|| eval_closed(&graph::tc_dcr(r.clone())).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("bounded_blog_loop", n), &n, |b, _| {
+            b.iter(|| eval_closed(&graph::tc_blog_loop(r.clone())).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E5 — Proposition 7.3: the halving simulation of dcr vs the direct evaluator.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncql_core::derived;
+use ncql_core::eval::eval_closed;
+use ncql_core::expr::Expr;
+use ncql_object::{Type, Value};
+use ncql_translate::prop73::HalvingSimulator;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_dcr_logloop");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    let f = Expr::lam("y", Type::Base, Expr::Bool(true));
+    let u = Expr::lam2(
+        "a",
+        "b",
+        Type::prod(Type::Bool, Type::Bool),
+        derived::xor(Expr::var("a"), Expr::var("b")),
+    );
+    for n in [64u64, 512] {
+        let x = Value::atom_set(0..n);
+        let direct = Expr::dcr(Expr::Bool(false), f.clone(), u.clone(), Expr::Const(x.clone()));
+        group.bench_with_input(BenchmarkId::new("direct_dcr", n), &n, |b, _| {
+            b.iter(|| eval_closed(&direct).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("halving_simulation", n), &n, |b, _| {
+            b.iter(|| {
+                let mut sim = HalvingSimulator::default();
+                sim.dcr_by_halving(&Expr::Bool(false), &f, &u, &x).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

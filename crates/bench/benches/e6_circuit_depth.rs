@@ -1,0 +1,28 @@
+//! E6 — Theorem 6.2: compile time, size and depth of the ACᵏ circuit families.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncql_circuit::compile::{compile, run_compiled};
+use ncql_circuit::relquery::{BitRelation, RelQuery};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_circuit_depth");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    for k in [1usize, 2, 3] {
+        let q = RelQuery::nested_depth_k(k);
+        group.bench_with_input(BenchmarkId::new("compile_n16", k), &k, |b, _| {
+            b.iter(|| compile(&q, 16))
+        });
+    }
+    let q = RelQuery::transitive_closure(RelQuery::Input(0));
+    for n in [8usize, 16] {
+        let pairs: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let r = BitRelation::from_pairs(n, &pairs);
+        group.bench_with_input(BenchmarkId::new("compile_and_run_tc", n), &n, |b, _| {
+            b.iter(|| run_compiled(&q, n, &[r.clone()]))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

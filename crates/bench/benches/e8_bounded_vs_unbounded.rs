@@ -1,0 +1,31 @@
+//! E8 — powerset blow-up vs bounded recursion, and the Prop 6.3 arithmetic witness.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncql_core::eval::{eval_closed, EvalConfig, Evaluator};
+use ncql_core::expr::Expr;
+use ncql_object::Value;
+use ncql_queries::{aggregates, powerset};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_bounded_vs_unbounded");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(800));
+    for n in [6u64, 10] {
+        let input = Expr::Const(Value::atom_set(0..n));
+        group.bench_with_input(BenchmarkId::new("unbounded_powerset", n), &n, |b, _| {
+            b.iter(|| {
+                let mut ev = Evaluator::new(EvalConfig::default());
+                ev.eval_closed(&powerset::powerset_dcr(input.clone())).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bounded_small_subsets", n), &n, |b, _| {
+            b.iter(|| eval_closed(&powerset::bounded_small_subsets(input.clone())).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("double_exponential", n), &n, |b, _| {
+            b.iter(|| eval_closed(&aggregates::double_exponential(input.clone())).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

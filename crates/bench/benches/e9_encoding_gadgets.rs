@@ -1,0 +1,32 @@
+//! E9 — §5 encodings and the Lemma 7.4–7.6 gadget circuits.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncql_circuit::gadgets;
+use ncql_object::encoding::{decode, encode};
+use ncql_object::Type;
+use ncql_queries::datagen;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_encoding_gadgets");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    for n in [8u64, 32] {
+        let rel = datagen::cycle_graph(n).to_value();
+        group.bench_with_input(BenchmarkId::new("encode_decode", n), &n, |b, _| {
+            b.iter(|| {
+                let s = encode(&rel);
+                decode(&s, &Type::binary_relation()).unwrap()
+            })
+        });
+        let len = encode(&rel).len();
+        group.bench_with_input(BenchmarkId::new("build_element_starts", n), &n, |b, _| {
+            b.iter(|| gadgets::element_starts(len))
+        });
+        group.bench_with_input(BenchmarkId::new("build_encoding_equality", n), &n, |b, _| {
+            b.iter(|| gadgets::encoding_equality(len))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

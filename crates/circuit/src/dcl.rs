@@ -1,0 +1,142 @@
+//! The Direct Connection Language (DCL) of a circuit family (§4).
+//!
+//! "The direct connection language DCL for a family αₙ of circuits is the set of
+//! quadruples (n, g, g′, t), where g, g′ are gate numbers in αₙ, such that g is a
+//! child of g′, and the type of g′ is t ∈ {NOT, AND, OR, y₁, …, y_Q(n)}; the input
+//! gates x₁, …, xₙ have the special assigned numbers 1, …, n."
+//!
+//! Uniformity of a family means this language is decidable by a resource-bounded
+//! machine; the explicit DLOGSPACE-style witness for the hand-written transitive
+//! closure family lives in [`crate::logspace`]. This module provides the
+//! *extensional* DCL of any materialized circuit, so that uniformity witnesses
+//! can be checked against it.
+
+use crate::gate::{Circuit, GateId, GateKind};
+use std::collections::BTreeSet;
+
+/// The gate-type component `t` of a DCL tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DclGateType {
+    /// The parent is a NOT gate.
+    Not,
+    /// The parent is an AND gate.
+    And,
+    /// The parent is an OR gate.
+    Or,
+    /// The parent is the i-th output (the paper's `y_i`); the child is the gate
+    /// producing that output.
+    Output(usize),
+}
+
+/// One DCL tuple `(n, g, g′, t)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DclTuple {
+    /// The input-length parameter of the family member.
+    pub n: usize,
+    /// The child gate `g`.
+    pub child: GateId,
+    /// The parent gate `g′` (for `Output(i)` tuples this is the output index).
+    pub parent: GateId,
+    /// The type of the parent.
+    pub parent_type: DclGateType,
+}
+
+/// Extract the DCL of one circuit, tagged with the family parameter `n`.
+pub fn direct_connection_language(n: usize, circuit: &Circuit) -> BTreeSet<DclTuple> {
+    let mut out = BTreeSet::new();
+    for (parent, gate) in circuit.gates.iter().enumerate() {
+        let parent_type = match gate.kind {
+            GateKind::Not => DclGateType::Not,
+            GateKind::And => DclGateType::And,
+            GateKind::Or => DclGateType::Or,
+            GateKind::Input(_) | GateKind::Const(_) => continue,
+        };
+        for &child in &gate.inputs {
+            out.insert(DclTuple {
+                n,
+                child,
+                parent,
+                parent_type,
+            });
+        }
+    }
+    for (i, &gate) in circuit.outputs.iter().enumerate() {
+        out.insert(DclTuple {
+            n,
+            child: gate,
+            parent: i,
+            parent_type: DclGateType::Output(i),
+        });
+    }
+    out
+}
+
+/// Membership query against a materialized circuit (the brute-force decision
+/// procedure the uniformity witness is compared to).
+pub fn is_member(n: usize, circuit: &Circuit, tuple: &DclTuple) -> bool {
+    if tuple.n != n {
+        return false;
+    }
+    match tuple.parent_type {
+        DclGateType::Output(i) => {
+            tuple.parent == i && circuit.outputs.get(i).copied() == Some(tuple.child)
+        }
+        expected => match circuit.gates.get(tuple.parent) {
+            Some(gate) => {
+                let ty = match gate.kind {
+                    GateKind::Not => Some(DclGateType::Not),
+                    GateKind::And => Some(DclGateType::And),
+                    GateKind::Or => Some(DclGateType::Or),
+                    _ => None,
+                };
+                ty == Some(expected) && gate.inputs.contains(&tuple.child)
+            }
+            None => false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::CircuitBuilder;
+
+    fn sample_circuit() -> Circuit {
+        let mut b = CircuitBuilder::new(2);
+        let x = b.input(0);
+        let y = b.input(1);
+        let a = b.and2(x, y);
+        let o = b.or2(a, x);
+        let nn = b.not(o);
+        b.finish(vec![nn])
+    }
+
+    #[test]
+    fn dcl_lists_all_wires() {
+        let c = sample_circuit();
+        let dcl = direct_connection_language(2, &c);
+        // and2 has 2 children, or2 has 2, not has 1, plus one output tuple.
+        assert_eq!(dcl.len(), 2 + 2 + 1 + 1);
+        assert!(dcl.iter().any(|t| t.parent_type == DclGateType::And && t.child == 0));
+        assert!(dcl.iter().any(|t| matches!(t.parent_type, DclGateType::Output(0))));
+    }
+
+    #[test]
+    fn membership_agrees_with_extraction() {
+        let c = sample_circuit();
+        let dcl = direct_connection_language(2, &c);
+        for tuple in &dcl {
+            assert!(is_member(2, &c, tuple), "{tuple:?}");
+        }
+        // A non-edge is rejected.
+        let bogus = DclTuple {
+            n: 2,
+            child: 1,
+            parent: 4,
+            parent_type: DclGateType::Not,
+        };
+        assert_eq!(is_member(2, &c, &bogus), dcl.contains(&bogus));
+        let wrong_n = DclTuple { n: 3, ..*dcl.iter().next().unwrap() };
+        assert!(!is_member(2, &c, &wrong_n));
+    }
+}

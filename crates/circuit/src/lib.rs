@@ -1,0 +1,34 @@
+//! Boolean circuit substrate and the query-to-circuit compiler.
+//!
+//! §4 of the paper defines ACᵏ via DLOGSPACE-DCL-uniform families of unbounded
+//! fan-in AND/OR/NOT circuits of polynomial size and depth `O(logᵏ n)`; §7.2
+//! proves `NRA(blog-loop^(k)) ⊆ ACᵏ` by compiling query expressions into such
+//! circuits. This crate rebuilds that machinery:
+//!
+//! * [`gate`] — circuits of unbounded fan-in AND/OR/NOT gates: construction,
+//!   evaluation, size and depth.
+//! * [`gadgets`] — the string-encoding gadgets of Lemmas 7.4–7.6 for flat
+//!   encodings: matched-parenthesis detection, outermost-comma/element-start
+//!   detection, and encoding equality, all in constant depth and polynomial size.
+//! * [`relquery`] — a small relational IR over the positional encoding of flat
+//!   relations, with a reference (semantic) evaluator.
+//! * [`compile`] — the compiler from the relational IR to circuit families: each
+//!   relational operator is constant depth, and the logarithmic iterator unrolls
+//!   into `⌈log n⌉` copies of its body, so `k` nested iterators give depth
+//!   `O(logᵏ n)` — the constructive content of Proposition 7.7 / Theorem 6.2.
+//! * [`dcl`] — the Direct Connection Language of a circuit (the set of tuples
+//!   `(n, g, g′, t)` describing the wiring), per §4.
+//! * [`logspace`] — a space-metered uniformity witness: a hand-written, regular
+//!   transitive-closure circuit family whose DCL membership is decided by index
+//!   arithmetic using `O(log n)` bits of working storage, checked against the
+//!   materialized circuits.
+
+pub mod compile;
+pub mod dcl;
+pub mod gadgets;
+pub mod gate;
+pub mod logspace;
+pub mod relquery;
+
+pub use gate::{Circuit, CircuitBuilder, GateId, GateKind};
+pub use relquery::RelQuery;

@@ -1,0 +1,301 @@
+//! A DLOGSPACE-style uniformity witness for a hand-written transitive-closure
+//! circuit family (§4's DLOGSPACE-DCL uniformity, §7.2's use of it).
+//!
+//! The family `α_n` computes the transitive closure of a binary relation over a
+//! universe of size `n` by `T = ⌈log₂ n⌉` rounds of `r ← r ∪ r∘r`. Its layout is
+//! completely regular:
+//!
+//! * gates `0 … n²−1` — the input bits (row-major);
+//! * for each round `t = 1 … T` and each pair `(i, j)`: `n` AND gates
+//!   (`prev(i,k) ∧ prev(k,j)` for `k = 0 … n−1`) followed by one OR gate over
+//!   those ANDs and `prev(i,j)`;
+//! * the outputs are the OR gates of round `T`.
+//!
+//! Because the layout is an arithmetic function of `(n, t, i, j, k)`, membership
+//! of a tuple in the family's Direct Connection Language can be decided with a
+//! constant number of integer registers each holding a value polynomial in `n`,
+//! i.e. `O(log n)` bits of working storage — which is exactly the
+//! DLOGSPACE-uniformity requirement. The [`LogSpaceMeter`] makes that resource
+//! usage explicit and the tests check both the space bound and agreement with
+//! the DCL extracted from the materialized circuit.
+
+use crate::dcl::{DclGateType, DclTuple};
+use crate::gate::{Circuit, Gate, GateId, GateKind};
+use crate::relquery::BitRelation;
+
+/// Accounting for the working storage of the uniformity decision procedure: each
+/// register allocation records how many bits are needed to hold values up to the
+/// registered maximum.
+#[derive(Debug, Default, Clone)]
+pub struct LogSpaceMeter {
+    bits_used: u64,
+    registers: u64,
+}
+
+impl LogSpaceMeter {
+    /// A fresh meter.
+    pub fn new() -> LogSpaceMeter {
+        LogSpaceMeter::default()
+    }
+
+    /// Allocate a register that will hold values in `0 ..= max_value` and return
+    /// the number of bits charged.
+    pub fn alloc_register(&mut self, max_value: u64) -> u64 {
+        let bits = 64 - max_value.leading_zeros() as u64;
+        let bits = bits.max(1);
+        self.bits_used += bits;
+        self.registers += 1;
+        bits
+    }
+
+    /// Total bits of working storage allocated.
+    pub fn bits_used(&self) -> u64 {
+        self.bits_used
+    }
+
+    /// Number of registers allocated.
+    pub fn registers(&self) -> u64 {
+        self.registers
+    }
+}
+
+/// The uniform transitive-closure circuit family.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformTcFamily;
+
+impl UniformTcFamily {
+    /// Number of squaring rounds for universe size `n`.
+    pub fn rounds(n: usize) -> usize {
+        (usize::BITS - n.leading_zeros()) as usize
+    }
+
+    /// Total number of gates of the member for universe size `n`.
+    pub fn total_gates(n: usize) -> usize {
+        n * n + Self::rounds(n) * n * n * (n + 1)
+    }
+
+    fn base(n: usize, t: usize) -> usize {
+        n * n + (t - 1) * n * n * (n + 1)
+    }
+
+    /// The gate holding relation entry `(i, j)` after round `t` (`t = 0` is the
+    /// input layer).
+    pub fn layer_gate(n: usize, t: usize, i: usize, j: usize) -> GateId {
+        if t == 0 {
+            i * n + j
+        } else {
+            Self::base(n, t) + (i * n + j) * (n + 1) + n
+        }
+    }
+
+    /// The `k`-th AND gate of round `t` for output pair `(i, j)`.
+    pub fn and_gate(n: usize, t: usize, i: usize, j: usize, k: usize) -> GateId {
+        Self::base(n, t) + (i * n + j) * (n + 1) + k
+    }
+
+    /// Materialize the family member for universe size `n`.
+    pub fn generate(n: usize) -> Circuit {
+        let mut gates: Vec<Gate> = (0..n * n)
+            .map(|k| Gate {
+                kind: GateKind::Input(k),
+                inputs: Vec::new(),
+            })
+            .collect();
+        let rounds = Self::rounds(n);
+        for t in 1..=rounds {
+            for i in 0..n {
+                for j in 0..n {
+                    for k in 0..n {
+                        gates.push(Gate {
+                            kind: GateKind::And,
+                            inputs: vec![
+                                Self::layer_gate(n, t - 1, i, k),
+                                Self::layer_gate(n, t - 1, k, j),
+                            ],
+                        });
+                    }
+                    let mut or_inputs: Vec<GateId> =
+                        (0..n).map(|k| Self::and_gate(n, t, i, j, k)).collect();
+                    or_inputs.push(Self::layer_gate(n, t - 1, i, j));
+                    gates.push(Gate {
+                        kind: GateKind::Or,
+                        inputs: or_inputs,
+                    });
+                }
+            }
+        }
+        let outputs = (0..n)
+            .flat_map(|i| (0..n).map(move |j| Self::layer_gate(n, rounds, i, j)))
+            .collect();
+        Circuit {
+            num_inputs: n * n,
+            gates,
+            outputs,
+        }
+    }
+
+    /// Decide membership of `(n, child, parent, type)` in the family's DCL by
+    /// index arithmetic alone, charging the working registers to `meter`.
+    /// This is the DLOGSPACE decision procedure: the registers hold gate
+    /// indices and coordinates, all polynomial in `n`, hence `O(log n)` bits.
+    pub fn dcl_member(n: usize, tuple: &DclTuple, meter: &mut LogSpaceMeter) -> bool {
+        if tuple.n != n {
+            return false;
+        }
+        let max_gate = Self::total_gates(n) as u64;
+        // Registers: parent, child, rel, t, off, pair, slot, i, j (all ≤ max_gate
+        // or ≤ n); charged up front.
+        for _ in 0..7 {
+            meter.alloc_register(max_gate);
+        }
+        for _ in 0..4 {
+            meter.alloc_register(n as u64);
+        }
+        let rounds = Self::rounds(n);
+
+        // Output tuples: (child = layer_gate(rounds, i, j), parent = output index).
+        if let DclGateType::Output(idx) = tuple.parent_type {
+            if idx >= n * n || tuple.parent != idx {
+                return false;
+            }
+            let i = idx / n;
+            let j = idx % n;
+            return tuple.child == Self::layer_gate(n, rounds, i, j);
+        }
+
+        let parent = tuple.parent;
+        if parent < n * n || parent >= Self::total_gates(n) {
+            // Input gates have no children.
+            return false;
+        }
+        let rel = parent - n * n;
+        let block = n * n * (n + 1);
+        let t = rel / block + 1;
+        let off = rel % block;
+        let pair = off / (n + 1);
+        let slot = off % (n + 1);
+        let i = pair / n;
+        let j = pair % n;
+        if slot < n {
+            // AND gate with k = slot: children are prev(i, k) and prev(k, j).
+            let k = slot;
+            if tuple.parent_type != DclGateType::And {
+                return false;
+            }
+            tuple.child == Self::layer_gate(n, t - 1, i, k)
+                || tuple.child == Self::layer_gate(n, t - 1, k, j)
+        } else {
+            // OR gate: children are the n AND gates of this pair plus prev(i, j).
+            if tuple.parent_type != DclGateType::Or {
+                return false;
+            }
+            if tuple.child == Self::layer_gate(n, t - 1, i, j) {
+                return true;
+            }
+            let and_base = Self::and_gate(n, t, i, j, 0);
+            tuple.child >= and_base && tuple.child < and_base + n
+        }
+    }
+
+    /// Evaluate the materialized member on a relation and decode the result.
+    pub fn run(n: usize, relation: &BitRelation) -> BitRelation {
+        let circuit = Self::generate(n);
+        let out = circuit.eval(&relation.bits);
+        BitRelation { n, bits: out }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dcl::direct_connection_language;
+    use crate::relquery::{eval_reference, RelQuery};
+
+    #[test]
+    fn family_member_computes_transitive_closure() {
+        for n in [2usize, 3, 5, 8] {
+            let pairs: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+            let r = BitRelation::from_pairs(n, &pairs);
+            let out = UniformTcFamily::run(n, &r);
+            let expected =
+                eval_reference(&RelQuery::transitive_closure(RelQuery::Input(0)), &[r], n);
+            assert_eq!(out, expected, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn family_member_validates_and_has_log_depth() {
+        for n in [2usize, 4, 8, 16] {
+            let c = UniformTcFamily::generate(n);
+            assert_eq!(c.validate(), Ok(()));
+            assert_eq!(c.size(), UniformTcFamily::total_gates(n));
+            // Depth = 2 per round.
+            assert_eq!(c.depth(), 2 * UniformTcFamily::rounds(n));
+        }
+    }
+
+    #[test]
+    fn arithmetic_dcl_matches_extracted_dcl() {
+        for n in [2usize, 3, 4] {
+            let circuit = UniformTcFamily::generate(n);
+            let extracted = direct_connection_language(n, &circuit);
+            // Every extracted tuple is accepted by the arithmetic decider.
+            for tuple in &extracted {
+                let mut meter = LogSpaceMeter::new();
+                assert!(
+                    UniformTcFamily::dcl_member(n, tuple, &mut meter),
+                    "missing {tuple:?} for n = {n}"
+                );
+            }
+            // Random non-tuples are rejected: perturb parents/children.
+            for tuple in extracted.iter().take(50) {
+                let mut bogus = *tuple;
+                bogus.child = bogus.child.wrapping_add(1) % circuit.size();
+                let mut meter = LogSpaceMeter::new();
+                let claims = UniformTcFamily::dcl_member(n, &bogus, &mut meter);
+                let truth = extracted.contains(&bogus);
+                assert_eq!(claims, truth, "disagreement on {bogus:?} for n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn decision_procedure_uses_logarithmic_space() {
+        // The number of working bits grows like log n: a constant number of
+        // registers of ⌈log(total gates)⌉ bits each.
+        let mut usages = Vec::new();
+        for n in [4usize, 16, 64, 256] {
+            let tuple = DclTuple {
+                n,
+                child: 0,
+                parent: n * n + n, // the first OR gate of round 1, pair (0,0)
+                parent_type: DclGateType::Or,
+            };
+            let mut meter = LogSpaceMeter::new();
+            let _ = UniformTcFamily::dcl_member(n, &tuple, &mut meter);
+            let budget = 16 * (usize::BITS - (UniformTcFamily::total_gates(n)).leading_zeros()) as u64;
+            assert!(
+                meter.bits_used() <= budget,
+                "n = {n}: used {} bits, budget {budget}",
+                meter.bits_used()
+            );
+            usages.push(meter.bits_used());
+        }
+        // Growth from n=4 to n=256 (a 64× larger instance) is far below linear.
+        assert!(usages[3] < usages[0] * 4);
+    }
+
+    #[test]
+    fn gate_numbering_round_trips() {
+        let n = 5;
+        let c = UniformTcFamily::generate(n);
+        // The OR gate of round 1 for pair (2,3) must indeed be an OR gate whose
+        // last input is the input gate (2,3).
+        let or = UniformTcFamily::layer_gate(n, 1, 2, 3);
+        assert_eq!(c.gates[or].kind, GateKind::Or);
+        assert_eq!(*c.gates[or].inputs.last().unwrap(), 2 * n + 3);
+        let and = UniformTcFamily::and_gate(n, 1, 2, 3, 4);
+        assert_eq!(c.gates[and].kind, GateKind::And);
+        assert_eq!(c.gates[and].inputs, vec![2 * n + 4, 4 * n + 3]);
+    }
+}

@@ -1,0 +1,307 @@
+//! Static analyses over expressions: free variables and the *depth of recursion
+//! nesting* of §3.
+//!
+//! The nesting depth stratifies the language into the ACᵏ hierarchy: Theorem 6.2
+//! states `NRA¹(dcr^(k), ≤) = FLAT-ACᵏ` and Theorem 6.1 states
+//! `NRA(bdcr^(k), ≤) = CMPX-OBJ-ACᵏ` for `k ≥ 1`. The definition from the paper is
+//!
+//! ```text
+//! depth(dcr(e, f, u)) = max(depth(e), depth(f), 1 + depth(u))
+//! ```
+//!
+//! — only the combiner `u` is actually iterated (the singleton map `f` is applied
+//! once per element, in parallel). Similarly for `sri(e, i)` only the step `i`
+//! counts, and for the iterators only the body counts.
+
+use crate::expr::Expr;
+use std::collections::BTreeSet;
+
+/// The set of free variables of an expression.
+pub fn free_vars(expr: &Expr) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    collect_free(expr, &mut Vec::new(), &mut out);
+    out
+}
+
+fn collect_free(expr: &Expr, bound: &mut Vec<String>, out: &mut BTreeSet<String>) {
+    match expr {
+        Expr::Var(x) => {
+            if !bound.iter().any(|b| b == x) {
+                out.insert(x.clone());
+            }
+        }
+        Expr::Lam(x, _, body) => {
+            bound.push(x.clone());
+            collect_free(body, bound, out);
+            bound.pop();
+        }
+        Expr::Let(x, rhs, body) => {
+            collect_free(rhs, bound, out);
+            bound.push(x.clone());
+            collect_free(body, bound, out);
+            bound.pop();
+        }
+        Expr::Unit | Expr::Bool(_) | Expr::Const(_) | Expr::Empty(_) => {}
+        Expr::App(a, b)
+        | Expr::Pair(a, b)
+        | Expr::Eq(a, b)
+        | Expr::Leq(a, b)
+        | Expr::Union(a, b)
+        | Expr::Ext(a, b) => {
+            collect_free(a, bound, out);
+            collect_free(b, bound, out);
+        }
+        Expr::Proj1(a) | Expr::Proj2(a) | Expr::Singleton(a) | Expr::IsEmpty(a) => {
+            collect_free(a, bound, out)
+        }
+        Expr::If(c, t, e) => {
+            collect_free(c, bound, out);
+            collect_free(t, bound, out);
+            collect_free(e, bound, out);
+        }
+        Expr::Dcr { e, f, u, arg } | Expr::Sru { e, f, u, arg } => {
+            for x in [e, f, u, arg] {
+                collect_free(x, bound, out);
+            }
+        }
+        Expr::Sri { e, i, arg } | Expr::Esr { e, i, arg } => {
+            for x in [e, i, arg] {
+                collect_free(x, bound, out);
+            }
+        }
+        Expr::BDcr { e, f, u, bound: b, arg } => {
+            for x in [e, f, u, b, arg] {
+                collect_free(x, bound, out);
+            }
+        }
+        Expr::BSri { e, i, bound: b, arg } => {
+            for x in [e, i, b, arg] {
+                collect_free(x, bound, out);
+            }
+        }
+        Expr::LogLoop { f, set, init } | Expr::Loop { f, set, init } => {
+            for x in [f, set, init] {
+                collect_free(x, bound, out);
+            }
+        }
+        Expr::BLogLoop { f, bound: b, set, init } | Expr::BLoop { f, bound: b, set, init } => {
+            for x in [f, b, set, init] {
+                collect_free(x, bound, out);
+            }
+        }
+        Expr::Extern(_, args) => {
+            for a in args {
+                collect_free(a, bound, out);
+            }
+        }
+    }
+}
+
+/// Is the expression closed (no free variables)?
+pub fn is_closed(expr: &Expr) -> bool {
+    free_vars(expr).is_empty()
+}
+
+/// The depth of recursion/iteration nesting (§3 and §7.1). An expression with no
+/// recursor or iterator has depth 0; Theorem 6.2 places a flat query of depth `k ≥ 1`
+/// in ACᵏ.
+pub fn recursion_depth(expr: &Expr) -> usize {
+    match expr {
+        Expr::Var(_) | Expr::Unit | Expr::Bool(_) | Expr::Const(_) | Expr::Empty(_) => 0,
+        Expr::Lam(_, _, b) => recursion_depth(b),
+        Expr::App(a, b)
+        | Expr::Pair(a, b)
+        | Expr::Eq(a, b)
+        | Expr::Leq(a, b)
+        | Expr::Union(a, b)
+        | Expr::Ext(a, b)
+        | Expr::Let(_, a, b) => recursion_depth(a).max(recursion_depth(b)),
+        Expr::Proj1(a) | Expr::Proj2(a) | Expr::Singleton(a) | Expr::IsEmpty(a) => {
+            recursion_depth(a)
+        }
+        Expr::If(c, t, e) => recursion_depth(c)
+            .max(recursion_depth(t))
+            .max(recursion_depth(e)),
+        Expr::Dcr { e, f, u, arg } | Expr::Sru { e, f, u, arg } => recursion_depth(e)
+            .max(recursion_depth(f))
+            .max(1 + recursion_depth(u))
+            .max(recursion_depth(arg)),
+        Expr::BDcr { e, f, u, bound, arg } => recursion_depth(e)
+            .max(recursion_depth(f))
+            .max(1 + recursion_depth(u))
+            .max(recursion_depth(bound))
+            .max(recursion_depth(arg)),
+        Expr::Sri { e, i, arg } | Expr::Esr { e, i, arg } => recursion_depth(e)
+            .max(1 + recursion_depth(i))
+            .max(recursion_depth(arg)),
+        Expr::BSri { e, i, bound, arg } => recursion_depth(e)
+            .max(1 + recursion_depth(i))
+            .max(recursion_depth(bound))
+            .max(recursion_depth(arg)),
+        Expr::LogLoop { f, set, init } | Expr::Loop { f, set, init } => (1 + recursion_depth(f))
+            .max(recursion_depth(set))
+            .max(recursion_depth(init)),
+        Expr::BLogLoop { f, bound, set, init } | Expr::BLoop { f, bound, set, init } => {
+            (1 + recursion_depth(f))
+                .max(recursion_depth(bound))
+                .max(recursion_depth(set))
+                .max(recursion_depth(init))
+        }
+        Expr::Extern(_, args) => args.iter().map(recursion_depth).max().unwrap_or(0),
+    }
+}
+
+/// Count occurrences of each class of recursion construct — used by reports and
+/// by the decidable-sublanguage check of `ncql-translate`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecursorCensus {
+    /// Number of `dcr`/`bdcr` nodes.
+    pub dcr: usize,
+    /// Number of `sru` nodes.
+    pub sru: usize,
+    /// Number of `sri`/`bsri` nodes.
+    pub sri: usize,
+    /// Number of `esr` nodes.
+    pub esr: usize,
+    /// Number of iterator nodes (`loop`, `log-loop` and bounded variants).
+    pub iterators: usize,
+    /// Number of `ext` nodes.
+    pub ext: usize,
+}
+
+/// Count the recursion constructs appearing in the expression.
+pub fn census(expr: &Expr) -> RecursorCensus {
+    let mut c = RecursorCensus::default();
+    expr.visit(&mut |e| match e {
+        Expr::Dcr { .. } | Expr::BDcr { .. } => c.dcr += 1,
+        Expr::Sru { .. } => c.sru += 1,
+        Expr::Sri { .. } | Expr::BSri { .. } => c.sri += 1,
+        Expr::Esr { .. } => c.esr += 1,
+        Expr::LogLoop { .. } | Expr::Loop { .. } | Expr::BLogLoop { .. } | Expr::BLoop { .. } => {
+            c.iterators += 1
+        }
+        Expr::Ext(_, _) => c.ext += 1,
+        _ => {}
+    });
+    c
+}
+
+/// The ACᵏ level predicted by Theorem 6.1/6.2 for this expression: `max(1, depth)`
+/// (the theorems are stated for `k ≥ 1`; depth-0 queries are already in AC¹ by
+/// Proposition 6.4).
+pub fn ac_level(expr: &Expr) -> usize {
+    recursion_depth(expr).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncql_object::Type;
+
+    fn union_combiner(ty: Type) -> Expr {
+        Expr::lam2(
+            "a",
+            "b",
+            Type::prod(ty.clone(), ty),
+            Expr::union(Expr::var("a"), Expr::var("b")),
+        )
+    }
+
+    #[test]
+    fn free_vars_respect_binders() {
+        let e = Expr::lam(
+            "x",
+            Type::Base,
+            Expr::union(Expr::var("r"), Expr::singleton(Expr::var("x"))),
+        );
+        let fv = free_vars(&e);
+        assert!(fv.contains("r"));
+        assert!(!fv.contains("x"));
+        assert!(!is_closed(&e));
+        assert!(is_closed(&Expr::atom(1)));
+    }
+
+    #[test]
+    fn let_binder_shadows() {
+        let e = Expr::let_in("x", Expr::var("y"), Expr::var("x"));
+        let fv = free_vars(&e);
+        assert_eq!(fv.into_iter().collect::<Vec<_>>(), vec!["y".to_string()]);
+    }
+
+    #[test]
+    fn depth_of_plain_nra_is_zero() {
+        let e = Expr::union(Expr::singleton(Expr::atom(1)), Expr::Empty(Type::Base));
+        assert_eq!(recursion_depth(&e), 0);
+        assert_eq!(ac_level(&e), 1);
+    }
+
+    #[test]
+    fn depth_counts_only_the_iterated_argument() {
+        let ty = Type::set(Type::Base);
+        // A dcr whose f contains another dcr does NOT increase the depth beyond 1,
+        // but a dcr whose u contains another dcr has depth 2.
+        let inner = Expr::dcr(
+            Expr::Empty(Type::Base),
+            Expr::lam("y", Type::Base, Expr::singleton(Expr::var("y"))),
+            union_combiner(ty.clone()),
+            Expr::var("s"),
+        );
+        assert_eq!(recursion_depth(&inner), 1);
+
+        let dcr_in_f = Expr::dcr(
+            Expr::Empty(Type::Base),
+            Expr::lam("y", ty.clone(), inner.clone()),
+            union_combiner(ty.clone()),
+            Expr::var("ss"),
+        );
+        assert_eq!(recursion_depth(&dcr_in_f), 1);
+
+        let dcr_in_u = Expr::dcr(
+            Expr::Empty(Type::Base),
+            Expr::lam("y", Type::Base, Expr::singleton(Expr::var("y"))),
+            Expr::lam2(
+                "a",
+                "b",
+                Type::prod(ty.clone(), ty.clone()),
+                Expr::union(inner, Expr::var("b")),
+            ),
+            Expr::var("s"),
+        );
+        assert_eq!(recursion_depth(&dcr_in_u), 2);
+        assert_eq!(ac_level(&dcr_in_u), 2);
+    }
+
+    #[test]
+    fn iterator_depth_counts_body() {
+        let ty = Type::set(Type::Base);
+        let body = Expr::lam("r", ty.clone(), Expr::var("r"));
+        let e = Expr::log_loop(body.clone(), Expr::var("x"), Expr::Empty(Type::Base));
+        assert_eq!(recursion_depth(&e), 1);
+        // Nesting a log-loop inside the body of another gives depth 2 (Example 7.2:
+        // log² n iterations need iteration-nesting depth two).
+        let nested = Expr::log_loop(
+            Expr::lam("r", ty.clone(), Expr::log_loop(body, Expr::var("x"), Expr::var("r"))),
+            Expr::var("x"),
+            Expr::Empty(Type::Base),
+        );
+        assert_eq!(recursion_depth(&nested), 2);
+    }
+
+    #[test]
+    fn census_counts_constructs() {
+        let ty = Type::set(Type::Base);
+        let e = Expr::ext(
+            Expr::lam("x", Type::Base, Expr::singleton(Expr::var("x"))),
+            Expr::dcr(
+                Expr::Empty(Type::Base),
+                Expr::lam("y", Type::Base, Expr::singleton(Expr::var("y"))),
+                union_combiner(ty),
+                Expr::var("s"),
+            ),
+        );
+        let c = census(&e);
+        assert_eq!(c.dcr, 1);
+        assert_eq!(c.ext, 1);
+        assert_eq!(c.sri, 0);
+    }
+}

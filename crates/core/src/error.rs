@@ -1,0 +1,125 @@
+//! Error types for type checking and evaluation.
+
+use ncql_object::Type;
+use std::fmt;
+
+/// Errors raised by the type checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// A variable was used but not bound in the context.
+    UnboundVariable(String),
+    /// Two types that should have matched did not.
+    Mismatch {
+        /// Where the mismatch was detected (constructor name).
+        context: String,
+        /// The expected type.
+        expected: Type,
+        /// The type that was found.
+        found: Type,
+    },
+    /// An expression of function type was expected.
+    NotAFunction { context: String, found: Type },
+    /// An expression of set type was expected.
+    NotASet { context: String, found: Type },
+    /// An expression of product type was expected.
+    NotAProduct { context: String, found: Type },
+    /// An expression of boolean type was expected.
+    NotABool { context: String, found: Type },
+    /// A bounded recursion construct requires its result type to be a PS-type.
+    NotAPsType { context: String, found: Type },
+    /// The restricted language NRA¹ only admits flat types.
+    NotFlat { context: String, found: Type },
+    /// An external function was referenced but is not registered.
+    UnknownExtern(String),
+    /// An external function was applied to the wrong number of arguments.
+    ExternArity {
+        name: String,
+        expected: usize,
+        found: usize,
+    },
+    /// Equality / order comparison at a non-object (function) type.
+    NotComparable { context: String, found: Type },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::UnboundVariable(x) => write!(f, "unbound variable `{x}`"),
+            TypeError::Mismatch { context, expected, found } => {
+                write!(f, "{context}: expected type {expected}, found {found}")
+            }
+            TypeError::NotAFunction { context, found } => {
+                write!(f, "{context}: expected a function type, found {found}")
+            }
+            TypeError::NotASet { context, found } => {
+                write!(f, "{context}: expected a set type, found {found}")
+            }
+            TypeError::NotAProduct { context, found } => {
+                write!(f, "{context}: expected a product type, found {found}")
+            }
+            TypeError::NotABool { context, found } => {
+                write!(f, "{context}: expected bool, found {found}")
+            }
+            TypeError::NotAPsType { context, found } => {
+                write!(f, "{context}: expected a PS-type (product of sets), found {found}")
+            }
+            TypeError::NotFlat { context, found } => {
+                write!(f, "{context}: NRA¹ admits only flat types, found {found}")
+            }
+            TypeError::UnknownExtern(name) => write!(f, "unknown external function `{name}`"),
+            TypeError::ExternArity { name, expected, found } => write!(
+                f,
+                "external `{name}` expects {expected} argument(s), got {found}"
+            ),
+            TypeError::NotComparable { context, found } => {
+                write!(f, "{context}: values of type {found} cannot be compared")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Errors raised by the evaluator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A variable was not bound at run time (should be prevented by typechecking).
+    UnboundVariable(String),
+    /// A value had the wrong shape for the operation (should be prevented by
+    /// typechecking).
+    Stuck(String),
+    /// An external function failed or was not registered.
+    Extern(String),
+    /// The configured resource limit on intermediate set sizes was exceeded.
+    /// This is how the evaluator surfaces the exponential blow-up of, e.g.,
+    /// `powerset` expressed with unbounded `dcr` over complex objects (§2).
+    SetTooLarge { limit: usize, attempted: usize },
+    /// The configured limit on total work was exceeded.
+    WorkLimitExceeded { limit: u64 },
+    /// A `dcr`/`sru` instance was evaluated with `check_algebraic_laws` enabled
+    /// and its combiner failed the associativity/commutativity/identity check on
+    /// the values actually encountered.
+    IllFormedRecursion(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVariable(x) => write!(f, "unbound variable `{x}` at run time"),
+            EvalError::Stuck(msg) => write!(f, "evaluation stuck: {msg}"),
+            EvalError::Extern(msg) => write!(f, "external function error: {msg}"),
+            EvalError::SetTooLarge { limit, attempted } => write!(
+                f,
+                "intermediate set of {attempted} elements exceeds the configured limit of {limit}"
+            ),
+            EvalError::WorkLimitExceeded { limit } => {
+                write!(f, "total work exceeded the configured limit of {limit}")
+            }
+            EvalError::IllFormedRecursion(msg) => {
+                write!(f, "ill-formed recursion (algebraic laws violated): {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}

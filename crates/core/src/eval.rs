@@ -1,0 +1,1055 @@
+//! Reference evaluator with an instrumented work/span (PRAM) cost model.
+//!
+//! The evaluator computes the denotational semantics of §2/§3/§7.1 and, along the
+//! way, two cost measures per query:
+//!
+//! * **work** — the total number of elementary operations, a stand-in for the
+//!   number of processors × time product of a PRAM execution;
+//! * **span** — the length of the critical path under the natural parallel
+//!   reading of the constructs: `ext` applies its function to all elements
+//!   *independently* and unions the results in a single parallel step (§3), the
+//!   combining tree of `dcr` has depth `⌈log₂ m⌉`, whereas `sri`/`esr` and `loop`
+//!   are inherently sequential chains.
+//!
+//! These two numbers are what the experiments report: the paper's Theorem 6.2
+//! (dcr keeps queries in NC) shows up as polylogarithmic span growth, and
+//! Proposition 6.6 (sri captures PTIME) as linear span growth.
+
+use crate::error::EvalError;
+use crate::expr::Expr;
+use crate::externs::ExternRegistry;
+use crate::EvalResult;
+use ncql_object::{VSet, Value};
+use std::rc::Rc;
+
+/// Resource limits and options for an evaluation.
+#[derive(Clone)]
+pub struct EvalConfig {
+    /// Maximum allowed cardinality of any intermediate set. Exceeding it aborts
+    /// evaluation with [`EvalError::SetTooLarge`]; this is how the exponential
+    /// blow-up of unbounded `dcr` over complex objects (e.g. `powerset`) is
+    /// surfaced in experiment E8 without hanging the process.
+    pub max_set_size: usize,
+    /// Maximum total work before aborting with [`EvalError::WorkLimitExceeded`].
+    pub max_work: u64,
+    /// If set, `dcr`/`sru` combiners are spot-checked for associativity,
+    /// commutativity and identity on the values actually encountered, and a
+    /// violation aborts evaluation. The full check lives in [`crate::wellformed`].
+    pub check_algebraic_laws: bool,
+    /// The external function registry Σ.
+    pub registry: ExternRegistry,
+}
+
+impl Default for EvalConfig {
+    fn default() -> EvalConfig {
+        EvalConfig {
+            max_set_size: 1 << 22,
+            max_work: u64::MAX,
+            check_algebraic_laws: false,
+            registry: ExternRegistry::standard(),
+        }
+    }
+}
+
+impl std::fmt::Debug for EvalConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalConfig")
+            .field("max_set_size", &self.max_set_size)
+            .field("max_work", &self.max_work)
+            .field("check_algebraic_laws", &self.check_algebraic_laws)
+            .finish()
+    }
+}
+
+/// Cost statistics accumulated over one evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostStats {
+    /// Total work (elementary operations).
+    pub work: u64,
+    /// Critical-path length under the parallel reading of the language.
+    pub span: u64,
+    /// Number of combiner (`u`) applications performed by `dcr`/`sru`/`bdcr`.
+    pub combiner_calls: u64,
+    /// Number of step (`i`) applications performed by `sri`/`esr`/`bsri`.
+    pub step_calls: u64,
+    /// Number of `ext` element applications.
+    pub ext_calls: u64,
+    /// Maximum number of *sequential* rounds executed by any single iterator or
+    /// insert-recursion in the expression (the quantity bounded by `log` for
+    /// `log-loop` and by `n` for `loop`/`sri`).
+    pub sequential_rounds: u64,
+    /// Largest intermediate set cardinality observed.
+    pub max_set_size: usize,
+}
+
+/// Runtime values: complex objects or closures (function values exist only
+/// transiently, as arguments of `ext`, recursors and applications).
+#[derive(Debug, Clone)]
+enum RtVal {
+    Obj(Value),
+    Clo(Closure),
+}
+
+#[derive(Debug, Clone)]
+struct Closure {
+    param: String,
+    body: Rc<Expr>,
+    env: Env,
+}
+
+/// Persistent environment (cheap to clone, shared tails).
+#[derive(Debug, Clone, Default)]
+struct Env {
+    head: Option<Rc<EnvNode>>,
+}
+
+#[derive(Debug)]
+struct EnvNode {
+    name: String,
+    val: RtVal,
+    next: Option<Rc<EnvNode>>,
+}
+
+impl Env {
+    fn empty() -> Env {
+        Env { head: None }
+    }
+
+    fn extend(&self, name: String, val: RtVal) -> Env {
+        Env {
+            head: Some(Rc::new(EnvNode {
+                name,
+                val,
+                next: self.head.clone(),
+            })),
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Option<RtVal> {
+        let mut cur = self.head.as_ref();
+        while let Some(node) = cur {
+            if node.name == name {
+                return Some(node.val.clone());
+            }
+            cur = node.next.as_ref();
+        }
+        None
+    }
+}
+
+impl RtVal {
+    fn into_obj(self, context: &str) -> EvalResult<Value> {
+        match self {
+            RtVal::Obj(v) => Ok(v),
+            RtVal::Clo(_) => Err(EvalError::Stuck(format!(
+                "{context}: expected a complex object, found a function value"
+            ))),
+        }
+    }
+
+    fn into_clo(self, context: &str) -> EvalResult<Closure> {
+        match self {
+            RtVal::Clo(c) => Ok(c),
+            RtVal::Obj(v) => Err(EvalError::Stuck(format!(
+                "{context}: expected a function value, found {v}"
+            ))),
+        }
+    }
+}
+
+/// The number of bits needed to write the cardinality `m` in binary, i.e.
+/// `⌈log₂(m+1)⌉` — the round count of `log-loop` (§7.1).
+pub fn log_rounds(m: usize) -> u64 {
+    (usize::BITS - m.leading_zeros()) as u64
+}
+
+/// Componentwise intersection `v ⊓ b` at a PS-type: sets intersect, pairs meet
+/// componentwise (§2, definition of bounded dcr).
+pub fn meet(v: &Value, bound: &Value) -> EvalResult<Value> {
+    match (v, bound) {
+        (Value::Set(a), Value::Set(b)) => Ok(Value::Set(a.intersect(b))),
+        (Value::Pair(a1, a2), Value::Pair(b1, b2)) => {
+            Ok(Value::pair(meet(a1, b1)?, meet(a2, b2)?))
+        }
+        _ => Err(EvalError::Stuck(format!(
+            "bounding meet applied at a non-PS-type value: {v} ⊓ {bound}"
+        ))),
+    }
+}
+
+/// The instrumented evaluator.
+#[derive(Debug)]
+pub struct Evaluator {
+    config: EvalConfig,
+    stats: CostStats,
+}
+
+impl Default for Evaluator {
+    fn default() -> Self {
+        Evaluator::new(EvalConfig::default())
+    }
+}
+
+impl Evaluator {
+    /// Create an evaluator with the given configuration.
+    pub fn new(config: EvalConfig) -> Evaluator {
+        Evaluator {
+            config,
+            stats: CostStats::default(),
+        }
+    }
+
+    /// Cost statistics of the most recent evaluation.
+    pub fn stats(&self) -> CostStats {
+        self.stats
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EvalConfig {
+        &self.config
+    }
+
+    /// Evaluate a closed expression of object type. Resets the statistics.
+    pub fn eval_closed(&mut self, expr: &Expr) -> EvalResult<Value> {
+        self.eval_with_bindings(expr, &[])
+    }
+
+    /// Evaluate an expression whose free variables are bound to the given
+    /// complex-object values. Resets the statistics.
+    pub fn eval_with_bindings(
+        &mut self,
+        expr: &Expr,
+        bindings: &[(String, Value)],
+    ) -> EvalResult<Value> {
+        self.stats = CostStats::default();
+        let mut env = Env::empty();
+        for (name, value) in bindings {
+            env = env.extend(name.clone(), RtVal::Obj(value.clone()));
+        }
+        let (val, span) = self.eval(expr, &env)?;
+        self.stats.span = span;
+        val.into_obj("query result")
+    }
+
+    // ----- internals -----
+
+    fn add_work(&mut self, amount: u64) -> EvalResult<()> {
+        self.stats.work = self.stats.work.saturating_add(amount);
+        if self.stats.work > self.config.max_work {
+            return Err(EvalError::WorkLimitExceeded {
+                limit: self.config.max_work,
+            });
+        }
+        Ok(())
+    }
+
+    fn note_set(&mut self, s: &VSet) -> EvalResult<()> {
+        if s.len() > self.stats.max_set_size {
+            self.stats.max_set_size = s.len();
+        }
+        if s.len() > self.config.max_set_size {
+            return Err(EvalError::SetTooLarge {
+                limit: self.config.max_set_size,
+                attempted: s.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn note_rounds(&mut self, rounds: u64) {
+        if rounds > self.stats.sequential_rounds {
+            self.stats.sequential_rounds = rounds;
+        }
+    }
+
+    fn apply(&mut self, clo: &Closure, arg: RtVal) -> EvalResult<(RtVal, u64)> {
+        self.add_work(1)?;
+        let env = clo.env.extend(clo.param.clone(), arg);
+        let (v, s) = self.eval(&clo.body, &env)?;
+        Ok((v, s + 1))
+    }
+
+    fn apply_obj(&mut self, clo: &Closure, arg: Value) -> EvalResult<(Value, u64)> {
+        let (v, s) = self.apply(clo, RtVal::Obj(arg))?;
+        Ok((v.into_obj("function application result")?, s))
+    }
+
+    /// Apply a binary combiner (a closure expecting a pair).
+    fn apply2(&mut self, clo: &Closure, a: Value, b: Value) -> EvalResult<(Value, u64)> {
+        self.apply_obj(clo, Value::pair(a, b))
+    }
+
+    fn eval_obj(&mut self, expr: &Expr, env: &Env) -> EvalResult<(Value, u64)> {
+        let (v, s) = self.eval(expr, env)?;
+        Ok((v.into_obj("expected an object value")?, s))
+    }
+
+    fn eval_clo(&mut self, expr: &Expr, env: &Env, what: &str) -> EvalResult<(Closure, u64)> {
+        let (v, s) = self.eval(expr, env)?;
+        Ok((v.into_clo(what)?, s))
+    }
+
+    fn eval_set(&mut self, expr: &Expr, env: &Env, what: &str) -> EvalResult<(VSet, u64)> {
+        let (v, s) = self.eval_obj(expr, env)?;
+        match v {
+            Value::Set(set) => Ok((set, s)),
+            other => Err(EvalError::Stuck(format!("{what}: expected a set, got {other}"))),
+        }
+    }
+
+    fn eval(&mut self, expr: &Expr, env: &Env) -> EvalResult<(RtVal, u64)> {
+        self.add_work(1)?;
+        match expr {
+            Expr::Var(x) => env
+                .lookup(x)
+                .map(|v| (v, 0))
+                .ok_or_else(|| EvalError::UnboundVariable(x.clone())),
+            Expr::Lam(x, _, body) => Ok((
+                RtVal::Clo(Closure {
+                    param: x.clone(),
+                    body: Rc::new((**body).clone()),
+                    env: env.clone(),
+                }),
+                0,
+            )),
+            Expr::App(f, a) => {
+                let (fv, sf) = self.eval(f, env)?;
+                let clo = fv.into_clo("application")?;
+                let (av, sa) = self.eval(a, env)?;
+                let (rv, sb) = self.apply(&clo, av)?;
+                Ok((rv, sf + sa + sb))
+            }
+            Expr::Let(x, bound, body) => {
+                let (bv, sb) = self.eval(bound, env)?;
+                let env2 = env.extend(x.clone(), bv);
+                let (rv, sr) = self.eval(body, &env2)?;
+                Ok((rv, sb + sr))
+            }
+            Expr::Unit => Ok((RtVal::Obj(Value::Unit), 0)),
+            Expr::Pair(a, b) => {
+                let (av, sa) = self.eval_obj(a, env)?;
+                let (bv, sb) = self.eval_obj(b, env)?;
+                Ok((RtVal::Obj(Value::pair(av, bv)), sa.max(sb) + 1))
+            }
+            Expr::Proj1(e) => {
+                let (v, s) = self.eval_obj(e, env)?;
+                match v {
+                    Value::Pair(a, _) => Ok((RtVal::Obj(*a), s + 1)),
+                    other => Err(EvalError::Stuck(format!("pi1 of non-pair {other}"))),
+                }
+            }
+            Expr::Proj2(e) => {
+                let (v, s) = self.eval_obj(e, env)?;
+                match v {
+                    Value::Pair(_, b) => Ok((RtVal::Obj(*b), s + 1)),
+                    other => Err(EvalError::Stuck(format!("pi2 of non-pair {other}"))),
+                }
+            }
+            Expr::Bool(b) => Ok((RtVal::Obj(Value::Bool(*b)), 0)),
+            Expr::If(c, t, e) => {
+                let (cv, sc) = self.eval_obj(c, env)?;
+                match cv {
+                    Value::Bool(true) => {
+                        let (tv, st) = self.eval(t, env)?;
+                        Ok((tv, sc + st + 1))
+                    }
+                    Value::Bool(false) => {
+                        let (ev, se) = self.eval(e, env)?;
+                        Ok((ev, sc + se + 1))
+                    }
+                    other => Err(EvalError::Stuck(format!("if condition not a boolean: {other}"))),
+                }
+            }
+            Expr::Eq(a, b) => {
+                let (av, sa) = self.eval_obj(a, env)?;
+                let (bv, sb) = self.eval_obj(b, env)?;
+                self.add_work(av.size().min(bv.size()) as u64)?;
+                Ok((RtVal::Obj(Value::Bool(av == bv)), sa.max(sb) + 1))
+            }
+            Expr::Leq(a, b) => {
+                let (av, sa) = self.eval_obj(a, env)?;
+                let (bv, sb) = self.eval_obj(b, env)?;
+                self.add_work(av.size().min(bv.size()) as u64)?;
+                Ok((RtVal::Obj(Value::Bool(av <= bv)), sa.max(sb) + 1))
+            }
+            Expr::Const(v) => Ok((RtVal::Obj(v.clone()), 0)),
+            Expr::Empty(_) => Ok((RtVal::Obj(Value::empty_set()), 0)),
+            Expr::Singleton(e) => {
+                let (v, s) = self.eval_obj(e, env)?;
+                Ok((RtVal::Obj(Value::singleton(v)), s + 1))
+            }
+            Expr::Union(a, b) => {
+                let (av, sa) = self.eval_set(a, env, "union")?;
+                let (bv, sb) = self.eval_set(b, env, "union")?;
+                let u = av.union(&bv);
+                self.add_work(u.len() as u64)?;
+                self.note_set(&u)?;
+                Ok((RtVal::Obj(Value::Set(u)), sa.max(sb) + 1))
+            }
+            Expr::IsEmpty(e) => {
+                let (v, s) = self.eval_set(e, env, "isempty")?;
+                Ok((RtVal::Obj(Value::Bool(v.is_empty())), s + 1))
+            }
+            Expr::Ext(f, e) => {
+                let (clo, sf) = self.eval_clo(f, env, "ext function")?;
+                let (set, se) = self.eval_set(e, env, "ext argument")?;
+                let mut parts: Vec<Value> = Vec::new();
+                let mut max_elem_span = 0u64;
+                for x in set.iter() {
+                    self.stats.ext_calls += 1;
+                    let (res, sx) = self.apply_obj(&clo, x.clone())?;
+                    max_elem_span = max_elem_span.max(sx);
+                    match res {
+                        Value::Set(s) => parts.extend(s.into_vec()),
+                        other => {
+                            return Err(EvalError::Stuck(format!(
+                                "ext function returned a non-set {other}"
+                            )))
+                        }
+                    }
+                }
+                let result = VSet::from_iter(parts);
+                self.add_work(result.len() as u64)?;
+                self.note_set(&result)?;
+                // All element computations run independently; the final union is
+                // one parallel step (§3's argument for keeping `ext` primitive).
+                Ok((RtVal::Obj(Value::Set(result)), sf + se + max_elem_span + 1))
+            }
+
+            Expr::Dcr { e, f, u, arg } => self.eval_union_recursor(env, e, f, u, None, arg),
+            Expr::Sru { e, f, u, arg } => self.eval_union_recursor(env, e, f, u, None, arg),
+            Expr::BDcr { e, f, u, bound, arg } => {
+                self.eval_union_recursor(env, e, f, u, Some(bound), arg)
+            }
+            Expr::Sri { e, i, arg } => self.eval_insert_recursor(env, e, i, None, arg),
+            Expr::Esr { e, i, arg } => self.eval_insert_recursor(env, e, i, None, arg),
+            Expr::BSri { e, i, bound, arg } => self.eval_insert_recursor(env, e, i, Some(bound), arg),
+
+            Expr::LogLoop { f, set, init } => self.eval_iterator(env, f, None, set, init, true),
+            Expr::Loop { f, set, init } => self.eval_iterator(env, f, None, set, init, false),
+            Expr::BLogLoop { f, bound, set, init } => {
+                self.eval_iterator(env, f, Some(bound), set, init, true)
+            }
+            Expr::BLoop { f, bound, set, init } => {
+                self.eval_iterator(env, f, Some(bound), set, init, false)
+            }
+
+            Expr::Extern(name, args) => {
+                let ext = self
+                    .config
+                    .registry
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| EvalError::Extern(format!("unknown external `{name}`")))?;
+                let mut vals = Vec::with_capacity(args.len());
+                let mut max_span = 0u64;
+                for a in args {
+                    let (v, s) = self.eval_obj(a, env)?;
+                    max_span = max_span.max(s);
+                    vals.push(v);
+                }
+                self.add_work(1)?;
+                let result = (ext.body)(&vals)?;
+                Ok((RtVal::Obj(result), max_span + 1))
+            }
+        }
+    }
+
+    /// Shared evaluation of `dcr` / `sru` / `bdcr`: apply `f` to all elements in
+    /// parallel, then combine with `u` along a balanced binary tree. The span of
+    /// the tree is the maximum root-to-leaf sum of combiner spans, i.e. `Θ(log m)`
+    /// levels each contributing the span of one combiner application.
+    fn eval_union_recursor(
+        &mut self,
+        env: &Env,
+        e: &Expr,
+        f: &Expr,
+        u: &Expr,
+        bound: Option<&Expr>,
+        arg: &Expr,
+    ) -> EvalResult<(RtVal, u64)> {
+        let (mut e_val, se) = self.eval_obj(e, env)?;
+        let (f_clo, sf) = self.eval_clo(f, env, "recursor singleton map")?;
+        let (u_clo, su) = self.eval_clo(u, env, "recursor combiner")?;
+        let (bound_val, sb) = match bound {
+            Some(b) => {
+                let (bv, s) = self.eval_obj(b, env)?;
+                (Some(bv), s)
+            }
+            None => (None, 0),
+        };
+        if let Some(b) = &bound_val {
+            e_val = meet(&e_val, b)?;
+        }
+        let (set, sarg) = self.eval_set(arg, env, "recursor argument")?;
+        let prefix_span = se.max(sf).max(su).max(sb).max(sarg);
+
+        if set.is_empty() {
+            return Ok((RtVal::Obj(e_val), prefix_span + 1));
+        }
+
+        // Leaves: f applied to every element, independently (parallel).
+        let mut leaves: Vec<(Value, u64)> = Vec::with_capacity(set.len());
+        for x in set.iter() {
+            let (mut v, s) = self.apply_obj(&f_clo, x.clone())?;
+            if let Some(b) = &bound_val {
+                v = meet(&v, b)?;
+            }
+            if let Value::Set(s) = &v {
+                self.note_set(s)?;
+            }
+            leaves.push((v, s));
+        }
+
+        if self.config.check_algebraic_laws {
+            self.spot_check_laws(&u_clo, &e_val, &leaves, &bound_val)?;
+        }
+
+        // Balanced combining tree.
+        let mut level = leaves;
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            let mut it = level.into_iter();
+            while let Some((a, sa)) = it.next() {
+                match it.next() {
+                    Some((b, sbn)) => {
+                        self.stats.combiner_calls += 1;
+                        let (mut c, sc) = self.apply2(&u_clo, a, b)?;
+                        if let Some(bd) = &bound_val {
+                            c = meet(&c, bd)?;
+                        }
+                        if let Value::Set(s) = &c {
+                            self.note_set(s)?;
+                        }
+                        next.push((c, sa.max(sbn) + sc));
+                    }
+                    None => next.push((a, sa)),
+                }
+            }
+            level = next;
+        }
+        let (result, tree_span) = level.pop().expect("non-empty set has a combining result");
+        Ok((RtVal::Obj(result), prefix_span + tree_span + 1))
+    }
+
+    /// Spot-check the algebraic preconditions of `dcr`/`sru` on the values that
+    /// actually flow through the recursion (identity, commutativity on the first
+    /// few pairs, associativity on the first few triples).
+    fn spot_check_laws(
+        &mut self,
+        u_clo: &Closure,
+        e_val: &Value,
+        leaves: &[(Value, u64)],
+        bound: &Option<Value>,
+    ) -> EvalResult<()> {
+        let sample: Vec<&Value> = leaves.iter().map(|(v, _)| v).take(4).collect();
+        let bounded = |this: &mut Self, v: Value| -> EvalResult<Value> {
+            match bound {
+                Some(b) => {
+                    let m = meet(&v, b)?;
+                    let _ = this; // the meet itself is not charged extra work
+                    Ok(m)
+                }
+                None => Ok(v),
+            }
+        };
+        for a in &sample {
+            let (ea, _) = self.apply2(u_clo, e_val.clone(), (*a).clone())?;
+            let ea = bounded(self, ea)?;
+            if &ea != *a {
+                return Err(EvalError::IllFormedRecursion(format!(
+                    "e is not an identity: u(e, {a}) = {ea}"
+                )));
+            }
+        }
+        for a in &sample {
+            for b in &sample {
+                let (ab, _) = self.apply2(u_clo, (*a).clone(), (*b).clone())?;
+                let (ba, _) = self.apply2(u_clo, (*b).clone(), (*a).clone())?;
+                if bounded(self, ab)? != bounded(self, ba)? {
+                    return Err(EvalError::IllFormedRecursion(format!(
+                        "u is not commutative on {a}, {b}"
+                    )));
+                }
+            }
+        }
+        if sample.len() >= 3 {
+            let (a, b, c) = (sample[0].clone(), sample[1].clone(), sample[2].clone());
+            let (ab, _) = self.apply2(u_clo, a.clone(), b.clone())?;
+            let ab = bounded(self, ab)?;
+            let (ab_c, _) = self.apply2(u_clo, ab, c.clone())?;
+            let (bc, _) = self.apply2(u_clo, b, c)?;
+            let bc = bounded(self, bc)?;
+            let (a_bc, _) = self.apply2(u_clo, a, bc)?;
+            if bounded(self, ab_c)? != bounded(self, a_bc)? {
+                return Err(EvalError::IllFormedRecursion(
+                    "u is not associative on sampled values".to_string(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Shared evaluation of `sri` / `esr` / `bsri`: a sequential chain of step
+    /// applications, one per element. The span is the *sum* of the step spans —
+    /// this is the PTIME side of the dichotomy (Proposition 6.6).
+    fn eval_insert_recursor(
+        &mut self,
+        env: &Env,
+        e: &Expr,
+        i: &Expr,
+        bound: Option<&Expr>,
+        arg: &Expr,
+    ) -> EvalResult<(RtVal, u64)> {
+        let (mut acc, se) = self.eval_obj(e, env)?;
+        let (i_clo, si) = self.eval_clo(i, env, "insert recursor step")?;
+        let (bound_val, sb) = match bound {
+            Some(b) => {
+                let (bv, s) = self.eval_obj(b, env)?;
+                (Some(bv), s)
+            }
+            None => (None, 0),
+        };
+        if let Some(b) = &bound_val {
+            acc = meet(&acc, b)?;
+        }
+        let (set, sarg) = self.eval_set(arg, env, "insert recursor argument")?;
+        let prefix_span = se.max(si).max(sb).max(sarg);
+
+        let mut chain_span = 0u64;
+        let n = set.len() as u64;
+        // Elements are inserted from the largest to the smallest, matching the
+        // reading sri(e,i)({x1,…,xn}) = i(x1, i(x2, … i(xn, e)…)); i-commutativity
+        // makes the order irrelevant for well-formed programs.
+        for x in set.into_vec().into_iter().rev() {
+            self.stats.step_calls += 1;
+            let (mut v, s) = self.apply2(&i_clo, x, acc)?;
+            if let Some(b) = &bound_val {
+                v = meet(&v, b)?;
+            }
+            if let Value::Set(s) = &v {
+                self.note_set(s)?;
+            }
+            acc = v;
+            chain_span += s;
+        }
+        self.note_rounds(n);
+        Ok((RtVal::Obj(acc), prefix_span + chain_span + 1))
+    }
+
+    /// Shared evaluation of the iterators `loop` / `log-loop` / `bloop` /
+    /// `blog-loop`: apply the body `|set|` or `⌈log(|set|+1)⌉` times, sequentially.
+    fn eval_iterator(
+        &mut self,
+        env: &Env,
+        f: &Expr,
+        bound: Option<&Expr>,
+        set: &Expr,
+        init: &Expr,
+        logarithmic: bool,
+    ) -> EvalResult<(RtVal, u64)> {
+        let (f_clo, sf) = self.eval_clo(f, env, "iterator body")?;
+        let (bound_val, sb) = match bound {
+            Some(b) => {
+                let (bv, s) = self.eval_obj(b, env)?;
+                (Some(bv), s)
+            }
+            None => (None, 0),
+        };
+        let (counting_set, ss) = self.eval_set(set, env, "iterator counting set")?;
+        let (mut acc, si) = self.eval_obj(init, env)?;
+        if let Some(b) = &bound_val {
+            acc = meet(&acc, b)?;
+        }
+        let rounds = if logarithmic {
+            log_rounds(counting_set.len())
+        } else {
+            counting_set.len() as u64
+        };
+        let prefix_span = sf.max(sb).max(ss).max(si);
+        let mut chain_span = 0u64;
+        for _ in 0..rounds {
+            let (mut v, s) = self.apply_obj(&f_clo, acc)?;
+            if let Some(b) = &bound_val {
+                v = meet(&v, b)?;
+            }
+            if let Value::Set(s) = &v {
+                self.note_set(s)?;
+            }
+            acc = v;
+            chain_span += s;
+        }
+        self.note_rounds(rounds);
+        Ok((RtVal::Obj(acc), prefix_span + chain_span + 1))
+    }
+}
+
+/// Evaluate a closed expression with the default configuration and return both
+/// the value and the cost statistics.
+pub fn eval_with_stats(expr: &Expr) -> EvalResult<(Value, CostStats)> {
+    let mut ev = Evaluator::default();
+    let v = ev.eval_closed(expr)?;
+    Ok((v, ev.stats()))
+}
+
+/// Evaluate a closed expression with the default configuration.
+pub fn eval_closed(expr: &Expr) -> EvalResult<Value> {
+    Evaluator::default().eval_closed(expr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use ncql_object::Type;
+
+    fn atoms(v: Vec<u64>) -> Value {
+        Value::atom_set(v)
+    }
+
+    fn xor_combiner() -> Expr {
+        Expr::lam2(
+            "a",
+            "b",
+            Type::prod(Type::Bool, Type::Bool),
+            Expr::ite(
+                Expr::var("a"),
+                Expr::ite(Expr::var("b"), Expr::Bool(false), Expr::Bool(true)),
+                Expr::var("b"),
+            ),
+        )
+    }
+
+    fn parity_of(set: Expr) -> Expr {
+        Expr::dcr(
+            Expr::Bool(false),
+            Expr::lam("y", Type::Base, Expr::Bool(true)),
+            xor_combiner(),
+            set,
+        )
+    }
+
+    #[test]
+    fn basic_constructs() {
+        assert_eq!(eval_closed(&Expr::Unit).unwrap(), Value::Unit);
+        assert_eq!(
+            eval_closed(&Expr::pair(Expr::atom(1), Expr::Bool(true))).unwrap(),
+            Value::pair(Value::Atom(1), Value::Bool(true))
+        );
+        assert_eq!(
+            eval_closed(&Expr::proj1(Expr::pair(Expr::atom(1), Expr::atom(2)))).unwrap(),
+            Value::Atom(1)
+        );
+        assert_eq!(
+            eval_closed(&Expr::ite(Expr::Bool(false), Expr::atom(1), Expr::atom(2))).unwrap(),
+            Value::Atom(2)
+        );
+    }
+
+    #[test]
+    fn union_and_singleton_and_empty() {
+        let e = Expr::union(
+            Expr::singleton(Expr::atom(2)),
+            Expr::union(Expr::Empty(Type::Base), Expr::singleton(Expr::atom(1))),
+        );
+        assert_eq!(eval_closed(&e).unwrap(), atoms(vec![1, 2]));
+        assert_eq!(
+            eval_closed(&Expr::is_empty(Expr::Empty(Type::Base))).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn eq_and_leq() {
+        let e = Expr::eq(
+            Expr::Const(atoms(vec![1, 2])),
+            Expr::union(Expr::singleton(Expr::atom(2)), Expr::singleton(Expr::atom(1))),
+        );
+        assert_eq!(eval_closed(&e).unwrap(), Value::Bool(true));
+        let l = Expr::leq(Expr::atom(3), Expr::atom(5));
+        assert_eq!(eval_closed(&l).unwrap(), Value::Bool(true));
+        let l2 = Expr::leq(Expr::atom(7), Expr::atom(5));
+        assert_eq!(eval_closed(&l2).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn ext_maps_and_flattens() {
+        // ext(λx.{x, x+shadowed}) over {1,2,3} — here: λx.{x} ∪ {1}
+        let f = Expr::lam(
+            "x",
+            Type::Base,
+            Expr::union(Expr::singleton(Expr::var("x")), Expr::singleton(Expr::atom(1))),
+        );
+        let e = Expr::ext(f, Expr::Const(atoms(vec![1, 2, 3])));
+        assert_eq!(eval_closed(&e).unwrap(), atoms(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn ext_span_is_one_parallel_step() {
+        // The span of ext over n elements is independent of n (plus the spans of
+        // the element computations, which are constant here).
+        let f = Expr::lam("x", Type::Base, Expr::singleton(Expr::var("x")));
+        let small = Expr::ext(f.clone(), Expr::Const(atoms((0..4).collect())));
+        let large = Expr::ext(f, Expr::Const(atoms((0..256).collect())));
+        let (_, st_small) = eval_with_stats(&small).unwrap();
+        let (_, st_large) = eval_with_stats(&large).unwrap();
+        assert_eq!(st_small.span, st_large.span);
+        assert!(st_large.work > st_small.work);
+    }
+
+    #[test]
+    fn dcr_parity_small_cases() {
+        assert_eq!(
+            eval_closed(&parity_of(Expr::Empty(Type::Base))).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval_closed(&parity_of(Expr::Const(atoms(vec![5])))).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_closed(&parity_of(Expr::Const(atoms(vec![1, 2])))).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval_closed(&parity_of(Expr::Const(atoms((0..7).collect())))).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_closed(&parity_of(Expr::Const(atoms((0..8).collect())))).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn dcr_span_grows_logarithmically() {
+        let (_, s16) = eval_with_stats(&parity_of(Expr::Const(atoms((0..16).collect())))).unwrap();
+        let (_, s256) =
+            eval_with_stats(&parity_of(Expr::Const(atoms((0..256).collect())))).unwrap();
+        // 16 -> 4 combining levels, 256 -> 8 combining levels: span roughly doubles
+        // while work grows 16x.
+        assert!(s256.span <= s16.span * 3, "span {} vs {}", s256.span, s16.span);
+        assert!(s256.work >= s16.work * 8);
+        assert_eq!(s16.combiner_calls, 15);
+        assert_eq!(s256.combiner_calls, 255);
+    }
+
+    #[test]
+    fn sri_fold_computes_and_is_sequential() {
+        // sri(∅, λ(x, acc). {x} ∪ acc) is the identity on sets, with linear span.
+        let ty = Type::set(Type::Base);
+        let step = Expr::lam2(
+            "x",
+            "acc",
+            Type::prod(Type::Base, ty.clone()),
+            Expr::union(Expr::singleton(Expr::var("x")), Expr::var("acc")),
+        );
+        let make = |n: u64| {
+            Expr::sri(
+                Expr::Empty(Type::Base),
+                step.clone(),
+                Expr::Const(atoms((0..n).collect())),
+            )
+        };
+        let (v, st16) = eval_with_stats(&make(16)).unwrap();
+        assert_eq!(v, atoms((0..16).collect()));
+        let (_, st64) = eval_with_stats(&make(64)).unwrap();
+        assert!(st64.span >= st16.span * 3, "span {} vs {}", st64.span, st16.span);
+        assert_eq!(st16.step_calls, 16);
+        assert_eq!(st64.sequential_rounds, 64);
+    }
+
+    #[test]
+    fn esr_agrees_with_sri_on_sets() {
+        let ty = Type::set(Type::Base);
+        let step = Expr::lam2(
+            "x",
+            "acc",
+            Type::prod(Type::Base, ty.clone()),
+            Expr::union(Expr::singleton(Expr::var("x")), Expr::var("acc")),
+        );
+        let arg = Expr::Const(atoms(vec![3, 1, 4, 1, 5]));
+        let sri = Expr::sri(Expr::Empty(Type::Base), step.clone(), arg.clone());
+        let esr = Expr::esr(Expr::Empty(Type::Base), step, arg);
+        assert_eq!(eval_closed(&sri).unwrap(), eval_closed(&esr).unwrap());
+    }
+
+    #[test]
+    fn log_loop_round_count_matches_cardinality_bits() {
+        // Iterate a counter: f(y) = y ∪ {card-th atom}? Simpler: f adds atom 0.
+        // We only check the round count via sequential_rounds.
+        let ty = Type::set(Type::Base);
+        let f = Expr::lam("r", ty.clone(), Expr::union(Expr::var("r"), Expr::singleton(Expr::atom(0))));
+        for (n, expected_rounds) in [(0usize, 0u64), (1, 1), (2, 2), (3, 2), (4, 3), (7, 3), (8, 4), (255, 8), (256, 9)] {
+            let e = Expr::log_loop(
+                f.clone(),
+                Expr::Const(atoms((0..n as u64).collect())),
+                Expr::Empty(Type::Base),
+            );
+            let (_, st) = eval_with_stats(&e).unwrap();
+            assert_eq!(st.sequential_rounds, expected_rounds, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn loop_iterates_cardinality_times() {
+        let ty = Type::set(Type::Base);
+        let f = Expr::lam("r", ty.clone(), Expr::var("r"));
+        let e = Expr::loop_(
+            f,
+            Expr::Const(atoms((0..37).collect())),
+            Expr::Empty(Type::Base),
+        );
+        let (_, st) = eval_with_stats(&e).unwrap();
+        assert_eq!(st.sequential_rounds, 37);
+    }
+
+    #[test]
+    fn bounded_dcr_intersects_with_bound() {
+        // bdcr over {1,2,3} building singletons, bounded by {1,2}: result ⊆ bound.
+        let ty = Type::set(Type::Base);
+        let f = Expr::lam("y", Type::Base, Expr::singleton(Expr::var("y")));
+        let u = Expr::lam2(
+            "a",
+            "b",
+            Type::prod(ty.clone(), ty.clone()),
+            Expr::union(Expr::var("a"), Expr::var("b")),
+        );
+        let e = Expr::bdcr(
+            Expr::Empty(Type::Base),
+            f,
+            u,
+            Expr::Const(atoms(vec![1, 2])),
+            Expr::Const(atoms(vec![1, 2, 3])),
+        );
+        assert_eq!(eval_closed(&e).unwrap(), atoms(vec![1, 2]));
+    }
+
+    #[test]
+    fn set_size_limit_aborts_blowups() {
+        // powerset via dcr: {∅} for empty, {∅,{y}} for singletons, pairwise unions.
+        let elem = Type::set(Type::Base);
+        let powerset_ty = Type::set(elem.clone());
+        let f = Expr::lam(
+            "y",
+            Type::Base,
+            Expr::union(
+                Expr::singleton(Expr::Empty(Type::Base)),
+                Expr::singleton(Expr::singleton(Expr::var("y"))),
+            ),
+        );
+        let pairwise = Expr::lam2(
+            "p1",
+            "p2",
+            Type::prod(powerset_ty.clone(), powerset_ty.clone()),
+            Expr::ext(
+                Expr::lam(
+                    "a",
+                    elem.clone(),
+                    Expr::ext(
+                        Expr::lam(
+                            "b",
+                            elem.clone(),
+                            Expr::singleton(Expr::union(Expr::var("a"), Expr::var("b"))),
+                        ),
+                        Expr::var("p2"),
+                    ),
+                ),
+                Expr::var("p1"),
+            ),
+        );
+        let e = Expr::dcr(
+            Expr::singleton(Expr::Empty(Type::Base)),
+            f,
+            pairwise,
+            Expr::Const(atoms((0..20).collect())),
+        );
+        let mut ev = Evaluator::new(EvalConfig {
+            max_set_size: 1024,
+            ..EvalConfig::default()
+        });
+        assert!(matches!(
+            ev.eval_closed(&e),
+            Err(EvalError::SetTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn work_limit_is_enforced() {
+        let e = parity_of(Expr::Const(atoms((0..100).collect())));
+        let mut ev = Evaluator::new(EvalConfig {
+            max_work: 50,
+            ..EvalConfig::default()
+        });
+        assert!(matches!(
+            ev.eval_closed(&e),
+            Err(EvalError::WorkLimitExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn algebraic_law_checking_catches_non_commutative_combiner() {
+        // u(x, y) = x \ y is not commutative; with law checking the evaluator
+        // rejects it (the §2 example of an ill-formed dcr).
+        let ty = Type::set(Type::Base);
+        let f = Expr::lam("y", Type::Base, Expr::singleton(Expr::var("y")));
+        // difference via ext: a \ b = ext(λx. if x ∈ b … ) — for the test, use a
+        // blatantly non-commutative combiner: u(a,b) = a.
+        let u = Expr::lam2("a", "b", Type::prod(ty.clone(), ty.clone()), Expr::var("a"));
+        let e = Expr::dcr(
+            Expr::Empty(Type::Base),
+            f,
+            u,
+            Expr::Const(atoms(vec![1, 2, 3, 4])),
+        );
+        let mut ev = Evaluator::new(EvalConfig {
+            check_algebraic_laws: true,
+            ..EvalConfig::default()
+        });
+        assert!(matches!(
+            ev.eval_closed(&e),
+            Err(EvalError::IllFormedRecursion(_))
+        ));
+    }
+
+    #[test]
+    fn eval_with_bindings_resolves_free_variables() {
+        let e = Expr::union(Expr::var("r"), Expr::singleton(Expr::atom(9)));
+        let mut ev = Evaluator::default();
+        let v = ev
+            .eval_with_bindings(&e, &[("r".to_string(), atoms(vec![1, 2]))])
+            .unwrap();
+        assert_eq!(v, atoms(vec![1, 2, 9]));
+    }
+
+    #[test]
+    fn extern_calls_evaluate() {
+        let e = Expr::extern_call(
+            "nat_add",
+            vec![Expr::nat(20), Expr::extern_call("nat_mul", vec![Expr::nat(4), Expr::nat(5)])],
+        );
+        assert_eq!(eval_closed(&e).unwrap(), Value::Nat(40));
+    }
+
+    #[test]
+    fn log_rounds_matches_definition() {
+        assert_eq!(log_rounds(0), 0);
+        assert_eq!(log_rounds(1), 1);
+        assert_eq!(log_rounds(2), 2);
+        assert_eq!(log_rounds(3), 2);
+        assert_eq!(log_rounds(4), 3);
+        assert_eq!(log_rounds(1023), 10);
+        assert_eq!(log_rounds(1024), 11);
+    }
+
+    #[test]
+    fn meet_is_componentwise() {
+        let a = Value::pair(atoms(vec![1, 2, 3]), atoms(vec![4, 5]));
+        let b = Value::pair(atoms(vec![2, 3]), atoms(vec![5, 6]));
+        assert_eq!(
+            meet(&a, &b).unwrap(),
+            Value::pair(atoms(vec![2, 3]), atoms(vec![5]))
+        );
+        assert!(meet(&Value::Bool(true), &Value::Bool(true)).is_err());
+    }
+}

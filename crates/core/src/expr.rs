@@ -1,0 +1,563 @@
+//! Abstract syntax of the NC query language.
+//!
+//! The constructs follow §3 (the nested relational calculus NRA), §2 (recursion
+//! on sets), and §7.1 (the logarithmic iterators). Constructors that the paper
+//! writes applied to an argument — `dcr(e, f, u)(x)`, `log-loop(f)(x, y)` — are
+//! represented here together with that argument, which keeps the evaluator and
+//! the cost model first-order.
+
+use ncql_object::{Type, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An expression of the language.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Expr {
+    // ----- variables, functions, let -----
+    /// A variable.
+    Var(String),
+    /// λ-abstraction `λx:s. e` (the paper writes `λxˢ.e`).
+    Lam(String, Type, Box<Expr>),
+    /// Function application `f(e)`.
+    App(Box<Expr>, Box<Expr>),
+    /// `let x = e1 in e2` — definable as `(λx. e2)(e1)`, kept primitive for
+    /// readability of generated programs.
+    Let(String, Box<Expr>, Box<Expr>),
+
+    // ----- tuples -----
+    /// The empty tuple `()`.
+    Unit,
+    /// Pair formation `(e1, e2)`.
+    Pair(Box<Expr>, Box<Expr>),
+    /// First projection `π₁ e`.
+    Proj1(Box<Expr>),
+    /// Second projection `π₂ e`.
+    Proj2(Box<Expr>),
+
+    // ----- booleans and comparisons -----
+    /// A boolean constant.
+    Bool(bool),
+    /// Conditional `if e then e1 else e2`.
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Equality `e1 = e2`. The paper states equality at base type and notes that
+    /// equality at all (object) types is expressible in NRA; we admit it at all
+    /// object types directly.
+    Eq(Box<Expr>, Box<Expr>),
+    /// The order predicate `e1 ≤ e2` over the ordered base type, lifted to all
+    /// object types (§3: "the order relation can be lifted to all types"). This
+    /// is the external function that turns the language into `NRA(≤)`.
+    Leq(Box<Expr>, Box<Expr>),
+
+    // ----- constants -----
+    /// An arbitrary complex-object literal (atoms, naturals, whole relations, …).
+    Const(Value),
+
+    // ----- sets -----
+    /// The empty set `∅ : {t}` (annotated with its element type).
+    Empty(Type),
+    /// Singleton `{e}`.
+    Singleton(Box<Expr>),
+    /// Union `e1 ∪ e2`.
+    Union(Box<Expr>, Box<Expr>),
+    /// Emptiness test `empty(e)`.
+    IsEmpty(Box<Expr>),
+    /// `ext(f)(e)`: apply `f : s → {t}` to every element of `e : {s}` and union
+    /// the results. Kept primitive (rather than derived from `sru`) because it is
+    /// a *single* parallel step (§3).
+    Ext(Box<Expr>, Box<Expr>),
+
+    // ----- recursion on sets (§2) -----
+    /// Divide-and-conquer recursion `dcr(e, f, u)(arg)`:
+    /// `φ(∅)=e`, `φ({y})=f(y)`, `φ(s₁∪s₂)=u(φ(s₁),φ(s₂))`.
+    /// Well-defined when `u` is associative and commutative with identity `e` on
+    /// a set containing `e` and the range of `f`.
+    Dcr {
+        e: Box<Expr>,
+        f: Box<Expr>,
+        u: Box<Expr>,
+        arg: Box<Expr>,
+    },
+    /// Structural recursion on the union presentation `sru(e, f, u)(arg)` — like
+    /// `dcr` but `u` must additionally be idempotent.
+    Sru {
+        e: Box<Expr>,
+        f: Box<Expr>,
+        u: Box<Expr>,
+        arg: Box<Expr>,
+    },
+    /// Structural recursion on the insert presentation `sri(e, i)(arg)`:
+    /// `φ(∅)=e`, `φ(y ⊲ s)=i(y, φ(s))`, with `i` i-commutative and i-idempotent.
+    Sri {
+        e: Box<Expr>,
+        i: Box<Expr>,
+        arg: Box<Expr>,
+    },
+    /// Element-step recursion `esr(e, i)(arg)` — like `sri` but the step is only
+    /// taken for elements not already seen (`i` need not be i-idempotent).
+    Esr {
+        e: Box<Expr>,
+        i: Box<Expr>,
+        arg: Box<Expr>,
+    },
+    /// Bounded divide-and-conquer recursion `bdcr(e, f, u, b)(arg)`, defined as
+    /// `dcr(e ⊓ b, f ⊓ b, u ⊓ b)(arg)` where `⊓ b` intersects componentwise with
+    /// the bound `b` at a PS-type (§2). This is the construct that stays inside
+    /// NC over complex objects (Theorem 6.1).
+    BDcr {
+        e: Box<Expr>,
+        f: Box<Expr>,
+        u: Box<Expr>,
+        bound: Box<Expr>,
+        arg: Box<Expr>,
+    },
+    /// Bounded insert recursion `bsri(e, i, b)(arg) = sri(e ⊓ b, i ⊓ b)(arg)`.
+    BSri {
+        e: Box<Expr>,
+        i: Box<Expr>,
+        bound: Box<Expr>,
+        arg: Box<Expr>,
+    },
+
+    // ----- iterators (§7.1) -----
+    /// `log-loop(f)(set, init) = f^(⌈log(|set|+1)⌉)(init)`.
+    LogLoop {
+        f: Box<Expr>,
+        set: Box<Expr>,
+        init: Box<Expr>,
+    },
+    /// `loop(f)(set, init) = f^(|set|)(init)`.
+    Loop {
+        f: Box<Expr>,
+        set: Box<Expr>,
+        init: Box<Expr>,
+    },
+    /// Bounded logarithmic iterator `blog-loop(f, b)(set, init) =
+    /// log-loop(f ⊓ b)(set, init ⊓ b)`.
+    BLogLoop {
+        f: Box<Expr>,
+        bound: Box<Expr>,
+        set: Box<Expr>,
+        init: Box<Expr>,
+    },
+    /// Bounded iterator `bloop(f, b)(set, init) = loop(f ⊓ b)(set, init ⊓ b)`.
+    BLoop {
+        f: Box<Expr>,
+        bound: Box<Expr>,
+        set: Box<Expr>,
+        init: Box<Expr>,
+    },
+
+    // ----- external functions Σ (Proposition 6.3) -----
+    /// Application of a named external function to a list of arguments.
+    Extern(String, Vec<Expr>),
+}
+
+static FRESH_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Generate a fresh variable name with the given stem. Used by the derived-form
+/// builders and the source-to-source translations so that generated binders never
+/// capture user variables (user programs cannot contain `%` in identifiers).
+pub fn fresh_var(stem: &str) -> String {
+    let n = FRESH_COUNTER.fetch_add(1, Ordering::Relaxed);
+    format!("%{stem}{n}")
+}
+
+impl Expr {
+    // ----- convenience constructors -----
+
+    /// A variable reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// λ-abstraction.
+    pub fn lam(name: impl Into<String>, ty: Type, body: Expr) -> Expr {
+        Expr::Lam(name.into(), ty, Box::new(body))
+    }
+
+    /// A λ-abstraction over a pair, `λ(x, y). e`, desugared as the paper does:
+    /// `λz. e[π₁ z / x, π₂ z / y]` — realised here with a fresh variable and two
+    /// `let` bindings, which avoids substitution.
+    pub fn lam2(x: impl Into<String>, y: impl Into<String>, ty: Type, body: Expr) -> Expr {
+        let z = fresh_var("pair");
+        let (tx, ty_snd) = match &ty {
+            Type::Prod(a, b) => ((**a).clone(), (**b).clone()),
+            _ => (ty.clone(), ty.clone()),
+        };
+        let _ = (tx, ty_snd);
+        Expr::lam(
+            z.clone(),
+            ty,
+            Expr::let_in(
+                x,
+                Expr::proj1(Expr::var(z.clone())),
+                Expr::let_in(y, Expr::proj2(Expr::var(z)), body),
+            ),
+        )
+    }
+
+    /// Function application.
+    pub fn app(f: Expr, arg: Expr) -> Expr {
+        Expr::App(Box::new(f), Box::new(arg))
+    }
+
+    /// `let x = e1 in e2`.
+    pub fn let_in(name: impl Into<String>, bound: Expr, body: Expr) -> Expr {
+        Expr::Let(name.into(), Box::new(bound), Box::new(body))
+    }
+
+    /// Pair formation.
+    pub fn pair(a: Expr, b: Expr) -> Expr {
+        Expr::Pair(Box::new(a), Box::new(b))
+    }
+
+    /// First projection.
+    pub fn proj1(e: Expr) -> Expr {
+        Expr::Proj1(Box::new(e))
+    }
+
+    /// Second projection.
+    pub fn proj2(e: Expr) -> Expr {
+        Expr::Proj2(Box::new(e))
+    }
+
+    /// Conditional.
+    pub fn ite(c: Expr, t: Expr, f: Expr) -> Expr {
+        Expr::If(Box::new(c), Box::new(t), Box::new(f))
+    }
+
+    /// Equality.
+    pub fn eq(a: Expr, b: Expr) -> Expr {
+        Expr::Eq(Box::new(a), Box::new(b))
+    }
+
+    /// Order predicate.
+    pub fn leq(a: Expr, b: Expr) -> Expr {
+        Expr::Leq(Box::new(a), Box::new(b))
+    }
+
+    /// Singleton set.
+    pub fn singleton(e: Expr) -> Expr {
+        Expr::Singleton(Box::new(e))
+    }
+
+    /// Union.
+    pub fn union(a: Expr, b: Expr) -> Expr {
+        Expr::Union(Box::new(a), Box::new(b))
+    }
+
+    /// N-ary union (empty list gives `∅ : {t}` using the provided element type).
+    pub fn union_all(elem_ty: Type, mut parts: Vec<Expr>) -> Expr {
+        match parts.len() {
+            0 => Expr::Empty(elem_ty),
+            1 => parts.pop().expect("len checked"),
+            _ => {
+                let mut it = parts.into_iter();
+                let first = it.next().expect("len checked");
+                it.fold(first, Expr::union)
+            }
+        }
+    }
+
+    /// Emptiness test.
+    pub fn is_empty(e: Expr) -> Expr {
+        Expr::IsEmpty(Box::new(e))
+    }
+
+    /// `ext(f)(e)`.
+    pub fn ext(f: Expr, e: Expr) -> Expr {
+        Expr::Ext(Box::new(f), Box::new(e))
+    }
+
+    /// A constant atom.
+    pub fn atom(a: u64) -> Expr {
+        Expr::Const(Value::Atom(a))
+    }
+
+    /// A constant natural number (external base type).
+    pub fn nat(n: u64) -> Expr {
+        Expr::Const(Value::Nat(n))
+    }
+
+    /// `dcr(e, f, u)(arg)`.
+    pub fn dcr(e: Expr, f: Expr, u: Expr, arg: Expr) -> Expr {
+        Expr::Dcr {
+            e: Box::new(e),
+            f: Box::new(f),
+            u: Box::new(u),
+            arg: Box::new(arg),
+        }
+    }
+
+    /// `sru(e, f, u)(arg)`.
+    pub fn sru(e: Expr, f: Expr, u: Expr, arg: Expr) -> Expr {
+        Expr::Sru {
+            e: Box::new(e),
+            f: Box::new(f),
+            u: Box::new(u),
+            arg: Box::new(arg),
+        }
+    }
+
+    /// `sri(e, i)(arg)`.
+    pub fn sri(e: Expr, i: Expr, arg: Expr) -> Expr {
+        Expr::Sri {
+            e: Box::new(e),
+            i: Box::new(i),
+            arg: Box::new(arg),
+        }
+    }
+
+    /// `esr(e, i)(arg)`.
+    pub fn esr(e: Expr, i: Expr, arg: Expr) -> Expr {
+        Expr::Esr {
+            e: Box::new(e),
+            i: Box::new(i),
+            arg: Box::new(arg),
+        }
+    }
+
+    /// `bdcr(e, f, u, b)(arg)`.
+    pub fn bdcr(e: Expr, f: Expr, u: Expr, bound: Expr, arg: Expr) -> Expr {
+        Expr::BDcr {
+            e: Box::new(e),
+            f: Box::new(f),
+            u: Box::new(u),
+            bound: Box::new(bound),
+            arg: Box::new(arg),
+        }
+    }
+
+    /// `bsri(e, i, b)(arg)`.
+    pub fn bsri(e: Expr, i: Expr, bound: Expr, arg: Expr) -> Expr {
+        Expr::BSri {
+            e: Box::new(e),
+            i: Box::new(i),
+            bound: Box::new(bound),
+            arg: Box::new(arg),
+        }
+    }
+
+    /// `log-loop(f)(set, init)`.
+    pub fn log_loop(f: Expr, set: Expr, init: Expr) -> Expr {
+        Expr::LogLoop {
+            f: Box::new(f),
+            set: Box::new(set),
+            init: Box::new(init),
+        }
+    }
+
+    /// `loop(f)(set, init)`.
+    pub fn loop_(f: Expr, set: Expr, init: Expr) -> Expr {
+        Expr::Loop {
+            f: Box::new(f),
+            set: Box::new(set),
+            init: Box::new(init),
+        }
+    }
+
+    /// `blog-loop(f, b)(set, init)`.
+    pub fn blog_loop(f: Expr, bound: Expr, set: Expr, init: Expr) -> Expr {
+        Expr::BLogLoop {
+            f: Box::new(f),
+            bound: Box::new(bound),
+            set: Box::new(set),
+            init: Box::new(init),
+        }
+    }
+
+    /// `bloop(f, b)(set, init)`.
+    pub fn bloop(f: Expr, bound: Expr, set: Expr, init: Expr) -> Expr {
+        Expr::BLoop {
+            f: Box::new(f),
+            bound: Box::new(bound),
+            set: Box::new(set),
+            init: Box::new(init),
+        }
+    }
+
+    /// Application of a named external function.
+    pub fn extern_call(name: impl Into<String>, args: Vec<Expr>) -> Expr {
+        Expr::Extern(name.into(), args)
+    }
+
+    /// Number of AST nodes (used by tests and the translation-overhead reports).
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+
+    /// Visit every sub-expression (pre-order).
+    pub fn visit<F: FnMut(&Expr)>(&self, f: &mut F) {
+        f(self);
+        match self {
+            Expr::Var(_) | Expr::Unit | Expr::Bool(_) | Expr::Const(_) | Expr::Empty(_) => {}
+            Expr::Lam(_, _, b) => b.visit(f),
+            Expr::App(a, b)
+            | Expr::Pair(a, b)
+            | Expr::Eq(a, b)
+            | Expr::Leq(a, b)
+            | Expr::Union(a, b)
+            | Expr::Ext(a, b)
+            | Expr::Let(_, a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Expr::Proj1(a) | Expr::Proj2(a) | Expr::Singleton(a) | Expr::IsEmpty(a) => a.visit(f),
+            Expr::If(c, t, e) => {
+                c.visit(f);
+                t.visit(f);
+                e.visit(f);
+            }
+            Expr::Dcr { e, f: f2, u, arg } | Expr::Sru { e, f: f2, u, arg } => {
+                e.visit(f);
+                f2.visit(f);
+                u.visit(f);
+                arg.visit(f);
+            }
+            Expr::Sri { e, i, arg } | Expr::Esr { e, i, arg } => {
+                e.visit(f);
+                i.visit(f);
+                arg.visit(f);
+            }
+            Expr::BDcr { e, f: f2, u, bound, arg } => {
+                e.visit(f);
+                f2.visit(f);
+                u.visit(f);
+                bound.visit(f);
+                arg.visit(f);
+            }
+            Expr::BSri { e, i, bound, arg } => {
+                e.visit(f);
+                i.visit(f);
+                bound.visit(f);
+                arg.visit(f);
+            }
+            Expr::LogLoop { f: f2, set, init } | Expr::Loop { f: f2, set, init } => {
+                f2.visit(f);
+                set.visit(f);
+                init.visit(f);
+            }
+            Expr::BLogLoop { f: f2, bound, set, init } | Expr::BLoop { f: f2, bound, set, init } => {
+                f2.visit(f);
+                bound.visit(f);
+                set.visit(f);
+                init.visit(f);
+            }
+            Expr::Extern(_, args) => {
+                for a in args {
+                    a.visit(f);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Var(x) => write!(f, "{x}"),
+            Expr::Lam(x, ty, b) => write!(f, "(\\{x}: {ty}. {b})"),
+            Expr::App(a, b) => write!(f, "{a}({b})"),
+            Expr::Let(x, a, b) => write!(f, "(let {x} = {a} in {b})"),
+            Expr::Unit => write!(f, "()"),
+            Expr::Pair(a, b) => write!(f, "({a}, {b})"),
+            Expr::Proj1(a) => write!(f, "pi1 {a}"),
+            Expr::Proj2(a) => write!(f, "pi2 {a}"),
+            Expr::Bool(b) => write!(f, "{b}"),
+            Expr::If(c, t, e) => write!(f, "(if {c} then {t} else {e})"),
+            Expr::Eq(a, b) => write!(f, "({a} = {b})"),
+            Expr::Leq(a, b) => write!(f, "({a} <= {b})"),
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Empty(ty) => write!(f, "(empty : {{{ty}}})"),
+            Expr::Singleton(a) => write!(f, "{{{a}}}"),
+            Expr::Union(a, b) => write!(f, "({a} union {b})"),
+            Expr::IsEmpty(a) => write!(f, "isempty({a})"),
+            Expr::Ext(g, e) => write!(f, "ext({g})({e})"),
+            Expr::Dcr { e, f: g, u, arg } => write!(f, "dcr({e}, {g}, {u})({arg})"),
+            Expr::Sru { e, f: g, u, arg } => write!(f, "sru({e}, {g}, {u})({arg})"),
+            Expr::Sri { e, i, arg } => write!(f, "sri({e}, {i})({arg})"),
+            Expr::Esr { e, i, arg } => write!(f, "esr({e}, {i})({arg})"),
+            Expr::BDcr { e, f: g, u, bound, arg } => {
+                write!(f, "bdcr({e}, {g}, {u}, {bound})({arg})")
+            }
+            Expr::BSri { e, i, bound, arg } => write!(f, "bsri({e}, {i}, {bound})({arg})"),
+            Expr::LogLoop { f: g, set, init } => write!(f, "logloop({g})({set}, {init})"),
+            Expr::Loop { f: g, set, init } => write!(f, "loop({g})({set}, {init})"),
+            Expr::BLogLoop { f: g, bound, set, init } => {
+                write!(f, "bloglook({g}, {bound})({set}, {init})")
+            }
+            Expr::BLoop { f: g, bound, set, init } => {
+                write!(f, "bloop({g}, {bound})({set}, {init})")
+            }
+            Expr::Extern(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_vars_are_distinct() {
+        let a = fresh_var("x");
+        let b = fresh_var("x");
+        assert_ne!(a, b);
+        assert!(a.starts_with('%'));
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let e = Expr::union(Expr::singleton(Expr::atom(1)), Expr::Empty(Type::Base));
+        assert_eq!(e.size(), 4);
+    }
+
+    #[test]
+    fn display_is_reasonable() {
+        let e = Expr::ite(
+            Expr::eq(Expr::var("x"), Expr::atom(1)),
+            Expr::Bool(true),
+            Expr::Bool(false),
+        );
+        assert_eq!(e.to_string(), "(if (x = a1) then true else false)");
+    }
+
+    #[test]
+    fn lam2_projects_components() {
+        let e = Expr::lam2("a", "b", Type::prod(Type::Base, Type::Base), Expr::var("a"));
+        // Structure: Lam(z, _, Let(a, pi1 z, Let(b, pi2 z, a)))
+        match e {
+            Expr::Lam(_, _, body) => match *body {
+                Expr::Let(ref a, _, _) => assert_eq!(a, "a"),
+                _ => panic!("expected let"),
+            },
+            _ => panic!("expected lambda"),
+        }
+    }
+
+    #[test]
+    fn union_all_handles_empty_and_singleton() {
+        assert_eq!(
+            Expr::union_all(Type::Base, vec![]),
+            Expr::Empty(Type::Base)
+        );
+        assert_eq!(
+            Expr::union_all(Type::Base, vec![Expr::atom(1)]),
+            Expr::atom(1)
+        );
+        let e = Expr::union_all(Type::Base, vec![Expr::atom(1), Expr::atom(2), Expr::atom(3)]);
+        assert_eq!(e.size(), 5);
+    }
+}

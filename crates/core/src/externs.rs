@@ -1,0 +1,224 @@
+//! External functions Σ (Proposition 6.3).
+//!
+//! The paper considers extending the language with a set Σ of external base types
+//! and functions computable in NC: "the usual arithmetical operations (+, *, −, /,
+//! etc), and the usual aggregate functions (cardinality, sum, average, etc.)".
+//! Proposition 6.3 states that `NRA(Σ, bdcr)` stays within NC, whereas unbounded
+//! `dcr` together with unbounded arithmetic (`NRA¹(ℕ, +, dcr)`) can express
+//! exponential-space queries — the registry here is what the corresponding
+//! experiment (E8) toggles.
+//!
+//! Every external is a total Rust function on values with a declared signature;
+//! the type checker uses the signature, and the evaluator charges one unit of
+//! work and one unit of span per call (externals are assumed to be NC-computable
+//! black boxes).
+
+use crate::error::EvalError;
+use ncql_object::{Type, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Implementation of a single external function.
+#[derive(Clone)]
+pub struct ExternFn {
+    /// Argument types.
+    pub params: Vec<Type>,
+    /// Result type.
+    pub result: Type,
+    /// The implementation.
+    pub body: Arc<dyn Fn(&[Value]) -> Result<Value, EvalError> + Send + Sync>,
+}
+
+impl fmt::Debug for ExternFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ExternFn({:?} -> {})", self.params, self.result)
+    }
+}
+
+/// A registry Σ of external functions, keyed by name.
+#[derive(Debug, Clone, Default)]
+pub struct ExternRegistry {
+    fns: BTreeMap<String, ExternFn>,
+}
+
+impl ExternRegistry {
+    /// The empty Σ (the pure language of the main theorems).
+    pub fn empty() -> ExternRegistry {
+        ExternRegistry { fns: BTreeMap::new() }
+    }
+
+    /// The standard arithmetic/aggregate extension used by the experiments:
+    /// `nat_add`, `nat_sub`, `nat_mul`, `nat_div`, `nat_leq`, `nat_bit`,
+    /// `card` (cardinality of a set as a natural), `nat_max`, `nat_min`,
+    /// `atom_to_nat` and `nat_to_atom` (coercions along the order isomorphism).
+    pub fn standard() -> ExternRegistry {
+        let mut reg = ExternRegistry::empty();
+
+        reg.register_binary_nat("nat_add", |a, b| a.saturating_add(b));
+        reg.register_binary_nat("nat_sub", |a, b| a.saturating_sub(b));
+        reg.register_binary_nat("nat_mul", |a, b| a.saturating_mul(b));
+        reg.register_binary_nat("nat_div", |a, b| if b == 0 { 0 } else { a / b });
+        reg.register_binary_nat("nat_max", |a, b| a.max(b));
+        reg.register_binary_nat("nat_min", |a, b| a.min(b));
+
+        reg.register(
+            "nat_leq",
+            vec![Type::Nat, Type::Nat],
+            Type::Bool,
+            |args| {
+                let (a, b) = two_nats(args)?;
+                Ok(Value::Bool(a <= b))
+            },
+        );
+
+        // BIT(i, j): the j-th bit of the binary representation of i (the BIT
+        // relation of Immerman used throughout §7).
+        reg.register("nat_bit", vec![Type::Nat, Type::Nat], Type::Bool, |args| {
+            let (i, j) = two_nats(args)?;
+            Ok(Value::Bool(j < 64 && (i >> j) & 1 == 1))
+        });
+
+        // Cardinality of any set, as a natural number.
+        reg.register("card", vec![Type::set(Type::Base)], Type::Nat, |args| {
+            match args.first() {
+                Some(Value::Set(s)) => Ok(Value::Nat(s.len() as u64)),
+                other => Err(EvalError::Extern(format!(
+                    "card expects a set, got {other:?}"
+                ))),
+            }
+        });
+
+        reg.register("atom_to_nat", vec![Type::Base], Type::Nat, |args| {
+            match args.first() {
+                Some(Value::Atom(a)) => Ok(Value::Nat(*a)),
+                other => Err(EvalError::Extern(format!(
+                    "atom_to_nat expects an atom, got {other:?}"
+                ))),
+            }
+        });
+
+        reg.register("nat_to_atom", vec![Type::Nat], Type::Base, |args| {
+            match args.first() {
+                Some(Value::Nat(n)) => Ok(Value::Atom(*n)),
+                other => Err(EvalError::Extern(format!(
+                    "nat_to_atom expects a natural, got {other:?}"
+                ))),
+            }
+        });
+
+        reg
+    }
+
+    /// Register an external function.
+    pub fn register<F>(&mut self, name: &str, params: Vec<Type>, result: Type, body: F)
+    where
+        F: Fn(&[Value]) -> Result<Value, EvalError> + Send + Sync + 'static,
+    {
+        self.fns.insert(
+            name.to_string(),
+            ExternFn {
+                params,
+                result,
+                body: Arc::new(body),
+            },
+        );
+    }
+
+    fn register_binary_nat<F>(&mut self, name: &str, op: F)
+    where
+        F: Fn(u64, u64) -> u64 + Send + Sync + 'static,
+    {
+        self.register(name, vec![Type::Nat, Type::Nat], Type::Nat, move |args| {
+            let (a, b) = two_nats(args)?;
+            Ok(Value::Nat(op(a, b)))
+        });
+    }
+
+    /// Look up an external by name.
+    pub fn get(&self, name: &str) -> Option<&ExternFn> {
+        self.fns.get(name)
+    }
+
+    /// Names of all registered externals (sorted).
+    pub fn names(&self) -> Vec<&str> {
+        self.fns.keys().map(String::as_str).collect()
+    }
+
+    /// Does the registry contain the given name?
+    pub fn contains(&self, name: &str) -> bool {
+        self.fns.contains_key(name)
+    }
+
+    /// The maximum set height over all parameter and result types of the
+    /// registered externals. Proposition 6.5 requires Σ to have set height ≤ 1
+    /// for the conservative-extension result; this lets callers check that.
+    pub fn max_set_height(&self) -> usize {
+        self.fns
+            .values()
+            .flat_map(|f| f.params.iter().chain(std::iter::once(&f.result)))
+            .map(Type::set_height)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+fn two_nats(args: &[Value]) -> Result<(u64, u64), EvalError> {
+    match (args.first(), args.get(1)) {
+        (Some(Value::Nat(a)), Some(Value::Nat(b))) => Ok((*a, *b)),
+        _ => Err(EvalError::Extern(format!(
+            "expected two naturals, got {args:?}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_registry_has_arithmetic() {
+        let reg = ExternRegistry::standard();
+        for name in ["nat_add", "nat_mul", "nat_leq", "card", "nat_bit"] {
+            assert!(reg.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn nat_add_works() {
+        let reg = ExternRegistry::standard();
+        let f = reg.get("nat_add").unwrap();
+        let v = (f.body)(&[Value::Nat(2), Value::Nat(3)]).unwrap();
+        assert_eq!(v, Value::Nat(5));
+    }
+
+    #[test]
+    fn nat_bit_extracts_bits() {
+        let reg = ExternRegistry::standard();
+        let f = reg.get("nat_bit").unwrap();
+        assert_eq!((f.body)(&[Value::Nat(5), Value::Nat(0)]).unwrap(), Value::Bool(true));
+        assert_eq!((f.body)(&[Value::Nat(5), Value::Nat(1)]).unwrap(), Value::Bool(false));
+        assert_eq!((f.body)(&[Value::Nat(5), Value::Nat(2)]).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn card_counts_elements() {
+        let reg = ExternRegistry::standard();
+        let f = reg.get("card").unwrap();
+        let s = Value::atom_set(vec![1, 2, 3]);
+        assert_eq!((f.body)(&[s]).unwrap(), Value::Nat(3));
+    }
+
+    #[test]
+    fn arity_errors_are_reported() {
+        let reg = ExternRegistry::standard();
+        let f = reg.get("nat_add").unwrap();
+        assert!((f.body)(&[Value::Nat(1)]).is_err());
+    }
+
+    #[test]
+    fn standard_registry_is_flat() {
+        // All standard externals have set height ≤ 1 (Proposition 6.5 hypothesis).
+        assert!(ExternRegistry::standard().max_set_height() <= 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! The NC query language of Suciu & Breazu-Tannen (1994): the nested relational
+//! algebra NRA (§3) extended with recursion on sets (§2) and the logarithmic
+//! iterators of §7.1.
+//!
+//! The crate provides:
+//!
+//! * [`expr::Expr`] — the abstract syntax of the language: the NRA constructs of
+//!   §3 (tuples, singletons, union, emptiness test, conditional, λ-abstraction,
+//!   application, `ext`), the order predicate `≤` that makes databases *ordered*,
+//!   the four recursion forms on sets (`sru`, `sri`, `dcr`, `esr`), their bounded
+//!   variants (`bdcr`, `bsri`), the iterators (`loop`, `log-loop`, `bloop`,
+//!   `blog-loop`), and external functions Σ (Proposition 6.3).
+//! * [`typecheck`] — a bidirectional-ish type checker for the language, including
+//!   the PS-type side conditions of the bounded constructs.
+//! * [`eval`] — a reference evaluator instrumented with a **work/span (PRAM) cost
+//!   model**. The span of a `dcr` combining tree is logarithmic in the set size,
+//!   the span of `ext` is one parallel step plus the maximum over its element
+//!   computations, and the span of `sri` is linear — this is exactly the
+//!   observable difference between the NC language (Theorems 6.1/6.2) and the
+//!   PTIME language (Proposition 6.6).
+//! * [`analysis`] — free variables, expression size, and the *depth of recursion
+//!   nesting* of §3, which stratifies the language into the ACᵏ levels.
+//! * [`wellformed`] — the bounded checker for the algebraic preconditions
+//!   (associativity, commutativity, identity) of `dcr`/`sru` instances; the
+//!   general problem is Π⁰₁-complete (§2), so the checker works over a finite
+//!   carrier sampled from a concrete input.
+//! * [`derived`] — the derived operations the paper lists as expressible in NRA:
+//!   set intersection and difference, cartesian product, relational projections,
+//!   selections, relation composition, nest/unnest, membership, and friends.
+//! * [`externs`] — the external-function registry Σ (arithmetic and aggregates)
+//!   used in the Proposition 6.3 experiments.
+
+pub mod analysis;
+pub mod derived;
+pub mod error;
+pub mod eval;
+pub mod expr;
+pub mod externs;
+pub mod typecheck;
+pub mod wellformed;
+
+pub use error::{EvalError, TypeError};
+pub use eval::{CostStats, EvalConfig, Evaluator};
+pub use expr::Expr;
+pub use typecheck::{typecheck, typecheck_closed, TypeEnv};
+
+/// Convenient result alias for evaluation.
+pub type EvalResult<T> = Result<T, EvalError>;

@@ -1,0 +1,572 @@
+//! Type checker for the NC query language (§3 typing rules plus the side
+//! conditions of §2 for the bounded recursors).
+//!
+//! The checker infers a type for every expression in a typing context. λ-binders
+//! are annotated, so inference is syntax-directed. The judgement implemented is
+//! the obvious one for the rules listed in §3; the extra conditions are:
+//!
+//! * `bdcr`/`bsri`/`blog-loop`/`bloop` require the result type to be a PS-type
+//!   (product of sets) so that the bounding intersection `⊓ b` is defined.
+//! * `Eq`/`Leq` require both sides to have the same *object* type (no functions).
+//! * External calls must match the signature registered in [`ExternRegistry`].
+
+use crate::error::TypeError;
+use crate::expr::Expr;
+use crate::externs::ExternRegistry;
+use ncql_object::{Type, Value};
+
+/// A typing context: an association list from variable names to types (inner
+/// bindings shadow outer ones).
+#[derive(Debug, Clone, Default)]
+pub struct TypeEnv {
+    bindings: Vec<(String, Type)>,
+}
+
+impl TypeEnv {
+    /// The empty context.
+    pub fn new() -> TypeEnv {
+        TypeEnv { bindings: Vec::new() }
+    }
+
+    /// Extend the context with one binding (returns a new context).
+    pub fn extend(&self, name: impl Into<String>, ty: Type) -> TypeEnv {
+        let mut bindings = self.bindings.clone();
+        bindings.push((name.into(), ty));
+        TypeEnv { bindings }
+    }
+
+    /// Look up a variable (innermost binding wins).
+    pub fn lookup(&self, name: &str) -> Option<&Type> {
+        self.bindings
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t)
+    }
+}
+
+/// Infer the type of a complex-object literal. Empty sets are given element type
+/// `D` by convention; use [`Expr::Empty`] with an explicit element type when a
+/// differently-typed empty set is needed.
+pub fn value_type(v: &Value) -> Type {
+    match v {
+        Value::Atom(_) => Type::Base,
+        Value::Bool(_) => Type::Bool,
+        Value::Unit => Type::Unit,
+        Value::Nat(_) => Type::Nat,
+        Value::Pair(a, b) => Type::prod(value_type(a), value_type(b)),
+        Value::Set(s) => match s.iter().next() {
+            Some(first) => Type::set(value_type(first)),
+            None => Type::set(Type::Base),
+        },
+    }
+}
+
+fn expect_eq(context: &str, expected: &Type, found: &Type) -> Result<(), TypeError> {
+    if expected == found {
+        Ok(())
+    } else {
+        Err(TypeError::Mismatch {
+            context: context.to_string(),
+            expected: expected.clone(),
+            found: found.clone(),
+        })
+    }
+}
+
+fn expect_set(context: &str, ty: &Type) -> Result<Type, TypeError> {
+    match ty {
+        Type::Set(t) => Ok((**t).clone()),
+        _ => Err(TypeError::NotASet {
+            context: context.to_string(),
+            found: ty.clone(),
+        }),
+    }
+}
+
+fn expect_fun(context: &str, ty: &Type) -> Result<(Type, Type), TypeError> {
+    match ty {
+        Type::Fun(a, b) => Ok(((**a).clone(), (**b).clone())),
+        _ => Err(TypeError::NotAFunction {
+            context: context.to_string(),
+            found: ty.clone(),
+        }),
+    }
+}
+
+fn expect_bool(context: &str, ty: &Type) -> Result<(), TypeError> {
+    if *ty == Type::Bool {
+        Ok(())
+    } else {
+        Err(TypeError::NotABool {
+            context: context.to_string(),
+            found: ty.clone(),
+        })
+    }
+}
+
+fn expect_comparable(context: &str, ty: &Type) -> Result<(), TypeError> {
+    if ty.is_object_type() {
+        Ok(())
+    } else {
+        Err(TypeError::NotComparable {
+            context: context.to_string(),
+            found: ty.clone(),
+        })
+    }
+}
+
+fn expect_ps(context: &str, ty: &Type) -> Result<(), TypeError> {
+    if ty.is_ps_type() {
+        Ok(())
+    } else {
+        Err(TypeError::NotAPsType {
+            context: context.to_string(),
+            found: ty.clone(),
+        })
+    }
+}
+
+/// Type-check the shared shape of `dcr`/`sru`: `e : t`, `f : s → t`,
+/// `u : t × t → t`, `arg : {s}`; result `t`.
+fn check_union_recursor(
+    name: &str,
+    env: &TypeEnv,
+    sigma: &ExternRegistry,
+    e: &Expr,
+    f: &Expr,
+    u: &Expr,
+    arg: &Expr,
+) -> Result<Type, TypeError> {
+    let t = infer(env, sigma, e)?;
+    let f_ty = infer(env, sigma, f)?;
+    let (s, t_from_f) = expect_fun(&format!("{name} singleton map f"), &f_ty)?;
+    expect_eq(&format!("{name} f result vs e"), &t, &t_from_f)?;
+    let u_ty = infer(env, sigma, u)?;
+    let (u_dom, u_cod) = expect_fun(&format!("{name} combiner u"), &u_ty)?;
+    expect_eq(
+        &format!("{name} combiner domain"),
+        &Type::prod(t.clone(), t.clone()),
+        &u_dom,
+    )?;
+    expect_eq(&format!("{name} combiner codomain"), &t, &u_cod)?;
+    let arg_ty = infer(env, sigma, arg)?;
+    let elem = expect_set(&format!("{name} argument"), &arg_ty)?;
+    expect_eq(&format!("{name} argument element type"), &s, &elem)?;
+    Ok(t)
+}
+
+/// Type-check the shared shape of `sri`/`esr`: `e : t`, `i : s × t → t`,
+/// `arg : {s}`; result `t`.
+fn check_insert_recursor(
+    name: &str,
+    env: &TypeEnv,
+    sigma: &ExternRegistry,
+    e: &Expr,
+    i: &Expr,
+    arg: &Expr,
+) -> Result<Type, TypeError> {
+    let t = infer(env, sigma, e)?;
+    let i_ty = infer(env, sigma, i)?;
+    let (dom, cod) = expect_fun(&format!("{name} step i"), &i_ty)?;
+    let (s, t_in) = match dom {
+        Type::Prod(a, b) => ((*a).clone(), (*b).clone()),
+        other => {
+            return Err(TypeError::NotAProduct {
+                context: format!("{name} step domain"),
+                found: other,
+            })
+        }
+    };
+    expect_eq(&format!("{name} step accumulator"), &t, &t_in)?;
+    expect_eq(&format!("{name} step result"), &t, &cod)?;
+    let arg_ty = infer(env, sigma, arg)?;
+    let elem = expect_set(&format!("{name} argument"), &arg_ty)?;
+    expect_eq(&format!("{name} argument element type"), &s, &elem)?;
+    Ok(t)
+}
+
+/// Type-check the shared shape of the iterators: `f : t → t`, `set : {s}`,
+/// `init : t`; result `t`.
+fn check_iterator(
+    name: &str,
+    env: &TypeEnv,
+    sigma: &ExternRegistry,
+    f: &Expr,
+    set: &Expr,
+    init: &Expr,
+) -> Result<Type, TypeError> {
+    let f_ty = infer(env, sigma, f)?;
+    let (dom, cod) = expect_fun(&format!("{name} body"), &f_ty)?;
+    expect_eq(&format!("{name} body must be an endofunction"), &dom, &cod)?;
+    let set_ty = infer(env, sigma, set)?;
+    expect_set(&format!("{name} counting set"), &set_ty)?;
+    let init_ty = infer(env, sigma, init)?;
+    expect_eq(&format!("{name} initial value"), &dom, &init_ty)?;
+    Ok(dom)
+}
+
+/// Infer the type of `expr` in context `env`, with external signatures from
+/// `sigma`.
+pub fn infer(env: &TypeEnv, sigma: &ExternRegistry, expr: &Expr) -> Result<Type, TypeError> {
+    match expr {
+        Expr::Var(x) => env
+            .lookup(x)
+            .cloned()
+            .ok_or_else(|| TypeError::UnboundVariable(x.clone())),
+        Expr::Lam(x, ty, body) => {
+            let body_ty = infer(&env.extend(x.clone(), ty.clone()), sigma, body)?;
+            Ok(Type::fun(ty.clone(), body_ty))
+        }
+        Expr::App(f, a) => {
+            let f_ty = infer(env, sigma, f)?;
+            let (dom, cod) = expect_fun("application", &f_ty)?;
+            let a_ty = infer(env, sigma, a)?;
+            expect_eq("application argument", &dom, &a_ty)?;
+            Ok(cod)
+        }
+        Expr::Let(x, bound, body) => {
+            let bound_ty = infer(env, sigma, bound)?;
+            infer(&env.extend(x.clone(), bound_ty), sigma, body)
+        }
+        Expr::Unit => Ok(Type::Unit),
+        Expr::Pair(a, b) => Ok(Type::prod(infer(env, sigma, a)?, infer(env, sigma, b)?)),
+        Expr::Proj1(e) => match infer(env, sigma, e)? {
+            Type::Prod(a, _) => Ok(*a),
+            other => Err(TypeError::NotAProduct {
+                context: "pi1".to_string(),
+                found: other,
+            }),
+        },
+        Expr::Proj2(e) => match infer(env, sigma, e)? {
+            Type::Prod(_, b) => Ok(*b),
+            other => Err(TypeError::NotAProduct {
+                context: "pi2".to_string(),
+                found: other,
+            }),
+        },
+        Expr::Bool(_) => Ok(Type::Bool),
+        Expr::If(c, t, e) => {
+            let c_ty = infer(env, sigma, c)?;
+            expect_bool("if condition", &c_ty)?;
+            let t_ty = infer(env, sigma, t)?;
+            let e_ty = infer(env, sigma, e)?;
+            expect_eq("if branches", &t_ty, &e_ty)?;
+            Ok(t_ty)
+        }
+        Expr::Eq(a, b) => {
+            let a_ty = infer(env, sigma, a)?;
+            let b_ty = infer(env, sigma, b)?;
+            expect_comparable("equality", &a_ty)?;
+            expect_eq("equality operands", &a_ty, &b_ty)?;
+            Ok(Type::Bool)
+        }
+        Expr::Leq(a, b) => {
+            let a_ty = infer(env, sigma, a)?;
+            let b_ty = infer(env, sigma, b)?;
+            expect_comparable("order comparison", &a_ty)?;
+            expect_eq("order comparison operands", &a_ty, &b_ty)?;
+            Ok(Type::Bool)
+        }
+        Expr::Const(v) => Ok(value_type(v)),
+        Expr::Empty(t) => Ok(Type::set(t.clone())),
+        Expr::Singleton(e) => Ok(Type::set(infer(env, sigma, e)?)),
+        Expr::Union(a, b) => {
+            let a_ty = infer(env, sigma, a)?;
+            expect_set("union left operand", &a_ty)?;
+            let b_ty = infer(env, sigma, b)?;
+            expect_eq("union operands", &a_ty, &b_ty)?;
+            Ok(a_ty)
+        }
+        Expr::IsEmpty(e) => {
+            let ty = infer(env, sigma, e)?;
+            expect_set("isempty", &ty)?;
+            Ok(Type::Bool)
+        }
+        Expr::Ext(f, e) => {
+            let f_ty = infer(env, sigma, f)?;
+            let (dom, cod) = expect_fun("ext function", &f_ty)?;
+            expect_set("ext function result", &cod)?;
+            let e_ty = infer(env, sigma, e)?;
+            let elem = expect_set("ext argument", &e_ty)?;
+            expect_eq("ext argument element type", &dom, &elem)?;
+            Ok(cod)
+        }
+        Expr::Dcr { e, f, u, arg } => check_union_recursor("dcr", env, sigma, e, f, u, arg),
+        Expr::Sru { e, f, u, arg } => check_union_recursor("sru", env, sigma, e, f, u, arg),
+        Expr::Sri { e, i, arg } => check_insert_recursor("sri", env, sigma, e, i, arg),
+        Expr::Esr { e, i, arg } => check_insert_recursor("esr", env, sigma, e, i, arg),
+        Expr::BDcr { e, f, u, bound, arg } => {
+            let t = check_union_recursor("bdcr", env, sigma, e, f, u, arg)?;
+            expect_ps("bdcr result", &t)?;
+            let b_ty = infer(env, sigma, bound)?;
+            expect_eq("bdcr bound", &t, &b_ty)?;
+            Ok(t)
+        }
+        Expr::BSri { e, i, bound, arg } => {
+            let t = check_insert_recursor("bsri", env, sigma, e, i, arg)?;
+            expect_ps("bsri result", &t)?;
+            let b_ty = infer(env, sigma, bound)?;
+            expect_eq("bsri bound", &t, &b_ty)?;
+            Ok(t)
+        }
+        Expr::LogLoop { f, set, init } => check_iterator("log-loop", env, sigma, f, set, init),
+        Expr::Loop { f, set, init } => check_iterator("loop", env, sigma, f, set, init),
+        Expr::BLogLoop { f, bound, set, init } => {
+            let t = check_iterator("blog-loop", env, sigma, f, set, init)?;
+            expect_ps("blog-loop result", &t)?;
+            let b_ty = infer(env, sigma, bound)?;
+            expect_eq("blog-loop bound", &t, &b_ty)?;
+            Ok(t)
+        }
+        Expr::BLoop { f, bound, set, init } => {
+            let t = check_iterator("bloop", env, sigma, f, set, init)?;
+            expect_ps("bloop result", &t)?;
+            let b_ty = infer(env, sigma, bound)?;
+            expect_eq("bloop bound", &t, &b_ty)?;
+            Ok(t)
+        }
+        Expr::Extern(name, args) => {
+            let ext = sigma
+                .get(name)
+                .ok_or_else(|| TypeError::UnknownExtern(name.clone()))?;
+            if ext.params.len() != args.len() {
+                return Err(TypeError::ExternArity {
+                    name: name.clone(),
+                    expected: ext.params.len(),
+                    found: args.len(),
+                });
+            }
+            for (param, arg) in ext.params.iter().zip(args) {
+                let arg_ty = infer(env, sigma, arg)?;
+                // `card` and similar polymorphic aggregates declare their set
+                // parameter as `{D}`; accept any set type for a declared set
+                // parameter whose element type is `D` (width subtyping would be
+                // overkill here).
+                let compatible = param == &arg_ty
+                    || matches!(
+                        (param, &arg_ty),
+                        (Type::Set(p), Type::Set(_)) if **p == Type::Base
+                    );
+                if !compatible {
+                    return Err(TypeError::Mismatch {
+                        context: format!("extern `{name}` argument"),
+                        expected: param.clone(),
+                        found: arg_ty,
+                    });
+                }
+            }
+            Ok(ext.result.clone())
+        }
+    }
+}
+
+/// Type-check an expression in the given context with the standard Σ registry.
+pub fn typecheck(env: &TypeEnv, expr: &Expr) -> Result<Type, TypeError> {
+    infer(env, &ExternRegistry::standard(), expr)
+}
+
+/// Type-check a closed expression with the standard Σ registry.
+pub fn typecheck_closed(expr: &Expr) -> Result<Type, TypeError> {
+    typecheck(&TypeEnv::new(), expr)
+}
+
+/// Check that every type occurring in the expression (binder annotations, empty
+/// set annotations, literal types, and the final type) is *flat*, i.e. the
+/// expression lies inside the restricted language NRA¹ of §3.
+pub fn check_flat(env: &TypeEnv, sigma: &ExternRegistry, expr: &Expr) -> Result<Type, TypeError> {
+    let ty = infer(env, sigma, expr)?;
+    let mut bad: Option<Type> = None;
+    expr.visit(&mut |e| {
+        let candidate = match e {
+            Expr::Lam(_, t, _) => Some(t.clone()),
+            Expr::Empty(t) => Some(Type::set(t.clone())),
+            Expr::Const(v) => Some(value_type(v)),
+            _ => None,
+        };
+        if let Some(t) = candidate {
+            if !t.is_flat() && bad.is_none() {
+                bad = Some(t);
+            }
+        }
+    });
+    if let Some(found) = bad {
+        return Err(TypeError::NotFlat {
+            context: "NRA¹ annotation".to_string(),
+            found,
+        });
+    }
+    if !ty.is_flat() {
+        return Err(TypeError::NotFlat {
+            context: "NRA¹ result".to_string(),
+            found: ty,
+        });
+    }
+    Ok(ty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncql_object::Value;
+
+    fn tc(e: &Expr) -> Result<Type, TypeError> {
+        typecheck_closed(e)
+    }
+
+    #[test]
+    fn constants_and_pairs() {
+        assert_eq!(tc(&Expr::atom(3)).unwrap(), Type::Base);
+        assert_eq!(tc(&Expr::Bool(true)).unwrap(), Type::Bool);
+        assert_eq!(
+            tc(&Expr::pair(Expr::atom(1), Expr::Bool(false))).unwrap(),
+            Type::prod(Type::Base, Type::Bool)
+        );
+    }
+
+    #[test]
+    fn lambda_and_application() {
+        let id = Expr::lam("x", Type::Base, Expr::var("x"));
+        assert_eq!(
+            tc(&id).unwrap(),
+            Type::fun(Type::Base, Type::Base)
+        );
+        assert_eq!(tc(&Expr::app(id, Expr::atom(1))).unwrap(), Type::Base);
+    }
+
+    #[test]
+    fn application_argument_mismatch_is_rejected() {
+        let id = Expr::lam("x", Type::Base, Expr::var("x"));
+        assert!(tc(&Expr::app(id, Expr::Bool(true))).is_err());
+    }
+
+    #[test]
+    fn unbound_variable_is_rejected() {
+        assert!(matches!(
+            tc(&Expr::var("nope")),
+            Err(TypeError::UnboundVariable(_))
+        ));
+    }
+
+    #[test]
+    fn sets_and_ext() {
+        let f = Expr::lam("x", Type::Base, Expr::singleton(Expr::var("x")));
+        let e = Expr::ext(f, Expr::Const(Value::atom_set(vec![1, 2])));
+        assert_eq!(tc(&e).unwrap(), Type::set(Type::Base));
+    }
+
+    #[test]
+    fn ext_requires_set_valued_function() {
+        let f = Expr::lam("x", Type::Base, Expr::var("x"));
+        let e = Expr::ext(f, Expr::Const(Value::atom_set(vec![1])));
+        assert!(tc(&e).is_err());
+    }
+
+    #[test]
+    fn union_requires_matching_element_types() {
+        let e = Expr::union(
+            Expr::singleton(Expr::atom(1)),
+            Expr::singleton(Expr::Bool(true)),
+        );
+        assert!(tc(&e).is_err());
+    }
+
+    #[test]
+    fn dcr_typing() {
+        // parity : {D} -> bool
+        let parity = Expr::dcr(
+            Expr::Bool(false),
+            Expr::lam("y", Type::Base, Expr::Bool(true)),
+            Expr::lam2(
+                "v1",
+                "v2",
+                Type::prod(Type::Bool, Type::Bool),
+                Expr::ite(
+                    Expr::var("v1"),
+                    Expr::ite(Expr::var("v2"), Expr::Bool(false), Expr::Bool(true)),
+                    Expr::var("v2"),
+                ),
+            ),
+            Expr::Const(Value::atom_set(vec![1, 2, 3])),
+        );
+        assert_eq!(tc(&parity).unwrap(), Type::Bool);
+    }
+
+    #[test]
+    fn bdcr_requires_ps_type() {
+        // bdcr with a boolean accumulator must be rejected: bool is not a PS-type.
+        let bad = Expr::bdcr(
+            Expr::Bool(false),
+            Expr::lam("y", Type::Base, Expr::Bool(true)),
+            Expr::lam2(
+                "a",
+                "b",
+                Type::prod(Type::Bool, Type::Bool),
+                Expr::var("a"),
+            ),
+            Expr::Bool(true),
+            Expr::Const(Value::atom_set(vec![1])),
+        );
+        assert!(matches!(tc(&bad), Err(TypeError::NotAPsType { .. })));
+    }
+
+    #[test]
+    fn log_loop_typing() {
+        let ty = Type::set(Type::Base);
+        let f = Expr::lam("r", ty.clone(), Expr::var("r"));
+        let e = Expr::log_loop(
+            f,
+            Expr::Const(Value::atom_set(vec![1, 2, 3])),
+            Expr::Empty(Type::Base),
+        );
+        assert_eq!(tc(&e).unwrap(), ty);
+    }
+
+    #[test]
+    fn extern_typing_and_arity() {
+        let ok = Expr::extern_call("nat_add", vec![Expr::nat(1), Expr::nat(2)]);
+        assert_eq!(tc(&ok).unwrap(), Type::Nat);
+        let bad_arity = Expr::extern_call("nat_add", vec![Expr::nat(1)]);
+        assert!(matches!(tc(&bad_arity), Err(TypeError::ExternArity { .. })));
+        let unknown = Expr::extern_call("no_such_fn", vec![]);
+        assert!(matches!(tc(&unknown), Err(TypeError::UnknownExtern(_))));
+    }
+
+    #[test]
+    fn equality_rejected_at_function_type() {
+        let id = Expr::lam("x", Type::Base, Expr::var("x"));
+        let e = Expr::eq(id.clone(), id);
+        assert!(matches!(tc(&e), Err(TypeError::NotComparable { .. })));
+    }
+
+    #[test]
+    fn flat_check_accepts_relational_and_rejects_nested() {
+        let sigma = ExternRegistry::standard();
+        let flat = Expr::union(
+            Expr::Const(Value::relation_from_pairs(vec![(1, 2)])),
+            Expr::Empty(Type::prod(Type::Base, Type::Base)),
+        );
+        assert!(check_flat(&TypeEnv::new(), &sigma, &flat).is_ok());
+        let nested = Expr::singleton(Expr::Const(Value::atom_set(vec![1])));
+        assert!(matches!(
+            check_flat(&TypeEnv::new(), &sigma, &nested),
+            Err(TypeError::NotFlat { .. })
+        ));
+    }
+
+    #[test]
+    fn if_branches_must_agree() {
+        let e = Expr::ite(Expr::Bool(true), Expr::atom(1), Expr::Bool(false));
+        assert!(tc(&e).is_err());
+    }
+
+    #[test]
+    fn let_binding_types_flow_through() {
+        let e = Expr::let_in(
+            "x",
+            Expr::singleton(Expr::atom(1)),
+            Expr::union(Expr::var("x"), Expr::var("x")),
+        );
+        assert_eq!(tc(&e).unwrap(), Type::set(Type::Base));
+    }
+}

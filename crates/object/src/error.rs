@@ -1,0 +1,52 @@
+//! Error type shared by the object-model operations.
+
+use std::fmt;
+
+/// Errors raised by value construction, typing of values, and encoding/decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObjectError {
+    /// A value does not have the type it was claimed to have.
+    TypeMismatch {
+        /// Human-readable description of the expected type.
+        expected: String,
+        /// Human-readable description of the value that was found.
+        found: String,
+    },
+    /// A decoder ran out of input or met an unexpected symbol.
+    Decode {
+        /// Byte/symbol position at which decoding failed.
+        position: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// A positional (characteristic-vector) encoding was asked for a value that is
+    /// not a flat relation over the declared universe.
+    NotFlat(String),
+    /// An operation needed an ordered base universe of at least a given size.
+    UniverseTooSmall {
+        /// The size that was required.
+        required: usize,
+        /// The size that was available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for ObjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjectError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            ObjectError::Decode { position, message } => {
+                write!(f, "decode error at position {position}: {message}")
+            }
+            ObjectError::NotFlat(msg) => write!(f, "not a flat relation: {msg}"),
+            ObjectError::UniverseTooSmall { required, available } => write!(
+                f,
+                "universe too small: required {required}, available {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ObjectError {}

@@ -1,0 +1,30 @@
+//! Complex-object value model for the NC query language.
+//!
+//! This crate implements the data model of Suciu & Breazu-Tannen,
+//! *"A Query Language for NC"* (UPenn TR MS-CIS-94-05, 1994), sections 2, 3 and 5:
+//!
+//! * [`Type`] — complex object types built from an ordered base type `D`, booleans,
+//!   `unit`, binary products and finite sets, plus the function types used by the
+//!   ambient language NRA and an external natural-number type used in the
+//!   arithmetic-extension experiments (Proposition 6.3).
+//! * [`Value`] — complex object values with a canonical (sorted, duplicate-free)
+//!   set representation and a total order lifted from the order on `D` to all
+//!   types, as required for queries over *ordered* databases.
+//! * [`encoding`] — the string encoding of complex objects over the eight-symbol
+//!   alphabet of §5, minimal encodings, the 3-bits-per-symbol binary form, and the
+//!   Immerman-style positional (characteristic vector) encoding of flat relations.
+//! * [`morphism`] — base-domain morphisms (order-preserving injections) used to
+//!   state and test genericity of database queries (§5, following Chandra & Harel).
+//!
+//! The crate is purely a data substrate: it knows nothing about expressions,
+//! evaluation, or circuits. Those live in `ncql-core`, `ncql-circuit` and friends.
+
+pub mod encoding;
+pub mod error;
+pub mod morphism;
+pub mod types;
+pub mod value;
+
+pub use error::ObjectError;
+pub use types::Type;
+pub use value::{Atom, VSet, Value};

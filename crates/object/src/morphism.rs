@@ -1,0 +1,149 @@
+//! Base-domain morphisms and genericity of database queries (§5).
+//!
+//! The paper (following Chandra & Harel) defines a database query of type
+//! `s → t` as a family of functions, one per interpretation of the base type `D`,
+//! that commutes with every *morphism* `φ : D → D'` — an order-preserving
+//! (hence injective) map between interpretations of `D`. This module provides the
+//! morphism machinery so that the test suites can check genericity of concrete
+//! queries: for a query `q` and a morphism `φ`, `φ_t(q(x)) = q(φ_s(x))`.
+
+use crate::value::{Atom, Value};
+use std::collections::BTreeMap;
+
+/// An order-preserving injection on a finite set of atoms, represented as an
+/// explicit mapping. Atoms outside the domain of the map are left unchanged,
+/// which is adequate for testing genericity on concrete inputs whose atom set is
+/// known.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Morphism {
+    map: BTreeMap<Atom, Atom>,
+}
+
+impl Morphism {
+    /// The identity morphism.
+    pub fn identity() -> Morphism {
+        Morphism { map: BTreeMap::new() }
+    }
+
+    /// Build a morphism from explicit pairs. Returns `None` if the mapping is not
+    /// strictly order-preserving (and hence not injective) on its domain.
+    pub fn from_pairs<I: IntoIterator<Item = (Atom, Atom)>>(pairs: I) -> Option<Morphism> {
+        let map: BTreeMap<Atom, Atom> = pairs.into_iter().collect();
+        let mut prev: Option<Atom> = None;
+        for (_, v) in map.iter() {
+            if let Some(p) = prev {
+                if *v <= p {
+                    return None;
+                }
+            }
+            prev = Some(*v);
+        }
+        Some(Morphism { map })
+    }
+
+    /// The morphism that shifts every atom in `atoms` by a fixed offset.
+    pub fn shift(atoms: &[Atom], offset: u64) -> Morphism {
+        Morphism {
+            map: atoms.iter().map(|&a| (a, a + offset)).collect(),
+        }
+    }
+
+    /// The morphism that multiplies every atom in `atoms` by a fixed stretch
+    /// factor (≥ 1), another easy source of order-preserving injections.
+    pub fn stretch(atoms: &[Atom], factor: u64) -> Morphism {
+        let factor = factor.max(1);
+        Morphism {
+            map: atoms.iter().map(|&a| (a, a * factor)).collect(),
+        }
+    }
+
+    /// Apply the morphism to a single atom.
+    pub fn apply_atom(&self, a: Atom) -> Atom {
+        *self.map.get(&a).unwrap_or(&a)
+    }
+
+    /// Apply the morphism structurally to a complex object value — this is the
+    /// canonical extension `φ_t : t → t'` of the paper.
+    pub fn apply(&self, v: &Value) -> Value {
+        match v {
+            Value::Atom(a) => Value::Atom(self.apply_atom(*a)),
+            Value::Bool(_) | Value::Unit | Value::Nat(_) => v.clone(),
+            Value::Pair(a, b) => Value::pair(self.apply(a), self.apply(b)),
+            Value::Set(s) => Value::set_from(s.iter().map(|x| self.apply(x))),
+        }
+    }
+
+    /// Is the morphism strictly order-preserving on the given atoms? (It is by
+    /// construction on its own domain; this checks the interaction with atoms it
+    /// leaves fixed, which matters when a test applies it to a value whose atoms
+    /// are not all in the domain.)
+    pub fn is_order_preserving_on(&self, atoms: &[Atom]) -> bool {
+        let mut sorted = atoms.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        sorted
+            .windows(2)
+            .all(|w| self.apply_atom(w[0]) < self.apply_atom(w[1]))
+    }
+}
+
+/// Check genericity of a query on one input: `φ(q(x)) == q(φ(x))`. The query is
+/// given as a closure so that this helper is usable from every crate in the
+/// workspace without depending on the expression language.
+pub fn commutes_with<Q>(query: Q, input: &Value, phi: &Morphism) -> bool
+where
+    Q: Fn(&Value) -> Value,
+{
+    let lhs = phi.apply(&query(input));
+    let rhs = query(&phi.apply(input));
+    lhs == rhs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shift_preserves_order() {
+        let atoms = vec![1, 5, 9];
+        let phi = Morphism::shift(&atoms, 100);
+        assert!(phi.is_order_preserving_on(&atoms));
+        assert_eq!(phi.apply_atom(5), 105);
+        assert_eq!(phi.apply_atom(42), 42);
+    }
+
+    #[test]
+    fn from_pairs_rejects_order_reversal() {
+        assert!(Morphism::from_pairs(vec![(1, 10), (2, 5)]).is_none());
+        assert!(Morphism::from_pairs(vec![(1, 5), (2, 10)]).is_some());
+    }
+
+    #[test]
+    fn apply_commutes_with_set_canonicalisation() {
+        let v = Value::atom_set(vec![3, 1, 2]);
+        let phi = Morphism::from_pairs(vec![(1, 10), (2, 20), (3, 30)]).unwrap();
+        let w = phi.apply(&v);
+        assert_eq!(w, Value::atom_set(vec![10, 20, 30]));
+    }
+
+    #[test]
+    fn generic_query_commutes() {
+        // Projection Π1 of a binary relation is a generic query.
+        let q = |v: &Value| {
+            let s = v.as_set().unwrap();
+            Value::set_from(s.iter().map(|p| p.as_pair().unwrap().0.clone()))
+        };
+        let rel = Value::relation_from_pairs(vec![(1, 2), (3, 4)]);
+        let phi = Morphism::shift(&rel.atoms(), 7);
+        assert!(commutes_with(q, &rel, &phi));
+    }
+
+    #[test]
+    fn non_generic_query_fails_to_commute() {
+        // A query that hard-codes the atom 1 is not generic.
+        let q = |_: &Value| Value::Atom(1);
+        let rel = Value::atom_set(vec![1, 2]);
+        let phi = Morphism::shift(&[1, 2], 5);
+        assert!(!commutes_with(q, &rel, &phi));
+    }
+}

@@ -1,0 +1,514 @@
+//! Complex object values and the linear order lifted to all types.
+//!
+//! Values mirror the type grammar of §2: atoms of the ordered base type `D`,
+//! booleans, the empty tuple, pairs, and finite sets. Sets are kept in a
+//! *canonical* representation — sorted by the lifted linear order with duplicates
+//! removed — so that value equality is structural equality and the encoding of §5
+//! ("no duplicates are allowed in the encoding of a set") is immediate.
+//!
+//! The order on the base type is the natural order on `u64` atom identifiers; it
+//! is lifted to all types in the standard lexicographic way (booleans: `false <
+//! true`; pairs: lexicographic; sets: by the sorted element sequences, shorter
+//! prefix first), following the remark in §3 that "the order relation can be
+//! lifted to all types".
+
+use crate::types::Type;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An atom of the ordered base type `D`. Atoms are abstract; only their identity
+/// and relative order are observable by generic queries (see [`crate::morphism`]).
+pub type Atom = u64;
+
+/// A complex object value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// An element of the ordered base type `D`.
+    Atom(Atom),
+    /// A boolean.
+    Bool(bool),
+    /// The empty tuple `()`, the only value of type `unit`.
+    Unit,
+    /// An external natural number (only used with the Σ extension of Prop 6.3).
+    Nat(u64),
+    /// A pair `(x, y)`.
+    Pair(Box<Value>, Box<Value>),
+    /// A finite set, kept sorted and duplicate-free.
+    Set(VSet),
+}
+
+/// A finite set of values in canonical form: elements are sorted by the lifted
+/// linear order and contain no duplicates.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct VSet {
+    elems: Vec<Value>,
+}
+
+impl VSet {
+    /// The empty set.
+    pub fn empty() -> VSet {
+        VSet { elems: Vec::new() }
+    }
+
+    /// Build a set from an arbitrary iterator of elements: sorts and deduplicates.
+    pub fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> VSet {
+        let mut elems: Vec<Value> = iter.into_iter().collect();
+        elems.sort();
+        elems.dedup();
+        VSet { elems }
+    }
+
+    /// A singleton set `{x}`.
+    pub fn singleton(x: Value) -> VSet {
+        VSet { elems: vec![x] }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// Membership test (binary search over the canonical representation).
+    pub fn contains(&self, x: &Value) -> bool {
+        self.elems.binary_search(x).is_ok()
+    }
+
+    /// Insert one element (the `insert presentation` constructor `x ⊲ s` of §2),
+    /// preserving canonical form. Returns `true` if the element was new.
+    pub fn insert(&mut self, x: Value) -> bool {
+        match self.elems.binary_search(&x) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.elems.insert(pos, x);
+                true
+            }
+        }
+    }
+
+    /// Set union (the `union presentation` constructor of §2).
+    pub fn union(&self, other: &VSet) -> VSet {
+        let mut out = Vec::with_capacity(self.elems.len() + other.elems.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.elems.len() && j < other.elems.len() {
+            match self.elems[i].cmp(&other.elems[j]) {
+                Ordering::Less => {
+                    out.push(self.elems[i].clone());
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    out.push(other.elems[j].clone());
+                    j += 1;
+                }
+                Ordering::Equal => {
+                    out.push(self.elems[i].clone());
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.elems[i..]);
+        out.extend_from_slice(&other.elems[j..]);
+        VSet { elems: out }
+    }
+
+    /// Set intersection (used by the bounding step of `bdcr`/`bsri`).
+    pub fn intersect(&self, other: &VSet) -> VSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.elems.len() && j < other.elems.len() {
+            match self.elems[i].cmp(&other.elems[j]) {
+                Ordering::Less => i += 1,
+                Ordering::Greater => j += 1,
+                Ordering::Equal => {
+                    out.push(self.elems[i].clone());
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        VSet { elems: out }
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &VSet) -> VSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.elems.len() {
+            if j >= other.elems.len() {
+                out.extend_from_slice(&self.elems[i..]);
+                break;
+            }
+            match self.elems[i].cmp(&other.elems[j]) {
+                Ordering::Less => {
+                    out.push(self.elems[i].clone());
+                    i += 1;
+                }
+                Ordering::Greater => j += 1,
+                Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        VSet { elems: out }
+    }
+
+    /// Is `self` a subset of `other`?
+    pub fn is_subset_of(&self, other: &VSet) -> bool {
+        self.elems.iter().all(|x| other.contains(x))
+    }
+
+    /// Iterate over the elements in the canonical (ascending) order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
+        self.elems.iter()
+    }
+
+    /// The elements as a slice, in canonical order.
+    pub fn as_slice(&self) -> &[Value] {
+        &self.elems
+    }
+
+    /// Consume the set and return the elements in canonical order.
+    pub fn into_vec(self) -> Vec<Value> {
+        self.elems
+    }
+}
+
+impl IntoIterator for VSet {
+    type Item = Value;
+    type IntoIter = std::vec::IntoIter<Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.elems.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a VSet {
+    type Item = &'a Value;
+    type IntoIter = std::slice::Iter<'a, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.elems.iter()
+    }
+}
+
+impl FromIterator<Value> for VSet {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> VSet {
+        VSet::from_iter(iter)
+    }
+}
+
+/// Rank used to order values of *different* shapes. Generic queries only ever
+/// compare values of the same type, but a total order on all values keeps the
+/// canonical set representation simple and matches the paper's "lift the order to
+/// all types" remark.
+fn shape_rank(v: &Value) -> u8 {
+    match v {
+        Value::Unit => 0,
+        Value::Bool(_) => 1,
+        Value::Atom(_) => 2,
+        Value::Nat(_) => 3,
+        Value::Pair(_, _) => 4,
+        Value::Set(_) => 5,
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Unit, Value::Unit) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Atom(a), Value::Atom(b)) => a.cmp(b),
+            (Value::Nat(a), Value::Nat(b)) => a.cmp(b),
+            (Value::Pair(a1, a2), Value::Pair(b1, b2)) => {
+                a1.cmp(b1).then_with(|| a2.cmp(b2))
+            }
+            (Value::Set(a), Value::Set(b)) => {
+                // Lexicographic on the sorted element sequences; Vec's Ord is
+                // exactly that (shorter prefix compares Less).
+                a.elems.cmp(&b.elems)
+            }
+            _ => shape_rank(self).cmp(&shape_rank(other)),
+        }
+    }
+}
+
+impl Value {
+    /// The empty set of any element type.
+    pub fn empty_set() -> Value {
+        Value::Set(VSet::empty())
+    }
+
+    /// A singleton set `{x}`.
+    pub fn singleton(x: Value) -> Value {
+        Value::Set(VSet::singleton(x))
+    }
+
+    /// Build a set value from an iterator of elements.
+    pub fn set_from<I: IntoIterator<Item = Value>>(iter: I) -> Value {
+        Value::Set(VSet::from_iter(iter))
+    }
+
+    /// A pair `(x, y)`.
+    pub fn pair(x: Value, y: Value) -> Value {
+        Value::Pair(Box::new(x), Box::new(y))
+    }
+
+    /// Build a binary relation value `{(a, b), ...}` from atom pairs.
+    pub fn relation_from_pairs<I: IntoIterator<Item = (Atom, Atom)>>(pairs: I) -> Value {
+        Value::set_from(
+            pairs
+                .into_iter()
+                .map(|(a, b)| Value::pair(Value::Atom(a), Value::Atom(b))),
+        )
+    }
+
+    /// Build a unary relation value `{a, ...}` from atoms.
+    pub fn atom_set<I: IntoIterator<Item = Atom>>(atoms: I) -> Value {
+        Value::set_from(atoms.into_iter().map(Value::Atom))
+    }
+
+    /// If this is a set, borrow it.
+    pub fn as_set(&self) -> Option<&VSet> {
+        match self {
+            Value::Set(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// If this is a set, take it.
+    pub fn into_set(self) -> Option<VSet> {
+        match self {
+            Value::Set(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// If this is a pair, borrow the components.
+    pub fn as_pair(&self) -> Option<(&Value, &Value)> {
+        match self {
+            Value::Pair(a, b) => Some((a, b)),
+            _ => None,
+        }
+    }
+
+    /// If this is a boolean, return it.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// If this is an atom, return it.
+    pub fn as_atom(&self) -> Option<Atom> {
+        match self {
+            Value::Atom(a) => Some(*a),
+            _ => None,
+        }
+    }
+
+    /// If this is an external natural number, return it.
+    pub fn as_nat(&self) -> Option<u64> {
+        match self {
+            Value::Nat(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Does this value inhabit the given complex object type?
+    pub fn has_type(&self, ty: &Type) -> bool {
+        match (self, ty) {
+            (Value::Atom(_), Type::Base) => true,
+            (Value::Bool(_), Type::Bool) => true,
+            (Value::Unit, Type::Unit) => true,
+            (Value::Nat(_), Type::Nat) => true,
+            (Value::Pair(a, b), Type::Prod(ta, tb)) => a.has_type(ta) && b.has_type(tb),
+            (Value::Set(s), Type::Set(t)) => s.iter().all(|x| x.has_type(t)),
+            _ => false,
+        }
+    }
+
+    /// All atoms occurring in the value, in order of first occurrence of the
+    /// canonical traversal. Used for the minimal encoding of §5 (atoms are
+    /// renumbered `0 .. m−1`) and for genericity tests.
+    pub fn atoms(&self) -> Vec<Atom> {
+        let mut out = Vec::new();
+        self.collect_atoms(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_atoms(&self, out: &mut Vec<Atom>) {
+        match self {
+            Value::Atom(a) => out.push(*a),
+            Value::Bool(_) | Value::Unit | Value::Nat(_) => {}
+            Value::Pair(a, b) => {
+                a.collect_atoms(out);
+                b.collect_atoms(out);
+            }
+            Value::Set(s) => {
+                for x in s.iter() {
+                    x.collect_atoms(out);
+                }
+            }
+        }
+    }
+
+    /// Total number of value constructors (a size measure used in cost reporting
+    /// and in the polynomial-size assertions of the encoding tests).
+    pub fn size(&self) -> usize {
+        match self {
+            Value::Atom(_) | Value::Bool(_) | Value::Unit | Value::Nat(_) => 1,
+            Value::Pair(a, b) => 1 + a.size() + b.size(),
+            Value::Set(s) => 1 + s.iter().map(Value::size).sum::<usize>(),
+        }
+    }
+
+    /// Maximum set-nesting depth of the value.
+    pub fn set_height(&self) -> usize {
+        match self {
+            Value::Atom(_) | Value::Bool(_) | Value::Unit | Value::Nat(_) => 0,
+            Value::Pair(a, b) => a.set_height().max(b.set_height()),
+            Value::Set(s) => 1 + s.iter().map(Value::set_height).max().unwrap_or(0),
+        }
+    }
+
+    /// Cardinality if this is a set; `None` otherwise.
+    pub fn cardinality(&self) -> Option<usize> {
+        self.as_set().map(VSet::len)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Atom(a) => write!(f, "a{a}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Unit => write!(f, "()"),
+            Value::Nat(n) => write!(f, "{n}"),
+            Value::Pair(a, b) => write!(f, "({a}, {b})"),
+            Value::Set(s) => {
+                write!(f, "{{")?;
+                for (i, x) in s.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> VSet {
+        VSet::from_iter(vec![Value::Atom(2), Value::Atom(1), Value::Atom(3), Value::Atom(2)])
+    }
+
+    #[test]
+    fn sets_are_canonical() {
+        let s = abc();
+        assert_eq!(s.len(), 3);
+        let elems: Vec<_> = s.iter().cloned().collect();
+        assert_eq!(elems, vec![Value::Atom(1), Value::Atom(2), Value::Atom(3)]);
+    }
+
+    #[test]
+    fn duplicate_insertion_is_idempotent() {
+        let mut s = VSet::empty();
+        assert!(s.insert(Value::Atom(7)));
+        assert!(!s.insert(Value::Atom(7)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn union_is_associative_commutative_idempotent() {
+        let a = VSet::from_iter(vec![Value::Atom(1), Value::Atom(2)]);
+        let b = VSet::from_iter(vec![Value::Atom(2), Value::Atom(3)]);
+        let c = VSet::from_iter(vec![Value::Atom(4)]);
+        assert_eq!(a.union(&b), b.union(&a));
+        assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        assert_eq!(a.union(&a), a);
+        assert_eq!(a.union(&VSet::empty()), a);
+    }
+
+    #[test]
+    fn intersection_and_difference() {
+        let a = VSet::from_iter(vec![Value::Atom(1), Value::Atom(2), Value::Atom(3)]);
+        let b = VSet::from_iter(vec![Value::Atom(2), Value::Atom(3), Value::Atom(4)]);
+        assert_eq!(
+            a.intersect(&b),
+            VSet::from_iter(vec![Value::Atom(2), Value::Atom(3)])
+        );
+        assert_eq!(a.difference(&b), VSet::from_iter(vec![Value::Atom(1)]));
+        assert!(a.intersect(&b).is_subset_of(&a));
+    }
+
+    #[test]
+    fn equality_is_structural_on_canonical_sets() {
+        let s1 = Value::set_from(vec![Value::Atom(1), Value::Atom(2)]);
+        let s2 = Value::set_from(vec![Value::Atom(2), Value::Atom(1), Value::Atom(1)]);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn order_is_lifted_to_pairs_and_sets() {
+        let p1 = Value::pair(Value::Atom(1), Value::Atom(9));
+        let p2 = Value::pair(Value::Atom(2), Value::Atom(0));
+        assert!(p1 < p2);
+        let s1 = Value::set_from(vec![Value::Atom(1)]);
+        let s2 = Value::set_from(vec![Value::Atom(1), Value::Atom(2)]);
+        assert!(s1 < s2);
+        let s3 = Value::set_from(vec![Value::Atom(2)]);
+        assert!(s2 < s3);
+    }
+
+    #[test]
+    fn has_type_checks_structure() {
+        let rel = Value::relation_from_pairs(vec![(1, 2), (2, 3)]);
+        assert!(rel.has_type(&Type::binary_relation()));
+        assert!(!rel.has_type(&Type::unary_relation()));
+        assert!(Value::Bool(true).has_type(&Type::Bool));
+        assert!(!Value::Bool(true).has_type(&Type::Base));
+        let nested = Value::set_from(vec![Value::atom_set(vec![1, 2]), Value::atom_set(vec![3])]);
+        assert!(nested.has_type(&Type::set(Type::set(Type::Base))));
+    }
+
+    #[test]
+    fn atoms_are_collected_sorted_and_deduplicated() {
+        let v = Value::pair(
+            Value::relation_from_pairs(vec![(5, 1), (1, 3)]),
+            Value::Atom(3),
+        );
+        assert_eq!(v.atoms(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn size_and_set_height() {
+        let v = Value::set_from(vec![Value::atom_set(vec![1]), Value::atom_set(vec![2, 3])]);
+        assert_eq!(v.set_height(), 2);
+        assert_eq!(v.size(), 1 + (1 + 1) + (1 + 2));
+    }
+
+    #[test]
+    fn display_of_values() {
+        let v = Value::pair(Value::Atom(1), Value::set_from(vec![Value::Bool(true)]));
+        assert_eq!(v.to_string(), "(a1, {true})");
+    }
+}

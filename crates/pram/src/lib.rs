@@ -1,0 +1,358 @@
+//! PRAM-style parallel execution substrate.
+//!
+//! The paper's complexity class NC is defined via uniform circuit families and is
+//! equivalent to polylogarithmic time on a CRCW PRAM with polynomially many
+//! processors (§4, citing Stockmeyer & Vishkin). We obviously cannot reproduce a
+//! PRAM on stock hardware; what this crate reproduces is the *shape* of the
+//! claim: the divide-and-conquer constructs of the language (`ext` fan-out and
+//! the `dcr` combining tree) expose their parallelism to a real thread pool, so
+//! the critical path measured by the cost model in `ncql-core` translates into
+//! wall-clock speedup, while the element-by-element recursion `sri` has a serial
+//! chain that no number of threads can shorten.
+//!
+//! The executor evaluates the *hot* construct (the combining tree / the fan-out)
+//! in parallel with one sequential [`Evaluator`] per worker; the combiner and
+//! element functions themselves are ordinary language expressions.
+
+use crossbeam::thread;
+use ncql_core::error::EvalError;
+use ncql_core::eval::{EvalConfig, Evaluator};
+use ncql_core::expr::Expr;
+use ncql_core::EvalResult;
+use ncql_object::Value;
+use parking_lot::Mutex;
+
+/// Configuration of the parallel executor.
+#[derive(Debug, Clone)]
+pub struct ParallelConfig {
+    /// Number of worker threads (defaults to the number of available cores).
+    pub threads: usize,
+    /// Below this many elements the executor stays sequential (thread start-up
+    /// costs more than it saves).
+    pub sequential_cutoff: usize,
+    /// Evaluator configuration used by every worker.
+    pub eval: EvalConfig,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> ParallelConfig {
+        ParallelConfig {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            sequential_cutoff: 8,
+            eval: EvalConfig::default(),
+        }
+    }
+}
+
+/// A parallel executor for the divide-and-conquer constructs of the language.
+#[derive(Debug, Default)]
+pub struct ParallelExecutor {
+    config: ParallelConfig,
+}
+
+/// Apply a unary function expression to a value using a fresh evaluator.
+fn apply1(config: &EvalConfig, f: &Expr, arg: &Value) -> EvalResult<Value> {
+    let mut ev = Evaluator::new(config.clone());
+    let call = Expr::app(f.clone(), Expr::var("%par_x"));
+    ev.eval_with_bindings(&call, &[("%par_x".to_string(), arg.clone())])
+}
+
+/// Apply a binary (pair-taking) function expression to two values.
+fn apply2(config: &EvalConfig, u: &Expr, a: &Value, b: &Value) -> EvalResult<Value> {
+    let mut ev = Evaluator::new(config.clone());
+    let call = Expr::app(
+        u.clone(),
+        Expr::pair(Expr::var("%par_a"), Expr::var("%par_b")),
+    );
+    ev.eval_with_bindings(
+        &call,
+        &[
+            ("%par_a".to_string(), a.clone()),
+            ("%par_b".to_string(), b.clone()),
+        ],
+    )
+}
+
+impl ParallelExecutor {
+    /// Create an executor with the given configuration.
+    pub fn new(config: ParallelConfig) -> ParallelExecutor {
+        ParallelExecutor { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ParallelConfig {
+        &self.config
+    }
+
+    /// Parallel map: apply the function expression `f` to every element of the
+    /// slice, preserving order. Errors from any worker abort the whole map.
+    fn par_map(&self, f: &Expr, elements: &[Value]) -> EvalResult<Vec<Value>> {
+        let n = elements.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let threads = self.config.threads.max(1);
+        if n <= self.config.sequential_cutoff || threads == 1 {
+            return elements
+                .iter()
+                .map(|x| apply1(&self.config.eval, f, x))
+                .collect();
+        }
+        let chunk_size = n.div_ceil(threads);
+        let results: Mutex<Vec<Option<EvalResult<Vec<Value>>>>> =
+            Mutex::new((0..threads).map(|_| None).collect());
+        thread::scope(|scope| {
+            for (worker, chunk) in elements.chunks(chunk_size).enumerate() {
+                let results = &results;
+                let eval_config = &self.config.eval;
+                scope.spawn(move |_| {
+                    let out: EvalResult<Vec<Value>> =
+                        chunk.iter().map(|x| apply1(eval_config, f, x)).collect();
+                    results.lock()[worker] = Some(out);
+                });
+            }
+        })
+        .map_err(|_| EvalError::Stuck("a parallel worker panicked".to_string()))?;
+        let mut out = Vec::with_capacity(n);
+        for slot in results.into_inner() {
+            match slot {
+                Some(Ok(values)) => out.extend(values),
+                Some(Err(e)) => return Err(e),
+                None => {}
+            }
+        }
+        Ok(out)
+    }
+
+    /// One parallel round of pairwise combining: `u(v₀, v₁), u(v₂, v₃), …`
+    /// (an odd tail element is passed through unchanged).
+    fn par_combine_round(&self, u: &Expr, level: &[Value]) -> EvalResult<Vec<Value>> {
+        let pairs: Vec<&[Value]> = level.chunks(2).collect();
+        let n = pairs.len();
+        let threads = self.config.threads.max(1);
+        if n <= self.config.sequential_cutoff || threads == 1 {
+            return pairs
+                .iter()
+                .map(|chunk| match chunk {
+                    [a, b] => apply2(&self.config.eval, u, a, b),
+                    [a] => Ok(a.clone()),
+                    _ => unreachable!("chunks(2)"),
+                })
+                .collect();
+        }
+        let chunk_size = n.div_ceil(threads);
+        let results: Mutex<Vec<Option<EvalResult<Vec<Value>>>>> =
+            Mutex::new((0..threads).map(|_| None).collect());
+        thread::scope(|scope| {
+            for (worker, work) in pairs.chunks(chunk_size).enumerate() {
+                let results = &results;
+                let eval_config = &self.config.eval;
+                scope.spawn(move |_| {
+                    let out: EvalResult<Vec<Value>> = work
+                        .iter()
+                        .map(|chunk| match chunk {
+                            [a, b] => apply2(eval_config, u, a, b),
+                            [a] => Ok(a.clone()),
+                            _ => unreachable!("chunks(2)"),
+                        })
+                        .collect();
+                    results.lock()[worker] = Some(out);
+                });
+            }
+        })
+        .map_err(|_| EvalError::Stuck("a parallel worker panicked".to_string()))?;
+        let mut out = Vec::with_capacity(n);
+        for slot in results.into_inner() {
+            match slot {
+                Some(Ok(values)) => out.extend(values),
+                Some(Err(e)) => return Err(e),
+                None => {}
+            }
+        }
+        Ok(out)
+    }
+
+    /// Evaluate `dcr(e, f, u)(x)` with a parallel map for `f` and parallel
+    /// balanced-tree rounds for `u` — the thread-pool realization of the PRAM
+    /// evaluation sketched in §1/§7.
+    pub fn par_dcr(&self, e: &Expr, f: &Expr, u: &Expr, x: &Value) -> EvalResult<Value> {
+        let set = x
+            .as_set()
+            .ok_or_else(|| EvalError::Stuck(format!("dcr argument is not a set: {x}")))?;
+        if set.is_empty() {
+            return Evaluator::new(self.config.eval.clone()).eval_closed(e);
+        }
+        let elements: Vec<Value> = set.iter().cloned().collect();
+        let mut level = self.par_map(f, &elements)?;
+        while level.len() > 1 {
+            level = self.par_combine_round(u, &level)?;
+        }
+        Ok(level.pop().expect("non-empty input"))
+    }
+
+    /// Evaluate `ext(f)(x)` with a parallel map and a final union.
+    pub fn par_ext(&self, f: &Expr, x: &Value) -> EvalResult<Value> {
+        let set = x
+            .as_set()
+            .ok_or_else(|| EvalError::Stuck(format!("ext argument is not a set: {x}")))?;
+        let elements: Vec<Value> = set.iter().cloned().collect();
+        let mapped = self.par_map(f, &elements)?;
+        let mut out = Vec::new();
+        for v in mapped {
+            match v {
+                Value::Set(s) => out.extend(s.into_vec()),
+                other => {
+                    return Err(EvalError::Stuck(format!(
+                        "ext function returned a non-set {other}"
+                    )))
+                }
+            }
+        }
+        Ok(Value::set_from(out))
+    }
+
+    /// Evaluate the element-by-element recursion `esr(e, i)(x)` sequentially —
+    /// the serial chain the paper contrasts with `dcr`; provided so benches can
+    /// compare wall-clock times under identical plumbing.
+    pub fn seq_fold(&self, e: &Expr, i: &Expr, x: &Value) -> EvalResult<Value> {
+        let set = x
+            .as_set()
+            .ok_or_else(|| EvalError::Stuck(format!("fold argument is not a set: {x}")))?;
+        let mut acc = Evaluator::new(self.config.eval.clone()).eval_closed(e)?;
+        for elem in set.iter() {
+            acc = apply2(&self.config.eval, i, elem, &acc)?;
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncql_core::derived;
+    use ncql_core::eval::eval_closed;
+    use ncql_object::Type;
+
+    fn executor(threads: usize) -> ParallelExecutor {
+        ParallelExecutor::new(ParallelConfig {
+            threads,
+            sequential_cutoff: 2,
+            eval: EvalConfig::default(),
+        })
+    }
+
+    fn xor_u() -> Expr {
+        Expr::lam2(
+            "a",
+            "b",
+            Type::prod(Type::Bool, Type::Bool),
+            derived::xor(Expr::var("a"), Expr::var("b")),
+        )
+    }
+
+    #[test]
+    fn par_dcr_matches_sequential_parity() {
+        let f = Expr::lam("y", Type::Base, Expr::Bool(true));
+        for threads in [1, 2, 4] {
+            let ex = executor(threads);
+            for n in [0u64, 1, 5, 33, 64] {
+                let x = Value::atom_set(0..n);
+                let par = ex.par_dcr(&Expr::Bool(false), &f, &xor_u(), &x).unwrap();
+                let seq = eval_closed(&Expr::dcr(
+                    Expr::Bool(false),
+                    f.clone(),
+                    xor_u(),
+                    Expr::Const(x),
+                ))
+                .unwrap();
+                assert_eq!(par, seq, "threads={threads} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_dcr_matches_sequential_transitive_closure() {
+        let r = Value::relation_from_pairs((0..12u64).map(|i| (i, i + 1)));
+        let rel_ty = Type::binary_relation();
+        let f = Expr::lam("y", Type::Base, Expr::Const(r.clone()));
+        let u = Expr::lam2(
+            "r1",
+            "r2",
+            Type::prod(rel_ty.clone(), rel_ty),
+            Expr::union(
+                Expr::union(Expr::var("r1"), Expr::var("r2")),
+                derived::compose(
+                    Type::Base,
+                    Type::Base,
+                    Type::Base,
+                    Expr::var("r1"),
+                    Expr::var("r2"),
+                ),
+            ),
+        );
+        let vertices = Value::atom_set(0..13);
+        let ex = executor(4);
+        let par = ex
+            .par_dcr(&Expr::Empty(Type::prod(Type::Base, Type::Base)), &f, &u, &vertices)
+            .unwrap();
+        let seq = eval_closed(&Expr::dcr(
+            Expr::Empty(Type::prod(Type::Base, Type::Base)),
+            f,
+            u,
+            Expr::Const(vertices),
+        ))
+        .unwrap();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_ext_matches_sequential_ext() {
+        let f = Expr::lam(
+            "x",
+            Type::Base,
+            Expr::union(Expr::singleton(Expr::var("x")), Expr::singleton(Expr::atom(99))),
+        );
+        let x = Value::atom_set(0..40);
+        let ex = executor(3);
+        let par = ex.par_ext(&f, &x).unwrap();
+        let seq = eval_closed(&Expr::ext(f, Expr::Const(x))).unwrap();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn seq_fold_computes_esr() {
+        let i = Expr::lam2(
+            "x",
+            "acc",
+            Type::prod(Type::Base, Type::set(Type::Base)),
+            Expr::union(Expr::singleton(Expr::var("x")), Expr::var("acc")),
+        );
+        let x = Value::atom_set(vec![5, 1, 9]);
+        let ex = executor(2);
+        assert_eq!(
+            ex.seq_fold(&Expr::Empty(Type::Base), &i, &x).unwrap(),
+            Value::atom_set(vec![1, 5, 9])
+        );
+    }
+
+    #[test]
+    fn errors_propagate_from_workers() {
+        // f projects a pair out of an atom: every element application gets stuck.
+        let f = Expr::lam("y", Type::Base, Expr::proj1(Expr::var("y")));
+        let x = Value::atom_set(0..32);
+        let ex = executor(4);
+        assert!(ex.par_ext(&f, &x).is_err());
+    }
+
+    #[test]
+    fn empty_input_returns_the_identity() {
+        let f = Expr::lam("y", Type::Base, Expr::Bool(true));
+        let ex = executor(4);
+        let out = ex
+            .par_dcr(&Expr::Bool(false), &f, &xor_u(), &Value::empty_set())
+            .unwrap();
+        assert_eq!(out, Value::Bool(false));
+    }
+}

@@ -1,0 +1,182 @@
+//! Aggregate queries using the external arithmetic Σ of Proposition 6.3.
+//!
+//! The proposition states that adding NC-computable externals (arithmetic,
+//! cardinality, sum, …) to `NRA(bdcr)` keeps the language inside NC, whereas
+//! `NRA¹(ℕ, +, dcr)` — *unbounded* dcr plus unbounded arithmetic — can express
+//! exponential-space queries (the repeated-doubling query in
+//! [`double_exponential`] is the standard witness: its output value grows as
+//! `2^n`, so its binary representation grows linearly but the *numeric* value
+//! explodes, and replacing `+` by set-building reproduces the blow-up that
+//! bounded dcr prevents).
+
+use ncql_core::derived;
+use ncql_core::expr::Expr;
+use ncql_object::Type;
+
+/// Sum of `f(x)` over a set of atoms, via `dcr(0, f, +)` with the `nat_add`
+/// external. With `f = λx. 1` this is cardinality.
+pub fn sum_dcr<F: FnOnce(Expr) -> Expr>(set: Expr, f: F) -> Expr {
+    let x = "x".to_string();
+    Expr::dcr(
+        Expr::nat(0),
+        Expr::lam(x.clone(), Type::Base, f(Expr::var(x))),
+        Expr::lam2(
+            "a",
+            "b",
+            Type::prod(Type::Nat, Type::Nat),
+            Expr::extern_call("nat_add", vec![Expr::var("a"), Expr::var("b")]),
+        ),
+        set,
+    )
+}
+
+/// Cardinality via `dcr`: `sum_dcr(set, λx. 1)`.
+pub fn cardinality_dcr(set: Expr) -> Expr {
+    sum_dcr(set, |_| Expr::nat(1))
+}
+
+/// Cardinality via the `card` external (a single NC-computable black box).
+pub fn cardinality_extern(set: Expr) -> Expr {
+    Expr::extern_call("card", vec![set])
+}
+
+/// Maximum of a set of atoms via `dcr` with the order predicate: the combiner is
+/// `λ(a, b). if a ≤ b then b else a`, with identity the minimum atom `0`.
+pub fn max_atom_dcr(set: Expr) -> Expr {
+    Expr::dcr(
+        Expr::atom(0),
+        Expr::lam("x", Type::Base, Expr::var("x")),
+        Expr::lam2(
+            "a",
+            "b",
+            Type::prod(Type::Base, Type::Base),
+            Expr::ite(
+                Expr::leq(Expr::var("a"), Expr::var("b")),
+                Expr::var("b"),
+                Expr::var("a"),
+            ),
+        ),
+        set,
+    )
+}
+
+/// The minimum of a *non-empty* set of atoms, computed relationally (without an
+/// artificial "+∞" identity): the element that is ≤ every element of the set.
+pub fn min_atom_relational(set: Expr) -> Expr {
+    let s = ncql_core::expr::fresh_var("minset");
+    Expr::let_in(
+        s.clone(),
+        set,
+        derived::select(Type::Base, Expr::var(s.clone()), move |cand| {
+            // cand is minimal iff the set of elements strictly below it is empty.
+            Expr::is_empty(derived::select(Type::Base, Expr::var(s), move |y| {
+                derived::and(
+                    Expr::leq(y.clone(), cand.clone()),
+                    derived::not(Expr::eq(y, cand.clone())),
+                )
+            }))
+        }),
+    )
+}
+
+/// Cardinality parity as a boolean — the aggregate the paper uses to motivate
+/// `dcr` beyond first-order logic; identical to [`crate::parity::parity_dcr`]
+/// but placed here for discoverability next to the other aggregates.
+pub fn even_cardinality(set: Expr) -> Expr {
+    derived::not(crate::parity::parity_dcr(set))
+}
+
+/// The Proposition 6.3 witness: iterate doubling `|set|` times starting from 1,
+/// i.e. compute `2^|set|` with `loop` and `nat_add`. The *value* grows
+/// exponentially with the input cardinality even though every intermediate is a
+/// single natural number — this is what unbounded externals allow and what the
+/// bounded language forbids.
+pub fn double_exponential(set: Expr) -> Expr {
+    Expr::loop_(
+        Expr::lam(
+            "acc",
+            Type::Nat,
+            Expr::extern_call("nat_add", vec![Expr::var("acc"), Expr::var("acc")]),
+        ),
+        set,
+        Expr::nat(1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncql_core::eval::eval_closed;
+    use ncql_core::typecheck::typecheck_closed;
+    use ncql_object::Value;
+
+    fn atoms(v: Vec<u64>) -> Expr {
+        Expr::Const(Value::atom_set(v))
+    }
+
+    #[test]
+    fn cardinality_both_ways() {
+        let s = atoms(vec![3, 1, 4, 1, 5, 9, 2, 6]);
+        assert_eq!(eval_closed(&cardinality_dcr(s.clone())).unwrap(), Value::Nat(7));
+        assert_eq!(eval_closed(&cardinality_extern(s)).unwrap(), Value::Nat(7));
+        assert_eq!(
+            eval_closed(&cardinality_dcr(Expr::Empty(Type::Base))).unwrap(),
+            Value::Nat(0)
+        );
+    }
+
+    #[test]
+    fn sum_of_values() {
+        let s = atoms(vec![1, 2, 3, 4]);
+        let total = sum_dcr(s, |x| Expr::extern_call("atom_to_nat", vec![x]));
+        assert_eq!(eval_closed(&total).unwrap(), Value::Nat(10));
+    }
+
+    #[test]
+    fn max_and_min() {
+        let s = atoms(vec![5, 17, 3]);
+        assert_eq!(eval_closed(&max_atom_dcr(s.clone())).unwrap(), Value::Atom(17));
+        assert_eq!(
+            eval_closed(&min_atom_relational(s)).unwrap(),
+            Value::atom_set(vec![3])
+        );
+    }
+
+    #[test]
+    fn even_cardinality_flips_parity() {
+        assert_eq!(
+            eval_closed(&even_cardinality(atoms(vec![1, 2]))).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_closed(&even_cardinality(atoms(vec![1, 2, 3]))).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn double_exponential_grows() {
+        assert_eq!(
+            eval_closed(&double_exponential(atoms((0..10).collect()))).unwrap(),
+            Value::Nat(1024)
+        );
+        assert_eq!(
+            eval_closed(&double_exponential(atoms((0..20).collect()))).unwrap(),
+            Value::Nat(1 << 20)
+        );
+    }
+
+    #[test]
+    fn aggregates_typecheck() {
+        let s = atoms(vec![1, 2]);
+        for q in [
+            cardinality_dcr(s.clone()),
+            cardinality_extern(s.clone()),
+            double_exponential(s.clone()),
+        ] {
+            assert_eq!(typecheck_closed(&q).unwrap(), Type::Nat);
+        }
+        assert_eq!(typecheck_closed(&max_atom_dcr(s.clone())).unwrap(), Type::Base);
+        assert_eq!(typecheck_closed(&even_cardinality(s)).unwrap(), Type::Bool);
+    }
+}

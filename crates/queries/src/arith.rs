@@ -1,0 +1,224 @@
+//! The ordered-universe arithmetic toolkit of Proposition 7.8, step 2.
+//!
+//! The simulation of an ACᵏ circuit family inside the language first builds, from
+//! the input, an ordered set of "numbers" `0 … p−1` (a power of the active
+//! domain) and then *pre-computes* the arithmetic relations it needs — successor,
+//! the strict order, addition, multiplication and BIT — as ordinary database
+//! relations over those numbers. "E.g. to compute addition, we use transitive
+//! closure, a technique found in [21]."
+//!
+//! This module provides:
+//!
+//! * in-language builders for the successor and strict-order relations over a
+//!   given universe set (the successor relation is definable with `≤` and set
+//!   operations; the strict order is its transitive closure, computed with the
+//!   same `dcr` as every other transitive closure), and
+//! * native builders for the addition / multiplication / BIT *tables* as values
+//!   of flat relation types, which the language then queries like any other
+//!   input relation. The tables play the role of the pre-computation step of
+//!   Proposition 7.8; constructing them inside the language is possible but adds
+//!   nothing to the experiments, so we follow the paper and treat them as a
+//!   pre-computed ordered-database extension.
+
+use crate::graph;
+use ncql_core::derived;
+use ncql_core::expr::{fresh_var, Expr};
+use ncql_object::{Type, Value};
+
+/// The strict-order relation `{(x, y) | x < y}` over a universe set, built
+/// in-language from `≤` and equality.
+pub fn strict_order(universe: Expr) -> Expr {
+    let u = fresh_var("univ");
+    Expr::let_in(
+        u.clone(),
+        universe,
+        derived::select(
+            Type::prod(Type::Base, Type::Base),
+            derived::cartesian_product(Type::Base, Type::Base, Expr::var(u.clone()), Expr::var(u)),
+            |p| {
+                derived::and(
+                    Expr::leq(Expr::proj1(p.clone()), Expr::proj2(p.clone())),
+                    derived::not(Expr::eq(Expr::proj1(p.clone()), Expr::proj2(p))),
+                )
+            },
+        ),
+    )
+}
+
+/// The successor relation `{(x, y) | x < y ∧ ¬∃z. x < z < y}` over a universe
+/// set, built in-language.
+pub fn successor(universe: Expr) -> Expr {
+    let u = fresh_var("univ");
+    let lt = fresh_var("lt");
+    Expr::let_in(
+        u.clone(),
+        universe,
+        Expr::let_in(
+            lt.clone(),
+            strict_order(Expr::var(u.clone())),
+            derived::select(
+                Type::prod(Type::Base, Type::Base),
+                Expr::var(lt.clone()),
+                move |p| {
+                    // No z with (x, z) ∈ lt and (z, y) ∈ lt.
+                    let x = Expr::proj1(p.clone());
+                    let y = Expr::proj2(p);
+                    Expr::is_empty(derived::select(Type::Base, Expr::var(u), move |z| {
+                        derived::and(
+                            derived::member(
+                                Type::prod(Type::Base, Type::Base),
+                                Expr::pair(x.clone(), z.clone()),
+                                Expr::var(lt.clone()),
+                            ),
+                            derived::member(
+                                Type::prod(Type::Base, Type::Base),
+                                Expr::pair(z, y.clone()),
+                                Expr::var(lt.clone()),
+                            ),
+                        )
+                    }))
+                },
+            ),
+        ),
+    )
+}
+
+/// Sanity identity used by tests: the transitive closure of the successor
+/// relation is the strict order (both built in-language).
+pub fn strict_order_via_tc_of_successor(universe: Expr) -> Expr {
+    graph::tc_dcr(successor(universe))
+}
+
+/// The addition table `{((a, b), c) | a + b = c, all in 0…p−1}` as a value of
+/// type `{(D × D) × D}` (pre-computed, per Proposition 7.8 step 2).
+pub fn addition_table(p: u64) -> Value {
+    Value::set_from((0..p).flat_map(|a| {
+        (0..p).filter_map(move |b| {
+            let c = a + b;
+            (c < p).then(|| {
+                Value::pair(
+                    Value::pair(Value::Atom(a), Value::Atom(b)),
+                    Value::Atom(c),
+                )
+            })
+        })
+    }))
+}
+
+/// The multiplication table `{((a, b), c) | a · b = c, all in 0…p−1}`.
+pub fn multiplication_table(p: u64) -> Value {
+    Value::set_from((0..p).flat_map(|a| {
+        (0..p).filter_map(move |b| {
+            let c = a * b;
+            (c < p).then(|| {
+                Value::pair(
+                    Value::pair(Value::Atom(a), Value::Atom(b)),
+                    Value::Atom(c),
+                )
+            })
+        })
+    }))
+}
+
+/// The BIT relation `{(i, j) | bit j of i is 1, i < p}` of type `{D × D}` —
+/// Immerman's BIT predicate as a database relation.
+pub fn bit_table(p: u64) -> Value {
+    Value::relation_from_pairs((0..p).flat_map(|i| {
+        (0..64u64).filter_map(move |j| ((i >> j) & 1 == 1 && (1u64 << j) <= i).then_some((i, j)))
+    }))
+}
+
+/// The universe `{0, …, p−1}` as a value.
+pub fn universe(p: u64) -> Value {
+    Value::atom_set(0..p)
+}
+
+/// Look up `a + b` in an addition-table expression — the in-language query
+/// `Π₂(σ_{Π₁ = (a, b)}(plus))`, returning a singleton set.
+pub fn add_lookup(table: Expr, a: Expr, b: Expr) -> Expr {
+    let key = fresh_var("key");
+    Expr::let_in(
+        key.clone(),
+        Expr::pair(a, b),
+        derived::project2(
+            Type::prod(Type::Base, Type::Base),
+            Type::Base,
+            derived::select(
+                Type::prod(Type::prod(Type::Base, Type::Base), Type::Base),
+                table,
+                move |row| Expr::eq(Expr::proj1(row), Expr::var(key)),
+            ),
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Relation;
+    use ncql_core::eval::eval_closed;
+    use ncql_core::typecheck::typecheck_closed;
+
+    fn univ_expr(p: u64) -> Expr {
+        Expr::Const(universe(p))
+    }
+
+    #[test]
+    fn successor_and_strict_order() {
+        let succ = eval_closed(&successor(univ_expr(5))).unwrap();
+        assert_eq!(
+            Relation::from_value(&succ).unwrap(),
+            Relation::from_pairs(vec![(0, 1), (1, 2), (2, 3), (3, 4)])
+        );
+        let lt = eval_closed(&strict_order(univ_expr(4))).unwrap();
+        assert_eq!(
+            Relation::from_value(&lt).unwrap(),
+            Relation::from_pairs(vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+        );
+    }
+
+    #[test]
+    fn tc_of_successor_is_strict_order() {
+        let via_tc = eval_closed(&strict_order_via_tc_of_successor(univ_expr(6))).unwrap();
+        let direct = eval_closed(&strict_order(univ_expr(6))).unwrap();
+        assert_eq!(via_tc, direct);
+    }
+
+    #[test]
+    fn addition_table_is_correct_and_queryable() {
+        let p = 8;
+        let table = addition_table(p);
+        // Every row encodes a correct sum.
+        for row in table.as_set().unwrap().iter() {
+            let (key, c) = row.as_pair().unwrap();
+            let (a, b) = key.as_pair().unwrap();
+            assert_eq!(a.as_atom().unwrap() + b.as_atom().unwrap(), c.as_atom().unwrap());
+        }
+        let q = add_lookup(Expr::Const(table), Expr::atom(3), Expr::atom(4));
+        assert!(typecheck_closed(&q).is_ok());
+        assert_eq!(eval_closed(&q).unwrap(), Value::atom_set(vec![7]));
+    }
+
+    #[test]
+    fn multiplication_and_bit_tables() {
+        let mult = multiplication_table(6);
+        for row in mult.as_set().unwrap().iter() {
+            let (key, c) = row.as_pair().unwrap();
+            let (a, b) = key.as_pair().unwrap();
+            assert_eq!(a.as_atom().unwrap() * b.as_atom().unwrap(), c.as_atom().unwrap());
+        }
+        let bits = Relation::from_value(&bit_table(8)).unwrap();
+        assert!(bits.contains(5, 0));
+        assert!(!bits.contains(5, 1));
+        assert!(bits.contains(5, 2));
+        assert!(bits.contains(4, 2));
+        assert!(!bits.contains(0, 0));
+    }
+
+    #[test]
+    fn tables_have_flat_types() {
+        use ncql_core::typecheck::value_type;
+        assert!(value_type(&addition_table(4)).is_flat());
+        assert!(value_type(&bit_table(4)).is_flat());
+    }
+}

@@ -1,0 +1,113 @@
+//! The parity query of §1: "For parity, we take `e = false`, `f(y) = true` and
+//! `u(v1, v2) = v1 xor v2`."
+//!
+//! Parity of the cardinality of a set is the standard example separating `dcr`
+//! from plain `sru`: xor is associative and commutative with identity `false`,
+//! but it is *not* idempotent, so parity is expressible with `dcr` while it is
+//! open whether `sru` can express it (§2). It is also not expressible in
+//! first-order logic at all, which is why it shows up throughout the circuit
+//! literature the paper builds on.
+
+use ncql_core::derived;
+use ncql_core::expr::Expr;
+use ncql_object::Type;
+
+/// The xor combiner `λ(v1, v2). v1 xor v2` at type `B × B → B`, written with the
+/// explicit conditional so that it falls inside the decidable "orderly"
+/// sublanguage recognized by `ncql-translate` (§7.1).
+pub fn xor_combiner() -> Expr {
+    Expr::lam2(
+        "v1",
+        "v2",
+        Type::prod(Type::Bool, Type::Bool),
+        Expr::ite(
+            Expr::var("v1"),
+            Expr::ite(Expr::var("v2"), Expr::Bool(false), Expr::Bool(true)),
+            Expr::var("v2"),
+        ),
+    )
+}
+
+/// Parity of a set of atoms via `dcr(false, λy. true, xor)` — logarithmic span.
+pub fn parity_dcr(set: Expr) -> Expr {
+    Expr::dcr(
+        Expr::Bool(false),
+        Expr::lam("y", Type::Base, Expr::Bool(true)),
+        xor_combiner(),
+        set,
+    )
+}
+
+/// Parity via the element-by-element recursion `esr(false, λ(y, acc). ¬acc)` —
+/// linear span. (The step is i-commutative but not i-idempotent, so this is an
+/// `esr`, not an `sri`; over our canonical sets the two coincide.)
+pub fn parity_esr(set: Expr) -> Expr {
+    Expr::esr(
+        Expr::Bool(false),
+        Expr::lam2(
+            "y",
+            "acc",
+            Type::prod(Type::Base, Type::Bool),
+            derived::not(Expr::var("acc")),
+        ),
+        set,
+    )
+}
+
+/// Parity via `loop`: iterate `¬·` a number of times equal to the cardinality,
+/// starting from `false` — the §7.1 remark that `loop` can express parity (while
+/// order-free FO(n^O(1)) cannot).
+pub fn parity_loop(set: Expr) -> Expr {
+    Expr::loop_(
+        Expr::lam("acc", Type::Bool, derived::not(Expr::var("acc"))),
+        set,
+        Expr::Bool(false),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncql_core::eval::{eval_with_stats, eval_closed};
+    use ncql_core::typecheck::typecheck_closed;
+    use ncql_core::analysis;
+    use ncql_object::Value;
+
+    fn input(n: u64) -> Expr {
+        Expr::Const(Value::atom_set((0..n).map(|i| i * 3 + 1)))
+    }
+
+    #[test]
+    fn all_three_variants_agree() {
+        for n in [0u64, 1, 2, 3, 7, 8, 15, 16, 33] {
+            let expected = Value::Bool(n % 2 == 1);
+            assert_eq!(eval_closed(&parity_dcr(input(n))).unwrap(), expected, "dcr n={n}");
+            assert_eq!(eval_closed(&parity_esr(input(n))).unwrap(), expected, "esr n={n}");
+            assert_eq!(eval_closed(&parity_loop(input(n))).unwrap(), expected, "loop n={n}");
+        }
+    }
+
+    #[test]
+    fn variants_typecheck_to_bool() {
+        assert_eq!(typecheck_closed(&parity_dcr(input(4))).unwrap(), Type::Bool);
+        assert_eq!(typecheck_closed(&parity_esr(input(4))).unwrap(), Type::Bool);
+        assert_eq!(typecheck_closed(&parity_loop(input(4))).unwrap(), Type::Bool);
+    }
+
+    #[test]
+    fn recursion_depth_is_one() {
+        assert_eq!(analysis::recursion_depth(&parity_dcr(input(4))), 1);
+        assert_eq!(analysis::recursion_depth(&parity_loop(input(4))), 1);
+    }
+
+    #[test]
+    fn dcr_parity_has_logarithmic_span_and_esr_linear() {
+        let (_, dcr_small) = eval_with_stats(&parity_dcr(input(32))).unwrap();
+        let (_, dcr_large) = eval_with_stats(&parity_dcr(input(512))).unwrap();
+        let (_, esr_small) = eval_with_stats(&parity_esr(input(32))).unwrap();
+        let (_, esr_large) = eval_with_stats(&parity_esr(input(512))).unwrap();
+        // dcr span grows additively (log factor), esr span multiplicatively.
+        assert!(dcr_large.span < dcr_small.span * 3);
+        assert!(esr_large.span > esr_small.span * 8);
+    }
+}

@@ -1,0 +1,218 @@
+//! Classical relational-algebra queries phrased in NRA, over named input
+//! relations supplied as free variables.
+//!
+//! These are the "ambient language" queries of §3: the paper's theorems add
+//! recursion on sets *to* the relational algebra, so the experiment harness needs
+//! a stock of plain (depth-0) relational queries as the base case of the ACᵏ
+//! hierarchy and as building blocks for the circuit compiler.
+
+use ncql_core::derived;
+use ncql_core::expr::{fresh_var, Expr};
+use ncql_object::Type;
+
+/// Natural join of two binary relations on the shared middle column:
+/// `r ⋈ s = {(a, b, c) | (a, b) ∈ r, (b, c) ∈ s}` — returned as nested pairs
+/// `((a, b), c)`.
+pub fn join(r: Expr, s: Expr) -> Expr {
+    let rv = fresh_var("jr");
+    let sv = fresh_var("js");
+    let p = fresh_var("p");
+    let q = fresh_var("q");
+    let edge = Type::prod(Type::Base, Type::Base);
+    let out_elem = Type::prod(edge.clone(), Type::Base);
+    Expr::let_in(
+        rv.clone(),
+        r,
+        Expr::let_in(
+            sv.clone(),
+            s,
+            Expr::ext(
+                Expr::lam(
+                    p.clone(),
+                    edge.clone(),
+                    Expr::ext(
+                        Expr::lam(
+                            q.clone(),
+                            edge.clone(),
+                            Expr::ite(
+                                Expr::eq(
+                                    Expr::proj2(Expr::var(p.clone())),
+                                    Expr::proj1(Expr::var(q.clone())),
+                                ),
+                                Expr::singleton(Expr::pair(
+                                    Expr::var(p.clone()),
+                                    Expr::proj2(Expr::var(q)),
+                                )),
+                                Expr::Empty(out_elem.clone()),
+                            ),
+                        ),
+                        Expr::var(sv.clone()),
+                    ),
+                ),
+                Expr::var(rv),
+            ),
+        ),
+    )
+}
+
+/// Semi-join `r ⋉ s`: the tuples of `r` whose second component appears as a
+/// first component of `s`.
+pub fn semijoin(r: Expr, s: Expr) -> Expr {
+    let sv = fresh_var("sjs");
+    let edge = Type::prod(Type::Base, Type::Base);
+    Expr::let_in(
+        sv.clone(),
+        s,
+        derived::select(edge, r, move |p| {
+            derived::member(
+                Type::Base,
+                Expr::proj2(p),
+                derived::project1(Type::Base, Type::Base, Expr::var(sv)),
+            )
+        }),
+    )
+}
+
+/// Anti-join `r ▷ s`: the tuples of `r` whose second component does *not* appear
+/// as a first component of `s`.
+pub fn antijoin(r: Expr, s: Expr) -> Expr {
+    let sv = fresh_var("ajs");
+    let edge = Type::prod(Type::Base, Type::Base);
+    Expr::let_in(
+        sv.clone(),
+        s,
+        derived::select(edge, r, move |p| {
+            derived::not(derived::member(
+                Type::Base,
+                Expr::proj2(p),
+                derived::project1(Type::Base, Type::Base, Expr::var(sv)),
+            ))
+        }),
+    )
+}
+
+/// Selection of the tuples `(a, b)` with `a ≤ b` — a purely order-based
+/// selection, only expressible because the language has `≤` (the paper's
+/// ordered-database assumption).
+pub fn select_leq(r: Expr) -> Expr {
+    derived::select(Type::prod(Type::Base, Type::Base), r, |p| {
+        Expr::leq(Expr::proj1(p.clone()), Expr::proj2(p))
+    })
+}
+
+/// Division `r ÷ s` for `r : {D × D}`, `s : {D}`: the atoms `a` such that
+/// `(a, b) ∈ r` for *every* `b ∈ s`.
+pub fn division(r: Expr, s: Expr) -> Expr {
+    let rv = fresh_var("divr");
+    let sv = fresh_var("divs");
+    let a = fresh_var("a");
+    Expr::let_in(
+        rv.clone(),
+        r,
+        Expr::let_in(
+            sv.clone(),
+            s,
+            derived::select(
+                Type::Base,
+                derived::project1(Type::Base, Type::Base, Expr::var(rv.clone())),
+                move |cand| {
+                    // s ⊆ { b | (cand, b) ∈ r }
+                    Expr::let_in(
+                        a.clone(),
+                        cand,
+                        derived::subset(
+                            Type::Base,
+                            Expr::var(sv),
+                            derived::project2(
+                                Type::Base,
+                                Type::Base,
+                                derived::select(
+                                    Type::prod(Type::Base, Type::Base),
+                                    Expr::var(rv),
+                                    move |p| Expr::eq(Expr::proj1(p), Expr::var(a)),
+                                ),
+                            ),
+                        ),
+                    )
+                },
+            ),
+        ),
+    )
+}
+
+/// The diagonal `{(v, v) | v ∈ s}` of a unary relation.
+pub fn diagonal(s: Expr) -> Expr {
+    derived::map_set(Type::Base, s, |v| Expr::pair(v.clone(), v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncql_core::eval::eval_closed;
+    use ncql_core::typecheck::typecheck_closed;
+    use ncql_object::Value;
+
+    fn rel(pairs: Vec<(u64, u64)>) -> Expr {
+        Expr::Const(Value::relation_from_pairs(pairs))
+    }
+
+    #[test]
+    fn join_produces_triples() {
+        let e = join(rel(vec![(1, 2), (4, 5)]), rel(vec![(2, 3), (2, 7)]));
+        assert!(typecheck_closed(&e).is_ok());
+        let v = eval_closed(&e).unwrap();
+        let expected = Value::set_from(vec![
+            Value::pair(Value::pair(Value::Atom(1), Value::Atom(2)), Value::Atom(3)),
+            Value::pair(Value::pair(Value::Atom(1), Value::Atom(2)), Value::Atom(7)),
+        ]);
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn semijoin_and_antijoin_partition_r() {
+        let r = vec![(1, 2), (3, 4), (5, 6)];
+        let s = vec![(2, 0), (6, 0)];
+        let sj = eval_closed(&semijoin(rel(r.clone()), rel(s.clone()))).unwrap();
+        let aj = eval_closed(&antijoin(rel(r), rel(s))).unwrap();
+        assert_eq!(sj, Value::relation_from_pairs(vec![(1, 2), (5, 6)]));
+        assert_eq!(aj, Value::relation_from_pairs(vec![(3, 4)]));
+    }
+
+    #[test]
+    fn select_leq_uses_the_order() {
+        let out = eval_closed(&select_leq(rel(vec![(1, 2), (5, 3), (4, 4)]))).unwrap();
+        assert_eq!(out, Value::relation_from_pairs(vec![(1, 2), (4, 4)]));
+    }
+
+    #[test]
+    fn division_requires_all_pairs() {
+        // r = a×{1,2} ∪ b×{1}; r ÷ {1,2} = {a}.
+        let r = rel(vec![(10, 1), (10, 2), (20, 1)]);
+        let s = Expr::Const(Value::atom_set(vec![1, 2]));
+        let out = eval_closed(&division(r, s)).unwrap();
+        assert_eq!(out, Value::atom_set(vec![10]));
+    }
+
+    #[test]
+    fn diagonal_of_a_set() {
+        let out = eval_closed(&diagonal(Expr::Const(Value::atom_set(vec![1, 2])))).unwrap();
+        assert_eq!(out, Value::relation_from_pairs(vec![(1, 1), (2, 2)]));
+    }
+
+    #[test]
+    fn all_queries_typecheck() {
+        let r = rel(vec![(1, 2)]);
+        let s = rel(vec![(2, 3)]);
+        let u = Expr::Const(Value::atom_set(vec![1]));
+        for q in [
+            join(r.clone(), s.clone()),
+            semijoin(r.clone(), s.clone()),
+            antijoin(r.clone(), s.clone()),
+            select_leq(r.clone()),
+            division(r, u.clone()),
+            diagonal(u),
+        ] {
+            typecheck_closed(&q).unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Tokenizer for the surface syntax.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A natural-number literal.
+    Number(u64),
+    /// An atom literal `@NUMBER`.
+    AtomLit(u64),
+    /// `\` introducing a λ.
+    Backslash,
+    /// `.`
+    Dot,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `=`
+    Equals,
+    /// `<=`
+    Leq,
+    /// `*`
+    Star,
+    /// `->`
+    Arrow,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::AtomLit(n) => write!(f, "@{n}"),
+            Token::Backslash => write!(f, "\\"),
+            Token::Dot => write!(f, "."),
+            Token::Colon => write!(f, ":"),
+            Token::Comma => write!(f, ","),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Equals => write!(f, "="),
+            Token::Leq => write!(f, "<="),
+            Token::Star => write!(f, "*"),
+            Token::Arrow => write!(f, "->"),
+        }
+    }
+}
+
+/// A lexical error with its byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset at which the error occurred.
+    pub position: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize a surface-syntax string. Comments run from `--` to end of line.
+pub fn tokenize(text: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = text.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '-' if bytes.get(i + 1) == Some(&b'>') => {
+                tokens.push(Token::Arrow);
+                i += 2;
+            }
+            '\\' => {
+                tokens.push(Token::Backslash);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            ':' => {
+                tokens.push(Token::Colon);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '{' => {
+                tokens.push(Token::LBrace);
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Token::RBrace);
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token::RBracket);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Equals);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '<' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token::Leq);
+                i += 2;
+            }
+            '@' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(LexError {
+                        position: i,
+                        message: "expected digits after '@'".to_string(),
+                    });
+                }
+                let n: u64 = text[start..j].parse().map_err(|_| LexError {
+                    position: i,
+                    message: "atom literal out of range".to_string(),
+                })?;
+                tokens.push(Token::AtomLit(n));
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let n: u64 = text[start..j].parse().map_err(|_| LexError {
+                    position: start,
+                    message: "number literal out of range".to_string(),
+                })?;
+                tokens.push(Token::Number(n));
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '%' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric()
+                        || bytes[j] == b'_'
+                        || bytes[j] == b'%')
+                {
+                    j += 1;
+                }
+                tokens.push(Token::Ident(text[start..j].to_string()));
+                i = j;
+            }
+            other => {
+                return Err(LexError {
+                    position: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_lambda() {
+        let toks = tokenize("\\x: {atom}. x union {@3}").unwrap();
+        assert_eq!(toks[0], Token::Backslash);
+        assert_eq!(toks[1], Token::Ident("x".to_string()));
+        assert!(toks.contains(&Token::Ident("union".to_string())));
+        assert!(toks.contains(&Token::AtomLit(3)));
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_skipped() {
+        let toks = tokenize("x -- this is a comment\n  union y").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("x".into()),
+                Token::Ident("union".into()),
+                Token::Ident("y".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn arrow_and_leq_are_two_character_tokens() {
+        let toks = tokenize("(atom -> bool) <=").unwrap();
+        assert!(toks.contains(&Token::Arrow));
+        assert!(toks.contains(&Token::Leq));
+    }
+
+    #[test]
+    fn bad_characters_are_reported() {
+        let err = tokenize("x $ y").unwrap_err();
+        assert_eq!(err.position, 2);
+        let err2 = tokenize("@x").unwrap_err();
+        assert!(err2.message.contains("digits"));
+    }
+
+    #[test]
+    fn numbers_and_atoms_are_distinct() {
+        let toks = tokenize("42 @42").unwrap();
+        assert_eq!(toks, vec![Token::Number(42), Token::AtomLit(42)]);
+    }
+}

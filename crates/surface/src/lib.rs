@@ -1,0 +1,39 @@
+//! Surface syntax for the NC query language: a lexer, a recursive-descent
+//! parser and a pretty-printer.
+//!
+//! The paper works with abstract syntax only; an open-source release needs a
+//! concrete one. The grammar below is a direct rendering of the §2/§3/§7.1
+//! constructs (keyword-call style for the recursors and iterators, infix
+//! `union`, `=`, `<=`):
+//!
+//! ```text
+//! type  ::= atom | bool | unit | nat | { type } | ( type * type ) | ( type -> type )
+//! expr  ::= \x: type. expr
+//!         | let x = expr in expr
+//!         | if expr then expr else expr
+//!         | cmp
+//! cmp   ::= uni ( ("=" | "<=") uni )?
+//! uni   ::= prim ( "union" prim )*
+//! prim  ::= true | false | unit | NUMBER | @NUMBER            -- nat / atom literals
+//!         | x | ( expr ) | ( expr , expr ) | { expr } | empty [ type ]
+//!         | pi1 prim | pi2 prim
+//!         | isempty ( expr ) | ext ( expr , expr ) | apply ( expr , expr )
+//!         | dcr ( e , f , u , arg ) | sru (...) | sri ( e , i , arg ) | esr (...)
+//!         | bdcr ( e , f , u , b , arg ) | bsri ( e , i , b , arg )
+//!         | logloop ( f , set , init ) | loop (...)
+//!         | blogloop ( f , b , set , init ) | bloop (...)
+//!         | IDENT ( args )                                     -- external function
+//! ```
+
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+
+pub use lexer::{tokenize, LexError, Token};
+pub use parser::{parse_expr, parse_type, ParseError};
+pub use pretty::print_expr;
+
+/// Parse a query from its surface text.
+pub fn parse(text: &str) -> Result<ncql_core::Expr, ParseError> {
+    parse_expr(text)
+}

@@ -1,0 +1,489 @@
+//! Recursive-descent parser for the surface syntax.
+
+use crate::lexer::{tokenize, LexError, Token};
+use ncql_core::Expr;
+use ncql_object::Type;
+use std::fmt;
+
+/// A parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The tokenizer failed.
+    Lex(LexError),
+    /// An unexpected token (or end of input) was encountered.
+    Unexpected {
+        /// Token index at which the error occurred.
+        position: usize,
+        /// What was found (`None` = end of input).
+        found: Option<Token>,
+        /// What was expected.
+        expected: String,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{e}"),
+            ParseError::Unexpected { position, found, expected } => match found {
+                Some(t) => write!(f, "parse error at token {position}: expected {expected}, found `{t}`"),
+                None => write!(f, "parse error: expected {expected}, found end of input"),
+            },
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError::Lex(e)
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn unexpected<T>(&self, expected: &str) -> Result<T, ParseError> {
+        Err(ParseError::Unexpected {
+            position: self.pos,
+            found: self.peek().cloned(),
+            expected: expected.to_string(),
+        })
+    }
+
+    fn expect(&mut self, token: &Token) -> Result<(), ParseError> {
+        if self.peek() == Some(token) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.unexpected(&format!("`{token}`"))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::Ident(s)) => {
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => self.unexpected("an identifier"),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(Token::Ident(s)) if s == kw => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => self.unexpected(&format!("keyword `{kw}`")),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s == kw)
+    }
+
+    // ----- types -----
+
+    fn parse_type(&mut self) -> Result<Type, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => match s.as_str() {
+                "atom" => Ok(Type::Base),
+                "bool" => Ok(Type::Bool),
+                "unit" => Ok(Type::Unit),
+                "nat" => Ok(Type::Nat),
+                _ => {
+                    self.pos -= 1;
+                    self.unexpected("a type (atom, bool, unit, nat, {..}, (..))")
+                }
+            },
+            Some(Token::LBrace) => {
+                let inner = self.parse_type()?;
+                self.expect(&Token::RBrace)?;
+                Ok(Type::set(inner))
+            }
+            Some(Token::LParen) => {
+                let left = self.parse_type()?;
+                match self.next() {
+                    Some(Token::Star) => {
+                        let right = self.parse_type()?;
+                        self.expect(&Token::RParen)?;
+                        Ok(Type::prod(left, right))
+                    }
+                    Some(Token::Arrow) => {
+                        let right = self.parse_type()?;
+                        self.expect(&Token::RParen)?;
+                        Ok(Type::fun(left, right))
+                    }
+                    Some(Token::RParen) => Ok(left),
+                    _ => {
+                        self.pos -= 1;
+                        self.unexpected("`*`, `->` or `)` in a type")
+                    }
+                }
+            }
+            _ => {
+                if self.pos > 0 {
+                    self.pos -= 1;
+                }
+                self.unexpected("a type")
+            }
+        }
+    }
+
+    // ----- expressions -----
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.peek() == Some(&Token::Backslash) {
+            self.pos += 1;
+            let name = self.expect_ident()?;
+            self.expect(&Token::Colon)?;
+            let ty = self.parse_type()?;
+            self.expect(&Token::Dot)?;
+            let body = self.parse_expr()?;
+            return Ok(Expr::lam(name, ty, body));
+        }
+        if self.peek_keyword("let") {
+            self.pos += 1;
+            let name = self.expect_ident()?;
+            self.expect(&Token::Equals)?;
+            let bound = self.parse_expr()?;
+            self.expect_keyword("in")?;
+            let body = self.parse_expr()?;
+            return Ok(Expr::let_in(name, bound, body));
+        }
+        if self.peek_keyword("if") {
+            self.pos += 1;
+            let c = self.parse_expr()?;
+            self.expect_keyword("then")?;
+            let t = self.parse_expr()?;
+            self.expect_keyword("else")?;
+            let e = self.parse_expr()?;
+            return Ok(Expr::ite(c, t, e));
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr, ParseError> {
+        let left = self.parse_union()?;
+        match self.peek() {
+            Some(Token::Equals) => {
+                self.pos += 1;
+                let right = self.parse_union()?;
+                Ok(Expr::eq(left, right))
+            }
+            Some(Token::Leq) => {
+                self.pos += 1;
+                let right = self.parse_union()?;
+                Ok(Expr::leq(left, right))
+            }
+            _ => Ok(left),
+        }
+    }
+
+    fn parse_union(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_primary()?;
+        while self.peek_keyword("union") {
+            self.pos += 1;
+            let right = self.parse_primary()?;
+            left = Expr::union(left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_args(&mut self, count: usize) -> Result<Vec<Expr>, ParseError> {
+        self.expect(&Token::LParen)?;
+        let mut args = Vec::with_capacity(count);
+        for i in 0..count {
+            if i > 0 {
+                self.expect(&Token::Comma)?;
+            }
+            args.push(self.parse_expr()?);
+        }
+        self.expect(&Token::RParen)?;
+        Ok(args)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        match self.next() {
+            Some(Token::Number(n)) => Ok(Expr::nat(n)),
+            Some(Token::AtomLit(n)) => Ok(Expr::atom(n)),
+            Some(Token::LBrace) => {
+                let inner = self.parse_expr()?;
+                self.expect(&Token::RBrace)?;
+                Ok(Expr::singleton(inner))
+            }
+            Some(Token::LParen) => {
+                if self.peek() == Some(&Token::RParen) {
+                    self.pos += 1;
+                    return Ok(Expr::Unit);
+                }
+                let first = self.parse_expr()?;
+                match self.next() {
+                    Some(Token::Comma) => {
+                        let second = self.parse_expr()?;
+                        self.expect(&Token::RParen)?;
+                        Ok(Expr::pair(first, second))
+                    }
+                    Some(Token::RParen) => Ok(first),
+                    _ => {
+                        self.pos -= 1;
+                        self.unexpected("`,` or `)`")
+                    }
+                }
+            }
+            Some(Token::Ident(name)) => self.parse_ident_form(name),
+            _ => {
+                if self.pos > 0 {
+                    self.pos -= 1;
+                }
+                self.unexpected("an expression")
+            }
+        }
+    }
+
+    fn parse_ident_form(&mut self, name: String) -> Result<Expr, ParseError> {
+        match name.as_str() {
+            "true" => Ok(Expr::Bool(true)),
+            "false" => Ok(Expr::Bool(false)),
+            "unit" => Ok(Expr::Unit),
+            "pi1" => Ok(Expr::proj1(self.parse_primary()?)),
+            "pi2" => Ok(Expr::proj2(self.parse_primary()?)),
+            "empty" => {
+                self.expect(&Token::LBracket)?;
+                let ty = self.parse_type()?;
+                self.expect(&Token::RBracket)?;
+                Ok(Expr::Empty(ty))
+            }
+            "isempty" => {
+                let mut a = self.parse_args(1)?;
+                Ok(Expr::is_empty(a.remove(0)))
+            }
+            "ext" => {
+                let mut a = self.parse_args(2)?;
+                let e = a.remove(1);
+                let f = a.remove(0);
+                Ok(Expr::ext(f, e))
+            }
+            "apply" => {
+                let mut a = self.parse_args(2)?;
+                let arg = a.remove(1);
+                let f = a.remove(0);
+                Ok(Expr::app(f, arg))
+            }
+            "dcr" | "sru" => {
+                let mut a = self.parse_args(4)?;
+                let arg = a.remove(3);
+                let u = a.remove(2);
+                let f = a.remove(1);
+                let e = a.remove(0);
+                Ok(if name == "dcr" {
+                    Expr::dcr(e, f, u, arg)
+                } else {
+                    Expr::sru(e, f, u, arg)
+                })
+            }
+            "sri" | "esr" => {
+                let mut a = self.parse_args(3)?;
+                let arg = a.remove(2);
+                let i = a.remove(1);
+                let e = a.remove(0);
+                Ok(if name == "sri" {
+                    Expr::sri(e, i, arg)
+                } else {
+                    Expr::esr(e, i, arg)
+                })
+            }
+            "bdcr" => {
+                let mut a = self.parse_args(5)?;
+                let arg = a.remove(4);
+                let bound = a.remove(3);
+                let u = a.remove(2);
+                let f = a.remove(1);
+                let e = a.remove(0);
+                Ok(Expr::bdcr(e, f, u, bound, arg))
+            }
+            "bsri" => {
+                let mut a = self.parse_args(4)?;
+                let arg = a.remove(3);
+                let bound = a.remove(2);
+                let i = a.remove(1);
+                let e = a.remove(0);
+                Ok(Expr::bsri(e, i, bound, arg))
+            }
+            "logloop" | "loop" => {
+                let mut a = self.parse_args(3)?;
+                let init = a.remove(2);
+                let set = a.remove(1);
+                let f = a.remove(0);
+                Ok(if name == "logloop" {
+                    Expr::log_loop(f, set, init)
+                } else {
+                    Expr::loop_(f, set, init)
+                })
+            }
+            "blogloop" | "bloop" => {
+                let mut a = self.parse_args(4)?;
+                let init = a.remove(3);
+                let set = a.remove(2);
+                let bound = a.remove(1);
+                let f = a.remove(0);
+                Ok(if name == "blogloop" {
+                    Expr::blog_loop(f, bound, set, init)
+                } else {
+                    Expr::bloop(f, bound, set, init)
+                })
+            }
+            _ => {
+                // Extern call if followed by '(', otherwise a variable.
+                if self.peek() == Some(&Token::LParen) {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Token::RParen) {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if self.peek() == Some(&Token::Comma) {
+                                self.pos += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                    Ok(Expr::extern_call(name, args))
+                } else {
+                    Ok(Expr::var(name))
+                }
+            }
+        }
+    }
+}
+
+/// Parse a complete expression from surface text.
+pub fn parse_expr(text: &str) -> Result<Expr, ParseError> {
+    let tokens = tokenize(text)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let expr = parser.parse_expr()?;
+    if parser.pos != parser.tokens.len() {
+        return parser.unexpected("end of input");
+    }
+    Ok(expr)
+}
+
+/// Parse a type from surface text.
+pub fn parse_type(text: &str) -> Result<Type, ParseError> {
+    let tokens = tokenize(text)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let ty = parser.parse_type()?;
+    if parser.pos != parser.tokens.len() {
+        return parser.unexpected("end of input");
+    }
+    Ok(ty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncql_core::eval::eval_closed;
+    use ncql_core::typecheck::typecheck_closed;
+    use ncql_object::Value;
+
+    #[test]
+    fn parses_types() {
+        assert_eq!(parse_type("atom").unwrap(), Type::Base);
+        assert_eq!(parse_type("{(atom * atom)}").unwrap(), Type::binary_relation());
+        assert_eq!(
+            parse_type("(atom -> {bool})").unwrap(),
+            Type::fun(Type::Base, Type::set(Type::Bool))
+        );
+        assert!(parse_type("notatype!").is_err());
+    }
+
+    #[test]
+    fn parses_literals_and_operators() {
+        assert_eq!(parse_expr("true").unwrap(), Expr::Bool(true));
+        assert_eq!(parse_expr("@7").unwrap(), Expr::atom(7));
+        assert_eq!(parse_expr("7").unwrap(), Expr::nat(7));
+        assert_eq!(
+            parse_expr("{@1} union {@2}").unwrap(),
+            Expr::union(Expr::singleton(Expr::atom(1)), Expr::singleton(Expr::atom(2)))
+        );
+        assert_eq!(
+            parse_expr("@1 <= @2").unwrap(),
+            Expr::leq(Expr::atom(1), Expr::atom(2))
+        );
+    }
+
+    #[test]
+    fn parses_lambda_let_if() {
+        let e = parse_expr("\\x: atom. if x = @1 then {x} else empty[atom]").unwrap();
+        assert!(matches!(e, Expr::Lam(_, _, _)));
+        let l = parse_expr("let r = {@1} in r union r").unwrap();
+        assert_eq!(eval_closed(&l).unwrap(), Value::atom_set(vec![1]));
+    }
+
+    #[test]
+    fn parses_and_evaluates_parity_query() {
+        let text = "dcr(false, \\y: atom. true, \\p: (bool * bool). \
+                    if pi1 p then (if pi2 p then false else true) else pi2 p, \
+                    {@1} union {@2} union {@3})";
+        let e = parse_expr(text).unwrap();
+        assert!(typecheck_closed(&e).is_ok());
+        assert_eq!(eval_closed(&e).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn parses_ext_and_iterators() {
+        let e = parse_expr("ext(\\x: atom. {(x, x)}, {@1} union {@2})").unwrap();
+        assert_eq!(
+            eval_closed(&e).unwrap(),
+            Value::relation_from_pairs(vec![(1, 1), (2, 2)])
+        );
+        let l = parse_expr("logloop(\\r: {atom}. r union {@9}, {@1} union {@2}, empty[atom])").unwrap();
+        assert_eq!(eval_closed(&l).unwrap(), Value::atom_set(vec![9]));
+    }
+
+    #[test]
+    fn parses_extern_calls_and_variables() {
+        let e = parse_expr("nat_add(2, 3)").unwrap();
+        assert_eq!(eval_closed(&e).unwrap(), Value::Nat(5));
+        let v = parse_expr("some_relation").unwrap();
+        assert_eq!(v, Expr::var("some_relation"));
+    }
+
+    #[test]
+    fn reports_errors_with_positions() {
+        assert!(parse_expr("dcr(true, true)").is_err());
+        assert!(parse_expr("{@1} union").is_err());
+        assert!(parse_expr("(@1, @2").is_err());
+        assert!(parse_expr("@1 @2").is_err());
+        let err = parse_expr("if true then @1").unwrap_err();
+        assert!(err.to_string().contains("else"));
+    }
+
+    #[test]
+    fn parses_bounded_recursors() {
+        let text = "bdcr(empty[atom], \\y: atom. {y}, \
+                    \\p: ({atom} * {atom}). pi1 p union pi2 p, \
+                    {@1} union {@2}, {@1} union {@2} union {@3})";
+        let e = parse_expr(text).unwrap();
+        assert_eq!(eval_closed(&e).unwrap(), Value::atom_set(vec![1, 2]));
+    }
+}

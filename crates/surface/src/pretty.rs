@@ -1,0 +1,198 @@
+//! Pretty-printer emitting the surface syntax, inverse (up to parentheses and
+//! the `lam2` desugaring) of the parser.
+
+use ncql_core::Expr;
+use ncql_object::{Type, Value};
+
+fn print_type(ty: &Type) -> String {
+    match ty {
+        Type::Base => "atom".to_string(),
+        Type::Bool => "bool".to_string(),
+        Type::Unit => "unit".to_string(),
+        Type::Nat => "nat".to_string(),
+        Type::Prod(a, b) => format!("({} * {})", print_type(a), print_type(b)),
+        Type::Set(t) => format!("{{{}}}", print_type(t)),
+        Type::Fun(a, b) => format!("({} -> {})", print_type(a), print_type(b)),
+    }
+}
+
+fn print_value(v: &Value) -> Option<String> {
+    match v {
+        Value::Atom(a) => Some(format!("@{a}")),
+        Value::Nat(n) => Some(n.to_string()),
+        Value::Bool(b) => Some(b.to_string()),
+        Value::Unit => Some("()".to_string()),
+        // Pairs and sets of literals can be printed as constructed expressions.
+        Value::Pair(a, b) => Some(format!("({}, {})", print_value(a)?, print_value(b)?)),
+        Value::Set(s) => {
+            if s.is_empty() {
+                // The element type is not recoverable from the value alone.
+                None
+            } else {
+                let parts: Option<Vec<String>> =
+                    s.iter().map(|x| print_value(x).map(|p| format!("{{{p}}}"))).collect();
+                parts.map(|p| p.join(" union "))
+            }
+        }
+    }
+}
+
+/// Render an expression in the surface syntax. Constant sets whose element type
+/// cannot be recovered (empty literal sets) are rendered as `empty[atom]`, which
+/// is the parser's convention for untyped empties.
+pub fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::Var(x) => x.clone(),
+        Expr::Lam(x, ty, b) => format!("\\{x}: {}. {}", print_type(ty), print_expr(b)),
+        Expr::App(f, a) => format!("apply({}, {})", print_expr(f), print_expr(a)),
+        Expr::Let(x, a, b) => format!("let {x} = {} in {}", print_expr(a), print_expr(b)),
+        Expr::Unit => "()".to_string(),
+        Expr::Pair(a, b) => format!("({}, {})", print_expr(a), print_expr(b)),
+        Expr::Proj1(a) => format!("pi1 ({})", print_expr(a)),
+        Expr::Proj2(a) => format!("pi2 ({})", print_expr(a)),
+        Expr::Bool(b) => b.to_string(),
+        Expr::If(c, t, f) => format!(
+            "if {} then {} else {}",
+            print_expr(c),
+            print_expr(t),
+            print_expr(f)
+        ),
+        Expr::Eq(a, b) => format!("(({}) = ({}))", print_expr(a), print_expr(b)),
+        Expr::Leq(a, b) => format!("(({}) <= ({}))", print_expr(a), print_expr(b)),
+        Expr::Const(v) => print_value(v).unwrap_or_else(|| "empty[atom]".to_string()),
+        Expr::Empty(t) => format!("empty[{}]", print_type(t)),
+        Expr::Singleton(a) => format!("{{{}}}", print_expr(a)),
+        Expr::Union(a, b) => format!("(({}) union ({}))", print_expr(a), print_expr(b)),
+        Expr::IsEmpty(a) => format!("isempty({})", print_expr(a)),
+        Expr::Ext(f, a) => format!("ext({}, {})", print_expr(f), print_expr(a)),
+        Expr::Dcr { e, f, u, arg } => format!(
+            "dcr({}, {}, {}, {})",
+            print_expr(e),
+            print_expr(f),
+            print_expr(u),
+            print_expr(arg)
+        ),
+        Expr::Sru { e, f, u, arg } => format!(
+            "sru({}, {}, {}, {})",
+            print_expr(e),
+            print_expr(f),
+            print_expr(u),
+            print_expr(arg)
+        ),
+        Expr::Sri { e, i, arg } => format!(
+            "sri({}, {}, {})",
+            print_expr(e),
+            print_expr(i),
+            print_expr(arg)
+        ),
+        Expr::Esr { e, i, arg } => format!(
+            "esr({}, {}, {})",
+            print_expr(e),
+            print_expr(i),
+            print_expr(arg)
+        ),
+        Expr::BDcr { e, f, u, bound, arg } => format!(
+            "bdcr({}, {}, {}, {}, {})",
+            print_expr(e),
+            print_expr(f),
+            print_expr(u),
+            print_expr(bound),
+            print_expr(arg)
+        ),
+        Expr::BSri { e, i, bound, arg } => format!(
+            "bsri({}, {}, {}, {})",
+            print_expr(e),
+            print_expr(i),
+            print_expr(bound),
+            print_expr(arg)
+        ),
+        Expr::LogLoop { f, set, init } => format!(
+            "logloop({}, {}, {})",
+            print_expr(f),
+            print_expr(set),
+            print_expr(init)
+        ),
+        Expr::Loop { f, set, init } => format!(
+            "loop({}, {}, {})",
+            print_expr(f),
+            print_expr(set),
+            print_expr(init)
+        ),
+        Expr::BLogLoop { f, bound, set, init } => format!(
+            "blogloop({}, {}, {}, {})",
+            print_expr(f),
+            print_expr(bound),
+            print_expr(set),
+            print_expr(init)
+        ),
+        Expr::BLoop { f, bound, set, init } => format!(
+            "bloop({}, {}, {}, {})",
+            print_expr(f),
+            print_expr(bound),
+            print_expr(set),
+            print_expr(init)
+        ),
+        Expr::Extern(name, args) => {
+            let parts: Vec<String> = args.iter().map(print_expr).collect();
+            format!("{name}({})", parts.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+    use ncql_core::eval::eval_closed;
+
+    fn round_trip(text: &str) {
+        let parsed = parse_expr(text).unwrap_or_else(|e| panic!("parse {text}: {e}"));
+        let printed = print_expr(&parsed);
+        let reparsed =
+            parse_expr(&printed).unwrap_or_else(|e| panic!("reparse {printed}: {e}"));
+        assert_eq!(parsed, reparsed, "round trip changed the expression: {printed}");
+    }
+
+    #[test]
+    fn parse_print_parse_is_stable() {
+        for text in [
+            "true",
+            "@3",
+            "17",
+            "{@1} union {@2}",
+            "(@1, (true, ()))",
+            "pi1 (@1, @2)",
+            "if isempty(empty[atom]) then @1 else @2",
+            "\\x: {(atom * atom)}. ext(\\p: (atom * atom). {pi1 p}, x)",
+            "let r = {@1} in dcr(empty[atom], \\y: atom. {y}, \\p: ({atom} * {atom}). pi1 p union pi2 p, r)",
+            "logloop(\\r: {atom}. r, {@1}, empty[atom])",
+            "nat_add(1, nat_mul(2, 3))",
+            "@1 <= @2",
+        ] {
+            round_trip(text);
+        }
+    }
+
+    #[test]
+    fn printed_programs_still_evaluate() {
+        let text = "dcr(false, \\y: atom. true, \\p: (bool * bool). \
+                    if pi1 p then (if pi2 p then false else true) else pi2 p, \
+                    {@1} union {@2} union {@3})";
+        let e = parse_expr(text).unwrap();
+        let printed = print_expr(&e);
+        let e2 = parse_expr(&printed).unwrap();
+        assert_eq!(eval_closed(&e).unwrap(), eval_closed(&e2).unwrap());
+    }
+
+    #[test]
+    fn constants_print_as_literals() {
+        use ncql_object::Value;
+        let e = Expr::Const(Value::atom_set(vec![1, 2]));
+        let printed = print_expr(&e);
+        let reparsed = parse_expr(&printed).unwrap();
+        assert_eq!(
+            eval_closed(&reparsed).unwrap(),
+            Value::atom_set(vec![1, 2])
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! A tiny query runner for the surface syntax: pass a query as the first
+//! argument (or pipe it on stdin) and it is parsed, type-checked, analysed for
+//! recursion depth, and evaluated, with the cost model reported.
+//!
+//! Examples:
+//!
+//! ```text
+//! cargo run --example query_repl -- "nat_add(20, 22)"
+//! cargo run --example query_repl -- \
+//!   "dcr(empty[(atom * atom)], \y: atom. {(@1,@2)} union {(@2,@3)}, \
+//!        \p: ({(atom*atom)} * {(atom*atom)}). pi1 p union pi2 p, {@1} union {@2})"
+//! echo "{@1} union {@2} union {@1}" | cargo run --example query_repl
+//! ```
+
+use ncql::core::eval::{EvalConfig, Evaluator};
+use ncql::core::{analysis, typecheck};
+use ncql::surface;
+use std::io::Read;
+
+fn main() {
+    let text = match std::env::args().nth(1) {
+        Some(arg) => arg,
+        None => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .expect("reading the query from stdin");
+            buf
+        }
+    };
+    let text = text.trim();
+    if text.is_empty() {
+        eprintln!("usage: query_repl \"<query>\"   (or pipe a query on stdin)");
+        std::process::exit(2);
+    }
+
+    let expr = match surface::parse(text) {
+        Ok(e) => e,
+        Err(err) => {
+            eprintln!("parse error: {err}");
+            std::process::exit(1);
+        }
+    };
+    println!("parsed      : {}", surface::print_expr(&expr));
+
+    match typecheck::typecheck_closed(&expr) {
+        Ok(ty) => println!("type        : {ty}"),
+        Err(err) => {
+            eprintln!("type error  : {err}");
+            std::process::exit(1);
+        }
+    }
+    let depth = analysis::recursion_depth(&expr);
+    println!("depth       : {depth} (AC^{} by Theorem 6.1/6.2)", analysis::ac_level(&expr));
+
+    let mut evaluator = Evaluator::new(EvalConfig::default());
+    match evaluator.eval_closed(&expr) {
+        Ok(value) => {
+            let stats = evaluator.stats();
+            println!("result      : {value}");
+            println!("work / span : {} / {}", stats.work, stats.span);
+        }
+        Err(err) => {
+            eprintln!("evaluation error: {err}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Quickstart: build a small ordered database, write queries in both the Rust
+//! builder API and the surface syntax, evaluate them, and look at the work/span
+//! cost model that makes the NC claims of the paper measurable.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ncql::core::eval::{eval_with_stats, EvalConfig, Evaluator};
+use ncql::core::expr::Expr;
+use ncql::core::{analysis, typecheck};
+use ncql::object::Value;
+use ncql::queries::{graph, parity, Relation};
+use ncql::surface;
+
+fn main() {
+    // An ordered database: a binary relation (a small directed graph).
+    let edges = Relation::from_pairs(vec![(1, 2), (2, 3), (3, 4), (4, 2), (7, 8)]);
+    let r = Expr::Const(edges.to_value());
+
+    // --- Transitive closure via divide-and-conquer recursion (the §1 example).
+    let tc_query = graph::tc_dcr(r.clone());
+    let ty = typecheck::typecheck_closed(&tc_query).expect("the query typechecks");
+    println!("transitive closure query : {} (type {ty})", "dcr(∅, λy.r, λ(r1,r2). r1 ∪ r2 ∪ r1∘r2)(Π1 r ∪ Π2 r)");
+    println!("recursion nesting depth  : {} (so the query is in AC^{})",
+        analysis::recursion_depth(&tc_query),
+        analysis::ac_level(&tc_query));
+
+    let (result, stats) = eval_with_stats(&tc_query).expect("evaluation succeeds");
+    println!("result                   : {result}");
+    println!("work / span              : {} / {}", stats.work, stats.span);
+    println!("combiner applications    : {}", stats.combiner_calls);
+
+    // Cross-check against the native baseline.
+    assert_eq!(result, edges.transitive_closure().to_value());
+    println!("matches the native semi-naive baseline ✓");
+
+    // --- Parity, straight from the paper's introduction.
+    let numbers = Expr::Const(Value::atom_set(0..13));
+    let (odd, pstats) = eval_with_stats(&parity::parity_dcr(numbers)).expect("parity evaluates");
+    println!("\nparity of a 13-element set: {odd} (span {}, work {})", pstats.span, pstats.work);
+
+    // --- The same queries can be written in the surface syntax.
+    let text = "dcr(false, \\y: atom. true, \
+                \\p: (bool * bool). if pi1 p then (if pi2 p then false else true) else pi2 p, \
+                {@1} union {@2} union {@3} union {@4} union {@5})";
+    let parsed = surface::parse(text).expect("the surface query parses");
+    let mut evaluator = Evaluator::new(EvalConfig::default());
+    let value = evaluator.eval_closed(&parsed).expect("the parsed query evaluates");
+    println!("\nsurface-syntax parity of {{1..5}}: {value}");
+    println!("pretty-printed back        : {}", surface::print_expr(&parsed));
+}

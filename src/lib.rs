@@ -1,0 +1,8 @@
+//! Facade crate re-exporting the NCQL workspace public API.
+pub use ncql_circuit as circuit;
+pub use ncql_core as core;
+pub use ncql_object as object;
+pub use ncql_pram as pram;
+pub use ncql_queries as queries;
+pub use ncql_surface as surface;
+pub use ncql_translate as translate;

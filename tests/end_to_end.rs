@@ -1,0 +1,131 @@
+//! Cross-crate integration tests: surface syntax → type checking → evaluation →
+//! baseline cross-checks, spanning the whole public API through the `ncql`
+//! facade.
+
+use ncql::core::eval::{eval_with_stats, EvalConfig, Evaluator};
+use ncql::core::expr::Expr;
+use ncql::core::{analysis, typecheck};
+use ncql::object::morphism::{commutes_with, Morphism};
+use ncql::object::{Type, Value};
+use ncql::queries::{aggregates, datagen, graph, parity, relalg, Relation};
+use ncql::surface;
+
+#[test]
+fn surface_to_result_pipeline() {
+    // Parse, typecheck and evaluate a query that mixes most constructs.
+    let text = "let r = {(@1, @2)} union {(@2, @3)} union {(@3, @1)} in \
+                dcr(empty[(atom * atom)], \\y: atom. r, \
+                    \\p: ({(atom * atom)} * {(atom * atom)}). pi1 p union pi2 p, \
+                    ext(\\e: (atom * atom). {pi1 e} union {pi2 e}, r))";
+    let expr = surface::parse(text).expect("parses");
+    let ty = typecheck::typecheck_closed(&expr).expect("typechecks");
+    assert_eq!(ty, Type::binary_relation());
+    let mut ev = Evaluator::new(EvalConfig::default());
+    let value = ev.eval_closed(&expr).expect("evaluates");
+    // dcr with the plain union combiner over the vertex set just reproduces r.
+    assert_eq!(value, Value::relation_from_pairs(vec![(1, 2), (2, 3), (3, 1)]));
+}
+
+#[test]
+fn transitive_closure_matches_baseline_on_many_graphs() {
+    let graphs = vec![
+        datagen::path_graph(9),
+        datagen::cycle_graph(7),
+        datagen::binary_tree(10),
+        datagen::grid_graph(3),
+        datagen::random_graph(10, 0.2, 1),
+        datagen::random_graph(12, 0.15, 2),
+    ];
+    for rel in graphs {
+        let expected = rel.transitive_closure().to_value();
+        let r = Expr::Const(rel.to_value());
+        assert_eq!(
+            ncql::core::eval::eval_closed(&graph::tc_dcr(r.clone())).unwrap(),
+            expected
+        );
+        assert_eq!(
+            ncql::core::eval::eval_closed(&graph::tc_log_loop(r)).unwrap(),
+            expected
+        );
+    }
+}
+
+#[test]
+fn queries_are_generic_under_order_preserving_renamings() {
+    // Chandra–Harel genericity (§5): TC and parity commute with morphisms.
+    let rel = datagen::random_graph(8, 0.3, 5);
+    let input = rel.to_value();
+    let phi = Morphism::stretch(&input.atoms(), 17);
+    let tc = |v: &Value| {
+        ncql::core::eval::eval_closed(&graph::tc_dcr(Expr::Const(v.clone()))).unwrap()
+    };
+    assert!(commutes_with(tc, &input, &phi));
+
+    let set = Value::atom_set(vec![3, 8, 20, 21]);
+    let phi2 = Morphism::shift(&set.atoms(), 1000);
+    let par = |v: &Value| {
+        ncql::core::eval::eval_closed(&parity::parity_dcr(Expr::Const(v.clone()))).unwrap()
+    };
+    assert!(commutes_with(par, &set, &phi2));
+}
+
+#[test]
+fn relational_algebra_composes_with_recursion() {
+    // reachable pairs restricted by a semijoin, then aggregated.
+    let rel = datagen::path_graph(6);
+    let tc = graph::tc_dcr(Expr::Const(rel.to_value()));
+    let filtered = relalg::semijoin(tc, Expr::Const(Relation::from_pairs(vec![(3, 0), (5, 0)]).to_value()));
+    let count = aggregates::cardinality_dcr(ncql::core::derived::project1(
+        Type::Base,
+        Type::Base,
+        filtered,
+    ));
+    let (value, stats) = eval_with_stats(&count).unwrap();
+    // Pairs (x, y) in the closure with y ∈ {3, 5}: y=3 ← {0,1,2}, y=5 ← {0..4};
+    // distinct first components = {0,1,2,3,4}.
+    assert_eq!(value, Value::Nat(5));
+    assert!(stats.work > 0);
+}
+
+#[test]
+fn ac_level_reporting_matches_construct_usage() {
+    let r = Expr::Const(datagen::path_graph(4).to_value());
+    assert_eq!(analysis::ac_level(&relalg::select_leq(r.clone())), 1);
+    assert_eq!(analysis::recursion_depth(&graph::tc_dcr(r.clone())), 1);
+    let nested = ncql::queries::iterate::count_log_squared_n(Expr::Const(Value::atom_set(0..9)));
+    assert_eq!(analysis::recursion_depth(&nested), 2);
+    let _ = r;
+}
+
+#[test]
+fn evaluation_is_deterministic_across_runs() {
+    let text = "ext(\\x: atom. {(x, x)}, {@5} union {@1} union {@3})";
+    let expr = surface::parse(text).unwrap();
+    let first = ncql::core::eval::eval_closed(&expr).unwrap();
+    for _ in 0..5 {
+        assert_eq!(ncql::core::eval::eval_closed(&expr).unwrap(), first);
+    }
+    assert_eq!(
+        first,
+        Value::relation_from_pairs(vec![(1, 1), (3, 3), (5, 5)])
+    );
+}
+
+#[test]
+fn pretty_printer_round_trips_library_queries() {
+    let r = Expr::Const(datagen::path_graph(3).to_value());
+    for query in [
+        graph::tc_dcr(r.clone()),
+        graph::tc_log_loop(r.clone()),
+        parity::parity_dcr(Expr::Const(Value::atom_set(0..4))),
+        aggregates::cardinality_dcr(Expr::Const(Value::atom_set(0..4))),
+    ] {
+        let printed = surface::print_expr(&query);
+        let reparsed = surface::parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed for {printed}: {e}"));
+        assert_eq!(
+            ncql::core::eval::eval_closed(&query).unwrap(),
+            ncql::core::eval::eval_closed(&reparsed).unwrap()
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Integration tests for the simulation translations (Propositions 2.1, 2.2,
+//! 7.3) and the circuit compiler (Proposition 7.7 / Theorem 6.2), cross-checked
+//! against the reference evaluator on shared workloads.
+
+use ncql::circuit::compile::{compile, run_compiled};
+use ncql::circuit::relquery::{eval_reference, BitRelation, RelQuery};
+use ncql::core::derived;
+use ncql::core::eval::eval_closed;
+use ncql::core::expr::Expr;
+use ncql::object::{Type, Value};
+use ncql::queries::{datagen, graph, Relation};
+use ncql::translate::{orderly, prop21, prop22, prop73};
+
+fn xor_u() -> Expr {
+    Expr::lam2(
+        "a",
+        "b",
+        Type::prod(Type::Bool, Type::Bool),
+        derived::xor(Expr::var("a"), Expr::var("b")),
+    )
+}
+
+#[test]
+fn prop21_translations_preserve_semantics_on_graph_queries() {
+    // dcr → esr on the union-of-relations recursion used by TC.
+    let rel = datagen::cycle_graph(5);
+    let r = Expr::Const(rel.to_value());
+    let rel_ty = Type::binary_relation();
+    let f = Expr::lam("y", Type::Base, r.clone());
+    let u = graph::tc_combiner();
+    let vertices = graph::vertices(r);
+    let direct = Expr::dcr(
+        Expr::Empty(Type::prod(Type::Base, Type::Base)),
+        f.clone(),
+        u.clone(),
+        vertices.clone(),
+    );
+    let translated = prop21::dcr_via_esr(
+        Expr::Empty(Type::prod(Type::Base, Type::Base)),
+        f,
+        u,
+        vertices,
+        Type::Base,
+        rel_ty,
+    );
+    assert_eq!(eval_closed(&direct).unwrap(), eval_closed(&translated).unwrap());
+    assert_eq!(
+        eval_closed(&direct).unwrap(),
+        rel.transitive_closure().to_value()
+    );
+}
+
+#[test]
+fn prop22_bounded_recursion_is_exact_on_random_graphs() {
+    for seed in 0..4 {
+        let rel = datagen::random_graph(8, 0.25, seed);
+        if rel.is_empty() {
+            continue;
+        }
+        let r = Expr::Const(rel.to_value());
+        let f = Expr::lam("y", Type::Base, r.clone());
+        let u = graph::tc_combiner();
+        let vertices = graph::vertices(r);
+        let direct = Expr::dcr(
+            Expr::Empty(Type::prod(Type::Base, Type::Base)),
+            f.clone(),
+            u.clone(),
+            vertices.clone(),
+        );
+        let bounded = prop22::dcr_via_bdcr_binary(
+            Expr::Empty(Type::prod(Type::Base, Type::Base)),
+            f,
+            u,
+            vertices.clone(),
+            vertices,
+        );
+        assert_eq!(
+            eval_closed(&direct).unwrap(),
+            eval_closed(&bounded).unwrap(),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn prop73_halving_rounds_track_the_logarithm_on_graph_workloads() {
+    for n in [3u64, 6, 12, 24] {
+        let rel = datagen::path_graph(n);
+        let r_val = rel.to_value();
+        let f = Expr::lam("y", Type::Base, Expr::Const(r_val.clone()));
+        let u = graph::tc_combiner();
+        let vertices = Value::atom_set(0..=n);
+        let mut sim = prop73::HalvingSimulator::default();
+        let outcome = sim
+            .dcr_by_halving(&Expr::Empty(Type::prod(Type::Base, Type::Base)), &f, &u, &vertices)
+            .unwrap();
+        assert_eq!(
+            Relation::from_value(&outcome.value).unwrap(),
+            rel.transitive_closure(),
+            "n = {n}"
+        );
+        let m = (n + 1) as f64;
+        assert_eq!(outcome.rounds, m.log2().ceil() as u64, "n = {n}");
+    }
+}
+
+#[test]
+fn prop73_both_directions_agree_with_direct_semantics() {
+    // log-loop driven by dcr: counting body over naturals.
+    let body = Expr::lam(
+        "c",
+        Type::Nat,
+        Expr::extern_call("nat_add", vec![Expr::var("c"), Expr::nat(3)]),
+    );
+    for n in [0usize, 1, 7, 20, 100] {
+        let counting = Value::atom_set(0..n as u64);
+        let direct = eval_closed(&Expr::log_loop(
+            body.clone(),
+            Expr::Const(counting.clone()),
+            Expr::nat(0),
+        ))
+        .unwrap();
+        let mut sim = prop73::HalvingSimulator::default();
+        let outcome = sim.log_loop_by_dcr(&body, &counting, &Value::Nat(0)).unwrap();
+        assert_eq!(direct, outcome.value, "n = {n}");
+    }
+}
+
+#[test]
+fn library_tc_query_is_in_the_orderly_sublanguage() {
+    let r = Expr::Const(datagen::path_graph(4).to_value());
+    let q = graph::tc_dcr(r);
+    assert!(
+        orderly::is_orderly(&q),
+        "the library transitive closure should use a whitelisted combiner"
+    );
+    // The parity query is orderly too.
+    let p = ncql::queries::parity::parity_dcr(Expr::Const(Value::atom_set(0..4)));
+    assert!(orderly::is_orderly(&p));
+}
+
+#[test]
+fn compiled_circuits_agree_with_the_language_semantics_on_shared_graphs() {
+    // The same graph evaluated (a) by the core evaluator on the NRA(dcr) TC
+    // query and (b) by the compiled positional circuit must coincide.
+    for n in [4usize, 6, 9] {
+        let pairs: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).chain([(n - 1, 0)]).collect();
+        let rel = Relation::from_pairs(pairs.iter().map(|&(a, b)| (a as u64, b as u64)));
+        let semantic = eval_closed(&graph::tc_dcr(Expr::Const(rel.to_value()))).unwrap();
+        let semantic_rel = Relation::from_value(&semantic).unwrap();
+
+        let bitrel = BitRelation::from_pairs(n, &pairs);
+        let q = RelQuery::transitive_closure(RelQuery::Input(0));
+        let compiled = run_compiled(&q, n, &[bitrel.clone()]);
+        let compiled_rel: Relation = compiled
+            .pairs()
+            .into_iter()
+            .map(|(a, b)| (a as u64, b as u64))
+            .collect();
+        assert_eq!(semantic_rel, compiled_rel, "n = {n}");
+        // And both agree with the pure reference evaluator of the IR.
+        assert_eq!(compiled, eval_reference(&q, &[bitrel], n));
+    }
+}
+
+#[test]
+fn circuit_depth_hierarchy_is_monotone_in_k() {
+    let n = 12;
+    let mut last = 0;
+    for k in 1..=3 {
+        let depth = compile(&RelQuery::nested_depth_k(k), n).depth();
+        assert!(depth > last, "depth at k={k} is {depth}, not above {last}");
+        last = depth;
+    }
+}
