@@ -18,7 +18,7 @@ fn bench(c: &mut Criterion) {
         let pairs: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
         let r = BitRelation::from_pairs(n, &pairs);
         group.bench_with_input(BenchmarkId::new("compile_and_run_tc", n), &n, |b, _| {
-            b.iter(|| run_compiled(&q, n, &[r.clone()]))
+            b.iter(|| run_compiled(&q, n, std::slice::from_ref(&r)))
         });
     }
     group.finish();

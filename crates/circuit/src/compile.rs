@@ -218,8 +218,8 @@ mod tests {
         for n in [2usize, 3, 5, 8] {
             let q = RelQuery::transitive_closure(RelQuery::Input(0));
             for r in [path(n), cycle(n)] {
-                let compiled = run_compiled(&q, n, &[r.clone()]);
-                let reference = eval_reference(&q, &[r.clone()], n);
+                let compiled = run_compiled(&q, n, std::slice::from_ref(&r));
+                let reference = eval_reference(&q, std::slice::from_ref(&r), n);
                 assert_eq!(compiled, reference, "n = {n}");
             }
         }
@@ -263,7 +263,7 @@ mod tests {
         let n = 6;
         let q = RelQuery::nested_depth_k(2);
         let r = path(n);
-        let compiled = run_compiled(&q, n, &[r.clone()]);
+        let compiled = run_compiled(&q, n, std::slice::from_ref(&r));
         let reference = eval_reference(&q, &[r], n);
         assert_eq!(compiled, reference);
     }

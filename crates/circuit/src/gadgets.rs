@@ -38,6 +38,7 @@ fn symbol_is(b: &mut CircuitBuilder, pos: usize, sym: Symbol) -> GateId {
 /// Lemma 7.4 gadget: a circuit with `3·len` inputs and `len·len` outputs
 /// (row-major over `(i, j)`), where output `(i, j)` is 1 iff positions `i < j`
 /// hold a matching parenthesis pair with no parenthesis strictly between them.
+#[allow(clippy::needless_range_loop)] // (i, j) index the output grid, not just the vecs
 pub fn matched_parentheses(len: usize) -> Circuit {
     let mut b = CircuitBuilder::new(3 * len);
     let open: Vec<GateId> = (0..len).map(|p| symbol_is(&mut b, p, Symbol::LParen)).collect();
@@ -62,6 +63,7 @@ pub fn matched_parentheses(len: usize) -> Circuit {
 
 /// Lemma 7.5 gadget: a circuit with `3·len` inputs and `len` outputs where
 /// output `p` is 1 iff an element of the outermost set starts at position `p`.
+#[allow(clippy::needless_range_loop)] // positions q, j index several parallel vecs at once
 pub fn element_starts(len: usize) -> Circuit {
     let mut b = CircuitBuilder::new(3 * len);
     let lbrace: Vec<GateId> = (0..len).map(|p| symbol_is(&mut b, p, Symbol::LBrace)).collect();

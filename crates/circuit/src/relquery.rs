@@ -317,15 +317,15 @@ mod tests {
         assert!(id.get(2, 2) && !id.get(2, 3));
         let u = eval_reference(
             &RelQuery::union(RelQuery::Input(0), RelQuery::Identity),
-            &[r.clone()],
+            std::slice::from_ref(&r),
             n,
         );
         assert!(u.get(0, 1) && u.get(3, 3));
-        let t = eval_reference(&RelQuery::transpose(RelQuery::Input(0)), &[r.clone()], n);
+        let t = eval_reference(&RelQuery::transpose(RelQuery::Input(0)), std::slice::from_ref(&r), n);
         assert!(t.get(1, 0) && !t.get(0, 1));
         let c = eval_reference(
             &RelQuery::compose(RelQuery::Input(0), RelQuery::Input(0)),
-            &[r.clone()],
+            std::slice::from_ref(&r),
             n,
         );
         assert!(c.get(0, 2) && !c.get(0, 1));

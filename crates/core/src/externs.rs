@@ -19,6 +19,9 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
+/// Shared implementation signature of an external function.
+pub type ExternBody = Arc<dyn Fn(&[Value]) -> Result<Value, EvalError> + Send + Sync>;
+
 /// Implementation of a single external function.
 #[derive(Clone)]
 pub struct ExternFn {
@@ -27,7 +30,7 @@ pub struct ExternFn {
     /// Result type.
     pub result: Type,
     /// The implementation.
-    pub body: Arc<dyn Fn(&[Value]) -> Result<Value, EvalError> + Send + Sync>,
+    pub body: ExternBody,
 }
 
 impl fmt::Debug for ExternFn {
@@ -58,7 +61,7 @@ impl ExternRegistry {
         reg.register_binary_nat("nat_add", |a, b| a.saturating_add(b));
         reg.register_binary_nat("nat_sub", |a, b| a.saturating_sub(b));
         reg.register_binary_nat("nat_mul", |a, b| a.saturating_mul(b));
-        reg.register_binary_nat("nat_div", |a, b| if b == 0 { 0 } else { a / b });
+        reg.register_binary_nat("nat_div", |a, b| a.checked_div(b).unwrap_or(0));
         reg.register_binary_nat("nat_max", |a, b| a.max(b));
         reg.register_binary_nat("nat_min", |a, b| a.min(b));
 

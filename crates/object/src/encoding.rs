@@ -169,7 +169,7 @@ impl SymbolString {
     /// Rebuild a symbol string from its 3-bits-per-symbol view. The bit length
     /// must be a multiple of three.
     pub fn from_bits(bits: &[bool]) -> Result<SymbolString, ObjectError> {
-        if bits.len() % 3 != 0 {
+        if !bits.len().is_multiple_of(3) {
             return Err(ObjectError::Decode {
                 position: bits.len(),
                 message: "bit length is not a multiple of 3".to_string(),

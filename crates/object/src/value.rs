@@ -51,14 +51,6 @@ impl VSet {
         VSet { elems: Vec::new() }
     }
 
-    /// Build a set from an arbitrary iterator of elements: sorts and deduplicates.
-    pub fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> VSet {
-        let mut elems: Vec<Value> = iter.into_iter().collect();
-        elems.sort();
-        elems.dedup();
-        VSet { elems }
-    }
-
     /// A singleton set `{x}`.
     pub fn singleton(x: Value) -> VSet {
         VSet { elems: vec![x] }
@@ -197,8 +189,12 @@ impl<'a> IntoIterator for &'a VSet {
 }
 
 impl FromIterator<Value> for VSet {
+    /// Build a set from an arbitrary iterator of elements: sorts and deduplicates.
     fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> VSet {
-        VSet::from_iter(iter)
+        let mut elems: Vec<Value> = iter.into_iter().collect();
+        elems.sort();
+        elems.dedup();
+        VSet { elems }
     }
 }
 

@@ -14,13 +14,12 @@
 //! in parallel with one sequential [`Evaluator`] per worker; the combiner and
 //! element functions themselves are ordinary language expressions.
 
-use crossbeam::thread;
 use ncql_core::error::EvalError;
 use ncql_core::eval::{EvalConfig, Evaluator};
 use ncql_core::expr::Expr;
 use ncql_core::EvalResult;
 use ncql_object::Value;
-use parking_lot::Mutex;
+use std::thread;
 
 /// Configuration of the parallel executor.
 #[derive(Debug, Clone)]
@@ -50,6 +49,14 @@ impl Default for ParallelConfig {
 #[derive(Debug, Default)]
 pub struct ParallelExecutor {
     config: ParallelConfig,
+}
+
+/// Fold a scoped worker's join result into the evaluation result, turning a
+/// worker panic into an `EvalError` instead of unwinding through the scope.
+fn join_worker(
+    joined: std::thread::Result<EvalResult<Vec<Value>>>,
+) -> EvalResult<Vec<Value>> {
+    joined.unwrap_or_else(|_| Err(EvalError::Stuck("a parallel worker panicked".to_string())))
 }
 
 /// Apply a unary function expression to a value using a fresh evaluator.
@@ -101,27 +108,21 @@ impl ParallelExecutor {
                 .collect();
         }
         let chunk_size = n.div_ceil(threads);
-        let results: Mutex<Vec<Option<EvalResult<Vec<Value>>>>> =
-            Mutex::new((0..threads).map(|_| None).collect());
-        thread::scope(|scope| {
-            for (worker, chunk) in elements.chunks(chunk_size).enumerate() {
-                let results = &results;
-                let eval_config = &self.config.eval;
-                scope.spawn(move |_| {
-                    let out: EvalResult<Vec<Value>> =
-                        chunk.iter().map(|x| apply1(eval_config, f, x)).collect();
-                    results.lock()[worker] = Some(out);
-                });
-            }
-        })
-        .map_err(|_| EvalError::Stuck("a parallel worker panicked".to_string()))?;
+        let per_worker: Vec<EvalResult<Vec<Value>>> = thread::scope(|scope| {
+            let handles: Vec<_> = elements
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    let eval_config = &self.config.eval;
+                    scope.spawn(move || {
+                        chunk.iter().map(|x| apply1(eval_config, f, x)).collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| join_worker(h.join())).collect()
+        });
         let mut out = Vec::with_capacity(n);
-        for slot in results.into_inner() {
-            match slot {
-                Some(Ok(values)) => out.extend(values),
-                Some(Err(e)) => return Err(e),
-                None => {}
-            }
+        for worker in per_worker {
+            out.extend(worker?);
         }
         Ok(out)
     }
@@ -143,33 +144,27 @@ impl ParallelExecutor {
                 .collect();
         }
         let chunk_size = n.div_ceil(threads);
-        let results: Mutex<Vec<Option<EvalResult<Vec<Value>>>>> =
-            Mutex::new((0..threads).map(|_| None).collect());
-        thread::scope(|scope| {
-            for (worker, work) in pairs.chunks(chunk_size).enumerate() {
-                let results = &results;
-                let eval_config = &self.config.eval;
-                scope.spawn(move |_| {
-                    let out: EvalResult<Vec<Value>> = work
-                        .iter()
-                        .map(|chunk| match chunk {
-                            [a, b] => apply2(eval_config, u, a, b),
-                            [a] => Ok(a.clone()),
-                            _ => unreachable!("chunks(2)"),
-                        })
-                        .collect();
-                    results.lock()[worker] = Some(out);
-                });
-            }
-        })
-        .map_err(|_| EvalError::Stuck("a parallel worker panicked".to_string()))?;
+        let per_worker: Vec<EvalResult<Vec<Value>>> = thread::scope(|scope| {
+            let handles: Vec<_> = pairs
+                .chunks(chunk_size)
+                .map(|work| {
+                    let eval_config = &self.config.eval;
+                    scope.spawn(move || {
+                        work.iter()
+                            .map(|chunk| match chunk {
+                                [a, b] => apply2(eval_config, u, a, b),
+                                [a] => Ok(a.clone()),
+                                _ => unreachable!("chunks(2)"),
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| join_worker(h.join())).collect()
+        });
         let mut out = Vec::with_capacity(n);
-        for slot in results.into_inner() {
-            match slot {
-                Some(Ok(values)) => out.extend(values),
-                Some(Err(e)) => return Err(e),
-                None => {}
-            }
+        for worker in per_worker {
+            out.extend(worker?);
         }
         Ok(out)
     }

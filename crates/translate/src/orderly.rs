@@ -132,10 +132,11 @@ pub fn recognize_combiner(identity: &Expr, u: &Expr) -> Option<CombinerShape> {
         // max / min by ≤: if a ≤ b then b else a   /   if a ≤ b then a else b.
         if let Expr::Leq(l, r) = c.as_ref() {
             if is_var(l, &a) && is_var(r, &b) {
-                if is_var(t, &b) && is_var(f, &a) {
-                    if matches!(identity, Expr::Const(Value::Atom(0)) | Expr::Const(Value::Nat(0))) {
-                        return Some(CombinerShape::MaxByLeq);
-                    }
+                if is_var(t, &b)
+                    && is_var(f, &a)
+                    && matches!(identity, Expr::Const(Value::Atom(0)) | Expr::Const(Value::Nat(0)))
+                {
+                    return Some(CombinerShape::MaxByLeq);
                 }
                 if is_var(t, &a) && is_var(f, &b) {
                     return Some(CombinerShape::MinByLeq);
@@ -167,13 +168,13 @@ pub fn recognize_combiner(identity: &Expr, u: &Expr) -> Option<CombinerShape> {
 pub fn check_orderly(expr: &Expr) -> Vec<OrderlyViolation> {
     let mut violations = Vec::new();
     expr.visit(&mut |e| match e {
-        Expr::Dcr { e: id, u, .. } | Expr::Sru { e: id, u, .. } | Expr::BDcr { e: id, u, .. } => {
-            if recognize_combiner(id, u).is_none() {
-                violations.push(OrderlyViolation {
-                    combiner: u.to_string(),
-                    reason: "combiner is not one of the whitelisted orderly shapes".to_string(),
-                });
-            }
+        Expr::Dcr { e: id, u, .. } | Expr::Sru { e: id, u, .. } | Expr::BDcr { e: id, u, .. }
+            if recognize_combiner(id, u).is_none() =>
+        {
+            violations.push(OrderlyViolation {
+                combiner: u.to_string(),
+                reason: "combiner is not one of the whitelisted orderly shapes".to_string(),
+            });
         }
         _ => {}
     });

@@ -25,7 +25,7 @@ fn main() {
     let q = RelQuery::transitive_closure(RelQuery::Input(0));
     let pairs: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
     let r = BitRelation::from_pairs(n, &pairs);
-    let compiled = run_compiled(&q, n, &[r.clone()]);
+    let compiled = run_compiled(&q, n, std::slice::from_ref(&r));
     let reference = eval_reference(&q, &[r], n);
     assert_eq!(compiled, reference);
     println!("\ncompiled TC on a {n}-node path: {} closure edges (matches the reference)",

@@ -19,7 +19,7 @@ fn main() {
     // --- Transitive closure via divide-and-conquer recursion (the §1 example).
     let tc_query = graph::tc_dcr(r.clone());
     let ty = typecheck::typecheck_closed(&tc_query).expect("the query typechecks");
-    println!("transitive closure query : {} (type {ty})", "dcr(∅, λy.r, λ(r1,r2). r1 ∪ r2 ∪ r1∘r2)(Π1 r ∪ Π2 r)");
+    println!("transitive closure query : dcr(∅, λy.r, λ(r1,r2). r1 ∪ r2 ∪ r1∘r2)(Π1 r ∪ Π2 r) (type {ty})");
     println!("recursion nesting depth  : {} (so the query is in AC^{})",
         analysis::recursion_depth(&tc_query),
         analysis::ac_level(&tc_query));

@@ -1,0 +1,201 @@
+//! Smoke tests mirroring the core path of every `examples/*.rs` target, so
+//! example rot is caught by `cargo test` instead of only by running the
+//! examples by hand. Each test keeps the example's assertions but trims the
+//! printing and the larger sweep sizes.
+
+use ncql::circuit::compile::{compile, compile_stats, run_compiled};
+use ncql::circuit::dcl::direct_connection_language;
+use ncql::circuit::logspace::{LogSpaceMeter, UniformTcFamily};
+use ncql::circuit::relquery::{eval_reference, BitRelation, RelQuery};
+use ncql::core::derived;
+use ncql::core::eval::{eval_with_stats, EvalConfig, Evaluator};
+use ncql::core::expr::Expr;
+use ncql::core::{analysis, typecheck, EvalError};
+use ncql::object::{Type, Value};
+use ncql::pram::{ParallelConfig, ParallelExecutor};
+use ncql::queries::{datagen, graph, parity, powerset, Relation};
+use ncql::surface;
+
+/// `examples/quickstart.rs`: transitive closure and parity via dcr, plus the
+/// surface-syntax round trip.
+#[test]
+fn quickstart_core_path() {
+    let edges = Relation::from_pairs(vec![(1, 2), (2, 3), (3, 4), (4, 2), (7, 8)]);
+    let r = Expr::Const(edges.to_value());
+
+    let tc_query = graph::tc_dcr(r);
+    typecheck::typecheck_closed(&tc_query).expect("the query typechecks");
+    assert!(analysis::recursion_depth(&tc_query) >= 1);
+    let (result, stats) = eval_with_stats(&tc_query).expect("evaluation succeeds");
+    assert_eq!(result, edges.transitive_closure().to_value());
+    assert!(stats.span <= stats.work);
+
+    let numbers = Expr::Const(Value::atom_set(0..13));
+    let (odd, _) = eval_with_stats(&parity::parity_dcr(numbers)).expect("parity evaluates");
+    assert_eq!(odd, Value::Bool(true));
+
+    let text = "dcr(false, \\y: atom. true, \
+                \\p: (bool * bool). if pi1 p then (if pi2 p then false else true) else pi2 p, \
+                {@1} union {@2} union {@3} union {@4} union {@5})";
+    let parsed = surface::parse(text).expect("the surface query parses");
+    let mut evaluator = Evaluator::new(EvalConfig::default());
+    let value = evaluator.eval_closed(&parsed).expect("the parsed query evaluates");
+    assert_eq!(value, Value::Bool(true));
+    let reparsed = surface::parse(&surface::print_expr(&parsed))
+        .expect("the pretty-printed query parses back");
+    assert_eq!(
+        evaluator.eval_closed(&reparsed).expect("round trip evaluates"),
+        Value::Bool(true)
+    );
+}
+
+/// `examples/graph_analytics.rs`: strategy agreement, reachability,
+/// connectivity, and the parallel executor.
+#[test]
+fn graph_analytics_core_path() {
+    for n in [8u64, 16] {
+        let rel = datagen::random_graph(n, 2.0 / n as f64, 42);
+        let r = Expr::Const(rel.to_value());
+        let (tc_dcr, dcr_stats) = eval_with_stats(&graph::tc_dcr(r.clone())).expect("tc dcr");
+        let (tc_elem, elem_stats) =
+            eval_with_stats(&graph::tc_elementwise(r)).expect("tc elementwise");
+        assert_eq!(tc_dcr, tc_elem, "both strategies compute the same closure");
+        assert_eq!(tc_dcr, rel.transitive_closure().to_value());
+        assert!(dcr_stats.span <= elem_stats.span || rel.is_empty());
+    }
+
+    let rel = datagen::cycle_graph(12);
+    let r = Expr::Const(rel.to_value());
+    let reach = eval_with_stats(&graph::reachable_from(r.clone(), Expr::atom(0)))
+        .expect("reachability")
+        .0;
+    assert_eq!(reach.cardinality(), Some(12));
+    let connected = eval_with_stats(&graph::strongly_connected(r)).expect("connectivity").0;
+    assert_eq!(connected, Value::Bool(true));
+    let path = Expr::Const(datagen::path_graph(12).to_value());
+    let connected_path =
+        eval_with_stats(&graph::strongly_connected(path)).expect("connectivity").0;
+    assert_eq!(connected_path, Value::Bool(false));
+
+    let n = 12u64;
+    let rel = datagen::path_graph(n).to_value();
+    let f = Expr::lam("y", Type::Base, Expr::Const(rel));
+    let u = graph::tc_combiner();
+    let vertices = Value::atom_set(0..=n);
+    let empty = Expr::Empty(Type::prod(Type::Base, Type::Base));
+    for threads in [1usize, 4] {
+        let executor = ParallelExecutor::new(ParallelConfig {
+            threads,
+            sequential_cutoff: 2,
+            eval: EvalConfig::default(),
+        });
+        let out = executor.par_dcr(&empty, &f, &u, &vertices).expect("parallel tc");
+        assert_eq!(out.cardinality(), Some(((n + 1) * n / 2) as usize));
+    }
+}
+
+/// `examples/complex_objects.rs`: unnest/nest on a nested store, the powerset
+/// blow-up guard, and bounded recursion.
+#[test]
+fn complex_objects_core_path() {
+    let store = datagen::document_store(4, 6, 7);
+    let store_ty = Type::set(Type::prod(Type::Base, Type::binary_relation()));
+    assert!(store.has_type(&store_ty));
+    assert_eq!(store.cardinality(), Some(4));
+
+    let unnested = derived::unnest(
+        Type::Base,
+        Type::prod(Type::Base, Type::Base),
+        Expr::Const(store),
+    );
+    typecheck::typecheck_closed(&unnested).expect("unnest typechecks");
+    let (flat, _) = eval_with_stats(&unnested).expect("unnest evaluates");
+    let renested = derived::nest(
+        Type::Base,
+        Type::prod(Type::Base, Type::Base),
+        Expr::Const(flat),
+    );
+    let (grouped, _) = eval_with_stats(&renested).expect("nest evaluates");
+    assert_eq!(grouped.cardinality(), Some(4));
+
+    let input = Expr::Const(Value::atom_set(0..18));
+    let mut limited = Evaluator::new(EvalConfig {
+        max_set_size: 4096,
+        ..EvalConfig::default()
+    });
+    match limited.eval_closed(&powerset::powerset_dcr(input.clone())) {
+        Err(EvalError::SetTooLarge { limit, attempted }) => assert!(attempted > limit),
+        other => panic!("expected the powerset blow-up to be caught, got {other:?}"),
+    }
+    let mut bounded_eval = Evaluator::new(EvalConfig {
+        max_set_size: 4096,
+        ..EvalConfig::default()
+    });
+    bounded_eval
+        .eval_closed(&powerset::bounded_small_subsets(input))
+        .expect("bounded recursion stays within the limit");
+
+    let (small, _) = eval_with_stats(&powerset::powerset_dcr(Expr::Const(Value::atom_set(0..6))))
+        .expect("small powerset");
+    assert_eq!(small.cardinality(), Some(64));
+}
+
+/// `examples/query_repl.rs`: the parse → typecheck → analyse → evaluate
+/// pipeline the runner drives, on its documented sample queries.
+#[test]
+fn query_repl_core_path() {
+    let expr = surface::parse("nat_add(20, 22)").expect("arithmetic parses");
+    typecheck::typecheck_closed(&expr).expect("arithmetic typechecks");
+    let mut evaluator = Evaluator::new(EvalConfig::default());
+    assert_eq!(evaluator.eval_closed(&expr).expect("evaluates"), Value::Nat(42));
+
+    let expr = surface::parse("{@1} union {@2} union {@1}").expect("set query parses");
+    assert_eq!(analysis::recursion_depth(&expr), 0);
+    let value = evaluator.eval_closed(&expr).expect("set query evaluates");
+    assert_eq!(value.cardinality(), Some(2));
+
+    let tc = "dcr(empty[(atom * atom)], \\y: atom. {(@1,@2)} union {(@2,@3)}, \
+              \\p: ({(atom*atom)} * {(atom*atom)}). pi1 p union pi2 p, {@1} union {@2})";
+    let expr = surface::parse(tc).expect("dcr query parses");
+    typecheck::typecheck_closed(&expr).expect("dcr query typechecks");
+    let value = evaluator.eval_closed(&expr).expect("dcr query evaluates");
+    assert_eq!(value.cardinality(), Some(2));
+}
+
+/// `examples/circuit_compilation.rs`: ACᵏ compilation stats, compiled-vs-
+/// reference agreement, and the log-space uniformity meter.
+#[test]
+fn circuit_compilation_core_path() {
+    for k in [1usize, 2] {
+        for n in [4usize, 8] {
+            let stats = compile_stats(&RelQuery::nested_depth_k(k), n);
+            assert!(stats.depth > 0 && stats.size > 0);
+        }
+    }
+
+    let n = 10;
+    let q = RelQuery::transitive_closure(RelQuery::Input(0));
+    let pairs: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    let r = BitRelation::from_pairs(n, &pairs);
+    let compiled = run_compiled(&q, n, std::slice::from_ref(&r));
+    let reference = eval_reference(&q, &[r], n);
+    assert_eq!(compiled, reference);
+    assert_eq!(compiled.pairs().len(), n * (n - 1) / 2);
+
+    let union = compile(&RelQuery::union(RelQuery::Input(0), RelQuery::Input(1)), 16);
+    assert!(union.depth() <= 4, "union is constant depth");
+
+    for n in [3usize, 5, 8] {
+        let circuit = UniformTcFamily::generate(n);
+        let dcl = direct_connection_language(n, &circuit);
+        assert!(!dcl.is_empty());
+        // Same O(log gates) budget the crate's own uniformity test uses.
+        let budget =
+            16 * (usize::BITS - UniformTcFamily::total_gates(n).leading_zeros()) as u64;
+        for tuple in dcl.iter().take(200) {
+            let mut meter = LogSpaceMeter::new();
+            assert!(UniformTcFamily::dcl_member(n, tuple, &mut meter));
+            assert!(meter.bits_used() <= budget);
+        }
+    }
+}

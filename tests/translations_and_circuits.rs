@@ -21,6 +21,20 @@ fn xor_u() -> Expr {
 }
 
 #[test]
+fn prop21_translation_preserves_semantics_on_parity() {
+    let x = Expr::Const(Value::atom_set(0..9));
+    let f = Expr::lam("y", Type::Base, Expr::Bool(true));
+    let direct = Expr::dcr(Expr::Bool(false), f.clone(), xor_u(), x.clone());
+    let translated =
+        prop21::dcr_via_esr(Expr::Bool(false), f, xor_u(), x, Type::Base, Type::Bool);
+    assert_eq!(
+        eval_closed(&direct).unwrap(),
+        eval_closed(&translated).unwrap()
+    );
+    assert_eq!(eval_closed(&direct).unwrap(), Value::Bool(true));
+}
+
+#[test]
 fn prop21_translations_preserve_semantics_on_graph_queries() {
     // dcr → esr on the union-of-relations recursion used by TC.
     let rel = datagen::cycle_graph(5);
@@ -151,7 +165,7 @@ fn compiled_circuits_agree_with_the_language_semantics_on_shared_graphs() {
 
         let bitrel = BitRelation::from_pairs(n, &pairs);
         let q = RelQuery::transitive_closure(RelQuery::Input(0));
-        let compiled = run_compiled(&q, n, &[bitrel.clone()]);
+        let compiled = run_compiled(&q, n, std::slice::from_ref(&bitrel));
         let compiled_rel: Relation = compiled
             .pairs()
             .into_iter()

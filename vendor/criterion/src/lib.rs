@@ -1,0 +1,230 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the surface the E1-E12 benches use — `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, warm_up_time, measurement_time,
+//! bench_with_input, bench_function, finish}`, `Bencher::iter`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros — as a
+//! straightforward wall-clock harness: each benchmark warms up, then runs
+//! `sample_size` samples and reports min/mean/max per iteration to stdout.
+//! No statistics, plots or HTML reports. Swap for the registry crate when
+//! network access is available; the bench sources are written against the real
+//! criterion API (and `harness = false` stays correct).
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Display, P: Display>(function_name: S, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> BenchmarkId {
+        BenchmarkId { id: name.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> BenchmarkId {
+        BenchmarkId { id: name }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it `self.iters` times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        eprintln!("benchmarking group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Criterion {
+        let mut group = self.benchmark_group(name);
+        group.bench_function("bench", f);
+        group.finish();
+        self
+    }
+}
+
+/// A named set of related benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, f);
+        self
+    }
+
+    pub fn bench_with_input<I, P, F>(&mut self, id: I, input: &P, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &P),
+    {
+        let id = id.into();
+        self.run(&id.id, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        // Warm-up: also calibrates how many iterations fit one sample.
+        let mut iters: u64 = 1;
+        let warm_up_end = Instant::now() + self.warm_up_time;
+        let mut per_iter = Duration::from_micros(1);
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            per_iter = b.elapsed.checked_div(iters as u32).unwrap_or(per_iter);
+            if Instant::now() >= warm_up_end {
+                break;
+            }
+            iters = iters.saturating_mul(2).min(1 << 20);
+        }
+        let budget_per_sample = self.measurement_time.checked_div(self.sample_size as u32);
+        let iters_per_sample = match budget_per_sample {
+            Some(budget) if per_iter > Duration::ZERO => {
+                ((budget.as_nanos() / per_iter.as_nanos().max(1)) as u64).clamp(1, 1 << 20)
+            }
+            _ => 1,
+        };
+
+        let (mut min, mut max, mut total) = (Duration::MAX, Duration::ZERO, Duration::ZERO);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters: iters_per_sample,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            let per = b.elapsed.checked_div(iters_per_sample as u32).unwrap_or_default();
+            min = min.min(per);
+            max = max.max(per);
+            total += per;
+        }
+        let mean = total.checked_div(self.sample_size as u32).unwrap_or_default();
+        println!(
+            "{}/{id}: [{min:?} {mean:?} {max:?}] ({} samples x {iters_per_sample} iters)",
+            self.name, self.sample_size
+        );
+    }
+}
+
+/// Mirrors `criterion::criterion_group!` (plain-targets form).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("id", 7), &7u64, |b, &n| {
+            ran = true;
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

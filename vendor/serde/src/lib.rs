@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace marks its data types `#[derive(Serialize, Deserialize)]` so a
+//! future wire format can serialize them, but no code path serializes today.
+//! This stub provides the two traits (blanket-implemented, so bounds written
+//! against them hold) and re-exports the no-op derive macros under the same
+//! names, exactly like `serde` with the `derive` feature. Swap for the registry
+//! crate when network access is available; no call sites change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as a marker —
+//! nothing in the tree calls a serializer — so these derives validate the
+//! attribute position and expand to nothing. See `vendor/README.md`.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
