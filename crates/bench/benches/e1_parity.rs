@@ -1,9 +1,12 @@
-//! E1 — §1 parity example: evaluation time of the dcr, esr and loop variants.
+//! E1 — §1 parity example: evaluation time of the dcr, esr and loop variants,
+//! with the dcr variant additionally timed on the parallel backend (threads
+//! from `NCQL_TEST_PARALLELISM`, default 4).
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ncql_core::eval::eval_closed;
 use ncql_core::expr::Expr;
+use ncql_core::parallelism_from_env;
 use ncql_object::Value;
-use ncql_queries::parity;
+use ncql_queries::{eval_query, parity};
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
@@ -19,6 +22,10 @@ fn bench(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("loop", n), &n, |b, _| {
             b.iter(|| eval_closed(&parity::parity_loop(input.clone())).unwrap())
+        });
+        let threads = parallelism_from_env().unwrap_or(4);
+        group.bench_with_input(BenchmarkId::new(format!("dcr_par{threads}"), n), &n, |b, _| {
+            b.iter(|| eval_query(&parity::parity_dcr(input.clone()), Some(threads)).unwrap())
         });
     }
     group.finish();

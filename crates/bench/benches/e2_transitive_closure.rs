@@ -1,8 +1,11 @@
-//! E2 — transitive closure (§1 / Example 7.1): dcr vs log-loop vs element-wise.
+//! E2 — transitive closure (§1 / Example 7.1): dcr vs log-loop vs element-wise,
+//! with the dcr form additionally timed on the parallel backend (threads from
+//! `NCQL_TEST_PARALLELISM`, default 4).
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ncql_core::eval::eval_closed;
+use ncql_core::eval::{eval_closed, EvalConfig};
 use ncql_core::expr::Expr;
-use ncql_queries::{datagen, graph};
+use ncql_core::parallelism_from_env;
+use ncql_queries::{datagen, eval_query_with, graph};
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
@@ -22,6 +25,14 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("baseline_seminaive", n), &n, |b, _| {
             let rel = datagen::path_graph(n);
             b.iter(|| rel.transitive_closure_seminaive())
+        });
+        let threads = parallelism_from_env().unwrap_or(4);
+        group.bench_with_input(BenchmarkId::new(format!("dcr_par{threads}"), n), &n, |b, _| {
+            let forking = EvalConfig {
+                parallel_cutoff: 256,
+                ..EvalConfig::default()
+            };
+            b.iter(|| eval_query_with(&graph::tc_dcr(r.clone()), Some(threads), forking.clone()).unwrap())
         });
     }
     group.finish();

@@ -1,44 +1,51 @@
-//! E7 — PTIME vs NC: wall-clock of the parallel dcr tree vs the sequential fold.
+//! E7 — PTIME vs NC: wall-clock of the parallel evaluation backend vs the
+//! sequential backend on the dcr transitive closure, plus the large-set
+//! speedup criterion: a dcr aggregate over a set of 2^14 elements at
+//! `parallelism = 4` must beat the sequential backend.
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ncql_core::derived;
-use ncql_core::eval::EvalConfig;
+use ncql_core::eval::{eval_closed, EvalConfig};
 use ncql_core::expr::Expr;
-use ncql_object::{Type, Value};
-use ncql_pram::{ParallelConfig, ParallelExecutor};
-use ncql_queries::{datagen, graph};
+use ncql_core::parallel::ParallelEvaluator;
+use ncql_object::Value;
+use ncql_queries::{aggregates, datagen, graph};
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_ptime_vs_nc");
     group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
-    let executor = ParallelExecutor::new(ParallelConfig {
-        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
-        sequential_cutoff: 4,
-        eval: EvalConfig::default(),
-    });
     for n in [16u64, 32] {
-        let rel = datagen::path_graph(n).to_value();
-        let rel_ty = Type::binary_relation();
-        let f = Expr::lam("y", Type::Base, Expr::Const(rel.clone()));
-        let u = graph::tc_combiner();
-        let i = Expr::lam2(
-            "v",
-            "acc",
-            Type::prod(Type::Base, rel_ty),
-            Expr::union(
-                Expr::union(Expr::var("acc"), Expr::Const(rel.clone())),
-                derived::compose(Type::Base, Type::Base, Type::Base, Expr::var("acc"), Expr::Const(rel.clone())),
-            ),
-        );
-        let vertices = Value::atom_set(0..=n);
-        let empty = Expr::Empty(Type::prod(Type::Base, Type::Base));
+        let query = graph::tc_dcr(Expr::Const(datagen::path_graph(n).to_value()));
         group.bench_with_input(BenchmarkId::new("parallel_dcr", n), &n, |b, _| {
-            b.iter(|| executor.par_dcr(&empty, &f, &u, &vertices).unwrap())
+            b.iter(|| {
+                let mut ev = ParallelEvaluator::with_config(EvalConfig {
+                    parallelism: Some(4),
+                    parallel_cutoff: 256,
+                    ..EvalConfig::default()
+                });
+                ev.eval_closed(&query).unwrap()
+            })
         });
-        group.bench_with_input(BenchmarkId::new("sequential_fold", n), &n, |b, _| {
-            b.iter(|| executor.seq_fold(&empty, &i, &vertices).unwrap())
+        group.bench_with_input(BenchmarkId::new("sequential_dcr", n), &n, |b, _| {
+            b.iter(|| eval_closed(&query).unwrap())
         });
     }
+    // The speedup criterion: sum of atom values over a set of 2^14 elements —
+    // 16384 independent leaf applications followed by a combining tree.
+    let n = 1u64 << 14;
+    let big = Expr::Const(Value::atom_set(0..n));
+    let sum = aggregates::sum_dcr(big, |x| Expr::extern_call("atom_to_nat", vec![x]));
+    group.bench_with_input(BenchmarkId::new("parallel_sum_dcr", n), &n, |b, _| {
+        b.iter(|| {
+            let mut ev = ParallelEvaluator::with_config(EvalConfig {
+                parallelism: Some(4),
+                ..EvalConfig::default()
+            });
+            ev.eval_closed(&sum).unwrap()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("sequential_sum_dcr", n), &n, |b, _| {
+        b.iter(|| eval_closed(&sum).unwrap())
+    });
     group.finish();
 }
 

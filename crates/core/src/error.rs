@@ -100,6 +100,11 @@ pub enum EvalError {
     /// and its combiner failed the associativity/commutativity/identity check on
     /// the values actually encountered.
     IllFormedRecursion(String),
+    /// A worker thread of the parallel backend panicked (e.g. inside a buggy
+    /// extern). The panic is caught at the shard boundary, every sibling
+    /// worker is joined and its partial results discarded, and the payload
+    /// message is preserved here instead of aborting the process.
+    WorkerPanicked(String),
 }
 
 impl fmt::Display for EvalError {
@@ -117,6 +122,9 @@ impl fmt::Display for EvalError {
             }
             EvalError::IllFormedRecursion(msg) => {
                 write!(f, "ill-formed recursion (algebraic laws violated): {msg}")
+            }
+            EvalError::WorkerPanicked(msg) => {
+                write!(f, "a parallel worker panicked: {msg}")
             }
         }
     }

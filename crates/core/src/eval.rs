@@ -20,7 +20,9 @@ use crate::expr::Expr;
 use crate::externs::ExternRegistry;
 use crate::EvalResult;
 use ncql_object::{VSet, Value};
-use std::rc::Rc;
+use ncql_pram::{ParallelConfig, ParallelExecutor, TaskError};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
 
 /// Resource limits and options for an evaluation.
 #[derive(Clone)]
@@ -38,6 +40,18 @@ pub struct EvalConfig {
     pub check_algebraic_laws: bool,
     /// The external function registry Σ.
     pub registry: ExternRegistry,
+    /// Number of worker threads for the parallel backend. `None` (the default)
+    /// and `Some(0 | 1)` evaluate strictly sequentially; `Some(n)` with `n ≥ 2`
+    /// forks the `ext` element map and the `dcr`/`sru`/`bdcr` leaf map and
+    /// combining-tree rounds across `n` scoped worker threads via `ncql-pram`.
+    /// The cost model (work, span, counters) is identical under both backends.
+    pub parallelism: Option<usize>,
+    /// Cost-model-driven cutover for the parallel backend: a region (leaf map,
+    /// `ext` map, or one combining round) is only forked when its *estimated*
+    /// work — number of independent applications × the applied closure's body
+    /// size — reaches this threshold. Small sets therefore never pay thread
+    /// start-up costs. Ignored when `parallelism` is `None`.
+    pub parallel_cutoff: u64,
 }
 
 impl Default for EvalConfig {
@@ -47,6 +61,8 @@ impl Default for EvalConfig {
             max_work: u64::MAX,
             check_algebraic_laws: false,
             registry: ExternRegistry::standard(),
+            parallelism: None,
+            parallel_cutoff: 4096,
         }
     }
 }
@@ -57,6 +73,8 @@ impl std::fmt::Debug for EvalConfig {
             .field("max_set_size", &self.max_set_size)
             .field("max_work", &self.max_work)
             .field("check_algebraic_laws", &self.check_algebraic_laws)
+            .field("parallelism", &self.parallelism)
+            .field("parallel_cutoff", &self.parallel_cutoff)
             .finish()
     }
 }
@@ -90,24 +108,28 @@ enum RtVal {
     Clo(Closure),
 }
 
+/// Function values. `Arc`-shared body and environment make closures `Send +
+/// Sync`, so the parallel backend can hand the *same* closure to every worker
+/// thread instead of deep-copying expressions per element (the `Rc` this used
+/// to be would have pinned evaluation to one thread).
 #[derive(Debug, Clone)]
 struct Closure {
     param: String,
-    body: Rc<Expr>,
+    body: Arc<Expr>,
     env: Env,
 }
 
-/// Persistent environment (cheap to clone, shared tails).
+/// Persistent environment (cheap to clone, shared tails across threads).
 #[derive(Debug, Clone, Default)]
 struct Env {
-    head: Option<Rc<EnvNode>>,
+    head: Option<Arc<EnvNode>>,
 }
 
 #[derive(Debug)]
 struct EnvNode {
     name: String,
     val: RtVal,
-    next: Option<Rc<EnvNode>>,
+    next: Option<Arc<EnvNode>>,
 }
 
 impl Env {
@@ -117,7 +139,7 @@ impl Env {
 
     fn extend(&self, name: String, val: RtVal) -> Env {
         Env {
-            head: Some(Rc::new(EnvNode {
+            head: Some(Arc::new(EnvNode {
                 name,
                 val,
                 next: self.head.clone(),
@@ -177,11 +199,29 @@ pub fn meet(v: &Value, bound: &Value) -> EvalResult<Value> {
     }
 }
 
+/// Collapse a `ncql-pram` task error into an evaluation error: a worker that
+/// failed forwards its own error; a worker that *panicked* (e.g. inside a
+/// buggy extern) surfaces as [`EvalError::WorkerPanicked`] instead of
+/// unwinding through the thread scope and aborting the process.
+fn flatten_task_error(e: TaskError<EvalError>) -> EvalError {
+    match e {
+        TaskError::Failed(err) => err,
+        TaskError::Panicked(msg) => EvalError::WorkerPanicked(msg),
+    }
+}
+
 /// The instrumented evaluator.
 #[derive(Debug)]
 pub struct Evaluator {
     config: EvalConfig,
     stats: CostStats,
+    /// Work charged by *all* threads of one top-level evaluation, used to
+    /// enforce `max_work` globally when the parallel backend is active: each
+    /// worker's local tally only sees its own shard, so without a shared
+    /// budget a query could exceed the limit by up to a factor of `threads`.
+    /// `None` whenever enforcement can be done on the local tally alone
+    /// (sequential backend, or no finite limit configured).
+    shared_work: Option<Arc<AtomicU64>>,
 }
 
 impl Default for Evaluator {
@@ -196,6 +236,22 @@ impl Evaluator {
         Evaluator {
             config,
             stats: CostStats::default(),
+            shared_work: None,
+        }
+    }
+
+    /// A worker evaluator for one parallel shard: same limits and registry,
+    /// fresh statistics (absorbed by the parent after the join), the parent's
+    /// shared work budget, and no nested parallelism (the region that spawned
+    /// the worker already owns the configured threads).
+    fn worker(&self) -> Evaluator {
+        Evaluator {
+            config: EvalConfig {
+                parallelism: None,
+                ..self.config.clone()
+            },
+            stats: CostStats::default(),
+            shared_work: self.shared_work.clone(),
         }
     }
 
@@ -222,6 +278,13 @@ impl Evaluator {
         bindings: &[(String, Value)],
     ) -> EvalResult<Value> {
         self.stats = CostStats::default();
+        // A finite work limit under the parallel backend needs one budget
+        // shared by every thread of this evaluation (see `shared_work`).
+        self.shared_work = if self.parallel_threads() > 1 && self.config.max_work != u64::MAX {
+            Some(Arc::new(AtomicU64::new(0)))
+        } else {
+            None
+        };
         let mut env = Env::empty();
         for (name, value) in bindings {
             env = env.extend(name.clone(), RtVal::Obj(value.clone()));
@@ -235,12 +298,60 @@ impl Evaluator {
 
     fn add_work(&mut self, amount: u64) -> EvalResult<()> {
         self.stats.work = self.stats.work.saturating_add(amount);
-        if self.stats.work > self.config.max_work {
+        let charged = match &self.shared_work {
+            // Global budget: every thread adds its charge here, so the limit
+            // fires on the same total work as the sequential backend.
+            Some(total) => total
+                .fetch_add(amount, AtomicOrdering::Relaxed)
+                .saturating_add(amount),
+            None => self.stats.work,
+        };
+        if charged > self.config.max_work {
             return Err(EvalError::WorkLimitExceeded {
                 limit: self.config.max_work,
             });
         }
         Ok(())
+    }
+
+    /// Fold a joined worker's statistics into this evaluator's tallies. Work
+    /// and the per-construct counters are additive; the set-size and round
+    /// high-water marks take the maximum. (Span is not a tally — it is
+    /// threaded through the `(value, span)` results themselves.)
+    fn absorb_stats(&mut self, worker: &CostStats) {
+        self.stats.work = self.stats.work.saturating_add(worker.work);
+        self.stats.combiner_calls += worker.combiner_calls;
+        self.stats.step_calls += worker.step_calls;
+        self.stats.ext_calls += worker.ext_calls;
+        self.stats.sequential_rounds = self.stats.sequential_rounds.max(worker.sequential_rounds);
+        self.stats.max_set_size = self.stats.max_set_size.max(worker.max_set_size);
+    }
+
+    /// The number of worker threads the configuration allows (1 = sequential).
+    fn parallel_threads(&self) -> usize {
+        match self.config.parallelism {
+            Some(n) if n > 1 => n,
+            _ => 1,
+        }
+    }
+
+    /// Decide whether a region of `apps` independent applications of a closure
+    /// with the given body is worth forking: the tracked work estimate
+    /// (applications × body size) must reach `parallel_cutoff`. Returns the
+    /// executor to fork on, or `None` to stay sequential.
+    fn parallel_region(&self, apps: usize, body: &Expr) -> Option<ParallelExecutor> {
+        let threads = self.parallel_threads();
+        if threads <= 1 || apps < 2 {
+            return None;
+        }
+        let estimate = (apps as u64).saturating_mul(1 + body.size() as u64);
+        if estimate < self.config.parallel_cutoff {
+            return None;
+        }
+        Some(ParallelExecutor::new(ParallelConfig {
+            threads,
+            sequential_cutoff: 1,
+        }))
     }
 
     fn note_set(&mut self, s: &VSet) -> EvalResult<()> {
@@ -307,7 +418,7 @@ impl Evaluator {
             Expr::Lam(x, _, body) => Ok((
                 RtVal::Clo(Closure {
                     param: x.clone(),
-                    body: Rc::new((**body).clone()),
+                    body: Arc::new((**body).clone()),
                     env: env.clone(),
                 }),
                 0,
@@ -393,11 +504,21 @@ impl Evaluator {
             Expr::Ext(f, e) => {
                 let (clo, sf) = self.eval_clo(f, env, "ext function")?;
                 let (set, se) = self.eval_set(e, env, "ext argument")?;
+                let mapped: Vec<(Value, u64)> =
+                    match self.parallel_region(set.len(), &clo.body) {
+                        Some(pool) => self.par_leaf_map(&pool, &clo, set.as_slice(), true, &None)?,
+                        None => {
+                            let mut out = Vec::with_capacity(set.len());
+                            for x in set.iter() {
+                                self.stats.ext_calls += 1;
+                                out.push(self.apply_obj(&clo, x.clone())?);
+                            }
+                            out
+                        }
+                    };
                 let mut parts: Vec<Value> = Vec::new();
                 let mut max_elem_span = 0u64;
-                for x in set.iter() {
-                    self.stats.ext_calls += 1;
-                    let (res, sx) = self.apply_obj(&clo, x.clone())?;
+                for (res, sx) in mapped {
                     max_elem_span = max_elem_span.max(sx);
                     match res {
                         Value::Set(s) => parts.extend(s.into_vec()),
@@ -489,47 +610,158 @@ impl Evaluator {
         }
 
         // Leaves: f applied to every element, independently (parallel).
-        let mut leaves: Vec<(Value, u64)> = Vec::with_capacity(set.len());
-        for x in set.iter() {
-            let (mut v, s) = self.apply_obj(&f_clo, x.clone())?;
-            if let Some(b) = &bound_val {
-                v = meet(&v, b)?;
+        let leaves: Vec<(Value, u64)> = match self.parallel_region(set.len(), &f_clo.body) {
+            Some(pool) => self.par_leaf_map(&pool, &f_clo, set.as_slice(), false, &bound_val)?,
+            None => {
+                let mut out = Vec::with_capacity(set.len());
+                for x in set.iter() {
+                    let (mut v, s) = self.apply_obj(&f_clo, x.clone())?;
+                    if let Some(b) = &bound_val {
+                        v = meet(&v, b)?;
+                    }
+                    if let Value::Set(s) = &v {
+                        self.note_set(s)?;
+                    }
+                    out.push((v, s));
+                }
+                out
             }
-            if let Value::Set(s) = &v {
-                self.note_set(s)?;
-            }
-            leaves.push((v, s));
-        }
+        };
 
         if self.config.check_algebraic_laws {
             self.spot_check_laws(&u_clo, &e_val, &leaves, &bound_val)?;
         }
 
-        // Balanced combining tree.
+        // Balanced combining tree; each round's pairings are independent, so a
+        // round is a parallel region of its own (the top of the tree has too
+        // few pairs to clear the cutover and falls back to sequential).
         let mut level = leaves;
         while level.len() > 1 {
-            let mut next = Vec::with_capacity(level.len().div_ceil(2));
-            let mut it = level.into_iter();
-            while let Some((a, sa)) = it.next() {
-                match it.next() {
-                    Some((b, sbn)) => {
-                        self.stats.combiner_calls += 1;
-                        let (mut c, sc) = self.apply2(&u_clo, a, b)?;
-                        if let Some(bd) = &bound_val {
-                            c = meet(&c, bd)?;
-                        }
-                        if let Value::Set(s) = &c {
-                            self.note_set(s)?;
-                        }
-                        next.push((c, sa.max(sbn) + sc));
-                    }
-                    None => next.push((a, sa)),
-                }
-            }
-            level = next;
+            level = match self.parallel_region(level.len() / 2, &u_clo.body) {
+                Some(pool) => self.par_combine_round(&pool, &u_clo, level, &bound_val)?,
+                None => self.seq_combine_round(&u_clo, level, &bound_val)?,
+            };
         }
         let (result, tree_span) = level.pop().expect("non-empty set has a combining result");
         Ok((RtVal::Obj(result), prefix_span + tree_span + 1))
+    }
+
+    /// One sequential round of pairwise combining: `u(v₀,v₁), u(v₂,v₃), …`,
+    /// with an odd tail element passed through unchanged.
+    fn seq_combine_round(
+        &mut self,
+        u_clo: &Closure,
+        level: Vec<(Value, u64)>,
+        bound_val: &Option<Value>,
+    ) -> EvalResult<Vec<(Value, u64)>> {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut it = level.into_iter();
+        while let Some((a, sa)) = it.next() {
+            match it.next() {
+                Some((b, sbn)) => {
+                    self.stats.combiner_calls += 1;
+                    let (mut c, sc) = self.apply2(u_clo, a, b)?;
+                    if let Some(bd) = bound_val {
+                        c = meet(&c, bd)?;
+                    }
+                    if let Value::Set(s) = &c {
+                        self.note_set(s)?;
+                    }
+                    next.push((c, sa.max(sbn) + sc));
+                }
+                None => next.push((a, sa)),
+            }
+        }
+        Ok(next)
+    }
+
+    // ----- parallel backend (forking onto `ncql-pram`) -----
+
+    /// Apply `clo` to every element across the pool's worker threads, returning
+    /// per-element `(value, span)` in element order. `is_ext` selects the `ext`
+    /// accounting (per-element `ext_calls`) versus the recursor-leaf accounting
+    /// (bounding meet + set-size notes). Worker statistics are absorbed after
+    /// the join, so work tallies match the sequential backend exactly.
+    fn par_leaf_map(
+        &mut self,
+        pool: &ParallelExecutor,
+        clo: &Closure,
+        elements: &[Value],
+        is_ext: bool,
+        bound_val: &Option<Value>,
+    ) -> EvalResult<Vec<(Value, u64)>> {
+        let parent = self.worker();
+        let shards = pool
+            .par_chunks(elements, |_, shard| {
+                let mut ev = parent.worker();
+                let mut out = Vec::with_capacity(shard.len());
+                for x in shard {
+                    if is_ext {
+                        ev.stats.ext_calls += 1;
+                    }
+                    let (mut v, s) = ev.apply_obj(clo, x.clone())?;
+                    if !is_ext {
+                        if let Some(b) = bound_val {
+                            v = meet(&v, b)?;
+                        }
+                        if let Value::Set(s) = &v {
+                            ev.note_set(s)?;
+                        }
+                    }
+                    out.push((v, s));
+                }
+                Ok::<_, EvalError>((out, ev.stats))
+            })
+            .map_err(flatten_task_error)?;
+        let mut out = Vec::with_capacity(elements.len());
+        for (items, stats) in shards {
+            self.absorb_stats(&stats);
+            out.extend(items);
+        }
+        Ok(out)
+    }
+
+    /// One parallel round of pairwise combining, sharded across the pool.
+    /// Pairings, spans and tallies are identical to [`Self::seq_combine_round`].
+    fn par_combine_round(
+        &mut self,
+        pool: &ParallelExecutor,
+        u_clo: &Closure,
+        level: Vec<(Value, u64)>,
+        bound_val: &Option<Value>,
+    ) -> EvalResult<Vec<(Value, u64)>> {
+        let pairs: Vec<&[(Value, u64)]> = level.chunks(2).collect();
+        let parent = self.worker();
+        let shards = pool
+            .par_chunks(&pairs, |_, shard| {
+                let mut ev = parent.worker();
+                let mut out = Vec::with_capacity(shard.len());
+                for chunk in shard {
+                    match chunk {
+                        [(a, sa), (b, sbn)] => {
+                            ev.stats.combiner_calls += 1;
+                            let (mut c, sc) = ev.apply2(u_clo, a.clone(), b.clone())?;
+                            if let Some(bd) = bound_val {
+                                c = meet(&c, bd)?;
+                            }
+                            if let Value::Set(s) = &c {
+                                ev.note_set(s)?;
+                            }
+                            out.push((c, (*sa).max(*sbn) + sc));
+                        }
+                        [(a, sa)] => out.push((a.clone(), *sa)),
+                        _ => unreachable!("chunks(2) yields chunks of length 1 or 2"),
+                    }
+                }
+                Ok::<_, EvalError>((out, ev.stats))
+            })
+            .map_err(flatten_task_error)?;
+        let mut out = Vec::with_capacity(pairs.len());
+        for (items, stats) in shards {
+            self.absorb_stats(&stats);
+            out.extend(items);
+        }
+        Ok(out)
     }
 
     /// Spot-check the algebraic preconditions of `dcr`/`sru` on the values that

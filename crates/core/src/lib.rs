@@ -18,6 +18,12 @@
 //!   computations, and the span of `sri` is linear — this is exactly the
 //!   observable difference between the NC language (Theorems 6.1/6.2) and the
 //!   PTIME language (Proposition 6.6).
+//! * [`parallel`] — the parallel evaluation backend: with
+//!   `EvalConfig::parallelism` set (or through [`parallel::ParallelEvaluator`]),
+//!   the `ext` element map and the `dcr` leaf map and combining-tree rounds are
+//!   forked across scoped worker threads on the `ncql-pram` substrate, with a
+//!   cost-model-driven cutover so small regions stay sequential. Values and
+//!   cost statistics are bit-identical to the sequential backend.
 //! * [`analysis`] — free variables, expression size, and the *depth of recursion
 //!   nesting* of §3, which stratifies the language into the ACᵏ levels.
 //! * [`wellformed`] — the bounded checker for the algebraic preconditions
@@ -36,12 +42,14 @@ pub mod error;
 pub mod eval;
 pub mod expr;
 pub mod externs;
+pub mod parallel;
 pub mod typecheck;
 pub mod wellformed;
 
 pub use error::{EvalError, TypeError};
 pub use eval::{CostStats, EvalConfig, Evaluator};
 pub use expr::Expr;
+pub use parallel::{eval_parallel, parallelism_from_env, ParallelEvaluator};
 pub use typecheck::{typecheck, typecheck_closed, TypeEnv};
 
 /// Convenient result alias for evaluation.

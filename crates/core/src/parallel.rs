@@ -1,0 +1,264 @@
+//! The parallel evaluation backend: a thin, explicit front door over the
+//! parallel dispatch built into [`crate::eval::Evaluator`].
+//!
+//! The paper's Theorem 6.2 places the `bdcr` language in NC because `ext`
+//! applies its function to all elements *independently* and the `dcr`
+//! combining tree has depth `⌈log₂ m⌉`. The evaluator's cost model has always
+//! scored queries that way; with `EvalConfig::parallelism` set, the same two
+//! constructs are now actually forked across scoped worker threads (via the
+//! `ncql-pram` substrate), so the model's span translates into wall-clock
+//! speedup. The backends are *observationally identical*: values, work, span
+//! and every per-construct counter agree bit-for-bit, and a resource-limit
+//! error (`SetTooLarge` / `WorkLimitExceeded`) fires in a parallel run
+//! exactly when one fires sequentially — though when both limits are crossed
+//! by the same evaluation, which of the two is reported may differ, since
+//! shards discover their budget overruns concurrently. The differential test
+//! suite pins all of this down.
+//!
+//! Cutover: forking a region only pays when there is enough work to amortize
+//! thread start-up, so a region (leaf map, `ext` map, or one combining round)
+//! is forked only when `applications × closure body size` reaches
+//! `EvalConfig::parallel_cutoff`; smaller regions — and the top of every
+//! combining tree — run sequentially on the calling thread.
+
+use crate::eval::{CostStats, EvalConfig, Evaluator};
+use crate::expr::Expr;
+use crate::EvalResult;
+use ncql_object::Value;
+
+/// An evaluator that forks `ext` element maps and `dcr`/`sru`/`bdcr` leaf maps
+/// and combining-tree rounds across worker threads. Produces bit-identical
+/// values and cost statistics to the sequential [`Evaluator`].
+#[derive(Debug)]
+pub struct ParallelEvaluator {
+    inner: Evaluator,
+}
+
+impl ParallelEvaluator {
+    /// Create a parallel evaluator with the default configuration and the
+    /// given number of worker threads (values `0` and `1` degrade to the
+    /// sequential backend).
+    pub fn new(threads: usize) -> ParallelEvaluator {
+        ParallelEvaluator::with_config(EvalConfig {
+            parallelism: Some(threads),
+            ..EvalConfig::default()
+        })
+    }
+
+    /// Create a parallel evaluator from a full configuration. A `parallelism`
+    /// of `None` is upgraded to the number of available cores — constructing a
+    /// `ParallelEvaluator` is an explicit request for the parallel backend.
+    pub fn with_config(config: EvalConfig) -> ParallelEvaluator {
+        let threads = config
+            .parallelism
+            .unwrap_or_else(ncql_pram::available_threads);
+        ParallelEvaluator {
+            inner: Evaluator::new(EvalConfig {
+                parallelism: Some(threads),
+                ..config
+            }),
+        }
+    }
+
+    /// The number of worker threads this evaluator forks onto.
+    pub fn threads(&self) -> usize {
+        self.inner.config().parallelism.unwrap_or(1)
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &EvalConfig {
+        self.inner.config()
+    }
+
+    /// Cost statistics of the most recent evaluation (identical to what the
+    /// sequential backend reports for the same query).
+    pub fn stats(&self) -> CostStats {
+        self.inner.stats()
+    }
+
+    /// Evaluate a closed expression of object type. Resets the statistics.
+    pub fn eval_closed(&mut self, expr: &Expr) -> EvalResult<Value> {
+        self.inner.eval_closed(expr)
+    }
+
+    /// Evaluate an expression whose free variables are bound to the given
+    /// complex-object values. Resets the statistics.
+    pub fn eval_with_bindings(
+        &mut self,
+        expr: &Expr,
+        bindings: &[(String, Value)],
+    ) -> EvalResult<Value> {
+        self.inner.eval_with_bindings(expr, bindings)
+    }
+}
+
+/// Evaluate a closed expression on the parallel backend with the given number
+/// of worker threads, returning the value and the cost statistics.
+pub fn eval_parallel(expr: &Expr, threads: usize) -> EvalResult<(Value, CostStats)> {
+    let mut ev = ParallelEvaluator::new(threads);
+    let v = ev.eval_closed(expr)?;
+    Ok((v, ev.stats()))
+}
+
+/// The parallelism requested through the *test* environment knob
+/// `NCQL_TEST_PARALLELISM`: `None` when unset, empty, or unparseable. The CI
+/// matrix sets it so the differential suite and the bench parallel variants
+/// exercise both backends on every push. User-facing surfaces (the REPL
+/// example) read their own `NCQL_PARALLELISM` knob instead, so the test
+/// variable never silently overrides an explicit user request.
+pub fn parallelism_from_env() -> Option<usize> {
+    let raw = std::env::var("NCQL_TEST_PARALLELISM").ok()?;
+    raw.trim().parse::<usize>().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::EvalError;
+    use crate::eval::eval_with_stats;
+    use crate::externs::ExternRegistry;
+    use ncql_object::Type;
+
+    fn parity(n: u64) -> Expr {
+        let xor = Expr::lam2(
+            "a",
+            "b",
+            Type::prod(Type::Bool, Type::Bool),
+            Expr::ite(
+                Expr::var("a"),
+                Expr::ite(Expr::var("b"), Expr::Bool(false), Expr::Bool(true)),
+                Expr::var("b"),
+            ),
+        );
+        Expr::dcr(
+            Expr::Bool(false),
+            Expr::lam("y", Type::Base, Expr::Bool(true)),
+            xor,
+            Expr::Const(Value::atom_set(0..n)),
+        )
+    }
+
+    #[test]
+    fn parallel_backend_matches_sequential_values_and_stats() {
+        for n in [0u64, 1, 2, 63, 64, 257] {
+            let e = parity(n);
+            let (seq_v, seq_stats) = eval_with_stats(&e).unwrap();
+            for threads in [1usize, 2, 4, 8] {
+                let mut ev = ParallelEvaluator::with_config(EvalConfig {
+                    parallelism: Some(threads),
+                    parallel_cutoff: 1,
+                    ..EvalConfig::default()
+                });
+                let par_v = ev.eval_closed(&e).unwrap();
+                assert_eq!(par_v, seq_v, "value n={n} threads={threads}");
+                assert_eq!(ev.stats(), seq_stats, "stats n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn ext_forks_and_matches() {
+        let f = Expr::lam(
+            "x",
+            Type::Base,
+            Expr::union(
+                Expr::singleton(Expr::var("x")),
+                Expr::singleton(Expr::atom(100_000)),
+            ),
+        );
+        let e = Expr::ext(f, Expr::Const(Value::atom_set(0..500)));
+        let (seq_v, seq_stats) = eval_with_stats(&e).unwrap();
+        let mut ev = ParallelEvaluator::with_config(EvalConfig {
+            parallelism: Some(4),
+            parallel_cutoff: 1,
+            ..EvalConfig::default()
+        });
+        assert_eq!(ev.eval_closed(&e).unwrap(), seq_v);
+        assert_eq!(ev.stats(), seq_stats);
+    }
+
+    #[test]
+    fn work_limit_fires_identically_across_backends() {
+        let e = parity(128);
+        let (_, full) = eval_with_stats(&e).unwrap();
+        for limit in [full.work, full.work - 1, full.work / 2, 10] {
+            let mut seq = Evaluator::new(EvalConfig {
+                max_work: limit,
+                ..EvalConfig::default()
+            });
+            let mut par = ParallelEvaluator::with_config(EvalConfig {
+                max_work: limit,
+                parallelism: Some(4),
+                parallel_cutoff: 1,
+                ..EvalConfig::default()
+            });
+            let seq_out = seq.eval_closed(&e);
+            let par_out = par.eval_closed(&e);
+            match (seq_out, par_out) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "limit={limit}"),
+                (
+                    Err(EvalError::WorkLimitExceeded { limit: a }),
+                    Err(EvalError::WorkLimitExceeded { limit: b }),
+                ) => assert_eq!(a, b, "limit={limit}"),
+                (s, p) => panic!("backends disagree at limit {limit}: seq={s:?} par={p:?}"),
+            }
+        }
+    }
+
+    /// Regression test for the panic-propagation contract at the language
+    /// level: an extern that panics inside one shard must surface as
+    /// `EvalError::WorkerPanicked` — not abort the process — and the payload
+    /// message must survive.
+    #[test]
+    fn panicking_extern_surfaces_as_eval_error() {
+        let mut registry = ExternRegistry::standard();
+        registry.register("explode", vec![Type::Base], Type::Base, |args| {
+            if args.first().and_then(Value::as_atom) == Some(13) {
+                panic!("extern exploded on atom 13");
+            }
+            Ok(args[0].clone())
+        });
+        let f = Expr::lam(
+            "x",
+            Type::Base,
+            Expr::singleton(Expr::extern_call("explode", vec![Expr::var("x")])),
+        );
+        let e = Expr::ext(f, Expr::Const(Value::atom_set(0..64)));
+        let mut ev = ParallelEvaluator::with_config(EvalConfig {
+            registry,
+            parallelism: Some(4),
+            parallel_cutoff: 1,
+            ..EvalConfig::default()
+        });
+        match ev.eval_closed(&e) {
+            Err(EvalError::WorkerPanicked(msg)) => {
+                assert!(msg.contains("extern exploded on atom 13"), "got: {msg}")
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        // The evaluator is still usable after the caught panic.
+        assert_eq!(ev.eval_closed(&parity(8)).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn cutover_keeps_small_regions_sequential_with_identical_results() {
+        // A cutoff so high nothing forks: the parallel evaluator must still be
+        // correct (it *is* the sequential path then).
+        let e = parity(100);
+        let mut ev = ParallelEvaluator::with_config(EvalConfig {
+            parallelism: Some(8),
+            parallel_cutoff: u64::MAX,
+            ..EvalConfig::default()
+        });
+        let (seq_v, seq_stats) = eval_with_stats(&e).unwrap();
+        assert_eq!(ev.eval_closed(&e).unwrap(), seq_v);
+        assert_eq!(ev.stats(), seq_stats);
+    }
+
+    #[test]
+    fn env_knob_parses() {
+        // Not set in the test environment by default; just exercise the parser
+        // logic via the public API shape.
+        let _ = parallelism_from_env();
+    }
+}

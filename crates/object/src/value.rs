@@ -11,11 +11,20 @@
 //! true`; pairs: lexicographic; sets: by the sorted element sequences, shorter
 //! prefix first), following the remark in §3 that "the order relation can be
 //! lifted to all types".
+//!
+//! Set storage is `Arc`-backed: cloning a [`VSet`] (and hence a set-shaped
+//! [`Value`]) is O(1) and the clone shares the element buffer with the
+//! original. This is what makes values cheap to hand to the parallel
+//! evaluation backend — worker threads receive shared references to the same
+//! canonical buffer instead of deep copies — and it is safe because canonical
+//! sets are immutable in practice ([`VSet::insert`] copies-on-write when the
+//! buffer is shared).
 
 use crate::types::Type;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
+use std::sync::Arc;
 
 /// An atom of the ordered base type `D`. Atoms are abstract; only their identity
 /// and relative order are observable by generic queries (see [`crate::morphism`]).
@@ -39,21 +48,26 @@ pub enum Value {
 }
 
 /// A finite set of values in canonical form: elements are sorted by the lifted
-/// linear order and contain no duplicates.
+/// linear order and contain no duplicates. The element buffer is shared
+/// (`Arc`), so clones are O(1) and safe to send across threads.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct VSet {
-    elems: Vec<Value>,
+    elems: Arc<Vec<Value>>,
 }
 
 impl VSet {
     /// The empty set.
     pub fn empty() -> VSet {
-        VSet { elems: Vec::new() }
+        VSet {
+            elems: Arc::new(Vec::new()),
+        }
     }
 
     /// A singleton set `{x}`.
     pub fn singleton(x: Value) -> VSet {
-        VSet { elems: vec![x] }
+        VSet {
+            elems: Arc::new(vec![x]),
+        }
     }
 
     /// Number of elements.
@@ -73,11 +87,12 @@ impl VSet {
 
     /// Insert one element (the `insert presentation` constructor `x ⊲ s` of §2),
     /// preserving canonical form. Returns `true` if the element was new.
+    /// Copies the shared buffer on write if other clones are alive.
     pub fn insert(&mut self, x: Value) -> bool {
         match self.elems.binary_search(&x) {
             Ok(_) => false,
             Err(pos) => {
-                self.elems.insert(pos, x);
+                Arc::make_mut(&mut self.elems).insert(pos, x);
                 true
             }
         }
@@ -106,7 +121,7 @@ impl VSet {
         }
         out.extend_from_slice(&self.elems[i..]);
         out.extend_from_slice(&other.elems[j..]);
-        VSet { elems: out }
+        VSet { elems: Arc::new(out) }
     }
 
     /// Set intersection (used by the bounding step of `bdcr`/`bsri`).
@@ -124,7 +139,7 @@ impl VSet {
                 }
             }
         }
-        VSet { elems: out }
+        VSet { elems: Arc::new(out) }
     }
 
     /// Set difference `self \ other`.
@@ -148,7 +163,7 @@ impl VSet {
                 }
             }
         }
-        VSet { elems: out }
+        VSet { elems: Arc::new(out) }
     }
 
     /// Is `self` a subset of `other`?
@@ -166,9 +181,10 @@ impl VSet {
         &self.elems
     }
 
-    /// Consume the set and return the elements in canonical order.
+    /// Consume the set and return the elements in canonical order. O(1) when
+    /// this is the last clone of the buffer; copies otherwise.
     pub fn into_vec(self) -> Vec<Value> {
-        self.elems
+        Arc::try_unwrap(self.elems).unwrap_or_else(|shared| (*shared).clone())
     }
 }
 
@@ -176,7 +192,7 @@ impl IntoIterator for VSet {
     type Item = Value;
     type IntoIter = std::vec::IntoIter<Value>;
     fn into_iter(self) -> Self::IntoIter {
-        self.elems.into_iter()
+        self.into_vec().into_iter()
     }
 }
 
@@ -194,7 +210,7 @@ impl FromIterator<Value> for VSet {
         let mut elems: Vec<Value> = iter.into_iter().collect();
         elems.sort();
         elems.dedup();
-        VSet { elems }
+        VSet { elems: Arc::new(elems) }
     }
 }
 
@@ -500,6 +516,27 @@ mod tests {
         let v = Value::set_from(vec![Value::atom_set(vec![1]), Value::atom_set(vec![2, 3])]);
         assert_eq!(v.set_height(), 2);
         assert_eq!(v.size(), 1 + (1 + 1) + (1 + 2));
+    }
+
+    #[test]
+    fn clones_share_the_buffer_and_insert_copies_on_write() {
+        let a = VSet::from_iter((0..100).map(Value::Atom));
+        let mut b = a.clone();
+        // The clone shares storage with the original...
+        assert!(std::ptr::eq(a.as_slice().as_ptr(), b.as_slice().as_ptr()));
+        // ...until a write, which must not disturb the original.
+        assert!(b.insert(Value::Atom(1000)));
+        assert_eq!(a.len(), 100);
+        assert_eq!(b.len(), 101);
+        assert!(!a.contains(&Value::Atom(1000)));
+        assert!(b.contains(&Value::Atom(1000)));
+    }
+
+    #[test]
+    fn values_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Value>();
+        assert_send_sync::<VSet>();
     }
 
     #[test]

@@ -5,81 +5,94 @@
 //! processors (§4, citing Stockmeyer & Vishkin). We obviously cannot reproduce a
 //! PRAM on stock hardware; what this crate reproduces is the *shape* of the
 //! claim: the divide-and-conquer constructs of the language (`ext` fan-out and
-//! the `dcr` combining tree) expose their parallelism to a real thread pool, so
-//! the critical path measured by the cost model in `ncql-core` translates into
+//! the `dcr` combining tree) expose their parallelism to real threads, so the
+//! critical path measured by the cost model in `ncql-core` translates into
 //! wall-clock speedup, while the element-by-element recursion `sri` has a serial
 //! chain that no number of threads can shorten.
 //!
-//! The executor evaluates the *hot* construct (the combining tree / the fan-out)
-//! in parallel with one sequential [`Evaluator`] per worker; the combiner and
-//! element functions themselves are ordinary language expressions.
+//! This crate is deliberately *language-agnostic*: it knows nothing about
+//! expressions or values. It provides fork/join primitives over plain slices —
+//! [`ParallelExecutor::par_chunks`] (one worker per contiguous shard) and
+//! [`ParallelExecutor::par_map`] — with strict error and panic discipline:
+//!
+//! * a worker returning `Err` aborts the whole operation with
+//!   [`TaskError::Failed`];
+//! * a worker *panicking* is caught ([`std::panic::catch_unwind`]), every other
+//!   worker is still joined, all partial results are dropped, and the panic
+//!   surfaces as [`TaskError::Panicked`] instead of unwinding through the scope
+//!   and aborting the process;
+//! * when several workers fail, the error of the lowest-indexed shard wins, so
+//!   the reported error is deterministic regardless of thread scheduling.
+//!
+//! `ncql-core` builds its [`ParallelEvaluator`](https://docs.rs/ncql-core)
+//! dispatch for `ext` element maps and `dcr` combining trees on top of these
+//! primitives; keeping this crate free of `ncql-core` types is what lets the
+//! evaluator depend on it without a cycle.
 
-use ncql_core::error::EvalError;
-use ncql_core::eval::{EvalConfig, Evaluator};
-use ncql_core::expr::Expr;
-use ncql_core::EvalResult;
-use ncql_object::Value;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread;
 
 /// Configuration of the parallel executor.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParallelConfig {
     /// Number of worker threads (defaults to the number of available cores).
     pub threads: usize,
-    /// Below this many elements the executor stays sequential (thread start-up
-    /// costs more than it saves).
+    /// Below this many items the executor stays on the calling thread (thread
+    /// start-up costs more than it saves).
     pub sequential_cutoff: usize,
-    /// Evaluator configuration used by every worker.
-    pub eval: EvalConfig,
 }
 
 impl Default for ParallelConfig {
     fn default() -> ParallelConfig {
         ParallelConfig {
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4),
+            threads: available_threads(),
             sequential_cutoff: 8,
-            eval: EvalConfig::default(),
         }
     }
 }
 
-/// A parallel executor for the divide-and-conquer constructs of the language.
-#[derive(Debug, Default)]
+/// The number of hardware threads available, with a conservative fallback.
+pub fn available_threads() -> usize {
+    thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+/// Why a parallel operation failed: a worker returned an error, or a worker
+/// panicked (the panic is caught, all siblings are joined, and their results
+/// are discarded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskError<E> {
+    /// A worker closure returned `Err`.
+    Failed(E),
+    /// A worker closure panicked; the payload message is preserved.
+    Panicked(String),
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for TaskError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskError::Failed(e) => write!(f, "parallel worker failed: {e}"),
+            TaskError::Panicked(msg) => write!(f, "parallel worker panicked: {msg}"),
+        }
+    }
+}
+
+impl<E: std::fmt::Debug + std::fmt::Display> std::error::Error for TaskError<E> {}
+
+/// Best-effort extraction of a panic payload message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
+}
+
+/// A fork/join executor over slices, one shard per worker thread.
+#[derive(Debug, Clone, Default)]
 pub struct ParallelExecutor {
     config: ParallelConfig,
-}
-
-/// Fold a scoped worker's join result into the evaluation result, turning a
-/// worker panic into an `EvalError` instead of unwinding through the scope.
-fn join_worker(
-    joined: std::thread::Result<EvalResult<Vec<Value>>>,
-) -> EvalResult<Vec<Value>> {
-    joined.unwrap_or_else(|_| Err(EvalError::Stuck("a parallel worker panicked".to_string())))
-}
-
-/// Apply a unary function expression to a value using a fresh evaluator.
-fn apply1(config: &EvalConfig, f: &Expr, arg: &Value) -> EvalResult<Value> {
-    let mut ev = Evaluator::new(config.clone());
-    let call = Expr::app(f.clone(), Expr::var("%par_x"));
-    ev.eval_with_bindings(&call, &[("%par_x".to_string(), arg.clone())])
-}
-
-/// Apply a binary (pair-taking) function expression to two values.
-fn apply2(config: &EvalConfig, u: &Expr, a: &Value, b: &Value) -> EvalResult<Value> {
-    let mut ev = Evaluator::new(config.clone());
-    let call = Expr::app(
-        u.clone(),
-        Expr::pair(Expr::var("%par_a"), Expr::var("%par_b")),
-    );
-    ev.eval_with_bindings(
-        &call,
-        &[
-            ("%par_a".to_string(), a.clone()),
-            ("%par_b".to_string(), b.clone()),
-        ],
-    )
 }
 
 impl ParallelExecutor {
@@ -88,266 +101,248 @@ impl ParallelExecutor {
         ParallelExecutor { config }
     }
 
+    /// Create an executor with the given thread count and default cutoff.
+    pub fn with_threads(threads: usize) -> ParallelExecutor {
+        ParallelExecutor {
+            config: ParallelConfig {
+                threads,
+                ..ParallelConfig::default()
+            },
+        }
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &ParallelConfig {
         &self.config
     }
 
-    /// Parallel map: apply the function expression `f` to every element of the
-    /// slice, preserving order. Errors from any worker abort the whole map.
-    fn par_map(&self, f: &Expr, elements: &[Value]) -> EvalResult<Vec<Value>> {
-        let n = elements.len();
-        if n == 0 {
+    /// Split `items` into at most `threads` contiguous shards and run `worker`
+    /// on each shard in its own scoped thread, returning the per-shard results
+    /// in shard order. The worker receives `(shard_index, shard)`.
+    ///
+    /// Small inputs (≤ `sequential_cutoff`) and single-threaded configurations
+    /// run on the calling thread. A panicking worker is caught and reported as
+    /// [`TaskError::Panicked`]; all other workers are joined first and their
+    /// results are dropped.
+    pub fn par_chunks<T, R, E, F>(&self, items: &[T], worker: F) -> Result<Vec<R>, TaskError<E>>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+        F: Fn(usize, &[T]) -> Result<R, E> + Sync,
+    {
+        if items.is_empty() {
             return Ok(Vec::new());
         }
         let threads = self.config.threads.max(1);
-        if n <= self.config.sequential_cutoff || threads == 1 {
-            return elements
-                .iter()
-                .map(|x| apply1(&self.config.eval, f, x))
-                .collect();
+        if threads == 1 || items.len() <= self.config.sequential_cutoff {
+            // Sequential path still runs through the same worker signature —
+            // and the same panic discipline — so the two backends are
+            // indistinguishable to the caller.
+            return match catch_unwind(AssertUnwindSafe(|| worker(0, items))) {
+                Ok(Ok(r)) => Ok(vec![r]),
+                Ok(Err(e)) => Err(TaskError::Failed(e)),
+                Err(payload) => Err(TaskError::Panicked(panic_message(payload))),
+            };
         }
-        let chunk_size = n.div_ceil(threads);
-        let per_worker: Vec<EvalResult<Vec<Value>>> = thread::scope(|scope| {
-            let handles: Vec<_> = elements
+        let chunk_size = items.len().div_ceil(threads);
+        let joined: Vec<Result<R, TaskError<E>>> = thread::scope(|scope| {
+            let handles: Vec<_> = items
                 .chunks(chunk_size)
-                .map(|chunk| {
-                    let eval_config = &self.config.eval;
+                .enumerate()
+                .map(|(index, shard)| {
+                    let worker = &worker;
                     scope.spawn(move || {
-                        chunk.iter().map(|x| apply1(eval_config, f, x)).collect()
+                        catch_unwind(AssertUnwindSafe(|| worker(index, shard)))
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| join_worker(h.join())).collect()
+            // Join every worker before inspecting any result: a panic in one
+            // shard must not leave siblings detached, and their results are
+            // dropped below rather than leaked into a partial output.
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(Ok(Ok(r))) => Ok(r),
+                    Ok(Ok(Err(e))) => Err(TaskError::Failed(e)),
+                    Ok(Err(payload)) => Err(TaskError::Panicked(panic_message(payload))),
+                    // The catch_unwind above makes this unreachable in practice,
+                    // but keep the scope itself panic-proof.
+                    Err(payload) => Err(TaskError::Panicked(panic_message(payload))),
+                })
+                .collect()
         });
-        let mut out = Vec::with_capacity(n);
-        for worker in per_worker {
-            out.extend(worker?);
+        // Lowest shard index wins, so the reported error is deterministic.
+        joined.into_iter().collect()
+    }
+
+    /// Parallel map preserving item order: apply `f` to every element, sharded
+    /// across the worker threads. Errors and panics follow
+    /// [`ParallelExecutor::par_chunks`] discipline.
+    pub fn par_map<T, R, E, F>(&self, items: &[T], f: F) -> Result<Vec<R>, TaskError<E>>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+        F: Fn(&T) -> Result<R, E> + Sync,
+    {
+        let per_shard =
+            self.par_chunks(items, |_, shard| shard.iter().map(&f).collect::<Result<Vec<R>, E>>())?;
+        let mut out = Vec::with_capacity(items.len());
+        for shard in per_shard {
+            out.extend(shard);
         }
         Ok(out)
-    }
-
-    /// One parallel round of pairwise combining: `u(v₀, v₁), u(v₂, v₃), …`
-    /// (an odd tail element is passed through unchanged).
-    fn par_combine_round(&self, u: &Expr, level: &[Value]) -> EvalResult<Vec<Value>> {
-        let pairs: Vec<&[Value]> = level.chunks(2).collect();
-        let n = pairs.len();
-        let threads = self.config.threads.max(1);
-        if n <= self.config.sequential_cutoff || threads == 1 {
-            return pairs
-                .iter()
-                .map(|chunk| match chunk {
-                    [a, b] => apply2(&self.config.eval, u, a, b),
-                    [a] => Ok(a.clone()),
-                    _ => unreachable!("chunks(2)"),
-                })
-                .collect();
-        }
-        let chunk_size = n.div_ceil(threads);
-        let per_worker: Vec<EvalResult<Vec<Value>>> = thread::scope(|scope| {
-            let handles: Vec<_> = pairs
-                .chunks(chunk_size)
-                .map(|work| {
-                    let eval_config = &self.config.eval;
-                    scope.spawn(move || {
-                        work.iter()
-                            .map(|chunk| match chunk {
-                                [a, b] => apply2(eval_config, u, a, b),
-                                [a] => Ok(a.clone()),
-                                _ => unreachable!("chunks(2)"),
-                            })
-                            .collect()
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| join_worker(h.join())).collect()
-        });
-        let mut out = Vec::with_capacity(n);
-        for worker in per_worker {
-            out.extend(worker?);
-        }
-        Ok(out)
-    }
-
-    /// Evaluate `dcr(e, f, u)(x)` with a parallel map for `f` and parallel
-    /// balanced-tree rounds for `u` — the thread-pool realization of the PRAM
-    /// evaluation sketched in §1/§7.
-    pub fn par_dcr(&self, e: &Expr, f: &Expr, u: &Expr, x: &Value) -> EvalResult<Value> {
-        let set = x
-            .as_set()
-            .ok_or_else(|| EvalError::Stuck(format!("dcr argument is not a set: {x}")))?;
-        if set.is_empty() {
-            return Evaluator::new(self.config.eval.clone()).eval_closed(e);
-        }
-        let elements: Vec<Value> = set.iter().cloned().collect();
-        let mut level = self.par_map(f, &elements)?;
-        while level.len() > 1 {
-            level = self.par_combine_round(u, &level)?;
-        }
-        Ok(level.pop().expect("non-empty input"))
-    }
-
-    /// Evaluate `ext(f)(x)` with a parallel map and a final union.
-    pub fn par_ext(&self, f: &Expr, x: &Value) -> EvalResult<Value> {
-        let set = x
-            .as_set()
-            .ok_or_else(|| EvalError::Stuck(format!("ext argument is not a set: {x}")))?;
-        let elements: Vec<Value> = set.iter().cloned().collect();
-        let mapped = self.par_map(f, &elements)?;
-        let mut out = Vec::new();
-        for v in mapped {
-            match v {
-                Value::Set(s) => out.extend(s.into_vec()),
-                other => {
-                    return Err(EvalError::Stuck(format!(
-                        "ext function returned a non-set {other}"
-                    )))
-                }
-            }
-        }
-        Ok(Value::set_from(out))
-    }
-
-    /// Evaluate the element-by-element recursion `esr(e, i)(x)` sequentially —
-    /// the serial chain the paper contrasts with `dcr`; provided so benches can
-    /// compare wall-clock times under identical plumbing.
-    pub fn seq_fold(&self, e: &Expr, i: &Expr, x: &Value) -> EvalResult<Value> {
-        let set = x
-            .as_set()
-            .ok_or_else(|| EvalError::Stuck(format!("fold argument is not a set: {x}")))?;
-        let mut acc = Evaluator::new(self.config.eval.clone()).eval_closed(e)?;
-        for elem in set.iter() {
-            acc = apply2(&self.config.eval, i, elem, &acc)?;
-        }
-        Ok(acc)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ncql_core::derived;
-    use ncql_core::eval::eval_closed;
-    use ncql_object::Type;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn executor(threads: usize) -> ParallelExecutor {
         ParallelExecutor::new(ParallelConfig {
             threads,
             sequential_cutoff: 2,
-            eval: EvalConfig::default(),
         })
     }
 
-    fn xor_u() -> Expr {
-        Expr::lam2(
-            "a",
-            "b",
-            Type::prod(Type::Bool, Type::Bool),
-            derived::xor(Expr::var("a"), Expr::var("b")),
-        )
-    }
-
     #[test]
-    fn par_dcr_matches_sequential_parity() {
-        let f = Expr::lam("y", Type::Base, Expr::Bool(true));
-        for threads in [1, 2, 4] {
-            let ex = executor(threads);
-            for n in [0u64, 1, 5, 33, 64] {
-                let x = Value::atom_set(0..n);
-                let par = ex.par_dcr(&Expr::Bool(false), &f, &xor_u(), &x).unwrap();
-                let seq = eval_closed(&Expr::dcr(
-                    Expr::Bool(false),
-                    f.clone(),
-                    xor_u(),
-                    Expr::Const(x),
-                ))
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1, 2, 3, 8] {
+            let out = executor(threads)
+                .par_map(&items, |x| Ok::<u64, ()>(x * x))
                 .unwrap();
-                assert_eq!(par, seq, "threads={threads} n={n}");
-            }
+            assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>(), "threads={threads}");
         }
     }
 
     #[test]
-    fn par_dcr_matches_sequential_transitive_closure() {
-        let r = Value::relation_from_pairs((0..12u64).map(|i| (i, i + 1)));
-        let rel_ty = Type::binary_relation();
-        let f = Expr::lam("y", Type::Base, Expr::Const(r.clone()));
-        let u = Expr::lam2(
-            "r1",
-            "r2",
-            Type::prod(rel_ty.clone(), rel_ty),
-            Expr::union(
-                Expr::union(Expr::var("r1"), Expr::var("r2")),
-                derived::compose(
-                    Type::Base,
-                    Type::Base,
-                    Type::Base,
-                    Expr::var("r1"),
-                    Expr::var("r2"),
-                ),
+    fn par_chunks_covers_every_item_exactly_once() {
+        let items: Vec<u64> = (0..57).collect();
+        let shards = executor(4)
+            .par_chunks(&items, |index, shard| Ok::<(usize, Vec<u64>), ()>((index, shard.to_vec())))
+            .unwrap();
+        assert!(shards.len() <= 4);
+        let mut seen = Vec::new();
+        for (i, (index, shard)) in shards.iter().enumerate() {
+            assert_eq!(i, *index);
+            seen.extend(shard.iter().copied());
+        }
+        assert_eq!(seen, items);
+    }
+
+    #[test]
+    fn empty_input_spawns_nothing() {
+        let out = executor(4).par_map(&Vec::<u64>::new(), |_| Ok::<u64, ()>(0)).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn small_inputs_stay_on_the_calling_thread() {
+        let calling = std::thread::current().id();
+        let items = [1u64, 2];
+        let out = executor(8)
+            .par_chunks(&items, |_, shard| {
+                assert_eq!(std::thread::current().id(), calling);
+                Ok::<usize, ()>(shard.len())
+            })
+            .unwrap();
+        assert_eq!(out, vec![2]);
+    }
+
+    #[test]
+    fn worker_errors_propagate_deterministically() {
+        let items: Vec<u64> = (0..64).collect();
+        // Two shards fail; the lowest shard index must win every run.
+        for _ in 0..10 {
+            let err = executor(4)
+                .par_chunks(&items, |index, _| {
+                    if index >= 1 {
+                        Err(format!("shard {index} failed"))
+                    } else {
+                        Ok(index)
+                    }
+                })
+                .unwrap_err();
+            assert_eq!(err, TaskError::Failed("shard 1 failed".to_string()));
+        }
+    }
+
+    /// Regression test for the panic-propagation contract: a panicking shard
+    /// surfaces as `TaskError::Panicked` with the payload message, the process
+    /// survives, every sibling is joined (observed via the drop counter), and
+    /// no partial results leak out of the call.
+    #[test]
+    fn panicking_worker_is_caught_joined_and_reported() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct CountsDrops;
+        impl Drop for CountsDrops {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let items: Vec<u64> = (0..64).collect();
+        let result = executor(4).par_chunks(&items, |index, _| {
+            if index == 2 {
+                panic!("extern exploded in shard {index}");
+            }
+            Ok::<CountsDrops, String>(CountsDrops)
+        });
+        match result {
+            Err(TaskError::Panicked(msg)) => assert!(
+                msg.contains("extern exploded in shard 2"),
+                "payload message preserved, got: {msg}"
             ),
-        );
-        let vertices = Value::atom_set(0..13);
-        let ex = executor(4);
-        let par = ex
-            .par_dcr(&Expr::Empty(Type::prod(Type::Base, Type::Base)), &f, &u, &vertices)
-            .unwrap();
-        let seq = eval_closed(&Expr::dcr(
-            Expr::Empty(Type::prod(Type::Base, Type::Base)),
-            f,
-            u,
-            Expr::Const(vertices),
-        ))
-        .unwrap();
-        assert_eq!(par, seq);
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        // The three successful shards' results were joined and then dropped —
+        // none leaked past the error return.
+        assert_eq!(DROPS.load(Ordering::SeqCst), 3);
     }
 
     #[test]
-    fn par_ext_matches_sequential_ext() {
-        let f = Expr::lam(
-            "x",
-            Type::Base,
-            Expr::union(Expr::singleton(Expr::var("x")), Expr::singleton(Expr::atom(99))),
-        );
-        let x = Value::atom_set(0..40);
-        let ex = executor(3);
-        let par = ex.par_ext(&f, &x).unwrap();
-        let seq = eval_closed(&Expr::ext(f, Expr::Const(x))).unwrap();
-        assert_eq!(par, seq);
+    fn panics_are_caught_on_the_sequential_fallback_too() {
+        // Single-threaded configs and small inputs run inline, but the panic
+        // contract must hold there as well.
+        let items = [1u64, 2, 3];
+        for threads in [1usize, 8] {
+            let err = executor(threads)
+                .par_chunks(&items, |_, _| -> Result<u64, ()> { panic!("inline boom") })
+                .unwrap_err();
+            assert_eq!(err, TaskError::Panicked("inline boom".to_string()), "threads={threads}");
+        }
     }
 
     #[test]
-    fn seq_fold_computes_esr() {
-        let i = Expr::lam2(
-            "x",
-            "acc",
-            Type::prod(Type::Base, Type::set(Type::Base)),
-            Expr::union(Expr::singleton(Expr::var("x")), Expr::var("acc")),
-        );
-        let x = Value::atom_set(vec![5, 1, 9]);
-        let ex = executor(2);
-        assert_eq!(
-            ex.seq_fold(&Expr::Empty(Type::Base), &i, &x).unwrap(),
-            Value::atom_set(vec![1, 5, 9])
-        );
+    fn panic_beaten_by_lower_indexed_error() {
+        let items: Vec<u64> = (0..64).collect();
+        let err = executor(4)
+            .par_chunks(&items, |index, _| match index {
+                1 => Err("shard 1 error".to_string()),
+                3 => panic!("shard 3 panic"),
+                _ => Ok(index),
+            })
+            .unwrap_err();
+        assert_eq!(err, TaskError::Failed("shard 1 error".to_string()));
     }
 
     #[test]
-    fn errors_propagate_from_workers() {
-        // f projects a pair out of an atom: every element application gets stuck.
-        let f = Expr::lam("y", Type::Base, Expr::proj1(Expr::var("y")));
-        let x = Value::atom_set(0..32);
-        let ex = executor(4);
-        assert!(ex.par_ext(&f, &x).is_err());
-    }
-
-    #[test]
-    fn empty_input_returns_the_identity() {
-        let f = Expr::lam("y", Type::Base, Expr::Bool(true));
-        let ex = executor(4);
-        let out = ex
-            .par_dcr(&Expr::Bool(false), &f, &xor_u(), &Value::empty_set())
-            .unwrap();
-        assert_eq!(out, Value::Bool(false));
+    fn string_panic_payloads_are_preserved() {
+        let items: Vec<u64> = (0..32).collect();
+        let owned = String::from("owned payload");
+        let err = executor(2)
+            .par_chunks(&items, |index, _| {
+                if index == 0 {
+                    panic!("{}", owned.clone());
+                }
+                Ok::<u64, ()>(0)
+            })
+            .unwrap_err();
+        assert_eq!(err, TaskError::Panicked("owned payload".to_string()));
     }
 }

@@ -22,9 +22,14 @@
 //!   `log² n` rounds).
 //! * [`datagen`] — deterministic random workload generators (graphs, relations,
 //!   nested complex objects).
+//! * [`corpus`] — one closed instance of every query family above, iterated by
+//!   the cross-backend differential test suite.
+//! * [`run`] — the uniform evaluation entry point with the `parallelism` knob
+//!   selecting the sequential or the parallel backend.
 
 pub mod aggregates;
 pub mod arith;
+pub mod corpus;
 pub mod datagen;
 pub mod graph;
 pub mod iterate;
@@ -32,5 +37,8 @@ pub mod parity;
 pub mod powerset;
 pub mod relalg;
 pub mod relation;
+pub mod run;
 
+pub use corpus::{differential_corpus, CorpusEntry};
 pub use relation::Relation;
+pub use run::{eval_query, eval_query_with};

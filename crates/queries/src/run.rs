@@ -1,0 +1,64 @@
+//! Uniform entry point for evaluating library queries on either backend.
+//!
+//! Callers (benches, examples, the differential suite, downstream users) pick
+//! a backend with one knob: `parallelism = None` evaluates on the sequential
+//! reference evaluator, `Some(n)` on the parallel backend with `n` worker
+//! threads. Results and cost statistics are bit-identical either way — that is
+//! the contract the differential suite enforces.
+
+use ncql_core::eval::{CostStats, EvalConfig, Evaluator};
+use ncql_core::expr::Expr;
+use ncql_core::parallel::ParallelEvaluator;
+use ncql_core::EvalResult;
+use ncql_object::Value;
+
+/// Evaluate a closed query with the given parallelism knob, returning the
+/// value and the cost statistics. `None` (and `Some(0 | 1)`) run sequentially.
+pub fn eval_query(expr: &Expr, parallelism: Option<usize>) -> EvalResult<(Value, CostStats)> {
+    eval_query_with(expr, parallelism, EvalConfig::default())
+}
+
+/// Like [`eval_query`], but over a caller-supplied base configuration (resource
+/// limits, registry, cutover threshold). The `parallelism` argument overrides
+/// the configuration's own knob.
+pub fn eval_query_with(
+    expr: &Expr,
+    parallelism: Option<usize>,
+    base: EvalConfig,
+) -> EvalResult<(Value, CostStats)> {
+    let config = EvalConfig {
+        parallelism,
+        ..base
+    };
+    match parallelism {
+        Some(n) if n > 1 => {
+            let mut ev = ParallelEvaluator::with_config(config);
+            let v = ev.eval_closed(expr)?;
+            Ok((v, ev.stats()))
+        }
+        _ => {
+            let mut ev = Evaluator::new(config);
+            let v = ev.eval_closed(expr)?;
+            Ok((v, ev.stats()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parity;
+    use ncql_object::Value;
+
+    #[test]
+    fn both_backends_through_the_entry_point_agree() {
+        let q = parity::parity_dcr(Expr::Const(Value::atom_set(0..99)));
+        let (v_seq, s_seq) = eval_query(&q, None).unwrap();
+        for threads in [1usize, 2, 4] {
+            let (v_par, s_par) = eval_query(&q, Some(threads)).unwrap();
+            assert_eq!(v_par, v_seq, "threads={threads}");
+            assert_eq!(s_par, s_seq, "threads={threads}");
+        }
+        assert_eq!(v_seq, Value::Bool(true));
+    }
+}

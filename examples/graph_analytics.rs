@@ -1,14 +1,13 @@
 //! Graph analytics with the NC query language: transitive closure, reachability
 //! and connectivity over generated graphs, comparing the divide-and-conquer
 //! (NC-style) and element-by-element (PTIME-style) evaluation strategies, and
-//! running the dcr combining tree on a real thread pool.
+//! running the dcr combining tree on the parallel evaluation backend.
 //!
 //! Run with: `cargo run --example graph_analytics --release`
 
 use ncql::core::eval::{eval_with_stats, EvalConfig};
 use ncql::core::expr::Expr;
-use ncql::object::{Type, Value};
-use ncql::pram::{ParallelConfig, ParallelExecutor};
+use ncql::core::parallel::ParallelEvaluator;
 use ncql::queries::{datagen, graph};
 use std::time::Instant;
 
@@ -42,23 +41,19 @@ fn main() {
         eval_with_stats(&graph::strongly_connected(path)).expect("connectivity").0;
     println!("path  is strongly connected        : {connected_path}");
 
-    // Wall-clock on the thread-pool executor: the dcr combining tree
-    // parallelises, the element-by-element fold cannot.
+    // Wall-clock on the parallel evaluation backend: the dcr combining tree
+    // forks across worker threads, the element-by-element fold cannot.
     let n = 40u64;
-    let rel = datagen::path_graph(n).to_value();
-    let f = Expr::lam("y", Type::Base, Expr::Const(rel.clone()));
-    let u = graph::tc_combiner();
-    let vertices = Value::atom_set(0..=n);
-    let empty = Expr::Empty(Type::prod(Type::Base, Type::Base));
-    println!("\nthreads   par_dcr wall-clock (ms)");
+    let query = graph::tc_dcr(Expr::Const(datagen::path_graph(n).to_value()));
+    println!("\nthreads   tc_dcr wall-clock (ms)");
     for threads in [1usize, 2, 4, 8] {
-        let executor = ParallelExecutor::new(ParallelConfig {
-            threads,
-            sequential_cutoff: 2,
-            eval: EvalConfig::default(),
+        let mut evaluator = ParallelEvaluator::with_config(EvalConfig {
+            parallelism: Some(threads),
+            parallel_cutoff: 256,
+            ..EvalConfig::default()
         });
         let start = Instant::now();
-        let out = executor.par_dcr(&empty, &f, &u, &vertices).expect("parallel tc");
+        let out = evaluator.eval_closed(&query).expect("parallel tc");
         let elapsed = start.elapsed().as_secs_f64() * 1000.0;
         assert_eq!(out.cardinality(), Some(((n + 1) * n / 2) as usize));
         println!("{threads:<9} {elapsed:.1}");

@@ -2,23 +2,49 @@
 //! argument (or pipe it on stdin) and it is parsed, type-checked, analysed for
 //! recursion depth, and evaluated, with the cost model reported.
 //!
+//! Backend selection: `--parallel N` (or the `NCQL_PARALLELISM` environment
+//! variable) evaluates on the parallel backend with `N` worker threads;
+//! otherwise the sequential reference evaluator runs. Values and cost
+//! statistics are identical either way — only wall-clock changes.
+//!
 //! Examples:
 //!
 //! ```text
 //! cargo run --example query_repl -- "nat_add(20, 22)"
-//! cargo run --example query_repl -- \
+//! cargo run --example query_repl -- --parallel 4 \
 //!   "dcr(empty[(atom * atom)], \y: atom. {(@1,@2)} union {(@2,@3)}, \
 //!        \p: ({(atom*atom)} * {(atom*atom)}). pi1 p union pi2 p, {@1} union {@2})"
-//! echo "{@1} union {@2} union {@1}" | cargo run --example query_repl
+//! echo "{@1} union {@2} union {@1}" | NCQL_PARALLELISM=4 cargo run --example query_repl
 //! ```
 
-use ncql::core::eval::{EvalConfig, Evaluator};
+use ncql::core::eval::{CostStats, EvalConfig, Evaluator};
+use ncql::core::parallel::ParallelEvaluator;
 use ncql::core::{analysis, typecheck};
+use ncql::object::Value;
 use ncql::surface;
 use std::io::Read;
 
 fn main() {
-    let text = match std::env::args().nth(1) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut parallelism: Option<usize> = std::env::var("NCQL_PARALLELISM")
+        .ok()
+        .and_then(|raw| raw.trim().parse::<usize>().ok());
+    if let Some(pos) = args.iter().position(|a| a == "--parallel") {
+        if pos + 1 >= args.len() {
+            eprintln!("--parallel requires a thread count");
+            std::process::exit(2);
+        }
+        match args[pos + 1].parse::<usize>() {
+            Ok(n) => parallelism = Some(n),
+            Err(_) => {
+                eprintln!("--parallel requires a numeric thread count");
+                std::process::exit(2);
+            }
+        }
+        args.drain(pos..=pos + 1);
+    }
+
+    let text = match args.into_iter().next() {
         Some(arg) => arg,
         None => {
             let mut buf = String::new();
@@ -30,7 +56,7 @@ fn main() {
     };
     let text = text.trim();
     if text.is_empty() {
-        eprintln!("usage: query_repl \"<query>\"   (or pipe a query on stdin)");
+        eprintln!("usage: query_repl [--parallel N] \"<query>\"   (or pipe a query on stdin)");
         std::process::exit(2);
     }
 
@@ -53,10 +79,23 @@ fn main() {
     let depth = analysis::recursion_depth(&expr);
     println!("depth       : {depth} (AC^{} by Theorem 6.1/6.2)", analysis::ac_level(&expr));
 
-    let mut evaluator = Evaluator::new(EvalConfig::default());
-    match evaluator.eval_closed(&expr) {
-        Ok(value) => {
-            let stats = evaluator.stats();
+    let outcome: Result<(Value, CostStats), _> = match parallelism {
+        Some(threads) if threads > 1 => {
+            println!("backend     : parallel ({threads} threads)");
+            let mut evaluator = ParallelEvaluator::with_config(EvalConfig {
+                parallelism: Some(threads),
+                ..EvalConfig::default()
+            });
+            evaluator.eval_closed(&expr).map(|v| (v, evaluator.stats()))
+        }
+        _ => {
+            println!("backend     : sequential");
+            let mut evaluator = Evaluator::new(EvalConfig::default());
+            evaluator.eval_closed(&expr).map(|v| (v, evaluator.stats()))
+        }
+    };
+    match outcome {
+        Ok((value, stats)) => {
             println!("result      : {value}");
             println!("work / span : {} / {}", stats.work, stats.span);
         }

@@ -12,7 +12,7 @@ use ncql::core::eval::{eval_with_stats, EvalConfig, Evaluator};
 use ncql::core::expr::Expr;
 use ncql::core::{analysis, typecheck, EvalError};
 use ncql::object::{Type, Value};
-use ncql::pram::{ParallelConfig, ParallelExecutor};
+use ncql::core::parallel::ParallelEvaluator;
 use ncql::queries::{datagen, graph, parity, powerset, Relation};
 use ncql::surface;
 
@@ -78,18 +78,14 @@ fn graph_analytics_core_path() {
     assert_eq!(connected_path, Value::Bool(false));
 
     let n = 12u64;
-    let rel = datagen::path_graph(n).to_value();
-    let f = Expr::lam("y", Type::Base, Expr::Const(rel));
-    let u = graph::tc_combiner();
-    let vertices = Value::atom_set(0..=n);
-    let empty = Expr::Empty(Type::prod(Type::Base, Type::Base));
+    let query = graph::tc_dcr(Expr::Const(datagen::path_graph(n).to_value()));
     for threads in [1usize, 4] {
-        let executor = ParallelExecutor::new(ParallelConfig {
-            threads,
-            sequential_cutoff: 2,
-            eval: EvalConfig::default(),
+        let mut evaluator = ParallelEvaluator::with_config(EvalConfig {
+            parallelism: Some(threads),
+            parallel_cutoff: 256,
+            ..EvalConfig::default()
         });
-        let out = executor.par_dcr(&empty, &f, &u, &vertices).expect("parallel tc");
+        let out = evaluator.eval_closed(&query).expect("parallel tc");
         assert_eq!(out.cardinality(), Some(((n + 1) * n / 2) as usize));
     }
 }
@@ -160,6 +156,19 @@ fn query_repl_core_path() {
     typecheck::typecheck_closed(&expr).expect("dcr query typechecks");
     let value = evaluator.eval_closed(&expr).expect("dcr query evaluates");
     assert_eq!(value.cardinality(), Some(2));
+
+    // The `--parallel N` path of the runner: same query, parallel backend,
+    // identical value and cost statistics.
+    let mut parallel = ParallelEvaluator::with_config(EvalConfig {
+        parallelism: Some(4),
+        parallel_cutoff: 1,
+        ..EvalConfig::default()
+    });
+    assert_eq!(
+        parallel.eval_closed(&expr).expect("parallel REPL path evaluates"),
+        value
+    );
+    assert_eq!(parallel.stats(), evaluator.stats());
 }
 
 /// `examples/circuit_compilation.rs`: ACᵏ compilation stats, compiled-vs-

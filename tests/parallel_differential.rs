@@ -1,0 +1,146 @@
+//! Cross-backend differential suite: every query in the `ncql-queries` corpus
+//! (parity, graph, relational algebra, arithmetic, aggregates, powerset,
+//! iteration counters) is evaluated on the sequential reference backend and on
+//! the parallel backend at `parallelism = 2, 4, 8` (plus whatever
+//! `NCQL_TEST_PARALLELISM` asks for — the CI matrix sets 1 and 4).
+//!
+//! The contract this suite locks down: the two backends are observationally
+//! identical. Values are bit-identical, and so is every cost tally — *work* in
+//! particular is required to agree exactly, because the parallel backend
+//! absorbs each worker's charges after the join; *span* agrees exactly as well
+//! (not merely "differs in the documented direction"): the span is a property
+//! of the cost model's combining-tree shape, which both backends execute
+//! identically, so any divergence is a bug, and we assert the strongest
+//! invariant that holds.
+
+use ncql::core::eval::{CostStats, EvalConfig};
+use ncql::core::parallelism_from_env;
+use ncql::queries::{differential_corpus, eval_query_with};
+use ncql::object::Value;
+
+/// The thread counts the suite exercises: the fixed 2/4/8 ladder plus the
+/// environment's request (deduplicated).
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![2usize, 4, 8];
+    if let Some(n) = parallelism_from_env() {
+        if !counts.contains(&n) {
+            counts.push(n);
+        }
+    }
+    counts
+}
+
+/// A low cutover so the corpus's mid-sized sets actually fork (the default
+/// threshold is tuned for production sets, not test-sized ones).
+fn forking_config() -> EvalConfig {
+    EvalConfig {
+        parallel_cutoff: 64,
+        ..EvalConfig::default()
+    }
+}
+
+fn eval_both(name: &str, expr: &ncql::core::Expr, threads: usize) -> ((Value, CostStats), (Value, CostStats)) {
+    let seq = eval_query_with(expr, None, forking_config())
+        .unwrap_or_else(|e| panic!("{name}: sequential backend failed: {e}"));
+    let par = eval_query_with(expr, Some(threads), forking_config())
+        .unwrap_or_else(|e| panic!("{name}: parallel backend ({threads} threads) failed: {e}"));
+    (seq, par)
+}
+
+#[test]
+fn every_corpus_query_is_backend_invariant() {
+    let corpus = differential_corpus();
+    assert!(corpus.len() >= 40, "corpus unexpectedly small: {}", corpus.len());
+    for entry in &corpus {
+        // Evaluate sequentially once per query, then compare per thread count.
+        let (seq_v, seq_stats) = eval_query_with(&entry.expr, None, forking_config())
+            .unwrap_or_else(|e| panic!("{}: sequential backend failed: {e}", entry.name));
+        for threads in thread_counts() {
+            let (par_v, par_stats) =
+                eval_query_with(&entry.expr, Some(threads), forking_config())
+                    .unwrap_or_else(|e| {
+                        panic!("{}: parallel backend ({threads} threads) failed: {e}", entry.name)
+                    });
+            assert_eq!(
+                par_v, seq_v,
+                "{}: values differ at parallelism = {threads}",
+                entry.name
+            );
+            assert_eq!(
+                par_stats.work, seq_stats.work,
+                "{}: reported work differs at parallelism = {threads}",
+                entry.name
+            );
+            assert_eq!(
+                par_stats, seq_stats,
+                "{}: cost statistics differ at parallelism = {threads}",
+                entry.name
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_results_are_deterministic_across_runs() {
+    // Scheduling must not leak into results: repeated parallel runs of the
+    // same query agree with themselves bit-for-bit.
+    let corpus = differential_corpus();
+    let entry = corpus
+        .iter()
+        .find(|e| e.name == "graph/tc_dcr/path/18")
+        .expect("corpus entry");
+    let first = eval_both(&entry.name, &entry.expr, 4);
+    for _ in 0..5 {
+        let again = eval_both(&entry.name, &entry.expr, 4);
+        assert_eq!(again, first);
+    }
+}
+
+#[test]
+fn resource_limits_fire_identically_on_the_corpus() {
+    // Clamp work and set sizes far below what the bigger corpus queries need.
+    // The invariant: a resource-limit error fires in the parallel run exactly
+    // when one fires sequentially. When *both* limits are crossed by the same
+    // evaluation the reported kind may differ between backends — shards
+    // discover their budget overruns concurrently, so which limit is noticed
+    // first is scheduling-dependent — hence the two limit errors are treated
+    // as one equivalence class; any other error kind must match exactly.
+    let tight = EvalConfig {
+        max_work: 2_000,
+        max_set_size: 64,
+        parallel_cutoff: 16,
+        ..EvalConfig::default()
+    };
+    let resource_limit = |e: &ncql::core::EvalError| {
+        matches!(
+            e,
+            ncql::core::EvalError::SetTooLarge { .. }
+                | ncql::core::EvalError::WorkLimitExceeded { .. }
+        )
+    };
+    let mut checked_errors = 0usize;
+    for entry in differential_corpus() {
+        let seq = eval_query_with(&entry.expr, None, tight.clone());
+        let par = eval_query_with(&entry.expr, Some(4), tight.clone());
+        match (&seq, &par) {
+            (Ok((a, _)), Ok((b, _))) => assert_eq!(a, b, "{}", entry.name),
+            (Err(ea), Err(eb)) => {
+                checked_errors += 1;
+                assert!(
+                    resource_limit(ea) && resource_limit(eb)
+                        || std::mem::discriminant(ea) == std::mem::discriminant(eb),
+                    "{}: different error kinds: seq={ea:?} par={eb:?}",
+                    entry.name
+                );
+            }
+            _ => panic!(
+                "{}: one backend failed and the other succeeded: seq={seq:?} par={par:?}",
+                entry.name
+            ),
+        }
+    }
+    assert!(
+        checked_errors > 0,
+        "the tight limits never fired — tighten them so the error path is covered"
+    );
+}
