@@ -1,13 +1,33 @@
 //! E1 — §1 parity example: evaluation time of the dcr, esr and loop variants,
 //! with the dcr variant additionally timed on the parallel backend (threads
-//! from `NCQL_TEST_PARALLELISM`, default 4).
+//! from `NCQL_TEST_PARALLELISM`, default 4) and through the engine's prepared
+//! path: `cold` re-runs the full front end (parse + typecheck + analysis) on
+//! every execution, `prepared` amortizes it through `Session::prepare`, so the
+//! gap between the two columns is exactly the front-end cost the
+//! prepared-statement cache saves.
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ncql_core::eval::eval_closed;
 use ncql_core::expr::Expr;
 use ncql_core::parallelism_from_env;
+use ncql_engine::SessionBuilder;
 use ncql_object::Value;
 use ncql_queries::{eval_query, parity};
 use std::time::Duration;
+
+/// The §1 parity query over `{@0 .. @(n-1)}` as surface text: the input set is
+/// spelled out as a union chain, so the front end's cost grows with `n` like a
+/// real query text's would.
+fn parity_text(n: u64) -> String {
+    let set = if n == 0 {
+        "empty[atom]".to_string()
+    } else {
+        (0..n).map(|i| format!("{{@{i}}}")).collect::<Vec<_>>().join(" union ")
+    };
+    format!(
+        "dcr(false, \\y: atom. true, \
+         \\p: (bool * bool). if pi1 p then (if pi2 p then false else true) else pi2 p, {set})"
+    )
+}
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_parity");
@@ -26,6 +46,19 @@ fn bench(c: &mut Criterion) {
         let threads = parallelism_from_env().unwrap_or(4);
         group.bench_with_input(BenchmarkId::new(format!("dcr_par{threads}"), n), &n, |b, _| {
             b.iter(|| eval_query(&parity::parity_dcr(input.clone()), Some(threads)).unwrap())
+        });
+
+        // Cold vs prepared through the engine: same text, same session config;
+        // only the front-end amortization differs.
+        let text = parity_text(n);
+        let cold_session = SessionBuilder::new().cache_capacity(0).build();
+        group.bench_with_input(BenchmarkId::new("dcr_cold", n), &n, |b, _| {
+            b.iter(|| cold_session.run(&text).unwrap())
+        });
+        let session = SessionBuilder::new().build();
+        let prepared = session.prepare(&text).unwrap();
+        group.bench_with_input(BenchmarkId::new("dcr_prepared", n), &n, |b, _| {
+            b.iter(|| session.execute(&prepared).unwrap())
         });
     }
     group.finish();

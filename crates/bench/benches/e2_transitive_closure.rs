@@ -1,12 +1,37 @@
 //! E2 — transitive closure (§1 / Example 7.1): dcr vs log-loop vs element-wise,
 //! with the dcr form additionally timed on the parallel backend (threads from
-//! `NCQL_TEST_PARALLELISM`, default 4).
+//! `NCQL_TEST_PARALLELISM`, default 4) and through the engine's prepared path
+//! (`tc_cold` pays parse + typecheck per execution, `tc_prepared` pays it
+//! once).
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ncql_core::eval::{eval_closed, EvalConfig};
 use ncql_core::expr::Expr;
 use ncql_core::parallelism_from_env;
+use ncql_engine::SessionBuilder;
 use ncql_queries::{datagen, eval_query_with, graph};
 use std::time::Duration;
+
+/// The §1 transitive-closure dcr over an `n`-node path graph, as surface text
+/// (the edge relation is spelled out, so front-end cost scales with `n`).
+fn tc_text(n: u64) -> String {
+    let edges = (0..n.saturating_sub(1))
+        .map(|i| format!("{{(@{i}, @{})}}", i + 1))
+        .collect::<Vec<_>>()
+        .join(" union ");
+    let nodes = (0..n).map(|i| format!("{{@{i}}}")).collect::<Vec<_>>().join(" union ");
+    format!(
+        "let r = {edges} in \
+         dcr(empty[(atom * atom)], \\y: atom. r, \
+             \\p: ({{(atom * atom)}} * {{(atom * atom)}}). \
+               pi1 p union pi2 p union \
+               ext(\\e1: (atom * atom). \
+                 ext(\\e2: (atom * atom). \
+                   if (pi2 e1) = (pi1 e2) then {{(pi1 e1, pi2 e2)}} else empty[(atom * atom)], \
+                 pi2 p), \
+               pi1 p), \
+             {nodes})"
+    )
+}
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2_transitive_closure");
@@ -33,6 +58,18 @@ fn bench(c: &mut Criterion) {
                 ..EvalConfig::default()
             };
             b.iter(|| eval_query_with(&graph::tc_dcr(r.clone()), Some(threads), forking.clone()).unwrap())
+        });
+
+        // Cold vs prepared through the engine.
+        let text = tc_text(n);
+        let cold_session = SessionBuilder::new().cache_capacity(0).build();
+        group.bench_with_input(BenchmarkId::new("tc_cold", n), &n, |b, _| {
+            b.iter(|| cold_session.run(&text).unwrap())
+        });
+        let session = SessionBuilder::new().build();
+        let prepared = session.prepare(&text).unwrap();
+        group.bench_with_input(BenchmarkId::new("tc_prepared", n), &n, |b, _| {
+            b.iter(|| session.execute(&prepared).unwrap())
         });
     }
     group.finish();

@@ -1,29 +1,35 @@
 //! E7 — PTIME vs NC: wall-clock of the parallel evaluation backend vs the
 //! sequential backend on the dcr transitive closure, plus the large-set
 //! speedup criterion: a dcr aggregate over a set of 2^14 elements at
-//! `parallelism = 4` must beat the sequential backend.
+//! `parallelism = 4` must beat the sequential backend. The aggregate is also
+//! run through the engine's prepared-statement path: `sum_prepared` binds the
+//! input set as a parameter of a plan prepared once (`prepare_with_schema` +
+//! `execute_with_bindings`), `sum_cold` re-runs the front end per execution —
+//! prepared execution skips parse + typecheck entirely.
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ncql_core::eval::{eval_closed, EvalConfig};
 use ncql_core::expr::Expr;
-use ncql_core::parallel::ParallelEvaluator;
-use ncql_object::Value;
+use ncql_engine::SessionBuilder;
+use ncql_object::{Type, Value};
 use ncql_queries::{aggregates, datagen, graph};
 use std::time::Duration;
+
+/// The sum aggregate over a bound set `s`, as surface text — the prepared
+/// statement the amortized variants execute with per-call bindings.
+const SUM_TEXT: &str = "dcr(0, \\x: atom. atom_to_nat(x), \
+                        \\p: (nat * nat). nat_add(pi1 p, pi2 p), s)";
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_ptime_vs_nc");
     group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
     for n in [16u64, 32] {
         let query = graph::tc_dcr(Expr::Const(datagen::path_graph(n).to_value()));
+        let parallel_session = SessionBuilder::new()
+            .parallelism(Some(4))
+            .parallel_cutoff(256)
+            .build();
         group.bench_with_input(BenchmarkId::new("parallel_dcr", n), &n, |b, _| {
-            b.iter(|| {
-                let mut ev = ParallelEvaluator::with_config(EvalConfig {
-                    parallelism: Some(4),
-                    parallel_cutoff: 256,
-                    ..EvalConfig::default()
-                });
-                ev.eval_closed(&query).unwrap()
-            })
+            b.iter(|| parallel_session.evaluate(&query).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("sequential_dcr", n), &n, |b, _| {
             b.iter(|| eval_closed(&query).unwrap())
@@ -34,18 +40,42 @@ fn bench(c: &mut Criterion) {
     let n = 1u64 << 14;
     let big = Expr::Const(Value::atom_set(0..n));
     let sum = aggregates::sum_dcr(big, |x| Expr::extern_call("atom_to_nat", vec![x]));
-    group.bench_with_input(BenchmarkId::new("parallel_sum_dcr", n), &n, |b, _| {
-        b.iter(|| {
-            let mut ev = ParallelEvaluator::with_config(EvalConfig {
-                parallelism: Some(4),
-                ..EvalConfig::default()
-            });
-            ev.eval_closed(&sum).unwrap()
+    let parallel_session = SessionBuilder::new()
+        .config(EvalConfig {
+            parallelism: Some(4),
+            ..EvalConfig::default()
         })
+        .build();
+    group.bench_with_input(BenchmarkId::new("parallel_sum_dcr", n), &n, |b, _| {
+        b.iter(|| parallel_session.evaluate(&sum).unwrap())
     });
     group.bench_with_input(BenchmarkId::new("sequential_sum_dcr", n), &n, |b, _| {
         b.iter(|| eval_closed(&sum).unwrap())
     });
+
+    // Amortized vs cold on the engine path: the same parameterized aggregate,
+    // prepared once vs front-end per execution, on both backends.
+    let schema = vec![("s".to_string(), Type::set(Type::Base))];
+    let bindings = vec![("s".to_string(), Value::atom_set(0..n))];
+    for (label, parallelism) in [("seq", None), ("par4", Some(4))] {
+        let cold = SessionBuilder::new()
+            .parallelism(parallelism)
+            .cache_capacity(0)
+            .build();
+        group.bench_with_input(BenchmarkId::new(format!("sum_cold_{label}"), n), &n, |b, _| {
+            b.iter(|| {
+                let q = cold.prepare_with_schema(SUM_TEXT, &schema).unwrap();
+                cold.execute_with_bindings(&q, &bindings).unwrap()
+            })
+        });
+        let warm = SessionBuilder::new().parallelism(parallelism).build();
+        let prepared = warm.prepare_with_schema(SUM_TEXT, &schema).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new(format!("sum_prepared_{label}"), n),
+            &n,
+            |b, _| b.iter(|| warm.execute_with_bindings(&prepared, &bindings).unwrap()),
+        );
+    }
     group.finish();
 }
 

@@ -40,15 +40,24 @@ impl fmt::Debug for ExternFn {
 }
 
 /// A registry Σ of external functions, keyed by name.
+///
+/// The map is `Arc`-shared with copy-on-write registration: cloning a registry
+/// (which happens on every `EvalConfig` clone — once per evaluation and once
+/// per parallel worker shard) is O(1) pointer sharing, and [`register`] only
+/// deep-copies the map when the handle is actually shared.
+///
+/// [`register`]: ExternRegistry::register
 #[derive(Debug, Clone, Default)]
 pub struct ExternRegistry {
-    fns: BTreeMap<String, ExternFn>,
+    fns: Arc<BTreeMap<String, ExternFn>>,
 }
 
 impl ExternRegistry {
     /// The empty Σ (the pure language of the main theorems).
     pub fn empty() -> ExternRegistry {
-        ExternRegistry { fns: BTreeMap::new() }
+        ExternRegistry {
+            fns: Arc::new(BTreeMap::new()),
+        }
     }
 
     /// The standard arithmetic/aggregate extension used by the experiments:
@@ -113,12 +122,14 @@ impl ExternRegistry {
         reg
     }
 
-    /// Register an external function.
+    /// Register an external function. Copy-on-write: when this registry handle
+    /// shares its map with clones (e.g. a running session's config), the map
+    /// is copied once here and the clones keep the old Σ.
     pub fn register<F>(&mut self, name: &str, params: Vec<Type>, result: Type, body: F)
     where
         F: Fn(&[Value]) -> Result<Value, EvalError> + Send + Sync + 'static,
     {
-        self.fns.insert(
+        Arc::make_mut(&mut self.fns).insert(
             name.to_string(),
             ExternFn {
                 params,
@@ -151,6 +162,27 @@ impl ExternRegistry {
     /// Does the registry contain the given name?
     pub fn contains(&self, name: &str) -> bool {
         self.fns.contains_key(name)
+    }
+
+    /// A fingerprint of the registry's *interface*: a hash over the sorted
+    /// function names and their declared signatures. Two registries with the
+    /// same names and types fingerprint identically even if the Rust bodies
+    /// differ — the bodies are opaque closures — so the fingerprint identifies
+    /// what the *type checker* can observe. The engine's prepared-statement
+    /// cache keys plans by (query text, registry fingerprint), which is exactly
+    /// the pair the front end (parse + typecheck) depends on.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.fns.len().hash(&mut h);
+        for (name, f) in self.fns.iter() {
+            name.hash(&mut h);
+            for p in &f.params {
+                p.to_string().hash(&mut h);
+            }
+            f.result.to_string().hash(&mut h);
+        }
+        h.finish()
     }
 
     /// The maximum set height over all parameter and result types of the
@@ -217,6 +249,39 @@ mod tests {
         let reg = ExternRegistry::standard();
         let f = reg.get("nat_add").unwrap();
         assert!((f.body)(&[Value::Nat(1)]).is_err());
+    }
+
+    #[test]
+    fn registration_is_copy_on_write() {
+        let mut original = ExternRegistry::standard();
+        let shared = original.clone();
+        original.register("extra", vec![Type::Nat], Type::Nat, |args| Ok(args[0].clone()));
+        assert!(original.contains("extra"));
+        assert!(!shared.contains("extra"), "clones keep the old Σ");
+        assert_ne!(original.fingerprint(), shared.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_tracks_the_interface() {
+        let std1 = ExternRegistry::standard();
+        let std2 = ExternRegistry::standard();
+        assert_eq!(std1.fingerprint(), std2.fingerprint(), "deterministic");
+        assert_ne!(
+            std1.fingerprint(),
+            ExternRegistry::empty().fingerprint(),
+            "different name sets differ"
+        );
+        let mut extended = ExternRegistry::standard();
+        extended.register("shout", vec![Type::Base], Type::Base, |args| {
+            Ok(args[0].clone())
+        });
+        assert_ne!(std1.fingerprint(), extended.fingerprint(), "new extern changes it");
+        // Re-registering an existing name with a different *signature* changes it too.
+        let mut retyped = ExternRegistry::standard();
+        retyped.register("card", vec![Type::set(Type::Base)], Type::Base, |args| {
+            Ok(args[0].clone())
+        });
+        assert_ne!(std1.fingerprint(), retyped.fingerprint());
     }
 
     #[test]

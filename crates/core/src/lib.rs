@@ -10,7 +10,7 @@
 //!   the four recursion forms on sets (`sru`, `sri`, `dcr`, `esr`), their bounded
 //!   variants (`bdcr`, `bsri`), the iterators (`loop`, `log-loop`, `bloop`,
 //!   `blog-loop`), and external functions Σ (Proposition 6.3).
-//! * [`typecheck`] — a bidirectional-ish type checker for the language, including
+//! * [`mod@typecheck`] — a bidirectional-ish type checker for the language, including
 //!   the PS-type side conditions of the bounded constructs.
 //! * [`eval`] — a reference evaluator instrumented with a **work/span (PRAM) cost
 //!   model**. The span of a `dcr` combining tree is logarithmic in the set size,
@@ -49,7 +49,7 @@ pub mod wellformed;
 pub use error::{EvalError, TypeError};
 pub use eval::{CostStats, EvalConfig, Evaluator};
 pub use expr::Expr;
-pub use parallel::{eval_parallel, parallelism_from_env, ParallelEvaluator};
+pub use parallel::{eval_parallel, normalize_parallelism, parallelism_from_env, ParallelEvaluator};
 pub use typecheck::{typecheck, typecheck_closed, TypeEnv};
 
 /// Convenient result alias for evaluation.

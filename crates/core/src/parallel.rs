@@ -100,6 +100,22 @@ pub fn eval_parallel(expr: &Expr, threads: usize) -> EvalResult<(Value, CostStat
     Ok((v, ev.stats()))
 }
 
+/// Normalize a requested parallelism knob to its canonical form: `Some(0)` and
+/// `Some(1)` mean "no parallelism", exactly like `None`, and are mapped to
+/// `None` here — in one place — so a configuration never records a degenerate
+/// thread count. Every front door that accepts a parallelism override
+/// (`ncql_queries::eval_query_with`, the engine's `SessionBuilder`) routes the
+/// request through this function before storing it in an
+/// [`crate::eval::EvalConfig`]; without the normalization a caller
+/// passing `Some(1)` would silently overwrite a base configuration's knob with
+/// a value that *looks* parallel but evaluates sequentially.
+pub fn normalize_parallelism(requested: Option<usize>) -> Option<usize> {
+    match requested {
+        Some(n) if n >= 2 => Some(n),
+        _ => None,
+    }
+}
+
 /// The parallelism requested through the *test* environment knob
 /// `NCQL_TEST_PARALLELISM`: `None` when unset, empty, or unparseable. The CI
 /// matrix sets it so the differential suite and the bench parallel variants
@@ -253,6 +269,15 @@ mod tests {
         let (seq_v, seq_stats) = eval_with_stats(&e).unwrap();
         assert_eq!(ev.eval_closed(&e).unwrap(), seq_v);
         assert_eq!(ev.stats(), seq_stats);
+    }
+
+    #[test]
+    fn degenerate_parallelism_normalizes_to_none() {
+        assert_eq!(normalize_parallelism(None), None);
+        assert_eq!(normalize_parallelism(Some(0)), None);
+        assert_eq!(normalize_parallelism(Some(1)), None);
+        assert_eq!(normalize_parallelism(Some(2)), Some(2));
+        assert_eq!(normalize_parallelism(Some(64)), Some(64));
     }
 
     #[test]

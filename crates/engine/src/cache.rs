@@ -1,0 +1,113 @@
+//! A small least-recently-used map for prepared plans.
+//!
+//! The engine's working set is "the distinct query texts a service replays",
+//! which is small (hundreds, not millions), so the implementation favours
+//! simplicity over asymptotics: entries carry a monotone use stamp and
+//! eviction scans for the minimum. That is O(capacity) per insert-at-capacity,
+//! which is negligible next to the parse + typecheck work a hit saves.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// An LRU map with a fixed capacity. A capacity of `0` disables storage
+/// entirely (every lookup misses, every insert is dropped) — the engine uses
+/// that to offer an uncached "cold" mode for benchmarking.
+#[derive(Debug)]
+pub(crate) struct LruCache<K, V> {
+    capacity: usize,
+    stamp: u64,
+    map: HashMap<K, (u64, V)>,
+    evictions: u64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
+    pub(crate) fn new(capacity: usize) -> LruCache<K, V> {
+        LruCache {
+            capacity,
+            stamp: 0,
+            map: HashMap::new(),
+            evictions: 0,
+        }
+    }
+
+    /// Look up a key, refreshing its recency on a hit.
+    pub(crate) fn get(&mut self, key: &K) -> Option<V> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        self.map.get_mut(key).map(|slot| {
+            slot.0 = stamp;
+            slot.1.clone()
+        })
+    }
+
+    /// Insert a key, evicting the least recently used entry at capacity.
+    pub(crate) fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.stamp += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
+        self.map.insert(key, (self.stamp, value));
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub(crate) fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_refreshes_recency() {
+        let mut c: LruCache<&str, u32> = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(1)); // refresh a; b is now the LRU entry
+        c.insert("c", 3);
+        assert_eq!(c.get(&"b"), None, "b was evicted");
+        assert_eq!(c.get(&"a"), Some(1));
+        assert_eq!(c.get(&"c"), Some(3));
+        assert_eq!(c.evictions(), 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_updates_in_place_without_eviction() {
+        let mut c: LruCache<&str, u32> = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.insert("a", 10);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.get(&"a"), Some(10));
+        assert_eq!(c.get(&"b"), Some(2));
+    }
+
+    #[test]
+    fn zero_capacity_stores_nothing() {
+        let mut c: LruCache<&str, u32> = LruCache::new(0);
+        c.insert("a", 1);
+        assert_eq!(c.get(&"a"), None);
+        assert_eq!(c.len(), 0);
+    }
+}

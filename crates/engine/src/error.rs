@@ -1,0 +1,123 @@
+//! The one error type at the engine's API boundary.
+//!
+//! The workspace grew three unrelated error enums — [`ParseError`] from the
+//! surface crate (which itself wraps the lexer's positioned [`LexError`]),
+//! [`TypeError`] from the type checker, and [`EvalError`] from the evaluator —
+//! plus [`ObjectError`] from the object model. Every consumer of the old
+//! scattered entry points had to match on whichever subset its hand-wired
+//! pipeline could produce. [`Error`] folds them into a single enum with
+//! `Display` and `std::error::Error` implementations, so a `Session` caller
+//! handles one type end to end and still gets the source-position context the
+//! lexer/parser recorded.
+
+use ncql_core::{EvalError, TypeError};
+use ncql_object::ObjectError;
+use ncql_surface::{LexError, ParseError};
+use std::fmt;
+
+/// Any error the engine's prepare → execute pipeline can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The query text failed to lex or parse. Carries the surface crate's
+    /// error, including the byte position the lexer/parser recorded.
+    Parse(ParseError),
+    /// The parsed query failed to type-check against the session's registry Σ.
+    Type(TypeError),
+    /// Evaluation failed (stuck term, extern failure, resource limit, worker
+    /// panic).
+    Eval(EvalError),
+    /// An object-model operation failed (value typing, encoding/decoding).
+    Object(ObjectError),
+}
+
+impl Error {
+    /// The position in the query text at which the error was detected, when
+    /// the failure happened in the front end and a position is known: the
+    /// lexer's *byte offset* for a lexical error, the parser's *token index*
+    /// for an unexpected token. Type, evaluation and object errors are
+    /// positionless (the AST does not carry spans yet).
+    pub fn position(&self) -> Option<usize> {
+        match self {
+            Error::Parse(ParseError::Lex(LexError { position, .. })) => Some(*position),
+            Error::Parse(ParseError::Unexpected { position, .. }) => Some(*position),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            // Lex/parse errors already self-describe ("lex error at byte N",
+            // "parse error at token N"), so no prefix is added.
+            Error::Parse(e) => write!(f, "{e}"),
+            Error::Type(e) => write!(f, "type error: {e}"),
+            Error::Eval(e) => write!(f, "evaluation error: {e}"),
+            Error::Object(e) => write!(f, "object error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Parse(e) => Some(e),
+            Error::Type(e) => Some(e),
+            Error::Eval(e) => Some(e),
+            Error::Object(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParseError> for Error {
+    fn from(e: ParseError) -> Error {
+        Error::Parse(e)
+    }
+}
+
+impl From<LexError> for Error {
+    fn from(e: LexError) -> Error {
+        Error::Parse(ParseError::Lex(e))
+    }
+}
+
+impl From<TypeError> for Error {
+    fn from(e: TypeError) -> Error {
+        Error::Type(e)
+    }
+}
+
+impl From<EvalError> for Error {
+    fn from(e: EvalError) -> Error {
+        Error::Eval(e)
+    }
+}
+
+impl From<ObjectError> for Error {
+    fn from(e: ObjectError) -> Error {
+        Error::Object(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn parse_errors_carry_the_lexer_position() {
+        let err: Error = ncql_surface::parse("{@1} union $").unwrap_err().into();
+        assert!(matches!(err, Error::Parse(_)));
+        assert_eq!(err.position(), Some(11), "byte offset of the `$`");
+        assert!(err.to_string().starts_with("lex error at byte 11"));
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn eval_errors_are_positionless_but_sourced() {
+        let err = Error::from(EvalError::WorkLimitExceeded { limit: 7 });
+        assert_eq!(err.position(), None);
+        assert!(err.to_string().contains("limit of 7"));
+        assert!(err.source().is_some());
+    }
+}

@@ -1,0 +1,122 @@
+//! Prepared queries and execution outcomes.
+
+use ncql_core::eval::CostStats;
+use ncql_core::expr::Expr;
+use ncql_object::{Type, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// Everything the front end (parse → typecheck → analysis) computes for one
+/// query, shared behind an `Arc` by every [`PreparedQuery`] handle the cache
+/// vends for it.
+#[derive(Debug)]
+pub(crate) struct PreparedPlan {
+    /// The original surface text, when the query was prepared from text.
+    pub(crate) source: Option<String>,
+    /// The parsed (or caller-supplied) abstract syntax.
+    pub(crate) expr: Expr,
+    /// The inferred type under the session's registry Σ.
+    pub(crate) ty: Type,
+    /// The free-variable schema the query was checked against (empty for a
+    /// closed query); bindings supplied at execution time must cover it.
+    pub(crate) schema: Vec<(String, Type)>,
+    /// Depth of recursion nesting (§3): the ACᵏ stratification level.
+    pub(crate) depth: usize,
+    /// The ACᵏ level predicted by Theorems 6.1/6.2 (`max(1, depth)`).
+    pub(crate) ac_level: usize,
+    /// The pretty-printed normal form of the query (the parser/printer
+    /// fixpoint the round-trip suite pins down).
+    pub(crate) normal_form: String,
+}
+
+/// A query that has been parsed, type-checked and analysed once, ready to be
+/// executed any number of times by the [`Session`](crate::Session) that
+/// prepared it. Cloning is O(1): handles share the underlying plan.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    pub(crate) plan: Arc<PreparedPlan>,
+}
+
+impl PreparedQuery {
+    /// The inferred type of the query under the session's registry Σ.
+    pub fn ty(&self) -> &Type {
+        &self.plan.ty
+    }
+
+    /// The depth of recursion/iteration nesting (§3). Depth `k ≥ 1` places a
+    /// flat query in ACᵏ by Theorem 6.2.
+    pub fn recursion_depth(&self) -> usize {
+        self.plan.depth
+    }
+
+    /// The ACᵏ level predicted by Theorems 6.1/6.2: `max(1, depth)`.
+    pub fn ac_level(&self) -> usize {
+        self.plan.ac_level
+    }
+
+    /// The pretty-printed normal form of the query.
+    pub fn normal_form(&self) -> &str {
+        &self.plan.normal_form
+    }
+
+    /// The abstract syntax the session will evaluate.
+    pub fn expr(&self) -> &Expr {
+        &self.plan.expr
+    }
+
+    /// The original surface text, when the query was prepared from text
+    /// (`None` when it was prepared from a pre-built [`Expr`]).
+    pub fn source(&self) -> Option<&str> {
+        self.plan.source.as_deref()
+    }
+
+    /// The free-variable schema declared at preparation time (empty for a
+    /// closed query).
+    pub fn schema(&self) -> &[(String, Type)] {
+        &self.plan.schema
+    }
+
+    /// Do two handles share one underlying plan? A cache hit in
+    /// [`Session::prepare`](crate::Session::prepare) returns a handle for
+    /// which this is `true` relative to the first preparation — that pointer
+    /// identity is the observable proof that the front end ran only once.
+    pub fn ptr_eq(&self, other: &PreparedQuery) -> bool {
+        Arc::ptr_eq(&self.plan, &other.plan)
+    }
+}
+
+/// Which evaluation backend a session dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The sequential reference evaluator.
+    Sequential,
+    /// The parallel backend, forking `ext`/`dcr` regions across this many
+    /// worker threads.
+    Parallel {
+        /// Worker thread count (always ≥ 2; degenerate requests are
+        /// normalized to [`Backend::Sequential`] at session build time).
+        threads: usize,
+    },
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Backend::Sequential => write!(f, "sequential"),
+            Backend::Parallel { threads } => write!(f, "parallel ({threads} threads)"),
+        }
+    }
+}
+
+/// The result of executing a query: the value, the work/span cost statistics
+/// (bit-identical across backends — the differential suite's contract), and
+/// which backend ran it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    /// The query's value.
+    pub value: Value,
+    /// Work/span cost statistics of the evaluation.
+    pub stats: CostStats,
+    /// The backend that produced the value.
+    pub backend: Backend,
+}

@@ -1,0 +1,660 @@
+//! Sessions: configuration, the prepared-statement cache, and execution.
+
+use crate::cache::LruCache;
+use crate::error::Error;
+use crate::prepared::{Backend, Outcome, PreparedPlan, PreparedQuery};
+use ncql_core::eval::{CostStats, EvalConfig, Evaluator};
+use ncql_core::expr::Expr;
+use ncql_core::externs::ExternRegistry;
+use ncql_core::parallel::{normalize_parallelism, ParallelEvaluator};
+use ncql_core::typecheck::{infer, value_type, TypeEnv};
+use ncql_core::{analysis, EvalError};
+use ncql_object::{ObjectError, Type, Value};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Default number of prepared plans a session retains.
+pub const DEFAULT_CACHE_CAPACITY: usize = 256;
+
+/// Cache key of a prepared plan: the exact query text, the schema it was
+/// checked under, and the registry fingerprint the front end depended on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PlanKey {
+    text: String,
+    schema: Vec<(String, String)>,
+    registry_fingerprint: u64,
+}
+
+impl PlanKey {
+    fn new(text: &str, schema: &[(String, Type)], registry_fingerprint: u64) -> PlanKey {
+        PlanKey {
+            text: text.to_string(),
+            schema: schema
+                .iter()
+                .map(|(name, ty)| (name.clone(), ty.to_string()))
+                .collect(),
+            registry_fingerprint,
+        }
+    }
+}
+
+/// Counters describing the prepared-statement cache's behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheMetrics {
+    /// `prepare` calls answered from the cache (front end skipped).
+    pub hits: u64,
+    /// `prepare` calls that ran the full front end.
+    pub misses: u64,
+    /// Plans evicted by the LRU policy.
+    pub evictions: u64,
+    /// Plans currently cached.
+    pub len: usize,
+    /// Maximum number of cached plans.
+    pub capacity: usize,
+}
+
+/// Builds a [`Session`]: owns the external-function registry Σ, the resource
+/// limits, the `parallelism`/`parallel_cutoff` knobs (i.e. the backend
+/// choice), and the prepared-statement cache capacity.
+///
+/// ```
+/// use ncql_engine::SessionBuilder;
+///
+/// let session = SessionBuilder::new()
+///     .parallelism(Some(4))
+///     .max_set_size(1 << 20)
+///     .build();
+/// assert_eq!(session.backend().to_string(), "parallel (4 threads)");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    config: EvalConfig,
+    cache_capacity: usize,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> SessionBuilder {
+        SessionBuilder::new()
+    }
+}
+
+impl SessionBuilder {
+    /// A builder with the default configuration: sequential backend, the
+    /// standard registry Σ, the default resource limits and a
+    /// [`DEFAULT_CACHE_CAPACITY`]-entry plan cache.
+    pub fn new() -> SessionBuilder {
+        SessionBuilder {
+            config: EvalConfig::default(),
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+        }
+    }
+
+    /// A builder configured from the environment, so deployments can select
+    /// the backend without code changes: `NCQL_PARALLELISM` sets the worker
+    /// thread count (`0`/`1` mean sequential) and `NCQL_PARALLEL_CUTOFF` the
+    /// fork threshold. Unset, empty or unparseable variables leave the
+    /// defaults untouched.
+    pub fn from_env() -> SessionBuilder {
+        let mut builder = SessionBuilder::new();
+        if let Ok(raw) = std::env::var("NCQL_PARALLELISM") {
+            if let Ok(n) = raw.trim().parse::<usize>() {
+                builder.config.parallelism = normalize_parallelism(Some(n));
+            }
+        }
+        if let Ok(raw) = std::env::var("NCQL_PARALLEL_CUTOFF") {
+            if let Ok(cutoff) = raw.trim().parse::<u64>() {
+                builder.config.parallel_cutoff = cutoff;
+            }
+        }
+        builder
+    }
+
+    /// Replace the whole evaluation configuration at once (the individual
+    /// setters below tweak single fields). The parallelism knob is normalized:
+    /// `Some(0 | 1)` is stored as `None`.
+    pub fn config(mut self, config: EvalConfig) -> SessionBuilder {
+        self.config = EvalConfig {
+            parallelism: normalize_parallelism(config.parallelism),
+            ..config
+        };
+        self
+    }
+
+    /// Select the backend: `None`, `Some(0)` and `Some(1)` (all normalized to
+    /// `None`) run the sequential reference evaluator; `Some(n)` with `n ≥ 2`
+    /// runs the parallel backend with `n` worker threads.
+    pub fn parallelism(mut self, parallelism: Option<usize>) -> SessionBuilder {
+        self.config.parallelism = normalize_parallelism(parallelism);
+        self
+    }
+
+    /// Cost-model fork threshold of the parallel backend: a region is forked
+    /// only when `applications × closure body size` reaches this value.
+    pub fn parallel_cutoff(mut self, cutoff: u64) -> SessionBuilder {
+        self.config.parallel_cutoff = cutoff;
+        self
+    }
+
+    /// Maximum allowed cardinality of any intermediate set.
+    pub fn max_set_size(mut self, limit: usize) -> SessionBuilder {
+        self.config.max_set_size = limit;
+        self
+    }
+
+    /// Maximum total work before evaluation aborts.
+    pub fn max_work(mut self, limit: u64) -> SessionBuilder {
+        self.config.max_work = limit;
+        self
+    }
+
+    /// Spot-check `dcr`/`sru` combiners for the algebraic laws during
+    /// evaluation.
+    pub fn check_algebraic_laws(mut self, check: bool) -> SessionBuilder {
+        self.config.check_algebraic_laws = check;
+        self
+    }
+
+    /// The external-function registry Σ queries are checked and evaluated
+    /// against.
+    pub fn registry(mut self, registry: ExternRegistry) -> SessionBuilder {
+        self.config.registry = registry;
+        self
+    }
+
+    /// Capacity of the prepared-statement cache. `0` disables caching (every
+    /// `prepare` runs the full front end — the "cold" mode the benches use).
+    pub fn cache_capacity(mut self, capacity: usize) -> SessionBuilder {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Build the session.
+    pub fn build(self) -> Session {
+        Session {
+            config: self.config,
+            registry_fingerprint: OnceLock::new(),
+            cache: Mutex::new(CacheState {
+                plans: LruCache::new(self.cache_capacity),
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct CacheState {
+    plans: LruCache<PlanKey, Arc<PreparedPlan>>,
+    hits: u64,
+    misses: u64,
+}
+
+/// The single supported entry point for running NC queries.
+///
+/// A session owns one [`EvalConfig`] (registry Σ, resource limits, backend
+/// choice) and a prepared-statement cache. [`Session::prepare`] runs the front
+/// end — parse → typecheck → recursion-depth analysis — exactly once per
+/// distinct (query text, schema, registry fingerprint) and caches the plan, so
+/// [`Session::execute`] and friends only pay the Suciu–Tannen evaluation cost.
+///
+/// Sessions are `Sync`: one session can serve `prepare`/`execute` calls from
+/// many threads (the cache is internally locked; executions are independent).
+///
+/// ```
+/// use ncql_engine::Session;
+///
+/// let session = Session::new();
+/// let query = session.prepare("nat_add(20, 22)")?;
+/// assert_eq!(query.ty().to_string(), "nat");
+/// let outcome = session.execute(&query)?;
+/// assert_eq!(outcome.value.to_string(), "42");
+/// # Ok::<(), ncql_engine::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct Session {
+    config: EvalConfig,
+    /// Computed lazily on the first `prepare`: pure-evaluation sessions (the
+    /// corpus shim, the benches' trusted-AST path) never pay the hash.
+    registry_fingerprint: OnceLock<u64>,
+    cache: Mutex<CacheState>,
+}
+
+impl Default for Session {
+    fn default() -> Session {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// A session with the default configuration (sequential backend, standard
+    /// registry Σ).
+    pub fn new() -> Session {
+        SessionBuilder::new().build()
+    }
+
+    /// Start building a customized session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::new()
+    }
+
+    /// The evaluation configuration this session runs every query under.
+    pub fn config(&self) -> &EvalConfig {
+        &self.config
+    }
+
+    /// The backend this session dispatches to.
+    pub fn backend(&self) -> Backend {
+        match self.config.parallelism {
+            Some(threads) if threads >= 2 => Backend::Parallel { threads },
+            _ => Backend::Sequential,
+        }
+    }
+
+    /// The fingerprint of the session's registry Σ (part of every cache key).
+    pub fn registry_fingerprint(&self) -> u64 {
+        *self
+            .registry_fingerprint
+            .get_or_init(|| self.config.registry.fingerprint())
+    }
+
+    /// Replace the registry Σ. Plans prepared under the old registry are keyed
+    /// by its fingerprint and therefore invisible afterwards: the next
+    /// `prepare` of the same text re-runs the front end against the new Σ.
+    pub fn set_registry(&mut self, registry: ExternRegistry) {
+        self.registry_fingerprint = OnceLock::new();
+        self.config.registry = registry;
+    }
+
+    /// Counters describing the prepared-statement cache.
+    pub fn cache_metrics(&self) -> CacheMetrics {
+        let state = self.cache.lock().unwrap();
+        CacheMetrics {
+            hits: state.hits,
+            misses: state.misses,
+            evictions: state.plans.evictions(),
+            len: state.plans.len(),
+            capacity: state.plans.capacity(),
+        }
+    }
+
+    /// Prepare a closed query from its surface text: parse, type-check against
+    /// the session's registry, analyse recursion depth, and pretty-print the
+    /// normal form — once. Repeated calls with the same text return a handle
+    /// to the *same* cached plan ([`PreparedQuery::ptr_eq`]).
+    pub fn prepare(&self, text: &str) -> Result<PreparedQuery, Error> {
+        self.prepare_with_schema(text, &[])
+    }
+
+    /// Prepare a query with free variables, declared by `schema` as
+    /// name-to-type bindings. Execution must later supply a value for each
+    /// declared name ([`Session::execute_with_bindings`]).
+    pub fn prepare_with_schema(
+        &self,
+        text: &str,
+        schema: &[(String, Type)],
+    ) -> Result<PreparedQuery, Error> {
+        let key = PlanKey::new(text, schema, self.registry_fingerprint());
+        if let Some(plan) = {
+            let mut state = self.cache.lock().unwrap();
+            let hit = state.plans.get(&key);
+            if hit.is_some() {
+                state.hits += 1;
+            } else {
+                state.misses += 1;
+            }
+            hit
+        } {
+            return Ok(PreparedQuery { plan });
+        }
+        let expr = ncql_surface::parse(text)?;
+        let plan = Arc::new(self.analyze(Some(text.to_string()), expr, schema)?);
+        // Double-checked insert: the lock is not held across the front end, so
+        // two threads can race to first-prepare the same text. Whoever inserts
+        // first wins and the loser adopts the winner's plan, keeping the
+        // same-`Arc` contract for every handle ever returned (both front-end
+        // runs are counted as misses).
+        let mut state = self.cache.lock().unwrap();
+        if let Some(existing) = state.plans.get(&key) {
+            return Ok(PreparedQuery { plan: existing });
+        }
+        state.plans.insert(key, plan.clone());
+        drop(state);
+        Ok(PreparedQuery { plan })
+    }
+
+    /// Prepare a closed query from a pre-built [`Expr`] (the Rust builder
+    /// API). The full front end except parsing runs — typecheck, analysis,
+    /// normal form — but the result is *not* cached: builder-API expressions
+    /// have no canonical text to key by, and the caller already holds the
+    /// amortization handle (the returned [`PreparedQuery`]).
+    pub fn prepare_expr(&self, expr: Expr) -> Result<PreparedQuery, Error> {
+        self.prepare_expr_with_schema(expr, &[])
+    }
+
+    /// [`Session::prepare_expr`] for an open expression with a declared
+    /// schema.
+    pub fn prepare_expr_with_schema(
+        &self,
+        expr: Expr,
+        schema: &[(String, Type)],
+    ) -> Result<PreparedQuery, Error> {
+        let plan = Arc::new(self.analyze(None, expr, schema)?);
+        Ok(PreparedQuery { plan })
+    }
+
+    /// The front end minus parsing: typecheck against the session registry
+    /// under the declared schema, recursion-depth analysis, normal form.
+    fn analyze(
+        &self,
+        source: Option<String>,
+        expr: Expr,
+        schema: &[(String, Type)],
+    ) -> Result<PreparedPlan, Error> {
+        let mut env = TypeEnv::new();
+        for (name, ty) in schema {
+            env = env.extend(name.clone(), ty.clone());
+        }
+        let ty = infer(&env, &self.config.registry, &expr)?;
+        Ok(PreparedPlan {
+            source,
+            ty,
+            schema: schema.to_vec(),
+            depth: analysis::recursion_depth(&expr),
+            ac_level: analysis::ac_level(&expr),
+            normal_form: ncql_surface::print_expr(&expr),
+            expr,
+        })
+    }
+
+    /// Execute a prepared closed query on the session's backend, paying only
+    /// evaluation cost.
+    pub fn execute(&self, query: &PreparedQuery) -> Result<Outcome, Error> {
+        self.execute_with_bindings(query, &[])
+    }
+
+    /// Execute a prepared query with its schema's free variables bound to the
+    /// given values.
+    ///
+    /// The bindings are validated against the schema declared at preparation
+    /// time before evaluation starts: a missing binding, a duplicated name,
+    /// or a value whose type does not match the declaration is rejected as
+    /// [`Error::Object`] — the checked pipeline never hands an ill-typed
+    /// value to the evaluator. Bindings for names the schema does not declare
+    /// are ignored.
+    pub fn execute_with_bindings(
+        &self,
+        query: &PreparedQuery,
+        bindings: &[(String, Value)],
+    ) -> Result<Outcome, Error> {
+        for (name, ty) in query.schema() {
+            let mut matching = bindings.iter().filter(|(bound, _)| bound == name);
+            match (matching.next(), matching.next()) {
+                (None, _) => {
+                    return Err(Error::Object(ObjectError::TypeMismatch {
+                        expected: format!("a binding for schema variable `{name}` of type {ty}"),
+                        found: "no binding with that name".to_string(),
+                    }))
+                }
+                // A duplicated name is rejected outright: validation would
+                // otherwise vouch for one occurrence while the evaluator's
+                // environment (last binding shadows) resolves another.
+                (Some(_), Some(_)) => {
+                    return Err(Error::Object(ObjectError::TypeMismatch {
+                        expected: format!("exactly one binding for schema variable `{name}`"),
+                        found: "multiple bindings with that name".to_string(),
+                    }))
+                }
+                (Some((_, value)), None) if !value.has_type(ty) => {
+                    return Err(Error::Object(ObjectError::TypeMismatch {
+                        expected: format!("{ty} for schema variable `{name}`"),
+                        found: value_type(value).to_string(),
+                    }))
+                }
+                (Some(_), None) => {}
+            }
+        }
+        self.eval_raw(query.expr(), bindings).map_err(Error::from)
+    }
+
+    /// Execute one prepared query over a batch of binding sets, returning one
+    /// outcome per set. The front end ran once at `prepare` time; each element
+    /// pays evaluation only. Errors are per-element: one failing binding set
+    /// does not abort the rest of the batch.
+    pub fn execute_many<B: AsRef<[(String, Value)]>>(
+        &self,
+        query: &PreparedQuery,
+        batches: &[B],
+    ) -> Vec<Result<Outcome, Error>> {
+        batches
+            .iter()
+            .map(|bindings| self.execute_with_bindings(query, bindings.as_ref()))
+            .collect()
+    }
+
+    /// Prepare (or fetch from the cache) and execute in one call — the
+    /// convenience path for one-shot callers like the REPL.
+    pub fn run(&self, text: &str) -> Result<Outcome, Error> {
+        let query = self.prepare(text)?;
+        self.execute(&query)
+    }
+
+    /// Evaluate a pre-built closed expression directly, skipping the front end
+    /// entirely (no parse, no typecheck, no caching). This is the trusted-AST
+    /// fast path for corpus runners and differential suites whose expressions
+    /// come straight from the builder API; because nothing but evaluation
+    /// runs, the error type is exactly [`EvalError`] — bit-compatible with the
+    /// historical entry points. Prefer [`Session::prepare_expr`] +
+    /// [`Session::execute`] when you want the checked pipeline.
+    pub fn evaluate(&self, expr: &Expr) -> Result<Outcome, EvalError> {
+        self.eval_raw(expr, &[])
+    }
+
+    /// [`Session::evaluate`] with free variables bound to values.
+    pub fn evaluate_with_bindings(
+        &self,
+        expr: &Expr,
+        bindings: &[(String, Value)],
+    ) -> Result<Outcome, EvalError> {
+        self.eval_raw(expr, bindings)
+    }
+
+    /// Dispatch one evaluation onto the configured backend.
+    fn eval_raw(&self, expr: &Expr, bindings: &[(String, Value)]) -> Result<Outcome, EvalError> {
+        let backend = self.backend();
+        let (value, stats): (Value, CostStats) = match backend {
+            Backend::Parallel { .. } => {
+                let mut evaluator = ParallelEvaluator::with_config(self.config.clone());
+                let value = evaluator.eval_with_bindings(expr, bindings)?;
+                (value, evaluator.stats())
+            }
+            Backend::Sequential => {
+                let mut evaluator = Evaluator::new(self.config.clone());
+                let value = evaluator.eval_with_bindings(expr, bindings)?;
+                (value, evaluator.stats())
+            }
+        };
+        Ok(Outcome {
+            value,
+            stats,
+            backend,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sessions_are_send_and_sync() {
+        // The docs promise one session can serve many threads.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Session>();
+        assert_send_sync::<PreparedQuery>();
+        assert_send_sync::<Outcome>();
+    }
+
+    #[test]
+    fn prepare_execute_round_trip() {
+        let session = Session::new();
+        let q = session.prepare("nat_add(20, 22)").unwrap();
+        assert_eq!(q.ty().to_string(), "nat");
+        assert_eq!(q.recursion_depth(), 0);
+        assert_eq!(q.ac_level(), 1);
+        assert_eq!(q.source(), Some("nat_add(20, 22)"));
+        let out = session.execute(&q).unwrap();
+        assert_eq!(out.value, Value::Nat(42));
+        assert_eq!(out.backend, Backend::Sequential);
+        assert!(out.stats.work > 0);
+    }
+
+    #[test]
+    fn cache_hits_share_the_plan() {
+        let session = Session::new();
+        let a = session.prepare("{@1} union {@2}").unwrap();
+        let b = session.prepare("{@1} union {@2}").unwrap();
+        assert!(a.ptr_eq(&b));
+        let metrics = session.cache_metrics();
+        assert_eq!((metrics.hits, metrics.misses, metrics.len), (1, 1, 1));
+        // Different text is a different plan.
+        let c = session.prepare("{@1} union {@3}").unwrap();
+        assert!(!a.ptr_eq(&c));
+    }
+
+    #[test]
+    fn concurrent_first_preparations_converge_on_one_plan() {
+        let session = Session::new();
+        let text = "ext(\\x: atom. {x}, {@1} union {@2} union {@3})";
+        let handles: Vec<PreparedQuery> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| session.prepare(text).unwrap()))
+                .collect();
+            workers.into_iter().map(|w| w.join().unwrap()).collect()
+        });
+        // Whatever interleaving happened, every handle shares one plan, and a
+        // later prepare joins it too.
+        for pair in handles.windows(2) {
+            assert!(pair[0].ptr_eq(&pair[1]));
+        }
+        assert!(session.prepare(text).unwrap().ptr_eq(&handles[0]));
+        assert_eq!(session.cache_metrics().len, 1);
+    }
+
+    #[test]
+    fn parallel_and_sequential_sessions_agree() {
+        let text = "dcr(0, \\x: atom. atom_to_nat(x), \
+                    \\p: (nat * nat). nat_add(pi1 p, pi2 p), \
+                    {@4} union {@7} union {@9})";
+        let seq = Session::new();
+        let par = Session::builder()
+            .parallelism(Some(4))
+            .parallel_cutoff(1)
+            .build();
+        let a = seq.run(text).unwrap();
+        let b = par.run(text).unwrap();
+        assert_eq!(a.value, b.value);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.backend, Backend::Sequential);
+        assert_eq!(b.backend, Backend::Parallel { threads: 4 });
+        assert_eq!(a.value, Value::Nat(20));
+    }
+
+    #[test]
+    fn degenerate_parallelism_is_normalized_at_build() {
+        for requested in [None, Some(0), Some(1)] {
+            let session = Session::builder().parallelism(requested).build();
+            assert_eq!(session.config().parallelism, None, "requested {requested:?}");
+            assert_eq!(session.backend(), Backend::Sequential);
+        }
+    }
+
+    #[test]
+    fn schema_and_bindings_parameterize_a_query() {
+        let session = Session::new();
+        let schema = vec![("s".to_string(), Type::set(Type::Base))];
+        let q = session
+            .prepare_with_schema("ext(\\x: atom. {x}, s) union {@99}", &schema)
+            .unwrap();
+        let batches: Vec<Vec<(String, Value)>> = (0..3u64)
+            .map(|n| vec![("s".to_string(), Value::atom_set(0..n))])
+            .collect();
+        let outcomes = session.execute_many(&q, &batches);
+        for (n, out) in outcomes.into_iter().enumerate() {
+            let value = out.unwrap().value;
+            assert_eq!(value.cardinality(), Some(n + 1), "n atoms plus @99");
+        }
+    }
+
+    #[test]
+    fn ill_typed_or_missing_bindings_are_rejected_before_evaluation() {
+        let session = Session::new();
+        let schema = vec![("s".to_string(), Type::set(Type::Base))];
+        let q = session.prepare_with_schema("card(s)", &schema).unwrap();
+        // Wrong type: a bool where a set of atoms was declared.
+        match session.execute_with_bindings(&q, &[("s".to_string(), Value::Bool(true))]) {
+            Err(Error::Object(ObjectError::TypeMismatch { expected, found })) => {
+                assert!(expected.contains("`s`"), "{expected}");
+                assert_eq!(found, "bool");
+            }
+            other => panic!("expected a binding type mismatch, got {other:?}"),
+        }
+        // Missing binding: the schema variable was never supplied.
+        match session.execute_with_bindings(&q, &[("t".to_string(), Value::atom_set(0..2))]) {
+            Err(Error::Object(ObjectError::TypeMismatch { expected, .. })) => {
+                assert!(expected.contains("`s`"), "{expected}");
+            }
+            other => panic!("expected a missing-binding error, got {other:?}"),
+        }
+        // A duplicated name is rejected even when one occurrence is well-typed
+        // (the evaluator would resolve the shadowing last occurrence).
+        match session.execute_with_bindings(
+            &q,
+            &[
+                ("s".to_string(), Value::atom_set(0..3)),
+                ("s".to_string(), Value::Bool(true)),
+            ],
+        ) {
+            Err(Error::Object(ObjectError::TypeMismatch { expected, found })) => {
+                assert!(expected.contains("exactly one"), "{expected}");
+                assert!(found.contains("multiple"), "{found}");
+            }
+            other => panic!("expected a duplicate-binding error, got {other:?}"),
+        }
+        // A correct binding (plus an ignored extra) evaluates.
+        let out = session
+            .execute_with_bindings(
+                &q,
+                &[
+                    ("s".to_string(), Value::atom_set(0..3)),
+                    ("unused".to_string(), Value::Bool(false)),
+                ],
+            )
+            .unwrap();
+        assert_eq!(out.value, Value::Nat(3));
+    }
+
+    #[test]
+    fn type_errors_surface_through_the_unified_error() {
+        let session = Session::new();
+        match session.prepare("pi1 true") {
+            Err(Error::Type(_)) => {}
+            other => panic!("expected a type error, got {other:?}"),
+        }
+        match session.prepare("nat_add(1") {
+            Err(e @ Error::Parse(_)) => assert!(e.position().is_some()),
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_extern_is_a_type_error_under_an_empty_registry() {
+        let session = Session::builder()
+            .registry(ExternRegistry::empty())
+            .build();
+        match session.prepare("nat_add(1, 2)") {
+            Err(Error::Type(ncql_core::TypeError::UnknownExtern(name))) => {
+                assert_eq!(name, "nat_add")
+            }
+            other => panic!("expected UnknownExtern, got {other:?}"),
+        }
+    }
+}

@@ -5,7 +5,7 @@
 //! domain) and then *pre-computes* the arithmetic relations it needs — successor,
 //! the strict order, addition, multiplication and BIT — as ordinary database
 //! relations over those numbers. "E.g. to compute addition, we use transitive
-//! closure, a technique found in [21]."
+//! closure, a technique found in \[21\]."
 //!
 //! This module provides:
 //!

@@ -24,8 +24,9 @@
 //!   nested complex objects).
 //! * [`corpus`] — one closed instance of every query family above, iterated by
 //!   the cross-backend differential test suite.
-//! * [`run`] — the uniform evaluation entry point with the `parallelism` knob
-//!   selecting the sequential or the parallel backend.
+//! * [`run`] — a thin shim over the engine's `Session` for corpus callers: one
+//!   call evaluating an `Expr` with a `parallelism` knob selecting the
+//!   sequential or the parallel backend.
 
 pub mod aggregates;
 pub mod arith;

@@ -1,17 +1,19 @@
 //! Complex objects: nested relations, nest/unnest, bounded recursion (`bdcr`)
-//! and the powerset blow-up that motivates it (§2, Theorem 6.1).
+//! and the powerset blow-up that motivates it (§2, Theorem 6.1), with resource
+//! limits configured once on the engine's `Session`.
 //!
 //! Run with: `cargo run --example complex_objects`
 
 use ncql::core::derived;
-use ncql::core::eval::{eval_with_stats, EvalConfig, Evaluator};
 use ncql::core::expr::Expr;
-use ncql::core::typecheck;
 use ncql::core::EvalError;
 use ncql::object::{Type, Value};
 use ncql::queries::{datagen, powerset};
+use ncql::{Session, SessionBuilder};
 
 fn main() {
+    let session = Session::new();
+
     // A nested "document store": a set of (group, sub-relation) pairs.
     let store = datagen::document_store(4, 6, 7);
     let store_ty = Type::set(Type::prod(Type::Base, Type::binary_relation()));
@@ -19,14 +21,15 @@ fn main() {
     println!("document store ({} groups): {store}", store.cardinality().unwrap_or(0));
 
     // Unnest it into a flat relation of (group, edge) pairs and project.
-    let unnested = derived::unnest(
-        Type::Base,
-        Type::prod(Type::Base, Type::Base),
-        Expr::Const(store.clone()),
-    );
-    let ty = typecheck::typecheck_closed(&unnested).expect("unnest typechecks");
-    let (flat, _) = eval_with_stats(&unnested).expect("unnest evaluates");
-    println!("\nunnested to type {ty}: {} tuples", flat.cardinality().unwrap_or(0));
+    let unnested = session
+        .prepare_expr(derived::unnest(
+            Type::Base,
+            Type::prod(Type::Base, Type::Base),
+            Expr::Const(store.clone()),
+        ))
+        .expect("unnest typechecks");
+    let flat = session.execute(&unnested).expect("unnest evaluates").value;
+    println!("\nunnested to type {}: {} tuples", unnested.ty(), flat.cardinality().unwrap_or(0));
 
     // Re-nest by group and check we recover a set of groups of the same size.
     let renested = derived::nest(
@@ -34,17 +37,14 @@ fn main() {
         Type::prod(Type::Base, Type::Base),
         Expr::Const(flat.clone()),
     );
-    let (grouped, _) = eval_with_stats(&renested).expect("nest evaluates");
+    let grouped = session.evaluate(&renested).expect("nest evaluates").value;
     println!("re-nested into {} groups", grouped.cardinality().unwrap_or(0));
 
-    // Powerset via unbounded dcr explodes: with a resource limit the evaluator
+    // Powerset via unbounded dcr explodes: a session with a set-size limit
     // reports the blow-up instead of exhausting memory.
+    let limited = SessionBuilder::new().max_set_size(4096).build();
     let input = Expr::Const(Value::atom_set(0..18));
-    let mut limited = Evaluator::new(EvalConfig {
-        max_set_size: 4096,
-        ..EvalConfig::default()
-    });
-    match limited.eval_closed(&powerset::powerset_dcr(input.clone())) {
+    match limited.evaluate(&powerset::powerset_dcr(input.clone())) {
         Err(EvalError::SetTooLarge { limit, attempted }) => println!(
             "\nunbounded powerset of an 18-element set: aborted \
              (intermediate set of {attempted} elements exceeds the limit {limit})"
@@ -52,28 +52,25 @@ fn main() {
         other => println!("\nunexpected outcome: {other:?}"),
     }
 
-    // The bounded variant (bdcr) stays within the bound, as Theorem 6.1 requires.
-    let mut bounded_eval = Evaluator::new(EvalConfig {
-        max_set_size: 4096,
-        ..EvalConfig::default()
-    });
-    let bounded = bounded_eval
-        .eval_closed(&powerset::bounded_small_subsets(input))
+    // The bounded variant (bdcr) stays within the bound, as Theorem 6.1
+    // requires — same limited session, no error.
+    let bounded = limited
+        .evaluate(&powerset::bounded_small_subsets(input))
         .expect("bounded recursion stays within the limit");
     println!(
         "bounded recursion over the same set: {} subsets, largest intermediate set {}",
-        bounded.cardinality().unwrap_or(0),
-        bounded_eval.stats().max_set_size
+        bounded.value.cardinality().unwrap_or(0),
+        bounded.stats.max_set_size
     );
 
     // Small powersets are still fine, and exact.
-    let (small, stats) =
-        eval_with_stats(&powerset::powerset_dcr(Expr::Const(Value::atom_set(0..6))))
-            .expect("small powerset");
+    let small = session
+        .evaluate(&powerset::powerset_dcr(Expr::Const(Value::atom_set(0..6))))
+        .expect("small powerset");
     println!(
         "\npowerset of a 6-element set: {} subsets (work {}, span {})",
-        small.cardinality().unwrap_or(0),
-        stats.work,
-        stats.span
+        small.value.cardinality().unwrap_or(0),
+        small.stats.work,
+        small.stats.span
     );
 }

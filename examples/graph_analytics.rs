@@ -1,61 +1,65 @@
 //! Graph analytics with the NC query language: transitive closure, reachability
 //! and connectivity over generated graphs, comparing the divide-and-conquer
 //! (NC-style) and element-by-element (PTIME-style) evaluation strategies, and
-//! running the dcr combining tree on the parallel evaluation backend.
+//! running the dcr combining tree on the parallel evaluation backend — all
+//! through the engine's `Session` API.
 //!
 //! Run with: `cargo run --example graph_analytics --release`
 
-use ncql::core::eval::{eval_with_stats, EvalConfig};
 use ncql::core::expr::Expr;
-use ncql::core::parallel::ParallelEvaluator;
 use ncql::queries::{datagen, graph};
+use ncql::{Session, SessionBuilder};
 use std::time::Instant;
 
 fn main() {
+    let session = Session::new();
+
     println!("n     dcr span   elementwise span   dcr work   elementwise work");
     for n in [8u64, 16, 32, 48] {
         let rel = datagen::random_graph(n, 2.0 / n as f64, 42);
         let r = Expr::Const(rel.to_value());
-        let (tc_dcr, dcr_stats) = eval_with_stats(&graph::tc_dcr(r.clone())).expect("tc dcr");
-        let (tc_elem, elem_stats) =
-            eval_with_stats(&graph::tc_elementwise(r.clone())).expect("tc elementwise");
-        assert_eq!(tc_dcr, tc_elem, "both strategies compute the same closure");
-        assert_eq!(tc_dcr, rel.transitive_closure().to_value());
+        let dcr = session.evaluate(&graph::tc_dcr(r.clone())).expect("tc dcr");
+        let elem = session
+            .evaluate(&graph::tc_elementwise(r.clone()))
+            .expect("tc elementwise");
+        assert_eq!(dcr.value, elem.value, "both strategies compute the same closure");
+        assert_eq!(dcr.value, rel.transitive_closure().to_value());
         println!(
             "{:<5} {:<10} {:<18} {:<10} {:<10}",
-            n, dcr_stats.span, elem_stats.span, dcr_stats.work, elem_stats.work
+            n, dcr.stats.span, elem.stats.span, dcr.stats.work, elem.stats.work
         );
     }
 
     // Reachability and connectivity queries.
     let rel = datagen::cycle_graph(12);
     let r = Expr::Const(rel.to_value());
-    let reach = eval_with_stats(&graph::reachable_from(r.clone(), Expr::atom(0)))
+    let reach = session
+        .evaluate(&graph::reachable_from(r.clone(), Expr::atom(0)))
         .expect("reachability")
-        .0;
+        .value;
     println!("\nnodes reachable from 0 on a 12-cycle: {}", reach.cardinality().unwrap_or(0));
-    let connected = eval_with_stats(&graph::strongly_connected(r)).expect("connectivity").0;
+    let connected = session.evaluate(&graph::strongly_connected(r)).expect("connectivity").value;
     println!("cycle is strongly connected        : {connected}");
     let path = Expr::Const(datagen::path_graph(12).to_value());
     let connected_path =
-        eval_with_stats(&graph::strongly_connected(path)).expect("connectivity").0;
+        session.evaluate(&graph::strongly_connected(path)).expect("connectivity").value;
     println!("path  is strongly connected        : {connected_path}");
 
     // Wall-clock on the parallel evaluation backend: the dcr combining tree
-    // forks across worker threads, the element-by-element fold cannot.
+    // forks across worker threads, the element-by-element fold cannot. Each
+    // thread count is one session — the backend is a session-level choice.
     let n = 40u64;
     let query = graph::tc_dcr(Expr::Const(datagen::path_graph(n).to_value()));
     println!("\nthreads   tc_dcr wall-clock (ms)");
     for threads in [1usize, 2, 4, 8] {
-        let mut evaluator = ParallelEvaluator::with_config(EvalConfig {
-            parallelism: Some(threads),
-            parallel_cutoff: 256,
-            ..EvalConfig::default()
-        });
+        let parallel_session = SessionBuilder::new()
+            .parallelism(Some(threads))
+            .parallel_cutoff(256)
+            .build();
         let start = Instant::now();
-        let out = evaluator.eval_closed(&query).expect("parallel tc");
+        let out = parallel_session.evaluate(&query).expect("parallel tc");
         let elapsed = start.elapsed().as_secs_f64() * 1000.0;
-        assert_eq!(out.cardinality(), Some(((n + 1) * n / 2) as usize));
+        assert_eq!(out.value.cardinality(), Some(((n + 1) * n / 2) as usize));
         println!("{threads:<9} {elapsed:.1}");
     }
 }

@@ -1,11 +1,13 @@
 //! A tiny query runner for the surface syntax: pass a query as the first
-//! argument (or pipe it on stdin) and it is parsed, type-checked, analysed for
-//! recursion depth, and evaluated, with the cost model reported.
+//! argument (or pipe it on stdin) and it is prepared (parsed, type-checked,
+//! analysed for recursion depth) and executed through the engine's `Session`,
+//! with the cost model reported.
 //!
 //! Backend selection: `--parallel N` (or the `NCQL_PARALLELISM` environment
-//! variable) evaluates on the parallel backend with `N` worker threads;
-//! otherwise the sequential reference evaluator runs. Values and cost
-//! statistics are identical either way — only wall-clock changes.
+//! variable, with `NCQL_PARALLEL_CUTOFF` tuning the fork threshold) evaluates
+//! on the parallel backend with `N` worker threads; otherwise the sequential
+//! reference evaluator runs. Values and cost statistics are identical either
+//! way — only wall-clock changes.
 //!
 //! Examples:
 //!
@@ -17,25 +19,21 @@
 //! echo "{@1} union {@2} union {@1}" | NCQL_PARALLELISM=4 cargo run --example query_repl
 //! ```
 
-use ncql::core::eval::{CostStats, EvalConfig, Evaluator};
-use ncql::core::parallel::ParallelEvaluator;
-use ncql::core::{analysis, typecheck};
-use ncql::object::Value;
-use ncql::surface;
+use ncql::SessionBuilder;
 use std::io::Read;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let mut parallelism: Option<usize> = std::env::var("NCQL_PARALLELISM")
-        .ok()
-        .and_then(|raw| raw.trim().parse::<usize>().ok());
+    // The environment (NCQL_PARALLELISM / NCQL_PARALLEL_CUTOFF) configures the
+    // session; an explicit --parallel flag overrides it.
+    let mut builder = SessionBuilder::from_env();
     if let Some(pos) = args.iter().position(|a| a == "--parallel") {
         if pos + 1 >= args.len() {
             eprintln!("--parallel requires a thread count");
             std::process::exit(2);
         }
         match args[pos + 1].parse::<usize>() {
-            Ok(n) => parallelism = Some(n),
+            Ok(n) => builder = builder.parallelism(Some(n)),
             Err(_) => {
                 eprintln!("--parallel requires a numeric thread count");
                 std::process::exit(2);
@@ -43,6 +41,7 @@ fn main() {
         }
         args.drain(pos..=pos + 1);
     }
+    let session = builder.build();
 
     let text = match args.into_iter().next() {
         Some(arg) => arg,
@@ -60,47 +59,29 @@ fn main() {
         std::process::exit(2);
     }
 
-    let expr = match surface::parse(text) {
-        Ok(e) => e,
+    let prepared = match session.prepare(text) {
+        Ok(p) => p,
         Err(err) => {
-            eprintln!("parse error: {err}");
+            eprintln!("{err}");
             std::process::exit(1);
         }
     };
-    println!("parsed      : {}", surface::print_expr(&expr));
+    println!("parsed      : {}", prepared.normal_form());
+    println!("type        : {}", prepared.ty());
+    println!(
+        "depth       : {} (AC^{} by Theorem 6.1/6.2)",
+        prepared.recursion_depth(),
+        prepared.ac_level()
+    );
+    println!("backend     : {}", session.backend());
 
-    match typecheck::typecheck_closed(&expr) {
-        Ok(ty) => println!("type        : {ty}"),
-        Err(err) => {
-            eprintln!("type error  : {err}");
-            std::process::exit(1);
-        }
-    }
-    let depth = analysis::recursion_depth(&expr);
-    println!("depth       : {depth} (AC^{} by Theorem 6.1/6.2)", analysis::ac_level(&expr));
-
-    let outcome: Result<(Value, CostStats), _> = match parallelism {
-        Some(threads) if threads > 1 => {
-            println!("backend     : parallel ({threads} threads)");
-            let mut evaluator = ParallelEvaluator::with_config(EvalConfig {
-                parallelism: Some(threads),
-                ..EvalConfig::default()
-            });
-            evaluator.eval_closed(&expr).map(|v| (v, evaluator.stats()))
-        }
-        _ => {
-            println!("backend     : sequential");
-            let mut evaluator = Evaluator::new(EvalConfig::default());
-            evaluator.eval_closed(&expr).map(|v| (v, evaluator.stats()))
-        }
-    };
-    match outcome {
-        Ok((value, stats)) => {
-            println!("result      : {value}");
-            println!("work / span : {} / {}", stats.work, stats.span);
+    match session.execute(&prepared) {
+        Ok(outcome) => {
+            println!("result      : {}", outcome.value);
+            println!("work / span : {} / {}", outcome.stats.work, outcome.stats.span);
         }
         Err(err) => {
-            eprintln!("evaluation error: {err}");
+            eprintln!("{err}");
             std::process::exit(1);
         }
     }

@@ -1,50 +1,71 @@
 //! Quickstart: build a small ordered database, write queries in both the Rust
-//! builder API and the surface syntax, evaluate them, and look at the work/span
-//! cost model that makes the NC claims of the paper measurable.
+//! builder API and the surface syntax, run them through the engine's
+//! `Session`, and look at the work/span cost model that makes the NC claims of
+//! the paper measurable.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use ncql::core::eval::{eval_with_stats, EvalConfig, Evaluator};
 use ncql::core::expr::Expr;
-use ncql::core::{analysis, typecheck};
-use ncql::object::Value;
 use ncql::queries::{graph, parity, Relation};
 use ncql::surface;
+use ncql::{object::Value, Session};
 
 fn main() {
+    // One session serves every query in this example: it owns the registry Σ,
+    // the resource limits, the backend choice, and the prepared-plan cache.
+    let session = Session::new();
+
     // An ordered database: a binary relation (a small directed graph).
     let edges = Relation::from_pairs(vec![(1, 2), (2, 3), (3, 4), (4, 2), (7, 8)]);
     let r = Expr::Const(edges.to_value());
 
-    // --- Transitive closure via divide-and-conquer recursion (the §1 example).
-    let tc_query = graph::tc_dcr(r.clone());
-    let ty = typecheck::typecheck_closed(&tc_query).expect("the query typechecks");
-    println!("transitive closure query : dcr(∅, λy.r, λ(r1,r2). r1 ∪ r2 ∪ r1∘r2)(Π1 r ∪ Π2 r) (type {ty})");
+    // --- Transitive closure via divide-and-conquer recursion (the §1 example),
+    // phrased in the Rust builder API and prepared (typechecked + analysed).
+    let tc_query = session
+        .prepare_expr(graph::tc_dcr(r.clone()))
+        .expect("the query typechecks");
+    println!("transitive closure query : dcr(∅, λy.r, λ(r1,r2). r1 ∪ r2 ∪ r1∘r2)(Π1 r ∪ Π2 r) (type {})", tc_query.ty());
     println!("recursion nesting depth  : {} (so the query is in AC^{})",
-        analysis::recursion_depth(&tc_query),
-        analysis::ac_level(&tc_query));
+        tc_query.recursion_depth(),
+        tc_query.ac_level());
 
-    let (result, stats) = eval_with_stats(&tc_query).expect("evaluation succeeds");
-    println!("result                   : {result}");
-    println!("work / span              : {} / {}", stats.work, stats.span);
-    println!("combiner applications    : {}", stats.combiner_calls);
+    let outcome = session.execute(&tc_query).expect("evaluation succeeds");
+    println!("result                   : {}", outcome.value);
+    println!("work / span              : {} / {}", outcome.stats.work, outcome.stats.span);
+    println!("combiner applications    : {}", outcome.stats.combiner_calls);
 
     // Cross-check against the native baseline.
-    assert_eq!(result, edges.transitive_closure().to_value());
+    assert_eq!(outcome.value, edges.transitive_closure().to_value());
     println!("matches the native semi-naive baseline ✓");
 
     // --- Parity, straight from the paper's introduction.
     let numbers = Expr::Const(Value::atom_set(0..13));
-    let (odd, pstats) = eval_with_stats(&parity::parity_dcr(numbers)).expect("parity evaluates");
-    println!("\nparity of a 13-element set: {odd} (span {}, work {})", pstats.span, pstats.work);
+    let parity_out = session
+        .evaluate(&parity::parity_dcr(numbers))
+        .expect("parity evaluates");
+    println!(
+        "\nparity of a 13-element set: {} (span {}, work {})",
+        parity_out.value, parity_out.stats.span, parity_out.stats.work
+    );
 
-    // --- The same queries can be written in the surface syntax.
+    // --- The same queries can be written in the surface syntax; `prepare`
+    // parses, typechecks and caches the plan, `execute` evaluates it.
     let text = "dcr(false, \\y: atom. true, \
                 \\p: (bool * bool). if pi1 p then (if pi2 p then false else true) else pi2 p, \
                 {@1} union {@2} union {@3} union {@4} union {@5})";
-    let parsed = surface::parse(text).expect("the surface query parses");
-    let mut evaluator = Evaluator::new(EvalConfig::default());
-    let value = evaluator.eval_closed(&parsed).expect("the parsed query evaluates");
+    let prepared = session.prepare(text).expect("the surface query prepares");
+    let value = session.execute(&prepared).expect("the parsed query evaluates").value;
     println!("\nsurface-syntax parity of {{1..5}}: {value}");
-    println!("pretty-printed back        : {}", surface::print_expr(&parsed));
+    println!("pretty-printed back        : {}", prepared.normal_form());
+
+    // Preparing the same text again is a cache hit: the same plan comes back.
+    let again = session.prepare(text).expect("hit");
+    assert!(again.ptr_eq(&prepared));
+    let metrics = session.cache_metrics();
+    println!(
+        "plan cache                 : {} hit(s), {} miss(es)",
+        metrics.hits, metrics.misses
+    );
+    // The surface round trip (pretty ∘ parse) is the identity on this query.
+    assert_eq!(surface::print_expr(&surface::parse(text).unwrap()), prepared.normal_form());
 }

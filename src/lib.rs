@@ -1,8 +1,12 @@
-//! Facade crate re-exporting the NCQL workspace public API.
+#![doc = include_str!("../README.md")]
+
 pub use ncql_circuit as circuit;
 pub use ncql_core as core;
+pub use ncql_engine as engine;
 pub use ncql_object as object;
 pub use ncql_pram as pram;
 pub use ncql_queries as queries;
 pub use ncql_surface as surface;
 pub use ncql_translate as translate;
+
+pub use ncql_engine::{Backend, CacheMetrics, Error, Outcome, PreparedQuery, Session, SessionBuilder};

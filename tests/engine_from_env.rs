@@ -1,0 +1,60 @@
+//! `SessionBuilder::from_env` coverage: `NCQL_PARALLELISM` selects the
+//! backend, `NCQL_PARALLEL_CUTOFF` tunes the fork threshold.
+//!
+//! This is deliberately the **only** test in this integration-test binary.
+//! `std::env::set_var` racing any concurrent `std::env::var` read is
+//! undefined behaviour on POSIX (the `environ` block can be reallocated
+//! mid-read — the reason `set_var` is `unsafe` in edition 2024), and the Rust
+//! test harness runs a binary's tests on parallel threads. One test per
+//! binary means one thread per process touches the environment, and other
+//! test binaries are separate processes with their own `environ`. Keep any
+//! future env-mutating scenario inside this one function.
+
+use ncql::object::Value;
+use ncql::{Backend, SessionBuilder};
+
+#[test]
+fn builder_from_env_reads_the_knobs() {
+    let clear = || {
+        std::env::remove_var("NCQL_PARALLELISM");
+        std::env::remove_var("NCQL_PARALLEL_CUTOFF");
+    };
+
+    clear();
+    let default_session = SessionBuilder::from_env().build();
+    assert_eq!(default_session.backend(), Backend::Sequential);
+    let default_cutoff = default_session.config().parallel_cutoff;
+
+    std::env::set_var("NCQL_PARALLELISM", "4");
+    std::env::set_var("NCQL_PARALLEL_CUTOFF", "128");
+    let configured = SessionBuilder::from_env().build();
+    assert_eq!(configured.backend(), Backend::Parallel { threads: 4 });
+    assert_eq!(configured.config().parallel_cutoff, 128);
+
+    // Degenerate parallelism from the environment is normalized like any other.
+    std::env::set_var("NCQL_PARALLELISM", "1");
+    std::env::remove_var("NCQL_PARALLEL_CUTOFF");
+    let sequentialized = SessionBuilder::from_env().build();
+    assert_eq!(sequentialized.backend(), Backend::Sequential);
+    assert_eq!(sequentialized.config().parallelism, None);
+    assert_eq!(sequentialized.config().parallel_cutoff, default_cutoff);
+
+    // Garbage is ignored, not an error.
+    std::env::set_var("NCQL_PARALLELISM", "not-a-number");
+    std::env::set_var("NCQL_PARALLEL_CUTOFF", "-3");
+    let ignored = SessionBuilder::from_env().build();
+    assert_eq!(ignored.backend(), Backend::Sequential);
+    assert_eq!(ignored.config().parallel_cutoff, default_cutoff);
+
+    // An explicit builder call still overrides whatever the environment said.
+    std::env::set_var("NCQL_PARALLELISM", "2");
+    let overridden = SessionBuilder::from_env().parallelism(Some(8)).build();
+    assert_eq!(overridden.backend(), Backend::Parallel { threads: 8 });
+
+    // The env-configured session actually evaluates on its backend.
+    let via_env = SessionBuilder::from_env().parallel_cutoff(1).build();
+    let out = via_env.run("card({@1} union {@2} union {@3})").unwrap();
+    assert_eq!(out.value, Value::Nat(3));
+    assert_eq!(out.backend, Backend::Parallel { threads: 2 });
+    clear();
+}

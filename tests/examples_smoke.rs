@@ -8,85 +8,84 @@ use ncql::circuit::dcl::direct_connection_language;
 use ncql::circuit::logspace::{LogSpaceMeter, UniformTcFamily};
 use ncql::circuit::relquery::{eval_reference, BitRelation, RelQuery};
 use ncql::core::derived;
-use ncql::core::eval::{eval_with_stats, EvalConfig, Evaluator};
 use ncql::core::expr::Expr;
-use ncql::core::{analysis, typecheck, EvalError};
+use ncql::core::EvalError;
 use ncql::object::{Type, Value};
-use ncql::core::parallel::ParallelEvaluator;
 use ncql::queries::{datagen, graph, parity, powerset, Relation};
-use ncql::surface;
+use ncql::{Session, SessionBuilder};
 
-/// `examples/quickstart.rs`: transitive closure and parity via dcr, plus the
-/// surface-syntax round trip.
+/// `examples/quickstart.rs`: transitive closure and parity via dcr through the
+/// engine's `Session`, plus the surface-syntax round trip and the plan cache.
 #[test]
 fn quickstart_core_path() {
+    let session = Session::new();
     let edges = Relation::from_pairs(vec![(1, 2), (2, 3), (3, 4), (4, 2), (7, 8)]);
     let r = Expr::Const(edges.to_value());
 
-    let tc_query = graph::tc_dcr(r);
-    typecheck::typecheck_closed(&tc_query).expect("the query typechecks");
-    assert!(analysis::recursion_depth(&tc_query) >= 1);
-    let (result, stats) = eval_with_stats(&tc_query).expect("evaluation succeeds");
-    assert_eq!(result, edges.transitive_closure().to_value());
-    assert!(stats.span <= stats.work);
+    let tc_query = session.prepare_expr(graph::tc_dcr(r)).expect("the query typechecks");
+    assert!(tc_query.recursion_depth() >= 1);
+    let outcome = session.execute(&tc_query).expect("evaluation succeeds");
+    assert_eq!(outcome.value, edges.transitive_closure().to_value());
+    assert!(outcome.stats.span <= outcome.stats.work);
 
     let numbers = Expr::Const(Value::atom_set(0..13));
-    let (odd, _) = eval_with_stats(&parity::parity_dcr(numbers)).expect("parity evaluates");
-    assert_eq!(odd, Value::Bool(true));
+    let odd = session.evaluate(&parity::parity_dcr(numbers)).expect("parity evaluates");
+    assert_eq!(odd.value, Value::Bool(true));
 
     let text = "dcr(false, \\y: atom. true, \
                 \\p: (bool * bool). if pi1 p then (if pi2 p then false else true) else pi2 p, \
                 {@1} union {@2} union {@3} union {@4} union {@5})";
-    let parsed = surface::parse(text).expect("the surface query parses");
-    let mut evaluator = Evaluator::new(EvalConfig::default());
-    let value = evaluator.eval_closed(&parsed).expect("the parsed query evaluates");
+    let prepared = session.prepare(text).expect("the surface query prepares");
+    let value = session.execute(&prepared).expect("the parsed query evaluates").value;
     assert_eq!(value, Value::Bool(true));
-    let reparsed = surface::parse(&surface::print_expr(&parsed))
-        .expect("the pretty-printed query parses back");
+    // The pretty-printed normal form parses back and evaluates identically.
     assert_eq!(
-        evaluator.eval_closed(&reparsed).expect("round trip evaluates"),
+        session.run(prepared.normal_form()).expect("round trip evaluates").value,
         Value::Bool(true)
     );
+    // Re-preparing the original text is a cache hit on the same plan.
+    assert!(session.prepare(text).expect("hit").ptr_eq(&prepared));
+    assert!(session.cache_metrics().hits >= 1);
 }
 
 /// `examples/graph_analytics.rs`: strategy agreement, reachability,
 /// connectivity, and the parallel executor.
 #[test]
 fn graph_analytics_core_path() {
+    let session = Session::new();
     for n in [8u64, 16] {
         let rel = datagen::random_graph(n, 2.0 / n as f64, 42);
         let r = Expr::Const(rel.to_value());
-        let (tc_dcr, dcr_stats) = eval_with_stats(&graph::tc_dcr(r.clone())).expect("tc dcr");
-        let (tc_elem, elem_stats) =
-            eval_with_stats(&graph::tc_elementwise(r)).expect("tc elementwise");
-        assert_eq!(tc_dcr, tc_elem, "both strategies compute the same closure");
-        assert_eq!(tc_dcr, rel.transitive_closure().to_value());
-        assert!(dcr_stats.span <= elem_stats.span || rel.is_empty());
+        let dcr = session.evaluate(&graph::tc_dcr(r.clone())).expect("tc dcr");
+        let elem = session.evaluate(&graph::tc_elementwise(r)).expect("tc elementwise");
+        assert_eq!(dcr.value, elem.value, "both strategies compute the same closure");
+        assert_eq!(dcr.value, rel.transitive_closure().to_value());
+        assert!(dcr.stats.span <= elem.stats.span || rel.is_empty());
     }
 
     let rel = datagen::cycle_graph(12);
     let r = Expr::Const(rel.to_value());
-    let reach = eval_with_stats(&graph::reachable_from(r.clone(), Expr::atom(0)))
+    let reach = session
+        .evaluate(&graph::reachable_from(r.clone(), Expr::atom(0)))
         .expect("reachability")
-        .0;
+        .value;
     assert_eq!(reach.cardinality(), Some(12));
-    let connected = eval_with_stats(&graph::strongly_connected(r)).expect("connectivity").0;
+    let connected = session.evaluate(&graph::strongly_connected(r)).expect("connectivity").value;
     assert_eq!(connected, Value::Bool(true));
     let path = Expr::Const(datagen::path_graph(12).to_value());
     let connected_path =
-        eval_with_stats(&graph::strongly_connected(path)).expect("connectivity").0;
+        session.evaluate(&graph::strongly_connected(path)).expect("connectivity").value;
     assert_eq!(connected_path, Value::Bool(false));
 
     let n = 12u64;
     let query = graph::tc_dcr(Expr::Const(datagen::path_graph(n).to_value()));
     for threads in [1usize, 4] {
-        let mut evaluator = ParallelEvaluator::with_config(EvalConfig {
-            parallelism: Some(threads),
-            parallel_cutoff: 256,
-            ..EvalConfig::default()
-        });
-        let out = evaluator.eval_closed(&query).expect("parallel tc");
-        assert_eq!(out.cardinality(), Some(((n + 1) * n / 2) as usize));
+        let parallel_session = SessionBuilder::new()
+            .parallelism(Some(threads))
+            .parallel_cutoff(256)
+            .build();
+        let out = parallel_session.evaluate(&query).expect("parallel tc");
+        assert_eq!(out.value.cardinality(), Some(((n + 1) * n / 2) as usize));
     }
 }
 
@@ -99,76 +98,67 @@ fn complex_objects_core_path() {
     assert!(store.has_type(&store_ty));
     assert_eq!(store.cardinality(), Some(4));
 
-    let unnested = derived::unnest(
-        Type::Base,
-        Type::prod(Type::Base, Type::Base),
-        Expr::Const(store),
-    );
-    typecheck::typecheck_closed(&unnested).expect("unnest typechecks");
-    let (flat, _) = eval_with_stats(&unnested).expect("unnest evaluates");
+    let session = Session::new();
+    let unnested = session
+        .prepare_expr(derived::unnest(
+            Type::Base,
+            Type::prod(Type::Base, Type::Base),
+            Expr::Const(store),
+        ))
+        .expect("unnest typechecks");
+    let flat = session.execute(&unnested).expect("unnest evaluates").value;
     let renested = derived::nest(
         Type::Base,
         Type::prod(Type::Base, Type::Base),
         Expr::Const(flat),
     );
-    let (grouped, _) = eval_with_stats(&renested).expect("nest evaluates");
+    let grouped = session.evaluate(&renested).expect("nest evaluates").value;
     assert_eq!(grouped.cardinality(), Some(4));
 
+    let limited = SessionBuilder::new().max_set_size(4096).build();
     let input = Expr::Const(Value::atom_set(0..18));
-    let mut limited = Evaluator::new(EvalConfig {
-        max_set_size: 4096,
-        ..EvalConfig::default()
-    });
-    match limited.eval_closed(&powerset::powerset_dcr(input.clone())) {
+    match limited.evaluate(&powerset::powerset_dcr(input.clone())) {
         Err(EvalError::SetTooLarge { limit, attempted }) => assert!(attempted > limit),
         other => panic!("expected the powerset blow-up to be caught, got {other:?}"),
     }
-    let mut bounded_eval = Evaluator::new(EvalConfig {
-        max_set_size: 4096,
-        ..EvalConfig::default()
-    });
-    bounded_eval
-        .eval_closed(&powerset::bounded_small_subsets(input))
+    limited
+        .evaluate(&powerset::bounded_small_subsets(input))
         .expect("bounded recursion stays within the limit");
 
-    let (small, _) = eval_with_stats(&powerset::powerset_dcr(Expr::Const(Value::atom_set(0..6))))
+    let small = session
+        .evaluate(&powerset::powerset_dcr(Expr::Const(Value::atom_set(0..6))))
         .expect("small powerset");
-    assert_eq!(small.cardinality(), Some(64));
+    assert_eq!(small.value.cardinality(), Some(64));
 }
 
-/// `examples/query_repl.rs`: the parse → typecheck → analyse → evaluate
+/// `examples/query_repl.rs`: the `Session::prepare` → `Session::execute`
 /// pipeline the runner drives, on its documented sample queries.
 #[test]
 fn query_repl_core_path() {
-    let expr = surface::parse("nat_add(20, 22)").expect("arithmetic parses");
-    typecheck::typecheck_closed(&expr).expect("arithmetic typechecks");
-    let mut evaluator = Evaluator::new(EvalConfig::default());
-    assert_eq!(evaluator.eval_closed(&expr).expect("evaluates"), Value::Nat(42));
+    let session = Session::new();
+    let arith = session.prepare("nat_add(20, 22)").expect("arithmetic prepares");
+    assert_eq!(arith.ty().to_string(), "nat");
+    assert_eq!(session.execute(&arith).expect("evaluates").value, Value::Nat(42));
 
-    let expr = surface::parse("{@1} union {@2} union {@1}").expect("set query parses");
-    assert_eq!(analysis::recursion_depth(&expr), 0);
-    let value = evaluator.eval_closed(&expr).expect("set query evaluates");
+    let sets = session.prepare("{@1} union {@2} union {@1}").expect("set query prepares");
+    assert_eq!(sets.recursion_depth(), 0);
+    let value = session.execute(&sets).expect("set query evaluates").value;
     assert_eq!(value.cardinality(), Some(2));
 
     let tc = "dcr(empty[(atom * atom)], \\y: atom. {(@1,@2)} union {(@2,@3)}, \
               \\p: ({(atom*atom)} * {(atom*atom)}). pi1 p union pi2 p, {@1} union {@2})";
-    let expr = surface::parse(tc).expect("dcr query parses");
-    typecheck::typecheck_closed(&expr).expect("dcr query typechecks");
-    let value = evaluator.eval_closed(&expr).expect("dcr query evaluates");
-    assert_eq!(value.cardinality(), Some(2));
+    let seq_out = session.run(tc).expect("dcr query runs");
+    assert_eq!(seq_out.value.cardinality(), Some(2));
 
-    // The `--parallel N` path of the runner: same query, parallel backend,
+    // The `--parallel N` path of the runner: same query, a parallel session,
     // identical value and cost statistics.
-    let mut parallel = ParallelEvaluator::with_config(EvalConfig {
-        parallelism: Some(4),
-        parallel_cutoff: 1,
-        ..EvalConfig::default()
-    });
-    assert_eq!(
-        parallel.eval_closed(&expr).expect("parallel REPL path evaluates"),
-        value
-    );
-    assert_eq!(parallel.stats(), evaluator.stats());
+    let parallel = SessionBuilder::new()
+        .parallelism(Some(4))
+        .parallel_cutoff(1)
+        .build();
+    let par_out = parallel.run(tc).expect("parallel REPL path evaluates");
+    assert_eq!(par_out.value, seq_out.value);
+    assert_eq!(par_out.stats, seq_out.stats);
 }
 
 /// `examples/circuit_compilation.rs`: ACᵏ compilation stats, compiled-vs-

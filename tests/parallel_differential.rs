@@ -1,8 +1,9 @@
 //! Cross-backend differential suite: every query in the `ncql-queries` corpus
 //! (parity, graph, relational algebra, arithmetic, aggregates, powerset,
-//! iteration counters) is evaluated on the sequential reference backend and on
-//! the parallel backend at `parallelism = 2, 4, 8` (plus whatever
-//! `NCQL_TEST_PARALLELISM` asks for — the CI matrix sets 1 and 4).
+//! iteration counters) is evaluated through the engine's `Session` on the
+//! sequential backend and on the parallel backend at `parallelism = 2, 4, 8`
+//! (plus whatever `NCQL_TEST_PARALLELISM` asks for — the CI matrix sets 1
+//! and 4).
 //!
 //! The contract this suite locks down: the two backends are observationally
 //! identical. Values are bit-identical, and so is every cost tally — *work* in
@@ -13,36 +14,41 @@
 //! identically, so any divergence is a bug, and we assert the strongest
 //! invariant that holds.
 
-use ncql::core::eval::{CostStats, EvalConfig};
+use ncql::core::eval::EvalConfig;
 use ncql::core::parallelism_from_env;
-use ncql::queries::{differential_corpus, eval_query_with};
-use ncql::object::Value;
+use ncql::queries::differential_corpus;
+use ncql::{Backend, Outcome, Session, SessionBuilder};
 
 /// The thread counts the suite exercises: the fixed 2/4/8 ladder plus the
-/// environment's request (deduplicated).
+/// environment's request (deduplicated). Degenerate env values (`0`/`1`)
+/// normalize to the sequential backend, which every test here already
+/// exercises as the baseline, so only `n ≥ 2` joins the parallel ladder.
 fn thread_counts() -> Vec<usize> {
     let mut counts = vec![2usize, 4, 8];
     if let Some(n) = parallelism_from_env() {
-        if !counts.contains(&n) {
+        if n >= 2 && !counts.contains(&n) {
             counts.push(n);
         }
     }
     counts
 }
 
-/// A low cutover so the corpus's mid-sized sets actually fork (the default
-/// threshold is tuned for production sets, not test-sized ones).
-fn forking_config() -> EvalConfig {
-    EvalConfig {
-        parallel_cutoff: 64,
-        ..EvalConfig::default()
-    }
+/// A session on the given backend with a low cutover so the corpus's mid-sized
+/// sets actually fork (the default threshold is tuned for production sets, not
+/// test-sized ones).
+fn forking_session(parallelism: Option<usize>) -> Session {
+    SessionBuilder::new()
+        .parallel_cutoff(64)
+        .parallelism(parallelism)
+        .build()
 }
 
-fn eval_both(name: &str, expr: &ncql::core::Expr, threads: usize) -> ((Value, CostStats), (Value, CostStats)) {
-    let seq = eval_query_with(expr, None, forking_config())
+fn eval_both(name: &str, expr: &ncql::core::Expr, threads: usize) -> (Outcome, Outcome) {
+    let seq = forking_session(None)
+        .evaluate(expr)
         .unwrap_or_else(|e| panic!("{name}: sequential backend failed: {e}"));
-    let par = eval_query_with(expr, Some(threads), forking_config())
+    let par = forking_session(Some(threads))
+        .evaluate(expr)
         .unwrap_or_else(|e| panic!("{name}: parallel backend ({threads} threads) failed: {e}"));
     (seq, par)
 }
@@ -51,28 +57,36 @@ fn eval_both(name: &str, expr: &ncql::core::Expr, threads: usize) -> ((Value, Co
 fn every_corpus_query_is_backend_invariant() {
     let corpus = differential_corpus();
     assert!(corpus.len() >= 40, "corpus unexpectedly small: {}", corpus.len());
+    let seq_session = forking_session(None);
+    assert_eq!(seq_session.backend(), Backend::Sequential);
+    // One session per thread count, reused across the whole corpus.
+    let par_sessions: Vec<(usize, Session)> = thread_counts()
+        .into_iter()
+        .map(|threads| (threads, forking_session(Some(threads))))
+        .collect();
     for entry in &corpus {
         // Evaluate sequentially once per query, then compare per thread count.
-        let (seq_v, seq_stats) = eval_query_with(&entry.expr, None, forking_config())
+        let seq = seq_session
+            .evaluate(&entry.expr)
             .unwrap_or_else(|e| panic!("{}: sequential backend failed: {e}", entry.name));
-        for threads in thread_counts() {
-            let (par_v, par_stats) =
-                eval_query_with(&entry.expr, Some(threads), forking_config())
-                    .unwrap_or_else(|e| {
-                        panic!("{}: parallel backend ({threads} threads) failed: {e}", entry.name)
-                    });
+        for (threads, par_session) in &par_sessions {
+            let threads = *threads;
+            assert_eq!(par_session.backend(), Backend::Parallel { threads });
+            let par = par_session.evaluate(&entry.expr).unwrap_or_else(|e| {
+                panic!("{}: parallel backend ({threads} threads) failed: {e}", entry.name)
+            });
             assert_eq!(
-                par_v, seq_v,
+                par.value, seq.value,
                 "{}: values differ at parallelism = {threads}",
                 entry.name
             );
             assert_eq!(
-                par_stats.work, seq_stats.work,
+                par.stats.work, seq.stats.work,
                 "{}: reported work differs at parallelism = {threads}",
                 entry.name
             );
             assert_eq!(
-                par_stats, seq_stats,
+                par.stats, seq.stats,
                 "{}: cost statistics differ at parallelism = {threads}",
                 entry.name
             );
@@ -111,6 +125,13 @@ fn resource_limits_fire_identically_on_the_corpus() {
         parallel_cutoff: 16,
         ..EvalConfig::default()
     };
+    let seq_session = SessionBuilder::new().config(tight.clone()).build();
+    let par_session = SessionBuilder::new()
+        .config(EvalConfig {
+            parallelism: Some(4),
+            ..tight
+        })
+        .build();
     let resource_limit = |e: &ncql::core::EvalError| {
         matches!(
             e,
@@ -120,10 +141,10 @@ fn resource_limits_fire_identically_on_the_corpus() {
     };
     let mut checked_errors = 0usize;
     for entry in differential_corpus() {
-        let seq = eval_query_with(&entry.expr, None, tight.clone());
-        let par = eval_query_with(&entry.expr, Some(4), tight.clone());
+        let seq = seq_session.evaluate(&entry.expr);
+        let par = par_session.evaluate(&entry.expr);
         match (&seq, &par) {
-            (Ok((a, _)), Ok((b, _))) => assert_eq!(a, b, "{}", entry.name),
+            (Ok(a), Ok(b)) => assert_eq!(a.value, b.value, "{}", entry.name),
             (Err(ea), Err(eb)) => {
                 checked_errors += 1;
                 assert!(

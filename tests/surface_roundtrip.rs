@@ -1,17 +1,15 @@
 //! Surface-syntax round-trip suite over the E1–E12 query corpus:
 //! `parse ∘ pretty ∘ parse` must be the identity on ASTs, so the REPL path
-//! (parse → typecheck → evaluate, now with the `parallelism` knob threaded
-//! through `EvalConfig`) cannot silently drift from the builder API.
+//! (`Session::prepare` → `Session::execute`, with the `parallelism` knob a
+//! session-level choice) cannot silently drift from the builder API.
 //!
 //! The corpus below is the surface-syntax rendering of the queries the E1–E12
 //! experiments exercise: every recursion form (`dcr`, `sru`, `sri`, `esr`,
 //! `bdcr`, `bsri`), every iterator (`loop`, `logloop`, `bloop`, `blogloop`),
 //! the NRA constructs, and the external arithmetic Σ.
 
-use ncql::core::eval::{EvalConfig, Evaluator};
-use ncql::core::parallel::ParallelEvaluator;
-use ncql::core::typecheck;
 use ncql::surface;
+use ncql::{Session, SessionBuilder};
 
 /// Surface-syntax corpus: `(label, query text)`.
 fn corpus() -> Vec<(&'static str, &'static str)> {
@@ -155,39 +153,41 @@ fn parse_pretty_parse_is_identity_on_the_corpus() {
 
 #[test]
 fn corpus_typechecks_and_evaluates_identically_on_both_backends() {
-    // The REPL path with the parallelism knob: parse → typecheck → evaluate.
+    // The REPL path: prepare (parse + typecheck + analysis) once per session,
+    // execute on both backends.
+    let seq = Session::new();
+    let par = SessionBuilder::new()
+        .parallelism(Some(4))
+        .parallel_cutoff(1)
+        .build();
     for (label, text) in corpus() {
-        let expr = surface::parse(text).unwrap_or_else(|e| panic!("{label}: parse failed: {e}"));
-        typecheck::typecheck_closed(&expr)
-            .unwrap_or_else(|e| panic!("{label}: typecheck failed: {e}"));
-        let mut seq = Evaluator::new(EvalConfig::default());
-        let seq_v = seq
-            .eval_closed(&expr)
-            .unwrap_or_else(|e| panic!("{label}: sequential eval failed: {e}"));
-        let mut par = ParallelEvaluator::with_config(EvalConfig {
-            parallelism: Some(4),
-            parallel_cutoff: 1,
-            ..EvalConfig::default()
-        });
-        let par_v = par
-            .eval_closed(&expr)
-            .unwrap_or_else(|e| panic!("{label}: parallel eval failed: {e}"));
-        assert_eq!(par_v, seq_v, "{label}: backends disagree");
-        assert_eq!(par.stats(), seq.stats(), "{label}: cost statistics disagree");
+        let seq_out = seq
+            .run(text)
+            .unwrap_or_else(|e| panic!("{label}: sequential session failed: {e}"));
+        let par_out = par
+            .run(text)
+            .unwrap_or_else(|e| panic!("{label}: parallel session failed: {e}"));
+        assert_eq!(par_out.value, seq_out.value, "{label}: backends disagree");
+        assert_eq!(par_out.stats, seq_out.stats, "{label}: cost statistics disagree");
     }
 }
 
 #[test]
 fn pretty_printed_corpus_still_evaluates_to_the_same_value() {
+    let session = Session::new();
     for (label, text) in corpus() {
-        let expr = surface::parse(text).unwrap_or_else(|e| panic!("{label}: parse failed: {e}"));
-        let printed = surface::print_expr(&expr);
-        let reparsed = surface::parse(&printed).expect("reparse");
-        let mut ev = Evaluator::new(EvalConfig::default());
-        let v1 = ev.eval_closed(&expr).unwrap_or_else(|e| panic!("{label}: eval failed: {e}"));
-        let v2 = ev
-            .eval_closed(&reparsed)
-            .unwrap_or_else(|e| panic!("{label}: eval of round trip failed: {e}"));
+        let prepared =
+            session.prepare(text).unwrap_or_else(|e| panic!("{label}: prepare failed: {e}"));
+        // The prepared plan's normal form is the pretty-printed query; running
+        // *that* text must produce the same value.
+        let v1 = session
+            .execute(&prepared)
+            .unwrap_or_else(|e| panic!("{label}: eval failed: {e}"))
+            .value;
+        let v2 = session
+            .run(prepared.normal_form())
+            .unwrap_or_else(|e| panic!("{label}: eval of round trip failed: {e}"))
+            .value;
         assert_eq!(v1, v2, "{label}");
     }
 }
