@@ -47,6 +47,15 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new(format!("dcr_par{threads}"), n), &n, |b, _| {
             b.iter(|| eval_query(&parity::parity_dcr(input.clone()), Some(threads)).unwrap())
         });
+        // The persistent-pool variant: one session — one lazily-spawned
+        // work-stealing worker set — reused across every iteration, so the
+        // gap between `dcr_pool*` and `dcr_par*` (which builds a session and
+        // therefore a fresh pool per call) is the pool set-up cost, and the
+        // gap to sequential `dcr` is pure region-dispatch overhead.
+        let pool_session = SessionBuilder::new().parallelism(Some(threads)).build();
+        group.bench_with_input(BenchmarkId::new(format!("dcr_pool{threads}"), n), &n, |b, _| {
+            b.iter(|| pool_session.evaluate(&parity::parity_dcr(input.clone())).unwrap())
+        });
 
         // Cold vs prepared through the engine: same text, same session config;
         // only the front-end amortization differs.

@@ -59,6 +59,17 @@ fn bench(c: &mut Criterion) {
             };
             b.iter(|| eval_query_with(&graph::tc_dcr(r.clone()), Some(threads), forking.clone()).unwrap())
         });
+        // Persistent-pool variant: one session's worker set serves every
+        // iteration (dcr_par builds a fresh session, and so a fresh pool, per
+        // call) — the delta between the two columns is the pool set-up cost
+        // the work-stealing backend amortizes away.
+        let pool_session = SessionBuilder::new()
+            .parallelism(Some(threads))
+            .parallel_cutoff(256)
+            .build();
+        group.bench_with_input(BenchmarkId::new(format!("dcr_pool{threads}"), n), &n, |b, _| {
+            b.iter(|| pool_session.evaluate(&graph::tc_dcr(r.clone())).unwrap())
+        });
 
         // Cold vs prepared through the engine.
         let text = tc_text(n);

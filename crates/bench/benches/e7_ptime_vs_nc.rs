@@ -52,6 +52,21 @@ fn bench(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("sequential_sum_dcr", n), &n, |b, _| {
         b.iter(|| eval_closed(&sum).unwrap())
     });
+    // The fork-overhead delta the work-stealing pool removes: the session
+    // above reuses one persistent worker set across iterations, while this
+    // variant pays pool construction + lazy spawn + join on every call — the
+    // cost every parallel region used to pay per `std::thread::scope` fork.
+    group.bench_with_input(BenchmarkId::new("parallel_sum_dcr_cold_pool", n), &n, |b, _| {
+        b.iter(|| {
+            let cold = SessionBuilder::new()
+                .config(EvalConfig {
+                    parallelism: Some(4),
+                    ..EvalConfig::default()
+                })
+                .build();
+            cold.evaluate(&sum).unwrap()
+        })
+    });
 
     // Amortized vs cold on the engine path: the same parameterized aggregate,
     // prepared once vs front-end per execution, on both backends.

@@ -20,7 +20,7 @@ use crate::expr::Expr;
 use crate::externs::ExternRegistry;
 use crate::EvalResult;
 use ncql_object::{VSet, Value};
-use ncql_pram::{ParallelConfig, ParallelExecutor, TaskError};
+use ncql_pram::{RegionPermit, TaskError, WorkStealingPool};
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 
@@ -43,15 +43,34 @@ pub struct EvalConfig {
     /// Number of worker threads for the parallel backend. `None` (the default)
     /// and `Some(0 | 1)` evaluate strictly sequentially; `Some(n)` with `n ≥ 2`
     /// forks the `ext` element map and the `dcr`/`sru`/`bdcr` leaf map and
-    /// combining-tree rounds across `n` scoped worker threads via `ncql-pram`.
-    /// The cost model (work, span, counters) is identical under both backends.
+    /// combining-tree rounds onto `ncql-pram`'s persistent work-stealing pool.
+    /// Each forked region borrows at most `n` permits from the pool's thread
+    /// budget, which sets the region's chunk granularity and how much budget
+    /// concurrent (nested) regions can hold. The hard bound on worker
+    /// *threads* is the pool size (`pool_threads`, default `n`): with an
+    /// oversubscribed pool, idle workers beyond `n` still steal queued
+    /// chunks — that is the point of oversubscription. The cost model (work,
+    /// span, counters) is identical under both backends.
     pub parallelism: Option<usize>,
     /// Cost-model-driven cutover for the parallel backend: a region (leaf map,
     /// `ext` map, or one combining round) is only forked when its *estimated*
     /// work — number of independent applications × the applied closure's body
-    /// size — reaches this threshold. Small sets therefore never pay thread
-    /// start-up costs. Ignored when `parallelism` is `None`.
+    /// size — reaches this threshold. Small sets therefore never pay region
+    /// dispatch costs. Ignored when `parallelism` is `None`.
     pub parallel_cutoff: u64,
+    /// Worker-thread count of the persistent work-stealing pool backing the
+    /// parallel backend. `None` (the default) sizes the pool by `parallelism`;
+    /// `Some(n)` with `n ≥ 2` overrides it — e.g. an oversubscribed pool
+    /// larger than the region fan-out, which the `NCQL_POOL_THREADS`
+    /// environment knob (read by the engine's `SessionBuilder::from_env`)
+    /// sets in the CI matrix. Degenerate values `Some(0 | 1)` are treated as
+    /// `None` — the same normalization as `parallelism`, so the two knobs
+    /// always agree: a sequential configuration never spawns a pool.
+    pub pool_threads: Option<usize>,
+    /// Seed for the pool workers' steal-victim order. Purely a scheduling
+    /// knob used by the stress suites to randomize steal order: every seed
+    /// must produce bit-identical `(Value, CostStats)`.
+    pub pool_steal_seed: u64,
 }
 
 impl Default for EvalConfig {
@@ -63,6 +82,41 @@ impl Default for EvalConfig {
             registry: ExternRegistry::standard(),
             parallelism: None,
             parallel_cutoff: 4096,
+            pool_threads: None,
+            pool_steal_seed: 0,
+        }
+    }
+}
+
+impl EvalConfig {
+    /// The worker-thread count the parallel backend's pool runs with:
+    /// `pool_threads` when it names a real parallel count (`≥ 2`), otherwise
+    /// the `parallelism` knob. `0` when the configuration is sequential —
+    /// such a configuration never constructs a pool at all.
+    pub fn effective_pool_threads(&self) -> usize {
+        let parallelism = match self.parallelism {
+            Some(n) if n > 1 => n,
+            _ => return 0,
+        };
+        match self.pool_threads {
+            Some(n) if n > 1 => n,
+            _ => parallelism,
+        }
+    }
+
+    /// The configuration of the work-stealing pool a parallel backend built
+    /// from this `EvalConfig` runs on — the **single** place the evaluator's
+    /// pool parameters are decided, used by both the lazy per-evaluator pool
+    /// and the engine `Session`'s shared pool. Only meaningful when
+    /// [`EvalConfig::effective_pool_threads`] is nonzero (a sequential
+    /// configuration never constructs a pool). The pool's own sequential
+    /// cutoff is pinned to 1: the evaluator gates regions by its cost-model
+    /// cutover, not by item count.
+    pub fn pool_config(&self) -> ncql_pram::PoolConfig {
+        ncql_pram::PoolConfig {
+            threads: self.effective_pool_threads(),
+            steal_seed: self.pool_steal_seed,
+            sequential_cutoff: 1,
         }
     }
 }
@@ -75,6 +129,8 @@ impl std::fmt::Debug for EvalConfig {
             .field("check_algebraic_laws", &self.check_algebraic_laws)
             .field("parallelism", &self.parallelism)
             .field("parallel_cutoff", &self.parallel_cutoff)
+            .field("pool_threads", &self.pool_threads)
+            .field("pool_steal_seed", &self.pool_steal_seed)
             .finish()
     }
 }
@@ -222,6 +278,12 @@ pub struct Evaluator {
     /// `None` whenever enforcement can be done on the local tally alone
     /// (sequential backend, or no finite limit configured).
     shared_work: Option<Arc<AtomicU64>>,
+    /// The persistent work-stealing pool parallel regions fork onto. Created
+    /// lazily on the first parallel evaluation (or attached by the owning
+    /// `ParallelEvaluator`/`Session`, which share one pool across
+    /// executions); `None` on the sequential backend, which therefore never
+    /// spawns a worker thread.
+    pool: Option<Arc<WorkStealingPool>>,
 }
 
 impl Default for Evaluator {
@@ -237,21 +299,36 @@ impl Evaluator {
             config,
             stats: CostStats::default(),
             shared_work: None,
+            pool: None,
         }
     }
 
-    /// A worker evaluator for one parallel shard: same limits and registry,
-    /// fresh statistics (absorbed by the parent after the join), the parent's
-    /// shared work budget, and no nested parallelism (the region that spawned
-    /// the worker already owns the configured threads).
+    /// Attach a persistent work-stealing pool for parallel regions to fork
+    /// onto, replacing the one this evaluator would otherwise create lazily.
+    /// The engine's `Session` uses this to share one pool (one worker set)
+    /// across every execution it dispatches.
+    pub fn attach_pool(&mut self, pool: Arc<WorkStealingPool>) {
+        self.pool = Some(pool);
+    }
+
+    /// The pool parallel regions fork onto, if one has been created or
+    /// attached yet.
+    pub fn pool(&self) -> Option<&Arc<WorkStealingPool>> {
+        self.pool.as_ref()
+    }
+
+    /// A worker evaluator for one parallel chunk: same limits, registry and
+    /// parallelism knobs, fresh statistics (absorbed by the parent after the
+    /// join), the parent's shared work budget, and the parent's pool handle —
+    /// so a *nested* parallel region inside this worker can borrow whatever
+    /// workers the pool's thread-budget semaphore still has idle, instead of
+    /// being forced sequential the way the fork/join backend forced it.
     fn worker(&self) -> Evaluator {
         Evaluator {
-            config: EvalConfig {
-                parallelism: None,
-                ..self.config.clone()
-            },
+            config: self.config.clone(),
             stats: CostStats::default(),
             shared_work: self.shared_work.clone(),
+            pool: self.pool.clone(),
         }
     }
 
@@ -285,6 +362,15 @@ impl Evaluator {
         } else {
             None
         };
+        // The parallel backend forks onto a persistent pool: created once per
+        // evaluator (first parallel evaluation) unless the owner attached a
+        // longer-lived one. Sequential configurations never reach this, so
+        // they never spawn (or even construct) a pool.
+        if self.pool.is_none() && self.config.effective_pool_threads() > 1 {
+            self.pool = Some(Arc::new(WorkStealingPool::with_config(
+                self.config.pool_config(),
+            )));
+        }
         let mut env = Env::empty();
         for (name, value) in bindings {
             env = env.extend(name.clone(), RtVal::Obj(value.clone()));
@@ -337,9 +423,13 @@ impl Evaluator {
 
     /// Decide whether a region of `apps` independent applications of a closure
     /// with the given body is worth forking: the tracked work estimate
-    /// (applications × body size) must reach `parallel_cutoff`. Returns the
-    /// executor to fork on, or `None` to stay sequential.
-    fn parallel_region(&self, apps: usize, body: &Expr) -> Option<ParallelExecutor> {
+    /// (applications × body size) must reach `parallel_cutoff`, and the pool's
+    /// thread-budget semaphore must still have a worker to lend (nested
+    /// regions compete for the same bounded worker set; a region that gets no
+    /// permit stays sequential). Returns the borrowed permit to fork with, or
+    /// `None` to stay sequential — which never changes the result or the cost
+    /// statistics, only the schedule.
+    fn parallel_region(&self, apps: usize, body: &Expr) -> Option<RegionPermit> {
         let threads = self.parallel_threads();
         if threads <= 1 || apps < 2 {
             return None;
@@ -348,10 +438,12 @@ impl Evaluator {
         if estimate < self.config.parallel_cutoff {
             return None;
         }
-        Some(ParallelExecutor::new(ParallelConfig {
-            threads,
-            sequential_cutoff: 1,
-        }))
+        // The borrow is capped by the *parallelism* knob, not the pool size:
+        // the permit sets this region's chunk granularity and leaves the rest
+        // of the budget for concurrent (nested) regions to claim. Execution
+        // itself is work-stealing — any idle pool worker may run a queued
+        // chunk, so the pool size, not this cap, bounds worker threads.
+        self.pool.as_ref()?.try_borrow(apps.min(threads))
     }
 
     fn note_set(&mut self, s: &VSet) -> EvalResult<()> {
@@ -506,7 +598,9 @@ impl Evaluator {
                 let (set, se) = self.eval_set(e, env, "ext argument")?;
                 let mapped: Vec<(Value, u64)> =
                     match self.parallel_region(set.len(), &clo.body) {
-                        Some(pool) => self.par_leaf_map(&pool, &clo, set.as_slice(), true, &None)?,
+                        Some(region) => {
+                            self.par_leaf_map(&region, &clo, set.as_slice(), true, &None)?
+                        }
                         None => {
                             let mut out = Vec::with_capacity(set.len());
                             for x in set.iter() {
@@ -611,7 +705,7 @@ impl Evaluator {
 
         // Leaves: f applied to every element, independently (parallel).
         let leaves: Vec<(Value, u64)> = match self.parallel_region(set.len(), &f_clo.body) {
-            Some(pool) => self.par_leaf_map(&pool, &f_clo, set.as_slice(), false, &bound_val)?,
+            Some(region) => self.par_leaf_map(&region, &f_clo, set.as_slice(), false, &bound_val)?,
             None => {
                 let mut out = Vec::with_capacity(set.len());
                 for x in set.iter() {
@@ -638,7 +732,7 @@ impl Evaluator {
         let mut level = leaves;
         while level.len() > 1 {
             level = match self.parallel_region(level.len() / 2, &u_clo.body) {
-                Some(pool) => self.par_combine_round(&pool, &u_clo, level, &bound_val)?,
+                Some(region) => self.par_combine_round(&region, &u_clo, level, &bound_val)?,
                 None => self.seq_combine_round(&u_clo, level, &bound_val)?,
             };
         }
@@ -675,24 +769,25 @@ impl Evaluator {
         Ok(next)
     }
 
-    // ----- parallel backend (forking onto `ncql-pram`) -----
+    // ----- parallel backend (forking onto the `ncql-pram` pool) -----
 
     /// Apply `clo` to every element across the pool's worker threads, returning
     /// per-element `(value, span)` in element order. `is_ext` selects the `ext`
     /// accounting (per-element `ext_calls`) versus the recursor-leaf accounting
     /// (bounding meet + set-size notes). Worker statistics are absorbed after
-    /// the join, so work tallies match the sequential backend exactly.
+    /// the region completes, so work tallies match the sequential backend
+    /// exactly no matter which thread stole which chunk.
     fn par_leaf_map(
         &mut self,
-        pool: &ParallelExecutor,
+        region: &RegionPermit,
         clo: &Closure,
         elements: &[Value],
         is_ext: bool,
         bound_val: &Option<Value>,
     ) -> EvalResult<Vec<(Value, u64)>> {
         let parent = self.worker();
-        let shards = pool
-            .par_chunks(elements, |_, shard| {
+        let shards = region
+            .run(elements, |_, shard| {
                 let mut ev = parent.worker();
                 let mut out = Vec::with_capacity(shard.len());
                 for x in shard {
@@ -725,15 +820,15 @@ impl Evaluator {
     /// Pairings, spans and tallies are identical to [`Self::seq_combine_round`].
     fn par_combine_round(
         &mut self,
-        pool: &ParallelExecutor,
+        region: &RegionPermit,
         u_clo: &Closure,
         level: Vec<(Value, u64)>,
         bound_val: &Option<Value>,
     ) -> EvalResult<Vec<(Value, u64)>> {
         let pairs: Vec<&[(Value, u64)]> = level.chunks(2).collect();
         let parent = self.worker();
-        let shards = pool
-            .par_chunks(&pairs, |_, shard| {
+        let shards = region
+            .run(&pairs, |_, shard| {
                 let mut ev = parent.worker();
                 let mut out = Vec::with_capacity(shard.len());
                 for chunk in shard {

@@ -21,8 +21,9 @@
 //! * [`parallel`] — the parallel evaluation backend: with
 //!   `EvalConfig::parallelism` set (or through [`parallel::ParallelEvaluator`]),
 //!   the `ext` element map and the `dcr` leaf map and combining-tree rounds are
-//!   forked across scoped worker threads on the `ncql-pram` substrate, with a
-//!   cost-model-driven cutover so small regions stay sequential. Values and
+//!   forked onto `ncql-pram`'s persistent work-stealing pool, with a
+//!   cost-model-driven cutover so small regions stay sequential and a
+//!   thread-budget semaphore so nested regions borrow idle workers. Values and
 //!   cost statistics are bit-identical to the sequential backend.
 //! * [`analysis`] — free variables, expression size, and the *depth of recursion
 //!   nesting* of §3, which stratifies the language into the ACᵏ levels.

@@ -5,21 +5,32 @@
 //! applies its function to all elements *independently* and the `dcr`
 //! combining tree has depth `⌈log₂ m⌉`. The evaluator's cost model has always
 //! scored queries that way; with `EvalConfig::parallelism` set, the same two
-//! constructs are now actually forked across scoped worker threads (via the
-//! `ncql-pram` substrate), so the model's span translates into wall-clock
-//! speedup. The backends are *observationally identical*: values, work, span
-//! and every per-construct counter agree bit-for-bit, and a resource-limit
-//! error (`SetTooLarge` / `WorkLimitExceeded`) fires in a parallel run
-//! exactly when one fires sequentially — though when both limits are crossed
-//! by the same evaluation, which of the two is reported may differ, since
-//! shards discover their budget overruns concurrently. The differential test
-//! suite pins all of this down.
+//! constructs are actually forked across worker threads — since this
+//! revision onto a *persistent work-stealing pool*
+//! ([`ncql_pram::WorkStealingPool`]): one lazily-spawned worker set per
+//! `ParallelEvaluator` (or per engine `Session`), a chunk deque per worker
+//! with stealing at region boundaries, so a region costs a queue push rather
+//! than a thread spawn and uneven leaf costs rebalance. The NC bound is a
+//! span claim, and span only survives into wall-clock when regions don't pay
+//! thread start-up latency per combining round. The backends remain
+//! *observationally identical*: values, work, span and every per-construct
+//! counter agree bit-for-bit under every pool size and steal schedule, and a
+//! resource-limit error (`SetTooLarge` / `WorkLimitExceeded`) fires in a
+//! parallel run exactly when one fires sequentially — though when both
+//! limits are crossed by the same evaluation, which of the two is reported
+//! may differ, since shards discover their budget overruns concurrently. The
+//! differential suite and `tests/pool_scheduling_stress.rs` pin all of this
+//! down.
 //!
 //! Cutover: forking a region only pays when there is enough work to amortize
-//! thread start-up, so a region (leaf map, `ext` map, or one combining round)
+//! region dispatch, so a region (leaf map, `ext` map, or one combining round)
 //! is forked only when `applications × closure body size` reaches
 //! `EvalConfig::parallel_cutoff`; smaller regions — and the top of every
-//! combining tree — run sequentially on the calling thread.
+//! combining tree — run sequentially on the calling thread. Forked regions
+//! additionally borrow workers from the pool's thread-budget semaphore, which
+//! is what lets a *nested* `dcr` (one inside another's leaf map) borrow
+//! whatever workers the outer region left idle instead of being forced
+//! sequential; an inner region that gets no permit stays inline.
 
 use crate::eval::{CostStats, EvalConfig, Evaluator};
 use crate::expr::Expr;
@@ -63,6 +74,19 @@ impl ParallelEvaluator {
     /// The number of worker threads this evaluator forks onto.
     pub fn threads(&self) -> usize {
         self.inner.config().parallelism.unwrap_or(1)
+    }
+
+    /// Attach a persistent work-stealing pool, replacing the one the
+    /// evaluator would otherwise create lazily on its first evaluation. The
+    /// engine's `Session` shares one pool across every execution this way.
+    pub fn attach_pool(&mut self, pool: std::sync::Arc<ncql_pram::WorkStealingPool>) {
+        self.inner.attach_pool(pool);
+    }
+
+    /// The pool parallel regions fork onto, once one has been created or
+    /// attached (lazily: `None` before the first evaluation).
+    pub fn pool(&self) -> Option<&std::sync::Arc<ncql_pram::WorkStealingPool>> {
+        self.inner.pool()
     }
 
     /// The configuration in use.
@@ -269,6 +293,42 @@ mod tests {
         let (seq_v, seq_stats) = eval_with_stats(&e).unwrap();
         assert_eq!(ev.eval_closed(&e).unwrap(), seq_v);
         assert_eq!(ev.stats(), seq_stats);
+    }
+
+    #[test]
+    fn one_pool_persists_across_evaluations() {
+        let mut ev = ParallelEvaluator::with_config(EvalConfig {
+            parallelism: Some(4),
+            parallel_cutoff: 1,
+            ..EvalConfig::default()
+        });
+        assert!(ev.pool().is_none(), "the pool is created lazily, not at construction");
+        ev.eval_closed(&parity(64)).unwrap();
+        let first = ev.pool().cloned().expect("first evaluation creates the pool");
+        assert_eq!(first.threads(), 4);
+        ev.eval_closed(&parity(130)).unwrap();
+        let second = ev.pool().cloned().expect("pool survives");
+        assert!(
+            std::sync::Arc::ptr_eq(&first, &second),
+            "evaluations share one persistent pool instead of re-creating it"
+        );
+    }
+
+    #[test]
+    fn pool_threads_knob_oversubscribes_the_worker_set() {
+        // The pool may be wider than the parallelism knob; results and stats
+        // must not notice.
+        let e = parity(130);
+        let (seq_v, seq_stats) = eval_with_stats(&e).unwrap();
+        let mut ev = ParallelEvaluator::with_config(EvalConfig {
+            parallelism: Some(2),
+            pool_threads: Some(8),
+            parallel_cutoff: 1,
+            ..EvalConfig::default()
+        });
+        assert_eq!(ev.eval_closed(&e).unwrap(), seq_v);
+        assert_eq!(ev.stats(), seq_stats);
+        assert_eq!(ev.pool().unwrap().threads(), 8);
     }
 
     #[test]

@@ -10,7 +10,13 @@
 //!   size doubles — i.e. as `⌈log₂ m⌉` — while `esr` span grows linearly;
 //! * the resource-limit errors `SetTooLarge` and `WorkLimitExceeded` fire
 //!   under exactly the same conditions on the sequential and the parallel
-//!   backend (same error discriminant, or the same value on success).
+//!   backend (same error discriminant, or the same value on success) —
+//!   *regardless of which pool worker observes the shared budget's exhaustion
+//!   first*, which the properties force by randomizing the pool's steal-order
+//!   seed and oversubscribing the pool relative to the parallelism knob;
+//! * pool scheduling is unobservable: every `(steal seed, pool size)` pair
+//!   yields the same `(Value, CostStats)`, including `span ≤ work` and the
+//!   `m − 1` combiner count, on the work-stealing pool backend.
 
 use ncql_core::error::EvalError;
 use ncql_core::eval::{eval_with_stats, CostStats, EvalConfig, Evaluator};
@@ -120,6 +126,28 @@ fn eval_parallel_with(
     Ok((v, ev.stats()))
 }
 
+/// Like [`eval_parallel_with`], but with the pool scheduling knobs exposed:
+/// an independent pool size (possibly oversubscribed relative to `threads`)
+/// and a steal-order seed. Every combination must be observationally
+/// identical to the sequential backend.
+fn eval_on_pool(
+    expr: &Expr,
+    threads: usize,
+    pool_threads: usize,
+    steal_seed: u64,
+    base: EvalConfig,
+) -> EvalResult<(Value, CostStats)> {
+    eval_parallel_with(
+        expr,
+        threads,
+        EvalConfig {
+            pool_threads: Some(pool_threads),
+            pool_steal_seed: steal_seed,
+            ..base
+        },
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -129,11 +157,16 @@ proptest! {
         atoms in proptest::collection::vec(0u64..500, 0..50),
         shift in 1u64..40,
         threads in 2usize..9,
+        pool_threads in 2usize..10,
+        steal_seed in proptest::prelude::any::<u64>(),
     ) {
         let q = random_query(shape, atoms, shift);
         let (v_seq, seq) = eval_with_stats(&q).expect("sequential eval");
         prop_assert!(seq.span <= seq.work, "sequential span {} > work {}", seq.span, seq.work);
-        let (v_par, par) = eval_parallel_with(&q, threads, EvalConfig::default()).expect("parallel eval");
+        // The pool size is drawn independently of the parallelism knob, so
+        // this also covers over- and under-subscribed pools.
+        let (v_par, par) = eval_on_pool(&q, threads, pool_threads, steal_seed, EvalConfig::default())
+            .expect("parallel eval");
         prop_assert!(par.span <= par.work, "parallel span {} > work {}", par.span, par.work);
         prop_assert_eq!(v_par, v_seq);
         prop_assert_eq!(par, seq);
@@ -143,13 +176,40 @@ proptest! {
     fn dcr_combiner_count_is_m_minus_one(
         atoms in proptest::collection::vec(0u64..10_000, 1..80),
         threads in 2usize..9,
+        pool_threads in 2usize..10,
+        steal_seed in proptest::prelude::any::<u64>(),
     ) {
         let m = Value::atom_set(atoms.clone()).cardinality().unwrap_or(0) as u64;
         let q = parity_dcr(atoms);
         let (_, seq) = eval_with_stats(&q).expect("sequential eval");
         prop_assert_eq!(seq.combiner_calls, m.saturating_sub(1));
-        let (_, par) = eval_parallel_with(&q, threads, EvalConfig::default()).expect("parallel eval");
+        let (_, par) = eval_on_pool(&q, threads, pool_threads, steal_seed, EvalConfig::default())
+            .expect("parallel eval");
         prop_assert_eq!(par.combiner_calls, m.saturating_sub(1));
+    }
+
+    /// One evaluator — therefore one persistent pool — re-scored across many
+    /// queries: the pool's internal state (deque history, steal cursors)
+    /// accumulated by earlier queries must never leak into later results.
+    #[test]
+    fn one_pool_many_queries_stays_equivalent(
+        shapes in proptest::collection::vec((0u64..4, proptest::collection::vec(0u64..200, 1..40)), 1..5),
+        threads in 2usize..9,
+        steal_seed in proptest::prelude::any::<u64>(),
+    ) {
+        let mut ev = ParallelEvaluator::with_config(EvalConfig {
+            parallelism: Some(threads),
+            parallel_cutoff: 1,
+            pool_steal_seed: steal_seed,
+            ..EvalConfig::default()
+        });
+        for (shape, atoms) in shapes {
+            let q = random_query(shape, atoms, 17);
+            let (v_seq, seq) = eval_with_stats(&q).expect("sequential eval");
+            let v_par = ev.eval_closed(&q).expect("parallel eval");
+            prop_assert_eq!(v_par, v_seq);
+            prop_assert_eq!(ev.stats(), seq);
+        }
     }
 
     #[test]
@@ -202,6 +262,8 @@ proptest! {
         atoms in proptest::collection::vec(0u64..300, 0..60),
         shift in 1u64..40,
         threads in 2usize..9,
+        pool_threads in 2usize..10,
+        steal_seed in proptest::prelude::any::<u64>(),
         max_work in 1u64..4_000,
         max_set_size in 1usize..80,
     ) {
@@ -213,7 +275,10 @@ proptest! {
         };
         let mut seq_ev = Evaluator::new(limits.clone());
         let seq = seq_ev.eval_closed(&q);
-        let par = eval_parallel_with(&q, threads, limits).map(|(v, _)| v);
+        // The steal seed and the independent pool size decide *which worker*
+        // observes the shared work budget's exhaustion first; the outcome
+        // must not care.
+        let par = eval_on_pool(&q, threads, pool_threads, steal_seed, limits).map(|(v, _)| v);
         // A limit error fires in parallel iff one fires sequentially. Which of
         // the two limits gets reported may differ when both are crossed in one
         // evaluation (shards notice their overruns concurrently), so the two

@@ -10,6 +10,7 @@ use ncql_core::parallel::{normalize_parallelism, ParallelEvaluator};
 use ncql_core::typecheck::{infer, value_type, TypeEnv};
 use ncql_core::{analysis, EvalError};
 use ncql_object::{ObjectError, Type, Value};
+use ncql_pram::WorkStealingPool;
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Default number of prepared plans a session retains.
@@ -90,9 +91,12 @@ impl SessionBuilder {
 
     /// A builder configured from the environment, so deployments can select
     /// the backend without code changes: `NCQL_PARALLELISM` sets the worker
-    /// thread count (`0`/`1` mean sequential) and `NCQL_PARALLEL_CUTOFF` the
-    /// fork threshold. Unset, empty or unparseable variables leave the
-    /// defaults untouched.
+    /// thread count (`0`/`1` mean sequential), `NCQL_PARALLEL_CUTOFF` the
+    /// fork threshold, and `NCQL_POOL_THREADS` the worker-thread count of the
+    /// session's persistent work-stealing pool when it should differ from
+    /// `NCQL_PARALLELISM` (e.g. an oversubscribed pool on a small machine —
+    /// the CI matrix runs one such leg). Unset, empty or unparseable
+    /// variables leave the defaults untouched.
     pub fn from_env() -> SessionBuilder {
         let mut builder = SessionBuilder::new();
         if let Ok(raw) = std::env::var("NCQL_PARALLELISM") {
@@ -105,15 +109,21 @@ impl SessionBuilder {
                 builder.config.parallel_cutoff = cutoff;
             }
         }
+        if let Ok(raw) = std::env::var("NCQL_POOL_THREADS") {
+            if let Ok(n) = raw.trim().parse::<usize>() {
+                builder.config.pool_threads = normalize_parallelism(Some(n));
+            }
+        }
         builder
     }
 
     /// Replace the whole evaluation configuration at once (the individual
-    /// setters below tweak single fields). The parallelism knob is normalized:
-    /// `Some(0 | 1)` is stored as `None`.
+    /// setters below tweak single fields). The parallelism and pool-size
+    /// knobs are normalized: `Some(0 | 1)` is stored as `None`.
     pub fn config(mut self, config: EvalConfig) -> SessionBuilder {
         self.config = EvalConfig {
             parallelism: normalize_parallelism(config.parallelism),
+            pool_threads: normalize_parallelism(config.pool_threads),
             ..config
         };
         self
@@ -131,6 +141,17 @@ impl SessionBuilder {
     /// only when `applications × closure body size` reaches this value.
     pub fn parallel_cutoff(mut self, cutoff: u64) -> SessionBuilder {
         self.config.parallel_cutoff = cutoff;
+        self
+    }
+
+    /// Worker-thread count of the session's persistent work-stealing pool,
+    /// when it should differ from [`SessionBuilder::parallelism`] (for
+    /// example an oversubscribed pool wider than the per-region fan-out).
+    /// Normalized exactly like `parallelism` — `Some(0 | 1)` is stored as
+    /// `None`, meaning "size the pool by the parallelism knob" — so a
+    /// sequential session never spawns a pool regardless of this value.
+    pub fn pool_threads(mut self, threads: Option<usize>) -> SessionBuilder {
+        self.config.pool_threads = normalize_parallelism(threads);
         self
     }
 
@@ -172,6 +193,7 @@ impl SessionBuilder {
         Session {
             config: self.config,
             registry_fingerprint: OnceLock::new(),
+            pool: OnceLock::new(),
             cache: Mutex::new(CacheState {
                 plans: LruCache::new(self.cache_capacity),
                 hits: 0,
@@ -215,6 +237,12 @@ pub struct Session {
     /// Computed lazily on the first `prepare`: pure-evaluation sessions (the
     /// corpus shim, the benches' trusted-AST path) never pay the hash.
     registry_fingerprint: OnceLock<u64>,
+    /// The session's persistent work-stealing pool, shared by every parallel
+    /// execution it dispatches (one worker set per session, not per query).
+    /// Created lazily on the first parallel execution — and the pool itself
+    /// spawns its workers lazily on the first forked region — so a
+    /// sequential session never creates a worker thread at all.
+    pool: OnceLock<Arc<WorkStealingPool>>,
     cache: Mutex<CacheState>,
 }
 
@@ -457,12 +485,24 @@ impl Session {
         self.eval_raw(expr, bindings)
     }
 
+    /// The session's work-stealing pool, created on first use. Only the
+    /// parallel dispatch path ever calls this, so sequential sessions stay
+    /// pool-free.
+    fn pool(&self) -> Arc<WorkStealingPool> {
+        self.pool
+            .get_or_init(|| Arc::new(WorkStealingPool::with_config(self.config.pool_config())))
+            .clone()
+    }
+
     /// Dispatch one evaluation onto the configured backend.
     fn eval_raw(&self, expr: &Expr, bindings: &[(String, Value)]) -> Result<Outcome, EvalError> {
         let backend = self.backend();
         let (value, stats): (Value, CostStats) = match backend {
             Backend::Parallel { .. } => {
                 let mut evaluator = ParallelEvaluator::with_config(self.config.clone());
+                // One pool per session: every execution forks onto the same
+                // persistent worker set instead of growing its own.
+                evaluator.attach_pool(self.pool());
                 let value = evaluator.eval_with_bindings(expr, bindings)?;
                 (value, evaluator.stats())
             }

@@ -1,4 +1,4 @@
-//! PRAM-style parallel execution substrate.
+//! PRAM-style parallel execution substrate: a persistent work-stealing pool.
 //!
 //! The paper's complexity class NC is defined via uniform circuit families and is
 //! equivalent to polylogarithmic time on a CRCW PRAM with polynomially many
@@ -10,45 +10,67 @@
 //! wall-clock speedup, while the element-by-element recursion `sri` has a serial
 //! chain that no number of threads can shorten.
 //!
+//! The NC bound is a *span* claim — `O(polylog)` parallel rounds — so the
+//! substrate must not charge a thread start-up latency per round. Earlier
+//! revisions forked every parallel region with `std::thread::scope`, paying
+//! thread creation per region and never rebalancing uneven shard costs. This
+//! crate now provides a [`WorkStealingPool`] instead:
+//!
+//! * **Persistent workers.** One lazily-spawned worker set per pool, created on
+//!   the first [`RegionPermit::run`] and kept until [`WorkStealingPool::shutdown`]
+//!   (or drop — shutdown is idempotent). A pool that never executes a region
+//!   never spawns a thread (observable via [`live_pool_workers`]).
+//! * **A chunk deque per worker.** A region's items are split into more chunks
+//!   than workers and distributed round-robin; each worker pops its own deque
+//!   LIFO and *steals* FIFO from a pseudo-randomly ordered sequence of victims
+//!   when its own deque runs dry, so uneven chunk costs rebalance inside a
+//!   region. The victim order is seeded by [`PoolConfig::steal_seed`] — the
+//!   scheduling-stress suites vary it to prove results are schedule-invariant.
+//! * **Caller participation.** The thread that opens a region executes that
+//!   region's queued chunks itself while it waits, so a region always makes
+//!   progress even when every worker is busy — which is what makes *nested*
+//!   regions (an inner `dcr` inside an outer one's leaf) deadlock-free.
+//! * **A thread-budget semaphore.** [`WorkStealingPool::try_borrow`] hands out
+//!   at most `threads` worker permits across all concurrently open regions;
+//!   an inner region can borrow workers an outer region left idle, and a
+//!   caller that gets no permit simply stays sequential.
+//!
+//! The error and panic discipline is unchanged from the fork/join era and is
+//! what `ncql-core` builds its backend equivalence on:
+//!
+//! * a chunk returning `Err` fails the whole region with [`TaskError::Failed`];
+//! * a chunk *panicking* is caught ([`std::panic::catch_unwind`]) — every other
+//!   chunk still runs to completion, all partial results are dropped, the
+//!   payload message is preserved in [`TaskError::Panicked`], and the pool
+//!   survives to serve the next region;
+//! * when several chunks fail, the error of the lowest-indexed chunk wins, so
+//!   the reported error is deterministic regardless of which thread ran what.
+//!
 //! This crate is deliberately *language-agnostic*: it knows nothing about
-//! expressions or values. It provides fork/join primitives over plain slices —
-//! [`ParallelExecutor::par_chunks`] (one worker per contiguous shard) and
-//! [`ParallelExecutor::par_map`] — with strict error and panic discipline:
-//!
-//! * a worker returning `Err` aborts the whole operation with
-//!   [`TaskError::Failed`];
-//! * a worker *panicking* is caught ([`std::panic::catch_unwind`]), every other
-//!   worker is still joined, all partial results are dropped, and the panic
-//!   surfaces as [`TaskError::Panicked`] instead of unwinding through the scope
-//!   and aborting the process;
-//! * when several workers fail, the error of the lowest-indexed shard wins, so
-//!   the reported error is deterministic regardless of thread scheduling.
-//!
-//! `ncql-core` builds its [`ParallelEvaluator`](https://docs.rs/ncql-core)
-//! dispatch for `ext` element maps and `dcr` combining trees on top of these
-//! primitives; keeping this crate free of `ncql-core` types is what lets the
-//! evaluator depend on it without a cycle.
+//! expressions or values, which is what lets `ncql-core` depend on it without a
+//! cycle.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Once};
 use std::thread;
 
-/// Configuration of the parallel executor.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParallelConfig {
-    /// Number of worker threads (defaults to the number of available cores).
-    pub threads: usize,
-    /// Below this many items the executor stays on the calling thread (thread
-    /// start-up costs more than it saves).
-    pub sequential_cutoff: usize,
-}
+/// How many chunks a region creates per borrowed worker. More chunks than
+/// workers is what gives stealing something to rebalance when chunk costs are
+/// uneven; 4 keeps per-chunk queueing overhead negligible while still letting
+/// a fast worker take three extra chunks from a slow one.
+const CHUNKS_PER_WORKER: usize = 4;
 
-impl Default for ParallelConfig {
-    fn default() -> ParallelConfig {
-        ParallelConfig {
-            threads: available_threads(),
-            sequential_cutoff: 8,
-        }
-    }
+/// Worker threads alive across *all* pools in the process. Incremented when a
+/// pool spawns its worker set, decremented as each worker exits (observed only
+/// after the joining `shutdown` returns). The engine's "a sequential session
+/// never creates worker threads" regression test is written against this.
+static LIVE_POOL_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// The number of pool worker threads currently alive in this process.
+pub fn live_pool_workers() -> usize {
+    LIVE_POOL_WORKERS.load(Ordering::SeqCst)
 }
 
 /// The number of hardware threads available, with a conservative fallback.
@@ -56,9 +78,9 @@ pub fn available_threads() -> usize {
     thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
 }
 
-/// Why a parallel operation failed: a worker returned an error, or a worker
-/// panicked (the panic is caught, all siblings are joined, and their results
-/// are discarded).
+/// Why a parallel region failed: a chunk returned an error, or a chunk
+/// panicked (the panic is caught, every other chunk still completes, and all
+/// partial results are discarded).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TaskError<E> {
     /// A worker closure returned `Err`.
@@ -89,42 +111,415 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// A fork/join executor over slices, one shard per worker thread.
-#[derive(Debug, Clone, Default)]
-pub struct ParallelExecutor {
-    config: ParallelConfig,
+/// Configuration of a [`WorkStealingPool`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Number of persistent worker threads (defaults to the number of
+    /// available cores; clamped to at least 1).
+    pub threads: usize,
+    /// Seed for the workers' victim-selection order when stealing. Purely a
+    /// scheduling knob: any seed produces bit-identical region results, which
+    /// is exactly what the scheduling-stress test suites prove by sweeping it.
+    pub steal_seed: u64,
+    /// Regions of at most this many items run inline on the calling thread
+    /// (queueing costs more than it saves). The evaluator sets this to 1 and
+    /// gates regions by its own cost-model cutover instead.
+    pub sequential_cutoff: usize,
 }
 
-impl ParallelExecutor {
-    /// Create an executor with the given configuration.
-    pub fn new(config: ParallelConfig) -> ParallelExecutor {
-        ParallelExecutor { config }
+impl Default for PoolConfig {
+    fn default() -> PoolConfig {
+        PoolConfig {
+            threads: available_threads(),
+            steal_seed: 0,
+            sequential_cutoff: 8,
+        }
+    }
+}
+
+/// One unit of queued work: a type-erased pointer to a region's state plus the
+/// chunk index to execute. The pointer stays valid for as long as tasks of the
+/// region can exist — see the safety argument on [`RegionState`].
+#[derive(Clone, Copy)]
+struct Task {
+    region: *const (),
+    run: unsafe fn(*const (), usize),
+    chunk: usize,
+}
+
+// SAFETY: the pointer is only dereferenced inside `run`, and the region-exit
+// protocol (see `RegionState`) guarantees the pointee outlives every `run`
+// call. The chunk worker closure itself is required to be `Sync` by
+// `RegionPermit::run`'s bounds.
+unsafe impl Send for Task {}
+
+/// The shared state of one open region, allocated on the opening caller's
+/// stack and type-erased into [`Task`]s.
+///
+/// # Safety protocol (why workers may touch stack data of another thread)
+///
+/// `RegionPermit::run` does not return until it has observed `done == true`
+/// under the `done` mutex. `done` is set (and the condvar notified) by
+/// whichever thread decrements `pending` to zero, *after* writing its result —
+/// and that mutex release/acquire pair makes every chunk's accesses to the
+/// region state happen-before the caller's return. A thread that ran a
+/// non-final chunk makes no further access to region memory after its
+/// `pending` decrement (its copy of the `Task` is a plain pointer whose drop
+/// touches nothing), so no thread can dereference the region pointer once
+/// `run` has returned and the stack frame is gone.
+/// One chunk's slot: `None` until the chunk ran, then its result.
+type ChunkSlot<R, E> = Option<Result<R, TaskError<E>>>;
+
+struct RegionState<'scope, T, R, E, F> {
+    items: &'scope [T],
+    worker: &'scope F,
+    chunk_size: usize,
+    /// One slot per chunk, written exactly once by whichever thread runs it.
+    results: Mutex<Vec<ChunkSlot<R, E>>>,
+    /// Chunks not yet completed. The final decrement flips `done`.
+    pending: AtomicUsize,
+    done: Mutex<bool>,
+    done_signal: Condvar,
+}
+
+/// Execute one chunk of the region behind `region` (monomorphized per region
+/// type, taken by [`Task::run`] as a plain function pointer).
+///
+/// # Safety
+///
+/// `region` must point to a live `RegionState<T, R, E, F>` of exactly these
+/// type parameters; the region-exit protocol above guarantees liveness.
+unsafe fn run_chunk<T, R, E, F>(region: *const (), chunk: usize)
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &[T]) -> Result<R, E> + Sync,
+{
+    let state = &*(region as *const RegionState<'_, T, R, E, F>);
+    let start = chunk * state.chunk_size;
+    let end = (start + state.chunk_size).min(state.items.len());
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        (state.worker)(chunk, &state.items[start..end])
+    }));
+    let result = match outcome {
+        Ok(Ok(r)) => Ok(r),
+        Ok(Err(e)) => Err(TaskError::Failed(e)),
+        Err(payload) => Err(TaskError::Panicked(panic_message(payload))),
+    };
+    state.results.lock().unwrap()[chunk] = Some(result);
+    if state.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+        // Last chunk: flip `done` under the mutex so the caller's wakeup
+        // happens-after every chunk's writes (including this thread's).
+        let mut done = state.done.lock().unwrap();
+        *done = true;
+        state.done_signal.notify_all();
+    }
+}
+
+/// State shared between the pool handle, its permits, and its workers.
+struct PoolShared {
+    config: PoolConfig,
+    /// One deque per worker. Owners pop the back (LIFO), thieves and helping
+    /// callers take from the front (FIFO), submission is round-robin.
+    queues: Vec<Mutex<VecDeque<Task>>>,
+    /// Wake generation: bumped (under the mutex) whenever tasks are pushed or
+    /// shutdown begins, so sleeping workers never miss a wakeup.
+    sleep: Mutex<u64>,
+    wake_signal: Condvar,
+    shutting_down: AtomicBool,
+    /// Remaining lendable worker permits (the thread-budget semaphore).
+    budget: AtomicUsize,
+    /// Round-robin cursor for task distribution across the deques.
+    next_queue: AtomicUsize,
+    /// Lazily spawns the worker set on the first region.
+    spawn: Once,
+    handles: Mutex<Vec<thread::JoinHandle<()>>>,
+    /// Workers this pool has spawned (0 until the first region runs).
+    spawned_workers: AtomicUsize,
+    /// Workers of *this pool* currently alive (spawned and not yet exited).
+    /// Unlike the process-global [`LIVE_POOL_WORKERS`], this is safe to
+    /// assert on from tests that run concurrently with other pool users.
+    live_workers: AtomicUsize,
+}
+
+impl PoolShared {
+    /// Pop a task: own deque first (LIFO), then steal FIFO from victims in the
+    /// pseudo-random order drawn from `rng` — the order the stress suites
+    /// randomize via [`PoolConfig::steal_seed`].
+    fn find_task(&self, me: usize, rng: &mut u64) -> Option<Task> {
+        if let Some(task) = self.queues[me].lock().unwrap().pop_back() {
+            return Some(task);
+        }
+        let n = self.queues.len();
+        let start = (xorshift(rng) as usize) % n;
+        for offset in 0..n {
+            let victim = (start + offset) % n;
+            if victim == me {
+                continue;
+            }
+            if let Some(task) = self.queues[victim].lock().unwrap().pop_front() {
+                return Some(task);
+            }
+        }
+        None
     }
 
-    /// Create an executor with the given thread count and default cutoff.
-    pub fn with_threads(threads: usize) -> ParallelExecutor {
-        ParallelExecutor {
-            config: ParallelConfig {
-                threads,
-                ..ParallelConfig::default()
-            },
+    /// Remove one queued task belonging to `region`, for the opening caller to
+    /// execute itself while it waits (callers only help their own region, so a
+    /// long-running foreign chunk can never delay a finished region's return).
+    fn find_region_task(&self, region: *const ()) -> Option<Task> {
+        for queue in &self.queues {
+            let mut queue = queue.lock().unwrap();
+            if let Some(at) = queue.iter().position(|t| std::ptr::eq(t.region, region)) {
+                return queue.remove(at);
+            }
+        }
+        None
+    }
+
+    /// Bump the wake generation and rouse every sleeping worker.
+    fn wake_all(&self) {
+        *self.sleep.lock().unwrap() += 1;
+        self.wake_signal.notify_all();
+    }
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+fn worker_loop(shared: Arc<PoolShared>, index: usize) {
+    // Seed per worker, never zero (xorshift's fixed point).
+    let mut rng = shared
+        .config
+        .steal_seed
+        .wrapping_add((index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        | 1;
+    loop {
+        if shared.shutting_down.load(Ordering::Acquire) {
+            break;
+        }
+        if let Some(task) = shared.find_task(index, &mut rng) {
+            // SAFETY: the region-exit protocol on `RegionState` keeps the
+            // pointee alive until after this call completes.
+            unsafe { (task.run)(task.region, task.chunk) };
+            continue;
+        }
+        // Idle transition — the only path that touches the generation lock,
+        // so the busy task-draining loop above stays lock-free with respect
+        // to it. Rescan while *holding* the lock: a pusher must take it to
+        // bump the generation, so it cannot complete a push-and-wake between
+        // this scan and the wait below (no lost wakeup). The found task is
+        // run after releasing the lock — running it may open a nested
+        // region whose wake-up needs the same lock.
+        let rescanned = {
+            let mut sleep = shared.sleep.lock().unwrap();
+            let task = shared.find_task(index, &mut rng);
+            if task.is_none() {
+                let seen = *sleep;
+                while *sleep == seen && !shared.shutting_down.load(Ordering::Acquire) {
+                    sleep = shared.wake_signal.wait(sleep).unwrap();
+                }
+            }
+            task
+        };
+        if let Some(task) = rescanned {
+            // SAFETY: as above.
+            unsafe { (task.run)(task.region, task.chunk) };
+        }
+    }
+    shared.live_workers.fetch_sub(1, Ordering::SeqCst);
+    LIVE_POOL_WORKERS.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// A persistent work-stealing thread pool executing parallel *regions*: a
+/// region splits a slice into chunks, distributes them across per-worker
+/// deques, and blocks the opening caller (who helps) until every chunk ran.
+///
+/// Workers are spawned lazily on the first region and torn down by
+/// [`WorkStealingPool::shutdown`] (idempotent; also run on drop). Opening a
+/// region requires borrowing worker permits from the pool's thread-budget
+/// semaphore via [`WorkStealingPool::try_borrow`], which is what lets nested
+/// regions share one bounded worker set instead of multiplying threads.
+///
+/// ```
+/// use ncql_pram::WorkStealingPool;
+///
+/// let pool = WorkStealingPool::new(4);
+/// let permit = pool.try_borrow(4).expect("budget starts full");
+/// let items: Vec<u64> = (0..1000).collect();
+/// let squares = permit
+///     .run(&items, |_chunk, shard| {
+///         Ok::<u64, ()>(shard.iter().map(|x| x * x).sum())
+///     })
+///     .unwrap();
+/// assert_eq!(squares.iter().sum::<u64>(), (0..1000u64).map(|x| x * x).sum());
+/// ```
+pub struct WorkStealingPool {
+    shared: Arc<PoolShared>,
+}
+
+impl std::fmt::Debug for WorkStealingPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkStealingPool")
+            .field("threads", &self.shared.config.threads)
+            .field("steal_seed", &self.shared.config.steal_seed)
+            .field("spawned_workers", &self.spawned_workers())
+            .field("available_budget", &self.available_budget())
+            .finish()
+    }
+}
+
+impl WorkStealingPool {
+    /// A pool with the given worker-thread count (clamped to at least 1) and
+    /// the default steal seed. No thread is spawned until the first region.
+    pub fn new(threads: usize) -> WorkStealingPool {
+        WorkStealingPool::with_config(PoolConfig {
+            threads,
+            ..PoolConfig::default()
+        })
+    }
+
+    /// A pool from a full configuration.
+    pub fn with_config(config: PoolConfig) -> WorkStealingPool {
+        let threads = config.threads.max(1);
+        let config = PoolConfig { threads, ..config };
+        WorkStealingPool {
+            shared: Arc::new(PoolShared {
+                queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+                sleep: Mutex::new(0),
+                wake_signal: Condvar::new(),
+                shutting_down: AtomicBool::new(false),
+                budget: AtomicUsize::new(threads),
+                next_queue: AtomicUsize::new(0),
+                spawn: Once::new(),
+                handles: Mutex::new(Vec::new()),
+                spawned_workers: AtomicUsize::new(0),
+                live_workers: AtomicUsize::new(0),
+                config,
+            }),
         }
     }
 
-    /// The configuration in use.
-    pub fn config(&self) -> &ParallelConfig {
-        &self.config
+    /// The configured worker-thread count (the budget semaphore's capacity).
+    pub fn threads(&self) -> usize {
+        self.shared.config.threads
     }
 
-    /// Split `items` into at most `threads` contiguous shards and run `worker`
-    /// on each shard in its own scoped thread, returning the per-shard results
-    /// in shard order. The worker receives `(shard_index, shard)`.
+    /// Worker threads this pool has spawned so far (`0` until the first
+    /// region runs — lazy spawning is part of the pool's contract).
+    pub fn spawned_workers(&self) -> usize {
+        self.shared.spawned_workers.load(Ordering::SeqCst)
+    }
+
+    /// Worker threads of this pool currently alive: `spawned_workers` minus
+    /// the workers that have exited. `0` after [`WorkStealingPool::shutdown`]
+    /// returns (it joins every worker).
+    pub fn live_workers(&self) -> usize {
+        self.shared.live_workers.load(Ordering::SeqCst)
+    }
+
+    /// Worker permits currently available to borrow.
+    pub fn available_budget(&self) -> usize {
+        self.shared.budget.load(Ordering::SeqCst)
+    }
+
+    /// Borrow up to `desired` worker permits from the thread-budget semaphore
+    /// (never blocking): returns `None` when every permit is already lent out
+    /// — the caller should then stay sequential — and otherwise a permit for
+    /// `min(desired, available)` workers. Permits return to the budget when
+    /// the [`RegionPermit`] drops, so an inner region can borrow whatever an
+    /// outer region is not using.
+    pub fn try_borrow(&self, desired: usize) -> Option<RegionPermit> {
+        let desired = desired.max(1);
+        let mut current = self.shared.budget.load(Ordering::Relaxed);
+        loop {
+            if current == 0 {
+                return None;
+            }
+            let take = desired.min(current);
+            match self.shared.budget.compare_exchange_weak(
+                current,
+                current - take,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    return Some(RegionPermit {
+                        shared: self.shared.clone(),
+                        workers: take,
+                    })
+                }
+                Err(now) => current = now,
+            }
+        }
+    }
+
+    /// Tear the worker set down: signal shutdown, wake every sleeper, and join
+    /// all worker threads. Idempotent — later calls (including the one from
+    /// `Drop`) find nothing left to join. Chunks already queued are *not*
+    /// lost: workers finish the chunk they are running before exiting, and a
+    /// region's opening caller drains whatever its workers abandoned, so an
+    /// in-flight region still completes (on the caller's thread alone).
+    pub fn shutdown(&self) {
+        self.shared.shutting_down.store(true, Ordering::Release);
+        self.shared.wake_all();
+        let handles = std::mem::take(&mut *self.shared.handles.lock().unwrap());
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkStealingPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A borrow of worker permits from a pool's thread-budget semaphore; the
+/// handle through which regions execute ([`RegionPermit::run`]). Dropping the
+/// permit returns its workers to the budget.
+pub struct RegionPermit {
+    shared: Arc<PoolShared>,
+    workers: usize,
+}
+
+impl std::fmt::Debug for RegionPermit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegionPermit").field("workers", &self.workers).finish()
+    }
+}
+
+impl Drop for RegionPermit {
+    fn drop(&mut self) {
+        self.shared.budget.fetch_add(self.workers, Ordering::AcqRel);
+    }
+}
+
+impl RegionPermit {
+    /// How many workers this permit borrowed (chunking granularity:
+    /// a region creates up to `workers × 4` chunks).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Execute one parallel region: split `items` into contiguous chunks, run
+    /// `worker(chunk_index, chunk)` on each across the pool (the calling
+    /// thread participates), and return the per-chunk results in chunk order.
     ///
-    /// Small inputs (≤ `sequential_cutoff`) and single-threaded configurations
-    /// run on the calling thread. A panicking worker is caught and reported as
-    /// [`TaskError::Panicked`]; all other workers are joined first and their
-    /// results are dropped.
-    pub fn par_chunks<T, R, E, F>(&self, items: &[T], worker: F) -> Result<Vec<R>, TaskError<E>>
+    /// Single-chunk regions run inline on the calling thread — through the
+    /// same panic discipline — so tiny inputs never touch the queues. Errors
+    /// and panics follow the crate-level contract: every chunk runs to
+    /// completion, partial results are dropped, and the lowest-indexed
+    /// chunk's error wins deterministically.
+    pub fn run<T, R, E, F>(&self, items: &[T], worker: F) -> Result<Vec<R>, TaskError<E>>
     where
         T: Sync,
         R: Send,
@@ -134,65 +529,124 @@ impl ParallelExecutor {
         if items.is_empty() {
             return Ok(Vec::new());
         }
-        let threads = self.config.threads.max(1);
-        if threads == 1 || items.len() <= self.config.sequential_cutoff {
-            // Sequential path still runs through the same worker signature —
-            // and the same panic discipline — so the two backends are
-            // indistinguishable to the caller.
+        let target_chunks = items.len().min(self.workers * CHUNKS_PER_WORKER).max(1);
+        let chunk_size = items.len().div_ceil(target_chunks);
+        let chunks = items.len().div_ceil(chunk_size);
+        if chunks == 1 || items.len() <= self.shared.config.sequential_cutoff {
+            // Inline fast path, same worker signature and panic discipline, so
+            // pool and no-pool execution are indistinguishable to the caller.
             return match catch_unwind(AssertUnwindSafe(|| worker(0, items))) {
                 Ok(Ok(r)) => Ok(vec![r]),
                 Ok(Err(e)) => Err(TaskError::Failed(e)),
                 Err(payload) => Err(TaskError::Panicked(panic_message(payload))),
             };
         }
-        let chunk_size = items.len().div_ceil(threads);
-        let joined: Vec<Result<R, TaskError<E>>> = thread::scope(|scope| {
-            let handles: Vec<_> = items
-                .chunks(chunk_size)
-                .enumerate()
-                .map(|(index, shard)| {
-                    let worker = &worker;
-                    scope.spawn(move || {
-                        catch_unwind(AssertUnwindSafe(|| worker(index, shard)))
-                    })
-                })
-                .collect();
-            // Join every worker before inspecting any result: a panic in one
-            // shard must not leave siblings detached, and their results are
-            // dropped below rather than leaked into a partial output.
-            handles
-                .into_iter()
-                .map(|h| match h.join() {
-                    Ok(Ok(Ok(r))) => Ok(r),
-                    Ok(Ok(Err(e))) => Err(TaskError::Failed(e)),
-                    Ok(Err(payload)) => Err(TaskError::Panicked(panic_message(payload))),
-                    // The catch_unwind above makes this unreachable in practice,
-                    // but keep the scope itself panic-proof.
-                    Err(payload) => Err(TaskError::Panicked(panic_message(payload))),
-                })
-                .collect()
-        });
-        // Lowest shard index wins, so the reported error is deterministic.
-        joined.into_iter().collect()
+
+        self.ensure_spawned();
+        let state = RegionState {
+            items,
+            worker: &worker,
+            chunk_size,
+            results: Mutex::new((0..chunks).map(|_| None).collect()),
+            pending: AtomicUsize::new(chunks),
+            done: Mutex::new(false),
+            done_signal: Condvar::new(),
+        };
+        let region = &state as *const RegionState<'_, T, R, E, F> as *const ();
+        let run: unsafe fn(*const (), usize) = run_chunk::<T, R, E, F>;
+
+        // Distribute round-robin starting at a rotating cursor so consecutive
+        // regions spread over different deques, then wake the workers.
+        let n_queues = self.shared.queues.len();
+        let base = self.shared.next_queue.fetch_add(chunks, Ordering::Relaxed);
+        for chunk in 0..chunks {
+            self.shared.queues[(base + chunk) % n_queues]
+                .lock()
+                .unwrap()
+                .push_back(Task { region, run, chunk });
+        }
+        self.shared.wake_all();
+
+        // Help with our own region's chunks, then wait for the stragglers.
+        // The ONLY exit is observing `done` under its mutex — that is what
+        // makes handing stack pointers to persistent threads sound (see the
+        // RegionState safety protocol).
+        loop {
+            if let Some(task) = self.shared.find_region_task(region) {
+                // SAFETY: `state` is alive; we have not exited the loop.
+                unsafe { (task.run)(task.region, task.chunk) };
+                if *state.done.lock().unwrap() {
+                    break;
+                }
+            } else {
+                let mut done = state.done.lock().unwrap();
+                while !*done {
+                    done = state.done_signal.wait(done).unwrap();
+                }
+                break;
+            }
+        }
+
+        let slots = std::mem::take(&mut *state.results.lock().unwrap());
+        let mut out = Vec::with_capacity(chunks);
+        for slot in slots {
+            match slot.expect("every chunk runs exactly once before done flips") {
+                Ok(r) => out.push(r),
+                // Lowest chunk index wins; later successes (and errors) drop.
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
     }
 
-    /// Parallel map preserving item order: apply `f` to every element, sharded
-    /// across the worker threads. Errors and panics follow
-    /// [`ParallelExecutor::par_chunks`] discipline.
-    pub fn par_map<T, R, E, F>(&self, items: &[T], f: F) -> Result<Vec<R>, TaskError<E>>
+    /// Parallel map preserving item order: apply `f` to every element, chunked
+    /// across the pool. Errors and panics follow [`RegionPermit::run`]'s
+    /// discipline.
+    pub fn map<T, R, E, F>(&self, items: &[T], f: F) -> Result<Vec<R>, TaskError<E>>
     where
         T: Sync,
         R: Send,
         E: Send,
         F: Fn(&T) -> Result<R, E> + Sync,
     {
-        let per_shard =
-            self.par_chunks(items, |_, shard| shard.iter().map(&f).collect::<Result<Vec<R>, E>>())?;
+        let per_chunk =
+            self.run(items, |_, chunk| chunk.iter().map(&f).collect::<Result<Vec<R>, E>>())?;
         let mut out = Vec::with_capacity(items.len());
-        for shard in per_shard {
-            out.extend(shard);
+        for chunk in per_chunk {
+            out.extend(chunk);
         }
         Ok(out)
+    }
+
+    /// Spawn the worker set once. Skipped after shutdown: a post-shutdown
+    /// region still completes, executed entirely by its opening caller.
+    fn ensure_spawned(&self) {
+        let shared = &self.shared;
+        shared.spawn.call_once(|| {
+            // The shutdown check must happen *under* the handles lock:
+            // `shutdown` drains the handles under the same lock after setting
+            // the flag, so either we see the flag and spawn nothing, or our
+            // freshly pushed handles are visible to the drain — never a
+            // worker set that outlives a returned `shutdown()`.
+            let mut handles = shared.handles.lock().unwrap();
+            if shared.shutting_down.load(Ordering::Acquire) {
+                return;
+            }
+            for index in 0..shared.config.threads {
+                let worker_shared = Arc::clone(shared);
+                // Counted before the spawn so the totals are exact the moment
+                // `run` can first return (the worker only ever decrements).
+                LIVE_POOL_WORKERS.fetch_add(1, Ordering::SeqCst);
+                shared.live_workers.fetch_add(1, Ordering::SeqCst);
+                shared.spawned_workers.fetch_add(1, Ordering::SeqCst);
+                handles.push(
+                    thread::Builder::new()
+                        .name(format!("ncql-pool-{index}"))
+                        .spawn(move || worker_loop(worker_shared, index))
+                        .expect("spawning a pool worker thread"),
+                );
+            }
+        });
     }
 }
 
@@ -201,83 +655,118 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
-    fn executor(threads: usize) -> ParallelExecutor {
-        ParallelExecutor::new(ParallelConfig {
-            threads,
-            sequential_cutoff: 2,
-        })
+    fn pool(threads: usize) -> WorkStealingPool {
+        WorkStealingPool::new(threads)
+    }
+
+    fn borrow(pool: &WorkStealingPool) -> RegionPermit {
+        pool.try_borrow(pool.threads()).expect("budget starts full")
     }
 
     #[test]
-    fn par_map_preserves_order() {
+    fn map_preserves_order_at_every_pool_size() {
         let items: Vec<u64> = (0..100).collect();
         for threads in [1, 2, 3, 8] {
-            let out = executor(threads)
-                .par_map(&items, |x| Ok::<u64, ()>(x * x))
-                .unwrap();
+            let p = pool(threads);
+            let out = borrow(&p).map(&items, |x| Ok::<u64, ()>(x * x)).unwrap();
             assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>(), "threads={threads}");
         }
     }
 
     #[test]
-    fn par_chunks_covers_every_item_exactly_once() {
+    fn region_covers_every_item_exactly_once_in_chunk_order() {
         let items: Vec<u64> = (0..57).collect();
-        let shards = executor(4)
-            .par_chunks(&items, |index, shard| Ok::<(usize, Vec<u64>), ()>((index, shard.to_vec())))
+        let p = pool(4);
+        let chunks = borrow(&p)
+            .run(&items, |index, chunk| Ok::<(usize, Vec<u64>), ()>((index, chunk.to_vec())))
             .unwrap();
-        assert!(shards.len() <= 4);
         let mut seen = Vec::new();
-        for (i, (index, shard)) in shards.iter().enumerate() {
+        for (i, (index, chunk)) in chunks.iter().enumerate() {
             assert_eq!(i, *index);
-            seen.extend(shard.iter().copied());
+            seen.extend(chunk.iter().copied());
         }
         assert_eq!(seen, items);
     }
 
     #[test]
     fn empty_input_spawns_nothing() {
-        let out = executor(4).par_map(&Vec::<u64>::new(), |_| Ok::<u64, ()>(0)).unwrap();
+        let p = pool(4);
+        let out = borrow(&p).map(&Vec::<u64>::new(), |_| Ok::<u64, ()>(0)).unwrap();
         assert!(out.is_empty());
+        assert_eq!(p.spawned_workers(), 0, "empty regions must not spawn the worker set");
     }
 
     #[test]
-    fn small_inputs_stay_on_the_calling_thread() {
+    fn single_chunk_regions_stay_on_the_calling_thread() {
         let calling = std::thread::current().id();
         let items = [1u64, 2];
-        let out = executor(8)
-            .par_chunks(&items, |_, shard| {
+        let p = pool(8);
+        let out = borrow(&p)
+            .run(&items, |_, chunk| {
                 assert_eq!(std::thread::current().id(), calling);
-                Ok::<usize, ()>(shard.len())
+                Ok::<usize, ()>(chunk.len())
             })
             .unwrap();
-        assert_eq!(out, vec![2]);
+        assert_eq!(out.iter().sum::<usize>(), 2);
+        assert_eq!(p.spawned_workers(), 0, "inline regions must not spawn the worker set");
+    }
+
+    #[test]
+    fn workers_spawn_lazily_and_persist_across_regions() {
+        // Assert on the pool's OWN counters, not the process-global
+        // `live_pool_workers`: sibling tests in this binary spawn pools
+        // concurrently on a multi-core harness (the global counter is for
+        // the engine's single-test guard binary).
+        let p = pool(3);
+        assert_eq!(p.spawned_workers(), 0);
+        assert_eq!(p.live_workers(), 0);
+        let items: Vec<u64> = (0..64).collect();
+        for _ in 0..5 {
+            let sum: u64 = borrow(&p)
+                .run(&items, |_, c| Ok::<u64, ()>(c.iter().sum()))
+                .unwrap()
+                .into_iter()
+                .sum();
+            assert_eq!(sum, (0..64).sum());
+        }
+        // One worker set, spawned once, across all five regions.
+        assert_eq!(p.spawned_workers(), 3);
+        assert_eq!(p.live_workers(), 3);
+        p.shutdown();
+        assert_eq!(p.live_workers(), 0, "shutdown joins every worker");
+        p.shutdown(); // idempotent
+        drop(p); // drop after explicit shutdown is a no-op too
     }
 
     #[test]
     fn worker_errors_propagate_deterministically() {
         let items: Vec<u64> = (0..64).collect();
-        // Two shards fail; the lowest shard index must win every run.
-        for _ in 0..10 {
-            let err = executor(4)
-                .par_chunks(&items, |index, _| {
+        // Several chunks fail; the lowest chunk index must win every run.
+        for seed in 0..10 {
+            let p = WorkStealingPool::with_config(PoolConfig { threads: 4, steal_seed: seed, ..PoolConfig::default() });
+            let err = borrow(&p)
+                .run(&items, |index, _| {
                     if index >= 1 {
-                        Err(format!("shard {index} failed"))
+                        Err(format!("chunk {index} failed"))
                     } else {
                         Ok(index)
                     }
                 })
                 .unwrap_err();
-            assert_eq!(err, TaskError::Failed("shard 1 failed".to_string()));
+            assert_eq!(err, TaskError::Failed("chunk 1 failed".to_string()), "seed={seed}");
         }
     }
 
-    /// Regression test for the panic-propagation contract: a panicking shard
-    /// surfaces as `TaskError::Panicked` with the payload message, the process
-    /// survives, every sibling is joined (observed via the drop counter), and
-    /// no partial results leak out of the call.
+    /// Regression test for the panic-propagation contract, ported from the
+    /// fork/join executor onto the pool: a panicking chunk surfaces as
+    /// `TaskError::Panicked` with its payload preserved across a steal, the
+    /// process survives, every sibling chunk still runs to completion, and
+    /// every successful result is dropped rather than leaked into a partial
+    /// output — pinned by counting constructed results against drops.
     #[test]
     fn panicking_worker_is_caught_joined_and_reported() {
         static DROPS: AtomicUsize = AtomicUsize::new(0);
+        static BUILT: AtomicUsize = AtomicUsize::new(0);
         #[derive(Debug)]
         struct CountsDrops;
         impl Drop for CountsDrops {
@@ -287,56 +776,80 @@ mod tests {
         }
 
         let items: Vec<u64> = (0..64).collect();
-        let result = executor(4).par_chunks(&items, |index, _| {
-            if index == 2 {
-                panic!("extern exploded in shard {index}");
+        let p = pool(4);
+        let result = borrow(&p).run(&items, |_, chunk| {
+            if chunk.contains(&13) {
+                panic!("extern exploded near atom 13");
             }
+            BUILT.fetch_add(1, Ordering::SeqCst);
             Ok::<CountsDrops, String>(CountsDrops)
         });
         match result {
             Err(TaskError::Panicked(msg)) => assert!(
-                msg.contains("extern exploded in shard 2"),
+                msg.contains("extern exploded near atom 13"),
                 "payload message preserved, got: {msg}"
             ),
             other => panic!("expected Panicked, got {other:?}"),
         }
-        // The three successful shards' results were joined and then dropped —
-        // none leaked past the error return.
-        assert_eq!(DROPS.load(Ordering::SeqCst), 3);
+        // Every successfully built result was joined and then dropped — none
+        // leaked past the error return.
+        assert!(BUILT.load(Ordering::SeqCst) > 0, "siblings of the panicking chunk still ran");
+        assert_eq!(DROPS.load(Ordering::SeqCst), BUILT.load(Ordering::SeqCst));
     }
 
     #[test]
-    fn panics_are_caught_on_the_sequential_fallback_too() {
-        // Single-threaded configs and small inputs run inline, but the panic
-        // contract must hold there as well.
-        let items = [1u64, 2, 3];
-        for threads in [1usize, 8] {
-            let err = executor(threads)
-                .par_chunks(&items, |_, _| -> Result<u64, ()> { panic!("inline boom") })
+    fn pool_survives_a_panicked_region_and_serves_the_next_one() {
+        let items: Vec<u64> = (0..64).collect();
+        let p = pool(4);
+        for round in 0..3 {
+            let err = borrow(&p)
+                .run(&items, |_, _| -> Result<u64, ()> { panic!("boom round {round}") })
                 .unwrap_err();
-            assert_eq!(err, TaskError::Panicked("inline boom".to_string()), "threads={threads}");
+            assert_eq!(err, TaskError::Panicked(format!("boom round {round}")));
+            // The very next region on the same worker set succeeds.
+            let ok: u64 = borrow(&p)
+                .run(&items, |_, c| Ok::<u64, ()>(c.iter().sum()))
+                .unwrap()
+                .into_iter()
+                .sum();
+            assert_eq!(ok, (0..64).sum());
         }
+        assert_eq!(p.spawned_workers(), 4, "panics must not kill pool workers");
+    }
+
+    #[test]
+    fn panics_are_caught_on_the_inline_fast_path_too() {
+        // Single-chunk regions run inline, but the panic contract holds there
+        // as well.
+        let items = [1u64, 2, 3];
+        let p = pool(8);
+        let err = borrow(&p)
+            .run(&items, |_, _| -> Result<u64, ()> { panic!("inline boom") })
+            .unwrap_err();
+        assert_eq!(err, TaskError::Panicked("inline boom".to_string()));
     }
 
     #[test]
     fn panic_beaten_by_lower_indexed_error() {
         let items: Vec<u64> = (0..64).collect();
-        let err = executor(4)
-            .par_chunks(&items, |index, _| match index {
-                1 => Err("shard 1 error".to_string()),
-                3 => panic!("shard 3 panic"),
+        let p = pool(4);
+        let err = borrow(&p)
+            .run(&items, |index, _| match index {
+                1 => Err("chunk 1 error".to_string()),
+                3 => panic!("chunk 3 panic"),
                 _ => Ok(index),
             })
             .unwrap_err();
-        assert_eq!(err, TaskError::Failed("shard 1 error".to_string()));
+        assert_eq!(err, TaskError::Failed("chunk 1 error".to_string()));
     }
 
     #[test]
     fn string_panic_payloads_are_preserved() {
         let items: Vec<u64> = (0..32).collect();
         let owned = String::from("owned payload");
-        let err = executor(2)
-            .par_chunks(&items, |index, _| {
+        let p = pool(2);
+        let err = borrow(&p)
+            .run(&items, |index, _| {
                 if index == 0 {
                     panic!("{}", owned.clone());
                 }
@@ -344,5 +857,122 @@ mod tests {
             })
             .unwrap_err();
         assert_eq!(err, TaskError::Panicked("owned payload".to_string()));
+    }
+
+    #[test]
+    fn steal_order_randomization_never_changes_results() {
+        // The scheduling shim: sweep seeds (different victim orders per run)
+        // and demand bit-identical output every time.
+        let items: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for seed in 0..24 {
+            let p = WorkStealingPool::with_config(PoolConfig { threads: 4, steal_seed: seed, ..PoolConfig::default() });
+            let out = borrow(&p).map(&items, |x| Ok::<u64, ()>(x * 3 + 1)).unwrap();
+            assert_eq!(out, expected, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn budget_semaphore_lends_and_restores_permits() {
+        let p = pool(4);
+        assert_eq!(p.available_budget(), 4);
+        let outer = p.try_borrow(3).unwrap();
+        assert_eq!(outer.workers(), 3);
+        assert_eq!(p.available_budget(), 1);
+        // An inner region can borrow what the outer left idle — but no more.
+        let inner = p.try_borrow(8).unwrap();
+        assert_eq!(inner.workers(), 1);
+        assert_eq!(p.available_budget(), 0);
+        assert!(p.try_borrow(1).is_none(), "an exhausted budget refuses further borrows");
+        drop(inner);
+        drop(outer);
+        assert_eq!(p.available_budget(), 4, "dropped permits return to the budget");
+    }
+
+    #[test]
+    fn nested_regions_share_one_worker_set_without_deadlock() {
+        let p = pool(4);
+        let outer_items: Vec<u64> = (0..32).collect();
+        let outer = p.try_borrow(2).unwrap(); // leave two workers lendable
+        let totals = outer
+            .run(&outer_items, |_, chunk| {
+                // Inner regions borrow whatever is left (possibly nothing —
+                // then try_borrow fails and we run inline), all on the same
+                // bounded worker set.
+                let inner_items: Vec<u64> = (0..64).collect();
+                let inner_total: u64 = match p.try_borrow(2) {
+                    Some(permit) => permit
+                        .run(&inner_items, |_, c| Ok::<u64, ()>(c.iter().sum()))
+                        .map_err(|_| ())?
+                        .into_iter()
+                        .sum(),
+                    None => inner_items.iter().sum(),
+                };
+                Ok::<u64, ()>(inner_total * chunk.len() as u64)
+            })
+            .unwrap();
+        let inner_sum: u64 = (0..64).sum();
+        assert_eq!(totals.iter().sum::<u64>(), inner_sum * outer_items.len() as u64);
+        drop(outer);
+        assert_eq!(p.available_budget(), 4, "nested permits all returned");
+        assert_eq!(p.spawned_workers(), 4, "nesting must not grow the worker set");
+    }
+
+    /// Shutdown racing an in-flight region: the workers are told to exit while
+    /// chunks are still queued. The region must still complete with correct
+    /// results — the opening caller drains abandoned chunks itself — and the
+    /// pool must join its workers cleanly.
+    #[test]
+    fn shutdown_mid_region_completes_the_region_on_the_caller() {
+        let p = pool(4);
+        let items: Vec<u64> = (0..256).collect();
+        std::thread::scope(|scope| {
+            let runner = scope.spawn(|| {
+                let mut grand_total = 0u64;
+                for _ in 0..50 {
+                    let total: u64 = borrow(&p)
+                        .run(&items, |_, chunk| {
+                            std::thread::yield_now();
+                            Ok::<u64, ()>(chunk.iter().sum())
+                        })
+                        .unwrap()
+                        .into_iter()
+                        .sum();
+                    grand_total += total;
+                }
+                grand_total
+            });
+            // Tear the workers down while the runner is mid-region.
+            p.shutdown();
+            let grand_total = runner.join().unwrap();
+            assert_eq!(grand_total, (0..256u64).sum::<u64>() * 50);
+        });
+        assert_eq!(p.live_workers(), 0, "every worker joined");
+        // Post-shutdown regions still work, caller-only.
+        let total: u64 = borrow(&p)
+            .run(&items, |_, chunk| Ok::<u64, ()>(chunk.iter().sum()))
+            .unwrap()
+            .into_iter()
+            .sum();
+        assert_eq!(total, (0..256).sum());
+    }
+
+    #[test]
+    fn uneven_chunk_costs_rebalance_across_workers() {
+        // One pathological chunk sleeps; stealing lets the other workers chew
+        // through the rest meanwhile. We can only assert completion and
+        // correctness portably, but with 4 workers × 4 chunks each the slow
+        // chunk overlaps 15 fast ones.
+        let items: Vec<u64> = (0..160).collect();
+        let p = pool(4);
+        let out = borrow(&p)
+            .run(&items, |index, chunk| {
+                if index == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                Ok::<u64, ()>(chunk.iter().sum())
+            })
+            .unwrap();
+        assert_eq!(out.iter().sum::<u64>(), (0..160).sum());
     }
 }

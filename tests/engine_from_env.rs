@@ -1,5 +1,6 @@
 //! `SessionBuilder::from_env` coverage: `NCQL_PARALLELISM` selects the
-//! backend, `NCQL_PARALLEL_CUTOFF` tunes the fork threshold.
+//! backend, `NCQL_PARALLEL_CUTOFF` tunes the fork threshold, and
+//! `NCQL_POOL_THREADS` sizes the session's persistent work-stealing pool.
 //!
 //! This is deliberately the **only** test in this integration-test binary.
 //! `std::env::set_var` racing any concurrent `std::env::var` read is
@@ -18,18 +19,33 @@ fn builder_from_env_reads_the_knobs() {
     let clear = || {
         std::env::remove_var("NCQL_PARALLELISM");
         std::env::remove_var("NCQL_PARALLEL_CUTOFF");
+        std::env::remove_var("NCQL_POOL_THREADS");
     };
 
     clear();
     let default_session = SessionBuilder::from_env().build();
     assert_eq!(default_session.backend(), Backend::Sequential);
+    assert_eq!(default_session.config().pool_threads, None);
     let default_cutoff = default_session.config().parallel_cutoff;
 
     std::env::set_var("NCQL_PARALLELISM", "4");
     std::env::set_var("NCQL_PARALLEL_CUTOFF", "128");
+    std::env::set_var("NCQL_POOL_THREADS", "8");
     let configured = SessionBuilder::from_env().build();
     assert_eq!(configured.backend(), Backend::Parallel { threads: 4 });
     assert_eq!(configured.config().parallel_cutoff, 128);
+    // The pool may be sized independently of the parallelism knob — the CI
+    // matrix uses this to oversubscribe stealing on a small runner.
+    assert_eq!(configured.config().pool_threads, Some(8));
+    assert_eq!(configured.config().effective_pool_threads(), 8);
+
+    // Degenerate pool sizes normalize exactly like degenerate parallelism:
+    // the pool knob falls back to "size by parallelism".
+    std::env::set_var("NCQL_POOL_THREADS", "1");
+    let degenerate_pool = SessionBuilder::from_env().build();
+    assert_eq!(degenerate_pool.config().pool_threads, None);
+    assert_eq!(degenerate_pool.config().effective_pool_threads(), 4);
+    std::env::remove_var("NCQL_POOL_THREADS");
 
     // Degenerate parallelism from the environment is normalized like any other.
     std::env::set_var("NCQL_PARALLELISM", "1");

@@ -1,0 +1,74 @@
+//! Regression guard for the normalize/pool agreement: a session whose
+//! parallelism normalizes to sequential (`None`, `Some(0)`, `Some(1)`) must
+//! never create a pool worker thread, no matter what the pool-size knob says —
+//! and a parallel session must create exactly *one* worker set, shared across
+//! executions, torn down when the session drops.
+//!
+//! This is deliberately the **only** test in this integration-test binary: it
+//! asserts on the process-global [`ncql::pram::live_pool_workers`] counter,
+//! and any concurrently running test that builds a parallel session would
+//! race it. Cargo runs integration-test binaries one at a time, so a
+//! single-test binary owns the counter for its whole run. Keep future
+//! worker-counting scenarios inside this one function.
+
+use ncql::pram::live_pool_workers;
+use ncql::queries::differential_corpus;
+use ncql::{Backend, SessionBuilder};
+
+#[test]
+fn sequential_sessions_never_spawn_pool_workers() {
+    let baseline = live_pool_workers();
+    let corpus = differential_corpus();
+    let sample: Vec<_> = corpus.iter().take(12).collect();
+
+    // Every degenerate parallelism request — even combined with an explicit
+    // pool-size knob — normalizes to the sequential backend and must stay
+    // thread-free through real evaluations.
+    for parallelism in [None, Some(0), Some(1)] {
+        let session = SessionBuilder::new()
+            .parallelism(parallelism)
+            .pool_threads(Some(8))
+            .parallel_cutoff(1)
+            .build();
+        assert_eq!(session.backend(), Backend::Sequential, "requested {parallelism:?}");
+        for entry in &sample {
+            session
+                .evaluate(&entry.expr)
+                .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        }
+        assert_eq!(
+            live_pool_workers(),
+            baseline,
+            "a sequential session (parallelism {parallelism:?}) spawned pool workers"
+        );
+    }
+
+    // The same holds for pool_threads' own degenerate values on a *parallel*
+    // session: `Some(0 | 1)` normalizes to `None` (= size by parallelism),
+    // never to a 0- or 1-thread pool.
+    let normalized = SessionBuilder::new().parallelism(Some(4)).pool_threads(Some(1)).build();
+    assert_eq!(normalized.config().pool_threads, None);
+    assert_eq!(normalized.config().effective_pool_threads(), 4);
+
+    // A parallel session spawns exactly one worker set, lazily (on the first
+    // forked region, not at build time), shares it across executions, and
+    // joins it on drop.
+    let parallel = SessionBuilder::new().parallelism(Some(4)).parallel_cutoff(1).build();
+    assert_eq!(live_pool_workers(), baseline, "pool workers must spawn lazily");
+    for entry in &sample {
+        parallel
+            .evaluate(&entry.expr)
+            .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+    }
+    assert_eq!(
+        live_pool_workers(),
+        baseline + 4,
+        "one shared worker set across all executions of one session"
+    );
+    drop(parallel);
+    assert_eq!(
+        live_pool_workers(),
+        baseline,
+        "dropping the session joins its pool workers"
+    );
+}
