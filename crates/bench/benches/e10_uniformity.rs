@@ -6,24 +6,33 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e10_uniformity");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
     for n in [3usize, 5, 8] {
         group.bench_with_input(BenchmarkId::new("generate_family_member", n), &n, |b, _| {
             b.iter(|| UniformTcFamily::generate(n))
         });
         let circuit = UniformTcFamily::generate(n);
-        let dcl: Vec<_> = direct_connection_language(n, &circuit).into_iter().collect();
-        group.bench_with_input(BenchmarkId::new("arithmetic_dcl_decisions", n), &n, |b, _| {
-            b.iter(|| {
-                dcl.iter()
-                    .take(500)
-                    .filter(|t| {
-                        let mut meter = LogSpaceMeter::new();
-                        UniformTcFamily::dcl_member(n, t, &mut meter)
-                    })
-                    .count()
-            })
-        });
+        let dcl: Vec<_> = direct_connection_language(n, &circuit)
+            .into_iter()
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("arithmetic_dcl_decisions", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    dcl.iter()
+                        .take(500)
+                        .filter(|t| {
+                            let mut meter = LogSpaceMeter::new();
+                            UniformTcFamily::dcl_member(n, t, &mut meter)
+                        })
+                        .count()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -8,9 +8,12 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e11_iteration_nesting");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
     for n in [16u64, 64] {
-        let input = Expr::Const(Value::atom_set(0..n));
+        let input = Expr::constant(Value::atom_set(0..n));
         group.bench_with_input(BenchmarkId::new("count_n", n), &n, |b, _| {
             b.iter(|| eval_closed(&iterate::count_n(input.clone())).unwrap())
         });

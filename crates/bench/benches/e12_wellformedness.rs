@@ -9,7 +9,10 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e12_wellformedness");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
     let input = Value::atom_set(0..8);
     let f = Expr::lam("y", Type::Base, Expr::singleton(Expr::var("y")));
     let union = derived::union_combiner(Type::Base);
@@ -17,12 +20,18 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut checker = LawChecker::default();
             checker
-                .check_dcr_instance(&Expr::Empty(Type::Base), &f, &union, &input, &CheckOptions::default())
+                .check_dcr_instance(
+                    &Expr::empty(Type::Base),
+                    &f,
+                    &union,
+                    &input,
+                    &CheckOptions::default(),
+                )
                 .unwrap()
         })
     });
     group.bench_function("syntactic_orderly_check", |b| {
-        b.iter(|| orderly::recognize_combiner(&Expr::Empty(Type::Base), &union))
+        b.iter(|| orderly::recognize_combiner(&Expr::empty(Type::Base), &union))
     });
     group.finish();
 }

@@ -21,7 +21,10 @@ fn parity_text(n: u64) -> String {
     let set = if n == 0 {
         "empty[atom]".to_string()
     } else {
-        (0..n).map(|i| format!("{{@{i}}}")).collect::<Vec<_>>().join(" union ")
+        (0..n)
+            .map(|i| format!("{{@{i}}}"))
+            .collect::<Vec<_>>()
+            .join(" union ")
     };
     format!(
         "dcr(false, \\y: atom. true, \
@@ -31,9 +34,12 @@ fn parity_text(n: u64) -> String {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_parity");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
     for n in [64u64, 256, 1024] {
-        let input = Expr::Const(Value::atom_set(0..n));
+        let input = Expr::constant(Value::atom_set(0..n));
         group.bench_with_input(BenchmarkId::new("dcr", n), &n, |b, _| {
             b.iter(|| eval_closed(&parity::parity_dcr(input.clone())).unwrap())
         });
@@ -44,18 +50,30 @@ fn bench(c: &mut Criterion) {
             b.iter(|| eval_closed(&parity::parity_loop(input.clone())).unwrap())
         });
         let threads = parallelism_from_env().unwrap_or(4);
-        group.bench_with_input(BenchmarkId::new(format!("dcr_par{threads}"), n), &n, |b, _| {
-            b.iter(|| eval_query(&parity::parity_dcr(input.clone()), Some(threads)).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new(format!("dcr_par{threads}"), n),
+            &n,
+            |b, _| {
+                b.iter(|| eval_query(&parity::parity_dcr(input.clone()), Some(threads)).unwrap())
+            },
+        );
         // The persistent-pool variant: one session — one lazily-spawned
         // work-stealing worker set — reused across every iteration, so the
         // gap between `dcr_pool*` and `dcr_par*` (which builds a session and
         // therefore a fresh pool per call) is the pool set-up cost, and the
         // gap to sequential `dcr` is pure region-dispatch overhead.
         let pool_session = SessionBuilder::new().parallelism(Some(threads)).build();
-        group.bench_with_input(BenchmarkId::new(format!("dcr_pool{threads}"), n), &n, |b, _| {
-            b.iter(|| pool_session.evaluate(&parity::parity_dcr(input.clone())).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new(format!("dcr_pool{threads}"), n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    pool_session
+                        .evaluate(&parity::parity_dcr(input.clone()))
+                        .unwrap()
+                })
+            },
+        );
 
         // Cold vs prepared through the engine: same text, same session config;
         // only the front-end amortization differs.

@@ -18,7 +18,10 @@ fn tc_text(n: u64) -> String {
         .map(|i| format!("{{(@{i}, @{})}}", i + 1))
         .collect::<Vec<_>>()
         .join(" union ");
-    let nodes = (0..n).map(|i| format!("{{@{i}}}")).collect::<Vec<_>>().join(" union ");
+    let nodes = (0..n)
+        .map(|i| format!("{{@{i}}}"))
+        .collect::<Vec<_>>()
+        .join(" union ");
     format!(
         "let r = {edges} in \
          dcr(empty[(atom * atom)], \\y: atom. r, \
@@ -35,9 +38,12 @@ fn tc_text(n: u64) -> String {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2_transitive_closure");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(800));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
     for n in [8u64, 16, 32] {
-        let r = Expr::Const(datagen::path_graph(n).to_value());
+        let r = Expr::constant(datagen::path_graph(n).to_value());
         group.bench_with_input(BenchmarkId::new("dcr", n), &n, |b, _| {
             b.iter(|| eval_closed(&graph::tc_dcr(r.clone())).unwrap())
         });
@@ -52,13 +58,20 @@ fn bench(c: &mut Criterion) {
             b.iter(|| rel.transitive_closure_seminaive())
         });
         let threads = parallelism_from_env().unwrap_or(4);
-        group.bench_with_input(BenchmarkId::new(format!("dcr_par{threads}"), n), &n, |b, _| {
-            let forking = EvalConfig {
-                parallel_cutoff: 256,
-                ..EvalConfig::default()
-            };
-            b.iter(|| eval_query_with(&graph::tc_dcr(r.clone()), Some(threads), forking.clone()).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new(format!("dcr_par{threads}"), n),
+            &n,
+            |b, _| {
+                let forking = EvalConfig {
+                    parallel_cutoff: 256,
+                    ..EvalConfig::default()
+                };
+                b.iter(|| {
+                    eval_query_with(&graph::tc_dcr(r.clone()), Some(threads), forking.clone())
+                        .unwrap()
+                })
+            },
+        );
         // Persistent-pool variant: one session's worker set serves every
         // iteration (dcr_par builds a fresh session, and so a fresh pool, per
         // call) — the delta between the two columns is the pool set-up cost
@@ -67,9 +80,11 @@ fn bench(c: &mut Criterion) {
             .parallelism(Some(threads))
             .parallel_cutoff(256)
             .build();
-        group.bench_with_input(BenchmarkId::new(format!("dcr_pool{threads}"), n), &n, |b, _| {
-            b.iter(|| pool_session.evaluate(&graph::tc_dcr(r.clone())).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new(format!("dcr_pool{threads}"), n),
+            &n,
+            |b, _| b.iter(|| pool_session.evaluate(&graph::tc_dcr(r.clone())).unwrap()),
+        );
 
         // Cold vs prepared through the engine.
         let text = tc_text(n);

@@ -9,7 +9,7 @@ use std::time::Duration;
 
 fn parity_parts() -> (Expr, Expr) {
     (
-        Expr::lam("y", Type::Base, Expr::Bool(true)),
+        Expr::lam("y", Type::Base, Expr::bool_val(true)),
         Expr::lam2(
             "a",
             "b",
@@ -21,13 +21,24 @@ fn parity_parts() -> (Expr, Expr) {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_recursion_translations");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
     for n in [32u64, 128] {
-        let input = Expr::Const(Value::atom_set(0..n));
+        let input = Expr::constant(Value::atom_set(0..n));
         let (f, u) = parity_parts();
-        let direct = Expr::dcr(Expr::Bool(false), f.clone(), u.clone(), input.clone());
-        let via_esr = prop21::dcr_via_esr(Expr::Bool(false), f.clone(), u.clone(), input.clone(), Type::Base, Type::Bool);
-        let via_sri = prop21::dcr_via_sri(Expr::Bool(false), f, u, input, Type::Base, Type::Bool);
+        let direct = Expr::dcr(Expr::bool_val(false), f.clone(), u.clone(), input.clone());
+        let via_esr = prop21::dcr_via_esr(
+            Expr::bool_val(false),
+            f.clone(),
+            u.clone(),
+            input.clone(),
+            Type::Base,
+            Type::Bool,
+        );
+        let via_sri =
+            prop21::dcr_via_sri(Expr::bool_val(false), f, u, input, Type::Base, Type::Bool);
         group.bench_with_input(BenchmarkId::new("direct_dcr", n), &n, |b, _| {
             b.iter(|| eval_closed(&direct).unwrap())
         });

@@ -7,9 +7,12 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e4_bounded_dcr");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(800));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
     for n in [6u64, 10, 14] {
-        let r = Expr::Const(datagen::cycle_graph(n).to_value());
+        let r = Expr::constant(datagen::cycle_graph(n).to_value());
         group.bench_with_input(BenchmarkId::new("unbounded_dcr", n), &n, |b, _| {
             b.iter(|| eval_closed(&graph::tc_dcr(r.clone())).unwrap())
         });

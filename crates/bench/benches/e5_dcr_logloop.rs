@@ -9,8 +9,11 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5_dcr_logloop");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
-    let f = Expr::lam("y", Type::Base, Expr::Bool(true));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    let f = Expr::lam("y", Type::Base, Expr::bool_val(true));
     let u = Expr::lam2(
         "a",
         "b",
@@ -19,14 +22,20 @@ fn bench(c: &mut Criterion) {
     );
     for n in [64u64, 512] {
         let x = Value::atom_set(0..n);
-        let direct = Expr::dcr(Expr::Bool(false), f.clone(), u.clone(), Expr::Const(x.clone()));
+        let direct = Expr::dcr(
+            Expr::bool_val(false),
+            f.clone(),
+            u.clone(),
+            Expr::constant(x.clone()),
+        );
         group.bench_with_input(BenchmarkId::new("direct_dcr", n), &n, |b, _| {
             b.iter(|| eval_closed(&direct).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("halving_simulation", n), &n, |b, _| {
             b.iter(|| {
                 let mut sim = HalvingSimulator::default();
-                sim.dcr_by_halving(&Expr::Bool(false), &f, &u, &x).unwrap()
+                sim.dcr_by_halving(&Expr::bool_val(false), &f, &u, &x)
+                    .unwrap()
             })
         });
     }

@@ -6,7 +6,10 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_circuit_depth");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
     for k in [1usize, 2, 3] {
         let q = RelQuery::nested_depth_k(k);
         group.bench_with_input(BenchmarkId::new("compile_n16", k), &k, |b, _| {

@@ -21,9 +21,12 @@ const SUM_TEXT: &str = "dcr(0, \\x: atom. atom_to_nat(x), \
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_ptime_vs_nc");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
     for n in [16u64, 32] {
-        let query = graph::tc_dcr(Expr::Const(datagen::path_graph(n).to_value()));
+        let query = graph::tc_dcr(Expr::constant(datagen::path_graph(n).to_value()));
         let parallel_session = SessionBuilder::new()
             .parallelism(Some(4))
             .parallel_cutoff(256)
@@ -38,7 +41,7 @@ fn bench(c: &mut Criterion) {
     // The speedup criterion: sum of atom values over a set of 2^14 elements —
     // 16384 independent leaf applications followed by a combining tree.
     let n = 1u64 << 14;
-    let big = Expr::Const(Value::atom_set(0..n));
+    let big = Expr::constant(Value::atom_set(0..n));
     let sum = aggregates::sum_dcr(big, |x| Expr::extern_call("atom_to_nat", vec![x]));
     let parallel_session = SessionBuilder::new()
         .config(EvalConfig {
@@ -56,17 +59,21 @@ fn bench(c: &mut Criterion) {
     // above reuses one persistent worker set across iterations, while this
     // variant pays pool construction + lazy spawn + join on every call — the
     // cost every parallel region used to pay per `std::thread::scope` fork.
-    group.bench_with_input(BenchmarkId::new("parallel_sum_dcr_cold_pool", n), &n, |b, _| {
-        b.iter(|| {
-            let cold = SessionBuilder::new()
-                .config(EvalConfig {
-                    parallelism: Some(4),
-                    ..EvalConfig::default()
-                })
-                .build();
-            cold.evaluate(&sum).unwrap()
-        })
-    });
+    group.bench_with_input(
+        BenchmarkId::new("parallel_sum_dcr_cold_pool", n),
+        &n,
+        |b, _| {
+            b.iter(|| {
+                let cold = SessionBuilder::new()
+                    .config(EvalConfig {
+                        parallelism: Some(4),
+                        ..EvalConfig::default()
+                    })
+                    .build();
+                cold.evaluate(&sum).unwrap()
+            })
+        },
+    );
 
     // Amortized vs cold on the engine path: the same parameterized aggregate,
     // prepared once vs front-end per execution, on both backends.
@@ -77,12 +84,16 @@ fn bench(c: &mut Criterion) {
             .parallelism(parallelism)
             .cache_capacity(0)
             .build();
-        group.bench_with_input(BenchmarkId::new(format!("sum_cold_{label}"), n), &n, |b, _| {
-            b.iter(|| {
-                let q = cold.prepare_with_schema(SUM_TEXT, &schema).unwrap();
-                cold.execute_with_bindings(&q, &bindings).unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new(format!("sum_cold_{label}"), n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let q = cold.prepare_with_schema(SUM_TEXT, &schema).unwrap();
+                    cold.execute_with_bindings(&q, &bindings).unwrap()
+                })
+            },
+        );
         let warm = SessionBuilder::new().parallelism(parallelism).build();
         let prepared = warm.prepare_with_schema(SUM_TEXT, &schema).unwrap();
         group.bench_with_input(

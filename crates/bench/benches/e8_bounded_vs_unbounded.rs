@@ -8,13 +8,17 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e8_bounded_vs_unbounded");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(800));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
     for n in [6u64, 10] {
-        let input = Expr::Const(Value::atom_set(0..n));
+        let input = Expr::constant(Value::atom_set(0..n));
         group.bench_with_input(BenchmarkId::new("unbounded_powerset", n), &n, |b, _| {
             b.iter(|| {
                 let mut ev = Evaluator::new(EvalConfig::default());
-                ev.eval_closed(&powerset::powerset_dcr(input.clone())).unwrap()
+                ev.eval_closed(&powerset::powerset_dcr(input.clone()))
+                    .unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("bounded_small_subsets", n), &n, |b, _| {

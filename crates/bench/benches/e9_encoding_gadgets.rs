@@ -8,7 +8,10 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e9_encoding_gadgets");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
     for n in [8u64, 32] {
         let rel = datagen::cycle_graph(n).to_value();
         group.bench_with_input(BenchmarkId::new("encode_decode", n), &n, |b, _| {
@@ -21,9 +24,11 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("build_element_starts", n), &n, |b, _| {
             b.iter(|| gadgets::element_starts(len))
         });
-        group.bench_with_input(BenchmarkId::new("build_encoding_equality", n), &n, |b, _| {
-            b.iter(|| gadgets::encoding_equality(len))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("build_encoding_equality", n),
+            &n,
+            |b, _| b.iter(|| gadgets::encoding_equality(len)),
+        );
     }
     group.finish();
 }

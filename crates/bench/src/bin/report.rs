@@ -38,7 +38,9 @@ fn main() {
     }
 
     match bench::check_shapes(&tables) {
-        Ok(()) => println!("All qualitative shapes hold (see EXPERIMENTS.md for the expected shapes)."),
+        Ok(()) => {
+            println!("All qualitative shapes hold (see EXPERIMENTS.md for the expected shapes).")
+        }
         Err(e) => {
             eprintln!("SHAPE CHECK FAILED: {e}");
             std::process::exit(1);

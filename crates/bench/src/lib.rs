@@ -12,11 +12,11 @@ use ncql_circuit::logspace::{LogSpaceMeter, UniformTcFamily};
 use ncql_circuit::relquery::RelQuery;
 use ncql_core::eval::{eval_with_stats, log_rounds, EvalConfig, Evaluator};
 use ncql_core::expr::Expr;
+use ncql_core::parallel::ParallelEvaluator;
 use ncql_core::wellformed::{CheckOptions, LawChecker};
 use ncql_core::{derived, EvalError};
 use ncql_object::encoding::{decode, encode};
 use ncql_object::{Type, Value};
-use ncql_core::parallel::ParallelEvaluator;
 use ncql_queries::{aggregates, datagen, graph, iterate, parity, powerset};
 use ncql_translate::{prop21, prop73};
 use std::fmt;
@@ -71,7 +71,12 @@ impl fmt::Display for Table {
         let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
             write!(f, "  ")?;
             for (i, c) in cells.iter().enumerate() {
-                write!(f, "{:width$}  ", c, width = widths.get(i).copied().unwrap_or(8))?;
+                write!(
+                    f,
+                    "{:width$}  ",
+                    c,
+                    width = widths.get(i).copied().unwrap_or(8)
+                )?;
             }
             writeln!(f)
         };
@@ -84,7 +89,7 @@ impl fmt::Display for Table {
 }
 
 fn atoms_expr(n: u64) -> Expr {
-    Expr::Const(Value::atom_set(0..n))
+    Expr::constant(Value::atom_set(0..n))
 }
 
 /// E1 — §1 parity example: span/work of the `dcr`, `esr` and `loop` variants.
@@ -92,7 +97,14 @@ pub fn e1_parity(sizes: &[u64]) -> Table {
     let mut t = Table::new(
         "E1",
         "Parity (§1): dcr span is logarithmic, esr/loop span is linear",
-        &["n", "dcr span", "dcr work", "esr span", "esr work", "loop span"],
+        &[
+            "n",
+            "dcr span",
+            "dcr work",
+            "esr span",
+            "esr work",
+            "loop span",
+        ],
     );
     for &n in sizes {
         let (_, d) = eval_with_stats(&parity::parity_dcr(atoms_expr(n))).expect("parity dcr");
@@ -116,10 +128,18 @@ pub fn e2_transitive_closure(sizes: &[u64]) -> Table {
     let mut t = Table::new(
         "E2",
         "Transitive closure: dcr / log-loop (NC shape) vs element-wise (PTIME shape)",
-        &["n", "dcr span", "logloop span", "elem span", "dcr work", "elem work", "rounds(logloop)"],
+        &[
+            "n",
+            "dcr span",
+            "logloop span",
+            "elem span",
+            "dcr work",
+            "elem work",
+            "rounds(logloop)",
+        ],
     );
     for &n in sizes {
-        let r = Expr::Const(datagen::path_graph(n).to_value());
+        let r = Expr::constant(datagen::path_graph(n).to_value());
         let (_, d) = eval_with_stats(&graph::tc_dcr(r.clone())).expect("tc dcr");
         let (_, l) = eval_with_stats(&graph::tc_log_loop(r.clone())).expect("tc logloop");
         let (_, e) = eval_with_stats(&graph::tc_elementwise(r)).expect("tc elementwise");
@@ -141,9 +161,15 @@ pub fn e3_recursion_translations(sizes: &[u64]) -> Table {
     let mut t = Table::new(
         "E3",
         "Prop 2.1 translations: results agree, work overhead is polynomial, span grows",
-        &["n", "agree", "work factor (dcr->esr)", "span factor", "work factor (dcr->sri)"],
+        &[
+            "n",
+            "agree",
+            "work factor (dcr->esr)",
+            "span factor",
+            "work factor (dcr->sri)",
+        ],
     );
-    let true_f = || Expr::lam("y", Type::Base, Expr::Bool(true));
+    let true_f = || Expr::lam("y", Type::Base, Expr::bool_val(true));
     let xor_u = || {
         Expr::lam2(
             "a",
@@ -153,9 +179,9 @@ pub fn e3_recursion_translations(sizes: &[u64]) -> Table {
         )
     };
     for &n in sizes {
-        let direct = Expr::dcr(Expr::Bool(false), true_f(), xor_u(), atoms_expr(n));
+        let direct = Expr::dcr(Expr::bool_val(false), true_f(), xor_u(), atoms_expr(n));
         let via_esr = prop21::dcr_via_esr(
-            Expr::Bool(false),
+            Expr::bool_val(false),
             true_f(),
             xor_u(),
             atoms_expr(n),
@@ -163,7 +189,7 @@ pub fn e3_recursion_translations(sizes: &[u64]) -> Table {
             Type::Bool,
         );
         let via_sri = prop21::dcr_via_sri(
-            Expr::Bool(false),
+            Expr::bool_val(false),
             true_f(),
             xor_u(),
             atoms_expr(n),
@@ -198,10 +224,15 @@ pub fn e4_bounded_dcr(sizes: &[u64]) -> Table {
     let mut t = Table::new(
         "E4",
         "Prop 2.2: bounded recursion + relational algebra expresses dcr over flat relations",
-        &["n", "tc(dcr) == tc(bounded)", "bounded work", "unbounded work"],
+        &[
+            "n",
+            "tc(dcr) == tc(bounded)",
+            "bounded work",
+            "unbounded work",
+        ],
     );
     for &n in sizes {
-        let r = Expr::Const(datagen::cycle_graph(n).to_value());
+        let r = Expr::constant(datagen::cycle_graph(n).to_value());
         let (v1, s1) = eval_with_stats(&graph::tc_dcr(r.clone())).expect("tc dcr");
         let (v2, s2) = eval_with_stats(&graph::tc_blog_loop(r)).expect("tc bounded");
         t.push_row(vec![
@@ -222,7 +253,7 @@ pub fn e5_dcr_logloop(sizes: &[u64]) -> Table {
         "Prop 7.3: dcr by order-driven halving — rounds = ceil(log2 m), results agree",
         &["n", "rounds", "ceil(log2 n)", "agree", "combiner apps"],
     );
-    let f = Expr::lam("y", Type::Base, Expr::Bool(true));
+    let f = Expr::lam("y", Type::Base, Expr::bool_val(true));
     let u = Expr::lam2(
         "a",
         "b",
@@ -232,8 +263,12 @@ pub fn e5_dcr_logloop(sizes: &[u64]) -> Table {
     for &n in sizes {
         let x = Value::atom_set(0..n);
         let (direct, outcome) =
-            prop73::verify_dcr_halving(&Expr::Bool(false), &f, &u, &x).expect("halving");
-        let expected = if n <= 1 { 0 } else { (n as f64).log2().ceil() as u64 };
+            prop73::verify_dcr_halving(&Expr::bool_val(false), &f, &u, &x).expect("halving");
+        let expected = if n <= 1 {
+            0
+        } else {
+            (n as f64).log2().ceil() as u64
+        };
         t.push_row(vec![
             n.to_string(),
             outcome.rounds.to_string(),
@@ -275,10 +310,16 @@ pub fn e7_ptime_vs_nc(sizes: &[u64], threads: usize) -> Table {
     let mut t = Table::new(
         "E7",
         "Wall-clock: dcr on the parallel backend vs the sequential backend",
-        &["n", "par dcr (ms)", "seq dcr (ms)", "speedup", "stats agree"],
+        &[
+            "n",
+            "par dcr (ms)",
+            "seq dcr (ms)",
+            "speedup",
+            "stats agree",
+        ],
     );
     for &n in sizes {
-        let query = graph::tc_dcr(Expr::Const(datagen::path_graph(n).to_value()));
+        let query = graph::tc_dcr(Expr::constant(datagen::path_graph(n).to_value()));
         // Default cutover: the quick-run sizes are small enough that forking
         // every inner ext would be pure overhead; the Criterion bench drives
         // the genuinely parallel sizes.
@@ -315,7 +356,12 @@ pub fn e8_bounded_vs_unbounded(sizes: &[u64], limit: usize) -> Table {
     let mut t = Table::new(
         "E8",
         "Powerset: unbounded dcr blows up exponentially, bdcr stays within the bound",
-        &["n", "unbounded outcome", "bounded |result|", "bounded max set"],
+        &[
+            "n",
+            "unbounded outcome",
+            "bounded |result|",
+            "bounded max set",
+        ],
     );
     for &n in sizes {
         let mut ev = Evaluator::new(EvalConfig {
@@ -366,7 +412,14 @@ pub fn e9_encoding_gadgets(sizes: &[u64]) -> Table {
     let mut t = Table::new(
         "E9",
         "Encoding round-trips and gadget circuits (Lemmas 7.4-7.6): constant depth",
-        &["n (edges)", "encoding len", "roundtrip", "elem-starts depth", "paren depth", "eq depth"],
+        &[
+            "n (edges)",
+            "encoding len",
+            "roundtrip",
+            "elem-starts depth",
+            "paren depth",
+            "eq depth",
+        ],
     );
     for &n in sizes {
         let rel = datagen::cycle_graph(n).to_value();
@@ -394,7 +447,14 @@ pub fn e10_uniformity(sizes: &[usize]) -> Table {
     let mut t = Table::new(
         "E10",
         "DLOGSPACE-DCL uniformity of the TC circuit family",
-        &["n", "gates", "dcl tuples", "all tuples accepted", "work bits", "16*ceil(log2 gates)"],
+        &[
+            "n",
+            "gates",
+            "dcl tuples",
+            "all tuples accepted",
+            "work bits",
+            "16*ceil(log2 gates)",
+        ],
     );
     for &n in sizes {
         let circuit = UniformTcFamily::generate(n);
@@ -426,7 +486,14 @@ pub fn e11_iteration_nesting(sizes: &[u64]) -> Table {
     let mut t = Table::new(
         "E11",
         "Example 7.2: loop / log-loop nesting reaches n, n^2, log n, log^2 n iterations",
-        &["n", "count_n", "count_n^2", "count_log n", "count_log^2 n", "ceil(log(n+1))"],
+        &[
+            "n",
+            "count_n",
+            "count_n^2",
+            "count_log n",
+            "count_log^2 n",
+            "ceil(log(n+1))",
+        ],
     );
     for &n in sizes {
         let get = |e: &Expr| -> u64 {
@@ -453,35 +520,40 @@ pub fn e12_wellformedness() -> Table {
     let mut t = Table::new(
         "E12",
         "Bounded algebraic-law checking: orderly combiners pass, the §2 counterexample fails",
-        &["instance", "well-formed", "checks performed", "orderly (syntactic)"],
+        &[
+            "instance",
+            "well-formed",
+            "checks performed",
+            "orderly (syntactic)",
+        ],
     );
     let input = Value::atom_set(0..6);
     let singleton_f = Expr::lam("y", Type::Base, Expr::singleton(Expr::var("y")));
     let cases: Vec<(&str, Expr, Expr, Expr)> = vec![
         (
             "union",
-            Expr::Empty(Type::Base),
+            Expr::empty(Type::Base),
             singleton_f.clone(),
             derived::union_combiner(Type::Base),
         ),
         (
             "xor (parity)",
-            Expr::Bool(false),
-            Expr::lam("y", Type::Base, Expr::Bool(true)),
+            Expr::bool_val(false),
+            Expr::lam("y", Type::Base, Expr::bool_val(true)),
             Expr::lam2(
                 "a",
                 "b",
                 Type::prod(Type::Bool, Type::Bool),
                 Expr::ite(
                     Expr::var("a"),
-                    Expr::ite(Expr::var("b"), Expr::Bool(false), Expr::Bool(true)),
+                    Expr::ite(Expr::var("b"), Expr::bool_val(false), Expr::bool_val(true)),
                     Expr::var("b"),
                 ),
             ),
         ),
         (
             "set difference (§2 counterexample)",
-            Expr::Empty(Type::Base),
+            Expr::empty(Type::Base),
             singleton_f.clone(),
             Expr::lam2(
                 "a",
@@ -492,7 +564,7 @@ pub fn e12_wellformedness() -> Table {
         ),
         (
             "left projection (non-commutative)",
-            Expr::Empty(Type::Base),
+            Expr::empty(Type::Base),
             singleton_f,
             Expr::lam2(
                 "a",

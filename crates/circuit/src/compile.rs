@@ -50,11 +50,17 @@ fn compile_inner(
             .clone(),
         RelQuery::Empty => {
             let zero = b.constant(false);
-            RelWires { n, wires: vec![zero; n * n] }
+            RelWires {
+                n,
+                wires: vec![zero; n * n],
+            }
         }
         RelQuery::Full => {
             let one = b.constant(true);
-            RelWires { n, wires: vec![one; n * n] }
+            RelWires {
+                n,
+                wires: vec![one; n * n],
+            }
         }
         RelQuery::Identity => {
             let zero = b.constant(false);
@@ -230,7 +236,10 @@ mod tests {
         let n = 16;
         let union = compile(&RelQuery::union(RelQuery::Input(0), RelQuery::Input(1)), n);
         assert_eq!(union.depth(), 1);
-        let compose = compile(&RelQuery::compose(RelQuery::Input(0), RelQuery::Input(1)), n);
+        let compose = compile(
+            &RelQuery::compose(RelQuery::Input(0), RelQuery::Input(1)),
+            n,
+        );
         assert_eq!(compose.depth(), 2);
         // Size of composition is Θ(n³): n² outputs × (n ANDs + 1 OR).
         assert!(compose.size() >= n * n * n);

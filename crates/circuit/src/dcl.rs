@@ -117,8 +117,12 @@ mod tests {
         let dcl = direct_connection_language(2, &c);
         // and2 has 2 children, or2 has 2, not has 1, plus one output tuple.
         assert_eq!(dcl.len(), 2 + 2 + 1 + 1);
-        assert!(dcl.iter().any(|t| t.parent_type == DclGateType::And && t.child == 0));
-        assert!(dcl.iter().any(|t| matches!(t.parent_type, DclGateType::Output(0))));
+        assert!(dcl
+            .iter()
+            .any(|t| t.parent_type == DclGateType::And && t.child == 0));
+        assert!(dcl
+            .iter()
+            .any(|t| matches!(t.parent_type, DclGateType::Output(0))));
     }
 
     #[test]
@@ -136,7 +140,10 @@ mod tests {
             parent_type: DclGateType::Not,
         };
         assert_eq!(is_member(2, &c, &bogus), dcl.contains(&bogus));
-        let wrong_n = DclTuple { n: 3, ..*dcl.iter().next().unwrap() };
+        let wrong_n = DclTuple {
+            n: 3,
+            ..*dcl.iter().next().unwrap()
+        };
         assert!(!is_member(2, &c, &wrong_n));
     }
 }

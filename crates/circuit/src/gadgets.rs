@@ -41,8 +41,12 @@ fn symbol_is(b: &mut CircuitBuilder, pos: usize, sym: Symbol) -> GateId {
 #[allow(clippy::needless_range_loop)] // (i, j) index the output grid, not just the vecs
 pub fn matched_parentheses(len: usize) -> Circuit {
     let mut b = CircuitBuilder::new(3 * len);
-    let open: Vec<GateId> = (0..len).map(|p| symbol_is(&mut b, p, Symbol::LParen)).collect();
-    let close: Vec<GateId> = (0..len).map(|p| symbol_is(&mut b, p, Symbol::RParen)).collect();
+    let open: Vec<GateId> = (0..len)
+        .map(|p| symbol_is(&mut b, p, Symbol::LParen))
+        .collect();
+    let close: Vec<GateId> = (0..len)
+        .map(|p| symbol_is(&mut b, p, Symbol::RParen))
+        .collect();
     let is_paren: Vec<GateId> = (0..len).map(|p| b.or2(open[p], close[p])).collect();
     let not_paren: Vec<GateId> = (0..len).map(|p| b.not(is_paren[p])).collect();
     let zero = b.constant(false);
@@ -66,11 +70,21 @@ pub fn matched_parentheses(len: usize) -> Circuit {
 #[allow(clippy::needless_range_loop)] // positions q, j index several parallel vecs at once
 pub fn element_starts(len: usize) -> Circuit {
     let mut b = CircuitBuilder::new(3 * len);
-    let lbrace: Vec<GateId> = (0..len).map(|p| symbol_is(&mut b, p, Symbol::LBrace)).collect();
-    let rbrace: Vec<GateId> = (0..len).map(|p| symbol_is(&mut b, p, Symbol::RBrace)).collect();
-    let comma: Vec<GateId> = (0..len).map(|p| symbol_is(&mut b, p, Symbol::Comma)).collect();
-    let lparen: Vec<GateId> = (0..len).map(|p| symbol_is(&mut b, p, Symbol::LParen)).collect();
-    let rparen: Vec<GateId> = (0..len).map(|p| symbol_is(&mut b, p, Symbol::RParen)).collect();
+    let lbrace: Vec<GateId> = (0..len)
+        .map(|p| symbol_is(&mut b, p, Symbol::LBrace))
+        .collect();
+    let rbrace: Vec<GateId> = (0..len)
+        .map(|p| symbol_is(&mut b, p, Symbol::RBrace))
+        .collect();
+    let comma: Vec<GateId> = (0..len)
+        .map(|p| symbol_is(&mut b, p, Symbol::Comma))
+        .collect();
+    let lparen: Vec<GateId> = (0..len)
+        .map(|p| symbol_is(&mut b, p, Symbol::LParen))
+        .collect();
+    let rparen: Vec<GateId> = (0..len)
+        .map(|p| symbol_is(&mut b, p, Symbol::RParen))
+        .collect();
 
     // A comma at position q is *inside parentheses* iff there is an unclosed '('
     // before it: ∃ j < q. sym(j) = '(' ∧ no ')' in (j, q). Constant depth with

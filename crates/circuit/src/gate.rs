@@ -98,7 +98,10 @@ impl Circuit {
             match gate.kind {
                 GateKind::Input(k) => {
                     if k >= self.num_inputs {
-                        return Err(format!("gate {i} reads input {k} but only {} inputs exist", self.num_inputs));
+                        return Err(format!(
+                            "gate {i} reads input {k} but only {} inputs exist",
+                            self.num_inputs
+                        ));
                     }
                     if !gate.inputs.is_empty() {
                         return Err(format!("input gate {i} must have no wire inputs"));
@@ -216,11 +219,7 @@ impl CircuitBuilder {
     /// Bitwise equality of two equal-length wire vectors: AND of XNORs (depth 3).
     pub fn eq_bits(&mut self, a: &[GateId], b: &[GateId]) -> GateId {
         assert_eq!(a.len(), b.len(), "eq_bits requires equal lengths");
-        let bits: Vec<GateId> = a
-            .iter()
-            .zip(b)
-            .map(|(&x, &y)| self.xnor2(x, y))
-            .collect();
+        let bits: Vec<GateId> = a.iter().zip(b).map(|(&x, &y)| self.xnor2(x, y)).collect();
         self.and_many(bits)
     }
 
@@ -311,9 +310,18 @@ mod tests {
         let c = Circuit {
             num_inputs: 1,
             gates: vec![
-                Gate { kind: GateKind::Input(0), inputs: vec![] },
-                Gate { kind: GateKind::And, inputs: vec![2] },
-                Gate { kind: GateKind::Or, inputs: vec![0] },
+                Gate {
+                    kind: GateKind::Input(0),
+                    inputs: vec![],
+                },
+                Gate {
+                    kind: GateKind::And,
+                    inputs: vec![2],
+                },
+                Gate {
+                    kind: GateKind::Or,
+                    inputs: vec![0],
+                },
             ],
             outputs: vec![1],
         };
@@ -325,8 +333,14 @@ mod tests {
         let c = Circuit {
             num_inputs: 1,
             gates: vec![
-                Gate { kind: GateKind::Input(0), inputs: vec![] },
-                Gate { kind: GateKind::Not, inputs: vec![0, 0] },
+                Gate {
+                    kind: GateKind::Input(0),
+                    inputs: vec![],
+                },
+                Gate {
+                    kind: GateKind::Not,
+                    inputs: vec![0, 0],
+                },
             ],
             outputs: vec![1],
         };

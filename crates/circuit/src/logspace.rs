@@ -273,7 +273,8 @@ mod tests {
             };
             let mut meter = LogSpaceMeter::new();
             let _ = UniformTcFamily::dcl_member(n, &tuple, &mut meter);
-            let budget = 16 * (usize::BITS - (UniformTcFamily::total_gates(n)).leading_zeros()) as u64;
+            let budget =
+                16 * (usize::BITS - (UniformTcFamily::total_gates(n)).leading_zeros()) as u64;
             assert!(
                 meter.bits_used() <= budget,
                 "n = {n}: used {} bits, budget {budget}",

@@ -166,7 +166,10 @@ pub struct BitRelation {
 impl BitRelation {
     /// The empty relation over a universe of size `n`.
     pub fn empty(n: usize) -> BitRelation {
-        BitRelation { n, bits: vec![false; n * n] }
+        BitRelation {
+            n,
+            bits: vec![false; n * n],
+        }
     }
 
     /// Build from a list of pairs.
@@ -191,7 +194,11 @@ impl BitRelation {
     /// The pairs present, in row-major order.
     pub fn pairs(&self) -> Vec<(usize, usize)> {
         (0..self.n)
-            .flat_map(|i| (0..self.n).filter(move |&j| self.get(i, j)).map(move |j| (i, j)))
+            .flat_map(|i| {
+                (0..self.n)
+                    .filter(move |&j| self.get(i, j))
+                    .map(move |j| (i, j))
+            })
             .collect()
     }
 }
@@ -214,7 +221,10 @@ fn eval_ref_inner(
             .expect("Current used outside an IterateLogN body")
             .clone(),
         RelQuery::Empty => BitRelation::empty(n),
-        RelQuery::Full => BitRelation { n, bits: vec![true; n * n] },
+        RelQuery::Full => BitRelation {
+            n,
+            bits: vec![true; n * n],
+        },
         RelQuery::Identity => {
             let mut r = BitRelation::empty(n);
             for i in 0..n {
@@ -229,7 +239,12 @@ fn eval_ref_inner(
             );
             BitRelation {
                 n,
-                bits: ra.bits.iter().zip(&rb.bits).map(|(x, y)| *x || *y).collect(),
+                bits: ra
+                    .bits
+                    .iter()
+                    .zip(&rb.bits)
+                    .map(|(x, y)| *x || *y)
+                    .collect(),
             }
         }
         RelQuery::Intersect(a, b) => {
@@ -239,7 +254,12 @@ fn eval_ref_inner(
             );
             BitRelation {
                 n,
-                bits: ra.bits.iter().zip(&rb.bits).map(|(x, y)| *x && *y).collect(),
+                bits: ra
+                    .bits
+                    .iter()
+                    .zip(&rb.bits)
+                    .map(|(x, y)| *x && *y)
+                    .collect(),
             }
         }
         RelQuery::Difference(a, b) => {
@@ -249,7 +269,12 @@ fn eval_ref_inner(
             );
             BitRelation {
                 n,
-                bits: ra.bits.iter().zip(&rb.bits).map(|(x, y)| *x && !*y).collect(),
+                bits: ra
+                    .bits
+                    .iter()
+                    .zip(&rb.bits)
+                    .map(|(x, y)| *x && !*y)
+                    .collect(),
             }
         }
         RelQuery::Complement(a) => {
@@ -321,7 +346,11 @@ mod tests {
             n,
         );
         assert!(u.get(0, 1) && u.get(3, 3));
-        let t = eval_reference(&RelQuery::transpose(RelQuery::Input(0)), std::slice::from_ref(&r), n);
+        let t = eval_reference(
+            &RelQuery::transpose(RelQuery::Input(0)),
+            std::slice::from_ref(&r),
+            n,
+        );
         assert!(t.get(1, 0) && !t.get(0, 1));
         let c = eval_reference(
             &RelQuery::compose(RelQuery::Input(0), RelQuery::Input(0)),

@@ -13,7 +13,8 @@
 //! once per element, in parallel). Similarly for `sri(e, i)` only the step `i`
 //! counts, and for the iterators only the body counts.
 
-use crate::expr::Expr;
+use crate::expr::{Expr, ExprKind};
+use crate::span::Span;
 use std::collections::BTreeSet;
 
 /// The set of free variables of an expression.
@@ -23,73 +24,196 @@ pub fn free_vars(expr: &Expr) -> BTreeSet<String> {
     out
 }
 
+/// The source span of the first *free* occurrence of `name` in `expr`
+/// (pre-order), when the expression was parsed from text. The engine uses
+/// this to point binding-validation errors at the schema variable's use site.
+pub fn free_var_span(expr: &Expr, name: &str) -> Option<Span> {
+    fn walk(expr: &Expr, name: &str, bound: &mut Vec<String>) -> Option<Option<Span>> {
+        // `Some(span)` = found (span may itself be None on span-less trees);
+        // `None` = keep looking.
+        match &expr.kind {
+            ExprKind::Var(x) if x == name && !bound.iter().any(|b| b == x) => Some(expr.span),
+            ExprKind::Lam(x, _, body) => {
+                bound.push(x.clone());
+                let r = walk(body, name, bound);
+                bound.pop();
+                r
+            }
+            ExprKind::Let(x, rhs, body) => {
+                if let Some(found) = walk(rhs, name, bound) {
+                    return Some(found);
+                }
+                bound.push(x.clone());
+                let r = walk(body, name, bound);
+                bound.pop();
+                r
+            }
+            _ => {
+                let mut children = Vec::new();
+                collect_children(expr, &mut children);
+                for child in children {
+                    if let Some(found) = walk(child, name, bound) {
+                        return Some(found);
+                    }
+                }
+                None
+            }
+        }
+    }
+    walk(expr, name, &mut Vec::new()).flatten()
+}
+
+/// The direct children of a node, in syntactic order (binder-introducing
+/// nodes are handled separately by [`free_var_span`]'s walker).
+fn collect_children<'a>(expr: &'a Expr, out: &mut Vec<&'a Expr>) {
+    match &expr.kind {
+        ExprKind::Var(_)
+        | ExprKind::Unit
+        | ExprKind::Bool(_)
+        | ExprKind::Const(_)
+        | ExprKind::Empty(_) => {}
+        ExprKind::Lam(_, _, b) => out.push(b),
+        ExprKind::App(a, b)
+        | ExprKind::Pair(a, b)
+        | ExprKind::Eq(a, b)
+        | ExprKind::Leq(a, b)
+        | ExprKind::Union(a, b)
+        | ExprKind::Ext(a, b)
+        | ExprKind::Let(_, a, b) => out.extend([a.as_ref(), b.as_ref()]),
+        ExprKind::Proj1(a) | ExprKind::Proj2(a) | ExprKind::Singleton(a) | ExprKind::IsEmpty(a) => {
+            out.push(a)
+        }
+        ExprKind::If(c, t, e) => out.extend([c.as_ref(), t.as_ref(), e.as_ref()]),
+        ExprKind::Dcr { e, f, u, arg } | ExprKind::Sru { e, f, u, arg } => {
+            out.extend([e.as_ref(), f.as_ref(), u.as_ref(), arg.as_ref()])
+        }
+        ExprKind::Sri { e, i, arg } | ExprKind::Esr { e, i, arg } => {
+            out.extend([e.as_ref(), i.as_ref(), arg.as_ref()])
+        }
+        ExprKind::BDcr {
+            e,
+            f,
+            u,
+            bound,
+            arg,
+        } => out.extend([
+            e.as_ref(),
+            f.as_ref(),
+            u.as_ref(),
+            bound.as_ref(),
+            arg.as_ref(),
+        ]),
+        ExprKind::BSri { e, i, bound, arg } => {
+            out.extend([e.as_ref(), i.as_ref(), bound.as_ref(), arg.as_ref()])
+        }
+        ExprKind::LogLoop { f, set, init } | ExprKind::Loop { f, set, init } => {
+            out.extend([f.as_ref(), set.as_ref(), init.as_ref()])
+        }
+        ExprKind::BLogLoop {
+            f,
+            bound,
+            set,
+            init,
+        }
+        | ExprKind::BLoop {
+            f,
+            bound,
+            set,
+            init,
+        } => out.extend([f.as_ref(), bound.as_ref(), set.as_ref(), init.as_ref()]),
+        ExprKind::Extern(_, args) => out.extend(args.iter()),
+    }
+}
+
 fn collect_free(expr: &Expr, bound: &mut Vec<String>, out: &mut BTreeSet<String>) {
-    match expr {
-        Expr::Var(x) => {
+    match &expr.kind {
+        ExprKind::Var(x) => {
             if !bound.iter().any(|b| b == x) {
                 out.insert(x.clone());
             }
         }
-        Expr::Lam(x, _, body) => {
+        ExprKind::Lam(x, _, body) => {
             bound.push(x.clone());
             collect_free(body, bound, out);
             bound.pop();
         }
-        Expr::Let(x, rhs, body) => {
+        ExprKind::Let(x, rhs, body) => {
             collect_free(rhs, bound, out);
             bound.push(x.clone());
             collect_free(body, bound, out);
             bound.pop();
         }
-        Expr::Unit | Expr::Bool(_) | Expr::Const(_) | Expr::Empty(_) => {}
-        Expr::App(a, b)
-        | Expr::Pair(a, b)
-        | Expr::Eq(a, b)
-        | Expr::Leq(a, b)
-        | Expr::Union(a, b)
-        | Expr::Ext(a, b) => {
+        ExprKind::Unit | ExprKind::Bool(_) | ExprKind::Const(_) | ExprKind::Empty(_) => {}
+        ExprKind::App(a, b)
+        | ExprKind::Pair(a, b)
+        | ExprKind::Eq(a, b)
+        | ExprKind::Leq(a, b)
+        | ExprKind::Union(a, b)
+        | ExprKind::Ext(a, b) => {
             collect_free(a, bound, out);
             collect_free(b, bound, out);
         }
-        Expr::Proj1(a) | Expr::Proj2(a) | Expr::Singleton(a) | Expr::IsEmpty(a) => {
+        ExprKind::Proj1(a) | ExprKind::Proj2(a) | ExprKind::Singleton(a) | ExprKind::IsEmpty(a) => {
             collect_free(a, bound, out)
         }
-        Expr::If(c, t, e) => {
+        ExprKind::If(c, t, e) => {
             collect_free(c, bound, out);
             collect_free(t, bound, out);
             collect_free(e, bound, out);
         }
-        Expr::Dcr { e, f, u, arg } | Expr::Sru { e, f, u, arg } => {
+        ExprKind::Dcr { e, f, u, arg } | ExprKind::Sru { e, f, u, arg } => {
             for x in [e, f, u, arg] {
                 collect_free(x, bound, out);
             }
         }
-        Expr::Sri { e, i, arg } | Expr::Esr { e, i, arg } => {
+        ExprKind::Sri { e, i, arg } | ExprKind::Esr { e, i, arg } => {
             for x in [e, i, arg] {
                 collect_free(x, bound, out);
             }
         }
-        Expr::BDcr { e, f, u, bound: b, arg } => {
+        ExprKind::BDcr {
+            e,
+            f,
+            u,
+            bound: b,
+            arg,
+        } => {
             for x in [e, f, u, b, arg] {
                 collect_free(x, bound, out);
             }
         }
-        Expr::BSri { e, i, bound: b, arg } => {
+        ExprKind::BSri {
+            e,
+            i,
+            bound: b,
+            arg,
+        } => {
             for x in [e, i, b, arg] {
                 collect_free(x, bound, out);
             }
         }
-        Expr::LogLoop { f, set, init } | Expr::Loop { f, set, init } => {
+        ExprKind::LogLoop { f, set, init } | ExprKind::Loop { f, set, init } => {
             for x in [f, set, init] {
                 collect_free(x, bound, out);
             }
         }
-        Expr::BLogLoop { f, bound: b, set, init } | Expr::BLoop { f, bound: b, set, init } => {
+        ExprKind::BLogLoop {
+            f,
+            bound: b,
+            set,
+            init,
+        }
+        | ExprKind::BLoop {
+            f,
+            bound: b,
+            set,
+            init,
+        } => {
             for x in [f, b, set, init] {
                 collect_free(x, bound, out);
             }
         }
-        Expr::Extern(_, args) => {
+        ExprKind::Extern(_, args) => {
             for a in args {
                 collect_free(a, bound, out);
             }
@@ -106,48 +230,68 @@ pub fn is_closed(expr: &Expr) -> bool {
 /// recursor or iterator has depth 0; Theorem 6.2 places a flat query of depth `k ≥ 1`
 /// in ACᵏ.
 pub fn recursion_depth(expr: &Expr) -> usize {
-    match expr {
-        Expr::Var(_) | Expr::Unit | Expr::Bool(_) | Expr::Const(_) | Expr::Empty(_) => 0,
-        Expr::Lam(_, _, b) => recursion_depth(b),
-        Expr::App(a, b)
-        | Expr::Pair(a, b)
-        | Expr::Eq(a, b)
-        | Expr::Leq(a, b)
-        | Expr::Union(a, b)
-        | Expr::Ext(a, b)
-        | Expr::Let(_, a, b) => recursion_depth(a).max(recursion_depth(b)),
-        Expr::Proj1(a) | Expr::Proj2(a) | Expr::Singleton(a) | Expr::IsEmpty(a) => {
+    match &expr.kind {
+        ExprKind::Var(_)
+        | ExprKind::Unit
+        | ExprKind::Bool(_)
+        | ExprKind::Const(_)
+        | ExprKind::Empty(_) => 0,
+        ExprKind::Lam(_, _, b) => recursion_depth(b),
+        ExprKind::App(a, b)
+        | ExprKind::Pair(a, b)
+        | ExprKind::Eq(a, b)
+        | ExprKind::Leq(a, b)
+        | ExprKind::Union(a, b)
+        | ExprKind::Ext(a, b)
+        | ExprKind::Let(_, a, b) => recursion_depth(a).max(recursion_depth(b)),
+        ExprKind::Proj1(a) | ExprKind::Proj2(a) | ExprKind::Singleton(a) | ExprKind::IsEmpty(a) => {
             recursion_depth(a)
         }
-        Expr::If(c, t, e) => recursion_depth(c)
+        ExprKind::If(c, t, e) => recursion_depth(c)
             .max(recursion_depth(t))
             .max(recursion_depth(e)),
-        Expr::Dcr { e, f, u, arg } | Expr::Sru { e, f, u, arg } => recursion_depth(e)
+        ExprKind::Dcr { e, f, u, arg } | ExprKind::Sru { e, f, u, arg } => recursion_depth(e)
             .max(recursion_depth(f))
             .max(1 + recursion_depth(u))
             .max(recursion_depth(arg)),
-        Expr::BDcr { e, f, u, bound, arg } => recursion_depth(e)
+        ExprKind::BDcr {
+            e,
+            f,
+            u,
+            bound,
+            arg,
+        } => recursion_depth(e)
             .max(recursion_depth(f))
             .max(1 + recursion_depth(u))
             .max(recursion_depth(bound))
             .max(recursion_depth(arg)),
-        Expr::Sri { e, i, arg } | Expr::Esr { e, i, arg } => recursion_depth(e)
+        ExprKind::Sri { e, i, arg } | ExprKind::Esr { e, i, arg } => recursion_depth(e)
             .max(1 + recursion_depth(i))
             .max(recursion_depth(arg)),
-        Expr::BSri { e, i, bound, arg } => recursion_depth(e)
+        ExprKind::BSri { e, i, bound, arg } => recursion_depth(e)
             .max(1 + recursion_depth(i))
             .max(recursion_depth(bound))
             .max(recursion_depth(arg)),
-        Expr::LogLoop { f, set, init } | Expr::Loop { f, set, init } => (1 + recursion_depth(f))
+        ExprKind::LogLoop { f, set, init } | ExprKind::Loop { f, set, init } => (1
+            + recursion_depth(f))
+        .max(recursion_depth(set))
+        .max(recursion_depth(init)),
+        ExprKind::BLogLoop {
+            f,
+            bound,
+            set,
+            init,
+        }
+        | ExprKind::BLoop {
+            f,
+            bound,
+            set,
+            init,
+        } => (1 + recursion_depth(f))
+            .max(recursion_depth(bound))
             .max(recursion_depth(set))
             .max(recursion_depth(init)),
-        Expr::BLogLoop { f, bound, set, init } | Expr::BLoop { f, bound, set, init } => {
-            (1 + recursion_depth(f))
-                .max(recursion_depth(bound))
-                .max(recursion_depth(set))
-                .max(recursion_depth(init))
-        }
-        Expr::Extern(_, args) => args.iter().map(recursion_depth).max().unwrap_or(0),
+        ExprKind::Extern(_, args) => args.iter().map(recursion_depth).max().unwrap_or(0),
     }
 }
 
@@ -172,15 +316,16 @@ pub struct RecursorCensus {
 /// Count the recursion constructs appearing in the expression.
 pub fn census(expr: &Expr) -> RecursorCensus {
     let mut c = RecursorCensus::default();
-    expr.visit(&mut |e| match e {
-        Expr::Dcr { .. } | Expr::BDcr { .. } => c.dcr += 1,
-        Expr::Sru { .. } => c.sru += 1,
-        Expr::Sri { .. } | Expr::BSri { .. } => c.sri += 1,
-        Expr::Esr { .. } => c.esr += 1,
-        Expr::LogLoop { .. } | Expr::Loop { .. } | Expr::BLogLoop { .. } | Expr::BLoop { .. } => {
-            c.iterators += 1
-        }
-        Expr::Ext(_, _) => c.ext += 1,
+    expr.visit(&mut |e| match &e.kind {
+        ExprKind::Dcr { .. } | ExprKind::BDcr { .. } => c.dcr += 1,
+        ExprKind::Sru { .. } => c.sru += 1,
+        ExprKind::Sri { .. } | ExprKind::BSri { .. } => c.sri += 1,
+        ExprKind::Esr { .. } => c.esr += 1,
+        ExprKind::LogLoop { .. }
+        | ExprKind::Loop { .. }
+        | ExprKind::BLogLoop { .. }
+        | ExprKind::BLoop { .. } => c.iterators += 1,
+        ExprKind::Ext(_, _) => c.ext += 1,
         _ => {}
     });
     c
@@ -230,7 +375,7 @@ mod tests {
 
     #[test]
     fn depth_of_plain_nra_is_zero() {
-        let e = Expr::union(Expr::singleton(Expr::atom(1)), Expr::Empty(Type::Base));
+        let e = Expr::union(Expr::singleton(Expr::atom(1)), Expr::empty(Type::Base));
         assert_eq!(recursion_depth(&e), 0);
         assert_eq!(ac_level(&e), 1);
     }
@@ -241,7 +386,7 @@ mod tests {
         // A dcr whose f contains another dcr does NOT increase the depth beyond 1,
         // but a dcr whose u contains another dcr has depth 2.
         let inner = Expr::dcr(
-            Expr::Empty(Type::Base),
+            Expr::empty(Type::Base),
             Expr::lam("y", Type::Base, Expr::singleton(Expr::var("y"))),
             union_combiner(ty.clone()),
             Expr::var("s"),
@@ -249,7 +394,7 @@ mod tests {
         assert_eq!(recursion_depth(&inner), 1);
 
         let dcr_in_f = Expr::dcr(
-            Expr::Empty(Type::Base),
+            Expr::empty(Type::Base),
             Expr::lam("y", ty.clone(), inner.clone()),
             union_combiner(ty.clone()),
             Expr::var("ss"),
@@ -257,7 +402,7 @@ mod tests {
         assert_eq!(recursion_depth(&dcr_in_f), 1);
 
         let dcr_in_u = Expr::dcr(
-            Expr::Empty(Type::Base),
+            Expr::empty(Type::Base),
             Expr::lam("y", Type::Base, Expr::singleton(Expr::var("y"))),
             Expr::lam2(
                 "a",
@@ -275,16 +420,50 @@ mod tests {
     fn iterator_depth_counts_body() {
         let ty = Type::set(Type::Base);
         let body = Expr::lam("r", ty.clone(), Expr::var("r"));
-        let e = Expr::log_loop(body.clone(), Expr::var("x"), Expr::Empty(Type::Base));
+        let e = Expr::log_loop(body.clone(), Expr::var("x"), Expr::empty(Type::Base));
         assert_eq!(recursion_depth(&e), 1);
         // Nesting a log-loop inside the body of another gives depth 2 (Example 7.2:
         // log² n iterations need iteration-nesting depth two).
         let nested = Expr::log_loop(
-            Expr::lam("r", ty.clone(), Expr::log_loop(body, Expr::var("x"), Expr::var("r"))),
+            Expr::lam(
+                "r",
+                ty.clone(),
+                Expr::log_loop(body, Expr::var("x"), Expr::var("r")),
+            ),
             Expr::var("x"),
-            Expr::Empty(Type::Base),
+            Expr::empty(Type::Base),
         );
         assert_eq!(recursion_depth(&nested), 2);
+    }
+
+    #[test]
+    fn free_var_span_finds_the_first_free_use_site() {
+        use crate::span::Span;
+        let text = "ext(\\x: atom. {x}, s) union s";
+        let e = ncql_test_parse(text);
+        // The first *free* occurrence of `s` is the ext argument at byte 19;
+        // the bound `x` inside the lambda is skipped.
+        assert_eq!(free_var_span(&e, "s"), Some(Span::new(19, 20)));
+        assert_eq!(free_var_span(&e, "x"), None, "x is bound");
+        assert_eq!(free_var_span(&e, "missing"), None);
+        // Span-less (builder-built) trees yield None even when the variable
+        // is free.
+        let built = Expr::union(Expr::var("s"), Expr::var("s"));
+        assert_eq!(free_var_span(&built, "s"), None);
+    }
+
+    /// A minimal stand-in for the surface parser (which lives upstream of
+    /// this crate): spans are attached by hand to the two nodes under test.
+    fn ncql_test_parse(_text: &str) -> Expr {
+        use crate::span::Span;
+        // ext(\x: atom. {x}, s) union s  — only the spans used above matter.
+        let lam = Expr::lam(
+            "x",
+            ncql_object::Type::Base,
+            Expr::singleton(Expr::var("x").at(Span::new(15, 16))),
+        );
+        let ext = Expr::ext(lam, Expr::var("s").at(Span::new(19, 20)));
+        Expr::union(ext, Expr::var("s").at(Span::new(28, 29))).at(Span::new(0, 29))
     }
 
     #[test]
@@ -293,7 +472,7 @@ mod tests {
         let e = Expr::ext(
             Expr::lam("x", Type::Base, Expr::singleton(Expr::var("x"))),
             Expr::dcr(
-                Expr::Empty(Type::Base),
+                Expr::empty(Type::Base),
                 Expr::lam("y", Type::Base, Expr::singleton(Expr::var("y"))),
                 union_combiner(ty),
                 Expr::var("s"),

@@ -15,17 +15,17 @@ use ncql_object::Type;
 
 /// Boolean negation `not e` — definable as `if e then false else true`.
 pub fn not(e: Expr) -> Expr {
-    Expr::ite(e, Expr::Bool(false), Expr::Bool(true))
+    Expr::ite(e, Expr::bool_val(false), Expr::bool_val(true))
 }
 
 /// Boolean conjunction.
 pub fn and(a: Expr, b: Expr) -> Expr {
-    Expr::ite(a, b, Expr::Bool(false))
+    Expr::ite(a, b, Expr::bool_val(false))
 }
 
 /// Boolean disjunction.
 pub fn or(a: Expr, b: Expr) -> Expr {
-    Expr::ite(a, Expr::Bool(true), b)
+    Expr::ite(a, Expr::bool_val(true), b)
 }
 
 /// Exclusive or — the combiner of the parity example in §1.
@@ -38,11 +38,7 @@ pub fn xor(a: Expr, b: Expr) -> Expr {
         Expr::let_in(
             y.clone(),
             b,
-            Expr::ite(
-                Expr::var(x),
-                not(Expr::var(y.clone())),
-                Expr::var(y),
-            ),
+            Expr::ite(Expr::var(x), not(Expr::var(y.clone())), Expr::var(y)),
         ),
     )
 }
@@ -61,8 +57,8 @@ pub fn member(elem_ty: Type, x: Expr, s: Expr) -> Expr {
                 elem_ty,
                 Expr::ite(
                     Expr::eq(Expr::var(y), Expr::var(xv)),
-                    Expr::singleton(Expr::Unit),
-                    Expr::Empty(Type::Unit),
+                    Expr::singleton(Expr::unit()),
+                    Expr::empty(Type::Unit),
                 ),
             ),
             s,
@@ -85,7 +81,7 @@ pub fn intersect(elem_ty: Type, r: Expr, s: Expr) -> Expr {
                 Expr::ite(
                     member(elem_ty.clone(), Expr::var(y.clone()), Expr::var(sv)),
                     Expr::singleton(Expr::var(y)),
-                    Expr::Empty(elem_ty),
+                    Expr::empty(elem_ty),
                 ),
             ),
             r,
@@ -106,7 +102,7 @@ pub fn difference(elem_ty: Type, r: Expr, s: Expr) -> Expr {
                 elem_ty.clone(),
                 Expr::ite(
                     member(elem_ty.clone(), Expr::var(y.clone()), Expr::var(sv)),
-                    Expr::Empty(elem_ty),
+                    Expr::empty(elem_ty),
                     Expr::singleton(Expr::var(y)),
                 ),
             ),
@@ -168,7 +164,7 @@ pub fn select<F: FnOnce(Expr) -> Expr>(elem_ty: Type, s: Expr, predicate: F) -> 
             Expr::ite(
                 predicate(Expr::var(x.clone())),
                 Expr::singleton(Expr::var(x)),
-                Expr::Empty(elem_ty),
+                Expr::empty(elem_ty),
             ),
         ),
         s,
@@ -214,7 +210,7 @@ pub fn compose(a_ty: Type, b_ty: Type, c_ty: Type, r: Expr, s: Expr) -> Expr {
                                 Expr::proj1(Expr::var(p.clone())),
                                 Expr::proj2(Expr::var(q)),
                             )),
-                            Expr::Empty(out_ty.clone()),
+                            Expr::empty(out_ty.clone()),
                         ),
                     ),
                     Expr::var(sv),
@@ -228,10 +224,7 @@ pub fn compose(a_ty: Type, b_ty: Type, c_ty: Type, r: Expr, s: Expr) -> Expr {
 /// Flatten a set of sets: `ext(λs. s)(ss)` — the "big union".
 pub fn flatten(elem_ty: Type, ss: Expr) -> Expr {
     let s = fresh_var("s");
-    Expr::ext(
-        Expr::lam(s.clone(), Type::set(elem_ty), Expr::var(s)),
-        ss,
-    )
+    Expr::ext(Expr::lam(s.clone(), Type::set(elem_ty), Expr::var(s)), ss)
 }
 
 /// Unnest `{(a × {b})} → {(a × b)}`.
@@ -280,7 +273,7 @@ pub fn nest(a_ty: Type, b_ty: Type, r: Expr) -> Expr {
                                     Expr::proj1(Expr::var(p.clone())),
                                 ),
                                 Expr::singleton(Expr::proj2(Expr::var(q))),
-                                Expr::Empty(b_ty.clone()),
+                                Expr::empty(b_ty.clone()),
                             ),
                         ),
                         Expr::var(rv.clone()),
@@ -299,7 +292,7 @@ pub fn nest(a_ty: Type, b_ty: Type, r: Expr) -> Expr {
 pub fn ext_via_sru(elem_ty: Type, result_elem_ty: Type, f: Expr, s: Expr) -> Expr {
     let x = fresh_var("x");
     Expr::sru(
-        Expr::Empty(result_elem_ty.clone()),
+        Expr::empty(result_elem_ty.clone()),
         Expr::lam(x.clone(), elem_ty, Expr::app(f, Expr::var(x))),
         union_combiner(result_elem_ty),
         s,
@@ -360,20 +353,35 @@ mod tests {
     use ncql_object::Value;
 
     fn atoms(v: Vec<u64>) -> Expr {
-        Expr::Const(Value::atom_set(v))
+        Expr::constant(Value::atom_set(v))
     }
 
     fn rel(pairs: Vec<(u64, u64)>) -> Expr {
-        Expr::Const(Value::relation_from_pairs(pairs))
+        Expr::constant(Value::relation_from_pairs(pairs))
     }
 
     #[test]
     fn boolean_connectives() {
-        assert_eq!(eval_closed(&and(Expr::Bool(true), Expr::Bool(false))).unwrap(), Value::Bool(false));
-        assert_eq!(eval_closed(&or(Expr::Bool(false), Expr::Bool(true))).unwrap(), Value::Bool(true));
-        assert_eq!(eval_closed(&not(Expr::Bool(false))).unwrap(), Value::Bool(true));
-        assert_eq!(eval_closed(&xor(Expr::Bool(true), Expr::Bool(true))).unwrap(), Value::Bool(false));
-        assert_eq!(eval_closed(&xor(Expr::Bool(true), Expr::Bool(false))).unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval_closed(&and(Expr::bool_val(true), Expr::bool_val(false))).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval_closed(&or(Expr::bool_val(false), Expr::bool_val(true))).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_closed(&not(Expr::bool_val(false))).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_closed(&xor(Expr::bool_val(true), Expr::bool_val(true))).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval_closed(&xor(Expr::bool_val(true), Expr::bool_val(false))).unwrap(),
+            Value::Bool(true)
+        );
     }
 
     #[test]
@@ -441,7 +449,7 @@ mod tests {
 
     #[test]
     fn flatten_nest_unnest() {
-        let nested = Expr::Const(Value::set_from(vec![
+        let nested = Expr::constant(Value::set_from(vec![
             Value::atom_set(vec![1, 2]),
             Value::atom_set(vec![2, 3]),
         ]));
@@ -472,18 +480,24 @@ mod tests {
         let f = Expr::lam(
             "z",
             Type::Base,
-            Expr::union(Expr::singleton(Expr::var("z")), Expr::singleton(Expr::atom(0))),
+            Expr::union(
+                Expr::singleton(Expr::var("z")),
+                Expr::singleton(Expr::atom(0)),
+            ),
         );
         let direct = Expr::ext(f.clone(), atoms(vec![1, 2, 3]));
         let derived = ext_via_sru(Type::Base, Type::Base, f, atoms(vec![1, 2, 3]));
-        assert_eq!(eval_closed(&direct).unwrap(), eval_closed(&derived).unwrap());
+        assert_eq!(
+            eval_closed(&direct).unwrap(),
+            eval_closed(&derived).unwrap()
+        );
     }
 
     #[test]
     fn get_extracts_singleton_element() {
         let g = get_singleton(Type::Base, atoms(vec![42]), Expr::atom(0));
         assert_eq!(eval_closed(&g).unwrap(), Value::Atom(42));
-        let empty = get_singleton(Type::Base, Expr::Empty(Type::Base), Expr::atom(7));
+        let empty = get_singleton(Type::Base, Expr::empty(Type::Base), Expr::atom(7));
         assert_eq!(eval_closed(&empty).unwrap(), Value::Atom(7));
     }
 
@@ -495,12 +509,15 @@ mod tests {
             difference(Type::Base, atoms(vec![1]), atoms(vec![2])),
             subset(Type::Base, atoms(vec![1]), atoms(vec![2])),
             cartesian_product(Type::Base, Type::Base, atoms(vec![1]), atoms(vec![2])),
-            flatten(Type::Base, Expr::Const(Value::set_from(vec![Value::atom_set(vec![1])]))),
+            flatten(
+                Type::Base,
+                Expr::constant(Value::set_from(vec![Value::atom_set(vec![1])])),
+            ),
             nest(Type::Base, Type::Base, rel(vec![(1, 2)])),
             unnest(
                 Type::Base,
                 Type::Base,
-                Expr::Const(Value::set_from(vec![Value::pair(
+                Expr::constant(Value::set_from(vec![Value::pair(
                     Value::Atom(1),
                     Value::atom_set(vec![2]),
                 )])),

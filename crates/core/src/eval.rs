@@ -16,7 +16,7 @@
 //! Proposition 6.6 (sri captures PTIME) as linear span growth.
 
 use crate::error::EvalError;
-use crate::expr::Expr;
+use crate::expr::{Expr, ExprKind};
 use crate::externs::ExternRegistry;
 use crate::EvalResult;
 use ncql_object::{VSet, Value};
@@ -219,7 +219,7 @@ impl RtVal {
     fn into_obj(self, context: &str) -> EvalResult<Value> {
         match self {
             RtVal::Obj(v) => Ok(v),
-            RtVal::Clo(_) => Err(EvalError::Stuck(format!(
+            RtVal::Clo(_) => Err(EvalError::stuck(format!(
                 "{context}: expected a complex object, found a function value"
             ))),
         }
@@ -228,7 +228,7 @@ impl RtVal {
     fn into_clo(self, context: &str) -> EvalResult<Closure> {
         match self {
             RtVal::Clo(c) => Ok(c),
-            RtVal::Obj(v) => Err(EvalError::Stuck(format!(
+            RtVal::Obj(v) => Err(EvalError::stuck(format!(
                 "{context}: expected a function value, found {v}"
             ))),
         }
@@ -246,10 +246,8 @@ pub fn log_rounds(m: usize) -> u64 {
 pub fn meet(v: &Value, bound: &Value) -> EvalResult<Value> {
     match (v, bound) {
         (Value::Set(a), Value::Set(b)) => Ok(Value::Set(a.intersect(b))),
-        (Value::Pair(a1, a2), Value::Pair(b1, b2)) => {
-            Ok(Value::pair(meet(a1, b1)?, meet(a2, b2)?))
-        }
-        _ => Err(EvalError::Stuck(format!(
+        (Value::Pair(a1, a2), Value::Pair(b1, b2)) => Ok(Value::pair(meet(a1, b1)?, meet(a2, b2)?)),
+        _ => Err(EvalError::stuck(format!(
             "bounding meet applied at a non-PS-type value: {v} ⊓ {bound}"
         ))),
     }
@@ -262,7 +260,7 @@ pub fn meet(v: &Value, bound: &Value) -> EvalResult<Value> {
 fn flatten_task_error(e: TaskError<EvalError>) -> EvalError {
     match e {
         TaskError::Failed(err) => err,
-        TaskError::Panicked(msg) => EvalError::WorkerPanicked(msg),
+        TaskError::Panicked(msg) => EvalError::worker_panicked(msg),
     }
 }
 
@@ -393,9 +391,7 @@ impl Evaluator {
             None => self.stats.work,
         };
         if charged > self.config.max_work {
-            return Err(EvalError::WorkLimitExceeded {
-                limit: self.config.max_work,
-            });
+            return Err(EvalError::work_limit_exceeded(self.config.max_work));
         }
         Ok(())
     }
@@ -451,10 +447,7 @@ impl Evaluator {
             self.stats.max_set_size = s.len();
         }
         if s.len() > self.config.max_set_size {
-            return Err(EvalError::SetTooLarge {
-                limit: self.config.max_set_size,
-                attempted: s.len(),
-            });
+            return Err(EvalError::set_too_large(self.config.max_set_size, s.len()));
         }
         Ok(())
     }
@@ -496,18 +489,29 @@ impl Evaluator {
         let (v, s) = self.eval_obj(expr, env)?;
         match v {
             Value::Set(set) => Ok((set, s)),
-            other => Err(EvalError::Stuck(format!("{what}: expected a set, got {other}"))),
+            other => Err(EvalError::stuck(format!(
+                "{what}: expected a set, got {other}"
+            ))),
         }
     }
 
+    /// Evaluate one node: locate any error that bubbles out still span-less
+    /// at this node, so the deepest spanned frame — the failing subexpression
+    /// itself — wins. Identical on both backends: worker errors cross the
+    /// pool boundary with their spans already attached.
     fn eval(&mut self, expr: &Expr, env: &Env) -> EvalResult<(RtVal, u64)> {
+        self.eval_kind(expr, env)
+            .map_err(|e| e.with_span_if_missing(expr.span))
+    }
+
+    fn eval_kind(&mut self, expr: &Expr, env: &Env) -> EvalResult<(RtVal, u64)> {
         self.add_work(1)?;
-        match expr {
-            Expr::Var(x) => env
+        match &expr.kind {
+            ExprKind::Var(x) => env
                 .lookup(x)
                 .map(|v| (v, 0))
-                .ok_or_else(|| EvalError::UnboundVariable(x.clone())),
-            Expr::Lam(x, _, body) => Ok((
+                .ok_or_else(|| EvalError::unbound(x.clone())),
+            ExprKind::Lam(x, _, body) => Ok((
                 RtVal::Clo(Closure {
                     param: x.clone(),
                     body: Arc::new((**body).clone()),
@@ -515,41 +519,41 @@ impl Evaluator {
                 }),
                 0,
             )),
-            Expr::App(f, a) => {
+            ExprKind::App(f, a) => {
                 let (fv, sf) = self.eval(f, env)?;
                 let clo = fv.into_clo("application")?;
                 let (av, sa) = self.eval(a, env)?;
                 let (rv, sb) = self.apply(&clo, av)?;
                 Ok((rv, sf + sa + sb))
             }
-            Expr::Let(x, bound, body) => {
+            ExprKind::Let(x, bound, body) => {
                 let (bv, sb) = self.eval(bound, env)?;
                 let env2 = env.extend(x.clone(), bv);
                 let (rv, sr) = self.eval(body, &env2)?;
                 Ok((rv, sb + sr))
             }
-            Expr::Unit => Ok((RtVal::Obj(Value::Unit), 0)),
-            Expr::Pair(a, b) => {
+            ExprKind::Unit => Ok((RtVal::Obj(Value::Unit), 0)),
+            ExprKind::Pair(a, b) => {
                 let (av, sa) = self.eval_obj(a, env)?;
                 let (bv, sb) = self.eval_obj(b, env)?;
                 Ok((RtVal::Obj(Value::pair(av, bv)), sa.max(sb) + 1))
             }
-            Expr::Proj1(e) => {
+            ExprKind::Proj1(e) => {
                 let (v, s) = self.eval_obj(e, env)?;
                 match v {
                     Value::Pair(a, _) => Ok((RtVal::Obj(*a), s + 1)),
-                    other => Err(EvalError::Stuck(format!("pi1 of non-pair {other}"))),
+                    other => Err(EvalError::stuck(format!("pi1 of non-pair {other}"))),
                 }
             }
-            Expr::Proj2(e) => {
+            ExprKind::Proj2(e) => {
                 let (v, s) = self.eval_obj(e, env)?;
                 match v {
                     Value::Pair(_, b) => Ok((RtVal::Obj(*b), s + 1)),
-                    other => Err(EvalError::Stuck(format!("pi2 of non-pair {other}"))),
+                    other => Err(EvalError::stuck(format!("pi2 of non-pair {other}"))),
                 }
             }
-            Expr::Bool(b) => Ok((RtVal::Obj(Value::Bool(*b)), 0)),
-            Expr::If(c, t, e) => {
+            ExprKind::Bool(b) => Ok((RtVal::Obj(Value::Bool(*b)), 0)),
+            ExprKind::If(c, t, e) => {
                 let (cv, sc) = self.eval_obj(c, env)?;
                 match cv {
                     Value::Bool(true) => {
@@ -560,28 +564,30 @@ impl Evaluator {
                         let (ev, se) = self.eval(e, env)?;
                         Ok((ev, sc + se + 1))
                     }
-                    other => Err(EvalError::Stuck(format!("if condition not a boolean: {other}"))),
+                    other => Err(EvalError::stuck(format!(
+                        "if condition not a boolean: {other}"
+                    ))),
                 }
             }
-            Expr::Eq(a, b) => {
+            ExprKind::Eq(a, b) => {
                 let (av, sa) = self.eval_obj(a, env)?;
                 let (bv, sb) = self.eval_obj(b, env)?;
                 self.add_work(av.size().min(bv.size()) as u64)?;
                 Ok((RtVal::Obj(Value::Bool(av == bv)), sa.max(sb) + 1))
             }
-            Expr::Leq(a, b) => {
+            ExprKind::Leq(a, b) => {
                 let (av, sa) = self.eval_obj(a, env)?;
                 let (bv, sb) = self.eval_obj(b, env)?;
                 self.add_work(av.size().min(bv.size()) as u64)?;
                 Ok((RtVal::Obj(Value::Bool(av <= bv)), sa.max(sb) + 1))
             }
-            Expr::Const(v) => Ok((RtVal::Obj(v.clone()), 0)),
-            Expr::Empty(_) => Ok((RtVal::Obj(Value::empty_set()), 0)),
-            Expr::Singleton(e) => {
+            ExprKind::Const(v) => Ok((RtVal::Obj(v.clone()), 0)),
+            ExprKind::Empty(_) => Ok((RtVal::Obj(Value::empty_set()), 0)),
+            ExprKind::Singleton(e) => {
                 let (v, s) = self.eval_obj(e, env)?;
                 Ok((RtVal::Obj(Value::singleton(v)), s + 1))
             }
-            Expr::Union(a, b) => {
+            ExprKind::Union(a, b) => {
                 let (av, sa) = self.eval_set(a, env, "union")?;
                 let (bv, sb) = self.eval_set(b, env, "union")?;
                 let u = av.union(&bv);
@@ -589,27 +595,26 @@ impl Evaluator {
                 self.note_set(&u)?;
                 Ok((RtVal::Obj(Value::Set(u)), sa.max(sb) + 1))
             }
-            Expr::IsEmpty(e) => {
+            ExprKind::IsEmpty(e) => {
                 let (v, s) = self.eval_set(e, env, "isempty")?;
                 Ok((RtVal::Obj(Value::Bool(v.is_empty())), s + 1))
             }
-            Expr::Ext(f, e) => {
+            ExprKind::Ext(f, e) => {
                 let (clo, sf) = self.eval_clo(f, env, "ext function")?;
                 let (set, se) = self.eval_set(e, env, "ext argument")?;
-                let mapped: Vec<(Value, u64)> =
-                    match self.parallel_region(set.len(), &clo.body) {
-                        Some(region) => {
-                            self.par_leaf_map(&region, &clo, set.as_slice(), true, &None)?
+                let mapped: Vec<(Value, u64)> = match self.parallel_region(set.len(), &clo.body) {
+                    Some(region) => {
+                        self.par_leaf_map(&region, &clo, set.as_slice(), true, &None)?
+                    }
+                    None => {
+                        let mut out = Vec::with_capacity(set.len());
+                        for x in set.iter() {
+                            self.stats.ext_calls += 1;
+                            out.push(self.apply_obj(&clo, x.clone())?);
                         }
-                        None => {
-                            let mut out = Vec::with_capacity(set.len());
-                            for x in set.iter() {
-                                self.stats.ext_calls += 1;
-                                out.push(self.apply_obj(&clo, x.clone())?);
-                            }
-                            out
-                        }
-                    };
+                        out
+                    }
+                };
                 let mut parts: Vec<Value> = Vec::new();
                 let mut max_elem_span = 0u64;
                 for (res, sx) in mapped {
@@ -617,7 +622,7 @@ impl Evaluator {
                     match res {
                         Value::Set(s) => parts.extend(s.into_vec()),
                         other => {
-                            return Err(EvalError::Stuck(format!(
+                            return Err(EvalError::stuck(format!(
                                 "ext function returned a non-set {other}"
                             )))
                         }
@@ -631,31 +636,40 @@ impl Evaluator {
                 Ok((RtVal::Obj(Value::Set(result)), sf + se + max_elem_span + 1))
             }
 
-            Expr::Dcr { e, f, u, arg } => self.eval_union_recursor(env, e, f, u, None, arg),
-            Expr::Sru { e, f, u, arg } => self.eval_union_recursor(env, e, f, u, None, arg),
-            Expr::BDcr { e, f, u, bound, arg } => {
-                self.eval_union_recursor(env, e, f, u, Some(bound), arg)
-            }
-            Expr::Sri { e, i, arg } => self.eval_insert_recursor(env, e, i, None, arg),
-            Expr::Esr { e, i, arg } => self.eval_insert_recursor(env, e, i, None, arg),
-            Expr::BSri { e, i, bound, arg } => self.eval_insert_recursor(env, e, i, Some(bound), arg),
-
-            Expr::LogLoop { f, set, init } => self.eval_iterator(env, f, None, set, init, true),
-            Expr::Loop { f, set, init } => self.eval_iterator(env, f, None, set, init, false),
-            Expr::BLogLoop { f, bound, set, init } => {
-                self.eval_iterator(env, f, Some(bound), set, init, true)
-            }
-            Expr::BLoop { f, bound, set, init } => {
-                self.eval_iterator(env, f, Some(bound), set, init, false)
+            ExprKind::Dcr { e, f, u, arg } => self.eval_union_recursor(env, e, f, u, None, arg),
+            ExprKind::Sru { e, f, u, arg } => self.eval_union_recursor(env, e, f, u, None, arg),
+            ExprKind::BDcr {
+                e,
+                f,
+                u,
+                bound,
+                arg,
+            } => self.eval_union_recursor(env, e, f, u, Some(bound), arg),
+            ExprKind::Sri { e, i, arg } => self.eval_insert_recursor(env, e, i, None, arg),
+            ExprKind::Esr { e, i, arg } => self.eval_insert_recursor(env, e, i, None, arg),
+            ExprKind::BSri { e, i, bound, arg } => {
+                self.eval_insert_recursor(env, e, i, Some(bound), arg)
             }
 
-            Expr::Extern(name, args) => {
-                let ext = self
-                    .config
-                    .registry
-                    .get(name)
-                    .cloned()
-                    .ok_or_else(|| EvalError::Extern(format!("unknown external `{name}`")))?;
+            ExprKind::LogLoop { f, set, init } => self.eval_iterator(env, f, None, set, init, true),
+            ExprKind::Loop { f, set, init } => self.eval_iterator(env, f, None, set, init, false),
+            ExprKind::BLogLoop {
+                f,
+                bound,
+                set,
+                init,
+            } => self.eval_iterator(env, f, Some(bound), set, init, true),
+            ExprKind::BLoop {
+                f,
+                bound,
+                set,
+                init,
+            } => self.eval_iterator(env, f, Some(bound), set, init, false),
+
+            ExprKind::Extern(name, args) => {
+                let ext = self.config.registry.get(name).cloned().ok_or_else(|| {
+                    EvalError::extern_failure(format!("unknown external `{name}`"))
+                })?;
                 let mut vals = Vec::with_capacity(args.len());
                 let mut max_span = 0u64;
                 for a in args {
@@ -705,7 +719,9 @@ impl Evaluator {
 
         // Leaves: f applied to every element, independently (parallel).
         let leaves: Vec<(Value, u64)> = match self.parallel_region(set.len(), &f_clo.body) {
-            Some(region) => self.par_leaf_map(&region, &f_clo, set.as_slice(), false, &bound_val)?,
+            Some(region) => {
+                self.par_leaf_map(&region, &f_clo, set.as_slice(), false, &bound_val)?
+            }
             None => {
                 let mut out = Vec::with_capacity(set.len());
                 for x in set.iter() {
@@ -884,7 +900,7 @@ impl Evaluator {
             let (ea, _) = self.apply2(u_clo, e_val.clone(), (*a).clone())?;
             let ea = bounded(self, ea)?;
             if &ea != *a {
-                return Err(EvalError::IllFormedRecursion(format!(
+                return Err(EvalError::ill_formed(format!(
                     "e is not an identity: u(e, {a}) = {ea}"
                 )));
             }
@@ -894,7 +910,7 @@ impl Evaluator {
                 let (ab, _) = self.apply2(u_clo, (*a).clone(), (*b).clone())?;
                 let (ba, _) = self.apply2(u_clo, (*b).clone(), (*a).clone())?;
                 if bounded(self, ab)? != bounded(self, ba)? {
-                    return Err(EvalError::IllFormedRecursion(format!(
+                    return Err(EvalError::ill_formed(format!(
                         "u is not commutative on {a}, {b}"
                     )));
                 }
@@ -909,7 +925,7 @@ impl Evaluator {
             let bc = bounded(self, bc)?;
             let (a_bc, _) = self.apply2(u_clo, a, bc)?;
             if bounded(self, ab_c)? != bounded(self, a_bc)? {
-                return Err(EvalError::IllFormedRecursion(
+                return Err(EvalError::ill_formed(
                     "u is not associative on sampled values".to_string(),
                 ));
             }
@@ -1041,7 +1057,7 @@ mod tests {
             Type::prod(Type::Bool, Type::Bool),
             Expr::ite(
                 Expr::var("a"),
-                Expr::ite(Expr::var("b"), Expr::Bool(false), Expr::Bool(true)),
+                Expr::ite(Expr::var("b"), Expr::bool_val(false), Expr::bool_val(true)),
                 Expr::var("b"),
             ),
         )
@@ -1049,8 +1065,8 @@ mod tests {
 
     fn parity_of(set: Expr) -> Expr {
         Expr::dcr(
-            Expr::Bool(false),
-            Expr::lam("y", Type::Base, Expr::Bool(true)),
+            Expr::bool_val(false),
+            Expr::lam("y", Type::Base, Expr::bool_val(true)),
             xor_combiner(),
             set,
         )
@@ -1058,9 +1074,9 @@ mod tests {
 
     #[test]
     fn basic_constructs() {
-        assert_eq!(eval_closed(&Expr::Unit).unwrap(), Value::Unit);
+        assert_eq!(eval_closed(&Expr::unit()).unwrap(), Value::Unit);
         assert_eq!(
-            eval_closed(&Expr::pair(Expr::atom(1), Expr::Bool(true))).unwrap(),
+            eval_closed(&Expr::pair(Expr::atom(1), Expr::bool_val(true))).unwrap(),
             Value::pair(Value::Atom(1), Value::Bool(true))
         );
         assert_eq!(
@@ -1068,7 +1084,12 @@ mod tests {
             Value::Atom(1)
         );
         assert_eq!(
-            eval_closed(&Expr::ite(Expr::Bool(false), Expr::atom(1), Expr::atom(2))).unwrap(),
+            eval_closed(&Expr::ite(
+                Expr::bool_val(false),
+                Expr::atom(1),
+                Expr::atom(2)
+            ))
+            .unwrap(),
             Value::Atom(2)
         );
     }
@@ -1077,11 +1098,11 @@ mod tests {
     fn union_and_singleton_and_empty() {
         let e = Expr::union(
             Expr::singleton(Expr::atom(2)),
-            Expr::union(Expr::Empty(Type::Base), Expr::singleton(Expr::atom(1))),
+            Expr::union(Expr::empty(Type::Base), Expr::singleton(Expr::atom(1))),
         );
         assert_eq!(eval_closed(&e).unwrap(), atoms(vec![1, 2]));
         assert_eq!(
-            eval_closed(&Expr::is_empty(Expr::Empty(Type::Base))).unwrap(),
+            eval_closed(&Expr::is_empty(Expr::empty(Type::Base))).unwrap(),
             Value::Bool(true)
         );
     }
@@ -1089,8 +1110,11 @@ mod tests {
     #[test]
     fn eq_and_leq() {
         let e = Expr::eq(
-            Expr::Const(atoms(vec![1, 2])),
-            Expr::union(Expr::singleton(Expr::atom(2)), Expr::singleton(Expr::atom(1))),
+            Expr::constant(atoms(vec![1, 2])),
+            Expr::union(
+                Expr::singleton(Expr::atom(2)),
+                Expr::singleton(Expr::atom(1)),
+            ),
         );
         assert_eq!(eval_closed(&e).unwrap(), Value::Bool(true));
         let l = Expr::leq(Expr::atom(3), Expr::atom(5));
@@ -1105,9 +1129,12 @@ mod tests {
         let f = Expr::lam(
             "x",
             Type::Base,
-            Expr::union(Expr::singleton(Expr::var("x")), Expr::singleton(Expr::atom(1))),
+            Expr::union(
+                Expr::singleton(Expr::var("x")),
+                Expr::singleton(Expr::atom(1)),
+            ),
         );
-        let e = Expr::ext(f, Expr::Const(atoms(vec![1, 2, 3])));
+        let e = Expr::ext(f, Expr::constant(atoms(vec![1, 2, 3])));
         assert_eq!(eval_closed(&e).unwrap(), atoms(vec![1, 2, 3]));
     }
 
@@ -1116,8 +1143,8 @@ mod tests {
         // The span of ext over n elements is independent of n (plus the spans of
         // the element computations, which are constant here).
         let f = Expr::lam("x", Type::Base, Expr::singleton(Expr::var("x")));
-        let small = Expr::ext(f.clone(), Expr::Const(atoms((0..4).collect())));
-        let large = Expr::ext(f, Expr::Const(atoms((0..256).collect())));
+        let small = Expr::ext(f.clone(), Expr::constant(atoms((0..4).collect())));
+        let large = Expr::ext(f, Expr::constant(atoms((0..256).collect())));
         let (_, st_small) = eval_with_stats(&small).unwrap();
         let (_, st_large) = eval_with_stats(&large).unwrap();
         assert_eq!(st_small.span, st_large.span);
@@ -1127,35 +1154,41 @@ mod tests {
     #[test]
     fn dcr_parity_small_cases() {
         assert_eq!(
-            eval_closed(&parity_of(Expr::Empty(Type::Base))).unwrap(),
+            eval_closed(&parity_of(Expr::empty(Type::Base))).unwrap(),
             Value::Bool(false)
         );
         assert_eq!(
-            eval_closed(&parity_of(Expr::Const(atoms(vec![5])))).unwrap(),
+            eval_closed(&parity_of(Expr::constant(atoms(vec![5])))).unwrap(),
             Value::Bool(true)
         );
         assert_eq!(
-            eval_closed(&parity_of(Expr::Const(atoms(vec![1, 2])))).unwrap(),
+            eval_closed(&parity_of(Expr::constant(atoms(vec![1, 2])))).unwrap(),
             Value::Bool(false)
         );
         assert_eq!(
-            eval_closed(&parity_of(Expr::Const(atoms((0..7).collect())))).unwrap(),
+            eval_closed(&parity_of(Expr::constant(atoms((0..7).collect())))).unwrap(),
             Value::Bool(true)
         );
         assert_eq!(
-            eval_closed(&parity_of(Expr::Const(atoms((0..8).collect())))).unwrap(),
+            eval_closed(&parity_of(Expr::constant(atoms((0..8).collect())))).unwrap(),
             Value::Bool(false)
         );
     }
 
     #[test]
     fn dcr_span_grows_logarithmically() {
-        let (_, s16) = eval_with_stats(&parity_of(Expr::Const(atoms((0..16).collect())))).unwrap();
+        let (_, s16) =
+            eval_with_stats(&parity_of(Expr::constant(atoms((0..16).collect())))).unwrap();
         let (_, s256) =
-            eval_with_stats(&parity_of(Expr::Const(atoms((0..256).collect())))).unwrap();
+            eval_with_stats(&parity_of(Expr::constant(atoms((0..256).collect())))).unwrap();
         // 16 -> 4 combining levels, 256 -> 8 combining levels: span roughly doubles
         // while work grows 16x.
-        assert!(s256.span <= s16.span * 3, "span {} vs {}", s256.span, s16.span);
+        assert!(
+            s256.span <= s16.span * 3,
+            "span {} vs {}",
+            s256.span,
+            s16.span
+        );
         assert!(s256.work >= s16.work * 8);
         assert_eq!(s16.combiner_calls, 15);
         assert_eq!(s256.combiner_calls, 255);
@@ -1173,15 +1206,20 @@ mod tests {
         );
         let make = |n: u64| {
             Expr::sri(
-                Expr::Empty(Type::Base),
+                Expr::empty(Type::Base),
                 step.clone(),
-                Expr::Const(atoms((0..n).collect())),
+                Expr::constant(atoms((0..n).collect())),
             )
         };
         let (v, st16) = eval_with_stats(&make(16)).unwrap();
         assert_eq!(v, atoms((0..16).collect()));
         let (_, st64) = eval_with_stats(&make(64)).unwrap();
-        assert!(st64.span >= st16.span * 3, "span {} vs {}", st64.span, st16.span);
+        assert!(
+            st64.span >= st16.span * 3,
+            "span {} vs {}",
+            st64.span,
+            st16.span
+        );
         assert_eq!(st16.step_calls, 16);
         assert_eq!(st64.sequential_rounds, 64);
     }
@@ -1195,9 +1233,9 @@ mod tests {
             Type::prod(Type::Base, ty.clone()),
             Expr::union(Expr::singleton(Expr::var("x")), Expr::var("acc")),
         );
-        let arg = Expr::Const(atoms(vec![3, 1, 4, 1, 5]));
-        let sri = Expr::sri(Expr::Empty(Type::Base), step.clone(), arg.clone());
-        let esr = Expr::esr(Expr::Empty(Type::Base), step, arg);
+        let arg = Expr::constant(atoms(vec![3, 1, 4, 1, 5]));
+        let sri = Expr::sri(Expr::empty(Type::Base), step.clone(), arg.clone());
+        let esr = Expr::esr(Expr::empty(Type::Base), step, arg);
         assert_eq!(eval_closed(&sri).unwrap(), eval_closed(&esr).unwrap());
     }
 
@@ -1206,12 +1244,26 @@ mod tests {
         // Iterate a counter: f(y) = y ∪ {card-th atom}? Simpler: f adds atom 0.
         // We only check the round count via sequential_rounds.
         let ty = Type::set(Type::Base);
-        let f = Expr::lam("r", ty.clone(), Expr::union(Expr::var("r"), Expr::singleton(Expr::atom(0))));
-        for (n, expected_rounds) in [(0usize, 0u64), (1, 1), (2, 2), (3, 2), (4, 3), (7, 3), (8, 4), (255, 8), (256, 9)] {
+        let f = Expr::lam(
+            "r",
+            ty.clone(),
+            Expr::union(Expr::var("r"), Expr::singleton(Expr::atom(0))),
+        );
+        for (n, expected_rounds) in [
+            (0usize, 0u64),
+            (1, 1),
+            (2, 2),
+            (3, 2),
+            (4, 3),
+            (7, 3),
+            (8, 4),
+            (255, 8),
+            (256, 9),
+        ] {
             let e = Expr::log_loop(
                 f.clone(),
-                Expr::Const(atoms((0..n as u64).collect())),
-                Expr::Empty(Type::Base),
+                Expr::constant(atoms((0..n as u64).collect())),
+                Expr::empty(Type::Base),
             );
             let (_, st) = eval_with_stats(&e).unwrap();
             assert_eq!(st.sequential_rounds, expected_rounds, "n = {n}");
@@ -1224,8 +1276,8 @@ mod tests {
         let f = Expr::lam("r", ty.clone(), Expr::var("r"));
         let e = Expr::loop_(
             f,
-            Expr::Const(atoms((0..37).collect())),
-            Expr::Empty(Type::Base),
+            Expr::constant(atoms((0..37).collect())),
+            Expr::empty(Type::Base),
         );
         let (_, st) = eval_with_stats(&e).unwrap();
         assert_eq!(st.sequential_rounds, 37);
@@ -1243,11 +1295,11 @@ mod tests {
             Expr::union(Expr::var("a"), Expr::var("b")),
         );
         let e = Expr::bdcr(
-            Expr::Empty(Type::Base),
+            Expr::empty(Type::Base),
             f,
             u,
-            Expr::Const(atoms(vec![1, 2])),
-            Expr::Const(atoms(vec![1, 2, 3])),
+            Expr::constant(atoms(vec![1, 2])),
+            Expr::constant(atoms(vec![1, 2, 3])),
         );
         assert_eq!(eval_closed(&e).unwrap(), atoms(vec![1, 2]));
     }
@@ -1261,7 +1313,7 @@ mod tests {
             "y",
             Type::Base,
             Expr::union(
-                Expr::singleton(Expr::Empty(Type::Base)),
+                Expr::singleton(Expr::empty(Type::Base)),
                 Expr::singleton(Expr::singleton(Expr::var("y"))),
             ),
         );
@@ -1286,10 +1338,10 @@ mod tests {
             ),
         );
         let e = Expr::dcr(
-            Expr::singleton(Expr::Empty(Type::Base)),
+            Expr::singleton(Expr::empty(Type::Base)),
             f,
             pairwise,
-            Expr::Const(atoms((0..20).collect())),
+            Expr::constant(atoms((0..20).collect())),
         );
         let mut ev = Evaluator::new(EvalConfig {
             max_set_size: 1024,
@@ -1303,7 +1355,7 @@ mod tests {
 
     #[test]
     fn work_limit_is_enforced() {
-        let e = parity_of(Expr::Const(atoms((0..100).collect())));
+        let e = parity_of(Expr::constant(atoms((0..100).collect())));
         let mut ev = Evaluator::new(EvalConfig {
             max_work: 50,
             ..EvalConfig::default()
@@ -1324,10 +1376,10 @@ mod tests {
         // blatantly non-commutative combiner: u(a,b) = a.
         let u = Expr::lam2("a", "b", Type::prod(ty.clone(), ty.clone()), Expr::var("a"));
         let e = Expr::dcr(
-            Expr::Empty(Type::Base),
+            Expr::empty(Type::Base),
             f,
             u,
-            Expr::Const(atoms(vec![1, 2, 3, 4])),
+            Expr::constant(atoms(vec![1, 2, 3, 4])),
         );
         let mut ev = Evaluator::new(EvalConfig {
             check_algebraic_laws: true,
@@ -1335,7 +1387,7 @@ mod tests {
         });
         assert!(matches!(
             ev.eval_closed(&e),
-            Err(EvalError::IllFormedRecursion(_))
+            Err(EvalError::IllFormedRecursion { .. })
         ));
     }
 
@@ -1353,7 +1405,10 @@ mod tests {
     fn extern_calls_evaluate() {
         let e = Expr::extern_call(
             "nat_add",
-            vec![Expr::nat(20), Expr::extern_call("nat_mul", vec![Expr::nat(4), Expr::nat(5)])],
+            vec![
+                Expr::nat(20),
+                Expr::extern_call("nat_mul", vec![Expr::nat(4), Expr::nat(5)]),
+            ],
         );
         assert_eq!(eval_closed(&e).unwrap(), Value::Nat(40));
     }

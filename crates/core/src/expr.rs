@@ -5,15 +5,60 @@
 //! writes applied to an argument — `dcr(e, f, u)(x)`, `log-loop(f)(x, y)` — are
 //! represented here together with that argument, which keeps the evaluator and
 //! the cost model first-order.
+//!
+//! # Representation: [`Expr`] wraps [`ExprKind`] plus a source span
+//!
+//! An [`Expr`] is a struct pairing the structural [`ExprKind`] with an
+//! `Option<`[`Span`]`>`: nodes built by the parser carry the byte range of the
+//! surface text they came from; nodes built programmatically (the builder API,
+//! the derived-form library, the source-to-source translations) carry `None`.
+//! The span lives *inline* rather than in a side table keyed by node id
+//! because the evaluator captures subtrees inside closures (`Arc<Expr>`
+//! bodies) and applies them far from their original tree position — an
+//! id-keyed table cannot survive that capture without threading ids through
+//! every environment, whereas an inline span simply rides along.
+//!
+//! Equality ([`PartialEq`]) compares the `kind` only: spans are diagnostics
+//! metadata, and `parse ∘ pretty ∘ parse` must remain the identity even though
+//! the pretty text lays nodes out at different offsets.
 
+use crate::span::Span;
 use ncql_object::{Type, Value};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// An expression of the language.
+/// An expression of the language: its structural [`ExprKind`] plus the source
+/// span it was parsed from (`None` for programmatically built nodes).
+///
+/// Equality and the derived hash of [`ExprKind`] ignore spans — two
+/// expressions are equal iff they are structurally equal.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Expr {
+    /// The structural node.
+    pub kind: ExprKind,
+    /// The byte range of the surface text this node was parsed from.
+    pub span: Option<Span>,
+}
+
+impl PartialEq for Expr {
+    /// Structural, span-agnostic equality (see the module docs).
+    fn eq(&self, other: &Expr) -> bool {
+        self.kind == other.kind
+    }
+}
+
+impl Eq for Expr {}
+
+impl From<ExprKind> for Expr {
+    fn from(kind: ExprKind) -> Expr {
+        Expr { kind, span: None }
+    }
+}
+
+/// The structural cases of an expression.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub enum Expr {
+pub enum ExprKind {
     // ----- variables, functions, let -----
     /// A variable.
     Var(String),
@@ -166,14 +211,21 @@ pub fn fresh_var(stem: &str) -> String {
 impl Expr {
     // ----- convenience constructors -----
 
+    /// Attach (or replace) the source span of this node, leaving children
+    /// untouched. The parser calls this on every node it builds.
+    pub fn at(mut self, span: Span) -> Expr {
+        self.span = Some(span);
+        self
+    }
+
     /// A variable reference.
     pub fn var(name: impl Into<String>) -> Expr {
-        Expr::Var(name.into())
+        ExprKind::Var(name.into()).into()
     }
 
     /// λ-abstraction.
     pub fn lam(name: impl Into<String>, ty: Type, body: Expr) -> Expr {
-        Expr::Lam(name.into(), ty, Box::new(body))
+        ExprKind::Lam(name.into(), ty, Box::new(body)).into()
     }
 
     /// A λ-abstraction over a pair, `λ(x, y). e`, desugared as the paper does:
@@ -199,58 +251,78 @@ impl Expr {
 
     /// Function application.
     pub fn app(f: Expr, arg: Expr) -> Expr {
-        Expr::App(Box::new(f), Box::new(arg))
+        ExprKind::App(Box::new(f), Box::new(arg)).into()
     }
 
     /// `let x = e1 in e2`.
     pub fn let_in(name: impl Into<String>, bound: Expr, body: Expr) -> Expr {
-        Expr::Let(name.into(), Box::new(bound), Box::new(body))
+        ExprKind::Let(name.into(), Box::new(bound), Box::new(body)).into()
+    }
+
+    /// The empty tuple `()`.
+    pub fn unit() -> Expr {
+        ExprKind::Unit.into()
     }
 
     /// Pair formation.
     pub fn pair(a: Expr, b: Expr) -> Expr {
-        Expr::Pair(Box::new(a), Box::new(b))
+        ExprKind::Pair(Box::new(a), Box::new(b)).into()
     }
 
     /// First projection.
     pub fn proj1(e: Expr) -> Expr {
-        Expr::Proj1(Box::new(e))
+        ExprKind::Proj1(Box::new(e)).into()
     }
 
     /// Second projection.
     pub fn proj2(e: Expr) -> Expr {
-        Expr::Proj2(Box::new(e))
+        ExprKind::Proj2(Box::new(e)).into()
+    }
+
+    /// A boolean constant.
+    pub fn bool_val(b: bool) -> Expr {
+        ExprKind::Bool(b).into()
     }
 
     /// Conditional.
     pub fn ite(c: Expr, t: Expr, f: Expr) -> Expr {
-        Expr::If(Box::new(c), Box::new(t), Box::new(f))
+        ExprKind::If(Box::new(c), Box::new(t), Box::new(f)).into()
     }
 
     /// Equality.
     pub fn eq(a: Expr, b: Expr) -> Expr {
-        Expr::Eq(Box::new(a), Box::new(b))
+        ExprKind::Eq(Box::new(a), Box::new(b)).into()
     }
 
     /// Order predicate.
     pub fn leq(a: Expr, b: Expr) -> Expr {
-        Expr::Leq(Box::new(a), Box::new(b))
+        ExprKind::Leq(Box::new(a), Box::new(b)).into()
+    }
+
+    /// A complex-object literal.
+    pub fn constant(v: Value) -> Expr {
+        ExprKind::Const(v).into()
+    }
+
+    /// The empty set `∅ : {t}` with the given element type.
+    pub fn empty(elem_ty: Type) -> Expr {
+        ExprKind::Empty(elem_ty).into()
     }
 
     /// Singleton set.
     pub fn singleton(e: Expr) -> Expr {
-        Expr::Singleton(Box::new(e))
+        ExprKind::Singleton(Box::new(e)).into()
     }
 
     /// Union.
     pub fn union(a: Expr, b: Expr) -> Expr {
-        Expr::Union(Box::new(a), Box::new(b))
+        ExprKind::Union(Box::new(a), Box::new(b)).into()
     }
 
     /// N-ary union (empty list gives `∅ : {t}` using the provided element type).
     pub fn union_all(elem_ty: Type, mut parts: Vec<Expr>) -> Expr {
         match parts.len() {
-            0 => Expr::Empty(elem_ty),
+            0 => Expr::empty(elem_ty),
             1 => parts.pop().expect("len checked"),
             _ => {
                 let mut it = parts.into_iter();
@@ -262,124 +334,134 @@ impl Expr {
 
     /// Emptiness test.
     pub fn is_empty(e: Expr) -> Expr {
-        Expr::IsEmpty(Box::new(e))
+        ExprKind::IsEmpty(Box::new(e)).into()
     }
 
     /// `ext(f)(e)`.
     pub fn ext(f: Expr, e: Expr) -> Expr {
-        Expr::Ext(Box::new(f), Box::new(e))
+        ExprKind::Ext(Box::new(f), Box::new(e)).into()
     }
 
     /// A constant atom.
     pub fn atom(a: u64) -> Expr {
-        Expr::Const(Value::Atom(a))
+        Expr::constant(Value::Atom(a))
     }
 
     /// A constant natural number (external base type).
     pub fn nat(n: u64) -> Expr {
-        Expr::Const(Value::Nat(n))
+        Expr::constant(Value::Nat(n))
     }
 
     /// `dcr(e, f, u)(arg)`.
     pub fn dcr(e: Expr, f: Expr, u: Expr, arg: Expr) -> Expr {
-        Expr::Dcr {
+        ExprKind::Dcr {
             e: Box::new(e),
             f: Box::new(f),
             u: Box::new(u),
             arg: Box::new(arg),
         }
+        .into()
     }
 
     /// `sru(e, f, u)(arg)`.
     pub fn sru(e: Expr, f: Expr, u: Expr, arg: Expr) -> Expr {
-        Expr::Sru {
+        ExprKind::Sru {
             e: Box::new(e),
             f: Box::new(f),
             u: Box::new(u),
             arg: Box::new(arg),
         }
+        .into()
     }
 
     /// `sri(e, i)(arg)`.
     pub fn sri(e: Expr, i: Expr, arg: Expr) -> Expr {
-        Expr::Sri {
+        ExprKind::Sri {
             e: Box::new(e),
             i: Box::new(i),
             arg: Box::new(arg),
         }
+        .into()
     }
 
     /// `esr(e, i)(arg)`.
     pub fn esr(e: Expr, i: Expr, arg: Expr) -> Expr {
-        Expr::Esr {
+        ExprKind::Esr {
             e: Box::new(e),
             i: Box::new(i),
             arg: Box::new(arg),
         }
+        .into()
     }
 
     /// `bdcr(e, f, u, b)(arg)`.
     pub fn bdcr(e: Expr, f: Expr, u: Expr, bound: Expr, arg: Expr) -> Expr {
-        Expr::BDcr {
+        ExprKind::BDcr {
             e: Box::new(e),
             f: Box::new(f),
             u: Box::new(u),
             bound: Box::new(bound),
             arg: Box::new(arg),
         }
+        .into()
     }
 
     /// `bsri(e, i, b)(arg)`.
     pub fn bsri(e: Expr, i: Expr, bound: Expr, arg: Expr) -> Expr {
-        Expr::BSri {
+        ExprKind::BSri {
             e: Box::new(e),
             i: Box::new(i),
             bound: Box::new(bound),
             arg: Box::new(arg),
         }
+        .into()
     }
 
     /// `log-loop(f)(set, init)`.
     pub fn log_loop(f: Expr, set: Expr, init: Expr) -> Expr {
-        Expr::LogLoop {
+        ExprKind::LogLoop {
             f: Box::new(f),
             set: Box::new(set),
             init: Box::new(init),
         }
+        .into()
     }
 
     /// `loop(f)(set, init)`.
     pub fn loop_(f: Expr, set: Expr, init: Expr) -> Expr {
-        Expr::Loop {
+        ExprKind::Loop {
             f: Box::new(f),
             set: Box::new(set),
             init: Box::new(init),
         }
+        .into()
     }
 
     /// `blog-loop(f, b)(set, init)`.
     pub fn blog_loop(f: Expr, bound: Expr, set: Expr, init: Expr) -> Expr {
-        Expr::BLogLoop {
+        ExprKind::BLogLoop {
             f: Box::new(f),
             bound: Box::new(bound),
             set: Box::new(set),
             init: Box::new(init),
         }
+        .into()
     }
 
     /// `bloop(f, b)(set, init)`.
     pub fn bloop(f: Expr, bound: Expr, set: Expr, init: Expr) -> Expr {
-        Expr::BLoop {
+        ExprKind::BLoop {
             f: Box::new(f),
             bound: Box::new(bound),
             set: Box::new(set),
             init: Box::new(init),
         }
+        .into()
     }
 
     /// Application of a named external function.
     pub fn extern_call(name: impl Into<String>, args: Vec<Expr>) -> Expr {
-        Expr::Extern(name.into(), args)
+        ExprKind::Extern(name.into(), args).into()
     }
 
     /// Number of AST nodes (used by tests and the translation-overhead reports).
@@ -392,61 +474,85 @@ impl Expr {
     /// Visit every sub-expression (pre-order).
     pub fn visit<F: FnMut(&Expr)>(&self, f: &mut F) {
         f(self);
-        match self {
-            Expr::Var(_) | Expr::Unit | Expr::Bool(_) | Expr::Const(_) | Expr::Empty(_) => {}
-            Expr::Lam(_, _, b) => b.visit(f),
-            Expr::App(a, b)
-            | Expr::Pair(a, b)
-            | Expr::Eq(a, b)
-            | Expr::Leq(a, b)
-            | Expr::Union(a, b)
-            | Expr::Ext(a, b)
-            | Expr::Let(_, a, b) => {
+        match &self.kind {
+            ExprKind::Var(_)
+            | ExprKind::Unit
+            | ExprKind::Bool(_)
+            | ExprKind::Const(_)
+            | ExprKind::Empty(_) => {}
+            ExprKind::Lam(_, _, b) => b.visit(f),
+            ExprKind::App(a, b)
+            | ExprKind::Pair(a, b)
+            | ExprKind::Eq(a, b)
+            | ExprKind::Leq(a, b)
+            | ExprKind::Union(a, b)
+            | ExprKind::Ext(a, b)
+            | ExprKind::Let(_, a, b) => {
                 a.visit(f);
                 b.visit(f);
             }
-            Expr::Proj1(a) | Expr::Proj2(a) | Expr::Singleton(a) | Expr::IsEmpty(a) => a.visit(f),
-            Expr::If(c, t, e) => {
+            ExprKind::Proj1(a)
+            | ExprKind::Proj2(a)
+            | ExprKind::Singleton(a)
+            | ExprKind::IsEmpty(a) => a.visit(f),
+            ExprKind::If(c, t, e) => {
                 c.visit(f);
                 t.visit(f);
                 e.visit(f);
             }
-            Expr::Dcr { e, f: f2, u, arg } | Expr::Sru { e, f: f2, u, arg } => {
+            ExprKind::Dcr { e, f: f2, u, arg } | ExprKind::Sru { e, f: f2, u, arg } => {
                 e.visit(f);
                 f2.visit(f);
                 u.visit(f);
                 arg.visit(f);
             }
-            Expr::Sri { e, i, arg } | Expr::Esr { e, i, arg } => {
+            ExprKind::Sri { e, i, arg } | ExprKind::Esr { e, i, arg } => {
                 e.visit(f);
                 i.visit(f);
                 arg.visit(f);
             }
-            Expr::BDcr { e, f: f2, u, bound, arg } => {
+            ExprKind::BDcr {
+                e,
+                f: f2,
+                u,
+                bound,
+                arg,
+            } => {
                 e.visit(f);
                 f2.visit(f);
                 u.visit(f);
                 bound.visit(f);
                 arg.visit(f);
             }
-            Expr::BSri { e, i, bound, arg } => {
+            ExprKind::BSri { e, i, bound, arg } => {
                 e.visit(f);
                 i.visit(f);
                 bound.visit(f);
                 arg.visit(f);
             }
-            Expr::LogLoop { f: f2, set, init } | Expr::Loop { f: f2, set, init } => {
+            ExprKind::LogLoop { f: f2, set, init } | ExprKind::Loop { f: f2, set, init } => {
                 f2.visit(f);
                 set.visit(f);
                 init.visit(f);
             }
-            Expr::BLogLoop { f: f2, bound, set, init } | Expr::BLoop { f: f2, bound, set, init } => {
+            ExprKind::BLogLoop {
+                f: f2,
+                bound,
+                set,
+                init,
+            }
+            | ExprKind::BLoop {
+                f: f2,
+                bound,
+                set,
+                init,
+            } => {
                 f2.visit(f);
                 bound.visit(f);
                 set.visit(f);
                 init.visit(f);
             }
-            Expr::Extern(_, args) => {
+            ExprKind::Extern(_, args) => {
                 for a in args {
                     a.visit(f);
                 }
@@ -457,42 +563,58 @@ impl Expr {
 
 impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Expr::Var(x) => write!(f, "{x}"),
-            Expr::Lam(x, ty, b) => write!(f, "(\\{x}: {ty}. {b})"),
-            Expr::App(a, b) => write!(f, "{a}({b})"),
-            Expr::Let(x, a, b) => write!(f, "(let {x} = {a} in {b})"),
-            Expr::Unit => write!(f, "()"),
-            Expr::Pair(a, b) => write!(f, "({a}, {b})"),
-            Expr::Proj1(a) => write!(f, "pi1 {a}"),
-            Expr::Proj2(a) => write!(f, "pi2 {a}"),
-            Expr::Bool(b) => write!(f, "{b}"),
-            Expr::If(c, t, e) => write!(f, "(if {c} then {t} else {e})"),
-            Expr::Eq(a, b) => write!(f, "({a} = {b})"),
-            Expr::Leq(a, b) => write!(f, "({a} <= {b})"),
-            Expr::Const(v) => write!(f, "{v}"),
-            Expr::Empty(ty) => write!(f, "(empty : {{{ty}}})"),
-            Expr::Singleton(a) => write!(f, "{{{a}}}"),
-            Expr::Union(a, b) => write!(f, "({a} union {b})"),
-            Expr::IsEmpty(a) => write!(f, "isempty({a})"),
-            Expr::Ext(g, e) => write!(f, "ext({g})({e})"),
-            Expr::Dcr { e, f: g, u, arg } => write!(f, "dcr({e}, {g}, {u})({arg})"),
-            Expr::Sru { e, f: g, u, arg } => write!(f, "sru({e}, {g}, {u})({arg})"),
-            Expr::Sri { e, i, arg } => write!(f, "sri({e}, {i})({arg})"),
-            Expr::Esr { e, i, arg } => write!(f, "esr({e}, {i})({arg})"),
-            Expr::BDcr { e, f: g, u, bound, arg } => {
+        match &self.kind {
+            ExprKind::Var(x) => write!(f, "{x}"),
+            ExprKind::Lam(x, ty, b) => write!(f, "(\\{x}: {ty}. {b})"),
+            ExprKind::App(a, b) => write!(f, "{a}({b})"),
+            ExprKind::Let(x, a, b) => write!(f, "(let {x} = {a} in {b})"),
+            ExprKind::Unit => write!(f, "()"),
+            ExprKind::Pair(a, b) => write!(f, "({a}, {b})"),
+            ExprKind::Proj1(a) => write!(f, "pi1 {a}"),
+            ExprKind::Proj2(a) => write!(f, "pi2 {a}"),
+            ExprKind::Bool(b) => write!(f, "{b}"),
+            ExprKind::If(c, t, e) => write!(f, "(if {c} then {t} else {e})"),
+            ExprKind::Eq(a, b) => write!(f, "({a} = {b})"),
+            ExprKind::Leq(a, b) => write!(f, "({a} <= {b})"),
+            ExprKind::Const(v) => write!(f, "{v}"),
+            ExprKind::Empty(ty) => write!(f, "(empty : {{{ty}}})"),
+            ExprKind::Singleton(a) => write!(f, "{{{a}}}"),
+            ExprKind::Union(a, b) => write!(f, "({a} union {b})"),
+            ExprKind::IsEmpty(a) => write!(f, "isempty({a})"),
+            ExprKind::Ext(g, e) => write!(f, "ext({g})({e})"),
+            ExprKind::Dcr { e, f: g, u, arg } => write!(f, "dcr({e}, {g}, {u})({arg})"),
+            ExprKind::Sru { e, f: g, u, arg } => write!(f, "sru({e}, {g}, {u})({arg})"),
+            ExprKind::Sri { e, i, arg } => write!(f, "sri({e}, {i})({arg})"),
+            ExprKind::Esr { e, i, arg } => write!(f, "esr({e}, {i})({arg})"),
+            ExprKind::BDcr {
+                e,
+                f: g,
+                u,
+                bound,
+                arg,
+            } => {
                 write!(f, "bdcr({e}, {g}, {u}, {bound})({arg})")
             }
-            Expr::BSri { e, i, bound, arg } => write!(f, "bsri({e}, {i}, {bound})({arg})"),
-            Expr::LogLoop { f: g, set, init } => write!(f, "logloop({g})({set}, {init})"),
-            Expr::Loop { f: g, set, init } => write!(f, "loop({g})({set}, {init})"),
-            Expr::BLogLoop { f: g, bound, set, init } => {
+            ExprKind::BSri { e, i, bound, arg } => write!(f, "bsri({e}, {i}, {bound})({arg})"),
+            ExprKind::LogLoop { f: g, set, init } => write!(f, "logloop({g})({set}, {init})"),
+            ExprKind::Loop { f: g, set, init } => write!(f, "loop({g})({set}, {init})"),
+            ExprKind::BLogLoop {
+                f: g,
+                bound,
+                set,
+                init,
+            } => {
                 write!(f, "bloglook({g}, {bound})({set}, {init})")
             }
-            Expr::BLoop { f: g, bound, set, init } => {
+            ExprKind::BLoop {
+                f: g,
+                bound,
+                set,
+                init,
+            } => {
                 write!(f, "bloop({g}, {bound})({set}, {init})")
             }
-            Expr::Extern(name, args) => {
+            ExprKind::Extern(name, args) => {
                 write!(f, "{name}(")?;
                 for (i, a) in args.iter().enumerate() {
                     if i > 0 {
@@ -520,7 +642,7 @@ mod tests {
 
     #[test]
     fn size_counts_nodes() {
-        let e = Expr::union(Expr::singleton(Expr::atom(1)), Expr::Empty(Type::Base));
+        let e = Expr::union(Expr::singleton(Expr::atom(1)), Expr::empty(Type::Base));
         assert_eq!(e.size(), 4);
     }
 
@@ -528,8 +650,8 @@ mod tests {
     fn display_is_reasonable() {
         let e = Expr::ite(
             Expr::eq(Expr::var("x"), Expr::atom(1)),
-            Expr::Bool(true),
-            Expr::Bool(false),
+            Expr::bool_val(true),
+            Expr::bool_val(false),
         );
         assert_eq!(e.to_string(), "(if (x = a1) then true else false)");
     }
@@ -538,9 +660,9 @@ mod tests {
     fn lam2_projects_components() {
         let e = Expr::lam2("a", "b", Type::prod(Type::Base, Type::Base), Expr::var("a"));
         // Structure: Lam(z, _, Let(a, pi1 z, Let(b, pi2 z, a)))
-        match e {
-            Expr::Lam(_, _, body) => match *body {
-                Expr::Let(ref a, _, _) => assert_eq!(a, "a"),
+        match e.kind {
+            ExprKind::Lam(_, _, body) => match body.kind {
+                ExprKind::Let(ref a, _, _) => assert_eq!(a, "a"),
                 _ => panic!("expected let"),
             },
             _ => panic!("expected lambda"),
@@ -549,15 +671,27 @@ mod tests {
 
     #[test]
     fn union_all_handles_empty_and_singleton() {
-        assert_eq!(
-            Expr::union_all(Type::Base, vec![]),
-            Expr::Empty(Type::Base)
-        );
+        assert_eq!(Expr::union_all(Type::Base, vec![]), Expr::empty(Type::Base));
         assert_eq!(
             Expr::union_all(Type::Base, vec![Expr::atom(1)]),
             Expr::atom(1)
         );
-        let e = Expr::union_all(Type::Base, vec![Expr::atom(1), Expr::atom(2), Expr::atom(3)]);
+        let e = Expr::union_all(
+            Type::Base,
+            vec![Expr::atom(1), Expr::atom(2), Expr::atom(3)],
+        );
         assert_eq!(e.size(), 5);
+    }
+
+    #[test]
+    fn equality_ignores_spans() {
+        let bare = Expr::atom(1);
+        let placed = Expr::atom(1).at(Span::new(3, 5));
+        assert_eq!(bare, placed);
+        assert_eq!(placed.span, Some(Span::new(3, 5)));
+        // ...including spans buried in children.
+        let u1 = Expr::union(Expr::atom(1).at(Span::new(0, 2)), Expr::atom(2));
+        let u2 = Expr::union(Expr::atom(1), Expr::atom(2).at(Span::new(9, 11)));
+        assert_eq!(u1, u2);
     }
 }

@@ -74,15 +74,10 @@ impl ExternRegistry {
         reg.register_binary_nat("nat_max", |a, b| a.max(b));
         reg.register_binary_nat("nat_min", |a, b| a.min(b));
 
-        reg.register(
-            "nat_leq",
-            vec![Type::Nat, Type::Nat],
-            Type::Bool,
-            |args| {
-                let (a, b) = two_nats(args)?;
-                Ok(Value::Bool(a <= b))
-            },
-        );
+        reg.register("nat_leq", vec![Type::Nat, Type::Nat], Type::Bool, |args| {
+            let (a, b) = two_nats(args)?;
+            Ok(Value::Bool(a <= b))
+        });
 
         // BIT(i, j): the j-th bit of the binary representation of i (the BIT
         // relation of Immerman used throughout §7).
@@ -92,32 +87,41 @@ impl ExternRegistry {
         });
 
         // Cardinality of any set, as a natural number.
-        reg.register("card", vec![Type::set(Type::Base)], Type::Nat, |args| {
-            match args.first() {
+        reg.register(
+            "card",
+            vec![Type::set(Type::Base)],
+            Type::Nat,
+            |args| match args.first() {
                 Some(Value::Set(s)) => Ok(Value::Nat(s.len() as u64)),
-                other => Err(EvalError::Extern(format!(
+                other => Err(EvalError::extern_failure(format!(
                     "card expects a set, got {other:?}"
                 ))),
-            }
-        });
+            },
+        );
 
-        reg.register("atom_to_nat", vec![Type::Base], Type::Nat, |args| {
-            match args.first() {
+        reg.register(
+            "atom_to_nat",
+            vec![Type::Base],
+            Type::Nat,
+            |args| match args.first() {
                 Some(Value::Atom(a)) => Ok(Value::Nat(*a)),
-                other => Err(EvalError::Extern(format!(
+                other => Err(EvalError::extern_failure(format!(
                     "atom_to_nat expects an atom, got {other:?}"
                 ))),
-            }
-        });
+            },
+        );
 
-        reg.register("nat_to_atom", vec![Type::Nat], Type::Base, |args| {
-            match args.first() {
+        reg.register(
+            "nat_to_atom",
+            vec![Type::Nat],
+            Type::Base,
+            |args| match args.first() {
                 Some(Value::Nat(n)) => Ok(Value::Atom(*n)),
-                other => Err(EvalError::Extern(format!(
+                other => Err(EvalError::extern_failure(format!(
                     "nat_to_atom expects a natural, got {other:?}"
                 ))),
-            }
-        });
+            },
+        );
 
         reg
     }
@@ -201,7 +205,7 @@ impl ExternRegistry {
 fn two_nats(args: &[Value]) -> Result<(u64, u64), EvalError> {
     match (args.first(), args.get(1)) {
         (Some(Value::Nat(a)), Some(Value::Nat(b))) => Ok((*a, *b)),
-        _ => Err(EvalError::Extern(format!(
+        _ => Err(EvalError::extern_failure(format!(
             "expected two naturals, got {args:?}"
         ))),
     }
@@ -231,9 +235,18 @@ mod tests {
     fn nat_bit_extracts_bits() {
         let reg = ExternRegistry::standard();
         let f = reg.get("nat_bit").unwrap();
-        assert_eq!((f.body)(&[Value::Nat(5), Value::Nat(0)]).unwrap(), Value::Bool(true));
-        assert_eq!((f.body)(&[Value::Nat(5), Value::Nat(1)]).unwrap(), Value::Bool(false));
-        assert_eq!((f.body)(&[Value::Nat(5), Value::Nat(2)]).unwrap(), Value::Bool(true));
+        assert_eq!(
+            (f.body)(&[Value::Nat(5), Value::Nat(0)]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            (f.body)(&[Value::Nat(5), Value::Nat(1)]).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            (f.body)(&[Value::Nat(5), Value::Nat(2)]).unwrap(),
+            Value::Bool(true)
+        );
     }
 
     #[test]
@@ -255,7 +268,9 @@ mod tests {
     fn registration_is_copy_on_write() {
         let mut original = ExternRegistry::standard();
         let shared = original.clone();
-        original.register("extra", vec![Type::Nat], Type::Nat, |args| Ok(args[0].clone()));
+        original.register("extra", vec![Type::Nat], Type::Nat, |args| {
+            Ok(args[0].clone())
+        });
         assert!(original.contains("extra"));
         assert!(!shared.contains("extra"), "clones keep the old Σ");
         assert_ne!(original.fingerprint(), shared.fingerprint());
@@ -275,7 +290,11 @@ mod tests {
         extended.register("shout", vec![Type::Base], Type::Base, |args| {
             Ok(args[0].clone())
         });
-        assert_ne!(std1.fingerprint(), extended.fingerprint(), "new extern changes it");
+        assert_ne!(
+            std1.fingerprint(),
+            extended.fingerprint(),
+            "new extern changes it"
+        );
         // Re-registering an existing name with a different *signature* changes it too.
         let mut retyped = ExternRegistry::standard();
         retyped.register("card", vec![Type::set(Type::Base)], Type::Base, |args| {

@@ -44,13 +44,15 @@ pub mod eval;
 pub mod expr;
 pub mod externs;
 pub mod parallel;
+pub mod span;
 pub mod typecheck;
 pub mod wellformed;
 
-pub use error::{EvalError, TypeError};
+pub use error::{EvalError, TypeError, TypeErrorKind};
 pub use eval::{CostStats, EvalConfig, Evaluator};
-pub use expr::Expr;
+pub use expr::{Expr, ExprKind};
 pub use parallel::{eval_parallel, normalize_parallelism, parallelism_from_env, ParallelEvaluator};
+pub use span::Span;
 pub use typecheck::{typecheck, typecheck_closed, TypeEnv};
 
 /// Convenient result alias for evaluation.

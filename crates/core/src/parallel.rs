@@ -166,15 +166,15 @@ mod tests {
             Type::prod(Type::Bool, Type::Bool),
             Expr::ite(
                 Expr::var("a"),
-                Expr::ite(Expr::var("b"), Expr::Bool(false), Expr::Bool(true)),
+                Expr::ite(Expr::var("b"), Expr::bool_val(false), Expr::bool_val(true)),
                 Expr::var("b"),
             ),
         );
         Expr::dcr(
-            Expr::Bool(false),
-            Expr::lam("y", Type::Base, Expr::Bool(true)),
+            Expr::bool_val(false),
+            Expr::lam("y", Type::Base, Expr::bool_val(true)),
             xor,
-            Expr::Const(Value::atom_set(0..n)),
+            Expr::constant(Value::atom_set(0..n)),
         )
     }
 
@@ -206,7 +206,7 @@ mod tests {
                 Expr::singleton(Expr::atom(100_000)),
             ),
         );
-        let e = Expr::ext(f, Expr::Const(Value::atom_set(0..500)));
+        let e = Expr::ext(f, Expr::constant(Value::atom_set(0..500)));
         let (seq_v, seq_stats) = eval_with_stats(&e).unwrap();
         let mut ev = ParallelEvaluator::with_config(EvalConfig {
             parallelism: Some(4),
@@ -237,8 +237,8 @@ mod tests {
             match (seq_out, par_out) {
                 (Ok(a), Ok(b)) => assert_eq!(a, b, "limit={limit}"),
                 (
-                    Err(EvalError::WorkLimitExceeded { limit: a }),
-                    Err(EvalError::WorkLimitExceeded { limit: b }),
+                    Err(EvalError::WorkLimitExceeded { limit: a, .. }),
+                    Err(EvalError::WorkLimitExceeded { limit: b, .. }),
                 ) => assert_eq!(a, b, "limit={limit}"),
                 (s, p) => panic!("backends disagree at limit {limit}: seq={s:?} par={p:?}"),
             }
@@ -263,7 +263,7 @@ mod tests {
             Type::Base,
             Expr::singleton(Expr::extern_call("explode", vec![Expr::var("x")])),
         );
-        let e = Expr::ext(f, Expr::Const(Value::atom_set(0..64)));
+        let e = Expr::ext(f, Expr::constant(Value::atom_set(0..64)));
         let mut ev = ParallelEvaluator::with_config(EvalConfig {
             registry,
             parallelism: Some(4),
@@ -271,7 +271,7 @@ mod tests {
             ..EvalConfig::default()
         });
         match ev.eval_closed(&e) {
-            Err(EvalError::WorkerPanicked(msg)) => {
+            Err(EvalError::WorkerPanicked { message: msg, .. }) => {
                 assert!(msg.contains("extern exploded on atom 13"), "got: {msg}")
             }
             other => panic!("expected WorkerPanicked, got {other:?}"),
@@ -302,9 +302,15 @@ mod tests {
             parallel_cutoff: 1,
             ..EvalConfig::default()
         });
-        assert!(ev.pool().is_none(), "the pool is created lazily, not at construction");
+        assert!(
+            ev.pool().is_none(),
+            "the pool is created lazily, not at construction"
+        );
         ev.eval_closed(&parity(64)).unwrap();
-        let first = ev.pool().cloned().expect("first evaluation creates the pool");
+        let first = ev
+            .pool()
+            .cloned()
+            .expect("first evaluation creates the pool");
         assert_eq!(first.threads(), 4);
         ev.eval_closed(&parity(130)).unwrap();
         let second = ev.pool().cloned().expect("pool survives");

@@ -9,10 +9,17 @@
 //!   (product of sets) so that the bounding intersection `⊓ b` is defined.
 //! * `Eq`/`Leq` require both sides to have the same *object* type (no functions).
 //! * External calls must match the signature registered in [`ExternRegistry`].
+//!
+//! Every [`TypeError`] is *located*: the failing check names the span of the
+//! most specific subexpression it can (usually the operand whose type was
+//! wrong), and [`infer`] attaches the enclosing node's span to anything that
+//! bubbles out still unlocated — so errors from parsed queries always point
+//! back into the source text.
 
-use crate::error::TypeError;
-use crate::expr::Expr;
+use crate::error::{TypeError, TypeErrorKind};
+use crate::expr::{Expr, ExprKind};
 use crate::externs::ExternRegistry;
+use crate::span::Span;
 use ncql_object::{Type, Value};
 
 /// A typing context: an association list from variable names to types (inner
@@ -25,7 +32,9 @@ pub struct TypeEnv {
 impl TypeEnv {
     /// The empty context.
     pub fn new() -> TypeEnv {
-        TypeEnv { bindings: Vec::new() }
+        TypeEnv {
+            bindings: Vec::new(),
+        }
     }
 
     /// Extend the context with one binding (returns a new context).
@@ -46,8 +55,8 @@ impl TypeEnv {
 }
 
 /// Infer the type of a complex-object literal. Empty sets are given element type
-/// `D` by convention; use [`Expr::Empty`] with an explicit element type when a
-/// differently-typed empty set is needed.
+/// `D` by convention; use [`ExprKind::Empty`] with an explicit element type when
+/// a differently-typed empty set is needed.
 pub fn value_type(v: &Value) -> Type {
     match v {
         Value::Atom(_) => Type::Base,
@@ -62,68 +71,91 @@ pub fn value_type(v: &Value) -> Type {
     }
 }
 
-fn expect_eq(context: &str, expected: &Type, found: &Type) -> Result<(), TypeError> {
+fn expect_eq(
+    context: &str,
+    expected: &Type,
+    found: &Type,
+    span: Option<Span>,
+) -> Result<(), TypeError> {
     if expected == found {
         Ok(())
     } else {
-        Err(TypeError::Mismatch {
-            context: context.to_string(),
-            expected: expected.clone(),
-            found: found.clone(),
-        })
+        Err(TypeError::new(
+            TypeErrorKind::Mismatch {
+                context: context.to_string(),
+                expected: expected.clone(),
+                found: found.clone(),
+            },
+            span,
+        ))
     }
 }
 
-fn expect_set(context: &str, ty: &Type) -> Result<Type, TypeError> {
+fn expect_set(context: &str, ty: &Type, span: Option<Span>) -> Result<Type, TypeError> {
     match ty {
         Type::Set(t) => Ok((**t).clone()),
-        _ => Err(TypeError::NotASet {
-            context: context.to_string(),
-            found: ty.clone(),
-        }),
+        _ => Err(TypeError::new(
+            TypeErrorKind::NotASet {
+                context: context.to_string(),
+                found: ty.clone(),
+            },
+            span,
+        )),
     }
 }
 
-fn expect_fun(context: &str, ty: &Type) -> Result<(Type, Type), TypeError> {
+fn expect_fun(context: &str, ty: &Type, span: Option<Span>) -> Result<(Type, Type), TypeError> {
     match ty {
         Type::Fun(a, b) => Ok(((**a).clone(), (**b).clone())),
-        _ => Err(TypeError::NotAFunction {
-            context: context.to_string(),
-            found: ty.clone(),
-        }),
+        _ => Err(TypeError::new(
+            TypeErrorKind::NotAFunction {
+                context: context.to_string(),
+                found: ty.clone(),
+            },
+            span,
+        )),
     }
 }
 
-fn expect_bool(context: &str, ty: &Type) -> Result<(), TypeError> {
+fn expect_bool(context: &str, ty: &Type, span: Option<Span>) -> Result<(), TypeError> {
     if *ty == Type::Bool {
         Ok(())
     } else {
-        Err(TypeError::NotABool {
-            context: context.to_string(),
-            found: ty.clone(),
-        })
+        Err(TypeError::new(
+            TypeErrorKind::NotABool {
+                context: context.to_string(),
+                found: ty.clone(),
+            },
+            span,
+        ))
     }
 }
 
-fn expect_comparable(context: &str, ty: &Type) -> Result<(), TypeError> {
+fn expect_comparable(context: &str, ty: &Type, span: Option<Span>) -> Result<(), TypeError> {
     if ty.is_object_type() {
         Ok(())
     } else {
-        Err(TypeError::NotComparable {
-            context: context.to_string(),
-            found: ty.clone(),
-        })
+        Err(TypeError::new(
+            TypeErrorKind::NotComparable {
+                context: context.to_string(),
+                found: ty.clone(),
+            },
+            span,
+        ))
     }
 }
 
-fn expect_ps(context: &str, ty: &Type) -> Result<(), TypeError> {
+fn expect_ps(context: &str, ty: &Type, span: Option<Span>) -> Result<(), TypeError> {
     if ty.is_ps_type() {
         Ok(())
     } else {
-        Err(TypeError::NotAPsType {
-            context: context.to_string(),
-            found: ty.clone(),
-        })
+        Err(TypeError::new(
+            TypeErrorKind::NotAPsType {
+                context: context.to_string(),
+                found: ty.clone(),
+            },
+            span,
+        ))
     }
 }
 
@@ -140,19 +172,25 @@ fn check_union_recursor(
 ) -> Result<Type, TypeError> {
     let t = infer(env, sigma, e)?;
     let f_ty = infer(env, sigma, f)?;
-    let (s, t_from_f) = expect_fun(&format!("{name} singleton map f"), &f_ty)?;
-    expect_eq(&format!("{name} f result vs e"), &t, &t_from_f)?;
+    let (s, t_from_f) = expect_fun(&format!("{name} singleton map f"), &f_ty, f.span)?;
+    expect_eq(&format!("{name} f result vs e"), &t, &t_from_f, f.span)?;
     let u_ty = infer(env, sigma, u)?;
-    let (u_dom, u_cod) = expect_fun(&format!("{name} combiner u"), &u_ty)?;
+    let (u_dom, u_cod) = expect_fun(&format!("{name} combiner u"), &u_ty, u.span)?;
     expect_eq(
         &format!("{name} combiner domain"),
         &Type::prod(t.clone(), t.clone()),
         &u_dom,
+        u.span,
     )?;
-    expect_eq(&format!("{name} combiner codomain"), &t, &u_cod)?;
+    expect_eq(&format!("{name} combiner codomain"), &t, &u_cod, u.span)?;
     let arg_ty = infer(env, sigma, arg)?;
-    let elem = expect_set(&format!("{name} argument"), &arg_ty)?;
-    expect_eq(&format!("{name} argument element type"), &s, &elem)?;
+    let elem = expect_set(&format!("{name} argument"), &arg_ty, arg.span)?;
+    expect_eq(
+        &format!("{name} argument element type"),
+        &s,
+        &elem,
+        arg.span,
+    )?;
     Ok(t)
 }
 
@@ -168,21 +206,29 @@ fn check_insert_recursor(
 ) -> Result<Type, TypeError> {
     let t = infer(env, sigma, e)?;
     let i_ty = infer(env, sigma, i)?;
-    let (dom, cod) = expect_fun(&format!("{name} step i"), &i_ty)?;
+    let (dom, cod) = expect_fun(&format!("{name} step i"), &i_ty, i.span)?;
     let (s, t_in) = match dom {
         Type::Prod(a, b) => ((*a).clone(), (*b).clone()),
         other => {
-            return Err(TypeError::NotAProduct {
-                context: format!("{name} step domain"),
-                found: other,
-            })
+            return Err(TypeError::new(
+                TypeErrorKind::NotAProduct {
+                    context: format!("{name} step domain"),
+                    found: other,
+                },
+                i.span,
+            ))
         }
     };
-    expect_eq(&format!("{name} step accumulator"), &t, &t_in)?;
-    expect_eq(&format!("{name} step result"), &t, &cod)?;
+    expect_eq(&format!("{name} step accumulator"), &t, &t_in, i.span)?;
+    expect_eq(&format!("{name} step result"), &t, &cod, i.span)?;
     let arg_ty = infer(env, sigma, arg)?;
-    let elem = expect_set(&format!("{name} argument"), &arg_ty)?;
-    expect_eq(&format!("{name} argument element type"), &s, &elem)?;
+    let elem = expect_set(&format!("{name} argument"), &arg_ty, arg.span)?;
+    expect_eq(
+        &format!("{name} argument element type"),
+        &s,
+        &elem,
+        arg.span,
+    )?;
     Ok(t)
 }
 
@@ -197,145 +243,178 @@ fn check_iterator(
     init: &Expr,
 ) -> Result<Type, TypeError> {
     let f_ty = infer(env, sigma, f)?;
-    let (dom, cod) = expect_fun(&format!("{name} body"), &f_ty)?;
-    expect_eq(&format!("{name} body must be an endofunction"), &dom, &cod)?;
+    let (dom, cod) = expect_fun(&format!("{name} body"), &f_ty, f.span)?;
+    expect_eq(
+        &format!("{name} body must be an endofunction"),
+        &dom,
+        &cod,
+        f.span,
+    )?;
     let set_ty = infer(env, sigma, set)?;
-    expect_set(&format!("{name} counting set"), &set_ty)?;
+    expect_set(&format!("{name} counting set"), &set_ty, set.span)?;
     let init_ty = infer(env, sigma, init)?;
-    expect_eq(&format!("{name} initial value"), &dom, &init_ty)?;
+    expect_eq(&format!("{name} initial value"), &dom, &init_ty, init.span)?;
     Ok(dom)
 }
 
 /// Infer the type of `expr` in context `env`, with external signatures from
-/// `sigma`.
+/// `sigma`. Errors carry the span of the most specific locatable
+/// subexpression (see the module docs).
 pub fn infer(env: &TypeEnv, sigma: &ExternRegistry, expr: &Expr) -> Result<Type, TypeError> {
-    match expr {
-        Expr::Var(x) => env
+    infer_kind(env, sigma, expr).map_err(|e| e.with_span_if_missing(expr.span))
+}
+
+fn infer_kind(env: &TypeEnv, sigma: &ExternRegistry, expr: &Expr) -> Result<Type, TypeError> {
+    match &expr.kind {
+        ExprKind::Var(x) => env
             .lookup(x)
             .cloned()
-            .ok_or_else(|| TypeError::UnboundVariable(x.clone())),
-        Expr::Lam(x, ty, body) => {
+            .ok_or_else(|| TypeErrorKind::UnboundVariable(x.clone()).into()),
+        ExprKind::Lam(x, ty, body) => {
             let body_ty = infer(&env.extend(x.clone(), ty.clone()), sigma, body)?;
             Ok(Type::fun(ty.clone(), body_ty))
         }
-        Expr::App(f, a) => {
+        ExprKind::App(f, a) => {
             let f_ty = infer(env, sigma, f)?;
-            let (dom, cod) = expect_fun("application", &f_ty)?;
+            let (dom, cod) = expect_fun("application", &f_ty, f.span)?;
             let a_ty = infer(env, sigma, a)?;
-            expect_eq("application argument", &dom, &a_ty)?;
+            expect_eq("application argument", &dom, &a_ty, a.span)?;
             Ok(cod)
         }
-        Expr::Let(x, bound, body) => {
+        ExprKind::Let(x, bound, body) => {
             let bound_ty = infer(env, sigma, bound)?;
             infer(&env.extend(x.clone(), bound_ty), sigma, body)
         }
-        Expr::Unit => Ok(Type::Unit),
-        Expr::Pair(a, b) => Ok(Type::prod(infer(env, sigma, a)?, infer(env, sigma, b)?)),
-        Expr::Proj1(e) => match infer(env, sigma, e)? {
+        ExprKind::Unit => Ok(Type::Unit),
+        ExprKind::Pair(a, b) => Ok(Type::prod(infer(env, sigma, a)?, infer(env, sigma, b)?)),
+        ExprKind::Proj1(e) => match infer(env, sigma, e)? {
             Type::Prod(a, _) => Ok(*a),
-            other => Err(TypeError::NotAProduct {
-                context: "pi1".to_string(),
-                found: other,
-            }),
+            other => Err(TypeError::new(
+                TypeErrorKind::NotAProduct {
+                    context: "pi1".to_string(),
+                    found: other,
+                },
+                e.span,
+            )),
         },
-        Expr::Proj2(e) => match infer(env, sigma, e)? {
+        ExprKind::Proj2(e) => match infer(env, sigma, e)? {
             Type::Prod(_, b) => Ok(*b),
-            other => Err(TypeError::NotAProduct {
-                context: "pi2".to_string(),
-                found: other,
-            }),
+            other => Err(TypeError::new(
+                TypeErrorKind::NotAProduct {
+                    context: "pi2".to_string(),
+                    found: other,
+                },
+                e.span,
+            )),
         },
-        Expr::Bool(_) => Ok(Type::Bool),
-        Expr::If(c, t, e) => {
+        ExprKind::Bool(_) => Ok(Type::Bool),
+        ExprKind::If(c, t, e) => {
             let c_ty = infer(env, sigma, c)?;
-            expect_bool("if condition", &c_ty)?;
+            expect_bool("if condition", &c_ty, c.span)?;
             let t_ty = infer(env, sigma, t)?;
             let e_ty = infer(env, sigma, e)?;
-            expect_eq("if branches", &t_ty, &e_ty)?;
+            expect_eq("if branches", &t_ty, &e_ty, e.span)?;
             Ok(t_ty)
         }
-        Expr::Eq(a, b) => {
+        ExprKind::Eq(a, b) => {
             let a_ty = infer(env, sigma, a)?;
             let b_ty = infer(env, sigma, b)?;
-            expect_comparable("equality", &a_ty)?;
-            expect_eq("equality operands", &a_ty, &b_ty)?;
+            expect_comparable("equality", &a_ty, a.span)?;
+            expect_eq("equality operands", &a_ty, &b_ty, b.span)?;
             Ok(Type::Bool)
         }
-        Expr::Leq(a, b) => {
+        ExprKind::Leq(a, b) => {
             let a_ty = infer(env, sigma, a)?;
             let b_ty = infer(env, sigma, b)?;
-            expect_comparable("order comparison", &a_ty)?;
-            expect_eq("order comparison operands", &a_ty, &b_ty)?;
+            expect_comparable("order comparison", &a_ty, a.span)?;
+            expect_eq("order comparison operands", &a_ty, &b_ty, b.span)?;
             Ok(Type::Bool)
         }
-        Expr::Const(v) => Ok(value_type(v)),
-        Expr::Empty(t) => Ok(Type::set(t.clone())),
-        Expr::Singleton(e) => Ok(Type::set(infer(env, sigma, e)?)),
-        Expr::Union(a, b) => {
+        ExprKind::Const(v) => Ok(value_type(v)),
+        ExprKind::Empty(t) => Ok(Type::set(t.clone())),
+        ExprKind::Singleton(e) => Ok(Type::set(infer(env, sigma, e)?)),
+        ExprKind::Union(a, b) => {
             let a_ty = infer(env, sigma, a)?;
-            expect_set("union left operand", &a_ty)?;
+            expect_set("union left operand", &a_ty, a.span)?;
             let b_ty = infer(env, sigma, b)?;
-            expect_eq("union operands", &a_ty, &b_ty)?;
+            expect_eq("union operands", &a_ty, &b_ty, b.span)?;
             Ok(a_ty)
         }
-        Expr::IsEmpty(e) => {
+        ExprKind::IsEmpty(e) => {
             let ty = infer(env, sigma, e)?;
-            expect_set("isempty", &ty)?;
+            expect_set("isempty", &ty, e.span)?;
             Ok(Type::Bool)
         }
-        Expr::Ext(f, e) => {
+        ExprKind::Ext(f, e) => {
             let f_ty = infer(env, sigma, f)?;
-            let (dom, cod) = expect_fun("ext function", &f_ty)?;
-            expect_set("ext function result", &cod)?;
+            let (dom, cod) = expect_fun("ext function", &f_ty, f.span)?;
+            expect_set("ext function result", &cod, f.span)?;
             let e_ty = infer(env, sigma, e)?;
-            let elem = expect_set("ext argument", &e_ty)?;
-            expect_eq("ext argument element type", &dom, &elem)?;
+            let elem = expect_set("ext argument", &e_ty, e.span)?;
+            expect_eq("ext argument element type", &dom, &elem, e.span)?;
             Ok(cod)
         }
-        Expr::Dcr { e, f, u, arg } => check_union_recursor("dcr", env, sigma, e, f, u, arg),
-        Expr::Sru { e, f, u, arg } => check_union_recursor("sru", env, sigma, e, f, u, arg),
-        Expr::Sri { e, i, arg } => check_insert_recursor("sri", env, sigma, e, i, arg),
-        Expr::Esr { e, i, arg } => check_insert_recursor("esr", env, sigma, e, i, arg),
-        Expr::BDcr { e, f, u, bound, arg } => {
+        ExprKind::Dcr { e, f, u, arg } => check_union_recursor("dcr", env, sigma, e, f, u, arg),
+        ExprKind::Sru { e, f, u, arg } => check_union_recursor("sru", env, sigma, e, f, u, arg),
+        ExprKind::Sri { e, i, arg } => check_insert_recursor("sri", env, sigma, e, i, arg),
+        ExprKind::Esr { e, i, arg } => check_insert_recursor("esr", env, sigma, e, i, arg),
+        ExprKind::BDcr {
+            e,
+            f,
+            u,
+            bound,
+            arg,
+        } => {
             let t = check_union_recursor("bdcr", env, sigma, e, f, u, arg)?;
-            expect_ps("bdcr result", &t)?;
+            expect_ps("bdcr result", &t, expr.span)?;
             let b_ty = infer(env, sigma, bound)?;
-            expect_eq("bdcr bound", &t, &b_ty)?;
+            expect_eq("bdcr bound", &t, &b_ty, bound.span)?;
             Ok(t)
         }
-        Expr::BSri { e, i, bound, arg } => {
+        ExprKind::BSri { e, i, bound, arg } => {
             let t = check_insert_recursor("bsri", env, sigma, e, i, arg)?;
-            expect_ps("bsri result", &t)?;
+            expect_ps("bsri result", &t, expr.span)?;
             let b_ty = infer(env, sigma, bound)?;
-            expect_eq("bsri bound", &t, &b_ty)?;
+            expect_eq("bsri bound", &t, &b_ty, bound.span)?;
             Ok(t)
         }
-        Expr::LogLoop { f, set, init } => check_iterator("log-loop", env, sigma, f, set, init),
-        Expr::Loop { f, set, init } => check_iterator("loop", env, sigma, f, set, init),
-        Expr::BLogLoop { f, bound, set, init } => {
+        ExprKind::LogLoop { f, set, init } => check_iterator("log-loop", env, sigma, f, set, init),
+        ExprKind::Loop { f, set, init } => check_iterator("loop", env, sigma, f, set, init),
+        ExprKind::BLogLoop {
+            f,
+            bound,
+            set,
+            init,
+        } => {
             let t = check_iterator("blog-loop", env, sigma, f, set, init)?;
-            expect_ps("blog-loop result", &t)?;
+            expect_ps("blog-loop result", &t, expr.span)?;
             let b_ty = infer(env, sigma, bound)?;
-            expect_eq("blog-loop bound", &t, &b_ty)?;
+            expect_eq("blog-loop bound", &t, &b_ty, bound.span)?;
             Ok(t)
         }
-        Expr::BLoop { f, bound, set, init } => {
+        ExprKind::BLoop {
+            f,
+            bound,
+            set,
+            init,
+        } => {
             let t = check_iterator("bloop", env, sigma, f, set, init)?;
-            expect_ps("bloop result", &t)?;
+            expect_ps("bloop result", &t, expr.span)?;
             let b_ty = infer(env, sigma, bound)?;
-            expect_eq("bloop bound", &t, &b_ty)?;
+            expect_eq("bloop bound", &t, &b_ty, bound.span)?;
             Ok(t)
         }
-        Expr::Extern(name, args) => {
+        ExprKind::Extern(name, args) => {
             let ext = sigma
                 .get(name)
-                .ok_or_else(|| TypeError::UnknownExtern(name.clone()))?;
+                .ok_or_else(|| TypeErrorKind::UnknownExtern(name.clone()))?;
             if ext.params.len() != args.len() {
-                return Err(TypeError::ExternArity {
+                return Err(TypeErrorKind::ExternArity {
                     name: name.clone(),
                     expected: ext.params.len(),
                     found: args.len(),
-                });
+                }
+                .into());
             }
             for (param, arg) in ext.params.iter().zip(args) {
                 let arg_ty = infer(env, sigma, arg)?;
@@ -349,11 +428,14 @@ pub fn infer(env: &TypeEnv, sigma: &ExternRegistry, expr: &Expr) -> Result<Type,
                         (Type::Set(p), Type::Set(_)) if **p == Type::Base
                     );
                 if !compatible {
-                    return Err(TypeError::Mismatch {
-                        context: format!("extern `{name}` argument"),
-                        expected: param.clone(),
-                        found: arg_ty,
-                    });
+                    return Err(TypeError::new(
+                        TypeErrorKind::Mismatch {
+                            context: format!("extern `{name}` argument"),
+                            expected: param.clone(),
+                            found: arg_ty,
+                        },
+                        arg.span,
+                    ));
                 }
             }
             Ok(ext.result.clone())
@@ -376,31 +458,37 @@ pub fn typecheck_closed(expr: &Expr) -> Result<Type, TypeError> {
 /// expression lies inside the restricted language NRA¹ of §3.
 pub fn check_flat(env: &TypeEnv, sigma: &ExternRegistry, expr: &Expr) -> Result<Type, TypeError> {
     let ty = infer(env, sigma, expr)?;
-    let mut bad: Option<Type> = None;
+    let mut bad: Option<(Type, Option<Span>)> = None;
     expr.visit(&mut |e| {
-        let candidate = match e {
-            Expr::Lam(_, t, _) => Some(t.clone()),
-            Expr::Empty(t) => Some(Type::set(t.clone())),
-            Expr::Const(v) => Some(value_type(v)),
+        let candidate = match &e.kind {
+            ExprKind::Lam(_, t, _) => Some(t.clone()),
+            ExprKind::Empty(t) => Some(Type::set(t.clone())),
+            ExprKind::Const(v) => Some(value_type(v)),
             _ => None,
         };
         if let Some(t) = candidate {
             if !t.is_flat() && bad.is_none() {
-                bad = Some(t);
+                bad = Some((t, e.span));
             }
         }
     });
-    if let Some(found) = bad {
-        return Err(TypeError::NotFlat {
-            context: "NRA¹ annotation".to_string(),
-            found,
-        });
+    if let Some((found, span)) = bad {
+        return Err(TypeError::new(
+            TypeErrorKind::NotFlat {
+                context: "NRA¹ annotation".to_string(),
+                found,
+            },
+            span.or(expr.span),
+        ));
     }
     if !ty.is_flat() {
-        return Err(TypeError::NotFlat {
-            context: "NRA¹ result".to_string(),
-            found: ty,
-        });
+        return Err(TypeError::new(
+            TypeErrorKind::NotFlat {
+                context: "NRA¹ result".to_string(),
+                found: ty,
+            },
+            expr.span,
+        ));
     }
     Ok(ty)
 }
@@ -417,9 +505,9 @@ mod tests {
     #[test]
     fn constants_and_pairs() {
         assert_eq!(tc(&Expr::atom(3)).unwrap(), Type::Base);
-        assert_eq!(tc(&Expr::Bool(true)).unwrap(), Type::Bool);
+        assert_eq!(tc(&Expr::bool_val(true)).unwrap(), Type::Bool);
         assert_eq!(
-            tc(&Expr::pair(Expr::atom(1), Expr::Bool(false))).unwrap(),
+            tc(&Expr::pair(Expr::atom(1), Expr::bool_val(false))).unwrap(),
             Type::prod(Type::Base, Type::Bool)
         );
     }
@@ -427,38 +515,35 @@ mod tests {
     #[test]
     fn lambda_and_application() {
         let id = Expr::lam("x", Type::Base, Expr::var("x"));
-        assert_eq!(
-            tc(&id).unwrap(),
-            Type::fun(Type::Base, Type::Base)
-        );
+        assert_eq!(tc(&id).unwrap(), Type::fun(Type::Base, Type::Base));
         assert_eq!(tc(&Expr::app(id, Expr::atom(1))).unwrap(), Type::Base);
     }
 
     #[test]
     fn application_argument_mismatch_is_rejected() {
         let id = Expr::lam("x", Type::Base, Expr::var("x"));
-        assert!(tc(&Expr::app(id, Expr::Bool(true))).is_err());
+        assert!(tc(&Expr::app(id, Expr::bool_val(true))).is_err());
     }
 
     #[test]
     fn unbound_variable_is_rejected() {
         assert!(matches!(
-            tc(&Expr::var("nope")),
-            Err(TypeError::UnboundVariable(_))
+            tc(&Expr::var("nope")).map_err(|e| e.kind),
+            Err(TypeErrorKind::UnboundVariable(_))
         ));
     }
 
     #[test]
     fn sets_and_ext() {
         let f = Expr::lam("x", Type::Base, Expr::singleton(Expr::var("x")));
-        let e = Expr::ext(f, Expr::Const(Value::atom_set(vec![1, 2])));
+        let e = Expr::ext(f, Expr::constant(Value::atom_set(vec![1, 2])));
         assert_eq!(tc(&e).unwrap(), Type::set(Type::Base));
     }
 
     #[test]
     fn ext_requires_set_valued_function() {
         let f = Expr::lam("x", Type::Base, Expr::var("x"));
-        let e = Expr::ext(f, Expr::Const(Value::atom_set(vec![1])));
+        let e = Expr::ext(f, Expr::constant(Value::atom_set(vec![1])));
         assert!(tc(&e).is_err());
     }
 
@@ -466,7 +551,7 @@ mod tests {
     fn union_requires_matching_element_types() {
         let e = Expr::union(
             Expr::singleton(Expr::atom(1)),
-            Expr::singleton(Expr::Bool(true)),
+            Expr::singleton(Expr::bool_val(true)),
         );
         assert!(tc(&e).is_err());
     }
@@ -475,19 +560,19 @@ mod tests {
     fn dcr_typing() {
         // parity : {D} -> bool
         let parity = Expr::dcr(
-            Expr::Bool(false),
-            Expr::lam("y", Type::Base, Expr::Bool(true)),
+            Expr::bool_val(false),
+            Expr::lam("y", Type::Base, Expr::bool_val(true)),
             Expr::lam2(
                 "v1",
                 "v2",
                 Type::prod(Type::Bool, Type::Bool),
                 Expr::ite(
                     Expr::var("v1"),
-                    Expr::ite(Expr::var("v2"), Expr::Bool(false), Expr::Bool(true)),
+                    Expr::ite(Expr::var("v2"), Expr::bool_val(false), Expr::bool_val(true)),
                     Expr::var("v2"),
                 ),
             ),
-            Expr::Const(Value::atom_set(vec![1, 2, 3])),
+            Expr::constant(Value::atom_set(vec![1, 2, 3])),
         );
         assert_eq!(tc(&parity).unwrap(), Type::Bool);
     }
@@ -496,18 +581,16 @@ mod tests {
     fn bdcr_requires_ps_type() {
         // bdcr with a boolean accumulator must be rejected: bool is not a PS-type.
         let bad = Expr::bdcr(
-            Expr::Bool(false),
-            Expr::lam("y", Type::Base, Expr::Bool(true)),
-            Expr::lam2(
-                "a",
-                "b",
-                Type::prod(Type::Bool, Type::Bool),
-                Expr::var("a"),
-            ),
-            Expr::Bool(true),
-            Expr::Const(Value::atom_set(vec![1])),
+            Expr::bool_val(false),
+            Expr::lam("y", Type::Base, Expr::bool_val(true)),
+            Expr::lam2("a", "b", Type::prod(Type::Bool, Type::Bool), Expr::var("a")),
+            Expr::bool_val(true),
+            Expr::constant(Value::atom_set(vec![1])),
         );
-        assert!(matches!(tc(&bad), Err(TypeError::NotAPsType { .. })));
+        assert!(matches!(
+            tc(&bad).map_err(|e| e.kind),
+            Err(TypeErrorKind::NotAPsType { .. })
+        ));
     }
 
     #[test]
@@ -516,8 +599,8 @@ mod tests {
         let f = Expr::lam("r", ty.clone(), Expr::var("r"));
         let e = Expr::log_loop(
             f,
-            Expr::Const(Value::atom_set(vec![1, 2, 3])),
-            Expr::Empty(Type::Base),
+            Expr::constant(Value::atom_set(vec![1, 2, 3])),
+            Expr::empty(Type::Base),
         );
         assert_eq!(tc(&e).unwrap(), ty);
     }
@@ -527,36 +610,45 @@ mod tests {
         let ok = Expr::extern_call("nat_add", vec![Expr::nat(1), Expr::nat(2)]);
         assert_eq!(tc(&ok).unwrap(), Type::Nat);
         let bad_arity = Expr::extern_call("nat_add", vec![Expr::nat(1)]);
-        assert!(matches!(tc(&bad_arity), Err(TypeError::ExternArity { .. })));
+        assert!(matches!(
+            tc(&bad_arity).map_err(|e| e.kind),
+            Err(TypeErrorKind::ExternArity { .. })
+        ));
         let unknown = Expr::extern_call("no_such_fn", vec![]);
-        assert!(matches!(tc(&unknown), Err(TypeError::UnknownExtern(_))));
+        assert!(matches!(
+            tc(&unknown).map_err(|e| e.kind),
+            Err(TypeErrorKind::UnknownExtern(_))
+        ));
     }
 
     #[test]
     fn equality_rejected_at_function_type() {
         let id = Expr::lam("x", Type::Base, Expr::var("x"));
         let e = Expr::eq(id.clone(), id);
-        assert!(matches!(tc(&e), Err(TypeError::NotComparable { .. })));
+        assert!(matches!(
+            tc(&e).map_err(|e| e.kind),
+            Err(TypeErrorKind::NotComparable { .. })
+        ));
     }
 
     #[test]
     fn flat_check_accepts_relational_and_rejects_nested() {
         let sigma = ExternRegistry::standard();
         let flat = Expr::union(
-            Expr::Const(Value::relation_from_pairs(vec![(1, 2)])),
-            Expr::Empty(Type::prod(Type::Base, Type::Base)),
+            Expr::constant(Value::relation_from_pairs(vec![(1, 2)])),
+            Expr::empty(Type::prod(Type::Base, Type::Base)),
         );
         assert!(check_flat(&TypeEnv::new(), &sigma, &flat).is_ok());
-        let nested = Expr::singleton(Expr::Const(Value::atom_set(vec![1])));
+        let nested = Expr::singleton(Expr::constant(Value::atom_set(vec![1])));
         assert!(matches!(
-            check_flat(&TypeEnv::new(), &sigma, &nested),
-            Err(TypeError::NotFlat { .. })
+            check_flat(&TypeEnv::new(), &sigma, &nested).map_err(|e| e.kind),
+            Err(TypeErrorKind::NotFlat { .. })
         ));
     }
 
     #[test]
     fn if_branches_must_agree() {
-        let e = Expr::ite(Expr::Bool(true), Expr::atom(1), Expr::Bool(false));
+        let e = Expr::ite(Expr::bool_val(true), Expr::atom(1), Expr::bool_val(false));
         assert!(tc(&e).is_err());
     }
 

@@ -210,7 +210,9 @@ impl LawChecker {
                 report.checks_performed += 1;
                 let aa = self.apply2(u, a, a)?;
                 if &aa != a {
-                    report.violations.push(LawViolation::Idempotence { a: a.clone() });
+                    report
+                        .violations
+                        .push(LawViolation::Idempotence { a: a.clone() });
                     if report.violations.len() >= options.max_violations {
                         return Ok(report);
                     }
@@ -328,7 +330,7 @@ mod tests {
         let input = Value::atom_set(vec![1, 2, 3, 4, 5]);
         let report = checker
             .check_dcr_instance(
-                &Expr::Empty(Type::Base),
+                &Expr::empty(Type::Base),
                 &singleton_map(),
                 &union_combiner(Type::Base),
                 &input,
@@ -354,19 +356,24 @@ mod tests {
             Type::prod(Type::Bool, Type::Bool),
             Expr::ite(
                 Expr::var("a"),
-                Expr::ite(Expr::var("b"), Expr::Bool(false), Expr::Bool(true)),
+                Expr::ite(Expr::var("b"), Expr::bool_val(false), Expr::bool_val(true)),
                 Expr::var("b"),
             ),
         );
         let carrier = vec![Value::Bool(false), Value::Bool(true)];
         let dcr_report = checker
-            .check_combiner(&Expr::Bool(false), &xor, &carrier, &CheckOptions::default())
+            .check_combiner(
+                &Expr::bool_val(false),
+                &xor,
+                &carrier,
+                &CheckOptions::default(),
+            )
             .unwrap();
         assert!(dcr_report.is_well_formed());
 
         let sru_report = checker
             .check_combiner(
-                &Expr::Bool(false),
+                &Expr::bool_val(false),
                 &xor,
                 &carrier,
                 &CheckOptions {
@@ -397,7 +404,7 @@ mod tests {
         let input = Value::atom_set(vec![1, 2, 3]);
         let report = checker
             .check_dcr_instance(
-                &Expr::Empty(Type::Base),
+                &Expr::empty(Type::Base),
                 &singleton_map(),
                 &diff,
                 &input,

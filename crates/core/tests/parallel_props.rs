@@ -33,7 +33,7 @@ fn xor_combiner() -> Expr {
         Type::prod(Type::Bool, Type::Bool),
         Expr::ite(
             Expr::var("a"),
-            Expr::ite(Expr::var("b"), Expr::Bool(false), Expr::Bool(true)),
+            Expr::ite(Expr::var("b"), Expr::bool_val(false), Expr::bool_val(true)),
             Expr::var("b"),
         ),
     )
@@ -41,10 +41,10 @@ fn xor_combiner() -> Expr {
 
 fn parity_dcr(atoms: Vec<u64>) -> Expr {
     Expr::dcr(
-        Expr::Bool(false),
-        Expr::lam("y", Type::Base, Expr::Bool(true)),
+        Expr::bool_val(false),
+        Expr::lam("y", Type::Base, Expr::bool_val(true)),
         xor_combiner(),
-        Expr::Const(Value::atom_set(atoms)),
+        Expr::constant(Value::atom_set(atoms)),
     )
 }
 
@@ -62,7 +62,7 @@ fn sum_dcr(atoms: Vec<u64>) -> Expr {
             Type::prod(Type::Nat, Type::Nat),
             Expr::extern_call("nat_add", vec![Expr::var("a"), Expr::var("b")]),
         ),
-        Expr::Const(Value::atom_set(atoms)),
+        Expr::constant(Value::atom_set(atoms)),
     )
 }
 
@@ -85,20 +85,24 @@ fn ext_spread(atoms: Vec<u64>, shift: u64) -> Expr {
                 )),
             ),
         ),
-        Expr::Const(Value::atom_set(atoms)),
+        Expr::constant(Value::atom_set(atoms)),
     )
 }
 
 fn parity_esr(atoms: Vec<u64>) -> Expr {
     Expr::esr(
-        Expr::Bool(false),
+        Expr::bool_val(false),
         Expr::lam2(
             "y",
             "acc",
             Type::prod(Type::Base, Type::Bool),
-            Expr::ite(Expr::var("acc"), Expr::Bool(false), Expr::Bool(true)),
+            Expr::ite(
+                Expr::var("acc"),
+                Expr::bool_val(false),
+                Expr::bool_val(true),
+            ),
         ),
-        Expr::Const(Value::atom_set(atoms)),
+        Expr::constant(Value::atom_set(atoms)),
     )
 }
 

@@ -1,13 +1,31 @@
-//! A small least-recently-used map for prepared plans.
+//! The prepared-plan cache: a small LRU map, sharded for concurrent sessions.
 //!
 //! The engine's working set is "the distinct query texts a service replays",
-//! which is small (hundreds, not millions), so the implementation favours
+//! which is small (hundreds, not millions), so the per-shard map favours
 //! simplicity over asymptotics: entries carry a monotone use stamp and
-//! eviction scans for the minimum. That is O(capacity) per insert-at-capacity,
-//! which is negligible next to the parse + typecheck work a hit saves.
+//! eviction scans for the minimum. That is O(shard capacity) per
+//! insert-at-capacity, which is negligible next to the parse + typecheck work
+//! a hit saves.
+//!
+//! Sharding removes the last global lock on the hot `prepare` path: keys are
+//! distributed over [`SHARD_COUNT`] independently locked shards by hash, so
+//! concurrent `prepare` traffic for *different* texts contends only when two
+//! texts land in one shard. Hit/miss counters are lock-free atomics beside
+//! the shards. Caches below [`SHARD_THRESHOLD`] entries keep a single shard:
+//! tiny caches are configured for tests and benchmarks that pin exact global
+//! LRU ordering, and sharding a 3-entry cache would change which key gets
+//! evicted (per-shard LRU is exact only within a shard).
 
 use std::collections::HashMap;
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Shards used for caches of at least [`SHARD_THRESHOLD`] entries.
+pub(crate) const SHARD_COUNT: usize = 8;
+
+/// Minimum total capacity at which the cache is sharded at all.
+pub(crate) const SHARD_THRESHOLD: usize = 64;
 
 /// An LRU map with a fixed capacity. A capacity of `0` disables storage
 /// entirely (every lookup misses, every insert is dropped) — the engine uses
@@ -64,12 +82,104 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
         self.map.len()
     }
 
+    pub(crate) fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+/// A sharded, internally locked LRU map with hit/miss accounting — the
+/// engine's prepared-plan cache.
+///
+/// `capacity` is the total budget, split evenly across shards (rounded up, so
+/// an 8-shard cache of capacity 256 holds exactly 32 plans per shard).
+/// Eviction is LRU *per shard*: recency is exact within a shard, and keys
+/// only compete for slots with the other keys hashed to their shard.
+#[derive(Debug)]
+pub(crate) struct ShardedLru<K, V> {
+    shards: Vec<Mutex<LruCache<K, V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> ShardedLru<K, V> {
+    pub(crate) fn new(capacity: usize) -> ShardedLru<K, V> {
+        let shard_count = if capacity < SHARD_THRESHOLD {
+            1
+        } else {
+            SHARD_COUNT
+        };
+        let per_shard = capacity.div_ceil(shard_count.max(1)).min(capacity);
+        ShardedLru {
+            shards: (0..shard_count)
+                .map(|_| Mutex::new(LruCache::new(per_shard)))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            capacity,
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<LruCache<K, V>> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    /// Look up a key, counting a hit or miss. Only the key's own shard is
+    /// locked, and only for the duration of the LRU stamp refresh — the fast
+    /// read path concurrent `prepare` hits take.
+    pub(crate) fn get(&self, key: &K) -> Option<V> {
+        let found = self.shard(key).lock().unwrap().get(key);
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Double-checked insert: if `key` was inserted by a racing thread since
+    /// the caller's miss, adopt and return the existing value (preserving the
+    /// same-`Arc` contract for plan handles); otherwise insert `value` and
+    /// return it. Does not touch the hit/miss counters — the race's losers
+    /// already counted their misses.
+    pub(crate) fn insert_if_absent(&self, key: K, value: V) -> V {
+        let mut shard = self.shard(&key).lock().unwrap();
+        if let Some(existing) = shard.get(&key) {
+            return existing;
+        }
+        shard.insert(key, value.clone());
+        value
+    }
+
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
     pub(crate) fn capacity(&self) -> usize {
         self.capacity
     }
 
     pub(crate) fn evictions(&self) -> u64 {
-        self.evictions
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().evictions())
+            .sum()
+    }
+
+    /// Number of shards (observability for tests).
+    #[cfg(test)]
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 }
 
@@ -109,5 +219,47 @@ mod tests {
         c.insert("a", 1);
         assert_eq!(c.get(&"a"), None);
         assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn small_caches_stay_single_sharded_and_exactly_lru() {
+        let c: ShardedLru<&str, u32> = ShardedLru::new(2);
+        assert_eq!(c.shard_count(), 1);
+        assert_eq!(c.insert_if_absent("a", 1), 1);
+        assert_eq!(c.insert_if_absent("b", 2), 2);
+        assert_eq!(c.get(&"a"), Some(1)); // refresh a; b is the LRU entry
+        c.insert_if_absent("c", 3);
+        assert_eq!(c.get(&"b"), None, "b was evicted across the whole cache");
+        assert_eq!((c.hits(), c.misses(), c.evictions()), (1, 1, 1));
+    }
+
+    #[test]
+    fn large_caches_shard_and_split_the_budget() {
+        let c: ShardedLru<u32, u32> = ShardedLru::new(256);
+        assert_eq!(c.shard_count(), SHARD_COUNT);
+        assert_eq!(c.capacity(), 256);
+        for k in 0..256u32 {
+            c.insert_if_absent(k, k);
+        }
+        // All keys fit: 8 shards × 32 slots. (Hashing is not perfectly even,
+        // so allow the handful of evictions an unlucky shard may take.)
+        assert!(c.len() >= 200, "len {}", c.len());
+    }
+
+    #[test]
+    fn insert_if_absent_returns_the_winner() {
+        let c: ShardedLru<&str, u32> = ShardedLru::new(4);
+        assert_eq!(c.insert_if_absent("k", 1), 1);
+        assert_eq!(c.insert_if_absent("k", 2), 1, "first insert wins");
+        assert_eq!(c.get(&"k"), Some(1));
+    }
+
+    #[test]
+    fn zero_capacity_sharded_cache_stores_nothing() {
+        let c: ShardedLru<&str, u32> = ShardedLru::new(0);
+        c.insert_if_absent("a", 1);
+        assert_eq!(c.get(&"a"), None);
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.misses(), 1);
     }
 }

@@ -7,10 +7,13 @@
 //! scattered entry points had to match on whichever subset its hand-wired
 //! pipeline could produce. [`Error`] folds them into a single enum with
 //! `Display` and `std::error::Error` implementations, so a `Session` caller
-//! handles one type end to end and still gets the source-position context the
-//! lexer/parser recorded.
+//! handles one type end to end — and, since every layer now threads byte
+//! [`Span`]s from the lexer through the AST, [`Error::span`] locates the
+//! failure in the query text for *all* variants, not just lex/parse. Use
+//! [`Error::render`] to turn that span into a human-readable caret snippet.
 
-use ncql_core::{EvalError, TypeError};
+use crate::diagnostics::Diagnostic;
+use ncql_core::{EvalError, Span, TypeError};
 use ncql_object::ObjectError;
 use ncql_surface::{LexError, ParseError};
 use std::fmt;
@@ -19,29 +22,71 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Error {
     /// The query text failed to lex or parse. Carries the surface crate's
-    /// error, including the byte position the lexer/parser recorded.
+    /// error, including the byte span the lexer/parser recorded.
     Parse(ParseError),
     /// The parsed query failed to type-check against the session's registry Σ.
+    /// Carries the span of the offending node.
     Type(TypeError),
     /// Evaluation failed (stuck term, extern failure, resource limit, worker
-    /// panic).
+    /// panic). Carries the span of the failing subexpression.
     Eval(EvalError),
-    /// An object-model operation failed (value typing, encoding/decoding).
-    Object(ObjectError),
+    /// An object-model operation failed (value typing, encoding/decoding,
+    /// execution-time binding validation).
+    Object {
+        /// The object-model error.
+        source: ObjectError,
+        /// For binding-validation failures: the span of the schema variable's
+        /// use site in the prepared query's source text.
+        span: Option<Span>,
+    },
 }
 
 impl Error {
-    /// The position in the query text at which the error was detected, when
-    /// the failure happened in the front end and a position is known: the
-    /// lexer's *byte offset* for a lexical error, the parser's *token index*
-    /// for an unexpected token. Type, evaluation and object errors are
-    /// positionless (the AST does not carry spans yet).
-    pub fn position(&self) -> Option<usize> {
+    /// The byte span in the query text at which the error was detected, when
+    /// one is known — the lexer's or parser's own span for front-end
+    /// failures, the offending AST node's span for type errors, the failing
+    /// subexpression's span for evaluation errors, and the schema variable's
+    /// use site for binding-validation errors. `None` only for errors raised
+    /// from programmatically built (span-less) expressions or for object
+    /// errors with no associated source location.
+    pub fn span(&self) -> Option<Span> {
         match self {
-            Error::Parse(ParseError::Lex(LexError { position, .. })) => Some(*position),
-            Error::Parse(ParseError::Unexpected { position, .. }) => Some(*position),
-            _ => None,
+            Error::Parse(e) => Some(e.span()),
+            Error::Type(e) => e.span,
+            Error::Eval(e) => e.span(),
+            Error::Object { span, .. } => *span,
         }
+    }
+
+    /// The byte offset at which the error was detected: the start of
+    /// [`Error::span`]. Lex and parse failures report the same unit (byte
+    /// offsets into the query text) since the parser's token spans come from
+    /// the lexer.
+    pub fn position(&self) -> Option<usize> {
+        self.span().map(|s| s.start)
+    }
+
+    /// The diagnostic for this error against the source text it was raised
+    /// from: the message plus, when the error is located, the 1-based
+    /// line/column and a single-line caret snippet.
+    pub fn diagnostic(&self, source: &str) -> Diagnostic {
+        Diagnostic::new(self.to_string(), self.span(), source)
+    }
+
+    /// Render the error as a caret diagnostic against `source` — the query
+    /// text this error was produced from (see [`crate::Session::prepare`]).
+    ///
+    /// ```
+    /// use ncql_engine::Session;
+    ///
+    /// let session = Session::new();
+    /// let text = "{@1} union {true}";
+    /// let err = session.prepare(text).unwrap_err();
+    /// let rendered = err.render(text);
+    /// assert!(rendered.contains("^"), "{rendered}");
+    /// ```
+    pub fn render(&self, source: &str) -> String {
+        self.diagnostic(source).to_string()
     }
 }
 
@@ -49,11 +94,11 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             // Lex/parse errors already self-describe ("lex error at byte N",
-            // "parse error at token N"), so no prefix is added.
+            // "parse error at byte N"), so no prefix is added.
             Error::Parse(e) => write!(f, "{e}"),
             Error::Type(e) => write!(f, "type error: {e}"),
             Error::Eval(e) => write!(f, "evaluation error: {e}"),
-            Error::Object(e) => write!(f, "object error: {e}"),
+            Error::Object { source, .. } => write!(f, "object error: {source}"),
         }
     }
 }
@@ -64,7 +109,7 @@ impl std::error::Error for Error {
             Error::Parse(e) => Some(e),
             Error::Type(e) => Some(e),
             Error::Eval(e) => Some(e),
-            Error::Object(e) => Some(e),
+            Error::Object { source, .. } => Some(source),
         }
     }
 }
@@ -94,8 +139,8 @@ impl From<EvalError> for Error {
 }
 
 impl From<ObjectError> for Error {
-    fn from(e: ObjectError) -> Error {
-        Error::Object(e)
+    fn from(source: ObjectError) -> Error {
+        Error::Object { source, span: None }
     }
 }
 
@@ -109,13 +154,28 @@ mod tests {
         let err: Error = ncql_surface::parse("{@1} union $").unwrap_err().into();
         assert!(matches!(err, Error::Parse(_)));
         assert_eq!(err.position(), Some(11), "byte offset of the `$`");
+        assert_eq!(err.span(), Some(Span::new(11, 12)));
         assert!(err.to_string().starts_with("lex error at byte 11"));
         assert!(err.source().is_some());
     }
 
     #[test]
-    fn eval_errors_are_positionless_but_sourced() {
-        let err = Error::from(EvalError::WorkLimitExceeded { limit: 7 });
+    fn lex_and_parse_failures_report_the_same_unit() {
+        // Satellite contract: `position()` means *byte offset* for both.
+        let lex: Error = ncql_surface::parse("{@1} union $").unwrap_err().into();
+        let parse: Error = ncql_surface::parse("@1 @2").unwrap_err().into();
+        assert_eq!(lex.position(), Some(11));
+        assert_eq!(
+            parse.position(),
+            Some(3),
+            "byte offset of `@2`, not a token index"
+        );
+        assert!(parse.to_string().starts_with("parse error at byte 3"));
+    }
+
+    #[test]
+    fn eval_errors_without_spans_are_positionless_but_sourced() {
+        let err = Error::from(EvalError::work_limit_exceeded(7));
         assert_eq!(err.position(), None);
         assert!(err.to_string().contains("limit of 7"));
         assert!(err.source().is_some());

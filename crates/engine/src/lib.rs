@@ -57,10 +57,12 @@
 //! ```
 
 mod cache;
+mod diagnostics;
 mod error;
 mod prepared;
 mod session;
 
+pub use diagnostics::Diagnostic;
 pub use error::Error;
 pub use prepared::{Backend, Outcome, PreparedQuery};
 pub use session::{CacheMetrics, Session, SessionBuilder, DEFAULT_CACHE_CAPACITY};

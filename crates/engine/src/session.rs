@@ -1,6 +1,6 @@
 //! Sessions: configuration, the prepared-statement cache, and execution.
 
-use crate::cache::LruCache;
+use crate::cache::ShardedLru;
 use crate::error::Error;
 use crate::prepared::{Backend, Outcome, PreparedPlan, PreparedQuery};
 use ncql_core::eval::{CostStats, EvalConfig, Evaluator};
@@ -11,7 +11,7 @@ use ncql_core::typecheck::{infer, value_type, TypeEnv};
 use ncql_core::{analysis, EvalError};
 use ncql_object::{ObjectError, Type, Value};
 use ncql_pram::WorkStealingPool;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 
 /// Default number of prepared plans a session retains.
 pub const DEFAULT_CACHE_CAPACITY: usize = 256;
@@ -194,20 +194,9 @@ impl SessionBuilder {
             config: self.config,
             registry_fingerprint: OnceLock::new(),
             pool: OnceLock::new(),
-            cache: Mutex::new(CacheState {
-                plans: LruCache::new(self.cache_capacity),
-                hits: 0,
-                misses: 0,
-            }),
+            cache: ShardedLru::new(self.cache_capacity),
         }
     }
-}
-
-#[derive(Debug)]
-struct CacheState {
-    plans: LruCache<PlanKey, Arc<PreparedPlan>>,
-    hits: u64,
-    misses: u64,
 }
 
 /// The single supported entry point for running NC queries.
@@ -243,7 +232,10 @@ pub struct Session {
     /// spawns its workers lazily on the first forked region — so a
     /// sequential session never creates a worker thread at all.
     pool: OnceLock<Arc<WorkStealingPool>>,
-    cache: Mutex<CacheState>,
+    /// The prepared-plan cache: per-shard LRU maps behind per-shard locks
+    /// (hash-of-key sharding), so concurrent `prepare` traffic for distinct
+    /// texts does not serialize on one mutex.
+    cache: ShardedLru<PlanKey, Arc<PreparedPlan>>,
 }
 
 impl Default for Session {
@@ -292,15 +284,15 @@ impl Session {
         self.config.registry = registry;
     }
 
-    /// Counters describing the prepared-statement cache.
+    /// Counters describing the prepared-statement cache (aggregated over all
+    /// shards; the hit/miss tallies are lock-free atomics).
     pub fn cache_metrics(&self) -> CacheMetrics {
-        let state = self.cache.lock().unwrap();
         CacheMetrics {
-            hits: state.hits,
-            misses: state.misses,
-            evictions: state.plans.evictions(),
-            len: state.plans.len(),
-            capacity: state.plans.capacity(),
+            hits: self.cache.hits(),
+            misses: self.cache.misses(),
+            evictions: self.cache.evictions(),
+            len: self.cache.len(),
+            capacity: self.cache.capacity(),
         }
     }
 
@@ -321,31 +313,17 @@ impl Session {
         schema: &[(String, Type)],
     ) -> Result<PreparedQuery, Error> {
         let key = PlanKey::new(text, schema, self.registry_fingerprint());
-        if let Some(plan) = {
-            let mut state = self.cache.lock().unwrap();
-            let hit = state.plans.get(&key);
-            if hit.is_some() {
-                state.hits += 1;
-            } else {
-                state.misses += 1;
-            }
-            hit
-        } {
+        if let Some(plan) = self.cache.get(&key) {
             return Ok(PreparedQuery { plan });
         }
         let expr = ncql_surface::parse(text)?;
         let plan = Arc::new(self.analyze(Some(text.to_string()), expr, schema)?);
-        // Double-checked insert: the lock is not held across the front end, so
-        // two threads can race to first-prepare the same text. Whoever inserts
+        // Double-checked insert: no lock is held across the front end, so two
+        // threads can race to first-prepare the same text. Whoever inserts
         // first wins and the loser adopts the winner's plan, keeping the
         // same-`Arc` contract for every handle ever returned (both front-end
         // runs are counted as misses).
-        let mut state = self.cache.lock().unwrap();
-        if let Some(existing) = state.plans.get(&key) {
-            return Ok(PreparedQuery { plan: existing });
-        }
-        state.plans.insert(key, plan.clone());
-        drop(state);
+        let plan = self.cache.insert_if_absent(key, plan);
         Ok(PreparedQuery { plan })
     }
 
@@ -414,28 +392,42 @@ impl Session {
         bindings: &[(String, Value)],
     ) -> Result<Outcome, Error> {
         for (name, ty) in query.schema() {
+            // Binding errors point at the schema variable's first use site in
+            // the prepared source text (None for span-less builder plans).
+            let use_site = || analysis::free_var_span(query.expr(), name);
             let mut matching = bindings.iter().filter(|(bound, _)| bound == name);
             match (matching.next(), matching.next()) {
                 (None, _) => {
-                    return Err(Error::Object(ObjectError::TypeMismatch {
-                        expected: format!("a binding for schema variable `{name}` of type {ty}"),
-                        found: "no binding with that name".to_string(),
-                    }))
+                    return Err(Error::Object {
+                        source: ObjectError::TypeMismatch {
+                            expected: format!(
+                                "a binding for schema variable `{name}` of type {ty}"
+                            ),
+                            found: "no binding with that name".to_string(),
+                        },
+                        span: use_site(),
+                    })
                 }
                 // A duplicated name is rejected outright: validation would
                 // otherwise vouch for one occurrence while the evaluator's
                 // environment (last binding shadows) resolves another.
                 (Some(_), Some(_)) => {
-                    return Err(Error::Object(ObjectError::TypeMismatch {
-                        expected: format!("exactly one binding for schema variable `{name}`"),
-                        found: "multiple bindings with that name".to_string(),
-                    }))
+                    return Err(Error::Object {
+                        source: ObjectError::TypeMismatch {
+                            expected: format!("exactly one binding for schema variable `{name}`"),
+                            found: "multiple bindings with that name".to_string(),
+                        },
+                        span: use_site(),
+                    })
                 }
                 (Some((_, value)), None) if !value.has_type(ty) => {
-                    return Err(Error::Object(ObjectError::TypeMismatch {
-                        expected: format!("{ty} for schema variable `{name}`"),
-                        found: value_type(value).to_string(),
-                    }))
+                    return Err(Error::Object {
+                        source: ObjectError::TypeMismatch {
+                            expected: format!("{ty} for schema variable `{name}`"),
+                            found: value_type(value).to_string(),
+                        },
+                        span: use_site(),
+                    })
                 }
                 (Some(_), None) => {}
             }
@@ -580,6 +572,60 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_preparations_hammer_every_shard() {
+        // A capacity ≥ the sharding threshold gives the full sharded cache;
+        // 64 distinct texts spread over the shards by key hash. 8 threads ×
+        // 64 texts race first-preparation of every text, then every handle is
+        // checked against a fresh prepare: the same-`Arc` contract must hold
+        // per text no matter which shard its key landed in.
+        let session = Session::builder().cache_capacity(256).build();
+        let texts: Vec<String> = (0..64)
+            .map(|n| format!("{{@{n}}} union {{@{}}}", n + 1))
+            .collect();
+        let per_thread: Vec<Vec<PreparedQuery>> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..8)
+                .map(|t| {
+                    let texts = &texts;
+                    let session = &session;
+                    scope.spawn(move || {
+                        // Stagger the iteration order per thread so shards see
+                        // interleaved traffic, not a lockstep sweep.
+                        (0..texts.len())
+                            .map(|i| {
+                                let text = &texts[(i + t * 13) % texts.len()];
+                                session.prepare(text).unwrap()
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            workers.into_iter().map(|w| w.join().unwrap()).collect()
+        });
+        for (i, text) in texts.iter().enumerate() {
+            let canonical = session.prepare(text).unwrap();
+            for handles in &per_thread {
+                let handle = handles
+                    .iter()
+                    .find(|h| h.source() == Some(text.as_str()))
+                    .expect("every thread prepared every text");
+                assert!(
+                    handle.ptr_eq(&canonical),
+                    "text #{i} diverged across shards"
+                );
+            }
+        }
+        let metrics = session.cache_metrics();
+        assert_eq!(metrics.len, texts.len(), "all plans cached, none evicted");
+        assert_eq!(metrics.capacity, 256);
+        // 8 threads × 64 prepares + 64 canonical re-prepares; at least one
+        // front-end run per text, and every later prepare was a hit unless it
+        // lost a first-preparation race.
+        assert_eq!(metrics.hits + metrics.misses, 8 * 64 + 64);
+        assert!(metrics.misses >= 64);
+        assert!(metrics.hits >= 7 * 64);
+    }
+
+    #[test]
     fn parallel_and_sequential_sessions_agree() {
         let text = "dcr(0, \\x: atom. atom_to_nat(x), \
                     \\p: (nat * nat). nat_add(pi1 p, pi2 p), \
@@ -602,7 +648,11 @@ mod tests {
     fn degenerate_parallelism_is_normalized_at_build() {
         for requested in [None, Some(0), Some(1)] {
             let session = Session::builder().parallelism(requested).build();
-            assert_eq!(session.config().parallelism, None, "requested {requested:?}");
+            assert_eq!(
+                session.config().parallelism,
+                None,
+                "requested {requested:?}"
+            );
             assert_eq!(session.backend(), Backend::Sequential);
         }
     }
@@ -631,7 +681,10 @@ mod tests {
         let q = session.prepare_with_schema("card(s)", &schema).unwrap();
         // Wrong type: a bool where a set of atoms was declared.
         match session.execute_with_bindings(&q, &[("s".to_string(), Value::Bool(true))]) {
-            Err(Error::Object(ObjectError::TypeMismatch { expected, found })) => {
+            Err(Error::Object {
+                source: ObjectError::TypeMismatch { expected, found },
+                ..
+            }) => {
                 assert!(expected.contains("`s`"), "{expected}");
                 assert_eq!(found, "bool");
             }
@@ -639,7 +692,10 @@ mod tests {
         }
         // Missing binding: the schema variable was never supplied.
         match session.execute_with_bindings(&q, &[("t".to_string(), Value::atom_set(0..2))]) {
-            Err(Error::Object(ObjectError::TypeMismatch { expected, .. })) => {
+            Err(Error::Object {
+                source: ObjectError::TypeMismatch { expected, .. },
+                ..
+            }) => {
                 assert!(expected.contains("`s`"), "{expected}");
             }
             other => panic!("expected a missing-binding error, got {other:?}"),
@@ -653,7 +709,10 @@ mod tests {
                 ("s".to_string(), Value::Bool(true)),
             ],
         ) {
-            Err(Error::Object(ObjectError::TypeMismatch { expected, found })) => {
+            Err(Error::Object {
+                source: ObjectError::TypeMismatch { expected, found },
+                ..
+            }) => {
                 assert!(expected.contains("exactly one"), "{expected}");
                 assert!(found.contains("multiple"), "{found}");
             }
@@ -687,13 +746,12 @@ mod tests {
 
     #[test]
     fn unknown_extern_is_a_type_error_under_an_empty_registry() {
-        let session = Session::builder()
-            .registry(ExternRegistry::empty())
-            .build();
+        let session = Session::builder().registry(ExternRegistry::empty()).build();
         match session.prepare("nat_add(1, 2)") {
-            Err(Error::Type(ncql_core::TypeError::UnknownExtern(name))) => {
-                assert_eq!(name, "nat_add")
-            }
+            Err(Error::Type(e)) => match e.kind {
+                ncql_core::TypeErrorKind::UnknownExtern(name) => assert_eq!(name, "nat_add"),
+                other => panic!("expected UnknownExtern, got {other:?}"),
+            },
             other => panic!("expected UnknownExtern, got {other:?}"),
         }
     }

@@ -112,7 +112,9 @@ pub struct SymbolString {
 impl SymbolString {
     /// The empty string.
     pub fn new() -> SymbolString {
-        SymbolString { symbols: Vec::new() }
+        SymbolString {
+            symbols: Vec::new(),
+        }
     }
 
     /// Wrap an explicit symbol sequence.
@@ -203,7 +205,11 @@ impl SymbolString {
         let mut symbols = Vec::with_capacity(self.symbols.len() * 2);
         for (i, s) in self.symbols.iter().enumerate() {
             symbols.push(*s);
-            let next_is_digit = self.symbols.get(i + 1).map(|n| is_digit(*n)).unwrap_or(false);
+            let next_is_digit = self
+                .symbols
+                .get(i + 1)
+                .map(|n| is_digit(*n))
+                .unwrap_or(false);
             if !(is_digit(*s) && next_is_digit) {
                 symbols.push(Symbol::Blank);
             }
@@ -229,7 +235,11 @@ fn encode_number(n: u64, out: &mut SymbolString) {
     }
     let bits = 64 - n.leading_zeros();
     for i in (0..bits).rev() {
-        out.push(if (n >> i) & 1 == 1 { Symbol::One } else { Symbol::Zero });
+        out.push(if (n >> i) & 1 == 1 {
+            Symbol::One
+        } else {
+            Symbol::Zero
+        });
     }
 }
 
@@ -509,7 +519,11 @@ impl PositionalRelation {
                 }
             }
         }
-        Ok(PositionalRelation { universe, arity, bits })
+        Ok(PositionalRelation {
+            universe,
+            arity,
+            bits,
+        })
     }
 
     /// Decode back into a relation value over atoms `0 … n−1`.
@@ -522,14 +536,13 @@ impl PositionalRelation {
                     .filter(|(_, b)| **b)
                     .map(|(i, _)| i as u64),
             ),
-            _ => Value::relation_from_pairs(self.bits.iter().enumerate().filter(|(_, b)| **b).map(
-                |(i, _)| {
-                    (
-                        (i / self.universe) as u64,
-                        (i % self.universe) as u64,
-                    )
-                },
-            )),
+            _ => Value::relation_from_pairs(
+                self.bits
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, b)| **b)
+                    .map(|(i, _)| ((i / self.universe) as u64, (i % self.universe) as u64)),
+            ),
         }
     }
 

@@ -41,7 +41,10 @@ impl fmt::Display for ObjectError {
                 write!(f, "decode error at position {position}: {message}")
             }
             ObjectError::NotFlat(msg) => write!(f, "not a flat relation: {msg}"),
-            ObjectError::UniverseTooSmall { required, available } => write!(
+            ObjectError::UniverseTooSmall {
+                required,
+                available,
+            } => write!(
                 f,
                 "universe too small: required {required}, available {available}"
             ),

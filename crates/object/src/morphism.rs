@@ -22,7 +22,9 @@ pub struct Morphism {
 impl Morphism {
     /// The identity morphism.
     pub fn identity() -> Morphism {
-        Morphism { map: BTreeMap::new() }
+        Morphism {
+            map: BTreeMap::new(),
+        }
     }
 
     /// Build a morphism from explicit pairs. Returns `None` if the mapping is not

@@ -212,7 +212,10 @@ mod tests {
 
     #[test]
     fn products_of_sets_are_ps_types() {
-        let t = Type::prod(Type::set(Type::Base), Type::set(Type::prod(Type::Base, Type::Bool)));
+        let t = Type::prod(
+            Type::set(Type::Base),
+            Type::set(Type::prod(Type::Base, Type::Bool)),
+        );
         assert!(t.is_ps_type());
         // A product containing a bare base type is not a PS-type.
         let t2 = Type::prod(Type::set(Type::Base), Type::Base);

@@ -121,7 +121,9 @@ impl VSet {
         }
         out.extend_from_slice(&self.elems[i..]);
         out.extend_from_slice(&other.elems[j..]);
-        VSet { elems: Arc::new(out) }
+        VSet {
+            elems: Arc::new(out),
+        }
     }
 
     /// Set intersection (used by the bounding step of `bdcr`/`bsri`).
@@ -139,7 +141,9 @@ impl VSet {
                 }
             }
         }
-        VSet { elems: Arc::new(out) }
+        VSet {
+            elems: Arc::new(out),
+        }
     }
 
     /// Set difference `self \ other`.
@@ -163,7 +167,9 @@ impl VSet {
                 }
             }
         }
-        VSet { elems: Arc::new(out) }
+        VSet {
+            elems: Arc::new(out),
+        }
     }
 
     /// Is `self` a subset of `other`?
@@ -210,7 +216,9 @@ impl FromIterator<Value> for VSet {
         let mut elems: Vec<Value> = iter.into_iter().collect();
         elems.sort();
         elems.dedup();
-        VSet { elems: Arc::new(elems) }
+        VSet {
+            elems: Arc::new(elems),
+        }
     }
 }
 
@@ -242,9 +250,7 @@ impl Ord for Value {
             (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
             (Value::Atom(a), Value::Atom(b)) => a.cmp(b),
             (Value::Nat(a), Value::Nat(b)) => a.cmp(b),
-            (Value::Pair(a1, a2), Value::Pair(b1, b2)) => {
-                a1.cmp(b1).then_with(|| a2.cmp(b2))
-            }
+            (Value::Pair(a1, a2), Value::Pair(b1, b2)) => a1.cmp(b1).then_with(|| a2.cmp(b2)),
             (Value::Set(a), Value::Set(b)) => {
                 // Lexicographic on the sorted element sequences; Vec's Ord is
                 // exactly that (shorter prefix compares Less).
@@ -430,7 +436,12 @@ mod tests {
     use super::*;
 
     fn abc() -> VSet {
-        VSet::from_iter(vec![Value::Atom(2), Value::Atom(1), Value::Atom(3), Value::Atom(2)])
+        VSet::from_iter(vec![
+            Value::Atom(2),
+            Value::Atom(1),
+            Value::Atom(3),
+            Value::Atom(2),
+        ])
     }
 
     #[test]

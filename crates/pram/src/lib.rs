@@ -75,7 +75,9 @@ pub fn live_pool_workers() -> usize {
 
 /// The number of hardware threads available, with a conservative fallback.
 pub fn available_threads() -> usize {
-    thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 /// Why a parallel region failed: a chunk returned an error, or a chunk
@@ -493,7 +495,9 @@ pub struct RegionPermit {
 
 impl std::fmt::Debug for RegionPermit {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RegionPermit").field("workers", &self.workers).finish()
+        f.debug_struct("RegionPermit")
+            .field("workers", &self.workers)
+            .finish()
     }
 }
 
@@ -609,8 +613,9 @@ impl RegionPermit {
         E: Send,
         F: Fn(&T) -> Result<R, E> + Sync,
     {
-        let per_chunk =
-            self.run(items, |_, chunk| chunk.iter().map(&f).collect::<Result<Vec<R>, E>>())?;
+        let per_chunk = self.run(items, |_, chunk| {
+            chunk.iter().map(&f).collect::<Result<Vec<R>, E>>()
+        })?;
         let mut out = Vec::with_capacity(items.len());
         for chunk in per_chunk {
             out.extend(chunk);
@@ -669,7 +674,11 @@ mod tests {
         for threads in [1, 2, 3, 8] {
             let p = pool(threads);
             let out = borrow(&p).map(&items, |x| Ok::<u64, ()>(x * x)).unwrap();
-            assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>(), "threads={threads}");
+            assert_eq!(
+                out,
+                items.iter().map(|x| x * x).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
         }
     }
 
@@ -678,7 +687,9 @@ mod tests {
         let items: Vec<u64> = (0..57).collect();
         let p = pool(4);
         let chunks = borrow(&p)
-            .run(&items, |index, chunk| Ok::<(usize, Vec<u64>), ()>((index, chunk.to_vec())))
+            .run(&items, |index, chunk| {
+                Ok::<(usize, Vec<u64>), ()>((index, chunk.to_vec()))
+            })
             .unwrap();
         let mut seen = Vec::new();
         for (i, (index, chunk)) in chunks.iter().enumerate() {
@@ -691,9 +702,15 @@ mod tests {
     #[test]
     fn empty_input_spawns_nothing() {
         let p = pool(4);
-        let out = borrow(&p).map(&Vec::<u64>::new(), |_| Ok::<u64, ()>(0)).unwrap();
+        let out = borrow(&p)
+            .map(&Vec::<u64>::new(), |_| Ok::<u64, ()>(0))
+            .unwrap();
         assert!(out.is_empty());
-        assert_eq!(p.spawned_workers(), 0, "empty regions must not spawn the worker set");
+        assert_eq!(
+            p.spawned_workers(),
+            0,
+            "empty regions must not spawn the worker set"
+        );
     }
 
     #[test]
@@ -708,7 +725,11 @@ mod tests {
             })
             .unwrap();
         assert_eq!(out.iter().sum::<usize>(), 2);
-        assert_eq!(p.spawned_workers(), 0, "inline regions must not spawn the worker set");
+        assert_eq!(
+            p.spawned_workers(),
+            0,
+            "inline regions must not spawn the worker set"
+        );
     }
 
     #[test]
@@ -743,7 +764,11 @@ mod tests {
         let items: Vec<u64> = (0..64).collect();
         // Several chunks fail; the lowest chunk index must win every run.
         for seed in 0..10 {
-            let p = WorkStealingPool::with_config(PoolConfig { threads: 4, steal_seed: seed, ..PoolConfig::default() });
+            let p = WorkStealingPool::with_config(PoolConfig {
+                threads: 4,
+                steal_seed: seed,
+                ..PoolConfig::default()
+            });
             let err = borrow(&p)
                 .run(&items, |index, _| {
                     if index >= 1 {
@@ -753,7 +778,11 @@ mod tests {
                     }
                 })
                 .unwrap_err();
-            assert_eq!(err, TaskError::Failed("chunk 1 failed".to_string()), "seed={seed}");
+            assert_eq!(
+                err,
+                TaskError::Failed("chunk 1 failed".to_string()),
+                "seed={seed}"
+            );
         }
     }
 
@@ -793,7 +822,10 @@ mod tests {
         }
         // Every successfully built result was joined and then dropped — none
         // leaked past the error return.
-        assert!(BUILT.load(Ordering::SeqCst) > 0, "siblings of the panicking chunk still ran");
+        assert!(
+            BUILT.load(Ordering::SeqCst) > 0,
+            "siblings of the panicking chunk still ran"
+        );
         assert_eq!(DROPS.load(Ordering::SeqCst), BUILT.load(Ordering::SeqCst));
     }
 
@@ -803,7 +835,9 @@ mod tests {
         let p = pool(4);
         for round in 0..3 {
             let err = borrow(&p)
-                .run(&items, |_, _| -> Result<u64, ()> { panic!("boom round {round}") })
+                .run(&items, |_, _| -> Result<u64, ()> {
+                    panic!("boom round {round}")
+                })
                 .unwrap_err();
             assert_eq!(err, TaskError::Panicked(format!("boom round {round}")));
             // The very next region on the same worker set succeeds.
@@ -866,8 +900,14 @@ mod tests {
         let items: Vec<u64> = (0..257).collect();
         let expected: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
         for seed in 0..24 {
-            let p = WorkStealingPool::with_config(PoolConfig { threads: 4, steal_seed: seed, ..PoolConfig::default() });
-            let out = borrow(&p).map(&items, |x| Ok::<u64, ()>(x * 3 + 1)).unwrap();
+            let p = WorkStealingPool::with_config(PoolConfig {
+                threads: 4,
+                steal_seed: seed,
+                ..PoolConfig::default()
+            });
+            let out = borrow(&p)
+                .map(&items, |x| Ok::<u64, ()>(x * 3 + 1))
+                .unwrap();
             assert_eq!(out, expected, "seed={seed}");
         }
     }
@@ -883,10 +923,17 @@ mod tests {
         let inner = p.try_borrow(8).unwrap();
         assert_eq!(inner.workers(), 1);
         assert_eq!(p.available_budget(), 0);
-        assert!(p.try_borrow(1).is_none(), "an exhausted budget refuses further borrows");
+        assert!(
+            p.try_borrow(1).is_none(),
+            "an exhausted budget refuses further borrows"
+        );
         drop(inner);
         drop(outer);
-        assert_eq!(p.available_budget(), 4, "dropped permits return to the budget");
+        assert_eq!(
+            p.available_budget(),
+            4,
+            "dropped permits return to the budget"
+        );
     }
 
     #[test]
@@ -912,10 +959,17 @@ mod tests {
             })
             .unwrap();
         let inner_sum: u64 = (0..64).sum();
-        assert_eq!(totals.iter().sum::<u64>(), inner_sum * outer_items.len() as u64);
+        assert_eq!(
+            totals.iter().sum::<u64>(),
+            inner_sum * outer_items.len() as u64
+        );
         drop(outer);
         assert_eq!(p.available_budget(), 4, "nested permits all returned");
-        assert_eq!(p.spawned_workers(), 4, "nesting must not grow the worker set");
+        assert_eq!(
+            p.spawned_workers(),
+            4,
+            "nesting must not grow the worker set"
+        );
     }
 
     /// Shutdown racing an in-flight region: the workers are told to exit while

@@ -111,16 +111,19 @@ mod tests {
     use ncql_object::Value;
 
     fn atoms(v: Vec<u64>) -> Expr {
-        Expr::Const(Value::atom_set(v))
+        Expr::constant(Value::atom_set(v))
     }
 
     #[test]
     fn cardinality_both_ways() {
         let s = atoms(vec![3, 1, 4, 1, 5, 9, 2, 6]);
-        assert_eq!(eval_closed(&cardinality_dcr(s.clone())).unwrap(), Value::Nat(7));
+        assert_eq!(
+            eval_closed(&cardinality_dcr(s.clone())).unwrap(),
+            Value::Nat(7)
+        );
         assert_eq!(eval_closed(&cardinality_extern(s)).unwrap(), Value::Nat(7));
         assert_eq!(
-            eval_closed(&cardinality_dcr(Expr::Empty(Type::Base))).unwrap(),
+            eval_closed(&cardinality_dcr(Expr::empty(Type::Base))).unwrap(),
             Value::Nat(0)
         );
     }
@@ -135,7 +138,10 @@ mod tests {
     #[test]
     fn max_and_min() {
         let s = atoms(vec![5, 17, 3]);
-        assert_eq!(eval_closed(&max_atom_dcr(s.clone())).unwrap(), Value::Atom(17));
+        assert_eq!(
+            eval_closed(&max_atom_dcr(s.clone())).unwrap(),
+            Value::Atom(17)
+        );
         assert_eq!(
             eval_closed(&min_atom_relational(s)).unwrap(),
             Value::atom_set(vec![3])
@@ -176,7 +182,10 @@ mod tests {
         ] {
             assert_eq!(typecheck_closed(&q).unwrap(), Type::Nat);
         }
-        assert_eq!(typecheck_closed(&max_atom_dcr(s.clone())).unwrap(), Type::Base);
+        assert_eq!(
+            typecheck_closed(&max_atom_dcr(s.clone())).unwrap(),
+            Type::Base
+        );
         assert_eq!(typecheck_closed(&even_cardinality(s)).unwrap(), Type::Bool);
     }
 }

@@ -95,12 +95,8 @@ pub fn addition_table(p: u64) -> Value {
     Value::set_from((0..p).flat_map(|a| {
         (0..p).filter_map(move |b| {
             let c = a + b;
-            (c < p).then(|| {
-                Value::pair(
-                    Value::pair(Value::Atom(a), Value::Atom(b)),
-                    Value::Atom(c),
-                )
-            })
+            (c < p)
+                .then(|| Value::pair(Value::pair(Value::Atom(a), Value::Atom(b)), Value::Atom(c)))
         })
     }))
 }
@@ -110,12 +106,8 @@ pub fn multiplication_table(p: u64) -> Value {
     Value::set_from((0..p).flat_map(|a| {
         (0..p).filter_map(move |b| {
             let c = a * b;
-            (c < p).then(|| {
-                Value::pair(
-                    Value::pair(Value::Atom(a), Value::Atom(b)),
-                    Value::Atom(c),
-                )
-            })
+            (c < p)
+                .then(|| Value::pair(Value::pair(Value::Atom(a), Value::Atom(b)), Value::Atom(c)))
         })
     }))
 }
@@ -160,7 +152,7 @@ mod tests {
     use ncql_core::typecheck::typecheck_closed;
 
     fn univ_expr(p: u64) -> Expr {
-        Expr::Const(universe(p))
+        Expr::constant(universe(p))
     }
 
     #[test]
@@ -192,9 +184,12 @@ mod tests {
         for row in table.as_set().unwrap().iter() {
             let (key, c) = row.as_pair().unwrap();
             let (a, b) = key.as_pair().unwrap();
-            assert_eq!(a.as_atom().unwrap() + b.as_atom().unwrap(), c.as_atom().unwrap());
+            assert_eq!(
+                a.as_atom().unwrap() + b.as_atom().unwrap(),
+                c.as_atom().unwrap()
+            );
         }
-        let q = add_lookup(Expr::Const(table), Expr::atom(3), Expr::atom(4));
+        let q = add_lookup(Expr::constant(table), Expr::atom(3), Expr::atom(4));
         assert!(typecheck_closed(&q).is_ok());
         assert_eq!(eval_closed(&q).unwrap(), Value::atom_set(vec![7]));
     }
@@ -205,7 +200,10 @@ mod tests {
         for row in mult.as_set().unwrap().iter() {
             let (key, c) = row.as_pair().unwrap();
             let (a, b) = key.as_pair().unwrap();
-            assert_eq!(a.as_atom().unwrap() * b.as_atom().unwrap(), c.as_atom().unwrap());
+            assert_eq!(
+                a.as_atom().unwrap() * b.as_atom().unwrap(),
+                c.as_atom().unwrap()
+            );
         }
         let bits = Relation::from_value(&bit_table(8)).unwrap();
         assert!(bits.contains(5, 0));

@@ -63,7 +63,7 @@ pub fn tc_dcr(r: Expr) -> Expr {
         rv.clone(),
         r,
         Expr::dcr(
-            Expr::Empty(edge_type()),
+            Expr::empty(edge_type()),
             Expr::lam("y", Type::Base, Expr::var(rv.clone())),
             tc_combiner(),
             vertices(Expr::var(rv)),
@@ -78,7 +78,13 @@ pub fn squaring_step() -> Expr {
         rel_type(),
         Expr::union(
             Expr::var("s"),
-            derived::compose(Type::Base, Type::Base, Type::Base, Expr::var("s"), Expr::var("s")),
+            derived::compose(
+                Type::Base,
+                Type::Base,
+                Type::Base,
+                Expr::var("s"),
+                Expr::var("s"),
+            ),
         ),
     )
 }
@@ -90,7 +96,11 @@ pub fn tc_log_loop(r: Expr) -> Expr {
     Expr::let_in(
         rv.clone(),
         r,
-        Expr::log_loop(squaring_step(), vertices(Expr::var(rv.clone())), Expr::var(rv)),
+        Expr::log_loop(
+            squaring_step(),
+            vertices(Expr::var(rv.clone())),
+            Expr::var(rv),
+        ),
     )
 }
 
@@ -131,7 +141,7 @@ pub fn tc_elementwise(r: Expr) -> Expr {
         rv.clone(),
         r,
         Expr::esr(
-            Expr::Empty(edge_type()),
+            Expr::empty(edge_type()),
             Expr::lam2(
                 "v",
                 "acc",
@@ -321,14 +331,22 @@ mod tests {
     }
 
     fn expr_of(r: &Relation) -> Expr {
-        Expr::Const(r.to_value())
+        Expr::constant(r.to_value())
     }
 
     #[test]
     fn tc_variants_agree_with_baseline_on_paths_and_cycles() {
-        for rel in [path(5), cycle(6), Relation::from_pairs(vec![(1, 2), (2, 3), (5, 1), (3, 5)])] {
+        for rel in [
+            path(5),
+            cycle(6),
+            Relation::from_pairs(vec![(1, 2), (2, 3), (5, 1), (3, 5)]),
+        ] {
             let expected = rel.transitive_closure().to_value();
-            assert_eq!(eval_closed(&tc_dcr(expr_of(&rel))).unwrap(), expected, "dcr");
+            assert_eq!(
+                eval_closed(&tc_dcr(expr_of(&rel))).unwrap(),
+                expected,
+                "dcr"
+            );
             assert_eq!(
                 eval_closed(&tc_log_loop(expr_of(&rel))).unwrap(),
                 expected,
@@ -349,17 +367,27 @@ mod tests {
 
     #[test]
     fn tc_of_empty_relation_is_empty() {
-        let e = tc_dcr(Expr::Const(Value::relation_from_pairs(Vec::<(u64, u64)>::new())));
+        let e = tc_dcr(Expr::constant(Value::relation_from_pairs(
+            Vec::<(u64, u64)>::new(),
+        )));
         assert_eq!(eval_closed(&e).unwrap(), Value::empty_set());
     }
 
     #[test]
     fn tc_queries_typecheck() {
         let r = expr_of(&path(3));
-        for q in [tc_dcr(r.clone()), tc_log_loop(r.clone()), tc_elementwise(r.clone()), tc_blog_loop(r.clone())] {
+        for q in [
+            tc_dcr(r.clone()),
+            tc_log_loop(r.clone()),
+            tc_elementwise(r.clone()),
+            tc_blog_loop(r.clone()),
+        ] {
             assert_eq!(typecheck_closed(&q).unwrap(), rel_type());
         }
-        assert_eq!(typecheck_closed(&strongly_connected(r.clone())).unwrap(), Type::Bool);
+        assert_eq!(
+            typecheck_closed(&strongly_connected(r.clone())).unwrap(),
+            Type::Bool
+        );
         assert_eq!(
             typecheck_closed(&reachable_from(r, Expr::atom(0))).unwrap(),
             Type::set(Type::Base)

@@ -76,14 +76,18 @@ mod tests {
     use ncql_object::Value;
 
     fn atoms(n: u64) -> Expr {
-        Expr::Const(Value::atom_set(0..n))
+        Expr::constant(Value::atom_set(0..n))
     }
 
     #[test]
     fn counts_match_the_predicted_iteration_numbers() {
         for n in [0u64, 1, 2, 3, 5, 8, 13, 21] {
             let logn = log_rounds(n as usize);
-            assert_eq!(eval_closed(&count_n(atoms(n))).unwrap(), Value::Nat(n), "n={n}");
+            assert_eq!(
+                eval_closed(&count_n(atoms(n))).unwrap(),
+                Value::Nat(n),
+                "n={n}"
+            );
             assert_eq!(
                 eval_closed(&count_n_squared(atoms(n))).unwrap(),
                 Value::Nat(n * n),

@@ -22,7 +22,7 @@ pub fn xor_combiner() -> Expr {
         Type::prod(Type::Bool, Type::Bool),
         Expr::ite(
             Expr::var("v1"),
-            Expr::ite(Expr::var("v2"), Expr::Bool(false), Expr::Bool(true)),
+            Expr::ite(Expr::var("v2"), Expr::bool_val(false), Expr::bool_val(true)),
             Expr::var("v2"),
         ),
     )
@@ -31,8 +31,8 @@ pub fn xor_combiner() -> Expr {
 /// Parity of a set of atoms via `dcr(false, λy. true, xor)` — logarithmic span.
 pub fn parity_dcr(set: Expr) -> Expr {
     Expr::dcr(
-        Expr::Bool(false),
-        Expr::lam("y", Type::Base, Expr::Bool(true)),
+        Expr::bool_val(false),
+        Expr::lam("y", Type::Base, Expr::bool_val(true)),
         xor_combiner(),
         set,
     )
@@ -43,7 +43,7 @@ pub fn parity_dcr(set: Expr) -> Expr {
 /// `esr`, not an `sri`; over our canonical sets the two coincide.)
 pub fn parity_esr(set: Expr) -> Expr {
     Expr::esr(
-        Expr::Bool(false),
+        Expr::bool_val(false),
         Expr::lam2(
             "y",
             "acc",
@@ -61,29 +61,41 @@ pub fn parity_loop(set: Expr) -> Expr {
     Expr::loop_(
         Expr::lam("acc", Type::Bool, derived::not(Expr::var("acc"))),
         set,
-        Expr::Bool(false),
+        Expr::bool_val(false),
     )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ncql_core::eval::{eval_with_stats, eval_closed};
-    use ncql_core::typecheck::typecheck_closed;
     use ncql_core::analysis;
+    use ncql_core::eval::{eval_closed, eval_with_stats};
+    use ncql_core::typecheck::typecheck_closed;
     use ncql_object::Value;
 
     fn input(n: u64) -> Expr {
-        Expr::Const(Value::atom_set((0..n).map(|i| i * 3 + 1)))
+        Expr::constant(Value::atom_set((0..n).map(|i| i * 3 + 1)))
     }
 
     #[test]
     fn all_three_variants_agree() {
         for n in [0u64, 1, 2, 3, 7, 8, 15, 16, 33] {
             let expected = Value::Bool(n % 2 == 1);
-            assert_eq!(eval_closed(&parity_dcr(input(n))).unwrap(), expected, "dcr n={n}");
-            assert_eq!(eval_closed(&parity_esr(input(n))).unwrap(), expected, "esr n={n}");
-            assert_eq!(eval_closed(&parity_loop(input(n))).unwrap(), expected, "loop n={n}");
+            assert_eq!(
+                eval_closed(&parity_dcr(input(n))).unwrap(),
+                expected,
+                "dcr n={n}"
+            );
+            assert_eq!(
+                eval_closed(&parity_esr(input(n))).unwrap(),
+                expected,
+                "esr n={n}"
+            );
+            assert_eq!(
+                eval_closed(&parity_loop(input(n))).unwrap(),
+                expected,
+                "loop n={n}"
+            );
         }
     }
 
@@ -91,7 +103,10 @@ mod tests {
     fn variants_typecheck_to_bool() {
         assert_eq!(typecheck_closed(&parity_dcr(input(4))).unwrap(), Type::Bool);
         assert_eq!(typecheck_closed(&parity_esr(input(4))).unwrap(), Type::Bool);
-        assert_eq!(typecheck_closed(&parity_loop(input(4))).unwrap(), Type::Bool);
+        assert_eq!(
+            typecheck_closed(&parity_loop(input(4))).unwrap(),
+            Type::Bool
+        );
     }
 
     #[test]

@@ -50,12 +50,12 @@ pub fn pairwise_union_combiner() -> Expr {
 /// blow-up that motivates `bdcr`.
 pub fn powerset_dcr(set: Expr) -> Expr {
     Expr::dcr(
-        Expr::singleton(Expr::Empty(Type::Base)),
+        Expr::singleton(Expr::empty(Type::Base)),
         Expr::lam(
             "y",
             Type::Base,
             Expr::union(
-                Expr::singleton(Expr::Empty(Type::Base)),
+                Expr::singleton(Expr::empty(Type::Base)),
                 Expr::singleton(Expr::singleton(Expr::var("y"))),
             ),
         ),
@@ -71,19 +71,19 @@ pub fn powerset_dcr(set: Expr) -> Expr {
 pub fn bounded_small_subsets(set: Expr) -> Expr {
     let sv = fresh_var("pset");
     let bound = Expr::union(
-        Expr::singleton(Expr::Empty(Type::Base)),
+        Expr::singleton(Expr::empty(Type::Base)),
         derived::map_set(Type::Base, Expr::var(sv.clone()), Expr::singleton),
     );
     Expr::let_in(
         sv.clone(),
         set,
         Expr::bdcr(
-            Expr::singleton(Expr::Empty(Type::Base)),
+            Expr::singleton(Expr::empty(Type::Base)),
             Expr::lam(
                 "y",
                 Type::Base,
                 Expr::union(
-                    Expr::singleton(Expr::Empty(Type::Base)),
+                    Expr::singleton(Expr::empty(Type::Base)),
                     Expr::singleton(Expr::singleton(Expr::var("y"))),
                 ),
             ),
@@ -104,7 +104,7 @@ mod tests {
     use ncql_object::Value;
 
     fn atoms(v: Vec<u64>) -> Expr {
-        Expr::Const(Value::atom_set(v))
+        Expr::constant(Value::atom_set(v))
     }
 
     #[test]
@@ -124,7 +124,7 @@ mod tests {
 
     #[test]
     fn powerset_of_empty_set() {
-        let out = eval_closed(&powerset_dcr(Expr::Empty(Type::Base))).unwrap();
+        let out = eval_closed(&powerset_dcr(Expr::empty(Type::Base))).unwrap();
         assert_eq!(out, Value::set_from(vec![Value::empty_set()]));
     }
 
@@ -142,7 +142,9 @@ mod tests {
             max_set_size: 4096,
             ..EvalConfig::default()
         });
-        let err = ev.eval_closed(&powerset_dcr(atoms((0..16).collect()))).unwrap_err();
+        let err = ev
+            .eval_closed(&powerset_dcr(atoms((0..16).collect())))
+            .unwrap_err();
         assert!(matches!(err, EvalError::SetTooLarge { .. }));
     }
 

@@ -43,7 +43,7 @@ pub fn join(r: Expr, s: Expr) -> Expr {
                                     Expr::var(p.clone()),
                                     Expr::proj2(Expr::var(q)),
                                 )),
-                                Expr::Empty(out_elem.clone()),
+                                Expr::empty(out_elem.clone()),
                             ),
                         ),
                         Expr::var(sv.clone()),
@@ -153,7 +153,7 @@ mod tests {
     use ncql_object::Value;
 
     fn rel(pairs: Vec<(u64, u64)>) -> Expr {
-        Expr::Const(Value::relation_from_pairs(pairs))
+        Expr::constant(Value::relation_from_pairs(pairs))
     }
 
     #[test]
@@ -188,14 +188,14 @@ mod tests {
     fn division_requires_all_pairs() {
         // r = a×{1,2} ∪ b×{1}; r ÷ {1,2} = {a}.
         let r = rel(vec![(10, 1), (10, 2), (20, 1)]);
-        let s = Expr::Const(Value::atom_set(vec![1, 2]));
+        let s = Expr::constant(Value::atom_set(vec![1, 2]));
         let out = eval_closed(&division(r, s)).unwrap();
         assert_eq!(out, Value::atom_set(vec![10]));
     }
 
     #[test]
     fn diagonal_of_a_set() {
-        let out = eval_closed(&diagonal(Expr::Const(Value::atom_set(vec![1, 2])))).unwrap();
+        let out = eval_closed(&diagonal(Expr::constant(Value::atom_set(vec![1, 2])))).unwrap();
         assert_eq!(out, Value::relation_from_pairs(vec![(1, 1), (2, 2)]));
     }
 
@@ -203,7 +203,7 @@ mod tests {
     fn all_queries_typecheck() {
         let r = rel(vec![(1, 2)]);
         let s = rel(vec![(2, 3)]);
-        let u = Expr::Const(Value::atom_set(vec![1]));
+        let u = Expr::constant(Value::atom_set(vec![1]));
         for q in [
             join(r.clone(), s.clone()),
             semijoin(r.clone(), s.clone()),

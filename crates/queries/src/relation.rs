@@ -106,7 +106,9 @@ impl Relation {
             let new = delta.compose(self);
             let fresh: BTreeSet<(Atom, Atom)> =
                 new.pairs.difference(&total.pairs).copied().collect();
-            delta = Relation { pairs: fresh.clone() };
+            delta = Relation {
+                pairs: fresh.clone(),
+            };
             total.pairs.extend(fresh);
         }
         total

@@ -55,7 +55,7 @@ mod tests {
 
     #[test]
     fn both_backends_through_the_entry_point_agree() {
-        let q = parity::parity_dcr(Expr::Const(Value::atom_set(0..99)));
+        let q = parity::parity_dcr(Expr::constant(Value::atom_set(0..99)));
         let (v_seq, s_seq) = eval_query(&q, None).unwrap();
         for threads in [1usize, 2, 4] {
             let (v_par, s_par) = eval_query(&q, Some(threads)).unwrap();
@@ -71,7 +71,7 @@ mod tests {
         // exactly like `None`, including against a base config whose own knob
         // says parallel — the override still wins, but as the *normalized*
         // `None`, not as a stored `Some(1)`.
-        let q = parity::parity_dcr(Expr::Const(Value::atom_set(0..40)));
+        let q = parity::parity_dcr(Expr::constant(Value::atom_set(0..40)));
         let base = EvalConfig {
             parallelism: Some(8),
             parallel_cutoff: 1,

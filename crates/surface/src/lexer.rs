@@ -1,5 +1,6 @@
-//! Tokenizer for the surface syntax.
+//! Tokenizer for the surface syntax, emitting byte-spanned tokens.
 
+use ncql_core::span::Span;
 use std::fmt;
 
 /// A lexical token.
@@ -65,28 +66,53 @@ impl fmt::Display for Token {
     }
 }
 
-/// A lexical error with its byte position.
+/// A token together with the byte span of the source text it was read from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// The half-open byte range `start..end` the token occupies.
+    pub span: Span,
+}
+
+/// A lexical error with the byte span at which it occurred.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LexError {
-    /// Byte offset at which the error occurred.
-    pub position: usize,
+    /// Byte span of the offending input (the bad character, or the malformed
+    /// literal).
+    pub span: Span,
     /// Description of the problem.
     pub message: String,
 }
 
+impl LexError {
+    /// Byte offset at which the error occurred (the start of [`LexError::span`]).
+    pub fn position(&self) -> usize {
+        self.span.start
+    }
+}
+
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lex error at byte {}: {}", self.position, self.message)
+        write!(f, "lex error at byte {}: {}", self.span.start, self.message)
     }
 }
 
 impl std::error::Error for LexError {}
 
-/// Tokenize a surface-syntax string. Comments run from `--` to end of line.
-pub fn tokenize(text: &str) -> Result<Vec<Token>, LexError> {
+/// Tokenize a surface-syntax string into spanned tokens. Comments run from
+/// `--` to end of line.
+pub fn tokenize(text: &str) -> Result<Vec<SpannedToken>, LexError> {
     let bytes = text.as_bytes();
     let mut tokens = Vec::new();
     let mut i = 0;
+    // One fixed-width token, spanning `width` bytes from `at`.
+    let push = |tokens: &mut Vec<SpannedToken>, token: Token, at: usize, width: usize| {
+        tokens.push(SpannedToken {
+            token,
+            span: Span::new(at, at + width),
+        });
+    };
     while i < bytes.len() {
         let c = bytes[i] as char;
         match c {
@@ -97,59 +123,59 @@ pub fn tokenize(text: &str) -> Result<Vec<Token>, LexError> {
                 }
             }
             '-' if bytes.get(i + 1) == Some(&b'>') => {
-                tokens.push(Token::Arrow);
+                push(&mut tokens, Token::Arrow, i, 2);
                 i += 2;
             }
             '\\' => {
-                tokens.push(Token::Backslash);
+                push(&mut tokens, Token::Backslash, i, 1);
                 i += 1;
             }
             '.' => {
-                tokens.push(Token::Dot);
+                push(&mut tokens, Token::Dot, i, 1);
                 i += 1;
             }
             ':' => {
-                tokens.push(Token::Colon);
+                push(&mut tokens, Token::Colon, i, 1);
                 i += 1;
             }
             ',' => {
-                tokens.push(Token::Comma);
+                push(&mut tokens, Token::Comma, i, 1);
                 i += 1;
             }
             '(' => {
-                tokens.push(Token::LParen);
+                push(&mut tokens, Token::LParen, i, 1);
                 i += 1;
             }
             ')' => {
-                tokens.push(Token::RParen);
+                push(&mut tokens, Token::RParen, i, 1);
                 i += 1;
             }
             '{' => {
-                tokens.push(Token::LBrace);
+                push(&mut tokens, Token::LBrace, i, 1);
                 i += 1;
             }
             '}' => {
-                tokens.push(Token::RBrace);
+                push(&mut tokens, Token::RBrace, i, 1);
                 i += 1;
             }
             '[' => {
-                tokens.push(Token::LBracket);
+                push(&mut tokens, Token::LBracket, i, 1);
                 i += 1;
             }
             ']' => {
-                tokens.push(Token::RBracket);
+                push(&mut tokens, Token::RBracket, i, 1);
                 i += 1;
             }
             '=' => {
-                tokens.push(Token::Equals);
+                push(&mut tokens, Token::Equals, i, 1);
                 i += 1;
             }
             '*' => {
-                tokens.push(Token::Star);
+                push(&mut tokens, Token::Star, i, 1);
                 i += 1;
             }
             '<' if bytes.get(i + 1) == Some(&b'=') => {
-                tokens.push(Token::Leq);
+                push(&mut tokens, Token::Leq, i, 2);
                 i += 2;
             }
             '@' => {
@@ -160,15 +186,15 @@ pub fn tokenize(text: &str) -> Result<Vec<Token>, LexError> {
                 }
                 if j == start {
                     return Err(LexError {
-                        position: i,
+                        span: Span::new(i, i + 1),
                         message: "expected digits after '@'".to_string(),
                     });
                 }
                 let n: u64 = text[start..j].parse().map_err(|_| LexError {
-                    position: i,
+                    span: Span::new(i, j),
                     message: "atom literal out of range".to_string(),
                 })?;
-                tokens.push(Token::AtomLit(n));
+                push(&mut tokens, Token::AtomLit(n), i, j - i);
                 i = j;
             }
             c if c.is_ascii_digit() => {
@@ -178,10 +204,10 @@ pub fn tokenize(text: &str) -> Result<Vec<Token>, LexError> {
                     j += 1;
                 }
                 let n: u64 = text[start..j].parse().map_err(|_| LexError {
-                    position: start,
+                    span: Span::new(start, j),
                     message: "number literal out of range".to_string(),
                 })?;
-                tokens.push(Token::Number(n));
+                push(&mut tokens, Token::Number(n), start, j - start);
                 i = j;
             }
             c if c.is_ascii_alphabetic() || c == '_' || c == '%' => {
@@ -194,14 +220,25 @@ pub fn tokenize(text: &str) -> Result<Vec<Token>, LexError> {
                 {
                     j += 1;
                 }
-                tokens.push(Token::Ident(text[start..j].to_string()));
+                push(
+                    &mut tokens,
+                    Token::Ident(text[start..j].to_string()),
+                    start,
+                    j - start,
+                );
                 i = j;
             }
-            other => {
+            _ => {
+                // `bytes[i] as char` mis-decodes multibyte UTF-8 (it sees only
+                // the lead byte); re-decode the real character so the message
+                // names it and the span covers all of its bytes — keeping the
+                // span sliceable. `i` is always a char boundary here: every
+                // other arm advances past complete ASCII characters.
+                let other = text[i..].chars().next().expect("i < len and on a boundary");
                 return Err(LexError {
-                    position: i,
+                    span: Span::new(i, i + other.len_utf8()),
                     message: format!("unexpected character {other:?}"),
-                })
+                });
             }
         }
     }
@@ -212,9 +249,17 @@ pub fn tokenize(text: &str) -> Result<Vec<Token>, LexError> {
 mod tests {
     use super::*;
 
+    fn plain(text: &str) -> Vec<Token> {
+        tokenize(text)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.token)
+            .collect()
+    }
+
     #[test]
     fn tokenizes_a_lambda() {
-        let toks = tokenize("\\x: {atom}. x union {@3}").unwrap();
+        let toks = plain("\\x: {atom}. x union {@3}");
         assert_eq!(toks[0], Token::Backslash);
         assert_eq!(toks[1], Token::Ident("x".to_string()));
         assert!(toks.contains(&Token::Ident("union".to_string())));
@@ -223,7 +268,7 @@ mod tests {
 
     #[test]
     fn comments_and_whitespace_are_skipped() {
-        let toks = tokenize("x -- this is a comment\n  union y").unwrap();
+        let toks = plain("x -- this is a comment\n  union y");
         assert_eq!(
             toks,
             vec![
@@ -236,7 +281,7 @@ mod tests {
 
     #[test]
     fn arrow_and_leq_are_two_character_tokens() {
-        let toks = tokenize("(atom -> bool) <=").unwrap();
+        let toks = plain("(atom -> bool) <=");
         assert!(toks.contains(&Token::Arrow));
         assert!(toks.contains(&Token::Leq));
     }
@@ -244,14 +289,44 @@ mod tests {
     #[test]
     fn bad_characters_are_reported() {
         let err = tokenize("x $ y").unwrap_err();
-        assert_eq!(err.position, 2);
+        assert_eq!(err.span, Span::new(2, 3));
+        assert_eq!(err.position(), 2);
         let err2 = tokenize("@x").unwrap_err();
         assert!(err2.message.contains("digits"));
+        assert_eq!(err2.span, Span::new(0, 1));
+    }
+
+    #[test]
+    fn non_ascii_characters_are_reported_whole() {
+        // The span must cover every byte of the multibyte character (so the
+        // source remains sliceable at the span) and the message must name the
+        // real character, not its UTF-8 lead byte.
+        let src = "{@1} union €";
+        let err = tokenize(src).unwrap_err();
+        assert_eq!(err.span, Span::new(11, 14));
+        assert!(err.message.contains('€'), "{}", err.message);
+        assert_eq!(&src[err.span.start..err.span.end], "€");
     }
 
     #[test]
     fn numbers_and_atoms_are_distinct() {
-        let toks = tokenize("42 @42").unwrap();
-        assert_eq!(toks, vec![Token::Number(42), Token::AtomLit(42)]);
+        assert_eq!(plain("42 @42"), vec![Token::Number(42), Token::AtomLit(42)]);
+    }
+
+    #[test]
+    fn tokens_carry_their_source_spans() {
+        let toks = tokenize("ab <= {@12}").unwrap();
+        let spans: Vec<(Span, String)> =
+            toks.iter().map(|t| (t.span, t.token.to_string())).collect();
+        assert_eq!(spans[0], (Span::new(0, 2), "ab".to_string()));
+        assert_eq!(spans[1], (Span::new(3, 5), "<=".to_string()));
+        assert_eq!(spans[2], (Span::new(6, 7), "{".to_string()));
+        assert_eq!(spans[3], (Span::new(7, 10), "@12".to_string()));
+        assert_eq!(spans[4], (Span::new(10, 11), "}".to_string()));
+        // Every span slices the source to the token's own text.
+        let src = "ab <= {@12}";
+        for t in &toks {
+            assert_eq!(&src[t.span.start..t.span.end], t.token.to_string());
+        }
     }
 }

@@ -29,7 +29,7 @@ pub mod lexer;
 pub mod parser;
 pub mod pretty;
 
-pub use lexer::{tokenize, LexError, Token};
+pub use lexer::{tokenize, LexError, SpannedToken, Token};
 pub use parser::{parse_expr, parse_type, ParseError};
 pub use pretty::print_expr;
 

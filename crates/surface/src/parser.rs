@@ -1,6 +1,14 @@
 //! Recursive-descent parser for the surface syntax.
+//!
+//! Every [`Expr`] node the parser builds carries the byte [`Span`] of the
+//! source text it was parsed from (`expr.span`), so the type checker and the
+//! evaluator can point their errors back into the query string. Parse errors
+//! themselves are located the same way: [`ParseError::Unexpected`] names the
+//! byte span of the offending token (or the end-of-input position), matching
+//! the lexer's byte-offset convention.
 
-use crate::lexer::{tokenize, LexError, Token};
+use crate::lexer::{tokenize, LexError, SpannedToken, Token};
+use ncql_core::span::Span;
 use ncql_core::Expr;
 use ncql_object::Type;
 use std::fmt;
@@ -12,8 +20,9 @@ pub enum ParseError {
     Lex(LexError),
     /// An unexpected token (or end of input) was encountered.
     Unexpected {
-        /// Token index at which the error occurred.
-        position: usize,
+        /// Byte span of the offending token in the source text; an empty span
+        /// at the end of the input when the input ended too early.
+        span: Span,
         /// What was found (`None` = end of input).
         found: Option<Token>,
         /// What was expected.
@@ -21,13 +30,36 @@ pub enum ParseError {
     },
 }
 
+impl ParseError {
+    /// The byte span of the failure — the offending token's span, or the
+    /// lexical error's span. Always within the source text.
+    pub fn span(&self) -> Span {
+        match self {
+            ParseError::Lex(e) => e.span,
+            ParseError::Unexpected { span, .. } => *span,
+        }
+    }
+}
+
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseError::Lex(e) => write!(f, "{e}"),
-            ParseError::Unexpected { position, found, expected } => match found {
-                Some(t) => write!(f, "parse error at token {position}: expected {expected}, found `{t}`"),
-                None => write!(f, "parse error: expected {expected}, found end of input"),
+            ParseError::Unexpected {
+                span,
+                found,
+                expected,
+            } => match found {
+                Some(t) => write!(
+                    f,
+                    "parse error at byte {}: expected {expected}, found `{t}`",
+                    span.start
+                ),
+                None => write!(
+                    f,
+                    "parse error at byte {}: expected {expected}, found end of input",
+                    span.start
+                ),
             },
         }
     }
@@ -42,26 +74,62 @@ impl From<LexError> for ParseError {
 }
 
 struct Parser {
-    tokens: Vec<Token>,
+    tokens: Vec<SpannedToken>,
     pos: usize,
+    /// Byte length of the source text: the position reported for unexpected
+    /// end of input.
+    eof: usize,
 }
 
 impl Parser {
     fn peek(&self) -> Option<&Token> {
-        self.tokens.get(self.pos)
+        self.tokens.get(self.pos).map(|t| &t.token)
     }
 
     fn next(&mut self) -> Option<Token> {
-        let t = self.tokens.get(self.pos).cloned();
+        let t = self.tokens.get(self.pos).map(|t| t.token.clone());
         if t.is_some() {
             self.pos += 1;
         }
         t
     }
 
+    /// Byte offset where the *next* token starts (end of input if exhausted).
+    /// Capture this before parsing a construct; together with
+    /// [`Parser::prev_end`] it brackets the construct's span.
+    fn current_start(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.span.start)
+            .unwrap_or(self.eof)
+    }
+
+    /// Byte offset just past the most recently consumed token.
+    fn prev_end(&self) -> usize {
+        if self.pos == 0 {
+            0
+        } else {
+            self.tokens[self.pos - 1].span.end
+        }
+    }
+
+    /// The span of the construct that began at byte `start` and ended with
+    /// the last consumed token.
+    fn span_from(&self, start: usize) -> Span {
+        Span::new(start, self.prev_end().max(start))
+    }
+
+    /// The span of the current token — or an empty span at end of input.
+    fn here(&self) -> Span {
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.span)
+            .unwrap_or_else(|| Span::point(self.eof))
+    }
+
     fn unexpected<T>(&self, expected: &str) -> Result<T, ParseError> {
         Err(ParseError::Unexpected {
-            position: self.pos,
+            span: self.here(),
             found: self.peek().cloned(),
             expected: expected.to_string(),
         })
@@ -151,6 +219,7 @@ impl Parser {
     // ----- expressions -----
 
     fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        let start = self.current_start();
         if self.peek() == Some(&Token::Backslash) {
             self.pos += 1;
             let name = self.expect_ident()?;
@@ -158,7 +227,7 @@ impl Parser {
             let ty = self.parse_type()?;
             self.expect(&Token::Dot)?;
             let body = self.parse_expr()?;
-            return Ok(Expr::lam(name, ty, body));
+            return Ok(Expr::lam(name, ty, body).at(self.span_from(start)));
         }
         if self.peek_keyword("let") {
             self.pos += 1;
@@ -167,7 +236,7 @@ impl Parser {
             let bound = self.parse_expr()?;
             self.expect_keyword("in")?;
             let body = self.parse_expr()?;
-            return Ok(Expr::let_in(name, bound, body));
+            return Ok(Expr::let_in(name, bound, body).at(self.span_from(start)));
         }
         if self.peek_keyword("if") {
             self.pos += 1;
@@ -176,34 +245,36 @@ impl Parser {
             let t = self.parse_expr()?;
             self.expect_keyword("else")?;
             let e = self.parse_expr()?;
-            return Ok(Expr::ite(c, t, e));
+            return Ok(Expr::ite(c, t, e).at(self.span_from(start)));
         }
         self.parse_comparison()
     }
 
     fn parse_comparison(&mut self) -> Result<Expr, ParseError> {
+        let start = self.current_start();
         let left = self.parse_union()?;
         match self.peek() {
             Some(Token::Equals) => {
                 self.pos += 1;
                 let right = self.parse_union()?;
-                Ok(Expr::eq(left, right))
+                Ok(Expr::eq(left, right).at(self.span_from(start)))
             }
             Some(Token::Leq) => {
                 self.pos += 1;
                 let right = self.parse_union()?;
-                Ok(Expr::leq(left, right))
+                Ok(Expr::leq(left, right).at(self.span_from(start)))
             }
             _ => Ok(left),
         }
     }
 
     fn parse_union(&mut self) -> Result<Expr, ParseError> {
+        let start = self.current_start();
         let mut left = self.parse_primary()?;
         while self.peek_keyword("union") {
             self.pos += 1;
             let right = self.parse_primary()?;
-            left = Expr::union(left, right);
+            left = Expr::union(left, right).at(self.span_from(start));
         }
         Ok(left)
     }
@@ -222,55 +293,58 @@ impl Parser {
     }
 
     fn parse_primary(&mut self) -> Result<Expr, ParseError> {
-        match self.next() {
-            Some(Token::Number(n)) => Ok(Expr::nat(n)),
-            Some(Token::AtomLit(n)) => Ok(Expr::atom(n)),
+        let start = self.current_start();
+        let expr = match self.next() {
+            Some(Token::Number(n)) => Expr::nat(n),
+            Some(Token::AtomLit(n)) => Expr::atom(n),
             Some(Token::LBrace) => {
                 let inner = self.parse_expr()?;
                 self.expect(&Token::RBrace)?;
-                Ok(Expr::singleton(inner))
+                Expr::singleton(inner)
             }
             Some(Token::LParen) => {
                 if self.peek() == Some(&Token::RParen) {
                     self.pos += 1;
-                    return Ok(Expr::Unit);
+                    return Ok(Expr::unit().at(self.span_from(start)));
                 }
                 let first = self.parse_expr()?;
                 match self.next() {
                     Some(Token::Comma) => {
                         let second = self.parse_expr()?;
                         self.expect(&Token::RParen)?;
-                        Ok(Expr::pair(first, second))
+                        Expr::pair(first, second)
                     }
-                    Some(Token::RParen) => Ok(first),
+                    // A parenthesised expression keeps its own (inner) span.
+                    Some(Token::RParen) => return Ok(first),
                     _ => {
                         self.pos -= 1;
-                        self.unexpected("`,` or `)`")
+                        return self.unexpected("`,` or `)`");
                     }
                 }
             }
-            Some(Token::Ident(name)) => self.parse_ident_form(name),
+            Some(Token::Ident(name)) => self.parse_ident_form(name)?,
             _ => {
                 if self.pos > 0 {
                     self.pos -= 1;
                 }
-                self.unexpected("an expression")
+                return self.unexpected("an expression");
             }
-        }
+        };
+        Ok(expr.at(self.span_from(start)))
     }
 
     fn parse_ident_form(&mut self, name: String) -> Result<Expr, ParseError> {
         match name.as_str() {
-            "true" => Ok(Expr::Bool(true)),
-            "false" => Ok(Expr::Bool(false)),
-            "unit" => Ok(Expr::Unit),
+            "true" => Ok(Expr::bool_val(true)),
+            "false" => Ok(Expr::bool_val(false)),
+            "unit" => Ok(Expr::unit()),
             "pi1" => Ok(Expr::proj1(self.parse_primary()?)),
             "pi2" => Ok(Expr::proj2(self.parse_primary()?)),
             "empty" => {
                 self.expect(&Token::LBracket)?;
                 let ty = self.parse_type()?;
                 self.expect(&Token::RBracket)?;
-                Ok(Expr::Empty(ty))
+                Ok(Expr::empty(ty))
             }
             "isempty" => {
                 let mut a = self.parse_args(1)?;
@@ -376,10 +450,15 @@ impl Parser {
     }
 }
 
-/// Parse a complete expression from surface text.
+/// Parse a complete expression from surface text. Every node of the result
+/// carries the byte span of the text it was parsed from.
 pub fn parse_expr(text: &str) -> Result<Expr, ParseError> {
     let tokens = tokenize(text)?;
-    let mut parser = Parser { tokens, pos: 0 };
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        eof: text.len(),
+    };
     let expr = parser.parse_expr()?;
     if parser.pos != parser.tokens.len() {
         return parser.unexpected("end of input");
@@ -390,7 +469,11 @@ pub fn parse_expr(text: &str) -> Result<Expr, ParseError> {
 /// Parse a type from surface text.
 pub fn parse_type(text: &str) -> Result<Type, ParseError> {
     let tokens = tokenize(text)?;
-    let mut parser = Parser { tokens, pos: 0 };
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        eof: text.len(),
+    };
     let ty = parser.parse_type()?;
     if parser.pos != parser.tokens.len() {
         return parser.unexpected("end of input");
@@ -403,12 +486,16 @@ mod tests {
     use super::*;
     use ncql_core::eval::eval_closed;
     use ncql_core::typecheck::typecheck_closed;
+    use ncql_core::ExprKind;
     use ncql_object::Value;
 
     #[test]
     fn parses_types() {
         assert_eq!(parse_type("atom").unwrap(), Type::Base);
-        assert_eq!(parse_type("{(atom * atom)}").unwrap(), Type::binary_relation());
+        assert_eq!(
+            parse_type("{(atom * atom)}").unwrap(),
+            Type::binary_relation()
+        );
         assert_eq!(
             parse_type("(atom -> {bool})").unwrap(),
             Type::fun(Type::Base, Type::set(Type::Bool))
@@ -418,12 +505,15 @@ mod tests {
 
     #[test]
     fn parses_literals_and_operators() {
-        assert_eq!(parse_expr("true").unwrap(), Expr::Bool(true));
+        assert_eq!(parse_expr("true").unwrap(), Expr::bool_val(true));
         assert_eq!(parse_expr("@7").unwrap(), Expr::atom(7));
         assert_eq!(parse_expr("7").unwrap(), Expr::nat(7));
         assert_eq!(
             parse_expr("{@1} union {@2}").unwrap(),
-            Expr::union(Expr::singleton(Expr::atom(1)), Expr::singleton(Expr::atom(2)))
+            Expr::union(
+                Expr::singleton(Expr::atom(1)),
+                Expr::singleton(Expr::atom(2))
+            )
         );
         assert_eq!(
             parse_expr("@1 <= @2").unwrap(),
@@ -434,7 +524,7 @@ mod tests {
     #[test]
     fn parses_lambda_let_if() {
         let e = parse_expr("\\x: atom. if x = @1 then {x} else empty[atom]").unwrap();
-        assert!(matches!(e, Expr::Lam(_, _, _)));
+        assert!(matches!(e.kind, ExprKind::Lam(_, _, _)));
         let l = parse_expr("let r = {@1} in r union r").unwrap();
         assert_eq!(eval_closed(&l).unwrap(), Value::atom_set(vec![1]));
     }
@@ -456,7 +546,8 @@ mod tests {
             eval_closed(&e).unwrap(),
             Value::relation_from_pairs(vec![(1, 1), (2, 2)])
         );
-        let l = parse_expr("logloop(\\r: {atom}. r union {@9}, {@1} union {@2}, empty[atom])").unwrap();
+        let l =
+            parse_expr("logloop(\\r: {atom}. r union {@9}, {@1} union {@2}, empty[atom])").unwrap();
         assert_eq!(eval_closed(&l).unwrap(), Value::atom_set(vec![9]));
     }
 
@@ -476,6 +567,66 @@ mod tests {
         assert!(parse_expr("@1 @2").is_err());
         let err = parse_expr("if true then @1").unwrap_err();
         assert!(err.to_string().contains("else"));
+    }
+
+    #[test]
+    fn unexpected_tokens_report_byte_spans() {
+        // The offending token is `@2` at bytes 3..5: the same unit (byte
+        // offsets) the lexer reports, not a token index.
+        let err = parse_expr("@1 @2").unwrap_err();
+        match &err {
+            ParseError::Unexpected { span, found, .. } => {
+                assert_eq!(*span, Span::new(3, 5));
+                assert_eq!(
+                    found.as_ref().map(|t| t.to_string()),
+                    Some("@2".to_string())
+                );
+            }
+            other => panic!("expected Unexpected, got {other:?}"),
+        }
+        assert!(err.to_string().starts_with("parse error at byte 3"));
+        // A missing closing token at end of input reports an empty span just
+        // past the text.
+        let eof = parse_expr("(@1, @2").unwrap_err();
+        assert_eq!(eof.span(), Span::point(7));
+        assert!(eof.to_string().contains("end of input"));
+        assert!(eof.to_string().starts_with("parse error at byte 7"));
+        // Input that ends mid-construct re-points at the last token, byte-wise.
+        let tail = parse_expr("{@1} union").unwrap_err();
+        assert_eq!(tail.span(), Span::new(5, 10));
+    }
+
+    #[test]
+    fn every_parsed_node_is_spanned_within_the_source() {
+        let text = "let r = {(@1, @2)} in dcr(empty[(atom * atom)], \\y: atom. r, \
+                    \\p: ({(atom * atom)} * {(atom * atom)}). pi1 p union pi2 p, {@1} union {@2})";
+        let e = parse_expr(text).unwrap();
+        let mut nodes = 0usize;
+        e.visit(&mut |n| {
+            nodes += 1;
+            let span = n.span.expect("parsed node lacks a span");
+            assert!(span.start <= span.end, "inverted span {span}");
+            assert!(span.end <= text.len(), "span {span} exceeds source");
+            assert!(!span.is_empty(), "parsed node has an empty span");
+        });
+        assert!(nodes >= 20, "visited only {nodes} nodes");
+        // The root covers the whole text.
+        assert_eq!(e.span, Some(Span::new(0, text.len())));
+    }
+
+    #[test]
+    fn spans_slice_the_source_to_the_subterm() {
+        let text = "{@1} union {@23}";
+        let e = parse_expr(text).unwrap();
+        assert_eq!(e.span, Some(Span::new(0, text.len())));
+        if let ExprKind::Union(a, b) = &e.kind {
+            let sa = a.span.unwrap();
+            let sb = b.span.unwrap();
+            assert_eq!(&text[sa.start..sa.end], "{@1}");
+            assert_eq!(&text[sb.start..sb.end], "{@23}");
+        } else {
+            panic!("expected a union");
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Pretty-printer emitting the surface syntax, inverse (up to parentheses and
 //! the `lam2` desugaring) of the parser.
 
-use ncql_core::Expr;
+use ncql_core::{Expr, ExprKind};
 use ncql_object::{Type, Value};
 
 fn print_type(ty: &Type) -> String {
@@ -29,8 +29,10 @@ fn print_value(v: &Value) -> Option<String> {
                 // The element type is not recoverable from the value alone.
                 None
             } else {
-                let parts: Option<Vec<String>> =
-                    s.iter().map(|x| print_value(x).map(|p| format!("{{{p}}}"))).collect();
+                let parts: Option<Vec<String>> = s
+                    .iter()
+                    .map(|x| print_value(x).map(|p| format!("{{{p}}}")))
+                    .collect();
                 parts.map(|p| p.join(" union "))
             }
         }
@@ -41,57 +43,63 @@ fn print_value(v: &Value) -> Option<String> {
 /// cannot be recovered (empty literal sets) are rendered as `empty[atom]`, which
 /// is the parser's convention for untyped empties.
 pub fn print_expr(e: &Expr) -> String {
-    match e {
-        Expr::Var(x) => x.clone(),
-        Expr::Lam(x, ty, b) => format!("\\{x}: {}. {}", print_type(ty), print_expr(b)),
-        Expr::App(f, a) => format!("apply({}, {})", print_expr(f), print_expr(a)),
-        Expr::Let(x, a, b) => format!("let {x} = {} in {}", print_expr(a), print_expr(b)),
-        Expr::Unit => "()".to_string(),
-        Expr::Pair(a, b) => format!("({}, {})", print_expr(a), print_expr(b)),
-        Expr::Proj1(a) => format!("pi1 ({})", print_expr(a)),
-        Expr::Proj2(a) => format!("pi2 ({})", print_expr(a)),
-        Expr::Bool(b) => b.to_string(),
-        Expr::If(c, t, f) => format!(
+    match &e.kind {
+        ExprKind::Var(x) => x.clone(),
+        ExprKind::Lam(x, ty, b) => format!("\\{x}: {}. {}", print_type(ty), print_expr(b)),
+        ExprKind::App(f, a) => format!("apply({}, {})", print_expr(f), print_expr(a)),
+        ExprKind::Let(x, a, b) => format!("let {x} = {} in {}", print_expr(a), print_expr(b)),
+        ExprKind::Unit => "()".to_string(),
+        ExprKind::Pair(a, b) => format!("({}, {})", print_expr(a), print_expr(b)),
+        ExprKind::Proj1(a) => format!("pi1 ({})", print_expr(a)),
+        ExprKind::Proj2(a) => format!("pi2 ({})", print_expr(a)),
+        ExprKind::Bool(b) => b.to_string(),
+        ExprKind::If(c, t, f) => format!(
             "if {} then {} else {}",
             print_expr(c),
             print_expr(t),
             print_expr(f)
         ),
-        Expr::Eq(a, b) => format!("(({}) = ({}))", print_expr(a), print_expr(b)),
-        Expr::Leq(a, b) => format!("(({}) <= ({}))", print_expr(a), print_expr(b)),
-        Expr::Const(v) => print_value(v).unwrap_or_else(|| "empty[atom]".to_string()),
-        Expr::Empty(t) => format!("empty[{}]", print_type(t)),
-        Expr::Singleton(a) => format!("{{{}}}", print_expr(a)),
-        Expr::Union(a, b) => format!("(({}) union ({}))", print_expr(a), print_expr(b)),
-        Expr::IsEmpty(a) => format!("isempty({})", print_expr(a)),
-        Expr::Ext(f, a) => format!("ext({}, {})", print_expr(f), print_expr(a)),
-        Expr::Dcr { e, f, u, arg } => format!(
+        ExprKind::Eq(a, b) => format!("(({}) = ({}))", print_expr(a), print_expr(b)),
+        ExprKind::Leq(a, b) => format!("(({}) <= ({}))", print_expr(a), print_expr(b)),
+        ExprKind::Const(v) => print_value(v).unwrap_or_else(|| "empty[atom]".to_string()),
+        ExprKind::Empty(t) => format!("empty[{}]", print_type(t)),
+        ExprKind::Singleton(a) => format!("{{{}}}", print_expr(a)),
+        ExprKind::Union(a, b) => format!("(({}) union ({}))", print_expr(a), print_expr(b)),
+        ExprKind::IsEmpty(a) => format!("isempty({})", print_expr(a)),
+        ExprKind::Ext(f, a) => format!("ext({}, {})", print_expr(f), print_expr(a)),
+        ExprKind::Dcr { e, f, u, arg } => format!(
             "dcr({}, {}, {}, {})",
             print_expr(e),
             print_expr(f),
             print_expr(u),
             print_expr(arg)
         ),
-        Expr::Sru { e, f, u, arg } => format!(
+        ExprKind::Sru { e, f, u, arg } => format!(
             "sru({}, {}, {}, {})",
             print_expr(e),
             print_expr(f),
             print_expr(u),
             print_expr(arg)
         ),
-        Expr::Sri { e, i, arg } => format!(
+        ExprKind::Sri { e, i, arg } => format!(
             "sri({}, {}, {})",
             print_expr(e),
             print_expr(i),
             print_expr(arg)
         ),
-        Expr::Esr { e, i, arg } => format!(
+        ExprKind::Esr { e, i, arg } => format!(
             "esr({}, {}, {})",
             print_expr(e),
             print_expr(i),
             print_expr(arg)
         ),
-        Expr::BDcr { e, f, u, bound, arg } => format!(
+        ExprKind::BDcr {
+            e,
+            f,
+            u,
+            bound,
+            arg,
+        } => format!(
             "bdcr({}, {}, {}, {}, {})",
             print_expr(e),
             print_expr(f),
@@ -99,40 +107,50 @@ pub fn print_expr(e: &Expr) -> String {
             print_expr(bound),
             print_expr(arg)
         ),
-        Expr::BSri { e, i, bound, arg } => format!(
+        ExprKind::BSri { e, i, bound, arg } => format!(
             "bsri({}, {}, {}, {})",
             print_expr(e),
             print_expr(i),
             print_expr(bound),
             print_expr(arg)
         ),
-        Expr::LogLoop { f, set, init } => format!(
+        ExprKind::LogLoop { f, set, init } => format!(
             "logloop({}, {}, {})",
             print_expr(f),
             print_expr(set),
             print_expr(init)
         ),
-        Expr::Loop { f, set, init } => format!(
+        ExprKind::Loop { f, set, init } => format!(
             "loop({}, {}, {})",
             print_expr(f),
             print_expr(set),
             print_expr(init)
         ),
-        Expr::BLogLoop { f, bound, set, init } => format!(
+        ExprKind::BLogLoop {
+            f,
+            bound,
+            set,
+            init,
+        } => format!(
             "blogloop({}, {}, {}, {})",
             print_expr(f),
             print_expr(bound),
             print_expr(set),
             print_expr(init)
         ),
-        Expr::BLoop { f, bound, set, init } => format!(
+        ExprKind::BLoop {
+            f,
+            bound,
+            set,
+            init,
+        } => format!(
             "bloop({}, {}, {}, {})",
             print_expr(f),
             print_expr(bound),
             print_expr(set),
             print_expr(init)
         ),
-        Expr::Extern(name, args) => {
+        ExprKind::Extern(name, args) => {
             let parts: Vec<String> = args.iter().map(print_expr).collect();
             format!("{name}({})", parts.join(", "))
         }
@@ -148,9 +166,11 @@ mod tests {
     fn round_trip(text: &str) {
         let parsed = parse_expr(text).unwrap_or_else(|e| panic!("parse {text}: {e}"));
         let printed = print_expr(&parsed);
-        let reparsed =
-            parse_expr(&printed).unwrap_or_else(|e| panic!("reparse {printed}: {e}"));
-        assert_eq!(parsed, reparsed, "round trip changed the expression: {printed}");
+        let reparsed = parse_expr(&printed).unwrap_or_else(|e| panic!("reparse {printed}: {e}"));
+        assert_eq!(
+            parsed, reparsed,
+            "round trip changed the expression: {printed}"
+        );
     }
 
     #[test]
@@ -187,12 +207,9 @@ mod tests {
     #[test]
     fn constants_print_as_literals() {
         use ncql_object::Value;
-        let e = Expr::Const(Value::atom_set(vec![1, 2]));
+        let e = Expr::constant(Value::atom_set(vec![1, 2]));
         let printed = print_expr(&e);
         let reparsed = parse_expr(&printed).unwrap();
-        assert_eq!(
-            eval_closed(&reparsed).unwrap(),
-            Value::atom_set(vec![1, 2])
-        );
+        assert_eq!(eval_closed(&reparsed).unwrap(), Value::atom_set(vec![1, 2]));
     }
 }

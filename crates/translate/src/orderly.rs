@@ -18,7 +18,7 @@
 //! decidable by a linear walk over the syntax tree.
 
 use ncql_core::analysis;
-use ncql_core::expr::Expr;
+use ncql_core::expr::{Expr, ExprKind};
 use ncql_object::Value;
 
 /// The recognized combiner shapes.
@@ -56,19 +56,19 @@ pub struct OrderlyViolation {
 }
 
 fn is_var(e: &Expr, name: &str) -> bool {
-    matches!(e, Expr::Var(v) if v == name)
+    matches!(&e.kind, ExprKind::Var(v) if v == name)
 }
 
 /// Strip the `lam2` desugaring `λz. let a = π₁ z in let b = π₂ z in body`,
 /// returning the two bound names and the body, or recognize a direct
 /// `λp. body[π₁ p, π₂ p]` shape by returning synthetic names.
 fn strip_pair_lambda(e: &Expr) -> Option<(String, String, &Expr)> {
-    if let Expr::Lam(z, _, body) = e {
-        if let Expr::Let(a, pa, rest) = body.as_ref() {
-            if let Expr::Proj1(pz) = pa.as_ref() {
+    if let ExprKind::Lam(z, _, body) = &e.kind {
+        if let ExprKind::Let(a, pa, rest) = &body.kind {
+            if let ExprKind::Proj1(pz) = &pa.kind {
                 if is_var(pz, z) {
-                    if let Expr::Let(b, pb, inner) = rest.as_ref() {
-                        if let Expr::Proj2(pz2) = pb.as_ref() {
+                    if let ExprKind::Let(b, pb, inner) = &rest.kind {
+                        if let ExprKind::Proj2(pz2) = &pb.kind {
                             if is_var(pz2, z) {
                                 return Some((a.clone(), b.clone(), inner));
                             }
@@ -87,9 +87,9 @@ fn strip_pair_lambda(e: &Expr) -> Option<(String, String, &Expr)> {
 pub fn recognize_combiner(identity: &Expr, u: &Expr) -> Option<CombinerShape> {
     let (a, b, body) = strip_pair_lambda(u)?;
     // Set union: a ∪ b (in either order).
-    if let Expr::Union(l, r) = body {
+    if let ExprKind::Union(l, r) = &body.kind {
         let plain_union = (is_var(l, &a) && is_var(r, &b)) || (is_var(l, &b) && is_var(r, &a));
-        if plain_union && matches!(identity, Expr::Empty(_)) {
+        if plain_union && matches!(&identity.kind, ExprKind::Empty(_)) {
             return Some(CombinerShape::SetUnion);
         }
         // Union-compose: (a ∪ b) ∪ compose(a, b) — recognized loosely: the left
@@ -97,9 +97,10 @@ pub fn recognize_combiner(identity: &Expr, u: &Expr) -> Option<CombinerShape> {
         // expression mentioning both variables (the derived compose expands to a
         // nested ext, so we only check variable usage, which is sound because the
         // only whitelisted source of this shape is the library's tc_combiner).
-        if let Expr::Union(ll, lr) = l.as_ref() {
-            let lhs_is_union = (is_var(ll, &a) && is_var(lr, &b)) || (is_var(ll, &b) && is_var(lr, &a));
-            if lhs_is_union && matches!(identity, Expr::Empty(_)) {
+        if let ExprKind::Union(ll, lr) = &l.kind {
+            let lhs_is_union =
+                (is_var(ll, &a) && is_var(lr, &b)) || (is_var(ll, &b) && is_var(lr, &a));
+            if lhs_is_union && matches!(&identity.kind, ExprKind::Empty(_)) {
                 let fv = analysis::free_vars(r);
                 if fv.contains(&a) && fv.contains(&b) {
                     return Some(CombinerShape::UnionCompose);
@@ -109,32 +110,41 @@ pub fn recognize_combiner(identity: &Expr, u: &Expr) -> Option<CombinerShape> {
     }
     // Boolean combiners: if a then (if b then false else true) else b  (xor),
     // if a then true else b (or), if a then b else false (and).
-    if let Expr::If(c, t, f) = body {
+    if let ExprKind::If(c, t, f) = &body.kind {
         if is_var(c, &a) {
             // xor
-            if let Expr::If(c2, t2, f2) = t.as_ref() {
+            if let ExprKind::If(c2, t2, f2) = &t.kind {
                 if is_var(c2, &b)
-                    && matches!(t2.as_ref(), Expr::Bool(false))
-                    && matches!(f2.as_ref(), Expr::Bool(true))
+                    && matches!(&t2.kind, ExprKind::Bool(false))
+                    && matches!(&f2.kind, ExprKind::Bool(true))
                     && is_var(f, &b)
-                    && matches!(identity, Expr::Bool(false))
+                    && matches!(&identity.kind, ExprKind::Bool(false))
                 {
                     return Some(CombinerShape::BoolXor);
                 }
             }
-            if matches!(t.as_ref(), Expr::Bool(true)) && is_var(f, &b) && matches!(identity, Expr::Bool(false)) {
+            if matches!(&t.kind, ExprKind::Bool(true))
+                && is_var(f, &b)
+                && matches!(&identity.kind, ExprKind::Bool(false))
+            {
                 return Some(CombinerShape::BoolOr);
             }
-            if is_var(t, &b) && matches!(f.as_ref(), Expr::Bool(false)) && matches!(identity, Expr::Bool(true)) {
+            if is_var(t, &b)
+                && matches!(&f.kind, ExprKind::Bool(false))
+                && matches!(&identity.kind, ExprKind::Bool(true))
+            {
                 return Some(CombinerShape::BoolAnd);
             }
         }
         // max / min by ≤: if a ≤ b then b else a   /   if a ≤ b then a else b.
-        if let Expr::Leq(l, r) = c.as_ref() {
+        if let ExprKind::Leq(l, r) = &c.kind {
             if is_var(l, &a) && is_var(r, &b) {
                 if is_var(t, &b)
                     && is_var(f, &a)
-                    && matches!(identity, Expr::Const(Value::Atom(0)) | Expr::Const(Value::Nat(0)))
+                    && matches!(
+                        &identity.kind,
+                        ExprKind::Const(Value::Atom(0)) | ExprKind::Const(Value::Nat(0))
+                    )
                 {
                     return Some(CombinerShape::MaxByLeq);
                 }
@@ -145,15 +155,21 @@ pub fn recognize_combiner(identity: &Expr, u: &Expr) -> Option<CombinerShape> {
         }
     }
     // External arithmetic.
-    if let Expr::Extern(name, args) = body {
+    if let ExprKind::Extern(name, args) = &body.kind {
         if args.len() == 2 {
             let uses_both = (is_var(&args[0], &a) && is_var(&args[1], &b))
                 || (is_var(&args[0], &b) && is_var(&args[1], &a));
             if uses_both {
-                match (name.as_str(), identity) {
-                    ("nat_add", Expr::Const(Value::Nat(0))) => return Some(CombinerShape::NatAdd),
-                    ("nat_mul", Expr::Const(Value::Nat(1))) => return Some(CombinerShape::NatMul),
-                    ("nat_max", Expr::Const(Value::Nat(0))) => return Some(CombinerShape::NatMax),
+                match (name.as_str(), &identity.kind) {
+                    ("nat_add", ExprKind::Const(Value::Nat(0))) => {
+                        return Some(CombinerShape::NatAdd)
+                    }
+                    ("nat_mul", ExprKind::Const(Value::Nat(1))) => {
+                        return Some(CombinerShape::NatMul)
+                    }
+                    ("nat_max", ExprKind::Const(Value::Nat(0))) => {
+                        return Some(CombinerShape::NatMax)
+                    }
                     _ => {}
                 }
             }
@@ -167,8 +183,10 @@ pub fn recognize_combiner(identity: &Expr, u: &Expr) -> Option<CombinerShape> {
 /// violations (empty means the expression is orderly).
 pub fn check_orderly(expr: &Expr) -> Vec<OrderlyViolation> {
     let mut violations = Vec::new();
-    expr.visit(&mut |e| match e {
-        Expr::Dcr { e: id, u, .. } | Expr::Sru { e: id, u, .. } | Expr::BDcr { e: id, u, .. }
+    expr.visit(&mut |e| match &e.kind {
+        ExprKind::Dcr { e: id, u, .. }
+        | ExprKind::Sru { e: id, u, .. }
+        | ExprKind::BDcr { e: id, u, .. }
             if recognize_combiner(id, u).is_none() =>
         {
             violations.push(OrderlyViolation {
@@ -196,7 +214,7 @@ mod tests {
     fn union_combiner_is_recognized() {
         let u = derived::union_combiner(Type::Base);
         assert_eq!(
-            recognize_combiner(&Expr::Empty(Type::Base), &u),
+            recognize_combiner(&Expr::empty(Type::Base), &u),
             Some(CombinerShape::SetUnion)
         );
         // Wrong identity: a non-empty set literal is not accepted.
@@ -214,30 +232,36 @@ mod tests {
             Type::prod(Type::Bool, Type::Bool),
             Expr::ite(
                 Expr::var("a"),
-                Expr::ite(Expr::var("b"), Expr::Bool(false), Expr::Bool(true)),
+                Expr::ite(Expr::var("b"), Expr::bool_val(false), Expr::bool_val(true)),
                 Expr::var("b"),
             ),
         );
         assert_eq!(
-            recognize_combiner(&Expr::Bool(false), &xor),
+            recognize_combiner(&Expr::bool_val(false), &xor),
             Some(CombinerShape::BoolXor)
         );
         let or = Expr::lam2(
             "a",
             "b",
             Type::prod(Type::Bool, Type::Bool),
-            Expr::ite(Expr::var("a"), Expr::Bool(true), Expr::var("b")),
+            Expr::ite(Expr::var("a"), Expr::bool_val(true), Expr::var("b")),
         );
-        assert_eq!(recognize_combiner(&Expr::Bool(false), &or), Some(CombinerShape::BoolOr));
+        assert_eq!(
+            recognize_combiner(&Expr::bool_val(false), &or),
+            Some(CombinerShape::BoolOr)
+        );
         let and = Expr::lam2(
             "a",
             "b",
             Type::prod(Type::Bool, Type::Bool),
-            Expr::ite(Expr::var("a"), Expr::var("b"), Expr::Bool(false)),
+            Expr::ite(Expr::var("a"), Expr::var("b"), Expr::bool_val(false)),
         );
-        assert_eq!(recognize_combiner(&Expr::Bool(true), &and), Some(CombinerShape::BoolAnd));
+        assert_eq!(
+            recognize_combiner(&Expr::bool_val(true), &and),
+            Some(CombinerShape::BoolAnd)
+        );
         // and with identity false is NOT sound and is rejected.
-        assert_eq!(recognize_combiner(&Expr::Bool(false), &and), None);
+        assert_eq!(recognize_combiner(&Expr::bool_val(false), &and), None);
     }
 
     #[test]
@@ -248,15 +272,18 @@ mod tests {
             Type::prod(Type::Nat, Type::Nat),
             Expr::extern_call("nat_add", vec![Expr::var("a"), Expr::var("b")]),
         );
-        assert_eq!(recognize_combiner(&Expr::nat(0), &add), Some(CombinerShape::NatAdd));
+        assert_eq!(
+            recognize_combiner(&Expr::nat(0), &add),
+            Some(CombinerShape::NatAdd)
+        );
         assert_eq!(recognize_combiner(&Expr::nat(1), &add), None);
     }
 
     #[test]
     fn library_queries_are_orderly() {
         use ncql_object::Value;
-        let r = Expr::Const(Value::relation_from_pairs(vec![(1, 2), (2, 3)]));
-        let s = Expr::Const(Value::atom_set(vec![1, 2, 3]));
+        let r = Expr::constant(Value::relation_from_pairs(vec![(1, 2), (2, 3)]));
+        let s = Expr::constant(Value::atom_set(vec![1, 2, 3]));
         // The whitelisted shapes cover the paper's worked examples.
         let max = Expr::dcr(
             Expr::atom(0),
@@ -280,7 +307,7 @@ mod tests {
     #[test]
     fn non_commutative_combiner_is_flagged() {
         let bad = Expr::dcr(
-            Expr::Empty(Type::Base),
+            Expr::empty(Type::Base),
             Expr::lam("y", Type::Base, Expr::singleton(Expr::var("y"))),
             Expr::lam2(
                 "a",
@@ -288,7 +315,7 @@ mod tests {
                 Type::prod(Type::set(Type::Base), Type::set(Type::Base)),
                 Expr::var("a"),
             ),
-            Expr::Empty(Type::Base),
+            Expr::empty(Type::Base),
         );
         let violations = check_orderly(&bad);
         assert_eq!(violations.len(), 1);
@@ -297,7 +324,7 @@ mod tests {
 
     #[test]
     fn expressions_without_dcr_are_trivially_orderly() {
-        let e = Expr::union(Expr::singleton(Expr::atom(1)), Expr::Empty(Type::Base));
+        let e = Expr::union(Expr::singleton(Expr::atom(1)), Expr::empty(Type::Base));
         assert!(is_orderly(&e));
     }
 }

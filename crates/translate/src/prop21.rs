@@ -71,18 +71,11 @@ pub fn esr_via_sri(e: Expr, i: Expr, arg: Expr, elem_ty: Type, acc_ty: Type) -> 
                     Expr::singleton(Expr::var(x.clone())),
                     Expr::proj1(Expr::var(p.clone())),
                 ),
-                Expr::app(
-                    i,
-                    Expr::pair(Expr::var(x), Expr::proj2(Expr::var(p))),
-                ),
+                Expr::app(i, Expr::pair(Expr::var(x), Expr::proj2(Expr::var(p)))),
             ),
         ),
     );
-    Expr::proj2(Expr::sri(
-        Expr::pair(Expr::Empty(elem_ty), e),
-        step,
-        arg,
-    ))
+    Expr::proj2(Expr::sri(Expr::pair(Expr::empty(elem_ty), e), step, arg))
 }
 
 /// Translate `dcr(e, f, u)(arg)` all the way down to `sri` (composition of the
@@ -150,7 +143,7 @@ mod tests {
     use ncql_object::Value;
 
     fn atoms(v: Vec<u64>) -> Expr {
-        Expr::Const(Value::atom_set(v))
+        Expr::constant(Value::atom_set(v))
     }
 
     fn xor_u() -> Expr {
@@ -163,16 +156,16 @@ mod tests {
     }
 
     fn true_f() -> Expr {
-        Expr::lam("y", Type::Base, Expr::Bool(true))
+        Expr::lam("y", Type::Base, Expr::bool_val(true))
     }
 
     #[test]
     fn parity_dcr_equals_its_esr_translation() {
         for n in [0u64, 1, 2, 5, 8, 13] {
             let input = atoms((0..n).collect());
-            let direct = Expr::dcr(Expr::Bool(false), true_f(), xor_u(), input.clone());
+            let direct = Expr::dcr(Expr::bool_val(false), true_f(), xor_u(), input.clone());
             let translated = dcr_via_esr(
-                Expr::Bool(false),
+                Expr::bool_val(false),
                 true_f(),
                 xor_u(),
                 input,
@@ -194,16 +187,19 @@ mod tests {
         let f = Expr::lam("y", Type::Base, Expr::singleton(Expr::var("y")));
         let u = derived::union_combiner(Type::Base);
         let input = atoms(vec![4, 1, 7]);
-        let direct = Expr::sru(Expr::Empty(Type::Base), f.clone(), u.clone(), input.clone());
+        let direct = Expr::sru(Expr::empty(Type::Base), f.clone(), u.clone(), input.clone());
         let translated = sru_via_sri(
-            Expr::Empty(Type::Base),
+            Expr::empty(Type::Base),
             f,
             u,
             input,
             Type::Base,
             Type::set(Type::Base),
         );
-        assert_eq!(eval_closed(&direct).unwrap(), eval_closed(&translated).unwrap());
+        assert_eq!(
+            eval_closed(&direct).unwrap(),
+            eval_closed(&translated).unwrap()
+        );
     }
 
     #[test]
@@ -227,24 +223,27 @@ mod tests {
     #[test]
     fn dcr_via_sri_full_chain() {
         let input = atoms((0..9).collect());
-        let direct = Expr::dcr(Expr::Bool(false), true_f(), xor_u(), input.clone());
+        let direct = Expr::dcr(Expr::bool_val(false), true_f(), xor_u(), input.clone());
         let translated = dcr_via_sri(
-            Expr::Bool(false),
+            Expr::bool_val(false),
             true_f(),
             xor_u(),
             input,
             Type::Base,
             Type::Bool,
         );
-        assert_eq!(eval_closed(&direct).unwrap(), eval_closed(&translated).unwrap());
+        assert_eq!(
+            eval_closed(&direct).unwrap(),
+            eval_closed(&translated).unwrap()
+        );
     }
 
     #[test]
     fn overhead_is_polynomial_but_span_grows() {
         let input = atoms((0..64).collect());
-        let direct = Expr::dcr(Expr::Bool(false), true_f(), xor_u(), input.clone());
+        let direct = Expr::dcr(Expr::bool_val(false), true_f(), xor_u(), input.clone());
         let translated = dcr_via_esr(
-            Expr::Bool(false),
+            Expr::bool_val(false),
             true_f(),
             xor_u(),
             input,
@@ -253,8 +252,16 @@ mod tests {
         );
         let report = measure_overhead(&direct, &translated).expect("results must agree");
         // Work overhead is modest (polynomial, here near-linear)…
-        assert!(report.work_factor() < 10.0, "work factor {}", report.work_factor());
+        assert!(
+            report.work_factor() < 10.0,
+            "work factor {}",
+            report.work_factor()
+        );
         // …but the translated form is sequential, so its span is much larger.
-        assert!(report.span_factor() > 2.0, "span factor {}", report.span_factor());
+        assert!(
+            report.span_factor() > 2.0,
+            "span factor {}",
+            report.span_factor()
+        );
     }
 }

@@ -60,7 +60,7 @@ mod tests {
     #[test]
     fn transitive_closure_bounded_equals_unbounded() {
         let pairs = vec![(0u64, 1u64), (1, 2), (2, 3), (3, 0), (5, 6)];
-        let r = Expr::Const(Value::relation_from_pairs(pairs.clone()));
+        let r = Expr::constant(Value::relation_from_pairs(pairs.clone()));
         let rel_ty = Type::binary_relation();
         let f = Expr::lam("y", Type::Base, r.clone());
         let u = Expr::lam2(
@@ -83,39 +83,45 @@ mod tests {
             derived::project2(Type::Base, Type::Base, r.clone()),
         );
         let direct = Expr::dcr(
-            Expr::Empty(Type::prod(Type::Base, Type::Base)),
+            Expr::empty(Type::prod(Type::Base, Type::Base)),
             f.clone(),
             u.clone(),
             vertices.clone(),
         );
         let bounded = dcr_via_bdcr_binary(
-            Expr::Empty(Type::prod(Type::Base, Type::Base)),
+            Expr::empty(Type::prod(Type::Base, Type::Base)),
             f,
             u,
             vertices.clone(),
             vertices,
         );
         assert!(typecheck_closed(&bounded).is_ok());
-        assert_eq!(eval_closed(&direct).unwrap(), eval_closed(&bounded).unwrap());
+        assert_eq!(
+            eval_closed(&direct).unwrap(),
+            eval_closed(&bounded).unwrap()
+        );
     }
 
     #[test]
     fn unary_bounded_recursion_agrees() {
         // dcr computing the union of singletons (identity on sets), bounded by the
         // set itself.
-        let input = Expr::Const(Value::atom_set(vec![2, 4, 6]));
+        let input = Expr::constant(Value::atom_set(vec![2, 4, 6]));
         let f = Expr::lam("y", Type::Base, Expr::singleton(Expr::var("y")));
         let u = derived::union_combiner(Type::Base);
-        let direct = Expr::dcr(Expr::Empty(Type::Base), f.clone(), u.clone(), input.clone());
+        let direct = Expr::dcr(Expr::empty(Type::Base), f.clone(), u.clone(), input.clone());
         let bounded =
-            dcr_via_bdcr_unary(Expr::Empty(Type::Base), f, u, input.clone(), input.clone());
-        assert_eq!(eval_closed(&direct).unwrap(), eval_closed(&bounded).unwrap());
+            dcr_via_bdcr_unary(Expr::empty(Type::Base), f, u, input.clone(), input.clone());
+        assert_eq!(
+            eval_closed(&direct).unwrap(),
+            eval_closed(&bounded).unwrap()
+        );
     }
 
     #[test]
     fn bounded_sri_agrees_with_sri() {
         let rel_elem = Type::prod(Type::Base, Type::Base);
-        let input = Expr::Const(Value::atom_set(vec![1, 2, 3]));
+        let input = Expr::constant(Value::atom_set(vec![1, 2, 3]));
         // sri building the diagonal relation {(v, v)}.
         let i = Expr::lam2(
             "x",
@@ -126,9 +132,12 @@ mod tests {
                 Expr::var("acc"),
             ),
         );
-        let direct = Expr::sri(Expr::Empty(rel_elem.clone()), i.clone(), input.clone());
-        let bounded = sri_via_bsri_binary(Expr::Empty(rel_elem), i, input.clone(), input);
-        assert_eq!(eval_closed(&direct).unwrap(), eval_closed(&bounded).unwrap());
+        let direct = Expr::sri(Expr::empty(rel_elem.clone()), i.clone(), input.clone());
+        let bounded = sri_via_bsri_binary(Expr::empty(rel_elem), i, input.clone(), input);
+        assert_eq!(
+            eval_closed(&direct).unwrap(),
+            eval_closed(&bounded).unwrap()
+        );
         assert_eq!(
             eval_closed(&bounded).unwrap(),
             Value::relation_from_pairs(vec![(1, 1), (2, 2), (3, 3)])
@@ -137,7 +146,7 @@ mod tests {
 
     #[test]
     fn binary_bound_is_the_square_of_the_universe() {
-        let b = binary_bound(Expr::Const(Value::atom_set(vec![1, 2])));
+        let b = binary_bound(Expr::constant(Value::atom_set(vec![1, 2])));
         assert_eq!(
             eval_closed(&b).unwrap(),
             Value::relation_from_pairs(vec![(1, 1), (1, 2), (2, 1), (2, 2)])

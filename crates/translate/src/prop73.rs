@@ -88,7 +88,7 @@ impl HalvingSimulator {
     ) -> EvalResult<SimulationOutcome> {
         let set = x
             .as_set()
-            .ok_or_else(|| EvalError::Stuck(format!("dcr argument is not a set: {x}")))?;
+            .ok_or_else(|| EvalError::stuck(format!("dcr argument is not a set: {x}")))?;
         let e_val = self.evaluator.eval_closed(e)?;
         if set.is_empty() {
             return Ok(SimulationOutcome {
@@ -146,7 +146,7 @@ impl HalvingSimulator {
     ) -> EvalResult<SimulationOutcome> {
         let set = x
             .as_set()
-            .ok_or_else(|| EvalError::Stuck(format!("log-loop counting set is not a set: {x}")))?;
+            .ok_or_else(|| EvalError::stuck(format!("log-loop counting set is not a set: {x}")))?;
         let n = set.len();
         let mut f_applications = 0u64;
         let mut combiner_applications = 0u64;
@@ -154,9 +154,9 @@ impl HalvingSimulator {
         // each entry k holds f^k(y).
         let mut table: Vec<Value> = vec![y.clone()];
         let extend_to = |this: &mut Self,
-                             table: &mut Vec<Value>,
-                             k: usize,
-                             f_apps: &mut u64|
+                         table: &mut Vec<Value>,
+                         k: usize,
+                         f_apps: &mut u64|
          -> EvalResult<()> {
             while table.len() <= k {
                 let last = table.last().expect("table starts non-empty").clone();
@@ -205,7 +205,7 @@ pub fn verify_dcr_halving(
     u: &Expr,
     x: &Value,
 ) -> EvalResult<(Value, SimulationOutcome)> {
-    let direct_expr = Expr::dcr(e.clone(), f.clone(), u.clone(), Expr::Const(x.clone()));
+    let direct_expr = Expr::dcr(e.clone(), f.clone(), u.clone(), Expr::constant(x.clone()));
     let direct = ncql_core::eval::eval_closed(&direct_expr)?;
     let mut sim = HalvingSimulator::default();
     let outcome = sim.dcr_by_halving(e, f, u, x)?;
@@ -233,13 +233,17 @@ mod tests {
 
     #[test]
     fn halving_computes_parity_with_log_rounds() {
-        let f = Expr::lam("y", Type::Base, Expr::Bool(true));
+        let f = Expr::lam("y", Type::Base, Expr::bool_val(true));
         for n in [0usize, 1, 2, 3, 4, 7, 8, 9, 31, 32, 100] {
             let x = atoms((0..n as u64).collect());
             let (direct, outcome) =
-                verify_dcr_halving(&Expr::Bool(false), &f, &xor_u(), &x).unwrap();
+                verify_dcr_halving(&Expr::bool_val(false), &f, &xor_u(), &x).unwrap();
             assert_eq!(direct, outcome.value, "value mismatch at n = {n}");
-            let expected_rounds = if n <= 1 { 0 } else { (n as f64).log2().ceil() as u64 };
+            let expected_rounds = if n <= 1 {
+                0
+            } else {
+                (n as f64).log2().ceil() as u64
+            };
             assert_eq!(outcome.rounds, expected_rounds, "rounds at n = {n}");
         }
     }
@@ -249,7 +253,7 @@ mod tests {
         let pairs = vec![(0u64, 1), (1, 2), (2, 3), (3, 4), (4, 0)];
         let r = Value::relation_from_pairs(pairs);
         let rel_ty = Type::binary_relation();
-        let f = Expr::lam("y", Type::Base, Expr::Const(r.clone()));
+        let f = Expr::lam("y", Type::Base, Expr::constant(r.clone()));
         let u = Expr::lam2(
             "r1",
             "r2",
@@ -267,7 +271,7 @@ mod tests {
         );
         let vertices = atoms((0..5).collect());
         let (direct, outcome) = verify_dcr_halving(
-            &Expr::Empty(Type::prod(Type::Base, Type::Base)),
+            &Expr::empty(Type::prod(Type::Base, Type::Base)),
             &f,
             &u,
             &vertices,
@@ -275,7 +279,7 @@ mod tests {
         .unwrap();
         assert_eq!(direct, outcome.value);
         assert_eq!(outcome.rounds, 3); // ⌈log₂ 5⌉
-        // The cycle's closure is complete: 25 pairs.
+                                       // The cycle's closure is complete: 25 pairs.
         assert_eq!(outcome.value.cardinality(), Some(25));
     }
 
@@ -303,8 +307,8 @@ mod tests {
             let counting = atoms((0..n as u64).collect());
             let direct = ncql_core::eval::eval_closed(&Expr::log_loop(
                 body.clone(),
-                Expr::Const(counting.clone()),
-                Expr::Const(path.clone()),
+                Expr::constant(counting.clone()),
+                Expr::constant(path.clone()),
             ))
             .unwrap();
             let mut sim = HalvingSimulator::default();
@@ -323,7 +327,9 @@ mod tests {
         let n = 200usize;
         let counting = atoms((0..n as u64).collect());
         let mut sim = HalvingSimulator::default();
-        let outcome = sim.log_loop_by_dcr(&body, &counting, &Value::Nat(0)).unwrap();
+        let outcome = sim
+            .log_loop_by_dcr(&body, &counting, &Value::Nat(0))
+            .unwrap();
         // The value is the iteration count ⌈log(n+1)⌉.
         assert_eq!(outcome.value, Value::Nat(log_rounds(n)));
         // Overhead: at most one f application per combiner application plus the
@@ -334,15 +340,15 @@ mod tests {
 
     #[test]
     fn empty_and_singleton_inputs() {
-        let f = Expr::lam("y", Type::Base, Expr::Bool(true));
+        let f = Expr::lam("y", Type::Base, Expr::bool_val(true));
         let mut sim = HalvingSimulator::default();
         let empty = sim
-            .dcr_by_halving(&Expr::Bool(false), &f, &xor_u(), &Value::empty_set())
+            .dcr_by_halving(&Expr::bool_val(false), &f, &xor_u(), &Value::empty_set())
             .unwrap();
         assert_eq!(empty.value, Value::Bool(false));
         assert_eq!(empty.rounds, 0);
         let single = sim
-            .dcr_by_halving(&Expr::Bool(false), &f, &xor_u(), &atoms(vec![7]))
+            .dcr_by_halving(&Expr::bool_val(false), &f, &xor_u(), &atoms(vec![7]))
             .unwrap();
         assert_eq!(single.value, Value::Bool(true));
         assert_eq!(single.rounds, 0);

@@ -28,14 +28,27 @@ fn main() {
     let compiled = run_compiled(&q, n, std::slice::from_ref(&r));
     let reference = eval_reference(&q, &[r], n);
     assert_eq!(compiled, reference);
-    println!("\ncompiled TC on a {n}-node path: {} closure edges (matches the reference)",
-        compiled.pairs().len());
+    println!(
+        "\ncompiled TC on a {n}-node path: {} closure edges (matches the reference)",
+        compiled.pairs().len()
+    );
 
     // Constant-depth relational operators.
     let union = compile(&RelQuery::union(RelQuery::Input(0), RelQuery::Input(1)), 16);
-    let compose = compile(&RelQuery::compose(RelQuery::Input(0), RelQuery::Input(1)), 16);
-    println!("\nunion   over n=16: depth {}, size {}", union.depth(), union.size());
-    println!("compose over n=16: depth {}, size {}", compose.depth(), compose.size());
+    let compose = compile(
+        &RelQuery::compose(RelQuery::Input(0), RelQuery::Input(1)),
+        16,
+    );
+    println!(
+        "\nunion   over n=16: depth {}, size {}",
+        union.depth(),
+        union.size()
+    );
+    println!(
+        "compose over n=16: depth {}, size {}",
+        compose.depth(),
+        compose.size()
+    );
 
     // Uniformity: the hand-written TC family's DCL is decided by index arithmetic
     // with O(log n) bits of working storage.

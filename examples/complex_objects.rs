@@ -18,34 +18,46 @@ fn main() {
     let store = datagen::document_store(4, 6, 7);
     let store_ty = Type::set(Type::prod(Type::Base, Type::binary_relation()));
     assert!(store.has_type(&store_ty));
-    println!("document store ({} groups): {store}", store.cardinality().unwrap_or(0));
+    println!(
+        "document store ({} groups): {store}",
+        store.cardinality().unwrap_or(0)
+    );
 
     // Unnest it into a flat relation of (group, edge) pairs and project.
     let unnested = session
         .prepare_expr(derived::unnest(
             Type::Base,
             Type::prod(Type::Base, Type::Base),
-            Expr::Const(store.clone()),
+            Expr::constant(store.clone()),
         ))
         .expect("unnest typechecks");
     let flat = session.execute(&unnested).expect("unnest evaluates").value;
-    println!("\nunnested to type {}: {} tuples", unnested.ty(), flat.cardinality().unwrap_or(0));
+    println!(
+        "\nunnested to type {}: {} tuples",
+        unnested.ty(),
+        flat.cardinality().unwrap_or(0)
+    );
 
     // Re-nest by group and check we recover a set of groups of the same size.
     let renested = derived::nest(
         Type::Base,
         Type::prod(Type::Base, Type::Base),
-        Expr::Const(flat.clone()),
+        Expr::constant(flat.clone()),
     );
     let grouped = session.evaluate(&renested).expect("nest evaluates").value;
-    println!("re-nested into {} groups", grouped.cardinality().unwrap_or(0));
+    println!(
+        "re-nested into {} groups",
+        grouped.cardinality().unwrap_or(0)
+    );
 
     // Powerset via unbounded dcr explodes: a session with a set-size limit
     // reports the blow-up instead of exhausting memory.
     let limited = SessionBuilder::new().max_set_size(4096).build();
-    let input = Expr::Const(Value::atom_set(0..18));
+    let input = Expr::constant(Value::atom_set(0..18));
     match limited.evaluate(&powerset::powerset_dcr(input.clone())) {
-        Err(EvalError::SetTooLarge { limit, attempted }) => println!(
+        Err(EvalError::SetTooLarge {
+            limit, attempted, ..
+        }) => println!(
             "\nunbounded powerset of an 18-element set: aborted \
              (intermediate set of {attempted} elements exceeds the limit {limit})"
         ),
@@ -65,7 +77,9 @@ fn main() {
 
     // Small powersets are still fine, and exact.
     let small = session
-        .evaluate(&powerset::powerset_dcr(Expr::Const(Value::atom_set(0..6))))
+        .evaluate(&powerset::powerset_dcr(Expr::constant(Value::atom_set(
+            0..6,
+        ))))
         .expect("small powerset");
     println!(
         "\npowerset of a 6-element set: {} subsets (work {}, span {})",

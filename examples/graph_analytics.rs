@@ -17,12 +17,15 @@ fn main() {
     println!("n     dcr span   elementwise span   dcr work   elementwise work");
     for n in [8u64, 16, 32, 48] {
         let rel = datagen::random_graph(n, 2.0 / n as f64, 42);
-        let r = Expr::Const(rel.to_value());
+        let r = Expr::constant(rel.to_value());
         let dcr = session.evaluate(&graph::tc_dcr(r.clone())).expect("tc dcr");
         let elem = session
             .evaluate(&graph::tc_elementwise(r.clone()))
             .expect("tc elementwise");
-        assert_eq!(dcr.value, elem.value, "both strategies compute the same closure");
+        assert_eq!(
+            dcr.value, elem.value,
+            "both strategies compute the same closure"
+        );
         assert_eq!(dcr.value, rel.transitive_closure().to_value());
         println!(
             "{:<5} {:<10} {:<18} {:<10} {:<10}",
@@ -32,24 +35,32 @@ fn main() {
 
     // Reachability and connectivity queries.
     let rel = datagen::cycle_graph(12);
-    let r = Expr::Const(rel.to_value());
+    let r = Expr::constant(rel.to_value());
     let reach = session
         .evaluate(&graph::reachable_from(r.clone(), Expr::atom(0)))
         .expect("reachability")
         .value;
-    println!("\nnodes reachable from 0 on a 12-cycle: {}", reach.cardinality().unwrap_or(0));
-    let connected = session.evaluate(&graph::strongly_connected(r)).expect("connectivity").value;
+    println!(
+        "\nnodes reachable from 0 on a 12-cycle: {}",
+        reach.cardinality().unwrap_or(0)
+    );
+    let connected = session
+        .evaluate(&graph::strongly_connected(r))
+        .expect("connectivity")
+        .value;
     println!("cycle is strongly connected        : {connected}");
-    let path = Expr::Const(datagen::path_graph(12).to_value());
-    let connected_path =
-        session.evaluate(&graph::strongly_connected(path)).expect("connectivity").value;
+    let path = Expr::constant(datagen::path_graph(12).to_value());
+    let connected_path = session
+        .evaluate(&graph::strongly_connected(path))
+        .expect("connectivity")
+        .value;
     println!("path  is strongly connected        : {connected_path}");
 
     // Wall-clock on the parallel evaluation backend: the dcr combining tree
     // forks across worker threads, the element-by-element fold cannot. Each
     // thread count is one session — the backend is a session-level choice.
     let n = 40u64;
-    let query = graph::tc_dcr(Expr::Const(datagen::path_graph(n).to_value()));
+    let query = graph::tc_dcr(Expr::constant(datagen::path_graph(n).to_value()));
     println!("\nthreads   tc_dcr wall-clock (ms)");
     for threads in [1usize, 2, 4, 8] {
         let parallel_session = SessionBuilder::new()

@@ -62,7 +62,9 @@ fn main() {
     let prepared = match session.prepare(text) {
         Ok(p) => p,
         Err(err) => {
-            eprintln!("{err}");
+            // Caret diagnostic: the error's span resolved against the query
+            // text, pointing at the offending token/subexpression.
+            eprintln!("{}", err.render(text));
             std::process::exit(1);
         }
     };
@@ -78,10 +80,13 @@ fn main() {
     match session.execute(&prepared) {
         Ok(outcome) => {
             println!("result      : {}", outcome.value);
-            println!("work / span : {} / {}", outcome.stats.work, outcome.stats.span);
+            println!(
+                "work / span : {} / {}",
+                outcome.stats.work, outcome.stats.span
+            );
         }
         Err(err) => {
-            eprintln!("{err}");
+            eprintln!("{}", err.render(text));
             std::process::exit(1);
         }
     }

@@ -17,29 +17,40 @@ fn main() {
 
     // An ordered database: a binary relation (a small directed graph).
     let edges = Relation::from_pairs(vec![(1, 2), (2, 3), (3, 4), (4, 2), (7, 8)]);
-    let r = Expr::Const(edges.to_value());
+    let r = Expr::constant(edges.to_value());
 
     // --- Transitive closure via divide-and-conquer recursion (the §1 example),
     // phrased in the Rust builder API and prepared (typechecked + analysed).
     let tc_query = session
         .prepare_expr(graph::tc_dcr(r.clone()))
         .expect("the query typechecks");
-    println!("transitive closure query : dcr(∅, λy.r, λ(r1,r2). r1 ∪ r2 ∪ r1∘r2)(Π1 r ∪ Π2 r) (type {})", tc_query.ty());
-    println!("recursion nesting depth  : {} (so the query is in AC^{})",
+    println!(
+        "transitive closure query : dcr(∅, λy.r, λ(r1,r2). r1 ∪ r2 ∪ r1∘r2)(Π1 r ∪ Π2 r) (type {})",
+        tc_query.ty()
+    );
+    println!(
+        "recursion nesting depth  : {} (so the query is in AC^{})",
         tc_query.recursion_depth(),
-        tc_query.ac_level());
+        tc_query.ac_level()
+    );
 
     let outcome = session.execute(&tc_query).expect("evaluation succeeds");
     println!("result                   : {}", outcome.value);
-    println!("work / span              : {} / {}", outcome.stats.work, outcome.stats.span);
-    println!("combiner applications    : {}", outcome.stats.combiner_calls);
+    println!(
+        "work / span              : {} / {}",
+        outcome.stats.work, outcome.stats.span
+    );
+    println!(
+        "combiner applications    : {}",
+        outcome.stats.combiner_calls
+    );
 
     // Cross-check against the native baseline.
     assert_eq!(outcome.value, edges.transitive_closure().to_value());
     println!("matches the native semi-naive baseline ✓");
 
     // --- Parity, straight from the paper's introduction.
-    let numbers = Expr::Const(Value::atom_set(0..13));
+    let numbers = Expr::constant(Value::atom_set(0..13));
     let parity_out = session
         .evaluate(&parity::parity_dcr(numbers))
         .expect("parity evaluates");
@@ -54,7 +65,10 @@ fn main() {
                 \\p: (bool * bool). if pi1 p then (if pi2 p then false else true) else pi2 p, \
                 {@1} union {@2} union {@3} union {@4} union {@5})";
     let prepared = session.prepare(text).expect("the surface query prepares");
-    let value = session.execute(&prepared).expect("the parsed query evaluates").value;
+    let value = session
+        .execute(&prepared)
+        .expect("the parsed query evaluates")
+        .value;
     println!("\nsurface-syntax parity of {{1..5}}: {value}");
     println!("pretty-printed back        : {}", prepared.normal_form());
 
@@ -67,5 +81,8 @@ fn main() {
         metrics.hits, metrics.misses
     );
     // The surface round trip (pretty ∘ parse) is the identity on this query.
-    assert_eq!(surface::print_expr(&surface::parse(text).unwrap()), prepared.normal_form());
+    assert_eq!(
+        surface::print_expr(&surface::parse(text).unwrap()),
+        prepared.normal_form()
+    );
 }

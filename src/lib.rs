@@ -9,4 +9,7 @@ pub use ncql_queries as queries;
 pub use ncql_surface as surface;
 pub use ncql_translate as translate;
 
-pub use ncql_engine::{Backend, CacheMetrics, Error, Outcome, PreparedQuery, Session, SessionBuilder};
+pub use ncql_core::Span;
+pub use ncql_engine::{
+    Backend, CacheMetrics, Diagnostic, Error, Outcome, PreparedQuery, Session, SessionBuilder,
+};

@@ -1,0 +1,259 @@
+//! Golden-snapshot suite for rendered caret diagnostics.
+//!
+//! One snapshot per error category — lexical, parse, type, evaluation
+//! (resource limits and extern failures), and execution-time binding
+//! validation — pinning the *exact* rendered output of `Error::render`,
+//! caret column included. The evaluation-error cases run on whichever backend
+//! `NCQL_TEST_PARALLELISM` selects (the CI matrix runs 1 and 4, plus the
+//! oversubscribed-pool leg), with the fork cutover dropped to 1 so the
+//! parallel legs really fork: the snapshots therefore also pin that
+//! evaluation-error *spans* are backend-invariant — the failing
+//! subexpression, not the schedule, decides the caret.
+
+use ncql::core::externs::ExternRegistry;
+use ncql::core::parallelism_from_env;
+use ncql::core::EvalError;
+use ncql::object::Type;
+use ncql::{Error, SessionBuilder};
+
+/// The suite's session builder: backend from `NCQL_TEST_PARALLELISM` (like
+/// the differential suites), cutover 1 so parallel legs fork.
+fn builder() -> SessionBuilder {
+    SessionBuilder::new()
+        .parallelism(parallelism_from_env())
+        .parallel_cutoff(1)
+}
+
+fn assert_snapshot(rendered: String, expected: &[&str]) {
+    assert_eq!(
+        rendered,
+        expected.join("\n"),
+        "\n--- got ---\n{rendered}\n-----------"
+    );
+}
+
+#[test]
+fn lex_error_snapshot() {
+    let text = "{@1} union $";
+    let err = builder().build().prepare(text).unwrap_err();
+    assert_snapshot(
+        err.render(text),
+        &[
+            "error: lex error at byte 11: unexpected character '$'",
+            " --> line 1, column 12",
+            "  |",
+            "1 | {@1} union $",
+            "  |            ^",
+        ],
+    );
+}
+
+#[test]
+fn parse_error_snapshot() {
+    // The offending token `@2` sits at bytes 3..5 — reported in the same
+    // unit (byte offsets) as lexical errors, not as a token index.
+    let text = "@1 @2";
+    let err = builder().build().prepare(text).unwrap_err();
+    assert_snapshot(
+        err.render(text),
+        &[
+            "error: parse error at byte 3: expected end of input, found `@2`",
+            " --> line 1, column 4",
+            "  |",
+            "1 | @1 @2",
+            "  |    ^^",
+        ],
+    );
+}
+
+#[test]
+fn parse_error_at_end_of_input_snapshot() {
+    let text = "(@1, @2";
+    let err = builder().build().prepare(text).unwrap_err();
+    assert_snapshot(
+        err.render(text),
+        &[
+            "error: parse error at byte 7: expected `)`, found end of input",
+            " --> line 1, column 8",
+            "  |",
+            "1 | (@1, @2",
+            "  |        ^",
+        ],
+    );
+}
+
+#[test]
+fn type_error_snapshot() {
+    let text = "{@1} union {true}";
+    let err = builder().build().prepare(text).unwrap_err();
+    assert!(matches!(err, Error::Type(_)));
+    assert_snapshot(
+        err.render(text),
+        &[
+            "error: type error: union operands: expected type {atom}, found {bool}",
+            " --> line 1, column 12",
+            "  |",
+            "1 | {@1} union {true}",
+            "  |            ^^^^^^",
+        ],
+    );
+}
+
+#[test]
+fn type_error_in_multi_line_query_snapshot() {
+    let text = "let r = {@1}\nin if r then @1 else @2";
+    let err = builder().build().prepare(text).unwrap_err();
+    assert_snapshot(
+        err.render(text),
+        &[
+            "error: type error: if condition: expected bool, found {atom}",
+            " --> line 2, column 7",
+            "  |",
+            "2 | in if r then @1 else @2",
+            "  |       ^",
+        ],
+    );
+}
+
+#[test]
+fn set_too_large_snapshot() {
+    // The third union crosses the 2-element cap while the recursor argument
+    // is still being evaluated (on the caller, before any region forks), so
+    // the caret lands on the same union node on every backend.
+    let text = "ext(\\x: atom. {x}, {@1} union {@2} union {@3})";
+    let session = builder().max_set_size(2).build();
+    let err = session.run(text).unwrap_err();
+    assert!(matches!(
+        err,
+        Error::Eval(EvalError::SetTooLarge {
+            limit: 2,
+            attempted: 3,
+            ..
+        })
+    ));
+    assert_snapshot(
+        err.render(text),
+        &[
+            "error: evaluation error: intermediate set of 3 elements exceeds the configured limit of 2",
+            " --> line 1, column 20",
+            "  |",
+            "1 | ext(\\x: atom. {x}, {@1} union {@2} union {@3})",
+            "  |                    ^^^^^^^^^^^^^^^^^^^^^^^^^^",
+        ],
+    );
+}
+
+#[test]
+fn work_limit_snapshot() {
+    // A 3-op budget is exhausted while the caller is still descending into
+    // the query prefix — long before any parallel region can open — so the
+    // caret is identical on the sequential and pooled backends.
+    let text = "{@1} union {@2}";
+    let session = builder().max_work(3).build();
+    let err = session.run(text).unwrap_err();
+    assert!(matches!(
+        err,
+        Error::Eval(EvalError::WorkLimitExceeded { limit: 3, .. })
+    ));
+    assert_snapshot(
+        err.render(text),
+        &[
+            "error: evaluation error: total work exceeded the configured limit of 3",
+            " --> line 1, column 12",
+            "  |",
+            "1 | {@1} union {@2}",
+            "  |            ^^^^",
+        ],
+    );
+}
+
+#[test]
+fn extern_failure_snapshot() {
+    // A user-registered extern that always fails: the caret points at the
+    // extern call site. The element map runs on the pool under the parallel
+    // legs, and the lowest-element error wins deterministically.
+    let mut registry = ExternRegistry::standard();
+    registry.register("always_fails", vec![Type::Nat], Type::Nat, |_args| {
+        Err(EvalError::extern_failure("this extern always fails"))
+    });
+    let text = "ext(\\x: atom. {always_fails(1)}, {@1} union {@2} union {@3})";
+    let session = builder().registry(registry).build();
+    let err = session.run(text).unwrap_err();
+    assert_snapshot(
+        err.render(text),
+        &[
+            "error: evaluation error: external function error: this extern always fails",
+            " --> line 1, column 16",
+            "  |",
+            "1 | ext(\\x: atom. {always_fails(1)}, {@1} union {@2} union {@3})",
+            "  |                ^^^^^^^^^^^^^^^",
+        ],
+    );
+}
+
+#[test]
+fn binding_validation_snapshot() {
+    // Execution-time binding validation points at the schema variable's use
+    // site in the prepared source.
+    let session = builder().build();
+    let schema = vec![("s".to_string(), Type::set(Type::Base))];
+    let text = "card(s)";
+    let q = session.prepare_with_schema(text, &schema).unwrap();
+    let err = session.execute(&q).unwrap_err();
+    assert!(matches!(err, Error::Object { .. }));
+    assert_snapshot(
+        err.render(text),
+        &[
+            "error: object error: type mismatch: expected a binding for schema variable `s` \
+             of type {atom}, found no binding with that name",
+            " --> line 1, column 6",
+            "  |",
+            "1 | card(s)",
+            "  |      ^",
+        ],
+    );
+}
+
+#[test]
+fn builder_api_errors_render_without_carets() {
+    // Programmatically built expressions carry no spans: the diagnostic
+    // degrades to the bare message instead of pointing anywhere.
+    use ncql::core::Expr;
+    let session = builder().max_work(1).build();
+    let expr = Expr::union(
+        Expr::singleton(Expr::atom(1)),
+        Expr::singleton(Expr::atom(2)),
+    );
+    let err = Error::from(session.evaluate(&expr).unwrap_err());
+    assert_eq!(err.span(), None);
+    assert_eq!(
+        err.render("irrelevant"),
+        "error: evaluation error: total work exceeded the configured limit of 1"
+    );
+}
+
+#[test]
+fn every_error_category_is_spanned_from_surface_text() {
+    // Acceptance sweep: each `ncql::Error` variant raised from surface text
+    // answers `span()` with `Some`.
+    let session = builder().max_set_size(2).build();
+    let cases: Vec<Error> = vec![
+        session.prepare("{@1} union $").unwrap_err(),
+        session.prepare("@1 @2").unwrap_err(),
+        session.prepare("{@1} union {true}").unwrap_err(),
+        session
+            .run("ext(\\x: atom. {x}, {@1} union {@2} union {@3})")
+            .unwrap_err(),
+        {
+            let schema = vec![("s".to_string(), Type::set(Type::Base))];
+            let q = session.prepare_with_schema("card(s)", &schema).unwrap();
+            session.execute(&q).unwrap_err()
+        },
+    ];
+    for err in cases {
+        let span = err
+            .span()
+            .unwrap_or_else(|| panic!("unspanned error: {err}"));
+        assert!(span.start <= span.end);
+    }
+}

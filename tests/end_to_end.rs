@@ -23,7 +23,10 @@ fn surface_to_result_pipeline() {
     let mut ev = Evaluator::new(EvalConfig::default());
     let value = ev.eval_closed(&expr).expect("evaluates");
     // dcr with the plain union combiner over the vertex set just reproduces r.
-    assert_eq!(value, Value::relation_from_pairs(vec![(1, 2), (2, 3), (3, 1)]));
+    assert_eq!(
+        value,
+        Value::relation_from_pairs(vec![(1, 2), (2, 3), (3, 1)])
+    );
 }
 
 #[test]
@@ -38,7 +41,7 @@ fn transitive_closure_matches_baseline_on_many_graphs() {
     ];
     for rel in graphs {
         let expected = rel.transitive_closure().to_value();
-        let r = Expr::Const(rel.to_value());
+        let r = Expr::constant(rel.to_value());
         assert_eq!(
             ncql::core::eval::eval_closed(&graph::tc_dcr(r.clone())).unwrap(),
             expected
@@ -57,14 +60,14 @@ fn queries_are_generic_under_order_preserving_renamings() {
     let input = rel.to_value();
     let phi = Morphism::stretch(&input.atoms(), 17);
     let tc = |v: &Value| {
-        ncql::core::eval::eval_closed(&graph::tc_dcr(Expr::Const(v.clone()))).unwrap()
+        ncql::core::eval::eval_closed(&graph::tc_dcr(Expr::constant(v.clone()))).unwrap()
     };
     assert!(commutes_with(tc, &input, &phi));
 
     let set = Value::atom_set(vec![3, 8, 20, 21]);
     let phi2 = Morphism::shift(&set.atoms(), 1000);
     let par = |v: &Value| {
-        ncql::core::eval::eval_closed(&parity::parity_dcr(Expr::Const(v.clone()))).unwrap()
+        ncql::core::eval::eval_closed(&parity::parity_dcr(Expr::constant(v.clone()))).unwrap()
     };
     assert!(commutes_with(par, &set, &phi2));
 }
@@ -73,8 +76,11 @@ fn queries_are_generic_under_order_preserving_renamings() {
 fn relational_algebra_composes_with_recursion() {
     // reachable pairs restricted by a semijoin, then aggregated.
     let rel = datagen::path_graph(6);
-    let tc = graph::tc_dcr(Expr::Const(rel.to_value()));
-    let filtered = relalg::semijoin(tc, Expr::Const(Relation::from_pairs(vec![(3, 0), (5, 0)]).to_value()));
+    let tc = graph::tc_dcr(Expr::constant(rel.to_value()));
+    let filtered = relalg::semijoin(
+        tc,
+        Expr::constant(Relation::from_pairs(vec![(3, 0), (5, 0)]).to_value()),
+    );
     let count = aggregates::cardinality_dcr(ncql::core::derived::project1(
         Type::Base,
         Type::Base,
@@ -89,10 +95,10 @@ fn relational_algebra_composes_with_recursion() {
 
 #[test]
 fn ac_level_reporting_matches_construct_usage() {
-    let r = Expr::Const(datagen::path_graph(4).to_value());
+    let r = Expr::constant(datagen::path_graph(4).to_value());
     assert_eq!(analysis::ac_level(&relalg::select_leq(r.clone())), 1);
     assert_eq!(analysis::recursion_depth(&graph::tc_dcr(r.clone())), 1);
-    let nested = ncql::queries::iterate::count_log_squared_n(Expr::Const(Value::atom_set(0..9)));
+    let nested = ncql::queries::iterate::count_log_squared_n(Expr::constant(Value::atom_set(0..9)));
     assert_eq!(analysis::recursion_depth(&nested), 2);
     let _ = r;
 }
@@ -113,12 +119,12 @@ fn evaluation_is_deterministic_across_runs() {
 
 #[test]
 fn pretty_printer_round_trips_library_queries() {
-    let r = Expr::Const(datagen::path_graph(3).to_value());
+    let r = Expr::constant(datagen::path_graph(3).to_value());
     for query in [
         graph::tc_dcr(r.clone()),
         graph::tc_log_loop(r.clone()),
-        parity::parity_dcr(Expr::Const(Value::atom_set(0..4))),
-        aggregates::cardinality_dcr(Expr::Const(Value::atom_set(0..4))),
+        parity::parity_dcr(Expr::constant(Value::atom_set(0..4))),
+        aggregates::cardinality_dcr(Expr::constant(Value::atom_set(0..4))),
     ] {
         let printed = surface::print_expr(&query);
         let reparsed = surface::parse(&printed)

@@ -41,7 +41,10 @@ fn cache_hit_returns_the_same_arc_plan() {
     for text in texts() {
         let first = session.prepare(text).unwrap();
         let second = session.prepare(text).unwrap();
-        assert!(first.ptr_eq(&second), "{text}: second prepare must be a cache hit");
+        assert!(
+            first.ptr_eq(&second),
+            "{text}: second prepare must be a cache hit"
+        );
         // The handle equality is observable *behaviour*, not coincidence: the
         // metrics agree that only one front-end run happened per text.
     }
@@ -69,13 +72,20 @@ fn registry_change_invalidates_cached_plans() {
     // A registry with one more extern fingerprints differently: the next
     // prepare re-runs the front end against the new Σ.
     let mut extended = ExternRegistry::standard();
-    extended.register("triple", vec![Type::Nat], Type::Nat, |args| match args.first() {
-        Some(Value::Nat(n)) => Ok(Value::Nat(n * 3)),
-        other => Err(ncql::core::EvalError::Extern(format!("expected a nat, got {other:?}"))),
+    extended.register("triple", vec![Type::Nat], Type::Nat, |args| {
+        match args.first() {
+            Some(Value::Nat(n)) => Ok(Value::Nat(n * 3)),
+            other => Err(ncql::core::EvalError::extern_failure(format!(
+                "expected a nat, got {other:?}"
+            ))),
+        }
     });
     session.set_registry(extended);
     let after = session.prepare(text).unwrap();
-    assert!(!after.ptr_eq(&before), "a registry interface change must invalidate");
+    assert!(
+        !after.ptr_eq(&before),
+        "a registry interface change must invalidate"
+    );
 
     // The new plan typechecks against the new Σ, and the new extern works.
     let out = session.run("triple(nat_add(1, 2))").unwrap();
@@ -85,8 +95,13 @@ fn registry_change_invalidates_cached_plans() {
     // un-preparable again — the cache must not resurrect the stale plan.
     session.set_registry(ExternRegistry::standard());
     assert!(matches!(
-        session.prepare("triple(nat_add(1, 2))"),
-        Err(ncql::Error::Type(ncql::core::TypeError::UnknownExtern(_)))
+        session
+            .prepare("triple(nat_add(1, 2))")
+            .map_err(|e| match e {
+                ncql::Error::Type(t) => t.kind,
+                other => panic!("expected a type error, got {other:?}"),
+            }),
+        Err(ncql::core::TypeErrorKind::UnknownExtern(_))
     ));
 }
 
@@ -144,7 +159,11 @@ fn cold_and_prepared_execution_are_bit_identical_on_both_backends() {
                 );
             }
         }
-        assert_eq!(cold.cache_metrics().len, 0, "cold session must cache nothing");
+        assert_eq!(
+            cold.cache_metrics().len,
+            0,
+            "cold session must cache nothing"
+        );
         assert_eq!(cold.cache_metrics().hits, 0);
     }
 }

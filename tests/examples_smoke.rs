@@ -20,27 +20,37 @@ use ncql::{Session, SessionBuilder};
 fn quickstart_core_path() {
     let session = Session::new();
     let edges = Relation::from_pairs(vec![(1, 2), (2, 3), (3, 4), (4, 2), (7, 8)]);
-    let r = Expr::Const(edges.to_value());
+    let r = Expr::constant(edges.to_value());
 
-    let tc_query = session.prepare_expr(graph::tc_dcr(r)).expect("the query typechecks");
+    let tc_query = session
+        .prepare_expr(graph::tc_dcr(r))
+        .expect("the query typechecks");
     assert!(tc_query.recursion_depth() >= 1);
     let outcome = session.execute(&tc_query).expect("evaluation succeeds");
     assert_eq!(outcome.value, edges.transitive_closure().to_value());
     assert!(outcome.stats.span <= outcome.stats.work);
 
-    let numbers = Expr::Const(Value::atom_set(0..13));
-    let odd = session.evaluate(&parity::parity_dcr(numbers)).expect("parity evaluates");
+    let numbers = Expr::constant(Value::atom_set(0..13));
+    let odd = session
+        .evaluate(&parity::parity_dcr(numbers))
+        .expect("parity evaluates");
     assert_eq!(odd.value, Value::Bool(true));
 
     let text = "dcr(false, \\y: atom. true, \
                 \\p: (bool * bool). if pi1 p then (if pi2 p then false else true) else pi2 p, \
                 {@1} union {@2} union {@3} union {@4} union {@5})";
     let prepared = session.prepare(text).expect("the surface query prepares");
-    let value = session.execute(&prepared).expect("the parsed query evaluates").value;
+    let value = session
+        .execute(&prepared)
+        .expect("the parsed query evaluates")
+        .value;
     assert_eq!(value, Value::Bool(true));
     // The pretty-printed normal form parses back and evaluates identically.
     assert_eq!(
-        session.run(prepared.normal_form()).expect("round trip evaluates").value,
+        session
+            .run(prepared.normal_form())
+            .expect("round trip evaluates")
+            .value,
         Value::Bool(true)
     );
     // Re-preparing the original text is a cache hit on the same plan.
@@ -55,30 +65,40 @@ fn graph_analytics_core_path() {
     let session = Session::new();
     for n in [8u64, 16] {
         let rel = datagen::random_graph(n, 2.0 / n as f64, 42);
-        let r = Expr::Const(rel.to_value());
+        let r = Expr::constant(rel.to_value());
         let dcr = session.evaluate(&graph::tc_dcr(r.clone())).expect("tc dcr");
-        let elem = session.evaluate(&graph::tc_elementwise(r)).expect("tc elementwise");
-        assert_eq!(dcr.value, elem.value, "both strategies compute the same closure");
+        let elem = session
+            .evaluate(&graph::tc_elementwise(r))
+            .expect("tc elementwise");
+        assert_eq!(
+            dcr.value, elem.value,
+            "both strategies compute the same closure"
+        );
         assert_eq!(dcr.value, rel.transitive_closure().to_value());
         assert!(dcr.stats.span <= elem.stats.span || rel.is_empty());
     }
 
     let rel = datagen::cycle_graph(12);
-    let r = Expr::Const(rel.to_value());
+    let r = Expr::constant(rel.to_value());
     let reach = session
         .evaluate(&graph::reachable_from(r.clone(), Expr::atom(0)))
         .expect("reachability")
         .value;
     assert_eq!(reach.cardinality(), Some(12));
-    let connected = session.evaluate(&graph::strongly_connected(r)).expect("connectivity").value;
+    let connected = session
+        .evaluate(&graph::strongly_connected(r))
+        .expect("connectivity")
+        .value;
     assert_eq!(connected, Value::Bool(true));
-    let path = Expr::Const(datagen::path_graph(12).to_value());
-    let connected_path =
-        session.evaluate(&graph::strongly_connected(path)).expect("connectivity").value;
+    let path = Expr::constant(datagen::path_graph(12).to_value());
+    let connected_path = session
+        .evaluate(&graph::strongly_connected(path))
+        .expect("connectivity")
+        .value;
     assert_eq!(connected_path, Value::Bool(false));
 
     let n = 12u64;
-    let query = graph::tc_dcr(Expr::Const(datagen::path_graph(n).to_value()));
+    let query = graph::tc_dcr(Expr::constant(datagen::path_graph(n).to_value()));
     for threads in [1usize, 4] {
         let parallel_session = SessionBuilder::new()
             .parallelism(Some(threads))
@@ -103,22 +123,24 @@ fn complex_objects_core_path() {
         .prepare_expr(derived::unnest(
             Type::Base,
             Type::prod(Type::Base, Type::Base),
-            Expr::Const(store),
+            Expr::constant(store),
         ))
         .expect("unnest typechecks");
     let flat = session.execute(&unnested).expect("unnest evaluates").value;
     let renested = derived::nest(
         Type::Base,
         Type::prod(Type::Base, Type::Base),
-        Expr::Const(flat),
+        Expr::constant(flat),
     );
     let grouped = session.evaluate(&renested).expect("nest evaluates").value;
     assert_eq!(grouped.cardinality(), Some(4));
 
     let limited = SessionBuilder::new().max_set_size(4096).build();
-    let input = Expr::Const(Value::atom_set(0..18));
+    let input = Expr::constant(Value::atom_set(0..18));
     match limited.evaluate(&powerset::powerset_dcr(input.clone())) {
-        Err(EvalError::SetTooLarge { limit, attempted }) => assert!(attempted > limit),
+        Err(EvalError::SetTooLarge {
+            limit, attempted, ..
+        }) => assert!(attempted > limit),
         other => panic!("expected the powerset blow-up to be caught, got {other:?}"),
     }
     limited
@@ -126,7 +148,9 @@ fn complex_objects_core_path() {
         .expect("bounded recursion stays within the limit");
 
     let small = session
-        .evaluate(&powerset::powerset_dcr(Expr::Const(Value::atom_set(0..6))))
+        .evaluate(&powerset::powerset_dcr(Expr::constant(Value::atom_set(
+            0..6,
+        ))))
         .expect("small powerset");
     assert_eq!(small.value.cardinality(), Some(64));
 }
@@ -136,11 +160,18 @@ fn complex_objects_core_path() {
 #[test]
 fn query_repl_core_path() {
     let session = Session::new();
-    let arith = session.prepare("nat_add(20, 22)").expect("arithmetic prepares");
+    let arith = session
+        .prepare("nat_add(20, 22)")
+        .expect("arithmetic prepares");
     assert_eq!(arith.ty().to_string(), "nat");
-    assert_eq!(session.execute(&arith).expect("evaluates").value, Value::Nat(42));
+    assert_eq!(
+        session.execute(&arith).expect("evaluates").value,
+        Value::Nat(42)
+    );
 
-    let sets = session.prepare("{@1} union {@2} union {@1}").expect("set query prepares");
+    let sets = session
+        .prepare("{@1} union {@2} union {@1}")
+        .expect("set query prepares");
     assert_eq!(sets.recursion_depth(), 0);
     let value = session.execute(&sets).expect("set query evaluates").value;
     assert_eq!(value.cardinality(), Some(2));
@@ -189,8 +220,7 @@ fn circuit_compilation_core_path() {
         let dcl = direct_connection_language(n, &circuit);
         assert!(!dcl.is_empty());
         // Same O(log gates) budget the crate's own uniformity test uses.
-        let budget =
-            16 * (usize::BITS - UniformTcFamily::total_gates(n).leading_zeros()) as u64;
+        let budget = 16 * (usize::BITS - UniformTcFamily::total_gates(n).leading_zeros()) as u64;
         for tuple in dcl.iter().take(200) {
             let mut meter = LogSpaceMeter::new();
             assert!(UniformTcFamily::dcl_member(n, tuple, &mut meter));

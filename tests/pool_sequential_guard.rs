@@ -30,7 +30,11 @@ fn sequential_sessions_never_spawn_pool_workers() {
             .pool_threads(Some(8))
             .parallel_cutoff(1)
             .build();
-        assert_eq!(session.backend(), Backend::Sequential, "requested {parallelism:?}");
+        assert_eq!(
+            session.backend(),
+            Backend::Sequential,
+            "requested {parallelism:?}"
+        );
         for entry in &sample {
             session
                 .evaluate(&entry.expr)
@@ -46,15 +50,25 @@ fn sequential_sessions_never_spawn_pool_workers() {
     // The same holds for pool_threads' own degenerate values on a *parallel*
     // session: `Some(0 | 1)` normalizes to `None` (= size by parallelism),
     // never to a 0- or 1-thread pool.
-    let normalized = SessionBuilder::new().parallelism(Some(4)).pool_threads(Some(1)).build();
+    let normalized = SessionBuilder::new()
+        .parallelism(Some(4))
+        .pool_threads(Some(1))
+        .build();
     assert_eq!(normalized.config().pool_threads, None);
     assert_eq!(normalized.config().effective_pool_threads(), 4);
 
     // A parallel session spawns exactly one worker set, lazily (on the first
     // forked region, not at build time), shares it across executions, and
     // joins it on drop.
-    let parallel = SessionBuilder::new().parallelism(Some(4)).parallel_cutoff(1).build();
-    assert_eq!(live_pool_workers(), baseline, "pool workers must spawn lazily");
+    let parallel = SessionBuilder::new()
+        .parallelism(Some(4))
+        .parallel_cutoff(1)
+        .build();
+    assert_eq!(
+        live_pool_workers(),
+        baseline,
+        "pool workers must spawn lazily"
+    );
     for entry in &sample {
         parallel
             .evaluate(&entry.expr)

@@ -73,7 +73,7 @@ proptest! {
     fn parity_strategies_agree_and_match_cardinality(atoms in arb_atoms()) {
         let v = Value::atom_set(atoms);
         let expected = Value::Bool(v.cardinality().unwrap() % 2 == 1);
-        let input = Expr::Const(v);
+        let input = Expr::constant(v);
         prop_assert_eq!(eval_closed(&parity::parity_dcr(input.clone())).unwrap(), expected.clone());
         prop_assert_eq!(eval_closed(&parity::parity_esr(input.clone())).unwrap(), expected.clone());
         prop_assert_eq!(eval_closed(&parity::parity_loop(input)).unwrap(), expected);
@@ -83,7 +83,7 @@ proptest! {
     fn transitive_closure_strategies_agree_with_baseline(pairs in arb_pairs()) {
         let rel = Relation::from_pairs(pairs);
         let expected = rel.transitive_closure().to_value();
-        let r = Expr::Const(rel.to_value());
+        let r = Expr::constant(rel.to_value());
         prop_assert_eq!(eval_closed(&graph::tc_dcr(r.clone())).unwrap(), expected.clone());
         prop_assert_eq!(eval_closed(&graph::tc_log_loop(r)).unwrap(), expected);
     }
@@ -96,14 +96,14 @@ proptest! {
         let f = Expr::lam("y", Type::Base, Expr::singleton(Expr::var("y")));
         let u = derived::union_combiner(Type::Base);
         let direct = eval_closed(&Expr::dcr(
-            Expr::Empty(Type::Base),
+            Expr::empty(Type::Base),
             f.clone(),
             u.clone(),
-            Expr::Const(v.clone()),
+            Expr::constant(v.clone()),
         ))
         .unwrap();
         let mut sim = HalvingSimulator::default();
-        let outcome = sim.dcr_by_halving(&Expr::Empty(Type::Base), &f, &u, &v).unwrap();
+        let outcome = sim.dcr_by_halving(&Expr::empty(Type::Base), &f, &u, &v).unwrap();
         prop_assert_eq!(direct.clone(), outcome.value);
         prop_assert_eq!(direct, v);
     }
@@ -113,15 +113,15 @@ proptest! {
         let rel = Relation::from_pairs(pairs);
         let input = rel.to_value();
         let phi = Morphism::shift(&input.atoms(), offset);
-        let lhs = phi.apply(&eval_closed(&graph::tc_dcr(Expr::Const(input.clone()))).unwrap());
-        let rhs = eval_closed(&graph::tc_dcr(Expr::Const(phi.apply(&input)))).unwrap();
+        let lhs = phi.apply(&eval_closed(&graph::tc_dcr(Expr::constant(input.clone()))).unwrap());
+        let rhs = eval_closed(&graph::tc_dcr(Expr::constant(phi.apply(&input)))).unwrap();
         prop_assert_eq!(lhs, rhs);
     }
 
     #[test]
     fn nest_unnest_round_trips(pairs in arb_pairs()) {
         let v = Value::relation_from_pairs(pairs);
-        let nested = derived::nest(Type::Base, Type::Base, Expr::Const(v.clone()));
+        let nested = derived::nest(Type::Base, Type::Base, Expr::constant(v.clone()));
         let back = derived::unnest(Type::Base, Type::Base, nested);
         prop_assert_eq!(eval_closed(&back).unwrap(), v);
     }
@@ -136,8 +136,8 @@ proptest! {
         let native_diff: Value = Value::set_from(
             va.as_set().unwrap().difference(vb.as_set().unwrap()).into_vec(),
         );
-        let inter = derived::intersect(Type::Base, Expr::Const(va.clone()), Expr::Const(vb.clone()));
-        let diff = derived::difference(Type::Base, Expr::Const(va), Expr::Const(vb));
+        let inter = derived::intersect(Type::Base, Expr::constant(va.clone()), Expr::constant(vb.clone()));
+        let diff = derived::difference(Type::Base, Expr::constant(va), Expr::constant(vb));
         prop_assert_eq!(eval_closed(&inter).unwrap(), native_inter);
         prop_assert_eq!(eval_closed(&diff).unwrap(), native_diff);
     }

@@ -1,0 +1,150 @@
+//! Property tests for the span invariants of the surface front end.
+//!
+//! For randomly generated surface programs — and for randomly corrupted
+//! ones — these pin the contract the diagnostics renderer relies on:
+//!
+//! * every node of a successfully parsed AST carries a span with
+//!   `start <= end`, lying entirely within the source text, and slicing the
+//!   source at that span reparses to the same subterm shape where the
+//!   grammar permits it (checked structurally for the root);
+//! * every *error* a `Session` reports for a corrupted text answers
+//!   `Error::span()` with a span inside `[0, len]` and `start <= end` — the
+//!   renderer can always place a caret without clipping.
+
+use ncql::core::Span;
+use ncql::{Session, SessionBuilder};
+use proptest::prelude::*;
+
+/// Deterministically build a random surface expression from a "program tape"
+/// of small opcodes. Every shape the grammar offers shows up: literals,
+/// unions, singletons, pairs/projections, conditionals, lambdas + ext,
+/// let-bindings, recursors, iterators and extern calls. Always well-lexed;
+/// not always well-typed — both Ok and Err paths of `prepare` are exercised.
+fn build_text(tape: &[u8], depth: usize) -> String {
+    let op = tape.first().copied().unwrap_or(0);
+    let rest = if tape.is_empty() { &[] } else { &tape[1..] };
+    let atom = |n: u8| format!("{{@{}}}", n % 10);
+    if depth == 0 || rest.is_empty() {
+        return match op % 4 {
+            0 => atom(op),
+            1 => format!("@{}", op % 10),
+            2 => "true".to_string(),
+            _ => format!("{}", op % 100),
+        };
+    }
+    let sub = |tape: &[u8]| build_text(tape, depth - 1);
+    let half = rest.len() / 2;
+    let (a, b) = rest.split_at(half.max(1).min(rest.len()));
+    match op % 10 {
+        // Union operands are primaries in the grammar: parenthesize, since
+        // the sub-texts may be let/if/λ forms.
+        0 => format!("({}) union ({})", sub(a), sub(b)),
+        1 => format!("{{{}}}", sub(a)),
+        2 => format!("({}, {})", sub(a), sub(b)),
+        3 => format!("pi1 ({})", sub(a)),
+        4 => format!("if isempty(empty[atom]) then {} else {}", sub(a), sub(b)),
+        5 => format!("let v{} = {} in {}", op, sub(a), sub(b)),
+        6 => format!("ext(\\x: atom. {{x}}, {})", sub(a)),
+        7 => format!(
+            "dcr(empty[atom], \\y: atom. {{y}}, \\p: ({{atom}} * {{atom}}). pi1 p union pi2 p, {})",
+            sub(a)
+        ),
+        8 => format!("logloop(\\r: {{atom}}. r, {}, empty[atom])", sub(a)),
+        _ => format!("nat_add({}, {})", sub(a), sub(b)),
+    }
+}
+
+fn session() -> Session {
+    SessionBuilder::new().build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parsed_nodes_are_spanned_within_the_source(
+        raw in proptest::collection::vec(0u8..255, 1..24),
+        depth in 1usize..5,
+    ) {
+        let text = build_text(&raw, depth);
+        let parsed = ncql::surface::parse(&text)
+            .unwrap_or_else(|e| panic!("generated text failed to parse: {e}\n{text}"));
+        let mut checked = 0usize;
+        let mut bad: Option<String> = None;
+        parsed.visit(&mut |node| {
+            checked += 1;
+            match node.span {
+                None => bad = bad.take().or(Some(format!("span-less node in: {text}"))),
+                Some(Span { start, end }) => {
+                    if start > end || end > text.len() {
+                        bad = bad.take().or(Some(format!("span {start}..{end} out of bounds in: {text}")));
+                    } else if start == end {
+                        bad = bad.take().or(Some(format!("empty span on a parsed node in: {text}")));
+                    }
+                }
+            }
+        });
+        prop_assert!(bad.is_none(), "{}", bad.unwrap());
+        prop_assert!(checked >= 1);
+        // The root's span covers every child's span.
+        let root = parsed.span.unwrap();
+        parsed.visit(&mut |node| {
+            let s = node.span.unwrap();
+            assert!(root.start <= s.start && s.end <= root.end,
+                "child span {s} escapes root {root} in: {text}");
+        });
+    }
+
+    #[test]
+    fn reported_error_spans_lie_within_the_source(
+        raw in proptest::collection::vec(0u8..255, 1..20),
+        depth in 1usize..4,
+        cut in proptest::prelude::any::<u64>(),
+        junk in 0usize..3,
+    ) {
+        // Corrupt a well-formed text: truncate at a random byte, or splice in
+        // a character the grammar rejects, or both.
+        let mut text = build_text(&raw, depth);
+        if junk != 1 {
+            let at = (cut as usize) % (text.len() + 1);
+            text.truncate(at);
+        }
+        if junk != 0 {
+            let at = (cut as usize / 7) % (text.len() + 1);
+            text.insert(at, if junk == 1 { '$' } else { '?' });
+        }
+        // Whatever the session reports — lex, parse, or type error — any span
+        // must be well-formed and inside the (corrupted) source.
+        match session().prepare(&text) {
+            Ok(_) => {}
+            Err(err) => {
+                if let Some(Span { start, end }) = err.span() {
+                    prop_assert!(start <= end, "inverted span {start}..{end} for: {text}");
+                    prop_assert!(end <= text.len(), "span {start}..{end} beyond len {} for: {text}", text.len());
+                }
+                // And rendering never panics or clips oddly.
+                let rendered = err.render(&text);
+                prop_assert!(rendered.starts_with("error: "), "{rendered}");
+            }
+        }
+    }
+
+    #[test]
+    fn evaluation_error_spans_lie_within_the_source(
+        raw in proptest::collection::vec(0u8..255, 1..20),
+        depth in 1usize..4,
+        max_work in 1u64..60,
+    ) {
+        // Starve the evaluator so runtime errors fire mid-expression; the
+        // reported span must still be a well-formed sub-range of the text.
+        let text = build_text(&raw, depth);
+        let session = SessionBuilder::new().max_work(max_work).build();
+        if let Err(err) = session.run(&text) {
+            if let Some(Span { start, end }) = err.span() {
+                prop_assert!(start <= end);
+                prop_assert!(end <= text.len());
+            }
+            let _ = err.render(&text);
+        }
+    }
+}

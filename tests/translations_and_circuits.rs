@@ -22,11 +22,11 @@ fn xor_u() -> Expr {
 
 #[test]
 fn prop21_translation_preserves_semantics_on_parity() {
-    let x = Expr::Const(Value::atom_set(0..9));
-    let f = Expr::lam("y", Type::Base, Expr::Bool(true));
-    let direct = Expr::dcr(Expr::Bool(false), f.clone(), xor_u(), x.clone());
+    let x = Expr::constant(Value::atom_set(0..9));
+    let f = Expr::lam("y", Type::Base, Expr::bool_val(true));
+    let direct = Expr::dcr(Expr::bool_val(false), f.clone(), xor_u(), x.clone());
     let translated =
-        prop21::dcr_via_esr(Expr::Bool(false), f, xor_u(), x, Type::Base, Type::Bool);
+        prop21::dcr_via_esr(Expr::bool_val(false), f, xor_u(), x, Type::Base, Type::Bool);
     assert_eq!(
         eval_closed(&direct).unwrap(),
         eval_closed(&translated).unwrap()
@@ -38,26 +38,29 @@ fn prop21_translation_preserves_semantics_on_parity() {
 fn prop21_translations_preserve_semantics_on_graph_queries() {
     // dcr → esr on the union-of-relations recursion used by TC.
     let rel = datagen::cycle_graph(5);
-    let r = Expr::Const(rel.to_value());
+    let r = Expr::constant(rel.to_value());
     let rel_ty = Type::binary_relation();
     let f = Expr::lam("y", Type::Base, r.clone());
     let u = graph::tc_combiner();
     let vertices = graph::vertices(r);
     let direct = Expr::dcr(
-        Expr::Empty(Type::prod(Type::Base, Type::Base)),
+        Expr::empty(Type::prod(Type::Base, Type::Base)),
         f.clone(),
         u.clone(),
         vertices.clone(),
     );
     let translated = prop21::dcr_via_esr(
-        Expr::Empty(Type::prod(Type::Base, Type::Base)),
+        Expr::empty(Type::prod(Type::Base, Type::Base)),
         f,
         u,
         vertices,
         Type::Base,
         rel_ty,
     );
-    assert_eq!(eval_closed(&direct).unwrap(), eval_closed(&translated).unwrap());
+    assert_eq!(
+        eval_closed(&direct).unwrap(),
+        eval_closed(&translated).unwrap()
+    );
     assert_eq!(
         eval_closed(&direct).unwrap(),
         rel.transitive_closure().to_value()
@@ -71,18 +74,18 @@ fn prop22_bounded_recursion_is_exact_on_random_graphs() {
         if rel.is_empty() {
             continue;
         }
-        let r = Expr::Const(rel.to_value());
+        let r = Expr::constant(rel.to_value());
         let f = Expr::lam("y", Type::Base, r.clone());
         let u = graph::tc_combiner();
         let vertices = graph::vertices(r);
         let direct = Expr::dcr(
-            Expr::Empty(Type::prod(Type::Base, Type::Base)),
+            Expr::empty(Type::prod(Type::Base, Type::Base)),
             f.clone(),
             u.clone(),
             vertices.clone(),
         );
         let bounded = prop22::dcr_via_bdcr_binary(
-            Expr::Empty(Type::prod(Type::Base, Type::Base)),
+            Expr::empty(Type::prod(Type::Base, Type::Base)),
             f,
             u,
             vertices.clone(),
@@ -101,12 +104,17 @@ fn prop73_halving_rounds_track_the_logarithm_on_graph_workloads() {
     for n in [3u64, 6, 12, 24] {
         let rel = datagen::path_graph(n);
         let r_val = rel.to_value();
-        let f = Expr::lam("y", Type::Base, Expr::Const(r_val.clone()));
+        let f = Expr::lam("y", Type::Base, Expr::constant(r_val.clone()));
         let u = graph::tc_combiner();
         let vertices = Value::atom_set(0..=n);
         let mut sim = prop73::HalvingSimulator::default();
         let outcome = sim
-            .dcr_by_halving(&Expr::Empty(Type::prod(Type::Base, Type::Base)), &f, &u, &vertices)
+            .dcr_by_halving(
+                &Expr::empty(Type::prod(Type::Base, Type::Base)),
+                &f,
+                &u,
+                &vertices,
+            )
             .unwrap();
         assert_eq!(
             Relation::from_value(&outcome.value).unwrap(),
@@ -130,26 +138,28 @@ fn prop73_both_directions_agree_with_direct_semantics() {
         let counting = Value::atom_set(0..n as u64);
         let direct = eval_closed(&Expr::log_loop(
             body.clone(),
-            Expr::Const(counting.clone()),
+            Expr::constant(counting.clone()),
             Expr::nat(0),
         ))
         .unwrap();
         let mut sim = prop73::HalvingSimulator::default();
-        let outcome = sim.log_loop_by_dcr(&body, &counting, &Value::Nat(0)).unwrap();
+        let outcome = sim
+            .log_loop_by_dcr(&body, &counting, &Value::Nat(0))
+            .unwrap();
         assert_eq!(direct, outcome.value, "n = {n}");
     }
 }
 
 #[test]
 fn library_tc_query_is_in_the_orderly_sublanguage() {
-    let r = Expr::Const(datagen::path_graph(4).to_value());
+    let r = Expr::constant(datagen::path_graph(4).to_value());
     let q = graph::tc_dcr(r);
     assert!(
         orderly::is_orderly(&q),
         "the library transitive closure should use a whitelisted combiner"
     );
     // The parity query is orderly too.
-    let p = ncql::queries::parity::parity_dcr(Expr::Const(Value::atom_set(0..4)));
+    let p = ncql::queries::parity::parity_dcr(Expr::constant(Value::atom_set(0..4)));
     assert!(orderly::is_orderly(&p));
 }
 
@@ -158,9 +168,10 @@ fn compiled_circuits_agree_with_the_language_semantics_on_shared_graphs() {
     // The same graph evaluated (a) by the core evaluator on the NRA(dcr) TC
     // query and (b) by the compiled positional circuit must coincide.
     for n in [4usize, 6, 9] {
-        let pairs: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).chain([(n - 1, 0)]).collect();
+        let pairs: Vec<(usize, usize)> =
+            (0..n - 1).map(|i| (i, i + 1)).chain([(n - 1, 0)]).collect();
         let rel = Relation::from_pairs(pairs.iter().map(|&(a, b)| (a as u64, b as u64)));
-        let semantic = eval_closed(&graph::tc_dcr(Expr::Const(rel.to_value()))).unwrap();
+        let semantic = eval_closed(&graph::tc_dcr(Expr::constant(rel.to_value()))).unwrap();
         let semantic_rel = Relation::from_value(&semantic).unwrap();
 
         let bitrel = BitRelation::from_pairs(n, &pairs);
