@@ -19,8 +19,25 @@ use std::collections::BTreeSet;
 
 /// The set of free variables of an expression.
 pub fn free_vars(expr: &Expr) -> BTreeSet<String> {
+    fn walk(expr: &Expr, bound: &mut Vec<String>, out: &mut BTreeSet<String>) {
+        if let ExprKind::Var(x) = &expr.kind {
+            if !bound.iter().any(|b| b == x) {
+                out.insert(x.clone());
+            }
+        }
+        for child in expr.children() {
+            match child.binds {
+                Some(name) => {
+                    bound.push(name.to_string());
+                    walk(child.expr, bound, out);
+                    bound.pop();
+                }
+                None => walk(child.expr, bound, out),
+            }
+        }
+    }
     let mut out = BTreeSet::new();
-    collect_free(expr, &mut Vec::new(), &mut out);
+    walk(expr, &mut Vec::new(), &mut out);
     out
 }
 
@@ -31,194 +48,29 @@ pub fn free_var_span(expr: &Expr, name: &str) -> Option<Span> {
     fn walk(expr: &Expr, name: &str, bound: &mut Vec<String>) -> Option<Option<Span>> {
         // `Some(span)` = found (span may itself be None on span-less trees);
         // `None` = keep looking.
-        match &expr.kind {
-            ExprKind::Var(x) if x == name && !bound.iter().any(|b| b == x) => Some(expr.span),
-            ExprKind::Lam(x, _, body) => {
-                bound.push(x.clone());
-                let r = walk(body, name, bound);
-                bound.pop();
-                r
-            }
-            ExprKind::Let(x, rhs, body) => {
-                if let Some(found) = walk(rhs, name, bound) {
-                    return Some(found);
-                }
-                bound.push(x.clone());
-                let r = walk(body, name, bound);
-                bound.pop();
-                r
-            }
-            _ => {
-                let mut children = Vec::new();
-                collect_children(expr, &mut children);
-                for child in children {
-                    if let Some(found) = walk(child, name, bound) {
-                        return Some(found);
-                    }
-                }
-                None
+        if let ExprKind::Var(x) = &expr.kind {
+            if x == name && !bound.iter().any(|b| b == x) {
+                return Some(expr.span);
             }
         }
+        for child in expr.children() {
+            let found = match child.binds {
+                Some(binder) if binder == name => continue, // shadowed below here
+                Some(binder) => {
+                    bound.push(binder.to_string());
+                    let r = walk(child.expr, name, bound);
+                    bound.pop();
+                    r
+                }
+                None => walk(child.expr, name, bound),
+            };
+            if found.is_some() {
+                return found;
+            }
+        }
+        None
     }
     walk(expr, name, &mut Vec::new()).flatten()
-}
-
-/// The direct children of a node, in syntactic order (binder-introducing
-/// nodes are handled separately by [`free_var_span`]'s walker).
-fn collect_children<'a>(expr: &'a Expr, out: &mut Vec<&'a Expr>) {
-    match &expr.kind {
-        ExprKind::Var(_)
-        | ExprKind::Unit
-        | ExprKind::Bool(_)
-        | ExprKind::Const(_)
-        | ExprKind::Empty(_) => {}
-        ExprKind::Lam(_, _, b) => out.push(b),
-        ExprKind::App(a, b)
-        | ExprKind::Pair(a, b)
-        | ExprKind::Eq(a, b)
-        | ExprKind::Leq(a, b)
-        | ExprKind::Union(a, b)
-        | ExprKind::Ext(a, b)
-        | ExprKind::Let(_, a, b) => out.extend([a.as_ref(), b.as_ref()]),
-        ExprKind::Proj1(a) | ExprKind::Proj2(a) | ExprKind::Singleton(a) | ExprKind::IsEmpty(a) => {
-            out.push(a)
-        }
-        ExprKind::If(c, t, e) => out.extend([c.as_ref(), t.as_ref(), e.as_ref()]),
-        ExprKind::Dcr { e, f, u, arg } | ExprKind::Sru { e, f, u, arg } => {
-            out.extend([e.as_ref(), f.as_ref(), u.as_ref(), arg.as_ref()])
-        }
-        ExprKind::Sri { e, i, arg } | ExprKind::Esr { e, i, arg } => {
-            out.extend([e.as_ref(), i.as_ref(), arg.as_ref()])
-        }
-        ExprKind::BDcr {
-            e,
-            f,
-            u,
-            bound,
-            arg,
-        } => out.extend([
-            e.as_ref(),
-            f.as_ref(),
-            u.as_ref(),
-            bound.as_ref(),
-            arg.as_ref(),
-        ]),
-        ExprKind::BSri { e, i, bound, arg } => {
-            out.extend([e.as_ref(), i.as_ref(), bound.as_ref(), arg.as_ref()])
-        }
-        ExprKind::LogLoop { f, set, init } | ExprKind::Loop { f, set, init } => {
-            out.extend([f.as_ref(), set.as_ref(), init.as_ref()])
-        }
-        ExprKind::BLogLoop {
-            f,
-            bound,
-            set,
-            init,
-        }
-        | ExprKind::BLoop {
-            f,
-            bound,
-            set,
-            init,
-        } => out.extend([f.as_ref(), bound.as_ref(), set.as_ref(), init.as_ref()]),
-        ExprKind::Extern(_, args) => out.extend(args.iter()),
-    }
-}
-
-fn collect_free(expr: &Expr, bound: &mut Vec<String>, out: &mut BTreeSet<String>) {
-    match &expr.kind {
-        ExprKind::Var(x) => {
-            if !bound.iter().any(|b| b == x) {
-                out.insert(x.clone());
-            }
-        }
-        ExprKind::Lam(x, _, body) => {
-            bound.push(x.clone());
-            collect_free(body, bound, out);
-            bound.pop();
-        }
-        ExprKind::Let(x, rhs, body) => {
-            collect_free(rhs, bound, out);
-            bound.push(x.clone());
-            collect_free(body, bound, out);
-            bound.pop();
-        }
-        ExprKind::Unit | ExprKind::Bool(_) | ExprKind::Const(_) | ExprKind::Empty(_) => {}
-        ExprKind::App(a, b)
-        | ExprKind::Pair(a, b)
-        | ExprKind::Eq(a, b)
-        | ExprKind::Leq(a, b)
-        | ExprKind::Union(a, b)
-        | ExprKind::Ext(a, b) => {
-            collect_free(a, bound, out);
-            collect_free(b, bound, out);
-        }
-        ExprKind::Proj1(a) | ExprKind::Proj2(a) | ExprKind::Singleton(a) | ExprKind::IsEmpty(a) => {
-            collect_free(a, bound, out)
-        }
-        ExprKind::If(c, t, e) => {
-            collect_free(c, bound, out);
-            collect_free(t, bound, out);
-            collect_free(e, bound, out);
-        }
-        ExprKind::Dcr { e, f, u, arg } | ExprKind::Sru { e, f, u, arg } => {
-            for x in [e, f, u, arg] {
-                collect_free(x, bound, out);
-            }
-        }
-        ExprKind::Sri { e, i, arg } | ExprKind::Esr { e, i, arg } => {
-            for x in [e, i, arg] {
-                collect_free(x, bound, out);
-            }
-        }
-        ExprKind::BDcr {
-            e,
-            f,
-            u,
-            bound: b,
-            arg,
-        } => {
-            for x in [e, f, u, b, arg] {
-                collect_free(x, bound, out);
-            }
-        }
-        ExprKind::BSri {
-            e,
-            i,
-            bound: b,
-            arg,
-        } => {
-            for x in [e, i, b, arg] {
-                collect_free(x, bound, out);
-            }
-        }
-        ExprKind::LogLoop { f, set, init } | ExprKind::Loop { f, set, init } => {
-            for x in [f, set, init] {
-                collect_free(x, bound, out);
-            }
-        }
-        ExprKind::BLogLoop {
-            f,
-            bound: b,
-            set,
-            init,
-        }
-        | ExprKind::BLoop {
-            f,
-            bound: b,
-            set,
-            init,
-        } => {
-            for x in [f, b, set, init] {
-                collect_free(x, bound, out);
-            }
-        }
-        ExprKind::Extern(_, args) => {
-            for a in args {
-                collect_free(a, bound, out);
-            }
-        }
-    }
 }
 
 /// Is the expression closed (no free variables)?
@@ -229,70 +81,16 @@ pub fn is_closed(expr: &Expr) -> bool {
 /// The depth of recursion/iteration nesting (§3 and §7.1). An expression with no
 /// recursor or iterator has depth 0; Theorem 6.2 places a flat query of depth `k ≥ 1`
 /// in ACᵏ.
+///
+/// Which operand is "the iterated one" (the combiner of a `dcr`, the step of
+/// an `sri`, the body of an iterator) is recorded once, on
+/// [`Expr::children`]'s `iterated` flag, rather than re-enumerated here.
 pub fn recursion_depth(expr: &Expr) -> usize {
-    match &expr.kind {
-        ExprKind::Var(_)
-        | ExprKind::Unit
-        | ExprKind::Bool(_)
-        | ExprKind::Const(_)
-        | ExprKind::Empty(_) => 0,
-        ExprKind::Lam(_, _, b) => recursion_depth(b),
-        ExprKind::App(a, b)
-        | ExprKind::Pair(a, b)
-        | ExprKind::Eq(a, b)
-        | ExprKind::Leq(a, b)
-        | ExprKind::Union(a, b)
-        | ExprKind::Ext(a, b)
-        | ExprKind::Let(_, a, b) => recursion_depth(a).max(recursion_depth(b)),
-        ExprKind::Proj1(a) | ExprKind::Proj2(a) | ExprKind::Singleton(a) | ExprKind::IsEmpty(a) => {
-            recursion_depth(a)
-        }
-        ExprKind::If(c, t, e) => recursion_depth(c)
-            .max(recursion_depth(t))
-            .max(recursion_depth(e)),
-        ExprKind::Dcr { e, f, u, arg } | ExprKind::Sru { e, f, u, arg } => recursion_depth(e)
-            .max(recursion_depth(f))
-            .max(1 + recursion_depth(u))
-            .max(recursion_depth(arg)),
-        ExprKind::BDcr {
-            e,
-            f,
-            u,
-            bound,
-            arg,
-        } => recursion_depth(e)
-            .max(recursion_depth(f))
-            .max(1 + recursion_depth(u))
-            .max(recursion_depth(bound))
-            .max(recursion_depth(arg)),
-        ExprKind::Sri { e, i, arg } | ExprKind::Esr { e, i, arg } => recursion_depth(e)
-            .max(1 + recursion_depth(i))
-            .max(recursion_depth(arg)),
-        ExprKind::BSri { e, i, bound, arg } => recursion_depth(e)
-            .max(1 + recursion_depth(i))
-            .max(recursion_depth(bound))
-            .max(recursion_depth(arg)),
-        ExprKind::LogLoop { f, set, init } | ExprKind::Loop { f, set, init } => (1
-            + recursion_depth(f))
-        .max(recursion_depth(set))
-        .max(recursion_depth(init)),
-        ExprKind::BLogLoop {
-            f,
-            bound,
-            set,
-            init,
-        }
-        | ExprKind::BLoop {
-            f,
-            bound,
-            set,
-            init,
-        } => (1 + recursion_depth(f))
-            .max(recursion_depth(bound))
-            .max(recursion_depth(set))
-            .max(recursion_depth(init)),
-        ExprKind::Extern(_, args) => args.iter().map(recursion_depth).max().unwrap_or(0),
-    }
+    expr.children()
+        .into_iter()
+        .map(|child| recursion_depth(child.expr) + usize::from(child.iterated))
+        .max()
+        .unwrap_or(0)
 }
 
 /// Count occurrences of each class of recursion construct — used by reports and

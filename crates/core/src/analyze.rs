@@ -1,0 +1,2276 @@
+//! Prepare-time static analysis: symbolic work/span bounds and a query linter.
+//!
+//! The paper's central claim is that queries in this language carry *static*
+//! parallel-complexity guarantees — Theorems 6.1/6.2 place `dcr^(k)`/`bdcr^(k)`
+//! queries in ACᵏ. This module turns that meta-theorem into an engine-usable
+//! analysis: a compositional abstract interpreter over [`ExprKind`] that
+//! computes **upper-bound polynomials** for the work and span the instrumented
+//! evaluator in [`crate::eval`] will charge, in the cardinalities of the free
+//! schema relations, plus a **lower work bound** (`work_floor`) used to reject
+//! queries that are guaranteed to exceed a session's work limit before any
+//! evaluation happens.
+//!
+//! The cost model mirrored here is exactly the one `Evaluator` charges:
+//!
+//! * every expression node charges 1 unit of work on entry;
+//! * `eq`/`leq` charge `min(|a|, |b|)` extra (size-bounded comparison);
+//! * `union` charges `|a ∪ b|` extra;
+//! * `ext` applies its map once per element (each application charges 1 plus
+//!   the body's cost) and charges the result cardinality at the end;
+//! * the union recursors (`dcr`/`sru`/`bdcr`) apply the singleton map per
+//!   element and then combine over a balanced binary tree — `m − 1` combiner
+//!   calls whose *span* contributes only `⌈log₂ m⌉` levels (the AC link);
+//! * the insert recursors (`sri`/`esr`/`bsri`) and the iterators
+//!   (`loop`/`log-loop` and bounded forms) run a sequential chain whose span
+//!   is the *sum* of the step spans.
+//!
+//! Set growth through a recursion is resolved by a one-variable recurrence:
+//! the combiner/step body is analysed once with a fresh *measure variable* `g`
+//! standing for the accumulator size, the resulting size bound is decomposed
+//! as `A·g + R`, and the closed form (`R·log m`, geometric in `A`, or the
+//! bounded recursor's hard cap) is substituted back. When the argument
+//! cardinality is a known constant the analyser instead runs the combining
+//! tree / chain *numerically*, round by round, which gives finite bounds even
+//! for non-linear combiners (the powerset query).
+//!
+//! Everything here is a *bound*, never a promise of tightness: `Unbounded` is
+//! always a sound answer, and the analyser degrades to it (never panics) when
+//! its node budget runs out or a recurrence is not linear in the measure.
+
+use crate::analysis::free_vars;
+use crate::eval::log_rounds;
+use crate::expr::{Expr, ExprKind};
+use crate::externs::ExternRegistry;
+use crate::span::Span;
+use ncql_object::{Type, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// Polynomials
+// ---------------------------------------------------------------------------
+
+/// A monomial: each variable maps to `(power, log-power)`, i.e. the factor
+/// `v^power · log(v)^log_power`, where `log` is the evaluator's
+/// [`log_rounds`] (`⌊log₂ v⌋ + 1` for `v ≥ 1`, `0` for `v = 0`).
+pub type Monomial = BTreeMap<String, (u32, u32)>;
+
+/// A multivariate polynomial with saturating `u64` coefficients over relation
+/// cardinalities, admitting `log` factors. All coefficients are non-negative,
+/// which the bound algebra leans on throughout: polynomials are monotone in
+/// every variable, so substituting an upper bound for a variable preserves
+/// upper bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Poly {
+    terms: BTreeMap<Monomial, u64>,
+}
+
+/// Merging more terms than this triggers compaction (upper bounds get
+/// coarsened per variable-support group; lower bounds drop terms).
+const MAX_TERMS: usize = 32;
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Poly {
+        Poly {
+            terms: BTreeMap::new(),
+        }
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: u64) -> Poly {
+        let mut terms = BTreeMap::new();
+        if c != 0 {
+            terms.insert(Monomial::new(), c);
+        }
+        Poly { terms }
+    }
+
+    /// The polynomial `v` for a single cardinality variable.
+    pub fn var(name: &str) -> Poly {
+        let mut m = Monomial::new();
+        m.insert(name.to_string(), (1, 0));
+        let mut terms = BTreeMap::new();
+        terms.insert(m, 1);
+        Poly { terms }
+    }
+
+    /// The polynomial `log(v)`.
+    pub fn log_var(name: &str) -> Poly {
+        let mut m = Monomial::new();
+        m.insert(name.to_string(), (0, 1));
+        let mut terms = BTreeMap::new();
+        terms.insert(m, 1);
+        Poly { terms }
+    }
+
+    /// Is this syntactically zero?
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// `Some(c)` when the polynomial is a constant.
+    pub fn as_const(&self) -> Option<u64> {
+        match self.terms.len() {
+            0 => Some(0),
+            1 => {
+                let (m, c) = self.terms.iter().next().expect("len checked");
+                m.is_empty().then_some(*c)
+            }
+            _ => None,
+        }
+    }
+
+    /// Pointwise sum.
+    pub fn add(&self, other: &Poly) -> Poly {
+        let mut out = self.terms.clone();
+        for (m, c) in &other.terms {
+            let slot = out.entry(m.clone()).or_insert(0);
+            *slot = slot.saturating_add(*c);
+        }
+        Poly { terms: out }
+    }
+
+    /// `self + c`.
+    pub fn add_const(&self, c: u64) -> Poly {
+        self.add(&Poly::constant(c))
+    }
+
+    /// Product of two polynomials.
+    pub fn mul(&self, other: &Poly) -> Poly {
+        let mut out: BTreeMap<Monomial, u64> = BTreeMap::new();
+        for (ma, ca) in &self.terms {
+            for (mb, cb) in &other.terms {
+                let mut m = ma.clone();
+                for (v, (p, q)) in mb {
+                    let slot = m.entry(v.clone()).or_insert((0, 0));
+                    slot.0 = slot.0.saturating_add(*p);
+                    slot.1 = slot.1.saturating_add(*q);
+                }
+                let slot = out.entry(m).or_insert(0);
+                *slot = slot.saturating_add(ca.saturating_mul(*cb));
+            }
+        }
+        Poly { terms: out }
+    }
+
+    /// `c · self`.
+    pub fn scale(&self, c: u64) -> Poly {
+        if c == 0 {
+            return Poly::zero();
+        }
+        Poly {
+            terms: self
+                .terms
+                .iter()
+                .map(|(m, k)| (m.clone(), k.saturating_mul(c)))
+                .collect(),
+        }
+    }
+
+    /// Pointwise coefficient maximum: a sound **upper** bound for
+    /// `max(self, other)` at every non-negative assignment (each operand is
+    /// dominated termwise by the joined coefficients).
+    pub fn join(&self, other: &Poly) -> Poly {
+        let mut out = self.terms.clone();
+        for (m, c) in &other.terms {
+            let slot = out.entry(m.clone()).or_insert(0);
+            *slot = (*slot).max(*c);
+        }
+        Poly { terms: out }
+    }
+
+    /// Evaluate at concrete cardinalities. Returns `None` when a variable is
+    /// missing from `lookup`. Log factors evaluate through [`log_rounds`].
+    pub fn eval(&self, lookup: &dyn Fn(&str) -> Option<u64>) -> Option<u64> {
+        let mut total: u64 = 0;
+        for (m, c) in &self.terms {
+            let mut term = *c;
+            for (v, (p, q)) in m {
+                let val = lookup(v)?;
+                for _ in 0..*p {
+                    term = term.saturating_mul(val);
+                }
+                let lg = log_rounds(val as usize);
+                for _ in 0..*q {
+                    term = term.saturating_mul(lg);
+                }
+            }
+            total = total.saturating_add(term);
+        }
+        Some(total)
+    }
+
+    /// Evaluate a closed (variable-free) polynomial; `None` if any variable
+    /// remains.
+    pub fn eval_closed(&self) -> Option<u64> {
+        self.eval(&|_| None)
+    }
+
+    /// Evaluate with every variable set to zero — the unconditional minimum
+    /// of a monotone polynomial, used for the doomed-query floor.
+    pub fn eval_at_zero(&self) -> u64 {
+        self.eval(&|_| Some(0)).expect("total lookup")
+    }
+
+    /// An upper bound for `log_rounds(self(x))` as a polynomial, valid at
+    /// every non-negative assignment. Uses `log(c·Πvᵖ·log(v)^q) ≤
+    /// log(c) + Σ(p+q)·log(v)` per monomial (since `log_rounds(ab) ≤
+    /// log_rounds(a) + log_rounds(b)`, `log_rounds(v^p) ≤ p·log_rounds(v)`,
+    /// and `log_rounds(log_rounds(v)) ≤ log_rounds(v)`), and
+    /// `log_rounds(Σᵢ tᵢ) ≤ Σᵢ log_rounds(tᵢ) + 2(k−1)` across `k` monomials.
+    pub fn log_bound(&self) -> Poly {
+        if self.terms.is_empty() {
+            return Poly::zero();
+        }
+        let mut out = Poly::zero();
+        for (m, c) in &self.terms {
+            let mut term = Poly::constant(log_rounds(*c as usize));
+            for (v, (p, q)) in m {
+                let total = (*p as u64).saturating_add(*q as u64);
+                term = term.add(&Poly::log_var(v).scale(total));
+            }
+            out = out.add(&term);
+        }
+        out.add_const(2 * (self.terms.len() as u64 - 1))
+    }
+
+    /// Substitute an upper bound `replacement` for `var`. Sound for upper
+    /// bounds because the polynomial is monotone in every variable:
+    /// `v^p·log(v)^q ↦ P^p·log_bound(P)^q`.
+    pub fn subst(&self, var: &str, replacement: &Poly) -> Poly {
+        let mut out = Poly::zero();
+        let repl_log = replacement.log_bound();
+        for (m, c) in &self.terms {
+            let mut term = Poly::constant(*c);
+            for (v, (p, q)) in m {
+                if v == var {
+                    for _ in 0..*p {
+                        term = term.mul(replacement);
+                    }
+                    for _ in 0..*q {
+                        term = term.mul(&repl_log);
+                    }
+                } else {
+                    let mut mono = Monomial::new();
+                    mono.insert(v.clone(), (*p, *q));
+                    let mut factor = BTreeMap::new();
+                    factor.insert(mono, 1);
+                    term = term.mul(&Poly { terms: factor });
+                }
+            }
+            out = out.add(&term);
+        }
+        out
+    }
+
+    /// Does the polynomial mention `var` at all?
+    pub fn mentions(&self, var: &str) -> bool {
+        self.terms.keys().any(|m| m.contains_key(var))
+    }
+
+    /// Decompose as `A·var + R` where `R` does not mention `var`. `None` when
+    /// any term is non-linear in `var` (including `log(var)` factors).
+    pub fn linear_in(&self, var: &str) -> Option<(u64, Poly)> {
+        let mut a = 0u64;
+        let mut rest = Poly::zero();
+        for (m, c) in &self.terms {
+            match m.get(var) {
+                None => {
+                    rest = rest.add(&Poly {
+                        terms: BTreeMap::from([(m.clone(), *c)]),
+                    });
+                }
+                Some(&(1, 0)) if m.len() == 1 => a = a.saturating_add(*c),
+                Some(_) => return None,
+            }
+        }
+        Some((a, rest))
+    }
+
+    /// Coarsen an **upper** bound so it never exceeds `MAX_TERMS` terms:
+    /// within each group of monomials sharing a variable support, log-powers
+    /// fold into full powers (`log_rounds(v) ≤ v`), powers take the groupwise
+    /// maximum, and coefficients sum. Sound because within a support group
+    /// either every variable is ≥ 1 (so raising powers only grows the term)
+    /// or some variable is 0 (so both sides vanish).
+    pub fn compact_upper(self) -> Poly {
+        if self.terms.len() <= MAX_TERMS {
+            return self;
+        }
+        let mut groups: BTreeMap<Vec<String>, (Monomial, u64)> = BTreeMap::new();
+        for (m, c) in self.terms {
+            let support: Vec<String> = m.keys().cloned().collect();
+            let entry = groups
+                .entry(support)
+                .or_insert_with(|| (Monomial::new(), 0));
+            for (v, (p, q)) in m {
+                let folded = (p).saturating_add(q);
+                let slot = entry.0.entry(v).or_insert((0, 0));
+                slot.0 = slot.0.max(folded);
+            }
+            entry.1 = entry.1.saturating_add(c);
+        }
+        Poly {
+            terms: groups.into_values().collect(),
+        }
+    }
+
+    /// Shrink a **lower** bound by dropping terms (coefficients are
+    /// non-negative, so any sub-sum is still a lower bound).
+    pub fn compact_lower(self) -> Poly {
+        if self.terms.len() <= MAX_TERMS {
+            return self;
+        }
+        Poly {
+            terms: self.terms.into_iter().take(MAX_TERMS).collect(),
+        }
+    }
+
+    /// A deterministic sample evaluation (every variable at 8) used only to
+    /// *pick between* two already-sound bounds — never to establish one.
+    fn sample(&self) -> u64 {
+        self.eval(&|_| Some(8)).expect("total lookup")
+    }
+}
+
+/// A sound **lower** bound for `max(a, b)`: exact on constants, otherwise the
+/// operand that looks larger at a sample point (either operand alone is a
+/// valid lower bound for the max).
+pub(crate) fn lower_max(a: &Poly, b: &Poly) -> Poly {
+    match (a.as_const(), b.as_const()) {
+        (Some(ca), Some(cb)) => Poly::constant(ca.max(cb)),
+        _ => {
+            if a.sample() >= b.sample() {
+                a.clone()
+            } else {
+                b.clone()
+            }
+        }
+    }
+}
+
+/// A sound **lower** bound for `min(a, b)`: exact on constants, otherwise 0.
+pub(crate) fn lower_min(a: &Poly, b: &Poly) -> Poly {
+    match (a.as_const(), b.as_const()) {
+        (Some(ca), Some(cb)) => Poly::constant(ca.min(cb)),
+        _ => Poly::zero(),
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        // Highest-degree first reads like a complexity bound.
+        let mut terms: Vec<(&Monomial, &u64)> = self.terms.iter().collect();
+        terms.sort_by_key(|(m, _)| {
+            let deg: u64 = m.values().map(|(p, q)| (*p as u64) + (*q as u64)).sum();
+            std::cmp::Reverse(deg)
+        });
+        for (i, (m, c)) in terms.into_iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            let mut factors: Vec<String> = Vec::new();
+            for (v, (p, q)) in m.iter() {
+                if *p == 1 {
+                    factors.push(v.clone());
+                } else if *p > 1 {
+                    factors.push(format!("{v}^{p}"));
+                }
+                if *q == 1 {
+                    factors.push(format!("log({v})"));
+                } else if *q > 1 {
+                    factors.push(format!("log({v})^{q}"));
+                }
+            }
+            if factors.is_empty() {
+                write!(f, "{c}")?;
+            } else if *c == 1 {
+                write!(f, "{}", factors.join("*"))?;
+            } else {
+                write!(f, "{c}*{}", factors.join("*"))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bounds and ranges
+// ---------------------------------------------------------------------------
+
+/// An upper bound that may be infinite. `Unbounded` is the analyser's honest
+/// answer when a recurrence is non-linear or the node budget ran out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Bound {
+    /// A finite symbolic bound.
+    Finite(Poly),
+    /// No finite bound could be established.
+    Unbounded,
+}
+
+impl Bound {
+    /// A constant bound.
+    pub fn constant(c: u64) -> Bound {
+        Bound::Finite(Poly::constant(c))
+    }
+
+    /// The finite polynomial, if any.
+    pub fn as_poly(&self) -> Option<&Poly> {
+        match self {
+            Bound::Finite(p) => Some(p),
+            Bound::Unbounded => None,
+        }
+    }
+
+    /// `Some(c)` when the bound is a finite constant.
+    pub fn as_const(&self) -> Option<u64> {
+        self.as_poly().and_then(Poly::as_const)
+    }
+
+    /// Lifted sum.
+    pub fn add(&self, other: &Bound) -> Bound {
+        match (self, other) {
+            (Bound::Finite(a), Bound::Finite(b)) => Bound::Finite(a.add(b).compact_upper()),
+            _ => Bound::Unbounded,
+        }
+    }
+
+    /// `self + c`.
+    pub fn add_const(&self, c: u64) -> Bound {
+        self.add(&Bound::constant(c))
+    }
+
+    /// Lifted product. Zero absorbs `Unbounded`: iterating an opaque body
+    /// zero times costs nothing.
+    pub fn mul(&self, other: &Bound) -> Bound {
+        if self.as_const() == Some(0) || other.as_const() == Some(0) {
+            return Bound::constant(0);
+        }
+        match (self, other) {
+            (Bound::Finite(a), Bound::Finite(b)) => Bound::Finite(a.mul(b).compact_upper()),
+            _ => Bound::Unbounded,
+        }
+    }
+
+    /// Upper bound for `max(self, other)`.
+    pub fn join(&self, other: &Bound) -> Bound {
+        match (self, other) {
+            (Bound::Finite(a), Bound::Finite(b)) => Bound::Finite(a.join(b)),
+            _ => Bound::Unbounded,
+        }
+    }
+
+    /// Upper bound for `min(self, other)`: exact on constants; a finite
+    /// operand beats `Unbounded`; otherwise either finite operand is sound.
+    pub fn upper_min(&self, other: &Bound) -> Bound {
+        match (self, other) {
+            (Bound::Finite(a), Bound::Finite(b)) => match (a.as_const(), b.as_const()) {
+                (Some(ca), Some(cb)) => Bound::constant(ca.min(cb)),
+                _ => {
+                    if a.sample() <= b.sample() {
+                        self.clone()
+                    } else {
+                        other.clone()
+                    }
+                }
+            },
+            (Bound::Finite(_), Bound::Unbounded) => self.clone(),
+            (Bound::Unbounded, _) => other.clone(),
+        }
+    }
+
+    /// Lifted [`Poly::log_bound`].
+    pub fn log_bound(&self) -> Bound {
+        match self {
+            Bound::Finite(p) => Bound::Finite(p.log_bound()),
+            Bound::Unbounded => Bound::Unbounded,
+        }
+    }
+
+    /// Evaluate at concrete cardinalities; `None` when unbounded or a
+    /// variable is missing.
+    pub fn eval(&self, lookup: &dyn Fn(&str) -> Option<u64>) -> Option<u64> {
+        self.as_poly().and_then(|p| p.eval(lookup))
+    }
+
+    /// Evaluate a closed bound.
+    pub fn eval_closed(&self) -> Option<u64> {
+        self.as_poly().and_then(Poly::eval_closed)
+    }
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bound::Finite(p) => write!(f, "{p}"),
+            Bound::Unbounded => write!(f, "unbounded"),
+        }
+    }
+}
+
+/// A two-sided range: a guaranteed lower-bound polynomial and a (possibly
+/// infinite) upper bound. Lower bounds are deliberately coarse — they feed
+/// only the doomed-query check, where looseness merely misses rejections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Range {
+    pub lo: Poly,
+    pub hi: Bound,
+}
+
+impl Range {
+    pub fn exact(c: u64) -> Range {
+        Range {
+            lo: Poly::constant(c),
+            hi: Bound::constant(c),
+        }
+    }
+
+    pub fn new(lo: Poly, hi: Bound) -> Range {
+        Range { lo, hi }
+    }
+
+    pub fn between(lo: u64, hi: Bound) -> Range {
+        Range {
+            lo: Poly::constant(lo),
+            hi,
+        }
+    }
+
+    pub fn unknown_card() -> Range {
+        Range::between(0, Bound::Unbounded)
+    }
+
+    pub fn unknown_size() -> Range {
+        Range::between(1, Bound::Unbounded)
+    }
+
+    pub fn add(&self, other: &Range) -> Range {
+        Range {
+            lo: self.lo.add(&other.lo).compact_lower(),
+            hi: self.hi.add(&other.hi),
+        }
+    }
+
+    pub fn add_const(&self, c: u64) -> Range {
+        Range {
+            lo: self.lo.add_const(c),
+            hi: self.hi.add_const(c),
+        }
+    }
+
+    /// Range of `max(a, b)` — for joins of alternatives use [`Range::join`].
+    pub fn max(&self, other: &Range) -> Range {
+        Range {
+            lo: lower_max(&self.lo, &other.lo),
+            hi: self.hi.join(&other.hi),
+        }
+    }
+
+    /// Range covering *either* operand (e.g. the two branches of an `if`):
+    /// the lower bound must hold for both, so it is the lower `min`.
+    pub fn join(&self, other: &Range) -> Range {
+        Range {
+            lo: lower_min(&self.lo, &other.lo),
+            hi: self.hi.join(&other.hi),
+        }
+    }
+}
+
+/// Work/span cost of evaluating one expression, as ranges.
+#[derive(Debug, Clone)]
+pub(crate) struct Cost {
+    pub work: Range,
+    pub span: Range,
+}
+
+impl Cost {
+    /// The cost of a leaf node: one unit of work, zero span.
+    pub fn leaf() -> Cost {
+        Cost {
+            work: Range::exact(1),
+            span: Range::exact(0),
+        }
+    }
+
+    /// The cost when nothing is known (budget exhausted / opaque function):
+    /// every node still charges at least one unit of work on entry.
+    pub fn opaque() -> Cost {
+        Cost {
+            work: Range::between(1, Bound::Unbounded),
+            span: Range::between(0, Bound::Unbounded),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Abstract values
+// ---------------------------------------------------------------------------
+
+/// Structural knowledge about an object value.
+#[derive(Debug, Clone)]
+pub(crate) enum Shape {
+    /// Atom / bool / unit / nat.
+    Scalar,
+    /// A pair with per-component bounds.
+    Pair(Rc<ObjBound>, Rc<ObjBound>),
+    /// A set with a bound covering *every* element.
+    Set(Rc<ObjBound>),
+    /// Unknown structure.
+    Top,
+}
+
+/// Bounds on one object value: its cardinality (1 for non-sets), its
+/// [`Value::size`], and its shape. Invariants: `size ≥ 1` always, and for
+/// sets `card ≤ size − 1` (each element has size ≥ 1).
+#[derive(Debug, Clone)]
+pub(crate) struct ObjBound {
+    pub card: Range,
+    pub size: Range,
+    pub shape: Shape,
+}
+
+impl ObjBound {
+    pub fn scalar() -> ObjBound {
+        ObjBound {
+            card: Range::exact(1),
+            size: Range::exact(1),
+            shape: Shape::Scalar,
+        }
+    }
+
+    pub fn top() -> ObjBound {
+        ObjBound {
+            card: Range::unknown_card(),
+            size: Range::unknown_size(),
+            shape: Shape::Top,
+        }
+    }
+
+    /// Exact bounds for a concrete value.
+    pub fn of_value(v: &Value) -> ObjBound {
+        match v {
+            Value::Atom(_) | Value::Bool(_) | Value::Unit | Value::Nat(_) => ObjBound::scalar(),
+            Value::Pair(a, b) => {
+                let a = ObjBound::of_value(a);
+                let b = ObjBound::of_value(b);
+                ObjBound {
+                    card: Range::exact(1),
+                    size: a.size.add(&b.size).add_const(1),
+                    shape: Shape::Pair(Rc::new(a), Rc::new(b)),
+                }
+            }
+            Value::Set(s) => {
+                let card = s.len() as u64;
+                let size = v.size() as u64;
+                let elem = s
+                    .iter()
+                    .map(ObjBound::of_value)
+                    .reduce(|a, b| a.join(&b))
+                    .unwrap_or_else(ObjBound::top);
+                ObjBound {
+                    card: Range::exact(card),
+                    size: Range::exact(size),
+                    shape: Shape::Set(Rc::new(elem)),
+                }
+            }
+        }
+    }
+
+    /// Shape-only bounds from a type (cardinalities of sets unknown).
+    pub fn of_type(ty: &Type) -> ObjBound {
+        match ty {
+            Type::Base | Type::Bool | Type::Unit | Type::Nat => ObjBound::scalar(),
+            Type::Prod(a, b) => {
+                let a = ObjBound::of_type(a);
+                let b = ObjBound::of_type(b);
+                ObjBound {
+                    card: Range::exact(1),
+                    size: a.size.add(&b.size).add_const(1),
+                    shape: Shape::Pair(Rc::new(a), Rc::new(b)),
+                }
+            }
+            Type::Set(t) => {
+                let elem = ObjBound::of_type(t);
+                ObjBound {
+                    card: Range::unknown_card(),
+                    size: Range::unknown_size(),
+                    shape: Shape::Set(Rc::new(elem)),
+                }
+            }
+            Type::Fun(_, _) => ObjBound::top(),
+        }
+    }
+
+    /// Bounds for a schema relation whose cardinality is the symbolic
+    /// variable `name`: `card = |name|` exactly, `1 + |name| ≤ size ≤
+    /// 1 + |name| · elem_size`.
+    pub fn schema_relation(name: &str, ty: &Type) -> ObjBound {
+        match ty {
+            Type::Set(t) => {
+                let elem = ObjBound::of_type(t);
+                let n = Poly::var(name);
+                let size_hi = match &elem.size.hi {
+                    Bound::Finite(es) => Bound::Finite(n.mul(es).add_const(1)),
+                    Bound::Unbounded => Bound::Unbounded,
+                };
+                ObjBound {
+                    card: Range::new(n.clone(), Bound::Finite(n.clone())),
+                    size: Range::new(n.add_const(1), size_hi),
+                    shape: Shape::Set(Rc::new(elem)),
+                }
+            }
+            other => ObjBound::of_type(other),
+        }
+    }
+
+    /// Covering join: bounds valid for a value that is *either* operand.
+    pub fn join(&self, other: &ObjBound) -> ObjBound {
+        let shape = match (&self.shape, &other.shape) {
+            (Shape::Scalar, Shape::Scalar) => Shape::Scalar,
+            (Shape::Pair(a1, b1), Shape::Pair(a2, b2)) => {
+                Shape::Pair(Rc::new(a1.join(a2)), Rc::new(b1.join(b2)))
+            }
+            (Shape::Set(e1), Shape::Set(e2)) => Shape::Set(Rc::new(e1.join(e2))),
+            _ => Shape::Top,
+        };
+        ObjBound {
+            card: self.card.join(&other.card),
+            size: self.size.join(&other.size),
+            shape,
+        }
+    }
+
+    /// Bounds after `meet(self, bound)` — the bounded recursors' cap. The
+    /// meet is contained in `bound` structurally, so `bound`'s uppers apply;
+    /// lowers collapse (the meet can be empty).
+    pub fn cap(&self, bound: &ObjBound) -> ObjBound {
+        ObjBound {
+            card: Range::new(Poly::zero(), self.card.hi.upper_min(&bound.card.hi)),
+            size: Range::new(Poly::constant(1), self.size.hi.upper_min(&bound.size.hi)),
+            shape: bound.shape.clone().loosen_lows(),
+        }
+    }
+
+    /// The element bound of a set-shaped value (`top` when unknown).
+    pub fn set_elem(&self) -> ObjBound {
+        match &self.shape {
+            Shape::Set(e) => (**e).clone(),
+            _ => ObjBound::top(),
+        }
+    }
+}
+
+impl Shape {
+    /// Recursively zero the lower bounds of every nested range — used when a
+    /// shape is reused as a *cover* for values that may be structurally
+    /// smaller (the bounded recursors' meet).
+    fn loosen_lows(self) -> Shape {
+        fn loosen(b: &ObjBound) -> ObjBound {
+            ObjBound {
+                card: Range::new(Poly::zero(), b.card.hi.clone()),
+                size: Range::new(Poly::constant(1), b.size.hi.clone()),
+                shape: b.shape.clone().loosen_lows(),
+            }
+        }
+        match self {
+            Shape::Pair(a, b) => Shape::Pair(Rc::new(loosen(&a)), Rc::new(loosen(&b))),
+            Shape::Set(e) => Shape::Set(Rc::new(loosen(&e))),
+            s => s,
+        }
+    }
+}
+
+/// An abstract runtime value: an object bound, a closure (the analyser is
+/// higher-order, like the evaluator), or nothing known.
+#[derive(Debug, Clone)]
+pub(crate) enum AbsVal<'a> {
+    Obj(ObjBound),
+    Fun(Rc<AbsClosure<'a>>),
+    Top,
+}
+
+#[derive(Debug)]
+pub(crate) struct AbsClosure<'a> {
+    param: &'a str,
+    body: &'a Expr,
+    env: AbsEnv<'a>,
+}
+
+/// A persistent environment: an immutable linked list of bindings.
+type AbsEnv<'a> = Option<Rc<EnvNode<'a>>>;
+
+#[derive(Debug)]
+pub(crate) struct EnvNode<'a> {
+    name: &'a str,
+    val: AbsVal<'a>,
+    next: AbsEnv<'a>,
+}
+
+fn env_bind<'a>(env: &AbsEnv<'a>, name: &'a str, val: AbsVal<'a>) -> AbsEnv<'a> {
+    Some(Rc::new(EnvNode {
+        name,
+        val,
+        next: env.clone(),
+    }))
+}
+
+fn env_lookup<'a>(env: &AbsEnv<'a>, name: &str) -> Option<AbsVal<'a>> {
+    let mut cur = env;
+    while let Some(node) = cur {
+        if node.name == name {
+            return Some(node.val.clone());
+        }
+        cur = &node.next;
+    }
+    None
+}
+
+impl<'a> AbsVal<'a> {
+    /// View as an object bound (functions and Top degrade to `top()`).
+    fn as_obj(&self) -> ObjBound {
+        match self {
+            AbsVal::Obj(b) => b.clone(),
+            _ => ObjBound::top(),
+        }
+    }
+
+    fn join(&self, other: &AbsVal<'a>) -> AbsVal<'a> {
+        match (self, other) {
+            (AbsVal::Obj(a), AbsVal::Obj(b)) => AbsVal::Obj(a.join(b)),
+            (AbsVal::Fun(a), AbsVal::Fun(b)) if std::ptr::eq(a.body, b.body) => {
+                AbsVal::Fun(a.clone())
+            }
+            _ => AbsVal::Top,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The abstract interpreter
+// ---------------------------------------------------------------------------
+
+/// Node budget for a full query analysis. Abstract evaluation re-analyses
+/// recursor bodies per simulated round, so this is comfortably above any
+/// realistic query; exhausting it degrades the answer to `Unbounded`.
+const DEFAULT_BUDGET: u64 = 200_000;
+
+/// Budget for the cheap per-closure analysis behind the parallel-region gate.
+const GATE_BUDGET: u64 = 2_000;
+
+/// Maximum abstract call depth — a stack-overflow guard independent of the
+/// node budget (deeply nested higher-order programs).
+const MAX_DEPTH: u32 = 400;
+
+/// Sequential chains (insert recursors, iterators) are simulated round by
+/// round when the round count is a known constant up to this cap; beyond it
+/// the symbolic recurrence takes over.
+const NUMERIC_STEP_CAP: u64 = 256;
+
+pub(crate) struct Analyzer<'a> {
+    registry: &'a ExternRegistry,
+    schema: BTreeMap<&'a str, ObjBound>,
+    budget: u64,
+    depth: u32,
+    fresh: u64,
+}
+
+impl<'a> Analyzer<'a> {
+    pub fn new(registry: &'a ExternRegistry, schema: &'a [(String, Type)], budget: u64) -> Self {
+        Analyzer {
+            registry,
+            schema: schema
+                .iter()
+                .map(|(name, ty)| (name.as_str(), ObjBound::schema_relation(name, ty)))
+                .collect(),
+            budget,
+            depth: 0,
+            fresh: 0,
+        }
+    }
+
+    fn fresh_measure(&mut self) -> String {
+        self.fresh += 1;
+        format!("%g{}", self.fresh)
+    }
+
+    /// Abstractly evaluate `expr`, returning a cover of its value and a
+    /// work/span cost range. Mirrors `Evaluator::eval_kind` charge for
+    /// charge; every arm's upper bound dominates the corresponding concrete
+    /// charge sequence.
+    pub fn eval(&mut self, expr: &'a Expr, env: &AbsEnv<'a>) -> (AbsVal<'a>, Cost) {
+        if self.budget == 0 || self.depth >= MAX_DEPTH {
+            return (AbsVal::Top, Cost::opaque());
+        }
+        self.budget -= 1;
+        match &expr.kind {
+            ExprKind::Var(x) => {
+                let val = env_lookup(env, x)
+                    .or_else(|| self.schema.get(x.as_str()).cloned().map(AbsVal::Obj))
+                    .unwrap_or(AbsVal::Top);
+                (val, Cost::leaf())
+            }
+            ExprKind::Lam(p, _, body) => (
+                AbsVal::Fun(Rc::new(AbsClosure {
+                    param: p,
+                    body,
+                    env: env.clone(),
+                })),
+                Cost::leaf(),
+            ),
+            ExprKind::Unit => (AbsVal::Obj(ObjBound::scalar()), Cost::leaf()),
+            ExprKind::Bool(_) => (AbsVal::Obj(ObjBound::scalar()), Cost::leaf()),
+            ExprKind::Const(v) => (AbsVal::Obj(ObjBound::of_value(v)), Cost::leaf()),
+            ExprKind::Empty(t) => (
+                AbsVal::Obj(ObjBound {
+                    card: Range::exact(0),
+                    size: Range::exact(1),
+                    shape: Shape::Set(Rc::new(ObjBound::of_type(t))),
+                }),
+                Cost::leaf(),
+            ),
+            ExprKind::App(fe, ae) => {
+                let (fv, fc) = self.eval(fe, env);
+                let (av, ac) = self.eval(ae, env);
+                let (rv, rc) = self.apply(&fv, av);
+                (
+                    rv,
+                    Cost {
+                        work: fc.work.add(&ac.work).add(&rc.work).add_const(1),
+                        span: fc.span.add(&ac.span).add(&rc.span),
+                    },
+                )
+            }
+            ExprKind::Let(name, rhs, body) => {
+                let (rv, rc) = self.eval(rhs, env);
+                let inner = env_bind(env, name, rv);
+                let (bv, bc) = self.eval(body, &inner);
+                (
+                    bv,
+                    Cost {
+                        work: rc.work.add(&bc.work).add_const(1),
+                        span: rc.span.add(&bc.span),
+                    },
+                )
+            }
+            ExprKind::Pair(a, b) => {
+                let (av, ac) = self.eval(a, env);
+                let (bv, bc) = self.eval(b, env);
+                let ao = av.as_obj();
+                let bo = bv.as_obj();
+                let size = ao.size.add(&bo.size).add_const(1);
+                (
+                    AbsVal::Obj(ObjBound {
+                        card: Range::exact(1),
+                        size,
+                        shape: Shape::Pair(Rc::new(ao), Rc::new(bo)),
+                    }),
+                    Cost {
+                        work: ac.work.add(&bc.work).add_const(1),
+                        span: ac.span.max(&bc.span).add_const(1),
+                    },
+                )
+            }
+            ExprKind::Proj1(e) | ExprKind::Proj2(e) => {
+                let first = matches!(expr.kind, ExprKind::Proj1(_));
+                let (v, c) = self.eval(e, env);
+                let out = match &v.as_obj().shape {
+                    Shape::Pair(a, b) => {
+                        if first {
+                            (**a).clone()
+                        } else {
+                            (**b).clone()
+                        }
+                    }
+                    _ => ObjBound::top(),
+                };
+                (
+                    AbsVal::Obj(out),
+                    Cost {
+                        work: c.work.add_const(1),
+                        span: c.span.add_const(1),
+                    },
+                )
+            }
+            ExprKind::If(cond, then, els) => {
+                let (_, cc) = self.eval(cond, env);
+                let (tv, tc) = self.eval(then, env);
+                let (ev, ec) = self.eval(els, env);
+                // Only the taken branch is evaluated: upper is the max of
+                // the branch costs, lower the min.
+                let branch = Cost {
+                    work: tc.work.join(&ec.work),
+                    span: tc.span.join(&ec.span),
+                };
+                (
+                    tv.join(&ev),
+                    Cost {
+                        work: cc.work.add(&branch.work).add_const(1),
+                        span: cc.span.add(&branch.span).add_const(1),
+                    },
+                )
+            }
+            ExprKind::Eq(a, b) | ExprKind::Leq(a, b) => {
+                let (av, ac) = self.eval(a, env);
+                let (bv, bc) = self.eval(b, env);
+                let ao = av.as_obj();
+                let bo = bv.as_obj();
+                // Extra charge: min(|a|, |b|) in Value::size, which is ≥ 1.
+                let cmp = Range::new(Poly::constant(1), ao.size.hi.upper_min(&bo.size.hi));
+                (
+                    AbsVal::Obj(ObjBound::scalar()),
+                    Cost {
+                        work: ac.work.add(&bc.work).add(&cmp).add_const(1),
+                        span: ac.span.max(&bc.span).add_const(1),
+                    },
+                )
+            }
+            ExprKind::Singleton(e) => {
+                let (v, c) = self.eval(e, env);
+                let elem = v.as_obj();
+                let size = elem.size.add_const(1);
+                (
+                    AbsVal::Obj(ObjBound {
+                        card: Range::exact(1),
+                        size,
+                        shape: Shape::Set(Rc::new(elem)),
+                    }),
+                    Cost {
+                        work: c.work.add_const(1),
+                        span: c.span.add_const(1),
+                    },
+                )
+            }
+            ExprKind::Union(a, b) => {
+                let (av, ac) = self.eval(a, env);
+                let (bv, bc) = self.eval(b, env);
+                let ao = av.as_obj();
+                let bo = bv.as_obj();
+                // Extra charge |a ∪ b|: at most |a| + |b|, at least max.
+                let merged = Range::new(
+                    lower_max(&ao.card.lo, &bo.card.lo),
+                    ao.card.hi.add(&bo.card.hi),
+                );
+                let out = ObjBound {
+                    card: merged.clone(),
+                    // size(a ∪ b) = 1 + Σ ≤ (size a − 1) + (size b − 1) + 1,
+                    // and the union contains each operand, so each operand's
+                    // size is a lower bound.
+                    size: Range::new(
+                        lower_max(&ao.size.lo, &bo.size.lo),
+                        ao.size.hi.add(&bo.size.hi),
+                    ),
+                    shape: Shape::Set(Rc::new(ao.set_elem().join(&bo.set_elem()))),
+                };
+                (
+                    AbsVal::Obj(out),
+                    Cost {
+                        work: ac.work.add(&bc.work).add(&merged).add_const(1),
+                        span: ac.span.max(&bc.span).add_const(1),
+                    },
+                )
+            }
+            ExprKind::IsEmpty(e) => {
+                let (_, c) = self.eval(e, env);
+                (
+                    AbsVal::Obj(ObjBound::scalar()),
+                    Cost {
+                        work: c.work.add_const(1),
+                        span: c.span.add_const(1),
+                    },
+                )
+            }
+            ExprKind::Ext(fe, ae) => self.eval_ext(expr, fe, ae, env),
+            ExprKind::Dcr { e, f, u, arg } | ExprKind::Sru { e, f, u, arg } => {
+                self.eval_union_recursor(e, f, u, None, arg, env)
+            }
+            ExprKind::BDcr {
+                e,
+                f,
+                u,
+                bound,
+                arg,
+            } => self.eval_union_recursor(e, f, u, Some(bound), arg, env),
+            ExprKind::Sri { e, i, arg } | ExprKind::Esr { e, i, arg } => {
+                self.eval_insert_recursor(e, i, None, arg, env)
+            }
+            ExprKind::BSri { e, i, bound, arg } => {
+                self.eval_insert_recursor(e, i, Some(bound), arg, env)
+            }
+            ExprKind::LogLoop { f, set, init } => self.eval_iterator(f, None, set, init, true, env),
+            ExprKind::Loop { f, set, init } => self.eval_iterator(f, None, set, init, false, env),
+            ExprKind::BLogLoop {
+                f,
+                bound,
+                set,
+                init,
+            } => self.eval_iterator(f, Some(bound), set, init, true, env),
+            ExprKind::BLoop {
+                f,
+                bound,
+                set,
+                init,
+            } => self.eval_iterator(f, Some(bound), set, init, false, env),
+            ExprKind::Extern(name, args) => {
+                let mut work = Range::exact(2);
+                let mut span = Range::exact(1);
+                for a in args {
+                    let (_, c) = self.eval(a, env);
+                    work = work.add(&c.work);
+                    span = Range {
+                        lo: span.lo,
+                        hi: span.hi.join(&c.span.hi.add_const(1)),
+                    };
+                }
+                let out = self
+                    .registry
+                    .get(name)
+                    .map(|f| ObjBound::of_type(&f.result))
+                    .unwrap_or_else(ObjBound::top);
+                (AbsVal::Obj(out), Cost { work, span })
+            }
+        }
+    }
+
+    /// Abstract function application. Mirrors `Evaluator::apply_obj`: one
+    /// unit of work for the call, the body's cost, and one extra span level.
+    fn apply(&mut self, f: &AbsVal<'a>, arg: AbsVal<'a>) -> (AbsVal<'a>, Cost) {
+        match f {
+            AbsVal::Fun(clo) => {
+                if self.budget == 0 || self.depth >= MAX_DEPTH {
+                    return (AbsVal::Top, Cost::opaque());
+                }
+                self.depth += 1;
+                let inner = env_bind(&clo.env, clo.param, arg);
+                let (v, c) = self.eval(clo.body, &inner);
+                self.depth -= 1;
+                (
+                    v,
+                    Cost {
+                        work: c.work.add_const(1),
+                        span: c.span.add_const(1),
+                    },
+                )
+            }
+            _ => (
+                AbsVal::Top,
+                Cost {
+                    work: Range::between(2, Bound::Unbounded),
+                    span: Range::between(1, Bound::Unbounded),
+                },
+            ),
+        }
+    }
+
+    /// Apply to a pair `(a, b)` — the combiner/step calling convention.
+    fn apply2(&mut self, f: &AbsVal<'a>, a: ObjBound, b: ObjBound) -> (AbsVal<'a>, Cost) {
+        let size = a.size.add(&b.size).add_const(1);
+        let pair = ObjBound {
+            card: Range::exact(1),
+            size,
+            shape: Shape::Pair(Rc::new(a), Rc::new(b)),
+        };
+        self.apply(f, AbsVal::Obj(pair))
+    }
+}
+
+/// `⌈log₂ a⌉` for `a ≥ 2` (callers never pass 0/1).
+fn ceil_log2(a: u64) -> u32 {
+    u64::BITS - (a - 1).leading_zeros()
+}
+
+/// `base^k` over bounds (`k` is at most 64).
+fn bound_pow(base: &Bound, k: u32) -> Bound {
+    let mut out = Bound::constant(1);
+    for _ in 0..k {
+        out = out.mul(base);
+    }
+    out
+}
+
+/// Substitute an upper bound for a measure variable inside an upper bound.
+fn subst_bound(b: &Bound, var: &str, replacement: &Bound) -> Bound {
+    match b {
+        Bound::Finite(p) if !p.mentions(var) => b.clone(),
+        Bound::Finite(p) => match replacement {
+            Bound::Finite(r) => Bound::Finite(p.subst(var, r).compact_upper()),
+            Bound::Unbounded => Bound::Unbounded,
+        },
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+/// The recursion prefix — operand evaluation costs plus the node's own
+/// charge. Work sums; span is the *max* of the operand spans.
+struct Prefix {
+    work: Range,
+    span: Range,
+}
+
+impl Prefix {
+    fn new() -> Prefix {
+        Prefix {
+            work: Range::exact(1),
+            span: Range::exact(0),
+        }
+    }
+
+    fn absorb(&mut self, c: &Cost) {
+        self.work = self.work.add(&c.work);
+        self.span = self.span.max(&c.span);
+    }
+}
+
+/// The closed-form size cap for an accumulator recurrence `size' ≤ A·g + R`
+/// iterated `rounds` times from starting size `s0`, given an optional hard
+/// cap (the bounded recursors' meet) and whether growth beyond linear is
+/// tolerable (`geometric_rounds` is `Some(levels)` for the combining tree,
+/// where depth is logarithmic, and `None` for sequential chains).
+#[allow(clippy::too_many_arguments)]
+fn solve_size_recurrence(
+    sigma: &Bound,
+    g: &str,
+    s0: &Bound,
+    rounds: &Bound,
+    cap: Option<&Bound>,
+    m_for_geometric: Option<&Bound>,
+) -> Bound {
+    if let Some(c) = cap {
+        // Every round ends in `meet(·, bound)`, so the bound's size caps all
+        // intermediate values regardless of the recurrence.
+        return c.join(s0);
+    }
+    let sigma = match sigma {
+        Bound::Finite(p) => p,
+        Bound::Unbounded => return Bound::Unbounded,
+    };
+    if !sigma.mentions(g) {
+        return s0.join(&Bound::Finite(sigma.clone()));
+    }
+    match sigma.linear_in(g) {
+        None => Bound::Unbounded,
+        Some((0, rest)) => s0.join(&Bound::Finite(rest)),
+        Some((1, rest)) => s0.add(&rounds.mul(&Bound::Finite(rest))),
+        Some((a, rest)) => match m_for_geometric {
+            // Tree depth is ⌈log₂ m⌉, so A^depth ≤ A · m^⌈log₂ A⌉.
+            Some(m) => Bound::constant(a)
+                .mul(&bound_pow(m, ceil_log2(a)))
+                .mul(&s0.join(&Bound::Finite(rest)).add_const(1)),
+            // A sequential chain compounds A^n — no polynomial bound.
+            None => Bound::Unbounded,
+        },
+    }
+}
+
+impl<'a> Analyzer<'a> {
+    /// `ext(f, e)`: `f` applied once per element (independently — span takes
+    /// the max), then one charge for the flattened result cardinality.
+    fn eval_ext(
+        &mut self,
+        _expr: &'a Expr,
+        fe: &'a Expr,
+        ae: &'a Expr,
+        env: &AbsEnv<'a>,
+    ) -> (AbsVal<'a>, Cost) {
+        let (fv, fc) = self.eval(fe, env);
+        let (av, ac) = self.eval(ae, env);
+        let arg = av.as_obj();
+        let m = arg.card.clone();
+        let (rv, rc) = self.apply(&fv, AbsVal::Obj(arg.set_elem()));
+        let out = rv.as_obj();
+        let card_hi = m.hi.mul(&out.card.hi);
+        let result = ObjBound {
+            card: Range::new(Poly::zero(), card_hi.clone()),
+            size: Range::new(Poly::constant(1), m.hi.mul(&out.size.hi).add_const(1)),
+            shape: Shape::Set(Rc::new(out.set_elem())),
+        };
+        let work_hi = fc
+            .work
+            .hi
+            .add(&ac.work.hi)
+            .add(&m.hi.mul(&rc.work.hi))
+            .add(&card_hi)
+            .add_const(1);
+        let work_lo = fc
+            .work
+            .lo
+            .add(&ac.work.lo)
+            .add(&m.lo.mul(&rc.work.lo))
+            .add_const(1)
+            .compact_lower();
+        let span_hi = fc.span.hi.add(&ac.span.hi).add(&rc.span.hi).add_const(1);
+        let span_lo = fc.span.lo.add(&ac.span.lo).add_const(1);
+        (
+            AbsVal::Obj(result),
+            Cost {
+                work: Range::new(work_lo, work_hi),
+                span: Range::new(span_lo, span_hi),
+            },
+        )
+    }
+
+    /// `dcr` / `sru` / `bdcr`: per-element singleton map, then a balanced
+    /// combining tree of `m − 1` combiner calls across `⌈log₂ m⌉` levels.
+    fn eval_union_recursor(
+        &mut self,
+        e: &'a Expr,
+        f: &'a Expr,
+        u: &'a Expr,
+        bound: Option<&'a Expr>,
+        arg: &'a Expr,
+        env: &AbsEnv<'a>,
+    ) -> (AbsVal<'a>, Cost) {
+        let mut prefix = Prefix::new();
+        let (ev, ec) = self.eval(e, env);
+        prefix.absorb(&ec);
+        let (fv, fc) = self.eval(f, env);
+        prefix.absorb(&fc);
+        let (uv, uc) = self.eval(u, env);
+        prefix.absorb(&uc);
+        let cap = bound.map(|b| {
+            let (bval, bc) = self.eval(b, env);
+            prefix.absorb(&bc);
+            bval.as_obj()
+        });
+        let (av, ac) = self.eval(arg, env);
+        prefix.absorb(&ac);
+        let arg_obj = av.as_obj();
+        let m = arg_obj.card.clone();
+
+        let mut e_obj = ev.as_obj();
+        if let Some(b) = &cap {
+            e_obj = e_obj.cap(b);
+        }
+
+        // Leaves: f per element; every leaf costs at least the 2-unit call
+        // floor, giving the work floor an m·2 term.
+        let (leaf_v, leaf_c) = self.apply(&fv, AbsVal::Obj(arg_obj.set_elem()));
+        let mut leaf_obj = leaf_v.as_obj();
+        if let Some(b) = &cap {
+            leaf_obj = leaf_obj.cap(b);
+        }
+        let leaves_work_hi = m.hi.mul(&leaf_c.work.hi);
+        let leaves_work_lo = m.lo.scale(2);
+
+        let (result, tree_work_hi, tree_span_hi) = match m.hi.as_const() {
+            Some(mc) => self.numeric_tree(&uv, leaf_obj.join(&e_obj), mc, cap.as_ref()),
+            None => self.symbolic_tree(&uv, &leaf_obj, &e_obj, &m.hi, cap.as_ref()),
+        };
+
+        let work = Range::new(
+            prefix.work.lo.add(&leaves_work_lo).compact_lower(),
+            prefix.work.hi.add(&leaves_work_hi).add(&tree_work_hi),
+        );
+        let span = Range::new(
+            prefix.span.lo.add_const(1),
+            prefix
+                .span
+                .hi
+                .add(&leaf_c.span.hi)
+                .add(&tree_span_hi)
+                .add_const(1),
+        );
+        (AbsVal::Obj(result), Cost { work, span })
+    }
+
+    /// Simulate the combining tree round by round for a known leaf count.
+    /// Sound for any actual `m ≤ leaves` because node bounds only grow and a
+    /// shallower tree's rounds are a prefix of the simulated ones. Finite
+    /// even for non-linear combiners (powerset): at most 64 rounds.
+    fn numeric_tree(
+        &mut self,
+        u: &AbsVal<'a>,
+        start: ObjBound,
+        leaves: u64,
+        cap: Option<&ObjBound>,
+    ) -> (ObjBound, Bound, Bound) {
+        let mut node = start;
+        let mut width = leaves;
+        let mut work = Bound::constant(0);
+        let mut span = Bound::constant(0);
+        while width > 1 {
+            let (rv, cc) = self.apply2(u, node.clone(), node.clone());
+            let mut r = rv.as_obj();
+            if let Some(b) = cap {
+                r = r.cap(b);
+            }
+            node = node.join(&r);
+            work = work.add(&match &cc.work.hi {
+                Bound::Finite(p) => Bound::Finite(p.scale(width / 2)),
+                Bound::Unbounded => Bound::Unbounded,
+            });
+            span = span.add(&cc.span.hi);
+            width = width.div_ceil(2);
+        }
+        (node, work, span)
+    }
+
+    /// Solve the combining-tree recurrence symbolically: analyse the combiner
+    /// once at measure size `g`, decompose the result size as `A·g + R`, and
+    /// charge `m − 1 ≤ m` calls at the closed-form maximum node size, with
+    /// `⌈log₂ m⌉` levels on the span.
+    fn symbolic_tree(
+        &mut self,
+        u: &AbsVal<'a>,
+        leaf_obj: &ObjBound,
+        e_obj: &ObjBound,
+        m_hi: &Bound,
+        cap: Option<&ObjBound>,
+    ) -> (ObjBound, Bound, Bound) {
+        let g = self.fresh_measure();
+        let gx = measure_obj(&g);
+        let (rv, cc) = self.apply2(u, gx.clone(), gx);
+        let r_obj = rv.as_obj();
+        let s0 = leaf_obj.size.hi.join(&e_obj.size.hi);
+        let levels = m_hi.log_bound();
+        let s_max = solve_size_recurrence(
+            &r_obj.size.hi,
+            &g,
+            &s0,
+            &levels,
+            cap.map(|b| &b.size.hi),
+            Some(m_hi),
+        );
+        let call_work = subst_bound(&cc.work.hi, &g, &s_max);
+        let call_span = subst_bound(&cc.span.hi, &g, &s_max);
+        let result = capped_set_result(&s_max, cap);
+        (result, m_hi.mul(&call_work), levels.mul(&call_span))
+    }
+
+    /// `sri` / `esr` / `bsri`: a sequential chain — `n` step calls whose
+    /// spans *sum*.
+    fn eval_insert_recursor(
+        &mut self,
+        e: &'a Expr,
+        i: &'a Expr,
+        bound: Option<&'a Expr>,
+        arg: &'a Expr,
+        env: &AbsEnv<'a>,
+    ) -> (AbsVal<'a>, Cost) {
+        let mut prefix = Prefix::new();
+        let (ev, ec) = self.eval(e, env);
+        prefix.absorb(&ec);
+        let (iv, ic) = self.eval(i, env);
+        prefix.absorb(&ic);
+        let cap = bound.map(|b| {
+            let (bval, bc) = self.eval(b, env);
+            prefix.absorb(&bc);
+            bval.as_obj()
+        });
+        let (av, ac) = self.eval(arg, env);
+        prefix.absorb(&ac);
+        let arg_obj = av.as_obj();
+        let n = arg_obj.card.clone();
+        let mut acc0 = ev.as_obj();
+        if let Some(b) = &cap {
+            acc0 = acc0.cap(b);
+        }
+        let elem = arg_obj.set_elem();
+        let step = |this: &mut Self, acc: ObjBound| {
+            let (rv, cc) = this.apply2(&iv.clone(), elem.clone(), acc);
+            (rv, cc)
+        };
+        self.eval_chain(prefix, acc0, n, step, cap, Shape::Top)
+    }
+
+    /// `loop` / `log-loop` / `bloop` / `blog-loop`: the body applied `|set|`
+    /// or `log_rounds(|set|)` times, sequentially.
+    fn eval_iterator(
+        &mut self,
+        f: &'a Expr,
+        bound: Option<&'a Expr>,
+        set: &'a Expr,
+        init: &'a Expr,
+        logarithmic: bool,
+        env: &AbsEnv<'a>,
+    ) -> (AbsVal<'a>, Cost) {
+        let mut prefix = Prefix::new();
+        let (fv, fc) = self.eval(f, env);
+        prefix.absorb(&fc);
+        let cap = bound.map(|b| {
+            let (bval, bc) = self.eval(b, env);
+            prefix.absorb(&bc);
+            bval.as_obj()
+        });
+        let (sv, sc) = self.eval(set, env);
+        prefix.absorb(&sc);
+        let (iv, icst) = self.eval(init, env);
+        prefix.absorb(&icst);
+        let card = sv.as_obj().card;
+        let rounds = if logarithmic {
+            Range::new(
+                match card.lo.as_const() {
+                    Some(c) => Poly::constant(log_rounds(c as usize)),
+                    None => Poly::zero(),
+                },
+                card.hi.log_bound(),
+            )
+        } else {
+            card
+        };
+        let mut acc0 = iv.as_obj();
+        if let Some(b) = &cap {
+            acc0 = acc0.cap(b);
+        }
+        let step = |this: &mut Self, acc: ObjBound| this.apply(&fv.clone(), AbsVal::Obj(acc));
+        self.eval_chain(prefix, acc0, rounds, step, cap, Shape::Top)
+    }
+
+    /// Shared chain analysis: numeric simulation for small known round
+    /// counts, the `A·g + R` recurrence otherwise.
+    fn eval_chain(
+        &mut self,
+        prefix: Prefix,
+        acc0: ObjBound,
+        rounds: Range,
+        mut step: impl FnMut(&mut Self, ObjBound) -> (AbsVal<'a>, Cost),
+        cap: Option<ObjBound>,
+        result_shape: Shape,
+    ) -> (AbsVal<'a>, Cost) {
+        let numeric = rounds.hi.as_const().filter(|n| *n <= NUMERIC_STEP_CAP);
+        let (result, chain_work_hi, chain_span_hi) = match numeric {
+            Some(n) => {
+                let mut acc = acc0;
+                let mut work = Bound::constant(0);
+                let mut span = Bound::constant(0);
+                for _ in 0..n {
+                    let (rv, cc) = step(self, acc.clone());
+                    let mut r = rv.as_obj();
+                    if let Some(b) = &cap {
+                        r = r.cap(b);
+                    }
+                    acc = acc.join(&r);
+                    work = work.add(&cc.work.hi);
+                    span = span.add(&cc.span.hi);
+                }
+                (acc, work, span)
+            }
+            None => {
+                let g = self.fresh_measure();
+                let gx = measure_obj(&g);
+                let (rv, cc) = step(self, gx);
+                let r_obj = rv.as_obj();
+                let s_max = solve_size_recurrence(
+                    &r_obj.size.hi,
+                    &g,
+                    &acc0.size.hi,
+                    &rounds.hi,
+                    cap.as_ref().map(|b| &b.size.hi),
+                    None,
+                );
+                let call_work = subst_bound(&cc.work.hi, &g, &s_max);
+                let call_span = subst_bound(&cc.span.hi, &g, &s_max);
+                let mut result = capped_set_result(&s_max, cap.as_ref());
+                result.shape = match result.shape {
+                    s @ (Shape::Pair(_, _) | Shape::Set(_)) => s,
+                    _ => result_shape,
+                };
+                (result, rounds.hi.mul(&call_work), rounds.hi.mul(&call_span))
+            }
+        };
+        let work = Range::new(
+            prefix.work.lo.add(&rounds.lo.scale(2)).compact_lower(),
+            prefix.work.hi.add(&chain_work_hi),
+        );
+        let span = Range::new(
+            prefix.span.lo.add_const(1),
+            prefix.span.hi.add(&chain_span_hi).add_const(1),
+        );
+        (AbsVal::Obj(result), Cost { work, span })
+    }
+}
+
+/// The symbolic accumulator cover at measure `g`: any value of cardinality
+/// and size at most `g`, with elements bounded the same way.
+fn measure_obj(g: &str) -> ObjBound {
+    let r = |lo: u64| Range::new(Poly::constant(lo), Bound::Finite(Poly::var(g)));
+    let elem = ObjBound {
+        card: r(0),
+        size: r(1),
+        shape: Shape::Top,
+    };
+    ObjBound {
+        card: r(0),
+        size: r(1),
+        shape: Shape::Set(Rc::new(elem)),
+    }
+}
+
+/// The result cover of a symbolically-solved recursion: size (and hence
+/// cardinality) at most `s_max`, shaped by the hard cap when one exists.
+fn capped_set_result(s_max: &Bound, cap: Option<&ObjBound>) -> ObjBound {
+    match cap {
+        Some(b) => b.clone().cap(b),
+        None => ObjBound {
+            card: Range::new(Poly::zero(), s_max.clone()),
+            size: Range::new(Poly::constant(1), s_max.clone()),
+            shape: Shape::Top,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lints
+// ---------------------------------------------------------------------------
+
+/// The lint catalog. Each lint has a stable kebab-case name (shown in
+/// diagnostics) and a default severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lint {
+    /// A `let`/lambda binding that is never referenced.
+    UnusedBinding,
+    /// A binder that shadows a schema relation of the same name.
+    ShadowedSchemaVariable,
+    /// A closed subexpression inside a lambda body — re-evaluated on every
+    /// application; a `let`-hoisting opportunity for the optimizer.
+    ConstantSubexpression,
+    /// A statically-empty set used as an operand where it makes the
+    /// surrounding operation trivial.
+    EmptySetOperand,
+    /// A recursor combiner/step that syntactically ignores an argument it
+    /// must combine — a near-certain algebraic-law violation (`wellformed`).
+    IgnoredCombinerArgument,
+    /// The instantiated work *floor* already exceeds the session's work
+    /// limit: evaluation is guaranteed to fail with `WorkLimitExceeded`.
+    DoomedWorkBound,
+}
+
+impl Lint {
+    /// The stable lint name used in rendered diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::UnusedBinding => "unused-binding",
+            Lint::ShadowedSchemaVariable => "shadowed-schema-variable",
+            Lint::ConstantSubexpression => "constant-subexpression",
+            Lint::EmptySetOperand => "empty-set-operand",
+            Lint::IgnoredCombinerArgument => "ignored-combiner-argument",
+            Lint::DoomedWorkBound => "doomed-work-bound",
+        }
+    }
+
+    /// Warning lints flag rewrite opportunities; deny lints flag queries
+    /// that are (almost) certainly wrong to run.
+    pub fn default_severity(self) -> Severity {
+        match self {
+            Lint::IgnoredCombinerArgument | Lint::DoomedWorkBound => Severity::Deny,
+            _ => Severity::Warning,
+        }
+    }
+}
+
+/// Finding severity: `Warning` surfaces through `PreparedQuery::analysis`;
+/// `Deny` additionally rejects the query at prepare under a deny policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Deny,
+}
+
+/// One lint finding, carrying the offending node's source span when the
+/// query was parsed from text.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub lint: Lint,
+    pub severity: Severity,
+    pub message: String,
+    pub span: Option<Span>,
+}
+
+impl Finding {
+    fn new(lint: Lint, message: String, span: Option<Span>) -> Finding {
+        Finding {
+            lint,
+            severity: lint.default_severity(),
+            message,
+            span,
+        }
+    }
+}
+
+/// Is the expression *statically* the empty set?
+fn statically_empty(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::Empty(_) => true,
+        ExprKind::Const(Value::Set(s)) => s.is_empty(),
+        ExprKind::Union(a, b) => statically_empty(a) && statically_empty(b),
+        ExprKind::Ext(_, arg) => statically_empty(arg),
+        _ => false,
+    }
+}
+
+fn is_var(e: &Expr, name: &str) -> bool {
+    matches!(&e.kind, ExprKind::Var(x) if x == name)
+}
+
+fn uses_var(e: &Expr, name: &str) -> bool {
+    free_vars(e).contains(name)
+}
+
+/// Which components of the pair parameter `p` does `body` use? Sees through
+/// the `lam2` desugaring (`let a = π₁ p in let b = π₂ p in …` counts a
+/// component as used only when its `let` binder is), and is conservative
+/// toward "used" everywhere else.
+fn pair_component_use(p: &str, body: &Expr) -> (bool, bool) {
+    fn walk(p: &str, e: &Expr, used: &mut (bool, bool)) {
+        match &e.kind {
+            ExprKind::Var(x) if x == p => *used = (true, true),
+            ExprKind::Proj1(inner) if is_var(inner, p) => used.0 = true,
+            ExprKind::Proj2(inner) if is_var(inner, p) => used.1 = true,
+            ExprKind::Let(name, rhs, inner) => {
+                match &rhs.kind {
+                    ExprKind::Proj1(arg) if is_var(arg, p) => {
+                        if uses_var(inner, name) {
+                            used.0 = true;
+                        }
+                    }
+                    ExprKind::Proj2(arg) if is_var(arg, p) => {
+                        if uses_var(inner, name) {
+                            used.1 = true;
+                        }
+                    }
+                    _ => walk(p, rhs, used),
+                }
+                if name != p {
+                    walk(p, inner, used);
+                }
+            }
+            _ => {
+                for child in e.children() {
+                    if child.binds == Some(p) {
+                        continue; // shadowed below here
+                    }
+                    walk(p, child.expr, used);
+                }
+            }
+        }
+    }
+    let mut used = (false, false);
+    walk(p, body, &mut used);
+    used
+}
+
+/// The syntactic lint pass.
+fn lint_pass(expr: &Expr, schema: &[(String, Type)], findings: &mut Vec<Finding>) {
+    fn empty_operand(e: &Expr, what: &str, findings: &mut Vec<Finding>) {
+        if statically_empty(e) {
+            findings.push(Finding::new(
+                Lint::EmptySetOperand,
+                what.to_string(),
+                e.span,
+            ));
+        }
+    }
+
+    fn walk(expr: &Expr, schema: &[(String, Type)], in_lambda: bool, findings: &mut Vec<Finding>) {
+        // Constant subexpressions: only meaningful inside a lambda body
+        // (that's when they are re-evaluated per application), only for
+        // non-trivial non-literal nodes, and flagged maximally — a flagged
+        // node's children are not revisited.
+        let literal = matches!(
+            expr.kind,
+            ExprKind::Const(_)
+                | ExprKind::Bool(_)
+                | ExprKind::Unit
+                | ExprKind::Empty(_)
+                | ExprKind::Var(_)
+                | ExprKind::Lam(_, _, _)
+        );
+        if in_lambda && !literal && expr.size() >= 4 && free_vars(expr).is_empty() {
+            findings.push(Finding::new(
+                Lint::ConstantSubexpression,
+                "this subexpression is constant but sits under a lambda, so it is \
+                 re-evaluated on every application; hoist it into a `let` outside"
+                    .to_string(),
+                expr.span,
+            ));
+            return;
+        }
+
+        match &expr.kind {
+            ExprKind::Lam(p, _, body) | ExprKind::Let(p, _, body) if !p.starts_with('%') => {
+                if !uses_var(body, p) {
+                    findings.push(Finding::new(
+                        Lint::UnusedBinding,
+                        format!("binding `{p}` is never used"),
+                        expr.span,
+                    ));
+                }
+                if schema.iter().any(|(name, _)| name == p) {
+                    findings.push(Finding::new(
+                        Lint::ShadowedSchemaVariable,
+                        format!("binding `{p}` shadows the schema relation of the same name"),
+                        expr.span,
+                    ));
+                }
+            }
+            ExprKind::Union(a, b) => {
+                empty_operand(
+                    a,
+                    "operand of `union` is statically empty — the union is just the other operand",
+                    findings,
+                );
+                empty_operand(
+                    b,
+                    "operand of `union` is statically empty — the union is just the other operand",
+                    findings,
+                );
+            }
+            ExprKind::Ext(_, arg) => empty_operand(
+                arg,
+                "`ext` over a statically-empty set always yields the empty set",
+                findings,
+            ),
+            ExprKind::Dcr { u, arg, .. }
+            | ExprKind::Sru { u, arg, .. }
+            | ExprKind::BDcr { u, arg, .. } => {
+                empty_operand(
+                    arg,
+                    "recursing over a statically-empty set always yields the zero value `e`",
+                    findings,
+                );
+                if let ExprKind::Lam(p, _, body) = &u.kind {
+                    let (first, second) = pair_component_use(p, body);
+                    if !(first && second) {
+                        let which = if first { "second" } else { "first" };
+                        findings.push(Finding::new(
+                            Lint::IgnoredCombinerArgument,
+                            format!(
+                                "combiner ignores its {which} argument — `dcr`/`sru` require an \
+                                 associative-commutative combiner with identity `e` (the \
+                                 well-formedness laws), which an argument-dropping combiner \
+                                 almost certainly violates"
+                            ),
+                            u.span.or(expr.span),
+                        ));
+                    }
+                }
+            }
+            ExprKind::Sri { i, arg, .. }
+            | ExprKind::Esr { i, arg, .. }
+            | ExprKind::BSri { i, arg, .. } => {
+                empty_operand(
+                    arg,
+                    "recursing over a statically-empty set always yields the zero value `e`",
+                    findings,
+                );
+                // The element may legitimately be ignored (e.g. a parity flip
+                // per element); dropping the *accumulator* discards all prior
+                // work and breaks insert-commutativity.
+                if let ExprKind::Lam(p, _, body) = &i.kind {
+                    let (_, acc_used) = pair_component_use(p, body);
+                    if !acc_used {
+                        findings.push(Finding::new(
+                            Lint::IgnoredCombinerArgument,
+                            "insert step ignores its accumulator — every element would \
+                             overwrite the result, violating the insert-commutativity law"
+                                .to_string(),
+                            i.span.or(expr.span),
+                        ));
+                    }
+                }
+            }
+            ExprKind::LogLoop { set, .. }
+            | ExprKind::Loop { set, .. }
+            | ExprKind::BLogLoop { set, .. }
+            | ExprKind::BLoop { set, .. } => empty_operand(
+                set,
+                "iterating over a statically-empty counting set applies the body zero times",
+                findings,
+            ),
+            _ => {}
+        }
+
+        for child in expr.children() {
+            let entered_lambda =
+                in_lambda || child.iterated || matches!(expr.kind, ExprKind::Lam(_, _, _));
+            walk(child.expr, schema, entered_lambda, findings);
+        }
+    }
+
+    walk(expr, schema, false, findings);
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+/// The symbolic cost bounds of one query, in the cardinalities of its free
+/// schema relations (a variable `r` in the rendered form reads as "the
+/// cardinality of relation `r`", e.g. `work <= 4*r + 3`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostBound {
+    /// Upper bound on `CostStats::work`.
+    pub work: Bound,
+    /// Upper bound on `CostStats::span`.
+    pub span: Bound,
+    /// Guaranteed lower bound on the work of any *completed* evaluation.
+    pub work_floor: Poly,
+    /// Guaranteed lower bound on the span of any completed evaluation.
+    pub span_floor: Poly,
+}
+
+impl CostBound {
+    /// The unconditional work minimum — the floor with every relation
+    /// cardinality at zero. If this exceeds a session's `max_work`, the
+    /// query cannot complete: evaluation is guaranteed to abort with
+    /// `WorkLimitExceeded`.
+    pub fn work_floor_min(&self) -> u64 {
+        self.work_floor.eval_at_zero()
+    }
+}
+
+impl fmt::Display for CostBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "work <= {}, span <= {}", self.work, self.span)
+    }
+}
+
+/// The full result of analysing one query at prepare time.
+#[derive(Debug, Clone)]
+pub struct QueryAnalysis {
+    /// Symbolic work/span bounds.
+    pub cost: CostBound,
+    /// Lint findings, in source order.
+    pub findings: Vec<Finding>,
+}
+
+impl QueryAnalysis {
+    /// The findings that reject the query under a deny-level lint policy.
+    pub fn deny_findings(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Deny)
+    }
+}
+
+/// Analyse a query against a schema: infer symbolic work/span bounds by
+/// abstract interpretation of the evaluator's cost model, and run the lint
+/// pass. Total: never panics, never diverges (node budget + depth guard),
+/// degrades to `Bound::Unbounded` instead of guessing.
+pub fn analyze_query(
+    expr: &Expr,
+    schema: &[(String, Type)],
+    registry: &ExternRegistry,
+) -> QueryAnalysis {
+    let mut analyzer = Analyzer::new(registry, schema, DEFAULT_BUDGET);
+    let (_, cost) = analyzer.eval(expr, &None);
+    let cost = CostBound {
+        work: cost.work.hi,
+        span: cost.span.hi,
+        work_floor: cost.work.lo,
+        span_floor: cost.span.lo,
+    };
+    let mut findings = Vec::new();
+    lint_pass(expr, schema, &mut findings);
+    QueryAnalysis { cost, findings }
+}
+
+/// The per-application cost estimate behind the evaluator's parallel-region
+/// gate: the closure body's static work bound when the analyser can pin a
+/// finite constant, else the legacy `1 + body size` heuristic. Memoised per
+/// closure by the evaluator, so the (cheap, gate-budgeted) analysis runs at
+/// most once per distinct lambda.
+pub(crate) fn region_gate_cost(body: &Expr) -> u64 {
+    let registry = ExternRegistry::standard();
+    let mut analyzer = Analyzer::new(&registry, &[], GATE_BUDGET);
+    let (_, cost) = analyzer.eval(body, &None);
+    match cost.work.hi.eval_closed() {
+        Some(w) => w.max(1),
+        None => 1 + body.size() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_with_stats, Evaluator};
+    use crate::expr::Expr;
+
+    fn analyze_closed(expr: &Expr) -> QueryAnalysis {
+        analyze_query(expr, &[], &ExternRegistry::standard())
+    }
+
+    /// Assert `floor ≤ measured ≤ bound` for a closed query on the default
+    /// sequential evaluator.
+    fn assert_sound(expr: &Expr) {
+        let (_, stats) = eval_with_stats(expr).expect("query evaluates");
+        let analysis = analyze_closed(expr);
+        let work_hi = analysis
+            .cost
+            .work
+            .eval_closed()
+            .expect("closed query has a closed work bound");
+        let span_hi = analysis
+            .cost
+            .span
+            .eval_closed()
+            .expect("closed query has a closed span bound");
+        assert!(
+            stats.work <= work_hi,
+            "work {} exceeds bound {work_hi}",
+            stats.work
+        );
+        assert!(
+            stats.span <= span_hi,
+            "span {} exceeds bound {span_hi}",
+            stats.span
+        );
+        assert!(
+            analysis.cost.work_floor_min() <= stats.work,
+            "work floor {} exceeds measured {}",
+            analysis.cost.work_floor_min(),
+            stats.work
+        );
+        assert!(
+            analysis.cost.span_floor.eval_at_zero() <= stats.span,
+            "span floor exceeds measured span"
+        );
+    }
+
+    #[test]
+    fn poly_algebra_and_display() {
+        let p = Poly::var("|r|")
+            .mul(&Poly::var("|r|"))
+            .scale(3)
+            .add_const(5);
+        assert_eq!(p.to_string(), "3*|r|^2 + 5");
+        assert_eq!(p.eval(&|_| Some(4)), Some(53));
+        assert_eq!(Poly::log_var("|r|").eval(&|_| Some(8)), Some(4));
+        assert_eq!(Poly::zero().to_string(), "0");
+        let (a, rest) = Poly::var("g").scale(2).add_const(7).linear_in("g").unwrap();
+        assert_eq!(a, 2);
+        assert_eq!(rest.as_const(), Some(7));
+        assert!(Poly::var("g").mul(&Poly::var("g")).linear_in("g").is_none());
+    }
+
+    #[test]
+    fn log_bound_dominates_log_rounds() {
+        // log_bound must over-approximate log_rounds of the polynomial's
+        // value at every point.
+        let p = Poly::var("n").mul(&Poly::var("n")).scale(3).add_const(17);
+        let lb = p.log_bound();
+        for n in [0u64, 1, 2, 5, 100, 4096] {
+            let val = p.eval(&|_| Some(n)).unwrap();
+            let bound = lb.eval(&|_| Some(n)).unwrap();
+            assert!(
+                log_rounds(val as usize) <= bound,
+                "n={n}: log_rounds({val}) > {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn closed_query_bounds_are_sound() {
+        let union = Expr::union(
+            Expr::singleton(Expr::atom(1)),
+            Expr::singleton(Expr::atom(2)),
+        );
+        assert_sound(&union);
+
+        let ext = Expr::ext(
+            Expr::lam("x", Type::Base, Expr::singleton(Expr::var("x"))),
+            Expr::constant(Value::atom_set(vec![1, 2, 3, 4, 5])),
+        );
+        assert_sound(&ext);
+
+        // A dcr computing the union of singletons — exercises the tree.
+        let ty = Type::set(Type::Base);
+        let dcr = Expr::dcr(
+            Expr::empty(Type::Base),
+            Expr::lam("y", Type::Base, Expr::singleton(Expr::var("y"))),
+            Expr::lam2(
+                "a",
+                "b",
+                Type::prod(ty.clone(), ty),
+                Expr::union(Expr::var("a"), Expr::var("b")),
+            ),
+            Expr::constant(Value::atom_set(0..13)),
+        );
+        assert_sound(&dcr);
+
+        // An insert recursor summing via extern arithmetic.
+        let nat_pair = Type::prod(Type::Base, Type::Nat);
+        let sri = Expr::sri(
+            Expr::nat(0),
+            Expr::lam2(
+                "x",
+                "acc",
+                Type::prod(Type::Base, Type::Nat),
+                Expr::extern_call(
+                    "nat_add",
+                    vec![
+                        Expr::extern_call("atom_to_nat", vec![Expr::var("x")]),
+                        Expr::var("acc"),
+                    ],
+                ),
+            ),
+            Expr::constant(Value::atom_set(vec![3, 1, 4, 1, 5])),
+        );
+        let _ = nat_pair;
+        assert_sound(&sri);
+
+        // An iterator doubling a counter log-many times.
+        let log_loop = Expr::log_loop(
+            Expr::lam(
+                "n",
+                Type::Nat,
+                Expr::extern_call("nat_add", vec![Expr::var("n"), Expr::var("n")]),
+            ),
+            Expr::constant(Value::atom_set(0..9)),
+            Expr::nat(1),
+        );
+        assert_sound(&log_loop);
+    }
+
+    #[test]
+    fn symbolic_bound_covers_concrete_cardinalities() {
+        // ext(λx. {x}, r) over a schema relation: the bound is symbolic in
+        // |r| and must dominate the measured cost at every instantiation.
+        let schema = vec![("r".to_string(), Type::set(Type::Base))];
+        let expr = Expr::ext(
+            Expr::lam("x", Type::Base, Expr::singleton(Expr::var("x"))),
+            Expr::var("r"),
+        );
+        let analysis = analyze_query(&expr, &schema, &ExternRegistry::standard());
+        let work = analysis.cost.work.clone();
+        assert!(
+            work.as_poly().expect("finite").mentions("r"),
+            "bound should be symbolic in |r|: {work}"
+        );
+        for n in [0u64, 1, 7, 32] {
+            let binding = vec![("r".to_string(), Value::atom_set(0..n))];
+            let mut ev = Evaluator::default();
+            ev.eval_with_bindings(&expr, &binding).expect("evaluates");
+            let measured = ev.stats().work;
+            let bound = work.eval(&|name| (name == "r").then_some(n)).unwrap();
+            assert!(
+                measured <= bound,
+                "|r|={n}: measured {measured} > bound {bound}"
+            );
+            assert!(analysis.cost.work_floor.eval(&|_| Some(n)).unwrap() <= measured);
+        }
+    }
+
+    #[test]
+    fn doomed_floor_exceeds_tiny_budget() {
+        let expr = Expr::union(
+            Expr::singleton(Expr::atom(1)),
+            Expr::singleton(Expr::atom(2)),
+        );
+        let analysis = analyze_closed(&expr);
+        // The concrete evaluation charges 7 units; the floor must sit in
+        // (3, 7] for the doomed check to fire on a 3-unit budget.
+        let floor = analysis.cost.work_floor_min();
+        assert!(floor > 3, "floor {floor} too weak to catch max_work = 3");
+        let (_, stats) = eval_with_stats(&expr).unwrap();
+        assert!(floor <= stats.work);
+    }
+
+    #[test]
+    fn lints_fire_and_classify() {
+        // Unused binding + shadowed schema variable.
+        let schema = vec![("r".to_string(), Type::set(Type::Base))];
+        let expr = Expr::let_in("r", Expr::singleton(Expr::atom(1)), Expr::atom(2));
+        let analysis = analyze_query(&expr, &schema, &ExternRegistry::standard());
+        let lints: Vec<Lint> = analysis.findings.iter().map(|f| f.lint).collect();
+        assert!(lints.contains(&Lint::UnusedBinding));
+        assert!(lints.contains(&Lint::ShadowedSchemaVariable));
+        assert!(analysis.deny_findings().next().is_none());
+
+        // Empty union operand.
+        let expr = Expr::union(Expr::empty(Type::Base), Expr::singleton(Expr::atom(1)));
+        let analysis = analyze_closed(&expr);
+        assert!(analysis
+            .findings
+            .iter()
+            .any(|f| f.lint == Lint::EmptySetOperand));
+
+        // A combiner that drops its first argument: deny.
+        let ty = Type::set(Type::Base);
+        let expr = Expr::dcr(
+            Expr::empty(Type::Base),
+            Expr::lam("y", Type::Base, Expr::singleton(Expr::var("y"))),
+            Expr::lam2("a", "b", Type::prod(ty.clone(), ty), Expr::var("b")),
+            Expr::constant(Value::atom_set(vec![1, 2, 3])),
+        );
+        let analysis = analyze_closed(&expr);
+        let deny: Vec<&Finding> = analysis.deny_findings().collect();
+        assert_eq!(deny.len(), 1);
+        assert_eq!(deny[0].lint, Lint::IgnoredCombinerArgument);
+
+        // The same shape using both arguments is clean.
+        let ty = Type::set(Type::Base);
+        let expr = Expr::dcr(
+            Expr::empty(Type::Base),
+            Expr::lam("y", Type::Base, Expr::singleton(Expr::var("y"))),
+            Expr::lam2(
+                "a",
+                "b",
+                Type::prod(ty.clone(), ty),
+                Expr::union(Expr::var("a"), Expr::var("b")),
+            ),
+            Expr::constant(Value::atom_set(vec![1, 2, 3])),
+        );
+        assert!(analyze_closed(&expr).deny_findings().next().is_none());
+
+        // An insert step may ignore the element but not the accumulator.
+        let step_ignores_elem = Expr::sri(
+            Expr::nat(0),
+            Expr::lam2(
+                "x",
+                "acc",
+                Type::prod(Type::Base, Type::Nat),
+                Expr::extern_call("nat_add", vec![Expr::var("acc"), Expr::nat(1)]),
+            ),
+            Expr::constant(Value::atom_set(vec![1, 2])),
+        );
+        assert!(analyze_closed(&step_ignores_elem)
+            .deny_findings()
+            .next()
+            .is_none());
+        let step_ignores_acc = Expr::sri(
+            Expr::nat(0),
+            Expr::lam2(
+                "x",
+                "acc",
+                Type::prod(Type::Base, Type::Nat),
+                Expr::extern_call("atom_to_nat", vec![Expr::var("x")]),
+            ),
+            Expr::constant(Value::atom_set(vec![1, 2])),
+        );
+        assert!(analyze_closed(&step_ignores_acc)
+            .deny_findings()
+            .next()
+            .is_some());
+
+        // Constant subexpression under a lambda.
+        let expr = Expr::ext(
+            Expr::lam(
+                "x",
+                Type::Base,
+                Expr::union(
+                    Expr::singleton(Expr::atom(7)),
+                    Expr::singleton(Expr::atom(8)),
+                ),
+            ),
+            Expr::constant(Value::atom_set(vec![1, 2])),
+        );
+        assert!(analyze_closed(&expr)
+            .findings
+            .iter()
+            .any(|f| f.lint == Lint::ConstantSubexpression));
+    }
+
+    #[test]
+    fn region_gate_cost_is_finite_for_simple_bodies() {
+        let body = Expr::singleton(Expr::var("x"));
+        assert_eq!(region_gate_cost(&body), 2);
+        // Bodies the analyser cannot bound fall back to the size heuristic.
+        let opaque = Expr::union(Expr::var("a"), Expr::var("b"));
+        assert_eq!(region_gate_cost(&opaque), 1 + opaque.size() as u64);
+    }
+}

@@ -22,7 +22,7 @@ use crate::EvalResult;
 use ncql_object::{VSet, Value};
 use ncql_pram::{RegionPermit, TaskError, WorkStealingPool};
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Resource limits and options for an evaluation.
 #[derive(Clone)]
@@ -173,6 +173,20 @@ struct Closure {
     param: String,
     body: Arc<Expr>,
     env: Env,
+    /// Lazily-computed per-application cost estimate for the parallel-region
+    /// gate: the body's static work bound from `analyze` when finite, else
+    /// `1 + body size`. Shared across clones so each distinct lambda is
+    /// analysed at most once per evaluation.
+    gate: Arc<OnceLock<u64>>,
+}
+
+impl Closure {
+    /// The gate estimate (see the field docs), computed on first use.
+    fn gate_cost(&self) -> u64 {
+        *self
+            .gate
+            .get_or_init(|| crate::analyze::region_gate_cost(&self.body))
+    }
 }
 
 /// Persistent environment (cheap to clone, shared tails across threads).
@@ -417,20 +431,22 @@ impl Evaluator {
         }
     }
 
-    /// Decide whether a region of `apps` independent applications of a closure
-    /// with the given body is worth forking: the tracked work estimate
-    /// (applications × body size) must reach `parallel_cutoff`, and the pool's
-    /// thread-budget semaphore must still have a worker to lend (nested
-    /// regions compete for the same bounded worker set; a region that gets no
-    /// permit stays sequential). Returns the borrowed permit to fork with, or
-    /// `None` to stay sequential — which never changes the result or the cost
-    /// statistics, only the schedule.
-    fn parallel_region(&self, apps: usize, body: &Expr) -> Option<RegionPermit> {
+    /// Decide whether a region of `apps` independent applications of the
+    /// closure is worth forking: the static work estimate (applications ×
+    /// the closure's [`Closure::gate_cost`] — the body's `analyze` bound when
+    /// finite, the legacy `1 + body size` heuristic otherwise) must reach
+    /// `parallel_cutoff`, and the pool's thread-budget semaphore must still
+    /// have a worker to lend (nested regions compete for the same bounded
+    /// worker set; a region that gets no permit stays sequential). Returns
+    /// the borrowed permit to fork with, or `None` to stay sequential —
+    /// which never changes the result or the cost statistics, only the
+    /// schedule.
+    fn parallel_region(&self, apps: usize, clo: &Closure) -> Option<RegionPermit> {
         let threads = self.parallel_threads();
         if threads <= 1 || apps < 2 {
             return None;
         }
-        let estimate = (apps as u64).saturating_mul(1 + body.size() as u64);
+        let estimate = (apps as u64).saturating_mul(clo.gate_cost());
         if estimate < self.config.parallel_cutoff {
             return None;
         }
@@ -516,6 +532,7 @@ impl Evaluator {
                     param: x.clone(),
                     body: Arc::new((**body).clone()),
                     env: env.clone(),
+                    gate: Arc::new(OnceLock::new()),
                 }),
                 0,
             )),
@@ -602,7 +619,7 @@ impl Evaluator {
             ExprKind::Ext(f, e) => {
                 let (clo, sf) = self.eval_clo(f, env, "ext function")?;
                 let (set, se) = self.eval_set(e, env, "ext argument")?;
-                let mapped: Vec<(Value, u64)> = match self.parallel_region(set.len(), &clo.body) {
+                let mapped: Vec<(Value, u64)> = match self.parallel_region(set.len(), &clo) {
                     Some(region) => {
                         self.par_leaf_map(&region, &clo, set.as_slice(), true, &None)?
                     }
@@ -718,7 +735,7 @@ impl Evaluator {
         }
 
         // Leaves: f applied to every element, independently (parallel).
-        let leaves: Vec<(Value, u64)> = match self.parallel_region(set.len(), &f_clo.body) {
+        let leaves: Vec<(Value, u64)> = match self.parallel_region(set.len(), &f_clo) {
             Some(region) => {
                 self.par_leaf_map(&region, &f_clo, set.as_slice(), false, &bound_val)?
             }
@@ -747,7 +764,7 @@ impl Evaluator {
         // few pairs to clear the cutover and falls back to sequential).
         let mut level = leaves;
         while level.len() > 1 {
-            level = match self.parallel_region(level.len() / 2, &u_clo.body) {
+            level = match self.parallel_region(level.len() / 2, &u_clo) {
                 Some(region) => self.par_combine_round(&region, &u_clo, level, &bound_val)?,
                 None => self.seq_combine_round(&u_clo, level, &bound_val)?,
             };

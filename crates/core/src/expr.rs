@@ -471,94 +471,121 @@ impl Expr {
         n
     }
 
-    /// Visit every sub-expression (pre-order).
+    /// Visit every sub-expression (pre-order). Built on [`Expr::children`] so
+    /// every traversal in the workspace walks the AST through one shape-aware
+    /// function.
     pub fn visit<F: FnMut(&Expr)>(&self, f: &mut F) {
         f(self);
+        for child in self.children() {
+            child.expr.visit(f);
+        }
+    }
+
+    /// The immediate sub-expressions of this node, in evaluation/pre-order,
+    /// each annotated with the binding structure the analyses need: which
+    /// variable (if any) comes into scope for that child, and whether the
+    /// child is the *iterated* operand of a recursor or iterator (the operand
+    /// whose nesting stratifies the AC level per Theorems 6.1/6.2).
+    ///
+    /// This is the single shared visitor: `visit`, `analysis::free_vars`,
+    /// `analysis::free_var_span`, `analysis::recursion_depth` and the
+    /// `analyze` lint pass all walk the tree through it, so a new `ExprKind`
+    /// variant only has to teach *this* function its shape.
+    pub fn children(&self) -> Vec<Child<'_>> {
+        fn plain(expr: &Expr) -> Child<'_> {
+            Child {
+                expr,
+                binds: None,
+                iterated: false,
+            }
+        }
+        fn bound<'a>(expr: &'a Expr, name: &'a str) -> Child<'a> {
+            Child {
+                expr,
+                binds: Some(name),
+                iterated: false,
+            }
+        }
+        fn iterated(expr: &Expr) -> Child<'_> {
+            Child {
+                expr,
+                binds: None,
+                iterated: true,
+            }
+        }
         match &self.kind {
             ExprKind::Var(_)
             | ExprKind::Unit
             | ExprKind::Bool(_)
             | ExprKind::Const(_)
-            | ExprKind::Empty(_) => {}
-            ExprKind::Lam(_, _, b) => b.visit(f),
+            | ExprKind::Empty(_) => Vec::new(),
+            ExprKind::Lam(x, _, b) => vec![bound(b, x)],
             ExprKind::App(a, b)
             | ExprKind::Pair(a, b)
             | ExprKind::Eq(a, b)
             | ExprKind::Leq(a, b)
             | ExprKind::Union(a, b)
-            | ExprKind::Ext(a, b)
-            | ExprKind::Let(_, a, b) => {
-                a.visit(f);
-                b.visit(f);
-            }
+            | ExprKind::Ext(a, b) => vec![plain(a), plain(b)],
+            ExprKind::Let(x, a, b) => vec![plain(a), bound(b, x)],
             ExprKind::Proj1(a)
             | ExprKind::Proj2(a)
             | ExprKind::Singleton(a)
-            | ExprKind::IsEmpty(a) => a.visit(f),
-            ExprKind::If(c, t, e) => {
-                c.visit(f);
-                t.visit(f);
-                e.visit(f);
-            }
-            ExprKind::Dcr { e, f: f2, u, arg } | ExprKind::Sru { e, f: f2, u, arg } => {
-                e.visit(f);
-                f2.visit(f);
-                u.visit(f);
-                arg.visit(f);
+            | ExprKind::IsEmpty(a) => vec![plain(a)],
+            ExprKind::If(c, t, e) => vec![plain(c), plain(t), plain(e)],
+            ExprKind::Dcr { e, f, u, arg } | ExprKind::Sru { e, f, u, arg } => {
+                vec![plain(e), plain(f), iterated(u), plain(arg)]
             }
             ExprKind::Sri { e, i, arg } | ExprKind::Esr { e, i, arg } => {
-                e.visit(f);
-                i.visit(f);
-                arg.visit(f);
+                vec![plain(e), iterated(i), plain(arg)]
             }
             ExprKind::BDcr {
                 e,
-                f: f2,
+                f,
                 u,
-                bound,
+                bound: b,
                 arg,
-            } => {
-                e.visit(f);
-                f2.visit(f);
-                u.visit(f);
-                bound.visit(f);
-                arg.visit(f);
-            }
-            ExprKind::BSri { e, i, bound, arg } => {
-                e.visit(f);
-                i.visit(f);
-                bound.visit(f);
-                arg.visit(f);
-            }
-            ExprKind::LogLoop { f: f2, set, init } | ExprKind::Loop { f: f2, set, init } => {
-                f2.visit(f);
-                set.visit(f);
-                init.visit(f);
+            } => vec![plain(e), plain(f), iterated(u), plain(b), plain(arg)],
+            ExprKind::BSri {
+                e,
+                i,
+                bound: b,
+                arg,
+            } => vec![plain(e), iterated(i), plain(b), plain(arg)],
+            ExprKind::LogLoop { f, set, init } | ExprKind::Loop { f, set, init } => {
+                vec![iterated(f), plain(set), plain(init)]
             }
             ExprKind::BLogLoop {
-                f: f2,
-                bound,
+                f,
+                bound: b,
                 set,
                 init,
             }
             | ExprKind::BLoop {
-                f: f2,
-                bound,
+                f,
+                bound: b,
                 set,
                 init,
-            } => {
-                f2.visit(f);
-                bound.visit(f);
-                set.visit(f);
-                init.visit(f);
-            }
-            ExprKind::Extern(_, args) => {
-                for a in args {
-                    a.visit(f);
-                }
-            }
+            } => vec![iterated(f), plain(b), plain(set), plain(init)],
+            ExprKind::Extern(_, args) => args.iter().map(plain).collect(),
         }
     }
+}
+
+/// One immediate sub-expression of an [`Expr`], as yielded by
+/// [`Expr::children`], annotated with the enclosing node's binding structure.
+#[derive(Debug, Clone, Copy)]
+pub struct Child<'a> {
+    /// The sub-expression itself.
+    pub expr: &'a Expr,
+    /// The variable the enclosing node brings into scope *for this child*
+    /// (`Lam` bodies and `Let` bodies; `None` everywhere else, including a
+    /// `Let`'s right-hand side).
+    pub binds: Option<&'a str>,
+    /// Whether this child is the iterated operand — the combiner of a
+    /// `dcr`/`sru`/`bdcr`, the insert step of an `sri`/`esr`/`bsri`, or the
+    /// iterated function of a `loop`/`log-loop` — whose own recursion depth
+    /// is incremented when stratifying `dcr^(k)` nesting.
+    pub iterated: bool,
 }
 
 impl fmt::Display for Expr {

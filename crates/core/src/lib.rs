@@ -27,6 +27,11 @@
 //!   cost statistics are bit-identical to the sequential backend.
 //! * [`analysis`] — free variables, expression size, and the *depth of recursion
 //!   nesting* of §3, which stratifies the language into the ACᵏ levels.
+//! * [`analyze`] — prepare-time static analysis: symbolic work/span upper
+//!   bounds in the schema-relation cardinalities (mirroring [`eval`]'s cost
+//!   model, with the `dcr` combining tree contributing a log factor to the
+//!   span), a guaranteed work floor for rejecting doomed queries, and a
+//!   span-aware lint pass.
 //! * [`wellformed`] — the bounded checker for the algebraic preconditions
 //!   (associativity, commutativity, identity) of `dcr`/`sru` instances; the
 //!   general problem is Π⁰₁-complete (§2), so the checker works over a finite
@@ -38,6 +43,7 @@
 //!   used in the Proposition 6.3 experiments.
 
 pub mod analysis;
+pub mod analyze;
 pub mod derived;
 pub mod error;
 pub mod eval;
@@ -48,6 +54,7 @@ pub mod span;
 pub mod typecheck;
 pub mod wellformed;
 
+pub use analyze::{analyze_query, Bound, CostBound, Finding, Lint, Poly, QueryAnalysis, Severity};
 pub use error::{EvalError, TypeError, TypeErrorKind};
 pub use eval::{CostStats, EvalConfig, Evaluator};
 pub use expr::{Expr, ExprKind};

@@ -24,7 +24,9 @@
 //!
 //! Cutover: forking a region only pays when there is enough work to amortize
 //! region dispatch, so a region (leaf map, `ext` map, or one combining round)
-//! is forked only when `applications × closure body size` reaches
+//! is forked only when `applications × per-application cost` (the closure
+//! body's static work bound from [`crate::analyze`] when finite, else
+//! `1 + body size`) reaches
 //! `EvalConfig::parallel_cutoff`; smaller regions — and the top of every
 //! combining tree — run sequentially on the calling thread. Forked regions
 //! additionally borrow workers from the pool's thread-budget semaphore, which

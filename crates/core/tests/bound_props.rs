@@ -1,0 +1,179 @@
+//! Property tests for the prepare-time cost bounds of `ncql_core::analyze`:
+//! for randomly generated queries from the differential template family, the
+//! measured `CostStats` must sit between the analyser's guaranteed floor and
+//! its upper bound — on the sequential backend and on the work-stealing pool
+//! (random thread count, pool size and steal seed), whose stats are
+//! bit-identical by the parallel backend's contract.
+//!
+//! A second property analyses the *open* form of each template once (the set
+//! argument is a free schema relation `r`) and checks the one symbolic bound
+//! against many concrete cardinalities — the "analyse once, execute many"
+//! contract the engine relies on.
+
+use ncql_core::analyze::{analyze_query, QueryAnalysis};
+use ncql_core::eval::{eval_with_stats, CostStats, EvalConfig, Evaluator};
+use ncql_core::expr::Expr;
+use ncql_core::externs::ExternRegistry;
+use ncql_core::parallel::ParallelEvaluator;
+use ncql_object::{Type, Value};
+use proptest::prelude::*;
+
+fn xor_combiner() -> Expr {
+    Expr::lam2(
+        "a",
+        "b",
+        Type::prod(Type::Bool, Type::Bool),
+        Expr::ite(
+            Expr::var("a"),
+            Expr::ite(Expr::var("b"), Expr::bool_val(false), Expr::bool_val(true)),
+            Expr::var("b"),
+        ),
+    )
+}
+
+/// The template family of the parallel property suite, parameterized by the
+/// set argument so the same shapes serve the closed and the open property.
+fn query_over(shape: u64, arg: Expr, shift: u64) -> Expr {
+    match shape % 4 {
+        0 => Expr::dcr(
+            Expr::bool_val(false),
+            Expr::lam("y", Type::Base, Expr::bool_val(true)),
+            xor_combiner(),
+            arg,
+        ),
+        1 => Expr::dcr(
+            Expr::nat(0),
+            Expr::lam(
+                "x",
+                Type::Base,
+                Expr::extern_call("atom_to_nat", vec![Expr::var("x")]),
+            ),
+            Expr::lam2(
+                "a",
+                "b",
+                Type::prod(Type::Nat, Type::Nat),
+                Expr::extern_call("nat_add", vec![Expr::var("a"), Expr::var("b")]),
+            ),
+            arg,
+        ),
+        2 => Expr::ext(
+            Expr::lam(
+                "x",
+                Type::Base,
+                Expr::union(
+                    Expr::singleton(Expr::var("x")),
+                    Expr::singleton(Expr::extern_call(
+                        "nat_to_atom",
+                        vec![Expr::extern_call(
+                            "nat_add",
+                            vec![
+                                Expr::extern_call("atom_to_nat", vec![Expr::var("x")]),
+                                Expr::nat(shift),
+                            ],
+                        )],
+                    )),
+                ),
+            ),
+            arg,
+        ),
+        _ => Expr::esr(
+            Expr::bool_val(false),
+            Expr::lam2(
+                "y",
+                "acc",
+                Type::prod(Type::Base, Type::Bool),
+                Expr::ite(
+                    Expr::var("acc"),
+                    Expr::bool_val(false),
+                    Expr::bool_val(true),
+                ),
+            ),
+            arg,
+        ),
+    }
+}
+
+/// Assert floor ≤ measured ≤ bound with the given cardinality lookup; the
+/// template family must always get finite bounds.
+fn assert_covers(
+    analysis: &QueryAnalysis,
+    stats: &CostStats,
+    lookup: &dyn Fn(&str) -> Option<u64>,
+    context: &str,
+) {
+    let cost = &analysis.cost;
+    let work_hi = cost
+        .work
+        .eval(lookup)
+        .unwrap_or_else(|| panic!("{context}: work bound not finite"));
+    let span_hi = cost
+        .span
+        .eval(lookup)
+        .unwrap_or_else(|| panic!("{context}: span bound not finite"));
+    let floor = cost.work_floor.eval(lookup).unwrap_or(0);
+    assert!(
+        floor <= stats.work,
+        "{context}: floor {floor} exceeds measured work {}",
+        stats.work
+    );
+    assert!(
+        stats.work <= work_hi,
+        "{context}: measured work {} exceeds bound {work_hi}",
+        stats.work
+    );
+    assert!(
+        stats.span <= span_hi,
+        "{context}: measured span {} exceeds bound {span_hi}",
+        stats.span
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn closed_bounds_cover_both_backends(
+        shape in 0u64..4,
+        atoms in proptest::collection::vec(0u64..500, 0..50),
+        shift in 1u64..40,
+        threads in 2usize..9,
+        pool_threads in 2usize..10,
+        steal_seed in proptest::prelude::any::<u64>(),
+    ) {
+        let q = query_over(shape, Expr::constant(Value::atom_set(atoms)), shift);
+        let analysis = analyze_query(&q, &[], &ExternRegistry::standard());
+        let (_, seq) = eval_with_stats(&q).expect("sequential eval");
+        assert_covers(&analysis, &seq, &|_| None, &format!("shape {shape} (sequential)"));
+        let mut par_ev = ParallelEvaluator::with_config(EvalConfig {
+            parallelism: Some(threads),
+            parallel_cutoff: 1,
+            pool_threads: Some(pool_threads),
+            pool_steal_seed: steal_seed,
+            ..EvalConfig::default()
+        });
+        par_ev.eval_closed(&q).expect("parallel eval");
+        assert_covers(&analysis, &par_ev.stats(), &|_| None, &format!("shape {shape} (parallel)"));
+    }
+
+    #[test]
+    fn one_symbolic_bound_covers_many_cardinalities(
+        shape in 0u64..4,
+        sets in proptest::collection::vec(proptest::collection::vec(0u64..300, 0..40), 1..6),
+        shift in 1u64..40,
+    ) {
+        // Analyse once, symbolically in |r| ...
+        let q = query_over(shape, Expr::var("r"), shift);
+        let schema = vec![("r".to_string(), Type::set(Type::Base))];
+        let analysis = analyze_query(&q, &schema, &ExternRegistry::standard());
+        // ... then check that one bound against every concrete input.
+        for atoms in sets {
+            let value = Value::atom_set(atoms);
+            let m = value.cardinality().unwrap_or(0) as u64;
+            let mut ev = Evaluator::new(EvalConfig::default());
+            ev.eval_with_bindings(&q, &[("r".to_string(), value)])
+                .expect("open eval");
+            let lookup = |name: &str| (name == "r").then_some(m);
+            assert_covers(&analysis, &ev.stats(), &lookup, &format!("shape {shape} at |r|={m}"));
+        }
+    }
+}

@@ -17,16 +17,21 @@
 //! clipped to the first line — one line is enough to locate the construct,
 //! and it keeps snapshots stable.
 
-use ncql_core::Span;
+use ncql_core::{Finding, Severity, Span};
 use std::fmt;
 
 /// A rendered-form error: the message plus, when located, the resolved
 /// line/column and the snippet line the caret points into.
 ///
 /// Build one with [`crate::Error::diagnostic`] (or render straight to a
-/// string with [`crate::Error::render`]).
+/// string with [`crate::Error::render`]). Lint findings render through
+/// [`Diagnostic::from_finding`], which labels warnings `warning:` instead of
+/// `error:`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
+    /// The severity label the rendered form leads with (`error` or
+    /// `warning`).
+    label: &'static str,
     /// The error message (the `Display` form of the underlying error).
     pub message: String,
     /// The byte span in the source text, when the error is located.
@@ -47,6 +52,31 @@ impl Diagnostic {
     /// came from a different text than the one supplied) is treated as
     /// unlocated rather than panicking.
     pub fn new(message: impl Into<String>, span: Option<Span>, source: &str) -> Diagnostic {
+        Diagnostic::with_label("error", message, span, source)
+    }
+
+    /// [`Diagnostic::new`] for a lint finding: the message is
+    /// `<lint-name>: <finding message>` and the label is `warning` unless the
+    /// finding is deny-level.
+    pub fn from_finding(finding: &Finding, source: &str) -> Diagnostic {
+        let label = match finding.severity {
+            Severity::Deny => "error",
+            Severity::Warning => "warning",
+        };
+        Diagnostic::with_label(
+            label,
+            format!("{}: {}", finding.lint.name(), finding.message),
+            finding.span,
+            source,
+        )
+    }
+
+    fn with_label(
+        label: &'static str,
+        message: impl Into<String>,
+        span: Option<Span>,
+        source: &str,
+    ) -> Diagnostic {
         let message = message.into();
         // Foreign spans — wrong text entirely, or offsets landing mid-way
         // through a multibyte character of this text — degrade to unlocated;
@@ -59,6 +89,7 @@ impl Diagnostic {
         });
         match located {
             None => Diagnostic {
+                label,
                 message,
                 span,
                 line: None,
@@ -81,6 +112,7 @@ impl Diagnostic {
                 let width = s.end.min(line_end).saturating_sub(s.start).max(1);
                 let underline = format!("{}{}", " ".repeat(column - 1), "^".repeat(width));
                 Diagnostic {
+                    label,
                     message,
                     span,
                     line: Some(line_no),
@@ -100,7 +132,7 @@ impl Diagnostic {
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "error: {}", self.message)?;
+        write!(f, "{}: {}", self.label, self.message)?;
         if let (Some(line), Some(column), Some(snippet), Some(underline)) =
             (self.line, self.column, &self.snippet, &self.underline)
         {
@@ -167,6 +199,36 @@ mod tests {
         let d = Diagnostic::new("expected more", Some(Span::point(10)), src);
         assert_eq!(d.column, Some(11));
         assert!(d.to_string().ends_with("^"));
+    }
+
+    #[test]
+    fn lint_findings_render_with_severity_labels() {
+        use ncql_core::Lint;
+        let src = "let x = {@1} in {@2}";
+        let warn = Finding {
+            lint: Lint::UnusedBinding,
+            severity: Severity::Warning,
+            message: "binding `x` is never used".to_string(),
+            span: Some(Span::new(4, 5)),
+        };
+        let d = Diagnostic::from_finding(&warn, src);
+        let rendered = d.to_string();
+        assert!(
+            rendered.starts_with("warning: unused-binding: binding `x` is never used"),
+            "{rendered}"
+        );
+        assert_eq!(d.column, Some(5));
+        // Deny findings keep the error label.
+        let deny = Finding {
+            lint: Lint::DoomedWorkBound,
+            severity: Severity::Deny,
+            message: "doomed".to_string(),
+            span: None,
+        };
+        assert_eq!(
+            Diagnostic::from_finding(&deny, src).to_string(),
+            "error: doomed-work-bound: doomed"
+        );
     }
 
     #[test]

@@ -39,6 +39,17 @@ pub enum Error {
         /// use site in the prepared query's source text.
         span: Option<Span>,
     },
+    /// The prepare-time static analysis produced a deny-level lint finding
+    /// and the session's lint policy is
+    /// [`LintPolicy::Deny`](crate::LintPolicy): the query is rejected before
+    /// any evaluation. Carries the first deny finding's message (prefixed
+    /// with its stable lint name) and the offending node's span.
+    Lint {
+        /// `<lint-name>: <finding message>`.
+        message: String,
+        /// The span of the offending node in the query text.
+        span: Option<Span>,
+    },
 }
 
 impl Error {
@@ -55,6 +66,7 @@ impl Error {
             Error::Type(e) => e.span,
             Error::Eval(e) => e.span(),
             Error::Object { span, .. } => *span,
+            Error::Lint { span, .. } => *span,
         }
     }
 
@@ -99,6 +111,7 @@ impl fmt::Display for Error {
             Error::Type(e) => write!(f, "type error: {e}"),
             Error::Eval(e) => write!(f, "evaluation error: {e}"),
             Error::Object { source, .. } => write!(f, "object error: {source}"),
+            Error::Lint { message, .. } => write!(f, "lint error: {message}"),
         }
     }
 }
@@ -110,6 +123,8 @@ impl std::error::Error for Error {
             Error::Type(e) => Some(e),
             Error::Eval(e) => Some(e),
             Error::Object { source, .. } => Some(source),
+            // A lint rejection is a policy decision, not a wrapped failure.
+            Error::Lint { .. } => None,
         }
     }
 }

@@ -22,8 +22,14 @@
 //!   [`Session::execute_many`] evaluate a prepared plan (one set of bindings
 //!   per declared free variable; batches amortize preparation further).
 //! * [`Error`] is the one error enum at the boundary — `Parse`, `Type`,
-//!   `Eval` and `Object` variants with `std::error::Error` + `Display`
-//!   implementations and the lexer's source-position context.
+//!   `Eval`, `Object` and `Lint` variants with `std::error::Error` +
+//!   `Display` implementations and the lexer's source-position context.
+//! * [`Session::prepare`] also runs the prepare-time static analysis of
+//!   `ncql_core::analyze`: symbolic work/span bounds and lint findings,
+//!   cached on the plan and exposed via [`PreparedQuery::analysis`]. Under
+//!   [`LintPolicy::Deny`] (builder knob or `NCQL_LINT=deny`), deny-level
+//!   findings reject the query at prepare — before any evaluation — with a
+//!   span-located [`Error::Lint`].
 //!
 //! # Quickstart
 //!
@@ -65,4 +71,8 @@ mod session;
 pub use diagnostics::Diagnostic;
 pub use error::Error;
 pub use prepared::{Backend, Outcome, PreparedQuery};
-pub use session::{CacheMetrics, Session, SessionBuilder, DEFAULT_CACHE_CAPACITY};
+pub use session::{CacheMetrics, LintPolicy, Session, SessionBuilder, DEFAULT_CACHE_CAPACITY};
+
+// The static-analysis vocabulary of `PreparedQuery::analysis`, re-exported so
+// engine consumers need not depend on the core crate directly.
+pub use ncql_core::analyze::{Bound, CostBound, Finding, Lint, QueryAnalysis, Severity};

@@ -1,7 +1,9 @@
 //! Prepared queries and execution outcomes.
 
+use crate::diagnostics::Diagnostic;
 use ncql_core::eval::CostStats;
 use ncql_core::expr::Expr;
+use ncql_core::QueryAnalysis;
 use ncql_object::{Type, Value};
 use std::fmt;
 use std::sync::Arc;
@@ -27,6 +29,9 @@ pub(crate) struct PreparedPlan {
     /// The pretty-printed normal form of the query (the parser/printer
     /// fixpoint the round-trip suite pins down).
     pub(crate) normal_form: String,
+    /// The prepare-time static analysis: symbolic work/span bounds and lint
+    /// findings. Computed once per plan, shared by every handle.
+    pub(crate) analysis: QueryAnalysis,
 }
 
 /// A query that has been parsed, type-checked and analysed once, ready to be
@@ -74,6 +79,26 @@ impl PreparedQuery {
     /// closed query).
     pub fn schema(&self) -> &[(String, Type)] {
         &self.plan.schema
+    }
+
+    /// The prepare-time static analysis: symbolic work/span bounds in the
+    /// schema-relation cardinalities plus the lint findings. Computed exactly
+    /// once per plan (cache hits share it).
+    pub fn analysis(&self) -> &QueryAnalysis {
+        &self.plan.analysis
+    }
+
+    /// The lint findings rendered as caret diagnostics against the prepared
+    /// source text (warnings labelled `warning:`, deny findings `error:`).
+    /// Findings of a builder-API plan (no source text) render without carets.
+    pub fn lint_diagnostics(&self) -> Vec<Diagnostic> {
+        let source = self.source().unwrap_or("");
+        self.plan
+            .analysis
+            .findings
+            .iter()
+            .map(|finding| Diagnostic::from_finding(finding, source))
+            .collect()
     }
 
     /// Do two handles share one underlying plan? A cache hit in

@@ -8,13 +8,29 @@ use ncql_core::expr::Expr;
 use ncql_core::externs::ExternRegistry;
 use ncql_core::parallel::{normalize_parallelism, ParallelEvaluator};
 use ncql_core::typecheck::{infer, value_type, TypeEnv};
-use ncql_core::{analysis, EvalError};
+use ncql_core::{analysis, analyze_query, EvalError, Finding, Lint};
 use ncql_object::{ObjectError, Type, Value};
 use ncql_pram::WorkStealingPool;
 use std::sync::{Arc, OnceLock};
 
 /// Default number of prepared plans a session retains.
 pub const DEFAULT_CACHE_CAPACITY: usize = 256;
+
+/// What a session does with deny-level lint findings at prepare time.
+///
+/// The prepare-time analysis always runs and its findings are always
+/// available through [`PreparedQuery::analysis`]; the policy only decides
+/// whether deny-level findings *reject* the query before any evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum LintPolicy {
+    /// Report findings on the prepared plan but never reject (the default).
+    #[default]
+    Warn,
+    /// Reject a query whose analysis produced a deny-level finding:
+    /// `prepare` fails with [`Error::Lint`] carrying the finding's span, and
+    /// the query never reaches the evaluator.
+    Deny,
+}
 
 /// Cache key of a prepared plan: the exact query text, the schema it was
 /// checked under, and the registry fingerprint the front end depended on.
@@ -70,6 +86,7 @@ pub struct CacheMetrics {
 pub struct SessionBuilder {
     config: EvalConfig,
     cache_capacity: usize,
+    lint_policy: LintPolicy,
 }
 
 impl Default for SessionBuilder {
@@ -86,6 +103,7 @@ impl SessionBuilder {
         SessionBuilder {
             config: EvalConfig::default(),
             cache_capacity: DEFAULT_CACHE_CAPACITY,
+            lint_policy: LintPolicy::default(),
         }
     }
 
@@ -95,8 +113,9 @@ impl SessionBuilder {
     /// fork threshold, and `NCQL_POOL_THREADS` the worker-thread count of the
     /// session's persistent work-stealing pool when it should differ from
     /// `NCQL_PARALLELISM` (e.g. an oversubscribed pool on a small machine —
-    /// the CI matrix runs one such leg). Unset, empty or unparseable
-    /// variables leave the defaults untouched.
+    /// the CI matrix runs one such leg). `NCQL_LINT=deny` (or `warn`) sets
+    /// the [`LintPolicy`]. Unset, empty or unparseable variables leave the
+    /// defaults untouched.
     pub fn from_env() -> SessionBuilder {
         let mut builder = SessionBuilder::new();
         if let Ok(raw) = std::env::var("NCQL_PARALLELISM") {
@@ -112,6 +131,13 @@ impl SessionBuilder {
         if let Ok(raw) = std::env::var("NCQL_POOL_THREADS") {
             if let Ok(n) = raw.trim().parse::<usize>() {
                 builder.config.pool_threads = normalize_parallelism(Some(n));
+            }
+        }
+        if let Ok(raw) = std::env::var("NCQL_LINT") {
+            match raw.trim() {
+                "deny" => builder.lint_policy = LintPolicy::Deny,
+                "warn" => builder.lint_policy = LintPolicy::Warn,
+                _ => {}
             }
         }
         builder
@@ -188,10 +214,19 @@ impl SessionBuilder {
         self
     }
 
+    /// What to do with deny-level lint findings at prepare time: report them
+    /// on the plan ([`LintPolicy::Warn`], the default) or reject the query
+    /// before evaluation ([`LintPolicy::Deny`]).
+    pub fn lint_policy(mut self, policy: LintPolicy) -> SessionBuilder {
+        self.lint_policy = policy;
+        self
+    }
+
     /// Build the session.
     pub fn build(self) -> Session {
         Session {
             config: self.config,
+            lint_policy: self.lint_policy,
             registry_fingerprint: OnceLock::new(),
             pool: OnceLock::new(),
             cache: ShardedLru::new(self.cache_capacity),
@@ -223,6 +258,7 @@ impl SessionBuilder {
 #[derive(Debug)]
 pub struct Session {
     config: EvalConfig,
+    lint_policy: LintPolicy,
     /// Computed lazily on the first `prepare`: pure-evaluation sessions (the
     /// corpus shim, the benches' trusted-AST path) never pay the hash.
     registry_fingerprint: OnceLock<u64>,
@@ -259,6 +295,11 @@ impl Session {
     /// The evaluation configuration this session runs every query under.
     pub fn config(&self) -> &EvalConfig {
         &self.config
+    }
+
+    /// The session's lint policy: what deny-level findings do at prepare.
+    pub fn lint_policy(&self) -> LintPolicy {
+        self.lint_policy
     }
 
     /// The backend this session dispatches to.
@@ -314,6 +355,10 @@ impl Session {
     ) -> Result<PreparedQuery, Error> {
         let key = PlanKey::new(text, schema, self.registry_fingerprint());
         if let Some(plan) = self.cache.get(&key) {
+            // The findings were computed with the plan and live on it, so a
+            // deny policy also rejects cache hits — the cache amortizes the
+            // front end, never the policy decision.
+            self.enforce_lint_policy(&plan)?;
             return Ok(PreparedQuery { plan });
         }
         let expr = ncql_surface::parse(text)?;
@@ -324,6 +369,7 @@ impl Session {
         // same-`Arc` contract for every handle ever returned (both front-end
         // runs are counted as misses).
         let plan = self.cache.insert_if_absent(key, plan);
+        self.enforce_lint_policy(&plan)?;
         Ok(PreparedQuery { plan })
     }
 
@@ -344,11 +390,13 @@ impl Session {
         schema: &[(String, Type)],
     ) -> Result<PreparedQuery, Error> {
         let plan = Arc::new(self.analyze(None, expr, schema)?);
+        self.enforce_lint_policy(&plan)?;
         Ok(PreparedQuery { plan })
     }
 
     /// The front end minus parsing: typecheck against the session registry
-    /// under the declared schema, recursion-depth analysis, normal form.
+    /// under the declared schema, recursion-depth analysis, static cost/lint
+    /// analysis, normal form.
     fn analyze(
         &self,
         source: Option<String>,
@@ -360,6 +408,25 @@ impl Session {
             env = env.extend(name.clone(), ty.clone());
         }
         let ty = infer(&env, &self.config.registry, &expr)?;
+        let mut query_analysis = analyze_query(&expr, schema, &self.config.registry);
+        // The doomed-query check needs the session's work limit, which the
+        // core analyser does not know: a work *floor* above `max_work` means
+        // every evaluation is guaranteed to abort with `WorkLimitExceeded`,
+        // however the schema relations are bound (the floor is the
+        // all-cardinalities-zero minimum).
+        let floor = query_analysis.cost.work_floor_min();
+        if floor > self.config.max_work {
+            query_analysis.findings.push(Finding {
+                lint: Lint::DoomedWorkBound,
+                severity: Lint::DoomedWorkBound.default_severity(),
+                message: format!(
+                    "query needs at least {floor} work but the session limit is {}; \
+                     evaluation is guaranteed to exceed the work limit",
+                    self.config.max_work
+                ),
+                span: expr.span,
+            });
+        }
         Ok(PreparedPlan {
             source,
             ty,
@@ -367,8 +434,24 @@ impl Session {
             depth: analysis::recursion_depth(&expr),
             ac_level: analysis::ac_level(&expr),
             normal_form: ncql_surface::print_expr(&expr),
+            analysis: query_analysis,
             expr,
         })
+    }
+
+    /// Reject the plan when the session's policy is deny and the analysis
+    /// produced a deny-level finding. Runs on every prepare path, cache hits
+    /// included.
+    fn enforce_lint_policy(&self, plan: &PreparedPlan) -> Result<(), Error> {
+        if self.lint_policy == LintPolicy::Deny {
+            if let Some(finding) = plan.analysis.deny_findings().next() {
+                return Err(Error::Lint {
+                    message: format!("{}: {}", finding.lint.name(), finding.message),
+                    span: finding.span,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Execute a prepared closed query on the session's backend, paying only
@@ -729,6 +812,110 @@ mod tests {
             )
             .unwrap();
         assert_eq!(out.value, Value::Nat(3));
+    }
+
+    #[test]
+    fn prepare_runs_the_static_analysis_once_per_plan() {
+        let session = Session::new();
+        let schema = vec![("s".to_string(), Type::set(Type::Base))];
+        let q = session
+            .prepare_with_schema("ext(\\x: atom. {x}, s)", &schema)
+            .unwrap();
+        let analysis = q.analysis();
+        // The work bound is symbolic in |s|: it grows with the cardinality.
+        let at = |n: u64| {
+            analysis
+                .cost
+                .work
+                .eval(&|name| (name == "s").then_some(n))
+                .expect("bound is finite in |s|")
+        };
+        assert!(at(100) > at(1), "bound grows with |s|: {}", analysis.cost);
+        // A cache hit shares the same analysis (same plan).
+        let again = session
+            .prepare_with_schema("ext(\\x: atom. {x}, s)", &schema)
+            .unwrap();
+        assert!(again.ptr_eq(&q));
+    }
+
+    #[test]
+    fn warn_policy_reports_doomed_queries_but_still_prepares() {
+        let session = Session::builder().max_work(3).build();
+        assert_eq!(session.lint_policy(), LintPolicy::Warn);
+        let q = session.prepare("{@1} union {@2}").unwrap();
+        let doomed: Vec<_> = q
+            .analysis()
+            .findings
+            .iter()
+            .filter(|f| f.lint == Lint::DoomedWorkBound)
+            .collect();
+        assert_eq!(doomed.len(), 1, "exactly one doomed-work-bound finding");
+        assert!(
+            doomed[0].message.contains("limit is 3"),
+            "{}",
+            doomed[0].message
+        );
+        // Warn never rejects; the evaluator raises the limit error instead.
+        match session.execute(&q) {
+            Err(Error::Eval(e)) => assert!(e.to_string().contains("work")),
+            other => panic!("expected an eval-time work-limit error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deny_policy_rejects_doomed_queries_before_evaluation() {
+        let session = Session::builder()
+            .max_work(3)
+            .lint_policy(LintPolicy::Deny)
+            .build();
+        let text = "{@1} union {@2}";
+        match session.prepare(text) {
+            Err(err @ Error::Lint { .. }) => {
+                assert!(err.to_string().starts_with("lint error: doomed-work-bound"));
+                assert!(err.span().is_some(), "rejection carries the query span");
+                assert!(err.render(text).contains('^'), "caret diagnostic renders");
+            }
+            other => panic!("expected a lint rejection, got {other:?}"),
+        }
+        // The rejection holds on the cache-hit path too.
+        match session.prepare(text) {
+            Err(Error::Lint { .. }) => {}
+            other => panic!("expected a lint rejection on the cache hit, got {other:?}"),
+        }
+        // A harmless query still prepares and runs under the deny policy.
+        let ok = Session::builder()
+            .lint_policy(LintPolicy::Deny)
+            .build()
+            .run(text)
+            .unwrap();
+        assert_eq!(ok.value.cardinality(), Some(2));
+    }
+
+    #[test]
+    fn deny_policy_rejects_ignored_combiner_arguments() {
+        // A dcr combiner that drops its first argument cannot be associative
+        // with identity — `wellformed` would flag it at runtime; the lint
+        // rejects it at prepare.
+        let text = "dcr(empty[atom], \\x: atom. {x}, \
+                    \\p: ({atom} * {atom}). pi2 p, {@1} union {@2})";
+        let deny = Session::builder().lint_policy(LintPolicy::Deny).build();
+        match deny.prepare(text) {
+            Err(err @ Error::Lint { .. }) => {
+                assert!(
+                    err.to_string().contains("ignored-combiner-argument"),
+                    "{err}"
+                );
+            }
+            other => panic!("expected a lint rejection, got {other:?}"),
+        }
+        // The default policy only reports it.
+        let warn = Session::new();
+        let q = warn.prepare(text).unwrap();
+        assert!(q
+            .analysis()
+            .findings
+            .iter()
+            .any(|f| f.lint == Lint::IgnoredCombinerArgument));
     }
 
     #[test]

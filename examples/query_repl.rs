@@ -1,7 +1,7 @@
 //! A tiny query runner for the surface syntax: pass a query as the first
 //! argument (or pipe it on stdin) and it is prepared (parsed, type-checked,
-//! analysed for recursion depth) and executed through the engine's `Session`,
-//! with the cost model reported.
+//! analysed for recursion depth and static cost bounds) and executed through
+//! the engine's `Session`, with the cost model reported.
 //!
 //! Backend selection: `--parallel N` (or the `NCQL_PARALLELISM` environment
 //! variable, with `NCQL_PARALLEL_CUTOFF` tuning the fork threshold) evaluates
@@ -9,23 +9,38 @@
 //! reference evaluator runs. Values and cost statistics are identical either
 //! way — only wall-clock changes.
 //!
+//! Static analysis: every prepared query reports its lint findings as caret
+//! diagnostics. `--lint` (or `NCQL_LINT=deny`) upgrades the session to the
+//! deny policy, rejecting queries with deny-level findings before they run.
+//! Prefixing the query with `:analyze` prints the symbolic work/span bounds
+//! and the findings without executing anything.
+//!
 //! Examples:
 //!
 //! ```text
 //! cargo run --example query_repl -- "nat_add(20, 22)"
+//! cargo run --example query_repl -- ":analyze ext(\x: atom. {x}, {@1} union {@2})"
 //! cargo run --example query_repl -- --parallel 4 \
 //!   "dcr(empty[(atom * atom)], \y: atom. {(@1,@2)} union {(@2,@3)}, \
 //!        \p: ({(atom*atom)} * {(atom*atom)}). pi1 p union pi2 p, {@1} union {@2})"
 //! echo "{@1} union {@2} union {@1}" | NCQL_PARALLELISM=4 cargo run --example query_repl
 //! ```
 
-use ncql::SessionBuilder;
+use ncql::{LintPolicy, PreparedQuery, SessionBuilder};
 use std::io::Read;
+
+/// Print every lint finding as a caret diagnostic (warnings to stdout so the
+/// report reads top-to-bottom; the query still runs under the warn policy).
+fn report_findings(prepared: &PreparedQuery) {
+    for diagnostic in prepared.lint_diagnostics() {
+        println!("{diagnostic}");
+    }
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    // The environment (NCQL_PARALLELISM / NCQL_PARALLEL_CUTOFF) configures the
-    // session; an explicit --parallel flag overrides it.
+    // The environment (NCQL_PARALLELISM / NCQL_PARALLEL_CUTOFF / NCQL_LINT)
+    // configures the session; explicit flags override it.
     let mut builder = SessionBuilder::from_env();
     if let Some(pos) = args.iter().position(|a| a == "--parallel") {
         if pos + 1 >= args.len() {
@@ -41,6 +56,10 @@ fn main() {
         }
         args.drain(pos..=pos + 1);
     }
+    if let Some(pos) = args.iter().position(|a| a == "--lint") {
+        builder = builder.lint_policy(LintPolicy::Deny);
+        args.remove(pos);
+    }
     let session = builder.build();
 
     let text = match args.into_iter().next() {
@@ -55,9 +74,18 @@ fn main() {
     };
     let text = text.trim();
     if text.is_empty() {
-        eprintln!("usage: query_repl [--parallel N] \"<query>\"   (or pipe a query on stdin)");
+        eprintln!(
+            "usage: query_repl [--parallel N] [--lint] \"[:analyze] <query>\"   \
+             (or pipe a query on stdin)"
+        );
         std::process::exit(2);
     }
+
+    // `:analyze <query>` prints the static analysis and skips execution.
+    let (analyze_only, text) = match text.strip_prefix(":analyze") {
+        Some(rest) => (true, rest.trim()),
+        None => (false, text),
+    };
 
     let prepared = match session.prepare(text) {
         Ok(p) => p,
@@ -75,6 +103,17 @@ fn main() {
         prepared.recursion_depth(),
         prepared.ac_level()
     );
+    let cost = &prepared.analysis().cost;
+    println!("static cost : {cost}");
+
+    if analyze_only {
+        report_findings(&prepared);
+        if prepared.analysis().findings.is_empty() {
+            println!("lints       : clean");
+        }
+        return;
+    }
+    report_findings(&prepared);
     println!("backend     : {}", session.backend());
 
     match session.execute(&prepared) {

@@ -11,5 +11,6 @@ pub use ncql_translate as translate;
 
 pub use ncql_core::Span;
 pub use ncql_engine::{
-    Backend, CacheMetrics, Diagnostic, Error, Outcome, PreparedQuery, Session, SessionBuilder,
+    Backend, Bound, CacheMetrics, CostBound, Diagnostic, Error, Finding, Lint, LintPolicy, Outcome,
+    PreparedQuery, QueryAnalysis, Session, SessionBuilder, Severity,
 };

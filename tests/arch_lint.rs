@@ -1,0 +1,153 @@
+//! Durable architecture lints, enforced as a test so they run on every CI
+//! leg without extra tooling.
+//!
+//! 1. **Single front door.** `Evaluator`/`ParallelEvaluator` may only be
+//!    constructed inside the core crate (they live there), the engine crate
+//!    (the one supported dispatch point, `Session::eval_raw`), and their
+//!    tests. Everything else goes through `ncql_engine::Session`. A short
+//!    allowlist grandfathers the pre-`Session` call sites; removing one of
+//!    those files without pruning the allowlist fails the test, so the list
+//!    can only shrink.
+//! 2. **No ad-hoc scoped threads on the evaluator hot path.** The parallel
+//!    backend went through a per-region `std::thread::scope` phase before the
+//!    persistent work-stealing pool replaced it; this lint keeps
+//!    `thread::scope` out of the evaluator and pool implementation files
+//!    (test modules excepted) so the regression cannot sneak back.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Repo root: root-level integration tests run with the workspace manifest
+/// directory as cwd.
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Every `.rs` file under the repo's own source trees (vendored dependencies
+/// and build output excluded).
+fn rust_sources() -> Vec<PathBuf> {
+    let root = repo_root();
+    let mut out = Vec::new();
+    let mut stack = vec![root.clone()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir).expect("readable source dir") {
+            let path = entry.expect("dir entry").path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if path.is_dir() {
+                if matches!(name, "target" | "vendor" | ".git" | ".claude") {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    assert!(
+        out.len() > 20,
+        "source walk looks broken: {} files",
+        out.len()
+    );
+    out
+}
+
+fn relative(path: &Path) -> String {
+    path.strip_prefix(repo_root())
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Strip `//` line comments (good enough here: no constructor call we police
+/// spans a string literal containing `//`).
+fn without_line_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(idx) => &line[..idx],
+        None => line,
+    }
+}
+
+#[test]
+fn evaluators_are_constructed_only_behind_the_session_front_door() {
+    // Call sites that predate the unified `Session` API and deliberately
+    // drive the evaluators directly: the Proposition 7.3 translation check,
+    // the benches (which measure evaluator overhead without cache effects),
+    // and the powerset module's cost-assertion tests.
+    const ALLOWLIST: &[&str] = &[
+        "crates/translate/src/prop73.rs",
+        "crates/bench/src/lib.rs",
+        "crates/bench/benches/e8_bounded_vs_unbounded.rs",
+        "crates/queries/src/powerset.rs",
+    ];
+    let constructors = ["Evaluator::new(", "Evaluator::with_config("];
+
+    let sources = rust_sources();
+    for allowed in ALLOWLIST {
+        assert!(
+            sources.iter().any(|p| relative(p) == *allowed),
+            "stale allowlist entry {allowed}: prune it from this test"
+        );
+    }
+
+    let mut violations = Vec::new();
+    for path in &sources {
+        let rel = relative(path);
+        // The types live in core and are dispatched by the engine; both may
+        // construct them freely (their unit/integration tests included).
+        if rel.starts_with("crates/core/") || rel.starts_with("crates/engine/") {
+            continue;
+        }
+        if ALLOWLIST.contains(&rel.as_str()) {
+            continue;
+        }
+        // This file holds the patterns it polices.
+        if rel == "tests/arch_lint.rs" {
+            continue;
+        }
+        let text = fs::read_to_string(path).expect("readable source file");
+        for (lineno, line) in text.lines().enumerate() {
+            let code = without_line_comment(line);
+            if constructors.iter().any(|c| code.contains(c)) {
+                violations.push(format!("{rel}:{}: {}", lineno + 1, line.trim()));
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "Evaluator constructed outside core/engine/the allowlist — \
+         go through ncql_engine::Session instead:\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn no_scoped_threads_on_the_evaluator_hot_path() {
+    // The files that implement evaluation and the worker pool. Test modules
+    // (everything from the first `#[cfg(test)]` on) may use scoped threads
+    // to probe concurrency; the implementation itself must fork onto the
+    // persistent pool.
+    const HOT_PATH: &[&str] = &[
+        "crates/core/src/eval.rs",
+        "crates/core/src/parallel.rs",
+        "crates/pram/src/lib.rs",
+    ];
+    for rel in HOT_PATH {
+        let path = repo_root().join(rel);
+        let text = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("hot-path file {rel} must exist: {e}"));
+        let implementation = match text.find("#[cfg(test)]") {
+            Some(idx) => &text[..idx],
+            None => &text[..],
+        };
+        for (lineno, line) in implementation.lines().enumerate() {
+            let code = without_line_comment(line);
+            assert!(
+                !code.contains("thread::scope"),
+                "{rel}:{}: scoped thread on the evaluator hot path — \
+                 fork onto the persistent work-stealing pool instead: {}",
+                lineno + 1,
+                line.trim()
+            );
+        }
+    }
+}

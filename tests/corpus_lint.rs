@@ -1,0 +1,50 @@
+//! The full query corpus must be lint-clean at deny level: none of the
+//! library queries the differential suites trust may trip a deny-level
+//! finding (an ignored combiner argument, a doomed work bound, ...). CI runs
+//! this alongside the arch lint on every push.
+
+use ncql::core::analyze_query;
+use ncql::core::externs::ExternRegistry;
+use ncql::queries::corpus::differential_corpus;
+use ncql::{Error, LintPolicy, SessionBuilder};
+
+#[test]
+fn corpus_is_deny_clean() {
+    let registry = ExternRegistry::standard();
+    for entry in differential_corpus() {
+        let analysis = analyze_query(&entry.expr, &[], &registry);
+        let denied: Vec<_> = analysis.deny_findings().collect();
+        assert!(
+            denied.is_empty(),
+            "{}: deny-level lint findings: {denied:?}",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn corpus_prepares_under_a_deny_session() {
+    // The engine-level gate agrees: a deny-policy session never rejects a
+    // corpus query for lint reasons. (A few corpus idioms predate the
+    // surface typechecker and fail `prepare_expr` with a *type* error on the
+    // checked pipeline — the differential suites run them on the trusted-AST
+    // path — but none may fail with a lint rejection.)
+    let session = SessionBuilder::new().lint_policy(LintPolicy::Deny).build();
+    let mut prepared = 0usize;
+    for entry in differential_corpus() {
+        match session.prepare_expr(entry.expr.clone()) {
+            Ok(_) => prepared += 1,
+            Err(Error::Lint { message, .. }) => {
+                panic!(
+                    "{}: lint rejection under deny policy: {message}",
+                    entry.name
+                )
+            }
+            Err(_) => {}
+        }
+    }
+    assert!(
+        prepared >= 40,
+        "only {prepared} corpus queries prepared under the deny policy"
+    );
+}

@@ -215,6 +215,69 @@ fn binding_validation_snapshot() {
 }
 
 #[test]
+fn lint_warning_snapshot() {
+    // Warnings never reject: the query prepares, and the finding renders
+    // with the `warning:` label and a caret over the offending binding.
+    let text = "let x = {@1} in {@2}";
+    let q = builder().build().prepare(text).unwrap();
+    let diagnostics = q.lint_diagnostics();
+    assert_eq!(diagnostics.len(), 1, "{diagnostics:?}");
+    assert_snapshot(
+        diagnostics[0].to_string(),
+        &[
+            "warning: unused-binding: binding `x` is never used",
+            " --> line 1, column 1",
+            "  |",
+            "1 | let x = {@1} in {@2}",
+            "  | ^^^^^^^^^^^^^^^^^^^^",
+        ],
+    );
+}
+
+#[test]
+fn lint_empty_set_operand_warning_snapshot() {
+    // The caret points at the statically-empty operand, not the whole union.
+    let text = "{@1} union empty[atom]";
+    let q = builder().build().prepare(text).unwrap();
+    let diagnostics = q.lint_diagnostics();
+    assert_eq!(diagnostics.len(), 1, "{diagnostics:?}");
+    assert_snapshot(
+        diagnostics[0].to_string(),
+        &[
+            "warning: empty-set-operand: operand of `union` is statically empty — \
+             the union is just the other operand",
+            " --> line 1, column 12",
+            "  |",
+            "1 | {@1} union empty[atom]",
+            "  |            ^^^^^^^^^^^",
+        ],
+    );
+}
+
+#[test]
+fn lint_deny_rejection_snapshot() {
+    // Under the deny policy a doomed query is rejected *at prepare*: the
+    // static work floor (6) exceeds the session limit (3), so evaluation
+    // could only ever abort. The caret covers the whole query.
+    use ncql::LintPolicy;
+    let text = "{@1} union {@2}";
+    let session = builder().max_work(3).lint_policy(LintPolicy::Deny).build();
+    let err = session.prepare(text).unwrap_err();
+    assert!(matches!(err, Error::Lint { .. }));
+    assert_snapshot(
+        err.render(text),
+        &[
+            "error: lint error: doomed-work-bound: query needs at least 6 work but \
+             the session limit is 3; evaluation is guaranteed to exceed the work limit",
+            " --> line 1, column 1",
+            "  |",
+            "1 | {@1} union {@2}",
+            "  | ^^^^^^^^^^^^^^^",
+        ],
+    );
+}
+
+#[test]
 fn builder_api_errors_render_without_carets() {
     // Programmatically built expressions carry no spans: the diagnostic
     // degrades to the bare message instead of pointing anywhere.

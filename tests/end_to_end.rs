@@ -2,29 +2,30 @@
 //! baseline cross-checks, spanning the whole public API through the `ncql`
 //! facade.
 
-use ncql::core::eval::{eval_with_stats, EvalConfig, Evaluator};
+use ncql::core::analysis;
+use ncql::core::eval::eval_with_stats;
 use ncql::core::expr::Expr;
-use ncql::core::{analysis, typecheck};
 use ncql::object::morphism::{commutes_with, Morphism};
 use ncql::object::{Type, Value};
 use ncql::queries::{aggregates, datagen, graph, parity, relalg, Relation};
 use ncql::surface;
+use ncql::Session;
 
 #[test]
 fn surface_to_result_pipeline() {
-    // Parse, typecheck and evaluate a query that mixes most constructs.
+    // Parse, typecheck and evaluate a query that mixes most constructs,
+    // through the engine's one supported front door.
     let text = "let r = {(@1, @2)} union {(@2, @3)} union {(@3, @1)} in \
                 dcr(empty[(atom * atom)], \\y: atom. r, \
                     \\p: ({(atom * atom)} * {(atom * atom)}). pi1 p union pi2 p, \
                     ext(\\e: (atom * atom). {pi1 e} union {pi2 e}, r))";
-    let expr = surface::parse(text).expect("parses");
-    let ty = typecheck::typecheck_closed(&expr).expect("typechecks");
-    assert_eq!(ty, Type::binary_relation());
-    let mut ev = Evaluator::new(EvalConfig::default());
-    let value = ev.eval_closed(&expr).expect("evaluates");
+    let session = Session::new();
+    let prepared = session.prepare(text).expect("prepares");
+    assert_eq!(*prepared.ty(), Type::binary_relation());
+    let outcome = session.execute(&prepared).expect("evaluates");
     // dcr with the plain union combiner over the vertex set just reproduces r.
     assert_eq!(
-        value,
+        outcome.value,
         Value::relation_from_pairs(vec![(1, 2), (2, 3), (3, 1)])
     );
 }
