@@ -1,0 +1,37 @@
+//! E13 — prepare-time cost of the algebraic optimizer, and the execute-time
+//! payoff on a plan it rewrites.
+use criterion::{criterion_group, criterion_main, Criterion};
+use ncql_engine::{OptLevel, SessionBuilder};
+use ncql_queries::parity;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_optimizer");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    // A closed 128-element parity sits inside the const-fold budget, so the
+    // pair below measures both sides of the trade: `prepare` pays for the
+    // rewrite pass (fold included), `execute` is repaid with a trivial plan.
+    let atoms = ncql_object::Value::atom_set(0..128);
+    let query = parity::parity_dcr(ncql_core::expr::Expr::constant(atoms));
+    for (name, level) in [("raw", OptLevel::None), ("optimized", OptLevel::Default)] {
+        let session = SessionBuilder::new().opt_level(level).build();
+        group.bench_function(format!("prepare_{name}"), |b| {
+            b.iter(|| {
+                // A fresh text each iteration would defeat the plan cache;
+                // prepare_expr on a clone measures the uncached pipeline.
+                session.prepare_expr(query.clone()).unwrap()
+            })
+        });
+        let prepared = session.prepare_expr(query.clone()).unwrap();
+        group.bench_function(format!("execute_{name}"), |b| {
+            b.iter(|| session.execute(&prepared).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

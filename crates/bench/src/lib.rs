@@ -2,7 +2,7 @@
 //!
 //! The paper has no empirical tables (it is a theory paper); the "evaluation" we
 //! reproduce is the set of measurable claims listed in `DESIGN.md` §4 and
-//! `EXPERIMENTS.md` (E1–E12). Each `e*` function runs one experiment over a
+//! `EXPERIMENTS.md` (E1–E13). Each `e*` function runs one experiment over a
 //! parameter sweep and returns a [`Table`] of rows; the `report` binary prints
 //! every table, and the Criterion benches time the underlying operations.
 
@@ -15,6 +15,7 @@ use ncql_core::expr::Expr;
 use ncql_core::parallel::ParallelEvaluator;
 use ncql_core::wellformed::{CheckOptions, LawChecker};
 use ncql_core::{derived, EvalError};
+use ncql_engine::{OptLevel, SessionBuilder};
 use ncql_object::encoding::{decode, encode};
 use ncql_object::{Type, Value};
 use ncql_queries::{aggregates, datagen, graph, iterate, parity, powerset};
@@ -590,6 +591,61 @@ pub fn e12_wellformedness() -> Table {
     t
 }
 
+/// E13 — the algebraic optimizer over the differential corpus: for every
+/// query where at least one cost-gated rewrite fires, the static work bound
+/// and the measured work of the raw plan vs the rewritten plan, with the
+/// rules that fired. The rewritten numbers may only be equal or lower — the
+/// optimizer's gate refuses any rewrite whose predicted cost regresses.
+pub fn e13_optimizer() -> Table {
+    let mut t = Table::new(
+        "E13",
+        "Algebraic optimizer: static work bound and measured work, raw plan vs rewritten plan",
+        &[
+            "query",
+            "bound raw",
+            "bound opt",
+            "work raw",
+            "work opt",
+            "rules fired",
+        ],
+    );
+    let raw_session = SessionBuilder::new().opt_level(OptLevel::None).build();
+    let opt_session = SessionBuilder::new().opt_level(OptLevel::Default).build();
+    for entry in ncql_queries::corpus::differential_corpus() {
+        // A few corpus entries deliberately outrun the typechecker; the
+        // optimizer runs after typecheck and never sees them.
+        let Ok(raw) = raw_session.prepare_expr(entry.expr.clone()) else {
+            continue;
+        };
+        let opt = opt_session
+            .prepare_expr(entry.expr.clone())
+            .expect("typechecked raw plan must also prepare optimized");
+        if opt.rewrites().is_empty() {
+            continue;
+        }
+        let raw_out = raw_session.execute(&raw).expect("raw corpus execute");
+        let opt_out = opt_session.execute(&opt).expect("optimized corpus execute");
+        let bound = |q: &ncql_engine::PreparedQuery| {
+            q.analysis()
+                .cost
+                .work
+                .eval_closed()
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "∞".to_string())
+        };
+        let rules: Vec<&str> = opt.rewrites().iter().map(|f| f.rule).collect();
+        t.push_row(vec![
+            entry.name.to_string(),
+            bound(&raw),
+            bound(&opt),
+            raw_out.stats.work.to_string(),
+            opt_out.stats.work.to_string(),
+            rules.join(", "),
+        ]);
+    }
+    t
+}
+
 /// Run every experiment at small, CI-friendly sizes and return all tables.
 pub fn run_all_quick() -> Vec<Table> {
     vec![
@@ -606,6 +662,7 @@ pub fn run_all_quick() -> Vec<Table> {
         e10_uniformity(&[2, 3, 4]),
         e11_iteration_nesting(&[3, 7, 16]),
         e12_wellformedness(),
+        e13_optimizer(),
     ]
 }
 
@@ -671,6 +728,34 @@ pub fn check_shapes(tables: &[Table]) -> Result<(), String> {
             return Err(format!("E11 shape violated in row {row:?}"));
         }
     }
+    // E13: the optimizer fires somewhere, bounds and measured work never
+    // regress, and at least one query's static bound strictly improves.
+    let e13 = find("E13")?;
+    if e13.rows.is_empty() {
+        return Err("E13 shape violated: the optimizer fired on nothing".to_string());
+    }
+    let mut strict = 0usize;
+    for row in &e13.rows {
+        let num = |i: usize| row[i].parse::<u64>().ok();
+        if let (Some(br), Some(bo)) = (num(1), num(2)) {
+            if bo > br {
+                return Err(format!("E13 shape violated: bound regressed in {row:?}"));
+            }
+            if bo < br {
+                strict += 1;
+            }
+        }
+        if let (Some(wr), Some(wo)) = (num(3), num(4)) {
+            if wo > wr {
+                return Err(format!("E13 shape violated: work regressed in {row:?}"));
+            }
+        }
+    }
+    if strict < 3 {
+        return Err(format!(
+            "E13 shape violated: only {strict} strictly improved static bounds"
+        ));
+    }
     Ok(())
 }
 
@@ -681,7 +766,7 @@ mod tests {
     #[test]
     fn quick_experiments_run_and_have_expected_shapes() {
         let tables = run_all_quick();
-        assert_eq!(tables.len(), 13);
+        assert_eq!(tables.len(), 14);
         for t in &tables {
             assert!(!t.rows.is_empty(), "table {} is empty", t.id);
             for row in &t.rows {

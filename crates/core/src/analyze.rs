@@ -333,6 +333,52 @@ impl Poly {
     fn sample(&self) -> u64 {
         self.eval(&|_| Some(8)).expect("total lookup")
     }
+
+    /// Sound pointwise comparison: `true` guarantees `self(x) ≤ other(x)` at
+    /// **every** non-negative assignment `x`; `false` means "could not prove
+    /// it" (the check is incomplete, never unsound). The rewrite engine's
+    /// cost gate leans on this direction: a rewrite only fires on a proven
+    /// `≤`, so incompleteness can at worst suppress an optimisation.
+    ///
+    /// The certificate is a greedy matching: each monomial of `self` must be
+    /// charged against coefficient budget of `other`-monomials that dominate
+    /// it. `v^pb·log(v)^qb` dominates `v^pa·log(v)^qa` when `pb ≥ pa` and
+    /// `pb + qb ≥ pa + qa` (excess plain powers absorb log powers since
+    /// `log_rounds(v) ≤ v`, and `log_rounds(v) ≥ 1` for `v ≥ 1`). Domination
+    /// additionally requires *identical* variable support: a superset support
+    /// is unsound at assignments where the extra variable is 0 (the dominating
+    /// term vanishes while the dominated one does not).
+    pub fn le_pointwise(&self, other: &Poly) -> bool {
+        let mut budget: Vec<(&Monomial, u64)> = other.terms.iter().map(|(m, c)| (m, *c)).collect();
+        'terms: for (m, c) in &self.terms {
+            let mut need = *c;
+            for (bm, avail) in budget.iter_mut() {
+                if *avail == 0 || !monomial_dominates(bm, m) {
+                    continue;
+                }
+                let used = need.min(*avail);
+                *avail -= used;
+                need -= used;
+                if need == 0 {
+                    continue 'terms;
+                }
+            }
+            return false;
+        }
+        true
+    }
+}
+
+/// Does the monomial `big` dominate `small` at every non-negative assignment
+/// (see [`Poly::le_pointwise`] for the exact side conditions)?
+fn monomial_dominates(big: &Monomial, small: &Monomial) -> bool {
+    if big.len() != small.len() {
+        return false;
+    }
+    small.iter().all(|(v, &(pa, qa))| match big.get(v) {
+        Some(&(pb, qb)) => pb >= pa && (pb as u64) + (qb as u64) >= (pa as u64) + (qa as u64),
+        None => false,
+    })
 }
 
 /// A sound **lower** bound for `max(a, b)`: exact on constants, otherwise the
@@ -433,6 +479,11 @@ impl Bound {
     }
 
     /// Lifted sum.
+    ///
+    /// **Upper bounds only** (note the [`Poly::compact_upper`] coarsening —
+    /// see the floor-routing audit on [`CostBound`]). Floor polynomials are
+    /// plain [`Poly`]s and must stay on `Poly::add`/`Poly::mul` +
+    /// [`Poly::compact_lower`].
     pub fn add(&self, other: &Bound) -> Bound {
         match (self, other) {
             (Bound::Finite(a), Bound::Finite(b)) => Bound::Finite(a.add(b).compact_upper()),
@@ -446,7 +497,8 @@ impl Bound {
     }
 
     /// Lifted product. Zero absorbs `Unbounded`: iterating an opaque body
-    /// zero times costs nothing.
+    /// zero times costs nothing. **Upper bounds only** — same coarsening
+    /// caveat as [`Bound::add`].
     pub fn mul(&self, other: &Bound) -> Bound {
         if self.as_const() == Some(0) || other.as_const() == Some(0) {
             return Bound::constant(0);
@@ -462,6 +514,17 @@ impl Bound {
         match (self, other) {
             (Bound::Finite(a), Bound::Finite(b)) => Bound::Finite(a.join(b)),
             _ => Bound::Unbounded,
+        }
+    }
+
+    /// Sound pointwise comparison lifted from [`Poly::le_pointwise`]:
+    /// everything is `≤ Unbounded`, `Unbounded` is `≤` nothing finite.
+    /// Incomplete in the same proof-or-give-up sense.
+    pub fn le_pointwise(&self, other: &Bound) -> bool {
+        match (self, other) {
+            (_, Bound::Unbounded) => true,
+            (Bound::Unbounded, Bound::Finite(_)) => false,
+            (Bound::Finite(a), Bound::Finite(b)) => a.le_pointwise(b),
         }
     }
 
@@ -1901,6 +1964,33 @@ fn lint_pass(expr: &Expr, schema: &[(String, Type)], findings: &mut Vec<Finding>
 /// The symbolic cost bounds of one query, in the cardinalities of its free
 /// schema relations (a variable `r` in the rendered form reads as "the
 /// cardinality of relation `r`", e.g. `work <= 4*r + 3`).
+///
+/// # Floor-routing audit (coarsening directions)
+///
+/// The two `MAX_TERMS` compactions coarsen in *opposite* directions:
+/// [`Poly::compact_upper`] may only **grow** a polynomial (sound for the
+/// `work`/`span` upper bounds) and [`Poly::compact_lower`] may only
+/// **shrink** one (sound for the floors). An upper-coarsened floor would be
+/// unsound — it could push `work_floor_min` past a session's `max_work` and
+/// make deny-policy rejection (or the rewrite engine's cost gate) fire on
+/// queries that are actually fine. The invariants the abstract interpreter
+/// maintains, audited end to end:
+///
+/// * `work_floor`/`span_floor` (`Range::lo`) are plain [`Poly`]s and flow
+///   only through the exact, uncompacted `Poly::add`/`Poly::mul`/
+///   [`Poly::scale`] plus [`Poly::compact_lower`], `lower_max` and
+///   `lower_min` (which *select* an operand, never coarsen one).
+/// * [`Bound::add`]/[`Bound::mul`] and the `subst_bound` substitution path
+///   call [`Poly::compact_upper`] (and the monotone [`Poly::subst`], which
+///   is itself upper-only) — they are reachable **exclusively** from
+///   `Range::hi` upper bounds, never from floors.
+/// * Saturating coefficient arithmetic is sound in both directions: a
+///   saturated floor coefficient is `≤` the true sum (still a lower bound),
+///   and a saturated upper coefficient still dominates any measured
+///   `u64` cost.
+///
+/// The `compact_lower(p) ≤ p ≤ compact_upper(p)` sandwich is pinned under
+/// `MAX_TERMS` pressure by a proptest in `tests/bound_props.rs`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CostBound {
     /// Upper bound on `CostStats::work`.

@@ -464,6 +464,134 @@ impl Expr {
         ExprKind::Extern(name.into(), args).into()
     }
 
+    /// Rebuild this node with its immediate children replaced, keeping the
+    /// node's kind, span, binder names, and type annotations. The replacement
+    /// vector must supply exactly one expression per [`Expr::children`] entry,
+    /// in the same order — this is the write-side twin of that visitor, and
+    /// the rewrite engine's only way to reconstruct an ancestor spine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new.len()` differs from `self.children().len()`.
+    pub fn with_children(&self, new: Vec<Expr>) -> Expr {
+        let expected = self.children().len();
+        assert_eq!(
+            new.len(),
+            expected,
+            "with_children: node has {expected} children, got {}",
+            new.len()
+        );
+        if let ExprKind::Extern(name, _) = &self.kind {
+            return Expr {
+                kind: ExprKind::Extern(name.clone(), new),
+                span: self.span,
+            };
+        }
+        let mut it = new.into_iter();
+        let mut next = || Box::new(it.next().expect("arity checked above"));
+        let kind = match &self.kind {
+            ExprKind::Var(_)
+            | ExprKind::Unit
+            | ExprKind::Bool(_)
+            | ExprKind::Const(_)
+            | ExprKind::Empty(_) => self.kind.clone(),
+            ExprKind::Lam(x, ty, _) => ExprKind::Lam(x.clone(), ty.clone(), next()),
+            ExprKind::App(..) => ExprKind::App(next(), next()),
+            ExprKind::Pair(..) => ExprKind::Pair(next(), next()),
+            ExprKind::Eq(..) => ExprKind::Eq(next(), next()),
+            ExprKind::Leq(..) => ExprKind::Leq(next(), next()),
+            ExprKind::Union(..) => ExprKind::Union(next(), next()),
+            ExprKind::Ext(..) => ExprKind::Ext(next(), next()),
+            ExprKind::Let(x, ..) => ExprKind::Let(x.clone(), next(), next()),
+            ExprKind::Proj1(_) => ExprKind::Proj1(next()),
+            ExprKind::Proj2(_) => ExprKind::Proj2(next()),
+            ExprKind::Singleton(_) => ExprKind::Singleton(next()),
+            ExprKind::IsEmpty(_) => ExprKind::IsEmpty(next()),
+            ExprKind::If(..) => ExprKind::If(next(), next(), next()),
+            ExprKind::Dcr { .. } => ExprKind::Dcr {
+                e: next(),
+                f: next(),
+                u: next(),
+                arg: next(),
+            },
+            ExprKind::Sru { .. } => ExprKind::Sru {
+                e: next(),
+                f: next(),
+                u: next(),
+                arg: next(),
+            },
+            ExprKind::Sri { .. } => ExprKind::Sri {
+                e: next(),
+                i: next(),
+                arg: next(),
+            },
+            ExprKind::Esr { .. } => ExprKind::Esr {
+                e: next(),
+                i: next(),
+                arg: next(),
+            },
+            ExprKind::BDcr { .. } => ExprKind::BDcr {
+                e: next(),
+                f: next(),
+                u: next(),
+                bound: next(),
+                arg: next(),
+            },
+            ExprKind::BSri { .. } => ExprKind::BSri {
+                e: next(),
+                i: next(),
+                bound: next(),
+                arg: next(),
+            },
+            ExprKind::LogLoop { .. } => ExprKind::LogLoop {
+                f: next(),
+                set: next(),
+                init: next(),
+            },
+            ExprKind::Loop { .. } => ExprKind::Loop {
+                f: next(),
+                set: next(),
+                init: next(),
+            },
+            ExprKind::BLogLoop { .. } => ExprKind::BLogLoop {
+                f: next(),
+                bound: next(),
+                set: next(),
+                init: next(),
+            },
+            ExprKind::BLoop { .. } => ExprKind::BLoop {
+                f: next(),
+                bound: next(),
+                set: next(),
+                init: next(),
+            },
+            ExprKind::Extern(..) => unreachable!("Extern handled above"),
+        };
+        debug_assert!(it.next().is_none(), "with_children: arity checked above");
+        Expr {
+            kind,
+            span: self.span,
+        }
+    }
+
+    /// `f(arg)` with the administrative redex removed when `f` is a literal
+    /// λ-abstraction: `(λx. b)(arg)` becomes `let x = arg in b`, anything else
+    /// stays an [`ExprKind::App`]. The evaluator charges `Let` and
+    /// `App`+`Lam` identically (one unit for the binding), but the `let` form
+    /// keeps generated plans readable and gives the rewrite rules one shared
+    /// way to compose function bodies without substitution.
+    pub fn apply_lam(f: Expr, arg: Expr) -> Expr {
+        match f.kind {
+            ExprKind::Lam(x, _, body) => {
+                let span = f.span;
+                let mut e = Expr::let_in(x, arg, *body);
+                e.span = span;
+                e
+            }
+            kind => Expr::app(Expr { kind, span: f.span }, arg),
+        }
+    }
+
     /// Number of AST nodes (used by tests and the translation-overhead reports).
     pub fn size(&self) -> usize {
         let mut n = 0;

@@ -32,6 +32,10 @@
 //!   model, with the `dcr` combining tree contributing a log factor to the
 //!   span), a guaranteed work floor for rejecting doomed queries, and a
 //!   span-aware lint pass.
+//! * [`rewrite`] — the algebraic optimizer: a fixpoint rewrite engine
+//!   (constant folding, ext-fusion, filter pushdown, common-subexpression
+//!   hoisting) whose every rewrite is gated by the [`analyze`] cost model so
+//!   a plan's work/span guarantee can only improve.
 //! * [`wellformed`] — the bounded checker for the algebraic preconditions
 //!   (associativity, commutativity, identity) of `dcr`/`sru` instances; the
 //!   general problem is Π⁰₁-complete (§2), so the checker works over a finite
@@ -50,6 +54,7 @@ pub mod eval;
 pub mod expr;
 pub mod externs;
 pub mod parallel;
+pub mod rewrite;
 pub mod span;
 pub mod typecheck;
 pub mod wellformed;
@@ -59,6 +64,7 @@ pub use error::{EvalError, TypeError, TypeErrorKind};
 pub use eval::{CostStats, EvalConfig, Evaluator};
 pub use expr::{Expr, ExprKind};
 pub use parallel::{eval_parallel, normalize_parallelism, parallelism_from_env, ParallelEvaluator};
+pub use rewrite::{optimize, FiredRewrite, OptLevel, RewriteOutcome};
 pub use span::Span;
 pub use typecheck::{typecheck, typecheck_closed, TypeEnv};
 

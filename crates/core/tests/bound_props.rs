@@ -10,7 +10,7 @@
 //! against many concrete cardinalities — the "analyse once, execute many"
 //! contract the engine relies on.
 
-use ncql_core::analyze::{analyze_query, QueryAnalysis};
+use ncql_core::analyze::{analyze_query, Poly, QueryAnalysis};
 use ncql_core::eval::{eval_with_stats, CostStats, EvalConfig, Evaluator};
 use ncql_core::expr::Expr;
 use ncql_core::externs::ExternRegistry;
@@ -153,6 +153,115 @@ proptest! {
         });
         par_ev.eval_closed(&q).expect("parallel eval");
         assert_covers(&analysis, &par_ev.stats(), &|_| None, &format!("shape {shape} (parallel)"));
+    }
+
+    #[test]
+    fn compaction_sandwiches_the_exact_polynomial(
+        coeffs in proptest::collection::vec(1u64..6, 36..48),
+        vals in proptest::collection::vec(0u64..30, 12..13),
+    ) {
+        // Build a polynomial with more distinct monomials than `MAX_TERMS`
+        // (32), mixing linear, quadratic, mixed and log-carrying terms, so
+        // both compaction directions actually coarsen. The audit contract:
+        // `compact_lower` may only shrink and `compact_upper` may only grow —
+        // the exact polynomial is sandwiched at every evaluation point.
+        let mut exact = Poly::zero();
+        for (i, c) in coeffs.iter().enumerate() {
+            let v = Poly::var(&format!("x{}", i % 12));
+            let term = match i % 4 {
+                0 => v,
+                1 => v.mul(&v),
+                2 => v.mul(&Poly::log_var(&format!("x{}", i % 12))),
+                _ => v.mul(&Poly::var(&format!("x{}", (i + 1) % 12))),
+            };
+            exact = exact.add(&term.scale(*c));
+        }
+        let upper = exact.clone().compact_upper();
+        let lower = exact.clone().compact_lower();
+        let lookup = |name: &str| {
+            name.strip_prefix('x')
+                .and_then(|i| i.parse::<usize>().ok())
+                .map(|i| vals[i % vals.len()])
+        };
+        let at = exact.eval(&lookup).expect("exact is finite");
+        let hi = upper.eval(&lookup).expect("upper stays finite");
+        let lo = lower.eval(&lookup).expect("lower stays finite");
+        prop_assert!(lo <= at, "compact_lower grew the polynomial: {lo} > {at}");
+        prop_assert!(at <= hi, "compact_upper shrank the polynomial: {at} > {hi}");
+    }
+
+    #[test]
+    fn pointwise_le_is_sound(
+        base in proptest::collection::vec((0u64..8, 1u64..5), 1..10),
+        extra in proptest::collection::vec((0u64..8, 1u64..5), 0..6),
+        vals in proptest::collection::vec(0u64..40, 8..9),
+    ) {
+        // `le_pointwise` drives the optimizer's cost gate; it may refuse a
+        // true inequality (incomplete) but must never affirm a false one.
+        let build = |terms: &[(u64, u64)]| {
+            let mut p = Poly::zero();
+            for (var, coeff) in terms {
+                let v = Poly::var(&format!("x{}", var % 8));
+                let term = if var % 2 == 0 { v.clone() } else { v.mul(&v) };
+                p = p.add(&term.scale(*coeff));
+            }
+            p
+        };
+        let a = build(&base);
+        let b = a.add(&build(&extra));
+        // Adding terms can only grow the polynomial, and every monomial of
+        // `a` survives in `b` with an equal-or-larger coefficient, so the
+        // greedy matcher must find the witness.
+        prop_assert!(a.le_pointwise(&b), "le_pointwise missed {a} <= {b}");
+        // Soundness on arbitrary pairs: whenever the comparison affirms,
+        // numeric evaluation agrees at every sampled point.
+        let c = build(&extra);
+        for (p, q) in [(&a, &b), (&a, &c), (&c, &a), (&b, &c)] {
+            if p.le_pointwise(q) {
+                let lookup = |name: &str| {
+                    name.strip_prefix('x')
+                        .and_then(|i| i.parse::<usize>().ok())
+                        .map(|i| vals[i % vals.len()])
+                };
+                let pv = p.eval(&lookup).expect("finite");
+                let qv = q.eval(&lookup).expect("finite");
+                prop_assert!(pv <= qv, "le_pointwise affirmed {p} <= {q} but {pv} > {qv}");
+            }
+        }
+    }
+
+    #[test]
+    fn floors_stay_sound_at_max_terms_pressure(
+        card_seed in proptest::collection::vec(0u64..6, 40..41),
+    ) {
+        // A query over 40 distinct schema relations gives the analyser more
+        // monomials than `MAX_TERMS` can hold, forcing both coarsening
+        // directions; the floor ≤ measured ≤ bound sandwich must survive.
+        let mut arg = Expr::var("r0");
+        for i in 1..40 {
+            arg = Expr::union(arg, Expr::var(format!("r{i}")));
+        }
+        let q = Expr::ext(
+            Expr::lam("x", Type::Base, Expr::singleton(Expr::var("x"))),
+            arg,
+        );
+        let schema: Vec<(String, Type)> = (0..40)
+            .map(|i| (format!("r{i}"), Type::set(Type::Base)))
+            .collect();
+        let analysis = analyze_query(&q, &schema, &ExternRegistry::standard());
+        let bindings: Vec<(String, Value)> = card_seed
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (format!("r{i}"), Value::atom_set(i as u64 * 10..i as u64 * 10 + n)))
+            .collect();
+        let mut ev = Evaluator::new(EvalConfig::default());
+        ev.eval_with_bindings(&q, &bindings).expect("open eval");
+        let lookup = |name: &str| {
+            name.strip_prefix('r')
+                .and_then(|i| i.parse::<usize>().ok())
+                .map(|i| card_seed[i])
+        };
+        assert_covers(&analysis, &ev.stats(), &lookup, "40-relation union");
     }
 
     #[test]

@@ -76,3 +76,7 @@ pub use session::{CacheMetrics, LintPolicy, Session, SessionBuilder, DEFAULT_CAC
 // The static-analysis vocabulary of `PreparedQuery::analysis`, re-exported so
 // engine consumers need not depend on the core crate directly.
 pub use ncql_core::analyze::{Bound, CostBound, Finding, Lint, QueryAnalysis, Severity};
+
+// The optimizer vocabulary of `SessionBuilder::opt_level` /
+// `PreparedQuery::rewrites`, re-exported for the same reason.
+pub use ncql_core::rewrite::{FiredRewrite, OptLevel};

@@ -3,7 +3,8 @@
 use crate::diagnostics::Diagnostic;
 use ncql_core::eval::CostStats;
 use ncql_core::expr::Expr;
-use ncql_core::QueryAnalysis;
+use ncql_core::rewrite::{FiredRewrite, OptLevel};
+use ncql_core::{CostBound, QueryAnalysis};
 use ncql_object::{Type, Value};
 use std::fmt;
 use std::sync::Arc;
@@ -27,11 +28,28 @@ pub(crate) struct PreparedPlan {
     /// The ACᵏ level predicted by Theorems 6.1/6.2 (`max(1, depth)`).
     pub(crate) ac_level: usize,
     /// The pretty-printed normal form of the query (the parser/printer
-    /// fixpoint the round-trip suite pins down).
+    /// fixpoint the round-trip suite pins down). Always printed from the
+    /// *raw* typed AST, so it re-parses to the plan the user wrote even when
+    /// the optimizer rewrote what executes.
     pub(crate) normal_form: String,
-    /// The prepare-time static analysis: symbolic work/span bounds and lint
-    /// findings. Computed once per plan, shared by every handle.
+    /// The pretty-printed form of the plan that actually executes (equal to
+    /// `normal_form` when no rewrite fired). May contain optimizer-generated
+    /// `%`-prefixed binders and constant literals the surface grammar cannot
+    /// re-parse — this is a display form, not a round-trip form.
+    pub(crate) optimized_form: String,
+    /// The prepare-time static analysis: symbolic work/span bounds of the
+    /// *executing* (possibly rewritten) plan and lint findings of the *raw*
+    /// expression. Computed once per plan, shared by every handle.
     pub(crate) analysis: QueryAnalysis,
+    /// The optimizer level the plan was prepared under.
+    pub(crate) opt_level: OptLevel,
+    /// Every cost-gate-accepted rewrite, in firing order (empty at
+    /// [`OptLevel::None`] or when nothing fired).
+    pub(crate) rewrites: Vec<FiredRewrite>,
+    /// The raw expression's cost bounds, kept only when at least one rewrite
+    /// fired (`None` means the executing plan *is* the raw plan, so
+    /// [`PreparedQuery::analysis`] already bounds it).
+    pub(crate) cost_before: Option<CostBound>,
 }
 
 /// A query that has been parsed, type-checked and analysed once, ready to be
@@ -59,9 +77,40 @@ impl PreparedQuery {
         self.plan.ac_level
     }
 
-    /// The pretty-printed normal form of the query.
+    /// The pretty-printed normal form of the query, printed from the raw
+    /// typed AST: it re-parses to an equivalent plan regardless of what the
+    /// optimizer did. See [`PreparedQuery::optimized_form`] for the plan that
+    /// actually executes.
     pub fn normal_form(&self) -> &str {
         &self.plan.normal_form
+    }
+
+    /// The pretty-printed form of the plan the session will execute. Equal to
+    /// [`PreparedQuery::normal_form`] when no rewrite fired; a rewritten plan
+    /// may mention optimizer-generated `%`-prefixed binders and folded
+    /// constants, so this is a display form — it is not guaranteed to
+    /// re-parse.
+    pub fn optimized_form(&self) -> &str {
+        &self.plan.optimized_form
+    }
+
+    /// The optimizer level the plan was prepared under.
+    pub fn opt_level(&self) -> OptLevel {
+        self.plan.opt_level
+    }
+
+    /// Every rewrite the cost gate accepted while preparing this plan, in
+    /// firing order. Empty at [`OptLevel::None`] or when nothing fired.
+    pub fn rewrites(&self) -> &[FiredRewrite] {
+        &self.plan.rewrites
+    }
+
+    /// The *raw* expression's symbolic cost bounds, when at least one rewrite
+    /// fired — compare against [`PreparedQuery::analysis`]'s cost (which
+    /// describes the executing plan) to see what the optimizer bought.
+    /// `None` means the executing plan is the raw plan.
+    pub fn raw_cost(&self) -> Option<&CostBound> {
+        self.plan.cost_before.as_ref()
     }
 
     /// The abstract syntax the session will evaluate.

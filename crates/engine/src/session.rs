@@ -7,6 +7,7 @@ use ncql_core::eval::{CostStats, EvalConfig, Evaluator};
 use ncql_core::expr::Expr;
 use ncql_core::externs::ExternRegistry;
 use ncql_core::parallel::{normalize_parallelism, ParallelEvaluator};
+use ncql_core::rewrite::{optimize_analyzed, OptLevel};
 use ncql_core::typecheck::{infer, value_type, TypeEnv};
 use ncql_core::{analysis, analyze_query, EvalError, Finding, Lint};
 use ncql_object::{ObjectError, Type, Value};
@@ -33,16 +34,27 @@ pub enum LintPolicy {
 }
 
 /// Cache key of a prepared plan: the exact query text, the schema it was
-/// checked under, and the registry fingerprint the front end depended on.
+/// checked under, the registry fingerprint the front end depended on, and the
+/// optimizer configuration the plan was rewritten under. The optimizer level
+/// is part of the key because two sessions differing only in [`OptLevel`]
+/// produce *different* plans for the same text — sharing one cache entry
+/// would serve a rewritten plan to a session that asked for the raw AST (or
+/// vice versa).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct PlanKey {
     text: String,
     schema: Vec<(String, String)>,
     registry_fingerprint: u64,
+    opt_level: OptLevel,
 }
 
 impl PlanKey {
-    fn new(text: &str, schema: &[(String, Type)], registry_fingerprint: u64) -> PlanKey {
+    fn new(
+        text: &str,
+        schema: &[(String, Type)],
+        registry_fingerprint: u64,
+        opt_level: OptLevel,
+    ) -> PlanKey {
         PlanKey {
             text: text.to_string(),
             schema: schema
@@ -50,6 +62,7 @@ impl PlanKey {
                 .map(|(name, ty)| (name.clone(), ty.to_string()))
                 .collect(),
             registry_fingerprint,
+            opt_level,
         }
     }
 }
@@ -87,6 +100,7 @@ pub struct SessionBuilder {
     config: EvalConfig,
     cache_capacity: usize,
     lint_policy: LintPolicy,
+    opt_level: OptLevel,
 }
 
 impl Default for SessionBuilder {
@@ -104,6 +118,7 @@ impl SessionBuilder {
             config: EvalConfig::default(),
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             lint_policy: LintPolicy::default(),
+            opt_level: OptLevel::default(),
         }
     }
 
@@ -114,8 +129,9 @@ impl SessionBuilder {
     /// session's persistent work-stealing pool when it should differ from
     /// `NCQL_PARALLELISM` (e.g. an oversubscribed pool on a small machine —
     /// the CI matrix runs one such leg). `NCQL_LINT=deny` (or `warn`) sets
-    /// the [`LintPolicy`]. Unset, empty or unparseable variables leave the
-    /// defaults untouched.
+    /// the [`LintPolicy`], and `NCQL_OPT=0` (or `none`/`off`) disables the
+    /// algebraic optimizer (`1`/`default`/`on` restore it). Unset, empty or
+    /// unparseable variables leave the defaults untouched.
     pub fn from_env() -> SessionBuilder {
         let mut builder = SessionBuilder::new();
         if let Ok(raw) = std::env::var("NCQL_PARALLELISM") {
@@ -137,6 +153,13 @@ impl SessionBuilder {
             match raw.trim() {
                 "deny" => builder.lint_policy = LintPolicy::Deny,
                 "warn" => builder.lint_policy = LintPolicy::Warn,
+                _ => {}
+            }
+        }
+        if let Ok(raw) = std::env::var("NCQL_OPT") {
+            match raw.trim() {
+                "0" | "none" | "off" => builder.opt_level = OptLevel::None,
+                "1" | "default" | "on" => builder.opt_level = OptLevel::Default,
                 _ => {}
             }
         }
@@ -222,11 +245,22 @@ impl SessionBuilder {
         self
     }
 
+    /// How hard `prepare` tries to optimize a plan: [`OptLevel::Default`]
+    /// runs the cost-gated algebraic rewriter of `ncql_core::rewrite` between
+    /// typecheck and the cache insert; [`OptLevel::None`] keeps the raw typed
+    /// AST (useful for debugging, differential testing, and pinning plans
+    /// whose diagnostics must match the source text node for node).
+    pub fn opt_level(mut self, level: OptLevel) -> SessionBuilder {
+        self.opt_level = level;
+        self
+    }
+
     /// Build the session.
     pub fn build(self) -> Session {
         Session {
             config: self.config,
             lint_policy: self.lint_policy,
+            opt_level: self.opt_level,
             registry_fingerprint: OnceLock::new(),
             pool: OnceLock::new(),
             cache: ShardedLru::new(self.cache_capacity),
@@ -259,6 +293,7 @@ impl SessionBuilder {
 pub struct Session {
     config: EvalConfig,
     lint_policy: LintPolicy,
+    opt_level: OptLevel,
     /// Computed lazily on the first `prepare`: pure-evaluation sessions (the
     /// corpus shim, the benches' trusted-AST path) never pay the hash.
     registry_fingerprint: OnceLock<u64>,
@@ -300,6 +335,12 @@ impl Session {
     /// The session's lint policy: what deny-level findings do at prepare.
     pub fn lint_policy(&self) -> LintPolicy {
         self.lint_policy
+    }
+
+    /// The session's optimizer level: whether `prepare` runs the cost-gated
+    /// algebraic rewriter on each plan.
+    pub fn opt_level(&self) -> OptLevel {
+        self.opt_level
     }
 
     /// The backend this session dispatches to.
@@ -353,7 +394,7 @@ impl Session {
         text: &str,
         schema: &[(String, Type)],
     ) -> Result<PreparedQuery, Error> {
-        let key = PlanKey::new(text, schema, self.registry_fingerprint());
+        let key = PlanKey::new(text, schema, self.registry_fingerprint(), self.opt_level);
         if let Some(plan) = self.cache.get(&key) {
             // The findings were computed with the plan and live on it, so a
             // deny policy also rejects cache hits — the cache amortizes the
@@ -395,8 +436,20 @@ impl Session {
     }
 
     /// The front end minus parsing: typecheck against the session registry
-    /// under the declared schema, recursion-depth analysis, static cost/lint
+    /// under the declared schema, the cost-gated algebraic rewriter (at
+    /// [`OptLevel::Default`]), recursion-depth analysis, static cost/lint
     /// analysis, normal form.
+    ///
+    /// Provenance of the stored analysis is deliberately split. The *lint
+    /// findings* come from the raw expression, so their spans and messages
+    /// describe the source text the user wrote (an unused binding the
+    /// optimizer folds away is still the user's unused binding, and a rewrite
+    /// can never introduce a syntactic finding the user cannot see). The
+    /// *cost bounds* — and the doomed-work check below — come from the
+    /// rewritten plan, because that is the plan the session executes:
+    /// [`PreparedQuery::analysis`] must bound what `execute` will actually
+    /// charge, and a query the optimizer made feasible must not be rejected
+    /// for the raw plan's floor.
     fn analyze(
         &self,
         source: Option<String>,
@@ -408,12 +461,32 @@ impl Session {
             env = env.extend(name.clone(), ty.clone());
         }
         let ty = infer(&env, &self.config.registry, &expr)?;
-        let mut query_analysis = analyze_query(&expr, schema, &self.config.registry);
+        let raw_analysis = analyze_query(&expr, schema, &self.config.registry);
+        let normal_form = ncql_surface::print_expr(&expr);
+        // Like the findings, the §3 recursion depth and ACᵏ level classify
+        // the query the user wrote — folding a closed `dcr` to a constant
+        // does not change which uniform circuit family the query names.
+        let depth = analysis::recursion_depth(&expr);
+        let ac_level = analysis::ac_level(&expr);
+        let (expr, mut query_analysis, rewrites, cost_before) = match self.opt_level {
+            OptLevel::None => (expr, raw_analysis, Vec::new(), None),
+            OptLevel::Default => {
+                // Keep the raw expression's findings: syntactic lints must
+                // describe the source text, not the rewritten plan.
+                let raw_findings = raw_analysis.findings.clone();
+                let outcome = optimize_analyzed(&expr, schema, &self.config, raw_analysis);
+                let mut stored = outcome.analysis;
+                let cost_before = (!outcome.fired.is_empty()).then_some(outcome.cost_before);
+                stored.findings = raw_findings;
+                (outcome.expr, stored, outcome.fired, cost_before)
+            }
+        };
         // The doomed-query check needs the session's work limit, which the
         // core analyser does not know: a work *floor* above `max_work` means
         // every evaluation is guaranteed to abort with `WorkLimitExceeded`,
         // however the schema relations are bound (the floor is the
-        // all-cardinalities-zero minimum).
+        // all-cardinalities-zero minimum). It runs on the rewritten plan's
+        // floor — the cost the session will actually pay.
         let floor = query_analysis.cost.work_floor_min();
         if floor > self.config.max_work {
             query_analysis.findings.push(Finding {
@@ -431,10 +504,14 @@ impl Session {
             source,
             ty,
             schema: schema.to_vec(),
-            depth: analysis::recursion_depth(&expr),
-            ac_level: analysis::ac_level(&expr),
-            normal_form: ncql_surface::print_expr(&expr),
+            depth,
+            ac_level,
+            optimized_form: ncql_surface::print_expr(&expr),
+            normal_form,
             analysis: query_analysis,
+            opt_level: self.opt_level,
+            rewrites,
+            cost_before,
             expr,
         })
     }
@@ -606,6 +683,57 @@ mod tests {
         assert_send_sync::<Session>();
         assert_send_sync::<PreparedQuery>();
         assert_send_sync::<Outcome>();
+    }
+
+    #[test]
+    fn plan_keys_distinguish_optimizer_levels() {
+        // Regression: the cache key must carry the optimizer configuration.
+        // Two sessions (or one session whose configuration is later made
+        // mutable, like `set_registry`) differing only in `OptLevel` produce
+        // different plans for the same text; a key that ignored the level
+        // would let one serve the other's plan.
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let raw = PlanKey::new("{@1} union {@2}", &[], 7, OptLevel::None);
+        let opt = PlanKey::new("{@1} union {@2}", &[], 7, OptLevel::Default);
+        assert_ne!(raw, opt);
+        let digest = |key: &PlanKey| {
+            let mut hasher = DefaultHasher::new();
+            key.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_ne!(digest(&raw), digest(&opt));
+    }
+
+    #[test]
+    fn optimizer_runs_by_default_and_none_disables_it() {
+        // The duplicated-operand union is closed, so the default level folds
+        // it; `OptLevel::None` must leave the raw AST untouched.
+        let text = "{@1} union {@2} union {@1}";
+        let optimized = Session::new().prepare(text).unwrap();
+        assert_eq!(optimized.opt_level(), OptLevel::Default);
+        assert!(!optimized.rewrites().is_empty());
+        assert!(optimized.raw_cost().is_some());
+        let raw = Session::builder()
+            .opt_level(OptLevel::None)
+            .build()
+            .prepare(text)
+            .unwrap();
+        assert_eq!(raw.opt_level(), OptLevel::None);
+        assert!(raw.rewrites().is_empty());
+        assert!(raw.raw_cost().is_none());
+        assert_eq!(raw.optimized_form(), raw.normal_form());
+        assert_ne!(optimized.optimized_form(), optimized.normal_form());
+        // The two plans agree on the value, and the optimized plan never
+        // measures more work.
+        let opt_out = Session::new().run(text).unwrap();
+        let raw_out = Session::builder()
+            .opt_level(OptLevel::None)
+            .build()
+            .run(text)
+            .unwrap();
+        assert_eq!(opt_out.value, raw_out.value);
+        assert!(opt_out.stats.work <= raw_out.stats.work);
     }
 
     #[test]

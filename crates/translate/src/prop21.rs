@@ -17,33 +17,37 @@ use ncql_core::derived;
 use ncql_core::expr::{fresh_var, Expr};
 use ncql_object::Type;
 
-/// Translate `dcr(e, f, u)(arg)` into the equivalent `esr` expression.
-/// `elem_ty` is the element type of `arg`, `acc_ty` the accumulator type `t`.
-pub fn dcr_via_esr(e: Expr, f: Expr, u: Expr, arg: Expr, elem_ty: Type, acc_ty: Type) -> Expr {
+/// The combining step shared by all three `{dcr, sru} → {esr, sri}`
+/// translations: `λ(x, y). u(f(x), y)` over a fresh pair binder of type
+/// `elem_ty × acc_ty`. Administrative redexes are removed with
+/// [`Expr::apply_lam`] when `f` or `u` are literal λ-abstractions, so
+/// translated plans print as `let`-chains instead of towers of immediately
+/// applied lambdas — the same normal shape the algebraic rewriter produces.
+pub fn combine_step(f: Expr, u: Expr, elem_ty: Type, acc_ty: Type) -> Expr {
     let x = fresh_var("x");
     let y = fresh_var("y");
-    let step = Expr::lam2(
+    Expr::lam2(
         x.clone(),
         y.clone(),
         Type::prod(elem_ty, acc_ty),
-        Expr::app(u, Expr::pair(Expr::app(f, Expr::var(x)), Expr::var(y))),
-    );
-    Expr::esr(e, step, arg)
+        Expr::apply_lam(
+            u,
+            Expr::pair(Expr::apply_lam(f, Expr::var(x)), Expr::var(y)),
+        ),
+    )
+}
+
+/// Translate `dcr(e, f, u)(arg)` into the equivalent `esr` expression.
+/// `elem_ty` is the element type of `arg`, `acc_ty` the accumulator type `t`.
+pub fn dcr_via_esr(e: Expr, f: Expr, u: Expr, arg: Expr, elem_ty: Type, acc_ty: Type) -> Expr {
+    Expr::esr(e, combine_step(f, u, elem_ty, acc_ty), arg)
 }
 
 /// Translate `sru(e, f, u)(arg)` into the equivalent `sri` expression (valid
 /// because `sru` requires `u` idempotent, which gives the i-idempotence `sri`
 /// needs).
 pub fn sru_via_sri(e: Expr, f: Expr, u: Expr, arg: Expr, elem_ty: Type, acc_ty: Type) -> Expr {
-    let x = fresh_var("x");
-    let y = fresh_var("y");
-    let step = Expr::lam2(
-        x.clone(),
-        y.clone(),
-        Type::prod(elem_ty, acc_ty),
-        Expr::app(u, Expr::pair(Expr::app(f, Expr::var(x)), Expr::var(y))),
-    );
-    Expr::sri(e, step, arg)
+    Expr::sri(e, combine_step(f, u, elem_ty, acc_ty), arg)
 }
 
 /// Translate `esr(e, i)(arg)` into the equivalent `sri` expression: the
@@ -81,14 +85,7 @@ pub fn esr_via_sri(e: Expr, i: Expr, arg: Expr, elem_ty: Type, acc_ty: Type) -> 
 /// Translate `dcr(e, f, u)(arg)` all the way down to `sri` (composition of the
 /// two translations above).
 pub fn dcr_via_sri(e: Expr, f: Expr, u: Expr, arg: Expr, elem_ty: Type, acc_ty: Type) -> Expr {
-    let x = fresh_var("x");
-    let y = fresh_var("y");
-    let step = Expr::lam2(
-        x.clone(),
-        y.clone(),
-        Type::prod(elem_ty.clone(), acc_ty.clone()),
-        Expr::app(u, Expr::pair(Expr::app(f, Expr::var(x)), Expr::var(y))),
-    );
+    let step = combine_step(f, u, elem_ty.clone(), acc_ty.clone());
     esr_via_sri(e, step, arg, elem_ty, acc_ty)
 }
 

@@ -15,11 +15,17 @@
 //! Prefixing the query with `:analyze` prints the symbolic work/span bounds
 //! and the findings without executing anything.
 //!
+//! Optimizer: `prepare` runs the cost-gated algebraic rewriter by default;
+//! `NCQL_OPT=0` disables it. Prefixing the query with `:optimize` prints the
+//! raw and rewritten ASTs, the fired rules, and the before/after symbolic
+//! bounds without executing anything.
+//!
 //! Examples:
 //!
 //! ```text
 //! cargo run --example query_repl -- "nat_add(20, 22)"
 //! cargo run --example query_repl -- ":analyze ext(\x: atom. {x}, {@1} union {@2})"
+//! cargo run --example query_repl -- ":optimize {@1} union {@2} union {@1}"
 //! cargo run --example query_repl -- --parallel 4 \
 //!   "dcr(empty[(atom * atom)], \y: atom. {(@1,@2)} union {(@2,@3)}, \
 //!        \p: ({(atom*atom)} * {(atom*atom)}). pi1 p union pi2 p, {@1} union {@2})"
@@ -75,14 +81,19 @@ fn main() {
     let text = text.trim();
     if text.is_empty() {
         eprintln!(
-            "usage: query_repl [--parallel N] [--lint] \"[:analyze] <query>\"   \
+            "usage: query_repl [--parallel N] [--lint] \"[:analyze|:optimize] <query>\"   \
              (or pipe a query on stdin)"
         );
         std::process::exit(2);
     }
 
-    // `:analyze <query>` prints the static analysis and skips execution.
+    // `:analyze <query>` prints the static analysis and skips execution;
+    // `:optimize <query>` prints the before/after plan and bounds instead.
     let (analyze_only, text) = match text.strip_prefix(":analyze") {
+        Some(rest) => (true, rest.trim()),
+        None => (false, text),
+    };
+    let (optimize_only, text) = match text.strip_prefix(":optimize") {
         Some(rest) => (true, rest.trim()),
         None => (false, text),
     };
@@ -96,6 +107,25 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if optimize_only {
+        // Before/after view of what the session's optimizer did to the plan.
+        println!("raw plan    : {}", prepared.normal_form());
+        if let Some(raw_cost) = prepared.raw_cost() {
+            println!("raw cost    : {raw_cost}");
+        }
+        for fired in prepared.rewrites() {
+            println!("fired       : [{}] {}", fired.rule, fired.description);
+        }
+        if prepared.rewrites().is_empty() {
+            println!(
+                "fired       : nothing (opt level {}; the plan is already normal)",
+                prepared.opt_level()
+            );
+        }
+        println!("plan        : {}", prepared.optimized_form());
+        println!("static cost : {}", prepared.analysis().cost);
+        return;
+    }
     println!("parsed      : {}", prepared.normal_form());
     println!("type        : {}", prepared.ty());
     println!(

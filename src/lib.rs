@@ -11,6 +11,6 @@ pub use ncql_translate as translate;
 
 pub use ncql_core::Span;
 pub use ncql_engine::{
-    Backend, Bound, CacheMetrics, CostBound, Diagnostic, Error, Finding, Lint, LintPolicy, Outcome,
-    PreparedQuery, QueryAnalysis, Session, SessionBuilder, Severity,
+    Backend, Bound, CacheMetrics, CostBound, Diagnostic, Error, Finding, FiredRewrite, Lint,
+    LintPolicy, OptLevel, Outcome, PreparedQuery, QueryAnalysis, Session, SessionBuilder, Severity,
 };

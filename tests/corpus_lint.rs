@@ -48,3 +48,40 @@ fn corpus_prepares_under_a_deny_session() {
         "only {prepared} corpus queries prepared under the deny policy"
     );
 }
+
+#[test]
+fn corpus_stays_deny_clean_under_the_optimizer() {
+    // The optimizer must not manufacture lint rejections: findings describe
+    // the query as written (they are computed from the raw AST), so a session
+    // that both optimizes and denies behaves exactly like the plain deny
+    // session on the corpus — while still rewriting the plans it prepares.
+    let session = SessionBuilder::new()
+        .lint_policy(LintPolicy::Deny)
+        .opt_level(ncql::OptLevel::Default)
+        .build();
+    let mut prepared = 0usize;
+    let mut fired = 0usize;
+    for entry in differential_corpus() {
+        match session.prepare_expr(entry.expr.clone()) {
+            Ok(q) => {
+                prepared += 1;
+                fired += q.rewrites().len();
+            }
+            Err(Error::Lint { message, .. }) => {
+                panic!(
+                    "{}: the optimizer introduced a deny-policy rejection: {message}",
+                    entry.name
+                )
+            }
+            Err(_) => {}
+        }
+    }
+    assert!(
+        prepared >= 40,
+        "only {prepared} corpus queries prepared under deny + optimizer"
+    );
+    assert!(
+        fired > 0,
+        "the optimizing deny session never rewrote anything — the level is not wired"
+    );
+}

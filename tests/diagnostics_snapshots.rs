@@ -147,9 +147,15 @@ fn set_too_large_snapshot() {
 fn work_limit_snapshot() {
     // A 3-op budget is exhausted while the caller is still descending into
     // the query prefix — long before any parallel region can open — so the
-    // caret is identical on the sequential and pooled backends.
+    // caret is identical on the sequential and pooled backends. The optimizer
+    // is pinned off: this snapshot pins the *raw* plan's failure site (the
+    // optimizer would fold the closed union and move the caret — see
+    // `work_limit_inside_folded_region_snapshot` for the optimized shape).
     let text = "{@1} union {@2}";
-    let session = builder().max_work(3).build();
+    let session = builder()
+        .max_work(3)
+        .opt_level(ncql::OptLevel::None)
+        .build();
     let err = session.run(text).unwrap_err();
     assert!(matches!(
         err,
@@ -163,6 +169,73 @@ fn work_limit_snapshot() {
             "  |",
             "1 | {@1} union {@2}",
             "  |            ^^^^",
+        ],
+    );
+}
+
+#[test]
+fn set_too_large_inside_fused_region_snapshot() {
+    // The optimizer fuses the nested maps (`ext f (ext g s)` → one pass); the
+    // fused `ext` inherits the *outer* ext's span, so the limit error raised
+    // while assembling its result still points at source text the user wrote
+    // — on every backend, since the result set is assembled on the caller.
+    let text = "ext(\\y: {atom}. y, ext(\\x: atom. {{x}}, s))";
+    let schema = vec![("s".to_string(), Type::set(Type::Base))];
+    let session = builder().max_set_size(2).build();
+    let q = session.prepare_with_schema(text, &schema).unwrap();
+    assert!(
+        q.rewrites().iter().any(|f| f.rule == "ext-fusion"),
+        "the nested maps fuse: {:?}",
+        q.rewrites()
+    );
+    let err = session
+        .execute_with_bindings(
+            &q,
+            &[("s".to_string(), ncql::object::Value::atom_set(0..3))],
+        )
+        .unwrap_err();
+    assert_snapshot(
+        err.render(text),
+        &[
+            "error: evaluation error: intermediate set of 3 elements exceeds the configured limit of 2",
+            " --> line 1, column 1",
+            "  |",
+            "1 | ext(\\y: {atom}. y, ext(\\x: atom. {{x}}, s))",
+            "  | ^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^",
+        ],
+    );
+}
+
+#[test]
+fn work_limit_inside_folded_region_snapshot() {
+    // The closed `card({@1} union {@2})` folds to a constant that inherits
+    // the folded subtree's span; the work budget is sized so evaluation dies
+    // entering that constant, and the caret still covers the folded source
+    // region. Fork-free by construction (pure extern arithmetic), so the
+    // death site is backend-invariant.
+    let text = "nat_add(card(s), card({@1} union {@2}))";
+    let schema = vec![("s".to_string(), Type::set(Type::Base))];
+    let session = builder().max_work(4).build();
+    let q = session.prepare_with_schema(text, &schema).unwrap();
+    assert!(
+        q.rewrites().iter().any(|f| f.rule == "const-fold"),
+        "the closed cardinality folds: {:?}",
+        q.rewrites()
+    );
+    let err = session
+        .execute_with_bindings(
+            &q,
+            &[("s".to_string(), ncql::object::Value::atom_set(0..4))],
+        )
+        .unwrap_err();
+    assert_snapshot(
+        err.render(text),
+        &[
+            "error: evaluation error: total work exceeded the configured limit of 4",
+            " --> line 1, column 18",
+            "  |",
+            "1 | nat_add(card(s), card({@1} union {@2}))",
+            "  |                  ^^^^^^^^^^^^^^^^^^^^^",
         ],
     );
 }
@@ -259,9 +332,15 @@ fn lint_deny_rejection_snapshot() {
     // Under the deny policy a doomed query is rejected *at prepare*: the
     // static work floor (6) exceeds the session limit (3), so evaluation
     // could only ever abort. The caret covers the whole query.
+    // The optimizer is pinned off so the floor message pins the raw plan's
+    // arithmetic (folding the closed union would lower the floor to 5).
     use ncql::LintPolicy;
     let text = "{@1} union {@2}";
-    let session = builder().max_work(3).lint_policy(LintPolicy::Deny).build();
+    let session = builder()
+        .max_work(3)
+        .lint_policy(LintPolicy::Deny)
+        .opt_level(ncql::OptLevel::None)
+        .build();
     let err = session.prepare(text).unwrap_err();
     assert!(matches!(err, Error::Lint { .. }));
     assert_snapshot(

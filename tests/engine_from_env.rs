@@ -1,6 +1,7 @@
 //! `SessionBuilder::from_env` coverage: `NCQL_PARALLELISM` selects the
-//! backend, `NCQL_PARALLEL_CUTOFF` tunes the fork threshold, and
-//! `NCQL_POOL_THREADS` sizes the session's persistent work-stealing pool.
+//! backend, `NCQL_PARALLEL_CUTOFF` tunes the fork threshold,
+//! `NCQL_POOL_THREADS` sizes the session's persistent work-stealing pool, and
+//! `NCQL_OPT` selects the optimizer level.
 //!
 //! This is deliberately the **only** test in this integration-test binary.
 //! `std::env::set_var` racing any concurrent `std::env::var` read is
@@ -12,7 +13,7 @@
 //! future env-mutating scenario inside this one function.
 
 use ncql::object::Value;
-use ncql::{Backend, SessionBuilder};
+use ncql::{Backend, OptLevel, SessionBuilder};
 
 #[test]
 fn builder_from_env_reads_the_knobs() {
@@ -20,6 +21,7 @@ fn builder_from_env_reads_the_knobs() {
         std::env::remove_var("NCQL_PARALLELISM");
         std::env::remove_var("NCQL_PARALLEL_CUTOFF");
         std::env::remove_var("NCQL_POOL_THREADS");
+        std::env::remove_var("NCQL_OPT");
     };
 
     clear();
@@ -72,5 +74,56 @@ fn builder_from_env_reads_the_knobs() {
     let out = via_env.run("card({@1} union {@2} union {@3})").unwrap();
     assert_eq!(out.value, Value::Nat(3));
     assert_eq!(out.backend, Backend::Parallel { threads: 2 });
+    clear();
+
+    // `NCQL_OPT` selects the optimizer level; every spelling is accepted and
+    // garbage leaves the default untouched.
+    assert_eq!(
+        SessionBuilder::from_env().build().opt_level(),
+        OptLevel::Default
+    );
+    for (raw, expected) in [
+        ("0", OptLevel::None),
+        ("none", OptLevel::None),
+        ("off", OptLevel::None),
+        ("1", OptLevel::Default),
+        ("default", OptLevel::Default),
+        ("on", OptLevel::Default),
+        ("garbage", OptLevel::Default),
+    ] {
+        std::env::set_var("NCQL_OPT", raw);
+        assert_eq!(
+            SessionBuilder::from_env().build().opt_level(),
+            expected,
+            "NCQL_OPT={raw}"
+        );
+    }
+
+    // Flipping `NCQL_OPT` between sessions never serves a stale plan: the
+    // optimizer level is part of the plan-cache key, so the `NCQL_OPT=0`
+    // session's plan is the raw AST even though an optimizing session already
+    // prepared (and rewrote) the same text.
+    let foldable = "{@1} union {@2} union {@1}";
+    std::env::set_var("NCQL_OPT", "1");
+    let optimizing = SessionBuilder::from_env().build();
+    let rewritten = optimizing.prepare(foldable).unwrap();
+    assert!(
+        !rewritten.rewrites().is_empty(),
+        "the closed union folds under the default level"
+    );
+    std::env::set_var("NCQL_OPT", "0");
+    let raw_session = SessionBuilder::from_env().build();
+    let raw_plan = raw_session.prepare(foldable).unwrap();
+    assert!(
+        raw_plan.rewrites().is_empty(),
+        "NCQL_OPT=0 must not rewrite"
+    );
+    assert_eq!(raw_plan.optimized_form(), raw_plan.normal_form());
+    assert_ne!(raw_plan.optimized_form(), rewritten.optimized_form());
+    // Both plans still agree on the value.
+    assert_eq!(
+        raw_session.execute(&raw_plan).unwrap().value,
+        optimizing.execute(&rewritten).unwrap().value
+    );
     clear();
 }

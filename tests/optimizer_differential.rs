@@ -1,0 +1,157 @@
+//! Optimizer differential suite: every query in the `ncql-queries` corpus is
+//! prepared through the engine twice — once at `OptLevel::None` (the raw
+//! typed AST) and once at `OptLevel::Default` (the cost-gated algebraic
+//! rewriter) — and executed on the sequential backend and on the parallel
+//! backend across pool sizes, asserting the optimizer's whole contract:
+//!
+//! * values are bit-identical with the optimizer on vs off, on every backend;
+//! * measured `work` never regresses on plans that complete;
+//! * the static work bound never regresses, and on a healthy corpus a
+//!   meaningful number of queries get a *strictly* lower bound.
+
+use ncql::core::parallelism_from_env;
+use ncql::queries::differential_corpus;
+use ncql::{OptLevel, Session, SessionBuilder};
+
+/// The `(parallelism, pool_threads)` ladder: sequential plus 4-way parallel
+/// with the pool sized at the fan-out and oversubscribed, plus whatever the
+/// CI matrix asks for via `NCQL_TEST_PARALLELISM`.
+fn backend_configs() -> Vec<(Option<usize>, Option<usize>)> {
+    let mut configs = vec![(None, None), (Some(4), Some(1)), (Some(4), Some(4))];
+    if let Some(n) = parallelism_from_env() {
+        if n >= 2 && !configs.contains(&(Some(n), None)) {
+            configs.push((Some(n), None));
+        }
+    }
+    configs
+}
+
+fn session(opt: OptLevel, parallelism: Option<usize>, pool_threads: Option<usize>) -> Session {
+    SessionBuilder::new()
+        .opt_level(opt)
+        .parallelism(parallelism)
+        .pool_threads(pool_threads)
+        .parallel_cutoff(64)
+        .build()
+}
+
+#[test]
+fn corpus_values_are_invariant_and_work_only_improves() {
+    let corpus = differential_corpus();
+    assert!(
+        corpus.len() >= 49,
+        "corpus unexpectedly small: {}",
+        corpus.len()
+    );
+    let mut strictly_lower_bounds: Vec<String> = Vec::new();
+    for (parallelism, pool_threads) in backend_configs() {
+        let raw_session = session(OptLevel::None, parallelism, pool_threads);
+        let opt_session = session(OptLevel::Default, parallelism, pool_threads);
+        let mut prepared = 0usize;
+        for entry in &corpus {
+            // A few corpus entries deliberately outrun the type checker (the
+            // corpus-lint suite tolerates the same set); the optimizer runs
+            // after typecheck, so it must see exactly the same rejections.
+            let raw = match raw_session.prepare_expr(entry.expr.clone()) {
+                Ok(q) => q,
+                Err(ncql::Error::Type(_)) => {
+                    assert!(
+                        matches!(
+                            opt_session.prepare_expr(entry.expr.clone()),
+                            Err(ncql::Error::Type(_))
+                        ),
+                        "{}: the optimizer changed a type-check rejection",
+                        entry.name
+                    );
+                    continue;
+                }
+                Err(e) => panic!("{}: raw prepare failed: {e}", entry.name),
+            };
+            prepared += 1;
+            let opt = opt_session
+                .prepare_expr(entry.expr.clone())
+                .unwrap_or_else(|e| panic!("{}: optimized prepare failed: {e}", entry.name));
+            let raw_out = raw_session
+                .execute(&raw)
+                .unwrap_or_else(|e| panic!("{}: raw execute failed: {e}", entry.name));
+            let opt_out = opt_session
+                .execute(&opt)
+                .unwrap_or_else(|e| panic!("{}: optimized execute failed: {e}", entry.name));
+            assert_eq!(
+                opt_out.value, raw_out.value,
+                "{}: optimization changed the value at parallelism {parallelism:?}",
+                entry.name
+            );
+            assert!(
+                opt_out.stats.work <= raw_out.stats.work,
+                "{}: optimization regressed measured work ({} > {}) at parallelism \
+                 {parallelism:?}",
+                entry.name,
+                opt_out.stats.work,
+                raw_out.stats.work
+            );
+            // The static gate's own promise: the rewritten plan's work bound
+            // is pointwise no worse than the raw plan's. Corpus queries are
+            // closed, so both bounds are concrete numbers.
+            let raw_bound = raw.analysis().cost.work.eval_closed();
+            let opt_bound = opt.analysis().cost.work.eval_closed();
+            if let (Some(rb), Some(ob)) = (raw_bound, opt_bound) {
+                assert!(
+                    ob <= rb,
+                    "{}: optimization regressed the static work bound ({ob} > {rb})",
+                    entry.name
+                );
+                if parallelism.is_none() && ob < rb {
+                    strictly_lower_bounds.push(format!("{}: {rb} -> {ob}", entry.name));
+                }
+            }
+        }
+        assert!(
+            prepared >= 49,
+            "too few corpus entries prepared ({prepared}) at parallelism {parallelism:?}"
+        );
+    }
+    // Acceptance: a healthy rule set strictly improves a meaningful slice of
+    // the corpus, not just one lucky query.
+    assert!(
+        strictly_lower_bounds.len() >= 3,
+        "expected at least 3 corpus queries with strictly lower static work bounds, got: \
+         {strictly_lower_bounds:?}"
+    );
+}
+
+#[test]
+fn optimized_plans_report_their_rewrites_consistently() {
+    // Plumbing coherence on the whole corpus: a plan claims rewrites exactly
+    // when its executing form differs from its normal form, and `raw_cost`
+    // is present exactly when something fired.
+    let opt_session = session(OptLevel::Default, None, None);
+    let mut fired_total = 0usize;
+    for entry in differential_corpus() {
+        let q = match opt_session.prepare_expr(entry.expr.clone()) {
+            Ok(q) => q,
+            Err(ncql::Error::Type(_)) => continue,
+            Err(e) => panic!("{}: prepare failed: {e}", entry.name),
+        };
+        assert_eq!(q.opt_level(), OptLevel::Default, "{}", entry.name);
+        assert_eq!(
+            q.rewrites().is_empty(),
+            q.raw_cost().is_none(),
+            "{}: raw_cost must be kept iff a rewrite fired",
+            entry.name
+        );
+        if q.rewrites().is_empty() {
+            assert_eq!(
+                q.optimized_form(),
+                q.normal_form(),
+                "{}: nothing fired, so the executing plan is the raw plan",
+                entry.name
+            );
+        }
+        fired_total += q.rewrites().len();
+    }
+    assert!(
+        fired_total > 0,
+        "the optimizer fired on nothing in the whole corpus"
+    );
+}
