@@ -37,6 +37,21 @@ fn main() {
         println!("{table}");
     }
 
+    // E14 (serving latency) runs outside `check_shapes`: wall-clock numbers
+    // are machine-dependent, so the gate is only "zero errors" (asserted
+    // inside e14_serve_latency). The largest run's summary is persisted to
+    // BENCH_serve.json, the same payload the ncql-loadgen binary writes.
+    let (serve_table, serve_payload) = if full {
+        bench::e14_serve_latency(&[2, 8, 32], 25)
+    } else {
+        bench::e14_serve_latency(&[2, 8], 10)
+    };
+    println!("{serve_table}");
+    match std::fs::write("BENCH_serve.json", &serve_payload) {
+        Ok(()) => println!("wrote BENCH_serve.json\n"),
+        Err(e) => eprintln!("could not write BENCH_serve.json: {e}\n"),
+    }
+
     match bench::check_shapes(&tables) {
         Ok(()) => {
             println!("All qualitative shapes hold (see EXPERIMENTS.md for the expected shapes).")

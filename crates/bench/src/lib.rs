@@ -646,6 +646,66 @@ pub fn e13_optimizer() -> Table {
     t
 }
 
+/// E14: wire-protocol serving latency. One in-process `ncql-serve` server
+/// over one shared `Session` per row; `clients` concurrent connections each
+/// issue `requests_per_client` requests round-robined over the serve corpus.
+/// Returns the table plus the largest run's `BENCH_serve.json` payload so
+/// the report binary can persist it. Latency is wall-clock and
+/// machine-dependent — the table documents serving overhead, not a paper
+/// claim, so `check_shapes` does not gate on it (beyond the zero-error
+/// invariant asserted here).
+pub fn e14_serve_latency(clients: &[usize], requests_per_client: usize) -> (Table, String) {
+    use ncql_serve::loadgen::{run_load, LoadConfig};
+    use ncql_serve::{ServeConfig, Server};
+
+    let mut t = Table::new(
+        "E14",
+        "Serving: wire latency vs concurrent clients (one shared session, thread-per-connection)",
+        &[
+            "clients",
+            "ok",
+            "busy",
+            "p50_us",
+            "p95_us",
+            "p99_us",
+            "max_us",
+            "req_per_s",
+        ],
+    );
+    let mut payload = String::new();
+    for &n in clients {
+        let server = Server::bind(ServeConfig::default(), SessionBuilder::new().build())
+            .expect("bind in-process server");
+        let handle = server.spawn().expect("spawn in-process server");
+        let report = run_load(
+            handle.addr(),
+            &LoadConfig {
+                clients: n,
+                requests_per_client,
+                ..LoadConfig::default()
+            },
+        );
+        handle.shutdown();
+        assert_eq!(
+            report.errors, 0,
+            "serve bench hit errors: {:?}",
+            report.error_samples
+        );
+        t.push_row(vec![
+            n.to_string(),
+            report.ok.to_string(),
+            report.busy_retries.to_string(),
+            report.latency.p50_us.to_string(),
+            report.latency.p95_us.to_string(),
+            report.latency.p99_us.to_string(),
+            report.latency.max_us.to_string(),
+            format!("{:.0}", report.throughput_rps()),
+        ]);
+        payload = format!("{}\n", report.to_json());
+    }
+    (t, payload)
+}
+
 /// Run every experiment at small, CI-friendly sizes and return all tables.
 pub fn run_all_quick() -> Vec<Table> {
     vec![

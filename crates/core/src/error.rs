@@ -219,6 +219,21 @@ pub enum EvalError {
         /// Span of the forked region's node, when known.
         span: Option<Span>,
     },
+    /// The evaluation was cancelled from outside through a
+    /// [`CancelToken`](crate::eval::CancelToken) — e.g. a server's deadline
+    /// watchdog flagged an over-deadline request, or a shutting-down host
+    /// asked in-flight work to stop. The evaluator checks the token
+    /// cooperatively at every work charge, so cancellation lands within a few
+    /// elementary operations of the flag being raised.
+    Cancelled {
+        /// Why the evaluation was cancelled (the canceller's message, e.g.
+        /// `"deadline of 50ms exceeded"`).
+        reason: String,
+        /// Span of the subexpression being evaluated when the flag was
+        /// noticed. Scheduling-dependent under the parallel backend, like
+        /// [`EvalError::WorkLimitExceeded`]'s span.
+        span: Option<Span>,
+    },
 }
 
 impl EvalError {
@@ -276,6 +291,14 @@ impl EvalError {
         }
     }
 
+    /// An [`EvalError::Cancelled`] with no span yet.
+    pub fn cancelled(reason: impl Into<String>) -> EvalError {
+        EvalError::Cancelled {
+            reason: reason.into(),
+            span: None,
+        }
+    }
+
     /// The span of the failing subexpression, when the source was spanned.
     pub fn span(&self) -> Option<Span> {
         match self {
@@ -285,7 +308,8 @@ impl EvalError {
             | EvalError::SetTooLarge { span, .. }
             | EvalError::WorkLimitExceeded { span, .. }
             | EvalError::IllFormedRecursion { span, .. }
-            | EvalError::WorkerPanicked { span, .. } => *span,
+            | EvalError::WorkerPanicked { span, .. }
+            | EvalError::Cancelled { span, .. } => *span,
         }
     }
 
@@ -300,7 +324,8 @@ impl EvalError {
             | EvalError::SetTooLarge { span, .. }
             | EvalError::WorkLimitExceeded { span, .. }
             | EvalError::IllFormedRecursion { span, .. }
-            | EvalError::WorkerPanicked { span, .. } => span,
+            | EvalError::WorkerPanicked { span, .. }
+            | EvalError::Cancelled { span, .. } => span,
         };
         if slot.is_none() {
             *slot = new_span;
@@ -344,6 +369,9 @@ impl PartialEq for EvalError {
                 EvalError::WorkerPanicked { message: a, .. },
                 EvalError::WorkerPanicked { message: b, .. },
             ) => a == b,
+            (EvalError::Cancelled { reason: a, .. }, EvalError::Cancelled { reason: b, .. }) => {
+                a == b
+            }
             _ => false,
         }
     }
@@ -376,6 +404,9 @@ impl fmt::Display for EvalError {
             }
             EvalError::WorkerPanicked { message, .. } => {
                 write!(f, "a parallel worker panicked: {message}")
+            }
+            EvalError::Cancelled { reason, .. } => {
+                write!(f, "evaluation cancelled: {reason}")
             }
         }
     }

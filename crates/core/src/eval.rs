@@ -21,7 +21,7 @@ use crate::externs::ExternRegistry;
 use crate::EvalResult;
 use ncql_object::{VSet, Value};
 use ncql_pram::{RegionPermit, TaskError, WorkStealingPool};
-use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, OnceLock};
 
 /// Resource limits and options for an evaluation.
@@ -132,6 +132,61 @@ impl std::fmt::Debug for EvalConfig {
             .field("pool_threads", &self.pool_threads)
             .field("pool_steal_seed", &self.pool_steal_seed)
             .finish()
+    }
+}
+
+/// A shared flag for cooperatively cancelling an in-flight evaluation from
+/// another thread.
+///
+/// Hand a clone of the token to [`Evaluator::attach_cancel`] (or the engine's
+/// execute-time options) before starting the evaluation, keep the original,
+/// and call [`CancelToken::cancel`] from any thread — a deadline watchdog, a
+/// shutdown path, a client disconnect handler. The evaluator polls the flag
+/// at every work charge (one relaxed atomic load on the hot path), so the
+/// evaluation unwinds with [`EvalError::Cancelled`] within a few elementary
+/// operations. Worker evaluators of the parallel backend inherit the parent's
+/// token, so one `cancel` stops every thread of the evaluation.
+///
+/// Tokens are single-shot: once cancelled they stay cancelled, and the first
+/// recorded reason wins. Reuse across evaluations is therefore only sound for
+/// evaluations that should all die together; per-request hosts create one
+/// token per request.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    /// Raised exactly once; checked with relaxed ordering (the reason is
+    /// published through the `OnceLock`'s own synchronization).
+    flag: Arc<AtomicBool>,
+    /// Why the evaluation was cancelled, set before the flag is raised.
+    reason: Arc<OnceLock<String>>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Raise the flag with a reason (e.g. `"deadline of 50ms exceeded"`).
+    /// The first caller's reason is the one evaluations report; later calls
+    /// keep the token cancelled but change nothing.
+    pub fn cancel(&self, reason: impl Into<String>) {
+        let _ = self.reason.set(reason.into());
+        self.flag.store(true, AtomicOrdering::Release);
+    }
+
+    /// Whether the flag has been raised.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(AtomicOrdering::Relaxed)
+    }
+
+    /// The recorded reason, or a generic message if the canceller supplied
+    /// none (possible only through a racing `cancel` observed before its
+    /// reason write — the acquire load makes that window empty in practice).
+    pub fn reason(&self) -> String {
+        self.reason
+            .get()
+            .cloned()
+            .unwrap_or_else(|| "cancelled".to_string())
     }
 }
 
@@ -296,6 +351,10 @@ pub struct Evaluator {
     /// executions); `None` on the sequential backend, which therefore never
     /// spawns a worker thread.
     pool: Option<Arc<WorkStealingPool>>,
+    /// Cooperative cancellation flag, polled at every work charge. `None`
+    /// (the default) costs nothing; workers inherit the parent's token so the
+    /// whole evaluation stops together.
+    cancel: Option<CancelToken>,
 }
 
 impl Default for Evaluator {
@@ -312,6 +371,7 @@ impl Evaluator {
             stats: CostStats::default(),
             shared_work: None,
             pool: None,
+            cancel: None,
         }
     }
 
@@ -329,6 +389,14 @@ impl Evaluator {
         self.pool.as_ref()
     }
 
+    /// Attach a cooperative cancellation token: every work charge of this
+    /// evaluator (and of the worker evaluators it forks) polls the token and
+    /// aborts with [`EvalError::Cancelled`] once it is raised. Attach a fresh
+    /// token per evaluation — tokens are single-shot.
+    pub fn attach_cancel(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
     /// A worker evaluator for one parallel chunk: same limits, registry and
     /// parallelism knobs, fresh statistics (absorbed by the parent after the
     /// join), the parent's shared work budget, and the parent's pool handle —
@@ -341,6 +409,7 @@ impl Evaluator {
             stats: CostStats::default(),
             shared_work: self.shared_work.clone(),
             pool: self.pool.clone(),
+            cancel: self.cancel.clone(),
         }
     }
 
@@ -395,6 +464,16 @@ impl Evaluator {
     // ----- internals -----
 
     fn add_work(&mut self, amount: u64) -> EvalResult<()> {
+        // Cooperative cancellation: the work charge is the one choke point
+        // every elementary operation passes through, so polling here bounds
+        // the reaction latency by a handful of operations. A relaxed load of
+        // an untouched cache line is noise next to the atomic budget add
+        // below.
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Err(EvalError::cancelled(token.reason()));
+            }
+        }
         self.stats.work = self.stats.work.saturating_add(amount);
         let charged = match &self.shared_work {
             // Global budget: every thread adds its charge here, so the limit

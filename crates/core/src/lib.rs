@@ -61,7 +61,7 @@ pub mod wellformed;
 
 pub use analyze::{analyze_query, Bound, CostBound, Finding, Lint, Poly, QueryAnalysis, Severity};
 pub use error::{EvalError, TypeError, TypeErrorKind};
-pub use eval::{CostStats, EvalConfig, Evaluator};
+pub use eval::{CancelToken, CostStats, EvalConfig, Evaluator};
 pub use expr::{Expr, ExprKind};
 pub use parallel::{eval_parallel, normalize_parallelism, parallelism_from_env, ParallelEvaluator};
 pub use rewrite::{optimize, FiredRewrite, OptLevel, RewriteOutcome};

@@ -91,6 +91,13 @@ impl ParallelEvaluator {
         self.inner.pool()
     }
 
+    /// Attach a cooperative cancellation token (see
+    /// [`Evaluator::attach_cancel`]); every worker thread of the evaluation
+    /// inherits it, so one `cancel` stops them all.
+    pub fn attach_cancel(&mut self, token: crate::eval::CancelToken) {
+        self.inner.attach_cancel(token);
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &EvalConfig {
         self.inner.config()

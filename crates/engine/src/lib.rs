@@ -71,7 +71,13 @@ mod session;
 pub use diagnostics::Diagnostic;
 pub use error::Error;
 pub use prepared::{Backend, Outcome, PreparedQuery};
-pub use session::{CacheMetrics, LintPolicy, Session, SessionBuilder, DEFAULT_CACHE_CAPACITY};
+pub use session::{
+    CacheMetrics, ExecOptions, LintPolicy, Session, SessionBuilder, DEFAULT_CACHE_CAPACITY,
+};
+
+// The cooperative cancellation token of `ExecOptions::cancel`, re-exported so
+// serving front ends need not depend on the core crate directly.
+pub use ncql_core::eval::CancelToken;
 
 // The static-analysis vocabulary of `PreparedQuery::analysis`, re-exported so
 // engine consumers need not depend on the core crate directly.

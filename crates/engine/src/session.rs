@@ -3,7 +3,7 @@
 use crate::cache::ShardedLru;
 use crate::error::Error;
 use crate::prepared::{Backend, Outcome, PreparedPlan, PreparedQuery};
-use ncql_core::eval::{CostStats, EvalConfig, Evaluator};
+use ncql_core::eval::{CancelToken, CostStats, EvalConfig, Evaluator};
 use ncql_core::expr::Expr;
 use ncql_core::externs::ExternRegistry;
 use ncql_core::parallel::{normalize_parallelism, ParallelEvaluator};
@@ -64,6 +64,68 @@ impl PlanKey {
             registry_fingerprint,
             opt_level,
         }
+    }
+}
+
+/// Per-execution overrides for [`Session::execute_with_options`]: a
+/// cooperative cancellation token and *tightened* resource limits for one
+/// request, without touching the session's own configuration.
+///
+/// This is the isolation surface a serving front end needs: the session is
+/// shared by every in-flight request (one plan cache, one work-stealing
+/// pool), while each request runs under its own budget — a deadline watchdog
+/// holding the [`CancelToken`], a per-request work cap, a per-request set
+/// cap. The limits only ever *lower* the session's: a request asking for more
+/// than the session allows still runs under the session limit, so a shared
+/// deployment cannot be talked out of its guardrails.
+///
+/// ```
+/// use ncql_engine::{CancelToken, ExecOptions, Session};
+///
+/// let session = Session::new();
+/// let query = session.prepare("nat_add(20, 22)")?;
+/// let token = CancelToken::new();
+/// let opts = ExecOptions::new().cancel(token.clone()).max_work(10_000);
+/// let outcome = session.execute_with_options(&query, &[], &opts)?;
+/// assert_eq!(outcome.value.to_string(), "42");
+/// # Ok::<(), ncql_engine::Error>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ExecOptions {
+    /// Cooperative cancellation flag for this execution, polled at every work
+    /// charge (see [`CancelToken`]). Cancelling aborts the evaluation with
+    /// [`EvalError::Cancelled`](ncql_core::EvalError::Cancelled).
+    pub cancel: Option<CancelToken>,
+    /// Work budget for this execution; the effective limit is the *minimum*
+    /// of this and the session's `max_work`.
+    pub max_work: Option<u64>,
+    /// Intermediate-set cardinality cap for this execution; the effective
+    /// limit is the *minimum* of this and the session's `max_set_size`.
+    pub max_set_size: Option<usize>,
+}
+
+impl ExecOptions {
+    /// No overrides: equivalent to [`Session::execute_with_bindings`].
+    pub fn new() -> ExecOptions {
+        ExecOptions::default()
+    }
+
+    /// Attach a cancellation token for this execution.
+    pub fn cancel(mut self, token: CancelToken) -> ExecOptions {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Tighten the work budget for this execution.
+    pub fn max_work(mut self, limit: u64) -> ExecOptions {
+        self.max_work = Some(limit);
+        self
+    }
+
+    /// Tighten the intermediate-set cardinality cap for this execution.
+    pub fn max_set_size(mut self, limit: usize) -> ExecOptions {
+        self.max_set_size = Some(limit);
+        self
     }
 }
 
@@ -551,6 +613,21 @@ impl Session {
         query: &PreparedQuery,
         bindings: &[(String, Value)],
     ) -> Result<Outcome, Error> {
+        self.execute_with_options(query, bindings, &ExecOptions::default())
+    }
+
+    /// [`Session::execute_with_bindings`] with per-execution overrides: a
+    /// cancellation token and/or tightened resource limits for this one
+    /// request (see [`ExecOptions`]). The serving front end routes every
+    /// request through here — a deadline watchdog cancels over-deadline
+    /// evaluations, and per-request work budgets keep one expensive query
+    /// from starving the rest of the traffic on the shared session.
+    pub fn execute_with_options(
+        &self,
+        query: &PreparedQuery,
+        bindings: &[(String, Value)],
+        options: &ExecOptions,
+    ) -> Result<Outcome, Error> {
         for (name, ty) in query.schema() {
             // Binding errors point at the schema variable's first use site in
             // the prepared source text (None for span-less builder plans).
@@ -592,7 +669,8 @@ impl Session {
                 (Some(_), None) => {}
             }
         }
-        self.eval_raw(query.expr(), bindings).map_err(Error::from)
+        self.eval_raw(query.expr(), bindings, options)
+            .map_err(Error::from)
     }
 
     /// Execute one prepared query over a batch of binding sets, returning one
@@ -625,7 +703,7 @@ impl Session {
     /// historical entry points. Prefer [`Session::prepare_expr`] +
     /// [`Session::execute`] when you want the checked pipeline.
     pub fn evaluate(&self, expr: &Expr) -> Result<Outcome, EvalError> {
-        self.eval_raw(expr, &[])
+        self.eval_raw(expr, &[], &ExecOptions::default())
     }
 
     /// [`Session::evaluate`] with free variables bound to values.
@@ -634,7 +712,7 @@ impl Session {
         expr: &Expr,
         bindings: &[(String, Value)],
     ) -> Result<Outcome, EvalError> {
-        self.eval_raw(expr, bindings)
+        self.eval_raw(expr, bindings, &ExecOptions::default())
     }
 
     /// The session's work-stealing pool, created on first use. Only the
@@ -647,19 +725,39 @@ impl Session {
     }
 
     /// Dispatch one evaluation onto the configured backend.
-    fn eval_raw(&self, expr: &Expr, bindings: &[(String, Value)]) -> Result<Outcome, EvalError> {
+    fn eval_raw(
+        &self,
+        expr: &Expr,
+        bindings: &[(String, Value)],
+        options: &ExecOptions,
+    ) -> Result<Outcome, EvalError> {
         let backend = self.backend();
+        // Per-execution limits only ever tighten the session's: min of the
+        // two, so a request cannot talk a shared deployment past its caps.
+        let mut config = self.config.clone();
+        if let Some(limit) = options.max_work {
+            config.max_work = config.max_work.min(limit);
+        }
+        if let Some(limit) = options.max_set_size {
+            config.max_set_size = config.max_set_size.min(limit);
+        }
         let (value, stats): (Value, CostStats) = match backend {
             Backend::Parallel { .. } => {
-                let mut evaluator = ParallelEvaluator::with_config(self.config.clone());
+                let mut evaluator = ParallelEvaluator::with_config(config);
                 // One pool per session: every execution forks onto the same
                 // persistent worker set instead of growing its own.
                 evaluator.attach_pool(self.pool());
+                if let Some(token) = &options.cancel {
+                    evaluator.attach_cancel(token.clone());
+                }
                 let value = evaluator.eval_with_bindings(expr, bindings)?;
                 (value, evaluator.stats())
             }
             Backend::Sequential => {
-                let mut evaluator = Evaluator::new(self.config.clone());
+                let mut evaluator = Evaluator::new(config);
+                if let Some(token) = &options.cancel {
+                    evaluator.attach_cancel(token.clone());
+                }
                 let value = evaluator.eval_with_bindings(expr, bindings)?;
                 (value, evaluator.stats())
             }

@@ -1,0 +1,124 @@
+//! A mixed surface-text query corpus for load generation and stress tests.
+//!
+//! Every query is closed (no schema needed), valid under the standard extern
+//! registry, and deterministic — the same text always evaluates to the same
+//! canonical value, which is what lets the stress tests assert bit-identical
+//! results between the wire path and direct [`Session`](ncql_engine::Session)
+//! execution.
+
+/// A named corpus query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusQuery {
+    /// Stable name (used in load-generator reporting).
+    pub name: &'static str,
+    /// The surface text.
+    pub text: &'static str,
+}
+
+/// The mixed corpus: arithmetic, set algebra, `ext` comprehension, `if` and
+/// `let` forms, and divide-and-conquer recursion (`dcr`) — a spread of cheap
+/// and moderately expensive shapes so concurrent runs overlap in the engine.
+pub const CORPUS: &[CorpusQuery] = &[
+    CorpusQuery {
+        name: "arith/add",
+        text: "nat_add(20, 22)",
+    },
+    CorpusQuery {
+        name: "arith/mul",
+        text: "nat_mul(6, 7)",
+    },
+    CorpusQuery {
+        name: "arith/leq",
+        text: "nat_leq(3, 8)",
+    },
+    CorpusQuery {
+        name: "sets/union_dedup",
+        text: "{@1} union {@2} union {@1}",
+    },
+    CorpusQuery {
+        name: "sets/card",
+        text: "card({@1} union {@2} union {@3} union {@4})",
+    },
+    CorpusQuery {
+        name: "sets/isempty",
+        text: "if isempty(empty[atom]) then {@7} else empty[atom]",
+    },
+    CorpusQuery {
+        name: "sets/let_pair",
+        text: "let s = {@1} union {@2} in (s, card(s))",
+    },
+    CorpusQuery {
+        name: "pairs/pi1",
+        text: "pi1 (nat_add(1, 2), @5)",
+    },
+    CorpusQuery {
+        name: "ext/diagonal",
+        text: "ext(\\x: atom. {(x, x)}, {@1} union {@2} union {@3})",
+    },
+    CorpusQuery {
+        name: "ext/product",
+        text: "ext(\\x: atom. ext(\\y: atom. {(x, y)}, {@1} union {@2} union {@3}), \
+               {@4} union {@5} union {@6})",
+    },
+    CorpusQuery {
+        name: "dcr/parity",
+        text: "dcr(false, \\y: atom. true, \
+               \\p: (bool * bool). if pi1 p then (if pi2 p then false else true) else pi2 p, \
+               {@1} union {@2} union {@3})",
+    },
+    CorpusQuery {
+        name: "dcr/tc_edges",
+        text: "dcr(empty[(atom * atom)], \\y: atom. {(@1,@2)} union {(@2,@3)}, \
+               \\p: ({(atom*atom)} * {(atom*atom)}). pi1 p union pi2 p, {@1} union {@2})",
+    },
+    CorpusQuery {
+        name: "dcr/sum_card",
+        text: "dcr(0, \\y: atom. 1, \\p: (nat * nat). nat_add(pi1 p, pi2 p), \
+               {@1} union {@2} union {@3} union {@4} union {@5})",
+    },
+    CorpusQuery {
+        name: "mixed/card_of_product",
+        text: "card(ext(\\x: atom. ext(\\y: atom. {(x, y)}, {@1} union {@2}), \
+               {@3} union {@4} union {@5}))",
+    },
+];
+
+/// A closed query whose evaluation cost grows cubically with `n`: the set of
+/// ordered triples over `n` atoms, reduced to its cardinality. Used by the
+/// deadline and work-budget tests, which need something provably expensive
+/// yet type-correct.
+pub fn expensive_query(n: usize) -> String {
+    let atoms: Vec<String> = (1..=n.max(1)).map(|i| format!("{{@{i}}}")).collect();
+    let base = atoms.join(" union ");
+    format!(
+        "card(ext(\\x: atom. ext(\\y: atom. ext(\\z: atom. {{((x, y), z)}}, {base}), {base}), {base}))"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncql_engine::Session;
+
+    #[test]
+    fn every_corpus_query_prepares_and_evaluates() {
+        let session = Session::new();
+        for q in CORPUS {
+            let plan = session
+                .prepare(q.text)
+                .unwrap_or_else(|e| panic!("{} fails to prepare: {e}", q.name));
+            session
+                .execute(&plan)
+                .unwrap_or_else(|e| panic!("{} fails to evaluate: {e}", q.name));
+        }
+        let names: std::collections::HashSet<&str> = CORPUS.iter().map(|q| q.name).collect();
+        assert_eq!(names.len(), CORPUS.len(), "duplicate corpus names");
+    }
+
+    #[test]
+    fn expensive_query_counts_triples() {
+        let session = Session::new();
+        let out = session.run(&expensive_query(5)).unwrap();
+        assert_eq!(out.value.to_string(), "125");
+    }
+}

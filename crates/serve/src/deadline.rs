@@ -1,0 +1,227 @@
+//! Wall-clock deadlines for in-flight evaluations.
+//!
+//! Evaluation in this workspace is cooperative: every elementary step passes
+//! through the evaluator's work-accounting choke point, which polls the
+//! request's [`CancelToken`]. The watchdog here is
+//! the other half of that contract — one background thread holding a min-heap
+//! of armed deadlines, cancelling each token whose deadline passes. A single
+//! thread suffices for any number of concurrent requests; registering and
+//! disarming are O(log n) heap operations under one mutex.
+//!
+//! The handler thread registers a deadline before evaluating and drops the
+//! returned [`DeadlineGuard`] when evaluation finishes, which disarms the
+//! entry (lazily: the heap entry stays until it surfaces, then is skipped).
+
+use ncql_engine::CancelToken;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct Entry {
+    due: Instant,
+    id: u64,
+    token: CancelToken,
+    reason: String,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Entry) -> bool {
+        self.due == other.due && self.id == other.id
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Entry) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Entry) -> std::cmp::Ordering {
+        self.due.cmp(&other.due).then(self.id.cmp(&other.id))
+    }
+}
+
+#[derive(Debug, Default)]
+struct State {
+    heap: BinaryHeap<Reverse<Entry>>,
+    disarmed: HashSet<u64>,
+    next_id: u64,
+    shutdown: bool,
+}
+
+#[derive(Debug, Default)]
+struct Shared {
+    state: Mutex<State>,
+    changed: Condvar,
+}
+
+/// A watchdog thread that fires [`CancelToken`]s when their wall-clock
+/// deadlines pass.
+#[derive(Debug)]
+pub struct DeadlineWatchdog {
+    shared: Arc<Shared>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl DeadlineWatchdog {
+    /// Start the watchdog thread.
+    pub fn new() -> DeadlineWatchdog {
+        let shared = Arc::new(Shared::default());
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("ncql-deadline".to_string())
+            .spawn(move || run(worker_shared))
+            .expect("spawn deadline watchdog");
+        DeadlineWatchdog {
+            shared,
+            worker: Some(worker),
+        }
+    }
+
+    /// Arm `token` to be cancelled (with `reason`) once `deadline` elapses
+    /// from now. Dropping the guard disarms the deadline.
+    pub fn register(
+        &self,
+        token: &CancelToken,
+        deadline: Duration,
+        reason: impl Into<String>,
+    ) -> DeadlineGuard {
+        let mut state = self.shared.state.lock().expect("watchdog poisoned");
+        let id = state.next_id;
+        state.next_id += 1;
+        state.heap.push(Reverse(Entry {
+            due: Instant::now() + deadline,
+            id,
+            token: token.clone(),
+            reason: reason.into(),
+        }));
+        drop(state);
+        self.shared.changed.notify_one();
+        DeadlineGuard {
+            shared: Arc::clone(&self.shared),
+            id,
+        }
+    }
+}
+
+impl Default for DeadlineWatchdog {
+    fn default() -> DeadlineWatchdog {
+        DeadlineWatchdog::new()
+    }
+}
+
+impl Drop for DeadlineWatchdog {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("watchdog poisoned");
+            state.shutdown = true;
+        }
+        self.shared.changed.notify_all();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Disarms its deadline on drop.
+#[derive(Debug)]
+pub struct DeadlineGuard {
+    shared: Arc<Shared>,
+    id: u64,
+}
+
+impl Drop for DeadlineGuard {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().expect("watchdog poisoned");
+        state.disarmed.insert(self.id);
+        // The heap entry is skipped (and the disarmed marker reclaimed) when
+        // it reaches the front; no need to wake the worker for that.
+    }
+}
+
+fn run(shared: Arc<Shared>) {
+    let mut state = shared.state.lock().expect("watchdog poisoned");
+    loop {
+        if state.shutdown {
+            return;
+        }
+        // Pop everything due or disarmed; cancel what's due and still armed.
+        let now = Instant::now();
+        while let Some(Reverse(front)) = state.heap.peek() {
+            if state.disarmed.contains(&front.id) {
+                let id = front.id;
+                state.heap.pop();
+                state.disarmed.remove(&id);
+                continue;
+            }
+            if front.due <= now {
+                let Reverse(entry) = state.heap.pop().expect("peeked entry");
+                entry.token.cancel(entry.reason);
+                continue;
+            }
+            break;
+        }
+        let wait = match state.heap.peek() {
+            Some(Reverse(front)) => front.due.saturating_duration_since(Instant::now()),
+            // Nothing armed: sleep until register()/Drop wakes us.
+            None => Duration::from_secs(3600),
+        };
+        let (next, _timeout) = shared
+            .changed
+            .wait_timeout(state, wait)
+            .expect("watchdog poisoned");
+        state = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expired_deadlines_cancel_their_tokens() {
+        let watchdog = DeadlineWatchdog::new();
+        let token = CancelToken::new();
+        let _guard = watchdog.register(&token, Duration::from_millis(10), "deadline of 10ms");
+        let start = Instant::now();
+        while !token.is_cancelled() {
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "watchdog never fired"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(token.reason(), "deadline of 10ms");
+    }
+
+    #[test]
+    fn disarmed_deadlines_do_not_fire() {
+        let watchdog = DeadlineWatchdog::new();
+        let token = CancelToken::new();
+        let guard = watchdog.register(&token, Duration::from_millis(20), "too late");
+        drop(guard);
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(!token.is_cancelled());
+    }
+
+    #[test]
+    fn deadlines_fire_in_order_and_independently() {
+        let watchdog = DeadlineWatchdog::new();
+        let fast = CancelToken::new();
+        let slow = CancelToken::new();
+        let _fast_guard = watchdog.register(&fast, Duration::from_millis(5), "fast");
+        let slow_guard = watchdog.register(&slow, Duration::from_secs(60), "slow");
+        let start = Instant::now();
+        while !fast.is_cancelled() {
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "watchdog never fired"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(!slow.is_cancelled());
+        drop(slow_guard);
+    }
+}

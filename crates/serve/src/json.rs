@@ -1,0 +1,527 @@
+//! A minimal, dependency-free JSON tree: parser, writer, and accessors.
+//!
+//! The workspace builds hermetically against vendored stand-ins for its
+//! crates.io dependencies, and no JSON library is among them — so the wire
+//! protocol carries its own ~300-line implementation instead of growing a new
+//! vendored crate. It covers exactly what the protocol needs: RFC 8259
+//! objects/arrays/strings/numbers/booleans/null, `\uXXXX` escapes (surrogate
+//! pairs included), a nesting-depth limit so a hostile request cannot blow
+//! the stack, and a compact writer.
+//!
+//! Numbers are stored as `f64`. Every count the protocol carries (ids, work
+//! and span statistics, latencies) is well below 2⁵³, where `f64` is exact;
+//! [`Json::as_u64`] refuses values that are not exactly representable
+//! non-negative integers rather than rounding.
+
+use std::fmt;
+
+/// Maximum nesting depth the parser accepts. Wire values are shallow (a
+/// binding for a deeply nested complex object is the worst case); 128 is far
+/// above anything legitimate and far below stack exhaustion.
+const MAX_DEPTH: usize = 128;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (see the module docs on integer exactness).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order (duplicate keys: last one wins on
+    /// lookup, both are written back out — the protocol never emits
+    /// duplicates).
+    Obj(Vec<(String, Json)>),
+    /// A pre-serialized JSON fragment, emitted verbatim by the writer. Never
+    /// produced by the parser — it exists so already-serialized pieces (the
+    /// engine's `Diagnostic::to_json`) embed without a parse round-trip.
+    Raw(String),
+}
+
+impl Json {
+    /// A `Json::Str` from anything string-like.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// A `Json::Num` from an unsigned integer (exact below 2⁵³).
+    pub fn num(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+
+    /// Member lookup on an object (`None` on non-objects / missing keys).
+    /// With duplicate keys, the last occurrence wins.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as an exact non-negative integer: `None` unless this is a
+    /// number with no fractional part in `[0, 2^53]`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && *n <= 9_007_199_254_740_992.0 && n.fract() == 0.0 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+}
+
+/// Append `s` as a JSON string literal.
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, v: &Json) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Num(n) => {
+            // Integral values print without the trailing `.0` so ids and
+            // counters read (and re-parse) as integers.
+            if n.fract() == 0.0 && n.abs() < 9_007_199_254_740_992.0 {
+                out.push_str(&format!("{}", *n as i64));
+            } else {
+                out.push_str(&format!("{n}"));
+            }
+        }
+        Json::Str(s) => write_string(out, s),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Json::Obj(members) => {
+            out.push('{');
+            for (i, (k, v)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, k);
+                out.push(':');
+                write_value(out, v);
+            }
+            out.push('}');
+        }
+        Json::Raw(fragment) => out.push_str(fragment),
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_value(&mut out, self);
+        f.write_str(&out)
+    }
+}
+
+/// Why a text failed to parse as JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset at which the problem was detected.
+    pub at: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.at)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, JsonError> {
+        Err(JsonError {
+            message: message.into(),
+            at: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            match b {
+                b' ' | b'\t' | b'\n' | b'\r' => self.pos += 1,
+                _ => break,
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected `{}`", b as char))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            self.err(format!("expected `{word}`"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return self.err("nesting deeper than the protocol allows");
+        }
+        self.skip_ws();
+        match self.peek() {
+            None => self.err("unexpected end of input"),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return self.err("expected `,` or `]` in array"),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut members = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                loop {
+                    self.skip_ws();
+                    if self.peek() != Some(b'"') {
+                        return self.err("expected a string key in object");
+                    }
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.value(depth + 1)?;
+                    members.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(members));
+                        }
+                        _ => return self.err("expected `,` or `}` in object"),
+                    }
+                }
+            }
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(other) => self.err(format!("unexpected byte `{}`", other as char)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a following `\uXXXX` low
+                                // surrogate is mandatory.
+                                if self.peek() != Some(b'\\') {
+                                    return self.err("lone high surrogate");
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return self.err("lone high surrogate");
+                                }
+                                self.pos += 1;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return self.err("invalid low surrogate");
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                match char::from_u32(code) {
+                                    Some(c) => c,
+                                    None => return self.err("invalid surrogate pair"),
+                                }
+                            } else {
+                                match char::from_u32(hi) {
+                                    Some(c) => c,
+                                    None => return self.err("invalid \\u escape"),
+                                }
+                            };
+                            out.push(c);
+                            continue; // hex4 advanced past the digits already
+                        }
+                        _ => return self.err("invalid escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => return self.err("raw control character in string"),
+                Some(_) => {
+                    // Decode one UTF-8 character (the input is a &str upstream
+                    // of the byte view, so this cannot fail on valid input —
+                    // but the parser is defensive anyway).
+                    let rest = &self.bytes[self.pos..];
+                    let len = match rest[0] {
+                        b if b < 0x80 => 1,
+                        b if (0xC0..0xE0).contains(&b) => 2,
+                        b if (0xE0..0xF0).contains(&b) => 3,
+                        b if b >= 0xF0 => 4,
+                        _ => return self.err("invalid UTF-8 in string"),
+                    };
+                    if rest.len() < len {
+                        return self.err("truncated UTF-8 in string");
+                    }
+                    match std::str::from_utf8(&rest[..len]) {
+                        Ok(s) => out.push_str(s),
+                        Err(_) => return self.err("invalid UTF-8 in string"),
+                    }
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return self.err("truncated \\u escape");
+        }
+        let digits = &self.bytes[self.pos..end];
+        let text = std::str::from_utf8(digits).map_err(|_| JsonError {
+            message: "invalid \\u escape".to_string(),
+            at: self.pos,
+        })?;
+        let code = u32::from_str_radix(text, 16).map_err(|_| JsonError {
+            message: "invalid \\u escape".to_string(),
+            at: self.pos,
+        })?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
+        match text.parse::<f64>() {
+            Ok(n) if n.is_finite() => Ok(Json::Num(n)),
+            _ => self.err("invalid number"),
+        }
+    }
+}
+
+/// Parse one JSON value from `text`, requiring it to span the whole input
+/// (modulo surrounding whitespace).
+pub fn parse(text: &str) -> Result<Json, JsonError> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = parser.value(0)?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return parser.err("trailing bytes after the JSON value");
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_the_protocol_shapes() {
+        let text = r#"{"op":"execute","id":7,"text":"{@1} union {@2}","bindings":[{"name":"s","value":{"set":[{"atom":1}]}}],"deadline_ms":250}"#;
+        let parsed = parse(text).unwrap();
+        assert_eq!(parsed.get("op").unwrap().as_str(), Some("execute"));
+        assert_eq!(parsed.get("id").unwrap().as_u64(), Some(7));
+        let reprinted = parse(&parsed.to_string()).unwrap();
+        assert_eq!(parsed, reprinted);
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let original = Json::str("a \"quote\"\nand \\ tab\t€ done");
+        let reparsed = parse(&original.to_string()).unwrap();
+        assert_eq!(original, reparsed);
+        // \u escapes, including a surrogate pair.
+        let fancy = parse(r#""A€😀""#).unwrap();
+        assert_eq!(fancy.as_str(), Some("A€😀"));
+    }
+
+    #[test]
+    fn rejects_garbage_with_positions() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "nul", "\"unterminated", "1 2"] {
+            assert!(parse(bad).is_err(), "{bad:?} parsed");
+        }
+        let err = parse("{\"a\": }").unwrap_err();
+        assert!(err.at > 0);
+        assert!(err.to_string().contains("byte"));
+    }
+
+    #[test]
+    fn depth_limit_holds() {
+        let mut deep = String::new();
+        for _ in 0..1000 {
+            deep.push('[');
+        }
+        for _ in 0..1000 {
+            deep.push(']');
+        }
+        let err = parse(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"));
+    }
+
+    #[test]
+    fn numbers_are_exact_where_the_protocol_needs_them() {
+        assert_eq!(parse("9007199254740992").unwrap().as_u64(), Some(1 << 53));
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+        assert_eq!(parse("1.5").unwrap().as_u64(), None);
+        assert_eq!(parse("1e3").unwrap().as_u64(), Some(1000));
+        // Integral numbers reprint without a fractional suffix.
+        assert_eq!(Json::num(42).to_string(), "42");
+    }
+
+    #[test]
+    fn raw_fragments_embed_verbatim() {
+        let obj = Json::Obj(vec![(
+            "diagnostic".to_string(),
+            Json::Raw("{\"severity\":\"error\"}".to_string()),
+        )]);
+        assert_eq!(obj.to_string(), r#"{"diagnostic":{"severity":"error"}}"#);
+        let reparsed = parse(&obj.to_string()).unwrap();
+        assert_eq!(
+            reparsed.get("diagnostic").unwrap().get("severity").unwrap(),
+            &Json::str("error")
+        );
+    }
+}

@@ -1,0 +1,435 @@
+//! The wire protocol: newline-delimited JSON requests and responses.
+//!
+//! # Grammar
+//!
+//! One request per line, one response line per request, ids echoed back:
+//!
+//! ```text
+//! request  := { "op": op, "id": uint, ...op-fields } "\n"
+//! op       := "prepare" | "execute" | "execute_with_bindings" | "stats" | "close"
+//!
+//! prepare  fields: "text": string, "schema"?: [ {"name": string, "type": string} ]
+//! execute  fields: prepare's fields plus
+//!                  "bindings"?:     [ {"name": string, "value": value} ]
+//!                  "deadline_ms"?:  uint   (capped by the server's maximum)
+//!                  "max_work"?:     uint   (capped by the session's limit)
+//!                  "max_set_size"?: uint   (capped by the session's limit)
+//! value    := {"atom": uint} | {"bool": bool} | {"nat": uint} | {"unit": true}
+//!           | {"pair": [value, value]} | {"set": [value...]}
+//!
+//! response := { "id": uint|null, "ok": ... } "\n"
+//!           | { "id": uint|null, "error": { "code": code, "diagnostic": diag } } "\n"
+//! code     := "parse" | "type" | "eval" | "object" | "lint"   (engine errors)
+//!           | "deadline" | "work_budget"                      (per-request isolation)
+//!           | "busy"                                          (admission control)
+//!           | "protocol"                                      (malformed envelope)
+//! diag     := { "severity": string, "message": string,
+//!               "span": {"start": uint, "end": uint} | null,
+//!               "line": uint|null, "column": uint|null, "snippet": string|null }
+//! ```
+//!
+//! The `diag` object is exactly the engine's
+//! [`Diagnostic::to_json`](ncql_engine::Diagnostic::to_json) — the same
+//! structured form the REPL's `--json` flag prints — so every span, line,
+//! column and snippet a caret rendering would show arrives machine-readable.
+//! Result values are carried in the object layer's canonical printed form
+//! (`"{a1, a2}"`, `"42"`, `"(true, a7)"`), which is what the sorted,
+//! duplicate-free [`Value`] display guarantees to be deterministic.
+
+use crate::json::Json;
+use ncql_core::EvalError;
+use ncql_engine::Error;
+use ncql_object::{Type, Value};
+
+/// The error-code strings of the wire protocol.
+pub mod code {
+    /// Lex/parse failure of the query text.
+    pub const PARSE: &str = "parse";
+    /// Typecheck failure.
+    pub const TYPE: &str = "type";
+    /// Evaluation failure other than the two isolation codes below.
+    pub const EVAL: &str = "eval";
+    /// Object-model failure (binding validation, value typing).
+    pub const OBJECT: &str = "object";
+    /// Deny-level lint rejection at prepare.
+    pub const LINT: &str = "lint";
+    /// The request's wall-clock deadline expired and the evaluation was
+    /// cooperatively cancelled.
+    pub const DEADLINE: &str = "deadline";
+    /// The request's work budget (or the session's) was exhausted.
+    pub const WORK_BUDGET: &str = "work_budget";
+    /// Admission control refused the request: too many evaluations already in
+    /// flight. Retry later; nothing was evaluated.
+    pub const BUSY: &str = "busy";
+    /// The request line itself was malformed (bad JSON, unknown op, missing
+    /// id, oversized line, invalid schema/binding encoding).
+    pub const PROTOCOL: &str = "protocol";
+}
+
+/// The wire error code for an engine error: the five engine variants map to
+/// their own names, except that the two per-request isolation failures get
+/// dedicated codes — a work-budget trip is [`code::WORK_BUDGET`] and a
+/// cancelled (deadline-expired) evaluation is [`code::DEADLINE`] — so clients
+/// can distinguish "the query is wrong" from "the query was too expensive for
+/// this request's budget".
+pub fn error_code(error: &Error) -> &'static str {
+    match error {
+        Error::Parse(_) => code::PARSE,
+        Error::Type(_) => code::TYPE,
+        Error::Object { .. } => code::OBJECT,
+        Error::Lint { .. } => code::LINT,
+        Error::Eval(EvalError::WorkLimitExceeded { .. }) => code::WORK_BUDGET,
+        Error::Eval(EvalError::Cancelled { .. }) => code::DEADLINE,
+        Error::Eval(_) => code::EVAL,
+    }
+}
+
+/// A parsed request envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run the front end and report what it learned; nothing is evaluated.
+    Prepare {
+        /// Echo id.
+        id: u64,
+        /// The query text.
+        text: String,
+        /// Declared free variables, already type-parsed.
+        schema: Vec<(String, Type)>,
+    },
+    /// Prepare (served by the plan cache after the first time) and evaluate.
+    /// `execute` and `execute_with_bindings` are one op on the wire — the
+    /// latter is the same envelope with a non-empty `bindings` array.
+    Execute {
+        /// Echo id.
+        id: u64,
+        /// The query text.
+        text: String,
+        /// Declared free variables.
+        schema: Vec<(String, Type)>,
+        /// Values for the declared free variables.
+        bindings: Vec<(String, Value)>,
+        /// Requested wall-clock deadline (ms); the server caps it.
+        deadline_ms: Option<u64>,
+        /// Requested work budget; the session's limit caps it.
+        max_work: Option<u64>,
+        /// Requested intermediate-set cap; the session's limit caps it.
+        max_set_size: Option<usize>,
+    },
+    /// Session observability: cache metrics, pool workers, plan count.
+    Stats {
+        /// Echo id.
+        id: u64,
+    },
+    /// Close this connection after acknowledging.
+    Close {
+        /// Echo id.
+        id: u64,
+    },
+}
+
+impl Request {
+    /// The request's echo id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Request::Prepare { id, .. }
+            | Request::Execute { id, .. }
+            | Request::Stats { id }
+            | Request::Close { id } => *id,
+        }
+    }
+}
+
+/// A protocol-level failure: the envelope could not be understood. Carries
+/// the echo id when one was readable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// The request's id, when the envelope got far enough to read one.
+    pub id: Option<u64>,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl ProtocolError {
+    fn new(id: Option<u64>, message: impl Into<String>) -> ProtocolError {
+        ProtocolError {
+            id,
+            message: message.into(),
+        }
+    }
+}
+
+/// Encode a [`Value`] as wire JSON (the `value` production of the grammar).
+pub fn value_to_json(value: &Value) -> Json {
+    match value {
+        Value::Atom(a) => Json::Obj(vec![("atom".to_string(), Json::num(*a))]),
+        Value::Bool(b) => Json::Obj(vec![("bool".to_string(), Json::Bool(*b))]),
+        Value::Unit => Json::Obj(vec![("unit".to_string(), Json::Bool(true))]),
+        Value::Nat(n) => Json::Obj(vec![("nat".to_string(), Json::num(*n))]),
+        Value::Pair(a, b) => Json::Obj(vec![(
+            "pair".to_string(),
+            Json::Arr(vec![value_to_json(a), value_to_json(b)]),
+        )]),
+        Value::Set(s) => Json::Obj(vec![(
+            "set".to_string(),
+            Json::Arr(s.iter().map(value_to_json).collect()),
+        )]),
+    }
+}
+
+/// Decode a wire-JSON value (the inverse of [`value_to_json`]). Set elements
+/// are canonicalized (sorted, deduplicated) by construction.
+pub fn value_from_json(json: &Json) -> Result<Value, String> {
+    let fail = || format!("invalid value encoding: {json}");
+    match json {
+        Json::Obj(_) => {
+            if let Some(n) = json.get("atom") {
+                return n.as_u64().map(Value::Atom).ok_or_else(fail);
+            }
+            if let Some(b) = json.get("bool") {
+                return b.as_bool().map(Value::Bool).ok_or_else(fail);
+            }
+            if json.get("unit").is_some() {
+                return Ok(Value::Unit);
+            }
+            if let Some(n) = json.get("nat") {
+                return n.as_u64().map(Value::Nat).ok_or_else(fail);
+            }
+            if let Some(p) = json.get("pair") {
+                let items = p.as_arr().ok_or_else(fail)?;
+                if items.len() != 2 {
+                    return Err(fail());
+                }
+                return Ok(Value::pair(
+                    value_from_json(&items[0])?,
+                    value_from_json(&items[1])?,
+                ));
+            }
+            if let Some(s) = json.get("set") {
+                let items = s.as_arr().ok_or_else(fail)?;
+                let elems: Result<Vec<Value>, String> = items.iter().map(value_from_json).collect();
+                return Ok(Value::set_from(elems?));
+            }
+            Err(fail())
+        }
+        _ => Err(fail()),
+    }
+}
+
+/// Parse one request line (already length-checked by the connection loop).
+pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
+    let json = crate::json::parse(line)
+        .map_err(|e| ProtocolError::new(None, format!("request is not valid JSON: {e}")))?;
+    // The id is extracted first so even a bad envelope echoes it back.
+    let id = json.get("id").and_then(Json::as_u64);
+    let op = json
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ProtocolError::new(id, "missing or non-string `op`"))?
+        .to_string();
+    let id = id.ok_or_else(|| ProtocolError::new(None, "missing or non-integer `id`"))?;
+
+    let text = |field_required: bool| -> Result<String, ProtocolError> {
+        match json.get("text").and_then(Json::as_str) {
+            Some(t) => Ok(t.to_string()),
+            None if field_required => Err(ProtocolError::new(id.into(), "missing `text`")),
+            None => Ok(String::new()),
+        }
+    };
+    let schema = || -> Result<Vec<(String, Type)>, ProtocolError> {
+        let mut out = Vec::new();
+        if let Some(entries) = json.get("schema") {
+            let entries = entries
+                .as_arr()
+                .ok_or_else(|| ProtocolError::new(id.into(), "`schema` must be an array"))?;
+            for entry in entries {
+                let name = entry
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| ProtocolError::new(id.into(), "schema entry missing `name`"))?;
+                let ty_text = entry
+                    .get("type")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| ProtocolError::new(id.into(), "schema entry missing `type`"))?;
+                let ty = ncql_surface::parse_type(ty_text).map_err(|e| {
+                    ProtocolError::new(id.into(), format!("invalid schema type `{ty_text}`: {e}"))
+                })?;
+                out.push((name.to_string(), ty));
+            }
+        }
+        Ok(out)
+    };
+
+    match op.as_str() {
+        "prepare" => Ok(Request::Prepare {
+            id,
+            text: text(true)?,
+            schema: schema()?,
+        }),
+        "execute" | "execute_with_bindings" => {
+            let mut bindings = Vec::new();
+            if let Some(entries) = json.get("bindings") {
+                let entries = entries
+                    .as_arr()
+                    .ok_or_else(|| ProtocolError::new(id.into(), "`bindings` must be an array"))?;
+                for entry in entries {
+                    let name = entry.get("name").and_then(Json::as_str).ok_or_else(|| {
+                        ProtocolError::new(id.into(), "binding entry missing `name`")
+                    })?;
+                    let value = entry.get("value").ok_or_else(|| {
+                        ProtocolError::new(id.into(), "binding entry missing `value`")
+                    })?;
+                    let value =
+                        value_from_json(value).map_err(|e| ProtocolError::new(id.into(), e))?;
+                    bindings.push((name.to_string(), value));
+                }
+            }
+            let uint_field = |name: &str| -> Result<Option<u64>, ProtocolError> {
+                match json.get(name) {
+                    None => Ok(None),
+                    Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+                        ProtocolError::new(
+                            id.into(),
+                            format!("`{name}` must be a non-negative integer"),
+                        )
+                    }),
+                }
+            };
+            Ok(Request::Execute {
+                id,
+                text: text(true)?,
+                schema: schema()?,
+                bindings,
+                deadline_ms: uint_field("deadline_ms")?,
+                max_work: uint_field("max_work")?,
+                max_set_size: uint_field("max_set_size")?.map(|n| n as usize),
+            })
+        }
+        "stats" => Ok(Request::Stats { id }),
+        "close" => Ok(Request::Close { id }),
+        other => Err(ProtocolError::new(
+            id.into(),
+            format!("unknown op `{other}`"),
+        )),
+    }
+}
+
+/// An `ok` response envelope around `body`.
+pub fn ok_response(id: u64, body: Json) -> String {
+    Json::Obj(vec![
+        ("id".to_string(), Json::num(id)),
+        ("ok".to_string(), body),
+    ])
+    .to_string()
+}
+
+/// An `error` response envelope: the code plus the structured diagnostic
+/// (pre-serialized by the engine's `Diagnostic::to_json`).
+pub fn error_response(id: Option<u64>, code: &str, diagnostic_json: String) -> String {
+    Json::Obj(vec![
+        ("id".to_string(), id.map(Json::num).unwrap_or(Json::Null)),
+        (
+            "error".to_string(),
+            Json::Obj(vec![
+                ("code".to_string(), Json::str(code)),
+                ("diagnostic".to_string(), Json::Raw(diagnostic_json)),
+            ]),
+        ),
+    ])
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_round_trip_through_the_wire_encoding() {
+        let values = [
+            Value::Atom(7),
+            Value::Bool(false),
+            Value::Unit,
+            Value::Nat(123456),
+            Value::pair(Value::Atom(1), Value::Bool(true)),
+            Value::set_from([
+                Value::pair(Value::Atom(1), Value::Atom(2)),
+                Value::pair(Value::Atom(2), Value::Atom(3)),
+            ]),
+            Value::empty_set(),
+        ];
+        for v in values {
+            let json = value_to_json(&v);
+            let back = value_from_json(&crate::json::parse(&json.to_string()).unwrap()).unwrap();
+            assert_eq!(v, back, "{json}");
+        }
+    }
+
+    #[test]
+    fn set_encodings_canonicalize() {
+        // Duplicates and out-of-order elements are legal on the wire; the
+        // decoded set is canonical regardless.
+        let json = crate::json::parse(r#"{"set":[{"atom":9},{"atom":1},{"atom":9}]}"#).unwrap();
+        let v = value_from_json(&json).unwrap();
+        assert_eq!(v, Value::atom_set([1, 9]));
+    }
+
+    #[test]
+    fn requests_parse_with_schemas_and_bindings() {
+        let line = r#"{"op":"execute_with_bindings","id":3,"text":"card(s)","schema":[{"name":"s","type":"{atom}"}],"bindings":[{"name":"s","value":{"set":[{"atom":1},{"atom":2}]}}],"deadline_ms":50,"max_work":1000}"#;
+        match parse_request(line).unwrap() {
+            Request::Execute {
+                id,
+                text,
+                schema,
+                bindings,
+                deadline_ms,
+                max_work,
+                max_set_size,
+            } => {
+                assert_eq!(id, 3);
+                assert_eq!(text, "card(s)");
+                assert_eq!(schema.len(), 1);
+                assert_eq!(schema[0].0, "s");
+                assert_eq!(schema[0].1.to_string(), "{atom}");
+                assert_eq!(bindings, vec![("s".to_string(), Value::atom_set([1, 2]))]);
+                assert_eq!(deadline_ms, Some(50));
+                assert_eq!(max_work, Some(1000));
+                assert_eq!(max_set_size, None);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn envelope_failures_carry_the_id_when_readable() {
+        let no_id = parse_request(r#"{"op":"execute","text":"1"}"#).unwrap_err();
+        assert_eq!(no_id.id, None);
+        let bad_op = parse_request(r#"{"op":"evaluate","id":9}"#).unwrap_err();
+        assert_eq!(bad_op.id, Some(9));
+        assert!(bad_op.message.contains("unknown op"));
+        let bad_schema = parse_request(
+            r#"{"op":"prepare","id":4,"text":"s","schema":[{"name":"s","type":"{"}]}"#,
+        )
+        .unwrap_err();
+        assert_eq!(bad_schema.id, Some(4));
+        assert!(bad_schema.message.contains("invalid schema type"));
+    }
+
+    #[test]
+    fn isolation_failures_get_their_own_codes() {
+        use ncql_core::EvalError;
+        assert_eq!(
+            error_code(&Error::Eval(EvalError::work_limit_exceeded(5))),
+            code::WORK_BUDGET
+        );
+        assert_eq!(
+            error_code(&Error::Eval(EvalError::cancelled(
+                "deadline of 5ms exceeded"
+            ))),
+            code::DEADLINE
+        );
+        assert_eq!(
+            error_code(&Error::Eval(EvalError::stuck("pi1 of non-pair"))),
+            code::EVAL
+        );
+    }
+}

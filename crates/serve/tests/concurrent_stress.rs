@@ -1,0 +1,185 @@
+//! Concurrency stress: many simultaneous wire clients against one server
+//! must produce bit-identical values to direct `Session` execution, absorb
+//! overload through typed `busy` answers without deadlocking (including at
+//! pool width 1 — the `NCQL_TEST_PARALLELISM=1` CI leg), and cancel an
+//! over-deadline query while the rest of the in-flight traffic completes.
+
+use ncql_core::parallelism_from_env;
+use ncql_engine::SessionBuilder;
+use ncql_object::Value;
+use ncql_serve::corpus::{expensive_query, CORPUS};
+use ncql_serve::protocol::code;
+use ncql_serve::{Client, ExecuteParams, ServeConfig, Server, ServerHandle};
+use std::time::Duration;
+
+/// The suite's session builder: backend from `NCQL_TEST_PARALLELISM` (the
+/// same idiom as the differential suites), cutover 1 so parallel legs fork.
+fn builder() -> SessionBuilder {
+    SessionBuilder::new()
+        .parallelism(parallelism_from_env())
+        .parallel_cutoff(1)
+}
+
+fn serve(config: ServeConfig) -> ServerHandle {
+    Server::bind(config, builder().build())
+        .expect("bind")
+        .spawn()
+        .expect("spawn")
+}
+
+/// Execute over the wire, absorbing `busy` answers by retrying. Panics after
+/// an implausible number of retries — that would be the deadlock this suite
+/// exists to rule out.
+fn execute_retrying(client: &mut Client, text: &str) -> Value {
+    for _ in 0..10_000 {
+        match client.execute(text) {
+            Ok(outcome) => return outcome.value,
+            Err(e) if e.code() == Some(code::BUSY) => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) => panic!("wire execution of `{text}` failed: {e}"),
+        }
+    }
+    panic!("`{text}` starved: 10k busy answers in a row looks like livelock");
+}
+
+#[test]
+fn sixty_four_concurrent_clients_match_direct_execution_bit_for_bit() {
+    // Direct execution on an identically configured session gives the
+    // expected value for every corpus entry.
+    let local = builder().build();
+    let expected: Vec<Value> = CORPUS
+        .iter()
+        .map(|q| local.run(q.text).expect(q.name).value)
+        .collect();
+
+    // max_inflight far below the client count so admission control is
+    // genuinely contended, not just present.
+    let handle = serve(ServeConfig {
+        max_inflight: 8,
+        admission_timeout_ms: 5,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+
+    const CLIENTS: usize = 64;
+    const REQUESTS_PER_CLIENT: usize = 8;
+    std::thread::scope(|scope| {
+        let expected = &expected;
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|client_index| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    for request_index in 0..REQUESTS_PER_CLIENT {
+                        let pick = (client_index + request_index) % CORPUS.len();
+                        let value = execute_retrying(&mut client, CORPUS[pick].text);
+                        assert_eq!(
+                            value, expected[pick],
+                            "client {client_index} got a different value for {}",
+                            CORPUS[pick].name
+                        );
+                    }
+                    client.close().expect("close");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread panicked");
+        }
+    });
+    handle.shutdown();
+}
+
+#[test]
+fn admission_width_one_never_deadlocks() {
+    // The tightest possible admission window: one evaluation at a time, with
+    // a 1ms acquire timeout, hammered by 16 clients. Every request must
+    // eventually complete via busy-retry — if a permit ever leaked, this
+    // would livelock and trip the retry bound.
+    let handle = serve(ServeConfig {
+        max_inflight: 1,
+        admission_timeout_ms: 1,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..16)
+            .map(|client_index| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    for request_index in 0..6 {
+                        let pick = (client_index + request_index) % CORPUS.len();
+                        execute_retrying(&mut client, CORPUS[pick].text);
+                    }
+                    client.close().expect("close");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread panicked");
+        }
+    });
+    handle.shutdown();
+}
+
+#[test]
+fn a_cancelled_deadline_does_not_disturb_other_in_flight_clients() {
+    let handle = serve(ServeConfig::default());
+    let addr = handle.addr();
+    let local = builder().build();
+    let expected: Vec<Value> = CORPUS
+        .iter()
+        .map(|q| local.run(q.text).expect(q.name).value)
+        .collect();
+
+    std::thread::scope(|scope| {
+        // One slow client: an expensive query under a 1ms deadline, walked up
+        // a size ladder until the deadline genuinely fires mid-evaluation.
+        let slow = scope.spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            for n in [48usize, 64, 96, 128] {
+                let text = expensive_query(n);
+                match client.execute_with(
+                    &text,
+                    &ExecuteParams {
+                        deadline_ms: Some(1),
+                        ..Default::default()
+                    },
+                ) {
+                    Ok(_) => continue,
+                    Err(e) => {
+                        let diag = e.remote().expect("typed error").clone();
+                        assert_eq!(diag.code, code::DEADLINE);
+                        client.close().expect("close");
+                        return;
+                    }
+                }
+            }
+            panic!("no ladder size exceeded a 1ms deadline");
+        });
+
+        // Eight fast clients running the corpus at the same time: all must
+        // succeed with correct values while the slow query is cancelled.
+        let fast: Vec<_> = (0..8)
+            .map(|client_index| {
+                let expected = &expected;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    for request_index in 0..6 {
+                        let pick = (client_index + request_index) % CORPUS.len();
+                        let value = execute_retrying(&mut client, CORPUS[pick].text);
+                        assert_eq!(value, expected[pick], "{}", CORPUS[pick].name);
+                    }
+                    client.close().expect("close");
+                })
+            })
+            .collect();
+
+        for h in fast {
+            h.join().expect("fast client panicked");
+        }
+        slow.join().expect("slow client panicked");
+    });
+    handle.shutdown();
+}

@@ -20,27 +20,67 @@
 //! raw and rewritten ASTs, the fired rules, and the before/after symbolic
 //! bounds without executing anything.
 //!
+//! Diagnostics: `--json` prints every diagnostic (errors and lint findings)
+//! as one structured JSON object per line — the same
+//! `Diagnostic::to_json()` payload the `ncql-served` wire protocol carries —
+//! instead of rendered caret art. Prefixing the query with `:stats` prints
+//! the session observability counters (plan-cache metrics, live pool
+//! workers, prepared-plan count — the numbers a server's `stats` request
+//! reports) after the run; `:stats` alone prints them for an idle session.
+//!
 //! Examples:
 //!
 //! ```text
 //! cargo run --example query_repl -- "nat_add(20, 22)"
 //! cargo run --example query_repl -- ":analyze ext(\x: atom. {x}, {@1} union {@2})"
 //! cargo run --example query_repl -- ":optimize {@1} union {@2} union {@1}"
+//! cargo run --example query_repl -- ":stats {@1} union {@2}"
+//! cargo run --example query_repl -- --json "pi1 true"
 //! cargo run --example query_repl -- --parallel 4 \
 //!   "dcr(empty[(atom * atom)], \y: atom. {(@1,@2)} union {(@2,@3)}, \
 //!        \p: ({(atom*atom)} * {(atom*atom)}). pi1 p union pi2 p, {@1} union {@2})"
 //! echo "{@1} union {@2} union {@1}" | NCQL_PARALLELISM=4 cargo run --example query_repl
 //! ```
 
-use ncql::{LintPolicy, PreparedQuery, SessionBuilder};
+use ncql::{Error, LintPolicy, PreparedQuery, Session, SessionBuilder};
 use std::io::Read;
 
-/// Print every lint finding as a caret diagnostic (warnings to stdout so the
-/// report reads top-to-bottom; the query still runs under the warn policy).
-fn report_findings(prepared: &PreparedQuery) {
+/// Print every lint finding, as caret diagnostics or (under `--json`) as
+/// structured JSON lines. Warnings go to stdout so the report reads
+/// top-to-bottom; the query still runs under the warn policy.
+fn report_findings(prepared: &PreparedQuery, json: bool) {
     for diagnostic in prepared.lint_diagnostics() {
-        println!("{diagnostic}");
+        if json {
+            println!("{}", diagnostic.to_json());
+        } else {
+            println!("{diagnostic}");
+        }
     }
+}
+
+/// Print an error and exit: structured JSON under `--json`, a rendered caret
+/// diagnostic otherwise.
+fn fail(err: &Error, text: &str, json: bool) -> ! {
+    if json {
+        eprintln!("{}", err.diagnostic(text).to_json());
+    } else {
+        eprintln!("{}", err.render(text));
+    }
+    std::process::exit(1);
+}
+
+/// The `:stats` report: the same counters the serve protocol's `stats`
+/// request returns — plan-cache behaviour, live pool workers, prepared-plan
+/// count, backend.
+fn report_stats(session: &Session) {
+    let metrics = session.cache_metrics();
+    println!(
+        "cache       : {} hits / {} misses / {} evictions ({} of {} plans)",
+        metrics.hits, metrics.misses, metrics.evictions, metrics.len, metrics.capacity
+    );
+    println!("plans       : {}", metrics.len);
+    println!("pool workers: {}", ncql::pram::live_pool_workers());
+    println!("backend     : {}", session.backend());
 }
 
 fn main() {
@@ -66,6 +106,13 @@ fn main() {
         builder = builder.lint_policy(LintPolicy::Deny);
         args.remove(pos);
     }
+    let json = match args.iter().position(|a| a == "--json") {
+        Some(pos) => {
+            args.remove(pos);
+            true
+        }
+        None => false,
+    };
     let session = builder.build();
 
     let text = match args.into_iter().next() {
@@ -81,14 +128,15 @@ fn main() {
     let text = text.trim();
     if text.is_empty() {
         eprintln!(
-            "usage: query_repl [--parallel N] [--lint] \"[:analyze|:optimize] <query>\"   \
-             (or pipe a query on stdin)"
+            "usage: query_repl [--parallel N] [--lint] [--json] \
+             \"[:analyze|:optimize|:stats] <query>\"   (or pipe a query on stdin)"
         );
         std::process::exit(2);
     }
 
     // `:analyze <query>` prints the static analysis and skips execution;
-    // `:optimize <query>` prints the before/after plan and bounds instead.
+    // `:optimize <query>` prints the before/after plan and bounds instead;
+    // `:stats [query]` appends the session observability counters.
     let (analyze_only, text) = match text.strip_prefix(":analyze") {
         Some(rest) => (true, rest.trim()),
         None => (false, text),
@@ -97,15 +145,18 @@ fn main() {
         Some(rest) => (true, rest.trim()),
         None => (false, text),
     };
+    let (stats_wanted, text) = match text.strip_prefix(":stats") {
+        Some(rest) => (true, rest.trim()),
+        None => (false, text),
+    };
+    if stats_wanted && text.is_empty() {
+        report_stats(&session);
+        return;
+    }
 
     let prepared = match session.prepare(text) {
         Ok(p) => p,
-        Err(err) => {
-            // Caret diagnostic: the error's span resolved against the query
-            // text, pointing at the offending token/subexpression.
-            eprintln!("{}", err.render(text));
-            std::process::exit(1);
-        }
+        Err(err) => fail(&err, text, json),
     };
     if optimize_only {
         // Before/after view of what the session's optimizer did to the plan.
@@ -137,13 +188,13 @@ fn main() {
     println!("static cost : {cost}");
 
     if analyze_only {
-        report_findings(&prepared);
+        report_findings(&prepared, json);
         if prepared.analysis().findings.is_empty() {
             println!("lints       : clean");
         }
         return;
     }
-    report_findings(&prepared);
+    report_findings(&prepared, json);
     println!("backend     : {}", session.backend());
 
     match session.execute(&prepared) {
@@ -154,9 +205,9 @@ fn main() {
                 outcome.stats.work, outcome.stats.span
             );
         }
-        Err(err) => {
-            eprintln!("{}", err.render(text));
-            std::process::exit(1);
-        }
+        Err(err) => fail(&err, text, json),
+    }
+    if stats_wanted {
+        report_stats(&session);
     }
 }

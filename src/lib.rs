@@ -6,11 +6,13 @@ pub use ncql_engine as engine;
 pub use ncql_object as object;
 pub use ncql_pram as pram;
 pub use ncql_queries as queries;
+pub use ncql_serve as serve;
 pub use ncql_surface as surface;
 pub use ncql_translate as translate;
 
 pub use ncql_core::Span;
 pub use ncql_engine::{
-    Backend, Bound, CacheMetrics, CostBound, Diagnostic, Error, Finding, FiredRewrite, Lint,
-    LintPolicy, OptLevel, Outcome, PreparedQuery, QueryAnalysis, Session, SessionBuilder, Severity,
+    Backend, Bound, CacheMetrics, CancelToken, CostBound, Diagnostic, Error, ExecOptions, Finding,
+    FiredRewrite, Lint, LintPolicy, OptLevel, Outcome, PreparedQuery, QueryAnalysis, Session,
+    SessionBuilder, Severity,
 };
