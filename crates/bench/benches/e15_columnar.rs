@@ -1,0 +1,66 @@
+//! E15 — the two `VSet` representations on the canonicalization hot path, and
+//! the shard-merge strategies the parallel `ext` chooses between.
+use criterion::{criterion_group, criterion_main, Criterion};
+use ncql_object::{VSet, Value};
+use std::time::Duration;
+
+/// The same deterministic unsorted flat-pair vector the report binary's E15
+/// table uses (duplicates included, so dedup work is real).
+fn scrambled_pairs(n: usize) -> Vec<Value> {
+    (0..n as u64)
+        .map(|i| {
+            let key = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            Value::pair(
+                Value::Atom(key % (n as u64 / 2 + 1)),
+                Value::Nat((key >> 32) % 64),
+            )
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e15_columnar");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    let n = 40_000;
+    let elems = scrambled_pairs(n);
+    // Canonicalization A/B: identical input, identical resulting set, the
+    // only difference is the physical representation the sort runs over.
+    group.bench_function("canonicalize_boxed", |b| {
+        b.iter(|| VSet::from_iter_boxed(elems.clone()))
+    });
+    group.bench_function("canonicalize_columnar", |b| {
+        b.iter(|| elems.iter().cloned().collect::<VSet>())
+    });
+    // Merge A/B on pre-sorted overlapping shards (what parallel `ext`
+    // workers hand back): flatten-and-sort vs pairwise canonical unions.
+    let parts: Vec<VSet> = elems
+        .chunks(n.div_ceil(16))
+        .map(|chunk| chunk.iter().cloned().collect())
+        .collect();
+    group.bench_function("merge_union_many", |b| {
+        b.iter(|| VSet::union_many(parts.clone()))
+    });
+    group.bench_function("merge_pairwise_tree", |b| {
+        b.iter(|| {
+            let mut round: Vec<VSet> = parts.clone();
+            while round.len() > 1 {
+                round = round
+                    .chunks(2)
+                    .map(|pair| match pair {
+                        [a, b] => a.union(b),
+                        [a] => a.clone(),
+                        _ => unreachable!(),
+                    })
+                    .collect();
+            }
+            round.pop().unwrap_or_default()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

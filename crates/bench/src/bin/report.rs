@@ -52,6 +52,22 @@ fn main() {
         Err(e) => eprintln!("could not write BENCH_serve.json: {e}\n"),
     }
 
+    // E15 (columnar set representation) also runs outside `check_shapes`:
+    // the ratios are machine-dependent, while the hard invariant — all
+    // canonicalization and merge paths produce the identical set — is
+    // asserted inside e15_columnar. The measured numbers are persisted to
+    // BENCH_columnar.json.
+    let (columnar_table, columnar_payload) = if full {
+        bench::e15_columnar(&[50_000, 200_000], 16)
+    } else {
+        bench::e15_columnar(&[20_000, 80_000], 16)
+    };
+    println!("{columnar_table}");
+    match std::fs::write("BENCH_columnar.json", &columnar_payload) {
+        Ok(()) => println!("wrote BENCH_columnar.json\n"),
+        Err(e) => eprintln!("could not write BENCH_columnar.json: {e}\n"),
+    }
+
     match bench::check_shapes(&tables) {
         Ok(()) => {
             println!("All qualitative shapes hold (see EXPERIMENTS.md for the expected shapes).")

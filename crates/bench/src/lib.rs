@@ -706,6 +706,121 @@ pub fn e14_serve_latency(clients: &[usize], requests_per_client: usize) -> (Tabl
     (t, payload)
 }
 
+/// A deterministic unsorted element vector of flat-shaped pairs with plenty
+/// of duplicates — the shape of data the evaluator's `ext` hands to set
+/// canonicalization. The multiplicative scramble is a fixed odd constant, so
+/// every run (and both A/B arms) sees the same input.
+fn scrambled_pairs(n: usize) -> Vec<Value> {
+    (0..n as u64)
+        .map(|i| {
+            let key = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            Value::pair(
+                Value::Atom(key % (n as u64 / 2 + 1)),
+                Value::Nat((key >> 32) % 64),
+            )
+        })
+        .collect()
+}
+
+/// The minimum wall-clock time of `reps` runs of `f`, in microseconds, plus
+/// the last result (for cross-arm equality checks).
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, u64) {
+    let mut best = u64::MAX;
+    let mut out = None;
+    for _ in 0..reps {
+        let started = Instant::now();
+        let r = f();
+        best = best.min(started.elapsed().as_micros() as u64);
+        out = Some(r);
+    }
+    (out.expect("reps >= 1"), best)
+}
+
+/// E15 — columnar flat sets: canonicalization and parallel canonical merge.
+///
+/// Part one A/Bs the two `VSet` representations on the hot path the
+/// evaluator's `ext` runs — canonicalizing a large unsorted flat-shaped
+/// element vector — by building the same set through `VSet::from_iter`
+/// (columnar word rows, vectorized row sort) and `VSet::from_iter_boxed`
+/// (boxed values, comparison sort). Part two times the canonical merge of
+/// pre-sorted shards, the shape the parallel `ext` produces: sequentially via
+/// `VSet::union_many` and as pairwise combine rounds on the work-stealing
+/// pool at 1 and 4 workers. All paths must land on the identical canonical
+/// set — the merge is deterministic by canonicity, so only time may differ.
+/// Returns the table plus the `BENCH_columnar.json` payload.
+pub fn e15_columnar(sizes: &[usize], shards: usize) -> (Table, String) {
+    use ncql_object::VSet;
+    use ncql_pram::WorkStealingPool;
+
+    let mut t = Table::new(
+        "E15",
+        "Columnar sets: canonicalization A/B and shard-merge scaling (best of 3, microseconds)",
+        &[
+            "n",
+            "boxed_us",
+            "columnar_us",
+            "canon_ratio",
+            "merge_seq_us",
+            "merge_p1_us",
+            "merge_p4_us",
+        ],
+    );
+    let reps = 3;
+    let mut payload_rows = Vec::new();
+    for &n in sizes {
+        let elems = scrambled_pairs(n);
+        let (boxed, boxed_us) = best_of(reps, || VSet::from_iter_boxed(elems.clone()));
+        let (columnar, columnar_us) = best_of(reps, || elems.iter().cloned().collect::<VSet>());
+        assert_eq!(boxed, columnar, "representations diverged at n = {n}");
+        assert!(columnar.is_columnar(), "large flat set must be columnar");
+
+        // Pre-sorted overlapping shards: each chunk spans the whole key
+        // space, so the merge deduplicates across every shard boundary.
+        let parts: Vec<VSet> = elems
+            .chunks(n.div_ceil(shards))
+            .map(|chunk| chunk.iter().cloned().collect())
+            .collect();
+        let (merged_seq, merge_seq_us) = best_of(reps, || VSet::union_many(parts.clone()));
+        assert_eq!(merged_seq, columnar, "sequential merge diverged at n = {n}");
+        let mut pool_us = Vec::new();
+        for threads in [1usize, 4] {
+            let pool = WorkStealingPool::new(threads);
+            let region = pool.try_borrow(threads).expect("fresh pool has budget");
+            let (merged, us) = best_of(reps, || {
+                region
+                    .reduce(parts.clone(), |a, b| a.union(b))
+                    .expect("union never panics")
+                    .unwrap_or_default()
+            });
+            assert_eq!(
+                merged, columnar,
+                "pool merge ({threads} workers) diverged at n = {n}"
+            );
+            drop(region);
+            pool.shutdown();
+            pool_us.push(us);
+        }
+        t.push_row(vec![
+            n.to_string(),
+            boxed_us.to_string(),
+            columnar_us.to_string(),
+            format!("{:.2}", boxed_us as f64 / columnar_us.max(1) as f64),
+            merge_seq_us.to_string(),
+            pool_us[0].to_string(),
+            pool_us[1].to_string(),
+        ]);
+        payload_rows.push(format!(
+            "{{\"n\":{n},\"shards\":{shards},\"boxed_us\":{boxed_us},\"columnar_us\":{columnar_us},\"merge_seq_us\":{merge_seq_us},\"merge_pool1_us\":{},\"merge_pool4_us\":{}}}",
+            pool_us[0], pool_us[1]
+        ));
+    }
+    let payload = format!(
+        "{{\"experiment\":\"E15\",\"reps\":{reps},\"rows\":[{}]}}\n",
+        payload_rows.join(",")
+    );
+    (t, payload)
+}
+
 /// Run every experiment at small, CI-friendly sizes and return all tables.
 pub fn run_all_quick() -> Vec<Table> {
     vec![
@@ -862,5 +977,15 @@ mod tests {
     fn e7_reports_matching_results() {
         let t = e7_ptime_vs_nc(&[6], 2);
         assert_eq!(t.rows.len(), 1);
+    }
+
+    #[test]
+    fn e15_merge_paths_agree_at_small_sizes() {
+        // The equality assertions inside e15_columnar are the real gate; this
+        // just runs them at a CI-cheap size and checks the payload is JSON-ish.
+        let (t, payload) = e15_columnar(&[2_000], 4);
+        assert_eq!(t.rows.len(), 1);
+        assert!(payload.starts_with("{\"experiment\":\"E15\""));
+        assert!(payload.trim_end().ends_with("]}"));
     }
 }

@@ -333,6 +333,21 @@ fn flatten_task_error(e: TaskError<EvalError>) -> EvalError {
     }
 }
 
+/// Like [`flatten_task_error`] for infallible pool tasks (the post-`ext`
+/// shard merge): only a panic can surface, the `Failed` arm is uninhabited.
+fn flatten_merge_panic(e: TaskError<std::convert::Infallible>) -> EvalError {
+    match e {
+        TaskError::Failed(never) => match never {},
+        TaskError::Panicked(msg) => EvalError::worker_panicked(msg),
+    }
+}
+
+/// Minimum total elements across the shards of one post-`ext` merge before a
+/// parallel combine round is attempted; below this, forking costs more than
+/// the sequential flat-row merge it replaces. Purely a scheduling heuristic —
+/// every path produces the same canonical set.
+const PAR_MERGE_MIN_ROWS: usize = 1024;
+
 /// The instrumented evaluator.
 #[derive(Debug)]
 pub struct Evaluator {
@@ -698,10 +713,11 @@ impl Evaluator {
             ExprKind::Ext(f, e) => {
                 let (clo, sf) = self.eval_clo(f, env, "ext function")?;
                 let (set, se) = self.eval_set(e, env, "ext argument")?;
-                let mapped: Vec<(Value, u64)> = match self.parallel_region(set.len(), &clo) {
-                    Some(region) => {
-                        self.par_leaf_map(&region, &clo, set.as_slice(), true, &None)?
-                    }
+                // The permit outlives the leaf map: the same borrowed workers
+                // run the parallel shard-merge rounds below.
+                let region = self.parallel_region(set.len(), &clo);
+                let mapped: Vec<(Value, u64)> = match &region {
+                    Some(region) => self.par_leaf_map(region, &clo, set.as_slice(), true, &None)?,
                     None => {
                         let mut out = Vec::with_capacity(set.len());
                         for x in set.iter() {
@@ -711,12 +727,12 @@ impl Evaluator {
                         out
                     }
                 };
-                let mut parts: Vec<Value> = Vec::new();
+                let mut parts: Vec<VSet> = Vec::with_capacity(mapped.len());
                 let mut max_elem_span = 0u64;
                 for (res, sx) in mapped {
                     max_elem_span = max_elem_span.max(sx);
                     match res {
-                        Value::Set(s) => parts.extend(s.into_vec()),
+                        Value::Set(s) => parts.push(s),
                         other => {
                             return Err(EvalError::stuck(format!(
                                 "ext function returned a non-set {other}"
@@ -724,7 +740,7 @@ impl Evaluator {
                         }
                     }
                 }
-                let result = VSet::from_iter(parts);
+                let result = self.merge_ext_parts(region.as_ref(), parts)?;
                 self.add_work(result.len() as u64)?;
                 self.note_set(&result)?;
                 // All element computations run independently; the final union is
@@ -879,6 +895,36 @@ impl Evaluator {
             }
         }
         Ok(next)
+    }
+
+    /// Canonical union of the per-element result sets of one `ext`. With an
+    /// active region, the shard list is halved by parallel pairwise-merge
+    /// rounds ([`RegionPermit::combine_round`]) while it is wide and heavy
+    /// enough to pay for forking; the remaining tail — and the whole merge on
+    /// the sequential backend — goes through [`VSet::union_many`], whose
+    /// flat-shape fast path canonicalizes fixed-width word rows instead of
+    /// boxed values. Every path yields exactly the set the old sequential
+    /// `VSet::from_iter` produced (canonical representations are unique), and
+    /// like the sort it replaces the merge itself charges no work — the
+    /// caller charges the result cardinality once.
+    fn merge_ext_parts(
+        &mut self,
+        region: Option<&RegionPermit>,
+        mut parts: Vec<VSet>,
+    ) -> EvalResult<VSet> {
+        if let Some(region) = region {
+            parts.retain(|s| !s.is_empty());
+            while parts.len() > 2
+                && parts.iter().map(VSet::len).sum::<usize>() >= PAR_MERGE_MIN_ROWS
+            {
+                // Poll cancellation/limits between log-depth merge levels.
+                self.add_work(0)?;
+                parts = region
+                    .combine_round(parts, |a, b| a.union(b))
+                    .map_err(flatten_merge_panic)?;
+            }
+        }
+        Ok(VSet::union_many(parts))
     }
 
     // ----- parallel backend (forking onto the `ncql-pram` pool) -----

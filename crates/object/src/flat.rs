@@ -1,0 +1,374 @@
+//! Flat shapes and the fixed-width row encoding behind the columnar set
+//! representation.
+//!
+//! A value is *flat* when it is built from scalars and pairs only — no set
+//! constructor anywhere: atoms, booleans, `()`, external naturals, and nested
+//! pairs thereof. §5's string encoding already observes that such values have
+//! a fixed, type-determined size; this module promotes that observation into
+//! the runtime. Every flat value of a given [`FlatShape`] encodes to exactly
+//! [`FlatShape::width`] machine words, laid out left-to-right in constructor
+//! order:
+//!
+//! * `()` contributes no words;
+//! * `false`/`true` contribute `0`/`1`;
+//! * atoms and naturals contribute their `u64` identity;
+//! * a pair contributes its first component's words followed by its second's.
+//!
+//! The layout is chosen so that **lexicographic word comparison of two
+//! same-shape rows equals [`Value`]'s lifted linear order** ([`Ord`] on
+//! values): scalars order by their word, and the pair order (lexicographic,
+//! first component first) coincides with comparing the concatenated rows
+//! because the first component occupies a fixed prefix of the row. This is
+//! what lets [`crate::VSet`] store a set of flat values as one `Vec<u64>` of
+//! row-major rows and run membership, equality, ordering and the set
+//! operations as tight word loops with no per-element dispatch.
+
+use crate::value::Value;
+use std::cmp::Ordering;
+
+/// The shape of a flat value: products of scalars, with no set constructor.
+///
+/// Shapes classify values, not types: [`FlatShape::of_value`] derives the
+/// unique shape of a flat value, and two values are candidates for the same
+/// columnar buffer exactly when their shapes are equal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum FlatShape {
+    /// The empty tuple `()` (zero words).
+    Unit,
+    /// A boolean (one word, `0` or `1`).
+    Bool,
+    /// An atom of the base type `D` (one word).
+    Atom,
+    /// An external natural number (one word).
+    Nat,
+    /// A pair of flat values (the components' words, concatenated).
+    Pair(Box<FlatShape>, Box<FlatShape>),
+}
+
+impl FlatShape {
+    /// The unique shape of `v`, or `None` if `v` contains a set anywhere
+    /// (sets have data-dependent size and are not flat).
+    pub fn of_value(v: &Value) -> Option<FlatShape> {
+        match v {
+            Value::Unit => Some(FlatShape::Unit),
+            Value::Bool(_) => Some(FlatShape::Bool),
+            Value::Atom(_) => Some(FlatShape::Atom),
+            Value::Nat(_) => Some(FlatShape::Nat),
+            Value::Pair(a, b) => Some(FlatShape::Pair(
+                Box::new(FlatShape::of_value(a)?),
+                Box::new(FlatShape::of_value(b)?),
+            )),
+            Value::Set(_) => None,
+        }
+    }
+
+    /// Words per encoded row. `Unit` is zero-width, so shapes built only from
+    /// units have width 0 — such shapes have a single inhabitant and the
+    /// columnar representation declines them ([`crate::VSet`] keeps sets of
+    /// width-0 shapes boxed).
+    pub fn width(&self) -> usize {
+        match self {
+            FlatShape::Unit => 0,
+            FlatShape::Bool | FlatShape::Atom | FlatShape::Nat => 1,
+            FlatShape::Pair(a, b) => a.width() + b.width(),
+        }
+    }
+
+    /// Append `v`'s row to `out`. Returns `false` (possibly after pushing a
+    /// partial row — callers discard `out` on failure) when `v` does not have
+    /// this shape; on success exactly [`FlatShape::width`] words were pushed.
+    pub fn encode_into(&self, v: &Value, out: &mut Vec<u64>) -> bool {
+        match (self, v) {
+            (FlatShape::Unit, Value::Unit) => true,
+            (FlatShape::Bool, Value::Bool(b)) => {
+                out.push(u64::from(*b));
+                true
+            }
+            (FlatShape::Atom, Value::Atom(a)) => {
+                out.push(*a);
+                true
+            }
+            (FlatShape::Nat, Value::Nat(n)) => {
+                out.push(*n);
+                true
+            }
+            (FlatShape::Pair(sa, sb), Value::Pair(a, b)) => {
+                sa.encode_into(a, out) && sb.encode_into(b, out)
+            }
+            _ => false,
+        }
+    }
+
+    /// Decode one row (exactly [`FlatShape::width`] words) back into a value.
+    pub fn decode(&self, row: &[u64]) -> Value {
+        let (v, used) = self.decode_prefix(row);
+        debug_assert_eq!(used, row.len(), "row width mismatch in decode");
+        v
+    }
+
+    /// Decode this shape from the front of `words`, returning the value and
+    /// the number of words consumed.
+    fn decode_prefix(&self, words: &[u64]) -> (Value, usize) {
+        match self {
+            FlatShape::Unit => (Value::Unit, 0),
+            FlatShape::Bool => (Value::Bool(words[0] != 0), 1),
+            FlatShape::Atom => (Value::Atom(words[0]), 1),
+            FlatShape::Nat => (Value::Nat(words[0]), 1),
+            FlatShape::Pair(sa, sb) => {
+                let (a, used_a) = sa.decode_prefix(words);
+                let (b, used_b) = sb.decode_prefix(&words[used_a..]);
+                (Value::Pair(Box::new(a), Box::new(b)), used_a + used_b)
+            }
+        }
+    }
+}
+
+// ----- row kernels (crate-internal: `VSet` is the public surface) -----
+//
+// All kernels take row-major word buffers whose length is a multiple of
+// `width` (`width ≥ 1`), rows sorted ascending and duplicate-free in the row
+// (= value) order. They are the memcmp-style loops the columnar set
+// representation compiles its hot paths to.
+
+/// Compare two same-width rows: lexicographic on words, which for same-shape
+/// rows equals the lifted [`Value`] order (see the module docs).
+#[inline]
+pub(crate) fn row_cmp(a: &[u64], b: &[u64]) -> Ordering {
+    a.cmp(b)
+}
+
+/// Binary-search `rows` (sorted, dup-free) for `probe`; `Ok(i)` on a hit.
+pub(crate) fn row_search(rows: &[u64], width: usize, probe: &[u64]) -> Result<usize, usize> {
+    debug_assert_eq!(probe.len(), width);
+    let n = rows.len() / width;
+    let (mut lo, mut hi) = (0usize, n);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        match row_cmp(&rows[mid * width..(mid + 1) * width], probe) {
+            Ordering::Less => lo = mid + 1,
+            Ordering::Greater => hi = mid,
+            Ordering::Equal => return Ok(mid),
+        }
+    }
+    Err(lo)
+}
+
+/// Merge-union two sorted dup-free row buffers into a fresh one.
+pub(crate) fn row_union(a: &[u64], b: &[u64], width: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match row_cmp(&a[i..i + width], &b[j..j + width]) {
+            Ordering::Less => {
+                out.extend_from_slice(&a[i..i + width]);
+                i += width;
+            }
+            Ordering::Greater => {
+                out.extend_from_slice(&b[j..j + width]);
+                j += width;
+            }
+            Ordering::Equal => {
+                out.extend_from_slice(&a[i..i + width]);
+                i += width;
+                j += width;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Merge-intersect two sorted dup-free row buffers.
+pub(crate) fn row_intersect(a: &[u64], b: &[u64], width: usize) -> Vec<u64> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match row_cmp(&a[i..i + width], &b[j..j + width]) {
+            Ordering::Less => i += width,
+            Ordering::Greater => j += width,
+            Ordering::Equal => {
+                out.extend_from_slice(&a[i..i + width]);
+                i += width;
+                j += width;
+            }
+        }
+    }
+    out
+}
+
+/// Merge-difference (`a \ b`) of two sorted dup-free row buffers.
+pub(crate) fn row_difference(a: &[u64], b: &[u64], width: usize) -> Vec<u64> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() {
+        if j >= b.len() {
+            out.extend_from_slice(&a[i..]);
+            break;
+        }
+        match row_cmp(&a[i..i + width], &b[j..j + width]) {
+            Ordering::Less => {
+                out.extend_from_slice(&a[i..i + width]);
+                i += width;
+            }
+            Ordering::Greater => j += width,
+            Ordering::Equal => {
+                i += width;
+                j += width;
+            }
+        }
+    }
+    out
+}
+
+/// Is every row of `a` present in `b`? Two-pointer scan over sorted buffers.
+pub(crate) fn row_subset(a: &[u64], b: &[u64], width: usize) -> bool {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() {
+        if j >= b.len() {
+            return false;
+        }
+        match row_cmp(&a[i..i + width], &b[j..j + width]) {
+            Ordering::Less => return false,
+            Ordering::Greater => j += width,
+            Ordering::Equal => {
+                i += width;
+                j += width;
+            }
+        }
+    }
+    true
+}
+
+/// Sort a row-major buffer by row and remove duplicate rows, in place for
+/// width 1 and via a scratch permutation otherwise. Used by the bulk
+/// canonicalization paths (`FromIterator`, the post-`ext` merge).
+pub(crate) fn row_sort_dedup(words: Vec<u64>, width: usize) -> Vec<u64> {
+    debug_assert!(width >= 1 && words.len().is_multiple_of(width));
+    if width == 1 {
+        let mut words = words;
+        words.sort_unstable();
+        words.dedup();
+        return words;
+    }
+    let mut index: Vec<usize> = (0..words.len() / width).collect();
+    index.sort_unstable_by(|&x, &y| {
+        row_cmp(
+            &words[x * width..(x + 1) * width],
+            &words[y * width..(y + 1) * width],
+        )
+    });
+    let mut out = Vec::with_capacity(words.len());
+    for &at in &index {
+        let row = &words[at * width..(at + 1) * width];
+        if out.len() < width || row_cmp(&out[out.len() - width..], row) != Ordering::Equal {
+            out.extend_from_slice(row);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(a: Value, b: Value) -> Value {
+        Value::pair(a, b)
+    }
+
+    #[test]
+    fn shapes_classify_flat_values_and_reject_sets() {
+        assert_eq!(FlatShape::of_value(&Value::Atom(3)), Some(FlatShape::Atom));
+        let p = pair(Value::Atom(1), pair(Value::Bool(true), Value::Nat(9)));
+        let shape = FlatShape::of_value(&p).expect("flat");
+        assert_eq!(shape.width(), 3);
+        assert_eq!(FlatShape::of_value(&Value::empty_set()), None);
+        assert_eq!(
+            FlatShape::of_value(&pair(Value::Atom(1), Value::empty_set())),
+            None
+        );
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let samples = vec![
+            Value::Unit,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Atom(42),
+            Value::Nat(u64::MAX),
+            pair(Value::Atom(1), Value::Atom(2)),
+            pair(pair(Value::Unit, Value::Bool(true)), Value::Nat(7)),
+        ];
+        for v in samples {
+            let shape = FlatShape::of_value(&v).expect("flat");
+            let mut row = Vec::new();
+            assert!(shape.encode_into(&v, &mut row));
+            assert_eq!(row.len(), shape.width());
+            assert_eq!(shape.decode(&row), v);
+        }
+    }
+
+    #[test]
+    fn encode_rejects_shape_mismatches() {
+        let mut out = Vec::new();
+        assert!(!FlatShape::Atom.encode_into(&Value::Nat(1), &mut out));
+        assert!(
+            !FlatShape::Pair(Box::new(FlatShape::Atom), Box::new(FlatShape::Atom))
+                .encode_into(&pair(Value::Atom(1), Value::Bool(true)), &mut out)
+        );
+    }
+
+    #[test]
+    fn row_order_equals_value_order_on_same_shape_values() {
+        // Exhaustive-ish sweep over a nested pair shape: word order must
+        // coincide with the lifted linear order for every same-shape pair.
+        let mut values = Vec::new();
+        for a in 0..3u64 {
+            for b in [false, true] {
+                for c in 0..3u64 {
+                    values.push(pair(Value::Atom(a), pair(Value::Bool(b), Value::Nat(c))));
+                }
+            }
+        }
+        let shape = FlatShape::of_value(&values[0]).unwrap();
+        for x in &values {
+            for y in &values {
+                let (mut rx, mut ry) = (Vec::new(), Vec::new());
+                assert!(shape.encode_into(x, &mut rx) && shape.encode_into(y, &mut ry));
+                assert_eq!(row_cmp(&rx, &ry), x.cmp(y), "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_agree_with_naive_set_algebra() {
+        let width = 2;
+        let enc = |pairs: &[(u64, u64)]| -> Vec<u64> {
+            let mut rows: Vec<(u64, u64)> = pairs.to_vec();
+            rows.sort_unstable();
+            rows.dedup();
+            rows.iter().flat_map(|&(a, b)| [a, b]).collect()
+        };
+        let a = enc(&[(1, 2), (3, 4), (5, 6), (9, 0)]);
+        let b = enc(&[(3, 4), (5, 5), (9, 0), (9, 1)]);
+        assert_eq!(
+            row_union(&a, &b, width),
+            enc(&[(1, 2), (3, 4), (5, 5), (5, 6), (9, 0), (9, 1)])
+        );
+        assert_eq!(row_intersect(&a, &b, width), enc(&[(3, 4), (9, 0)]));
+        assert_eq!(row_difference(&a, &b, width), enc(&[(1, 2), (5, 6)]));
+        assert!(row_subset(&enc(&[(3, 4), (9, 0)]), &a, width));
+        assert!(!row_subset(&b, &a, width));
+        assert_eq!(row_search(&a, width, &[5, 6]), Ok(2));
+        assert!(row_search(&a, width, &[5, 5]).is_err());
+    }
+
+    #[test]
+    fn sort_dedup_canonicalizes_any_row_order() {
+        // width 1 (in-place sort) and width 2 (permutation sort).
+        assert_eq!(row_sort_dedup(vec![5, 1, 3, 1, 5], 1), vec![1, 3, 5]);
+        let rows = vec![9, 0, 1, 2, 9, 0, 1, 1];
+        assert_eq!(row_sort_dedup(rows, 2), vec![1, 1, 1, 2, 9, 0]);
+    }
+}

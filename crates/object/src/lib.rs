@@ -10,6 +10,9 @@
 //! * [`Value`] — complex object values with a canonical (sorted, duplicate-free)
 //!   set representation and a total order lifted from the order on `D` to all
 //!   types, as required for queries over *ordered* databases.
+//! * [`flat`] — flat shapes (products of scalars) and the fixed-width word-row
+//!   encoding behind [`VSet`]'s columnar representation of large flat-element
+//!   sets, whose row order coincides with the lifted value order.
 //! * [`encoding`] — the string encoding of complex objects over the eight-symbol
 //!   alphabet of §5, minimal encodings, the 3-bits-per-symbol binary form, and the
 //!   Immerman-style positional (characteristic vector) encoding of flat relations.
@@ -21,10 +24,12 @@
 
 pub mod encoding;
 pub mod error;
+pub mod flat;
 pub mod morphism;
 pub mod types;
 pub mod value;
 
 pub use error::ObjectError;
+pub use flat::FlatShape;
 pub use types::Type;
 pub use value::{Atom, VSet, Value};

@@ -51,6 +51,7 @@
 //! cycle.
 
 use std::collections::VecDeque;
+use std::convert::Infallible;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, Once};
@@ -623,6 +624,68 @@ impl RegionPermit {
         Ok(out)
     }
 
+    /// One round of a parallel pairwise reduction: combine `items[0]` with
+    /// `items[1]`, `items[2]` with `items[3]`, …, across the pool, and return
+    /// the halved list in order (an odd tail item is carried over by clone).
+    /// This is the merge primitive behind the evaluator's post-`ext`
+    /// canonicalization: each round is one log-depth level of the combining
+    /// tree, so callers can interleave rounds with their own policy (cutoffs,
+    /// cancellation polls) between levels.
+    ///
+    /// `combine` is infallible; panics inside it follow the crate-level
+    /// discipline and surface as [`TaskError::Panicked`].
+    pub fn combine_round<T, F>(
+        &self,
+        items: Vec<T>,
+        combine: F,
+    ) -> Result<Vec<T>, TaskError<Infallible>>
+    where
+        T: Send + Sync + Clone,
+        F: Fn(&T, &T) -> T + Sync,
+    {
+        if items.len() <= 1 {
+            return Ok(items);
+        }
+        let pairs: Vec<&[T]> = items.chunks(2).collect();
+        let per_chunk = self.run(&pairs, |_, chunk| {
+            Ok::<_, Infallible>(
+                chunk
+                    .iter()
+                    .map(|pair| match pair {
+                        [a, b] => combine(a, b),
+                        [a] => a.clone(),
+                        _ => unreachable!("chunks(2) yields one- or two-item slices"),
+                    })
+                    .collect::<Vec<T>>(),
+            )
+        })?;
+        let mut out = Vec::with_capacity(pairs.len());
+        for chunk in per_chunk {
+            out.extend(chunk);
+        }
+        Ok(out)
+    }
+
+    /// Parallel tree reduction: repeat [`RegionPermit::combine_round`] until
+    /// one item (or none, for empty input) remains. The reduction tree is
+    /// deterministic — pairing is positional, never completion-ordered — so
+    /// non-commutative results are reproducible across pool sizes and
+    /// schedules.
+    pub fn reduce<T, F>(
+        &self,
+        mut items: Vec<T>,
+        combine: F,
+    ) -> Result<Option<T>, TaskError<Infallible>>
+    where
+        T: Send + Sync + Clone,
+        F: Fn(&T, &T) -> T + Sync,
+    {
+        while items.len() > 1 {
+            items = self.combine_round(items, &combine)?;
+        }
+        Ok(items.pop())
+    }
+
     /// Spawn the worker set once. Skipped after shutdown: a post-shutdown
     /// region still completes, executed entirely by its opening caller.
     fn ensure_spawned(&self) {
@@ -1028,5 +1091,71 @@ mod tests {
             })
             .unwrap();
         assert_eq!(out.iter().sum::<u64>(), (0..160).sum());
+    }
+
+    #[test]
+    fn combine_round_halves_in_order_and_carries_the_odd_tail() {
+        let p = pool(4);
+        let permit = borrow(&p);
+        // Concatenation is non-commutative, so this checks pairing order too.
+        let items: Vec<String> = (0..7).map(|i| i.to_string()).collect();
+        let round = permit
+            .combine_round(items, |a: &String, b: &String| format!("{a}{b}"))
+            .unwrap();
+        assert_eq!(round, vec!["01", "23", "45", "6"]);
+        let single = permit.combine_round(vec![9u64], |a, b| a + b).unwrap();
+        assert_eq!(single, vec![9]);
+        let empty = permit
+            .combine_round(Vec::<u64>::new(), |a, b| a + b)
+            .unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn reduce_matches_a_sequential_fold_across_pool_sizes() {
+        for threads in [1, 2, 4, 8] {
+            let p = pool(threads);
+            let permit = borrow(&p);
+            let items: Vec<String> = (0..37).map(|i| format!("<{i}>")).collect();
+            let expected = {
+                // The same positional pairing tree, folded sequentially.
+                let mut level = items.clone();
+                while level.len() > 1 {
+                    level = level
+                        .chunks(2)
+                        .map(|c| c.iter().cloned().collect::<String>())
+                        .collect();
+                }
+                level.pop().unwrap()
+            };
+            let got = permit
+                .reduce(items, |a: &String, b: &String| format!("{a}{b}"))
+                .unwrap()
+                .unwrap();
+            assert_eq!(got, expected);
+            assert_eq!(
+                permit.reduce(Vec::<u64>::new(), |a, b| a + b).unwrap(),
+                None
+            );
+        }
+    }
+
+    #[test]
+    fn combine_round_surfaces_panics_deterministically() {
+        let p = pool(4);
+        let permit = borrow(&p);
+        let items: Vec<u64> = (0..64).collect();
+        let err = permit
+            .combine_round(items, |a, b| {
+                if a + b == 1 {
+                    panic!("boom at the first pair");
+                }
+                a + b
+            })
+            .unwrap_err();
+        match err {
+            TaskError::Panicked(msg) => assert!(msg.contains("boom"), "{msg}"),
+            TaskError::Failed(_) => unreachable!("combine is infallible"),
+        }
     }
 }

@@ -8,10 +8,15 @@
 //! pairs included), a nesting-depth limit so a hostile request cannot blow
 //! the stack, and a compact writer.
 //!
-//! Numbers are stored as `f64`. Every count the protocol carries (ids, work
-//! and span statistics, latencies) is well below 2⁵³, where `f64` is exact;
-//! [`Json::as_u64`] refuses values that are not exactly representable
-//! non-negative integers rather than rounding.
+//! Numbers come in two variants. Non-negative integer literals that fit a
+//! `u64` parse to [`Json::UInt`] and print from the integer directly, so the
+//! counters the protocol carries (ids, work and span statistics, latencies)
+//! round-trip exactly even at and beyond 2⁵³ where `f64` rounds. Everything
+//! else (fractions, exponents, negatives) is [`Json::Num`] (`f64`).
+//! Equality treats the two variants numerically — `UInt(8)` equals `Num(8.0)`
+//! — with the comparison done on the integer side, never through a lossy
+//! `u64 → f64` conversion; [`Json::as_u64`] refuses `Num` values that are not
+//! exactly representable non-negative integers rather than rounding.
 
 use std::fmt;
 
@@ -21,14 +26,17 @@ use std::fmt;
 const MAX_DEPTH: usize = 128;
 
 /// A parsed JSON value.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum Json {
     /// `null`.
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// Any JSON number (see the module docs on integer exactness).
+    /// A non-integer, negative, or out-of-`u64`-range JSON number.
     Num(f64),
+    /// A non-negative integer number, kept exact at any magnitude a `u64`
+    /// holds (see the module docs on integer exactness).
+    UInt(u64),
     /// A string.
     Str(String),
     /// An array.
@@ -49,9 +57,9 @@ impl Json {
         Json::Str(s.into())
     }
 
-    /// A `Json::Num` from an unsigned integer (exact below 2⁵³).
+    /// A `Json::UInt` from an unsigned integer (exact at any magnitude).
     pub fn num(n: u64) -> Json {
-        Json::Num(n as f64)
+        Json::UInt(n)
     }
 
     /// Member lookup on an object (`None` on non-objects / missing keys).
@@ -79,18 +87,22 @@ impl Json {
         }
     }
 
-    /// The number, if this is a number.
+    /// The number, if this is a number. Lossy above 2⁵³ for `UInt` values —
+    /// exact consumers use [`Json::as_u64`].
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
+            Json::UInt(n) => Some(*n as f64),
             _ => None,
         }
     }
 
-    /// The number as an exact non-negative integer: `None` unless this is a
-    /// number with no fractional part in `[0, 2^53]`.
+    /// The number as an exact non-negative integer: any `UInt`, or a `Num`
+    /// with no fractional part in `[0, 2^53]` (a float above that boundary
+    /// may have been rounded at parse time, so it is refused).
     pub fn as_u64(&self) -> Option<u64> {
         match self {
+            Json::UInt(n) => Some(*n),
             Json::Num(n) if *n >= 0.0 && *n <= 9_007_199_254_740_992.0 && n.fract() == 0.0 => {
                 Some(*n as u64)
             }
@@ -109,6 +121,35 @@ impl Json {
     /// Whether this is `null`.
     pub fn is_null(&self) -> bool {
         matches!(self, Json::Null)
+    }
+}
+
+/// Does the float `b` denote exactly the integer `a`? Decided on the integer
+/// side: converting `a` to `f64` would itself round above 2⁵³ and report
+/// false equalities, so instead `b` must be integral, in `u64` range, and
+/// convert back to precisely `a`.
+fn uint_eq_num(a: u64, b: f64) -> bool {
+    b >= 0.0 && b.fract() == 0.0 && b < 18_446_744_073_709_551_616.0 && b as u64 == a
+}
+
+impl PartialEq for Json {
+    /// Structural equality, except numbers compare numerically across the
+    /// `UInt`/`Num` variants — decided exactly on the integer side, never by
+    /// converting the `u64` to `f64` — so a value that took the float parse
+    /// path still equals its integer-built counterpart.
+    fn eq(&self, other: &Json) -> bool {
+        match (self, other) {
+            (Json::Null, Json::Null) => true,
+            (Json::Bool(a), Json::Bool(b)) => a == b,
+            (Json::Num(a), Json::Num(b)) => a == b,
+            (Json::UInt(a), Json::UInt(b)) => a == b,
+            (Json::UInt(a), Json::Num(b)) | (Json::Num(b), Json::UInt(a)) => uint_eq_num(*a, *b),
+            (Json::Str(a), Json::Str(b)) => a == b,
+            (Json::Arr(a), Json::Arr(b)) => a == b,
+            (Json::Obj(a), Json::Obj(b)) => a == b,
+            (Json::Raw(a), Json::Raw(b)) => a == b,
+            _ => false,
+        }
     }
 }
 
@@ -145,6 +186,7 @@ fn write_value(out: &mut String, v: &Json) {
                 out.push_str(&format!("{n}"));
             }
         }
+        Json::UInt(n) => out.push_str(&format!("{n}")),
         Json::Str(s) => write_string(out, s),
         Json::Arr(items) => {
             out.push('[');
@@ -416,6 +458,16 @@ impl<'a> Parser<'a> {
         while matches!(self.peek(), Some(b'0'..=b'9')) {
             self.pos += 1;
         }
+        // Plain digits so far: keep a non-negative integer exact as `UInt`
+        // unless a fraction/exponent follows or it overflows `u64` (then the
+        // general `f64` path below takes over).
+        let integral = self.bytes[start] != b'-';
+        if integral && !matches!(self.peek(), Some(b'.') | Some(b'e') | Some(b'E')) {
+            let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::UInt(n));
+            }
+        }
         if self.peek() == Some(b'.') {
             self.pos += 1;
             while matches!(self.peek(), Some(b'0'..=b'9')) {
@@ -509,6 +561,43 @@ mod tests {
         assert_eq!(parse("1e3").unwrap().as_u64(), Some(1000));
         // Integral numbers reprint without a fractional suffix.
         assert_eq!(Json::num(42).to_string(), "42");
+    }
+
+    #[test]
+    fn integers_round_trip_exactly_across_the_f64_boundary() {
+        // 2^53 ± 1 is where `f64` starts rounding; the integer path must not.
+        for n in [
+            (1u64 << 53) - 1,
+            1u64 << 53,
+            (1u64 << 53) + 1,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            assert_eq!(Json::num(n).to_string(), n.to_string());
+            assert_eq!(parse(&n.to_string()).unwrap().as_u64(), Some(n), "{n}");
+        }
+        // The old lossy path would collapse 2^53 + 1 onto 2^53.
+        assert_ne!(
+            parse("9007199254740993").unwrap(),
+            parse("9007199254740992").unwrap()
+        );
+        // Beyond u64: falls back to f64 and stops pretending to be exact.
+        let huge = parse("18446744073709551616").unwrap();
+        assert_eq!(huge.as_u64(), None);
+        assert!(huge.as_f64().is_some());
+    }
+
+    #[test]
+    fn numeric_equality_bridges_the_variants_exactly() {
+        assert_eq!(Json::UInt(1000), Json::Num(1000.0));
+        assert_eq!(parse("1e3").unwrap(), Json::num(1000));
+        assert_ne!(Json::UInt(3), Json::Num(3.5));
+        // At the boundary the comparison must not round the integer side:
+        // (2^53 + 1) as f64 == 2^53 exactly, so a float-side comparison would
+        // wrongly accept this pair.
+        assert_ne!(Json::UInt((1 << 53) + 1), Json::Num(9007199254740992.0));
+        assert_eq!(Json::UInt(1 << 53), Json::Num(9007199254740992.0));
+        assert_ne!(Json::UInt(0), Json::Num(-0.5));
     }
 
     #[test]

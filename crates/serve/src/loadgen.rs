@@ -54,22 +54,30 @@ pub struct Percentiles {
 }
 
 impl Percentiles {
-    /// Compute percentiles from raw per-request latencies.
+    /// Compute percentiles from raw per-request latencies, using the
+    /// ceil-based nearest-rank definition: the q-th percentile is the
+    /// smallest observation with at least `⌈q·n⌉` observations at or below
+    /// it. (A rounded `(n−1)·q` index understates high percentiles at low
+    /// sample counts — e.g. p99 of 100 samples would land on the 99th value
+    /// instead of the 100th.) The mean rounds to the nearest microsecond
+    /// instead of truncating.
     pub fn from_latencies(latencies: &mut [u64]) -> Percentiles {
         if latencies.is_empty() {
             return Percentiles::default();
         }
         latencies.sort_unstable();
+        let n = latencies.len();
         let at = |q: f64| {
-            let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
-            latencies[idx]
+            let rank = (q * n as f64).ceil() as usize;
+            latencies[rank.clamp(1, n) - 1]
         };
+        let sum: u64 = latencies.iter().sum();
         Percentiles {
             p50_us: at(0.50),
             p95_us: at(0.95),
             p99_us: at(0.99),
             max_us: *latencies.last().expect("non-empty"),
-            mean_us: latencies.iter().sum::<u64>() / latencies.len() as u64,
+            mean_us: (sum + n as u64 / 2) / n as u64,
         }
     }
 }
@@ -269,11 +277,22 @@ mod tests {
     fn percentiles_of_known_distribution() {
         let mut latencies: Vec<u64> = (1..=100).collect();
         let p = Percentiles::from_latencies(&mut latencies);
-        assert_eq!(p.p50_us, 51); // round((99)*0.5)=50 -> index 50 -> value 51
-        assert_eq!(p.p95_us, 95);
-        assert_eq!(p.p99_us, 99);
+        // Ceil-based nearest rank: p_q = value at rank ⌈q·n⌉.
+        assert_eq!(p.p50_us, 50); // ⌈0.50·100⌉ = rank 50 -> value 50
+        assert_eq!(p.p95_us, 95); // ⌈0.95·100⌉ = rank 95 -> value 95
+        assert_eq!(p.p99_us, 99); // ⌈0.99·100⌉ = rank 99 -> value 99
         assert_eq!(p.max_us, 100);
-        assert_eq!(p.mean_us, 50);
+        assert_eq!(p.mean_us, 51); // mean 50.5 rounds up, not truncates
+                                   // Low sample counts are where the old round((n−1)·q) index overstated
+                                   // percentile coverage: p99 of 10 samples must be the maximum.
+        let mut ten: Vec<u64> = (1..=10).map(|i| i * 100).collect();
+        let p = Percentiles::from_latencies(&mut ten);
+        assert_eq!(p.p50_us, 500);
+        assert_eq!(p.p95_us, 1000);
+        assert_eq!(p.p99_us, 1000);
+        // A single sample is every percentile.
+        let p = Percentiles::from_latencies(&mut [7]);
+        assert_eq!((p.p50_us, p.p99_us, p.max_us, p.mean_us), (7, 7, 7, 7));
     }
 
     #[test]

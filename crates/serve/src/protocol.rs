@@ -364,6 +364,28 @@ mod tests {
     }
 
     #[test]
+    fn counters_beyond_the_f64_boundary_survive_the_wire() {
+        // Work/span statistics and `nat` payloads are u64s; 2^53 ± 1 is where
+        // a float-encoded wire would silently collapse adjacent values.
+        for n in [(1u64 << 53) - 1, 1u64 << 53, (1u64 << 53) + 1, u64::MAX] {
+            let v = Value::Nat(n);
+            let json = value_to_json(&v);
+            let back = value_from_json(&crate::json::parse(&json.to_string()).unwrap()).unwrap();
+            assert_eq!(v, back, "{json}");
+        }
+        let stats = Json::Obj(vec![
+            ("work".to_string(), Json::num((1 << 53) + 1)),
+            ("span".to_string(), Json::num(17)),
+        ]);
+        let reparsed = crate::json::parse(&stats.to_string()).unwrap();
+        assert_eq!(
+            reparsed.get("work").unwrap().as_u64(),
+            Some((1 << 53) + 1),
+            "lossless work counter"
+        );
+    }
+
+    #[test]
     fn set_encodings_canonicalize() {
         // Duplicates and out-of-order elements are legal on the wire; the
         // decoded set is canonical regardless.

@@ -165,3 +165,65 @@ fn resource_limits_fire_identically_on_the_corpus() {
         "the tight limits never fired — tighten them so the error path is covered"
     );
 }
+
+#[test]
+fn large_ext_results_exercise_the_parallel_shard_merge() {
+    use ncql::core::Expr;
+    use ncql::object::{Type, Value};
+
+    // A 12k-element input mapped through `\x. {(x, x)}` produces a 12k-pair
+    // flat-shaped result — far above the evaluator's parallel-merge row
+    // threshold — so the parallel legs run the pairwise combine rounds on the
+    // pool while the sequential leg canonicalizes through the flat-row sort.
+    // Both must land on the same canonical set with identical statistics.
+    let n: u64 = 12_000;
+    let base = Expr::constant(Value::atom_set(0..n));
+    let dup = Expr::ext(
+        Expr::lam(
+            "x",
+            Type::Base,
+            Expr::singleton(Expr::pair(Expr::var("x"), Expr::var("x"))),
+        ),
+        base,
+    );
+    for threads in thread_counts() {
+        let (seq, par) = eval_both("large_ext/pairs", &dup, threads);
+        assert_eq!(par.value, seq.value, "values differ at parallelism = {threads}");
+        assert_eq!(par.stats, seq.stats, "stats differ at parallelism = {threads}");
+        let set = seq.value.as_set().expect("ext yields a set");
+        assert_eq!(set.len(), n as usize);
+        assert!(set.is_columnar(), "a large flat ext result should be columnar");
+    }
+}
+
+#[test]
+fn collapsing_large_ext_deduplicates_across_shards_identically() {
+    use ncql::core::Expr;
+    use ncql::object::{Type, Value};
+
+    // `\x. if x ≤ a6000 then {a0} else {x}`: half the input collapses onto a
+    // single element, so worker shard outputs overlap heavily and the merge
+    // must deduplicate across shard boundaries — on every parallelism leg,
+    // bit-identically to the sequential backend.
+    let n: u64 = 12_000;
+    let base = Expr::constant(Value::atom_set(0..n));
+    let collapse = Expr::ext(
+        Expr::lam(
+            "x",
+            Type::Base,
+            Expr::ite(
+                Expr::leq(Expr::var("x"), Expr::atom(n / 2)),
+                Expr::singleton(Expr::atom(0)),
+                Expr::singleton(Expr::var("x")),
+            ),
+        ),
+        base,
+    );
+    for threads in thread_counts() {
+        let (seq, par) = eval_both("large_ext/collapse", &collapse, threads);
+        assert_eq!(par.value, seq.value, "values differ at parallelism = {threads}");
+        assert_eq!(par.stats, seq.stats, "stats differ at parallelism = {threads}");
+        // {a0} plus the untouched upper half.
+        assert_eq!(seq.value.as_set().expect("set").len(), (n / 2) as usize);
+    }
+}
