@@ -1,0 +1,69 @@
+//! E16 — compiled row kernels vs the interpreted `ext` element map, timed in
+//! isolation through the engine session on both backends.
+use criterion::{criterion_group, criterion_main, Criterion};
+use ncql_core::expr::Expr;
+use ncql_engine::{Session, SessionBuilder};
+use ncql_object::{Type, Value};
+use std::time::Duration;
+
+/// The same deterministic kernel-liftable query the report binary's E16 table
+/// times: filter + scalar arithmetic + pair rebuild over a columnar input.
+fn kernel_query(n: u64) -> Expr {
+    let input = Value::set_from((0..n).map(|i| {
+        let key = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Value::pair(Value::Atom(key % (n / 2 + 1)), Value::Nat(key % 509))
+    }));
+    let pair_ty = Type::prod(Type::Base, Type::Nat);
+    let body = Expr::let_in(
+        "y",
+        Expr::extern_call(
+            "nat_add",
+            vec![
+                Expr::extern_call("nat_mul", vec![Expr::proj2(Expr::var("x")), Expr::nat(3)]),
+                Expr::nat(7),
+            ],
+        ),
+        Expr::ite(
+            Expr::extern_call("nat_leq", vec![Expr::var("y"), Expr::nat(384)]),
+            Expr::singleton(Expr::pair(Expr::proj1(Expr::var("x")), Expr::var("y"))),
+            Expr::empty(pair_ty.clone()),
+        ),
+    );
+    Expr::ext(Expr::lam("x", pair_ty, body), Expr::constant(input))
+}
+
+fn session(kernels: bool, parallelism: Option<usize>) -> Session {
+    SessionBuilder::new()
+        .row_kernels(kernels)
+        .parallelism(parallelism)
+        .build()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e16_kernels");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    let query = kernel_query(40_000);
+    group.bench_function("ext_interpreted", |b| {
+        let s = session(false, None);
+        b.iter(|| s.evaluate(&query).expect("evaluates"))
+    });
+    group.bench_function("ext_kernel", |b| {
+        let s = session(true, None);
+        b.iter(|| s.evaluate(&query).expect("evaluates"))
+    });
+    group.bench_function("ext_interpreted_par4", |b| {
+        let s = session(false, Some(4));
+        b.iter(|| s.evaluate(&query).expect("evaluates"))
+    });
+    group.bench_function("ext_kernel_par4", |b| {
+        let s = session(true, Some(4));
+        b.iter(|| s.evaluate(&query).expect("evaluates"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

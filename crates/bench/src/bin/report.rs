@@ -68,6 +68,21 @@ fn main() {
         Err(e) => eprintln!("could not write BENCH_columnar.json: {e}\n"),
     }
 
+    // E16 (compiled row kernels) is wall-clock too: the hard invariant — the
+    // kernel and interpreted arms are bit-identical in value and statistics —
+    // is asserted inside e16_kernels; the measured speedups are persisted to
+    // BENCH_kernel.json.
+    let (kernel_table, kernel_payload) = if full {
+        bench::e16_kernels(&[50_000, 200_000], 8)
+    } else {
+        bench::e16_kernels(&[20_000, 80_000], 4)
+    };
+    println!("{kernel_table}");
+    match std::fs::write("BENCH_kernel.json", &kernel_payload) {
+        Ok(()) => println!("wrote BENCH_kernel.json\n"),
+        Err(e) => eprintln!("could not write BENCH_kernel.json: {e}\n"),
+    }
+
     match bench::check_shapes(&tables) {
         Ok(()) => {
             println!("All qualitative shapes hold (see EXPERIMENTS.md for the expected shapes).")

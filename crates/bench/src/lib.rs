@@ -821,6 +821,137 @@ pub fn e15_columnar(sizes: &[usize], shards: usize) -> (Table, String) {
     (t, payload)
 }
 
+/// E16 — compiled row kernels vs the interpreted `ext` element map.
+///
+/// The query is a kernel-liftable `ext` over a large columnar `(atom, nat)`
+/// set: per row it computes `y = pi2 x * 3 + 7`, keeps the row iff
+/// `y <= 384`, and rebuilds the pair as `(pi1 x, y)` — projection, scalar
+/// arithmetic through extern word-twins, a comparison guard, and pair
+/// construction, i.e. every node kind the kernel compiler lifts. Each size is
+/// A/B'd with row kernels on and off, sequentially and on the parallel
+/// backend at `threads` workers. The four arms must agree **bit-for-bit** on
+/// both the value and the cost statistics — the kernel is an execution
+/// strategy, not a semantics — and that equality is asserted here, so the
+/// speedup column is a pure like-for-like timing. Returns the table plus the
+/// `BENCH_kernel.json` payload.
+pub fn e16_kernels(sizes: &[usize], threads: usize) -> (Table, String) {
+    let mut t = Table::new(
+        "E16",
+        format!(
+            "Row kernels: compiled vs interpreted ext (best of 3, microseconds; parallel = {threads} workers)"
+        ),
+        &[
+            "n",
+            "interp_us",
+            "kernel_us",
+            "speedup",
+            "interp_par_us",
+            "kernel_par_us",
+            "speedup_par",
+        ],
+    );
+    let reps = 3;
+    let mut payload_rows = Vec::new();
+    for &n in sizes {
+        let input = Value::set_from((0..n as u64).map(|i| {
+            let key = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            Value::pair(Value::Atom(key % (n as u64 / 2 + 1)), Value::Nat(key % 509))
+        }));
+        let pair_ty = Type::prod(Type::Base, Type::Nat);
+        let body = Expr::let_in(
+            "y",
+            Expr::extern_call(
+                "nat_add",
+                vec![
+                    Expr::extern_call("nat_mul", vec![Expr::proj2(Expr::var("x")), Expr::nat(3)]),
+                    Expr::nat(7),
+                ],
+            ),
+            Expr::ite(
+                Expr::extern_call("nat_leq", vec![Expr::var("y"), Expr::nat(384)]),
+                Expr::singleton(Expr::pair(Expr::proj1(Expr::var("x")), Expr::var("y"))),
+                Expr::empty(pair_ty.clone()),
+            ),
+        );
+        let query = Expr::ext(Expr::lam("x", pair_ty, body), Expr::constant(input));
+
+        // The A/B is meaningless if the site does not actually compile.
+        let sites = ncql_core::kernel::analyze_sites(
+            &query,
+            &ncql_core::externs::ExternRegistry::standard(),
+        );
+        assert_eq!(sites.len(), 1, "E16 expects exactly one ext site");
+        assert!(
+            sites[0].compiled,
+            "E16 body must be liftable: {}",
+            sites[0].detail
+        );
+
+        let session = |kernels: bool, parallelism: Option<usize>| {
+            SessionBuilder::new()
+                .row_kernels(kernels)
+                .parallelism(parallelism)
+                .build()
+        };
+        let arms = [
+            (false, None),
+            (true, None),
+            (false, Some(threads)),
+            (true, Some(threads)),
+        ];
+        let mut outcomes = Vec::new();
+        let mut micros = Vec::new();
+        for (kernels, parallelism) in arms {
+            let s = session(kernels, parallelism);
+            let (outcome, us) = best_of(reps, || {
+                s.evaluate(&query).expect("E16 query evaluates cleanly")
+            });
+            outcomes.push(outcome);
+            micros.push(us);
+        }
+        // Bit-identity across all four arms: value and every cost tally.
+        for arm in &outcomes[1..] {
+            assert_eq!(
+                arm.value, outcomes[0].value,
+                "E16 values diverged at n = {n}"
+            );
+            assert_eq!(
+                arm.stats, outcomes[0].stats,
+                "E16 statistics diverged at n = {n}"
+            );
+        }
+        let filtered = outcomes[0].value.as_set().expect("ext yields a set").len();
+        assert!(
+            0 < filtered && filtered < n,
+            "E16 filter must bite (kept {filtered} of {n})"
+        );
+        let ratio = |a: u64, b: u64| a as f64 / b.max(1) as f64;
+        t.push_row(vec![
+            n.to_string(),
+            micros[0].to_string(),
+            micros[1].to_string(),
+            format!("{:.2}", ratio(micros[0], micros[1])),
+            micros[2].to_string(),
+            micros[3].to_string(),
+            format!("{:.2}", ratio(micros[2], micros[3])),
+        ]);
+        payload_rows.push(format!(
+            "{{\"n\":{n},\"threads\":{threads},\"interp_us\":{},\"kernel_us\":{},\"speedup\":{:.3},\"interp_par_us\":{},\"kernel_par_us\":{},\"speedup_par\":{:.3}}}",
+            micros[0],
+            micros[1],
+            ratio(micros[0], micros[1]),
+            micros[2],
+            micros[3],
+            ratio(micros[2], micros[3]),
+        ));
+    }
+    let payload = format!(
+        "{{\"experiment\":\"E16\",\"reps\":{reps},\"rows\":[{}]}}\n",
+        payload_rows.join(",")
+    );
+    (t, payload)
+}
+
 /// Run every experiment at small, CI-friendly sizes and return all tables.
 pub fn run_all_quick() -> Vec<Table> {
     vec![
@@ -986,6 +1117,17 @@ mod tests {
         let (t, payload) = e15_columnar(&[2_000], 4);
         assert_eq!(t.rows.len(), 1);
         assert!(payload.starts_with("{\"experiment\":\"E15\""));
+        assert!(payload.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn e16_kernel_and_interpreted_arms_agree_at_small_sizes() {
+        // The bit-identity assertions inside e16_kernels are the real gate;
+        // this runs them at a CI-cheap size and checks the payload shape.
+        let (t, payload) = e16_kernels(&[2_000], 4);
+        assert_eq!(t.rows.len(), 1);
+        assert!(payload.starts_with("{\"experiment\":\"E16\""));
+        assert!(payload.contains("\"speedup\""));
         assert!(payload.trim_end().ends_with("]}"));
     }
 }

@@ -19,7 +19,7 @@ use crate::error::EvalError;
 use crate::expr::{Expr, ExprKind};
 use crate::externs::ExternRegistry;
 use crate::EvalResult;
-use ncql_object::{VSet, Value};
+use ncql_object::{FlatShape, VSet, Value};
 use ncql_pram::{RegionPermit, TaskError, WorkStealingPool};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, OnceLock};
@@ -71,6 +71,12 @@ pub struct EvalConfig {
     /// knob used by the stress suites to randomize steal order: every seed
     /// must produce bit-identical `(Value, CostStats)`.
     pub pool_steal_seed: u64,
+    /// Enable compiled row kernels for `ext` over columnar sets (see
+    /// [`crate::kernel`]). On by default; disabling forces every `ext` site
+    /// through the interpreted element map. Values and `CostStats` are
+    /// bit-identical either way — this is a pure execution-strategy knob
+    /// (the engine's `NCQL_KERNELS=0` kill switch).
+    pub kernels: bool,
 }
 
 impl Default for EvalConfig {
@@ -84,6 +90,7 @@ impl Default for EvalConfig {
             parallel_cutoff: 4096,
             pool_threads: None,
             pool_steal_seed: 0,
+            kernels: true,
         }
     }
 }
@@ -131,6 +138,7 @@ impl std::fmt::Debug for EvalConfig {
             .field("parallel_cutoff", &self.parallel_cutoff)
             .field("pool_threads", &self.pool_threads)
             .field("pool_steal_seed", &self.pool_steal_seed)
+            .field("kernels", &self.kernels)
             .finish()
     }
 }
@@ -233,6 +241,12 @@ struct Closure {
     /// `1 + body size`. Shared across clones so each distinct lambda is
     /// analysed at most once per evaluation.
     gate: Arc<OnceLock<u64>>,
+    /// Lazily-compiled row kernel for `ext` over columnar input of a given
+    /// shape (`None` once compilation rejects). Shared across clones so each
+    /// distinct lambda compiles at most once per evaluation; keyed by the
+    /// input shape it was attempted against, since the same closure can be
+    /// applied to sets of different element shapes across `ext` sites.
+    kernel: Arc<OnceLock<(FlatShape, Option<Arc<crate::kernel::RowKernel>>)>>,
 }
 
 impl Closure {
@@ -241,6 +255,28 @@ impl Closure {
         *self
             .gate
             .get_or_init(|| crate::analyze::region_gate_cost(&self.body))
+    }
+
+    /// The row kernel for `ext` over rows of `shape`, compiling on first use.
+    /// Returns `None` when the body is not liftable, when the closure
+    /// captures an environment (free variables reject inside `compile`), or
+    /// when the cached attempt was made against a different input shape.
+    fn row_kernel(
+        &self,
+        shape: &FlatShape,
+        registry: &ExternRegistry,
+    ) -> Option<Arc<crate::kernel::RowKernel>> {
+        let (cached_shape, kernel) = self.kernel.get_or_init(|| {
+            let compiled = crate::kernel::compile(&self.param, &self.body, shape, registry)
+                .ok()
+                .map(Arc::new);
+            (shape.clone(), compiled)
+        });
+        if cached_shape == shape {
+            kernel.clone()
+        } else {
+            None
+        }
     }
 }
 
@@ -627,6 +663,7 @@ impl Evaluator {
                     body: Arc::new((**body).clone()),
                     env: env.clone(),
                     gate: Arc::new(OnceLock::new()),
+                    kernel: Arc::new(OnceLock::new()),
                 }),
                 0,
             )),
@@ -716,6 +753,29 @@ impl Evaluator {
                 // The permit outlives the leaf map: the same borrowed workers
                 // run the parallel shard-merge rounds below.
                 let region = self.parallel_region(set.len(), &clo);
+                // Kernel fast path: a columnar argument whose function body
+                // compiles to a row kernel runs directly over the word rows.
+                // Values, work, span and every counter are bit-identical to
+                // the interpreted element map below (the kernel replays the
+                // interpreter's exact per-element charges), so this is purely
+                // an execution strategy — `config.kernels = false` or any
+                // unliftable body falls through with no observable change.
+                if self.config.kernels {
+                    if let Some(shape) = set.columnar_rows().map(|(s, _, _)| s.clone()) {
+                        if let Some(kernel) = clo.row_kernel(&shape, &self.config.registry) {
+                            let (parts, max_elem_span) =
+                                self.ext_rows_kernel(region.as_ref(), &kernel, &set)?;
+                            crate::kernel::note_ext_hit(set.len());
+                            let result = self.merge_ext_parts(region.as_ref(), parts)?;
+                            self.add_work(result.len() as u64)?;
+                            self.note_set(&result)?;
+                            return Ok((
+                                RtVal::Obj(Value::Set(result)),
+                                sf + se + max_elem_span + 1,
+                            ));
+                        }
+                    }
+                }
                 let mapped: Vec<(Value, u64)> = match &region {
                     Some(region) => self.par_leaf_map(region, &clo, set.as_slice(), true, &None)?,
                     None => {
@@ -925,6 +985,69 @@ impl Evaluator {
             }
         }
         Ok(VSet::union_many(parts))
+    }
+
+    /// The kernel-path element map of `ext`: run the compiled row kernel over
+    /// every columnar row of `set`, charging per row exactly what the
+    /// interpreter charges to apply the closure to that element (the kernel
+    /// returns the interpreter's `(work, span)`), and canonicalizing the
+    /// emitted rows into result parts for [`Self::merge_ext_parts`]. With a
+    /// region permit the rows are sharded across the pool — one part and one
+    /// reusable scratch state per shard, worker statistics absorbed in shard
+    /// order — otherwise a single sequential pass produces one part. Either
+    /// way the parts union to the same canonical set the interpreted map
+    /// produces, and the statistics are bit-identical across all four
+    /// (backend × strategy) combinations.
+    fn ext_rows_kernel(
+        &mut self,
+        region: Option<&RegionPermit>,
+        kernel: &crate::kernel::RowKernel,
+        set: &VSet,
+    ) -> EvalResult<(Vec<VSet>, u64)> {
+        let (_, width, words) = set
+            .columnar_rows()
+            .expect("the kernel path is only taken for columnar sets");
+        match region {
+            Some(region) => {
+                let rows: Vec<&[u64]> = words.chunks_exact(width).collect();
+                let parent = self.worker();
+                let shards = region
+                    .run(&rows, |_, shard| {
+                        let mut ev = parent.worker();
+                        let mut st = kernel.new_state();
+                        let mut out = Vec::with_capacity(shard.len() * kernel.output_width());
+                        let mut max_span = 0u64;
+                        for row in shard {
+                            ev.stats.ext_calls += 1;
+                            let (w, s) = kernel.run_row(row, &mut st, &mut out);
+                            ev.add_work(w)?;
+                            max_span = max_span.max(s);
+                        }
+                        Ok::<_, EvalError>((kernel.collect_rows(out), max_span, ev.stats))
+                    })
+                    .map_err(flatten_task_error)?;
+                let mut parts = Vec::with_capacity(shards.len());
+                let mut max_span = 0u64;
+                for (part, span, stats) in shards {
+                    self.absorb_stats(&stats);
+                    max_span = max_span.max(span);
+                    parts.push(part);
+                }
+                Ok((parts, max_span))
+            }
+            None => {
+                let mut st = kernel.new_state();
+                let mut out = Vec::with_capacity(set.len() * kernel.output_width());
+                let mut max_span = 0u64;
+                for row in words.chunks_exact(width) {
+                    self.stats.ext_calls += 1;
+                    let (w, s) = kernel.run_row(row, &mut st, &mut out);
+                    self.add_work(w)?;
+                    max_span = max_span.max(s);
+                }
+                Ok((vec![kernel.collect_rows(out)], max_span))
+            }
+        }
     }
 
     // ----- parallel backend (forking onto the `ncql-pram` pool) -----

@@ -22,6 +22,13 @@ use std::sync::Arc;
 /// Shared implementation signature of an external function.
 pub type ExternBody = Arc<dyn Fn(&[Value]) -> Result<Value, EvalError> + Send + Sync>;
 
+/// Word-level twin of an external implementation, used by the row-kernel
+/// compiler (`crate::kernel`): a *total* function over the encoded words of
+/// the function's scalar arguments, producing the encoded word of its scalar
+/// result. Only meaningful for externals whose parameter and result types are
+/// all one-word scalars; the slice has exactly the declared arity.
+pub type ScalarExternFn = fn(&[u64]) -> u64;
+
 /// Implementation of a single external function.
 #[derive(Clone)]
 pub struct ExternFn {
@@ -31,6 +38,20 @@ pub struct ExternFn {
     pub result: Type,
     /// The implementation.
     pub body: ExternBody,
+    /// Word-level twin of `body` for the row-kernel compiler, present only on
+    /// the built-ins of [`ExternRegistry::standard`] (whose word semantics are
+    /// known exactly). [`ExternRegistry::register`] always clears it, so
+    /// re-registering a standard name with a custom body also disables the
+    /// kernel shortcut for that name — the hint can never diverge from the
+    /// boxed implementation.
+    pub(crate) scalar: Option<ScalarExternFn>,
+}
+
+impl ExternFn {
+    /// The word-level twin, when one exists (see [`ScalarExternFn`]).
+    pub fn scalar_hint(&self) -> Option<ScalarExternFn> {
+        self.scalar
+    }
 }
 
 impl fmt::Debug for ExternFn {
@@ -123,6 +144,22 @@ impl ExternRegistry {
             },
         );
 
+        // Word-level twins for the kernel compiler. Booleans encode as 0/1
+        // and atoms/naturals as their identity, so each twin is exactly the
+        // boxed body on encoded words.
+        reg.attach_scalar("nat_add", |w| w[0].saturating_add(w[1]));
+        reg.attach_scalar("nat_sub", |w| w[0].saturating_sub(w[1]));
+        reg.attach_scalar("nat_mul", |w| w[0].saturating_mul(w[1]));
+        reg.attach_scalar("nat_div", |w| w[0].checked_div(w[1]).unwrap_or(0));
+        reg.attach_scalar("nat_max", |w| w[0].max(w[1]));
+        reg.attach_scalar("nat_min", |w| w[0].min(w[1]));
+        reg.attach_scalar("nat_leq", |w| u64::from(w[0] <= w[1]));
+        reg.attach_scalar("nat_bit", |w| {
+            u64::from(w[1] < 64 && (w[0] >> w[1]) & 1 == 1)
+        });
+        reg.attach_scalar("atom_to_nat", |w| w[0]);
+        reg.attach_scalar("nat_to_atom", |w| w[0]);
+
         reg
     }
 
@@ -139,8 +176,19 @@ impl ExternRegistry {
                 params,
                 result,
                 body: Arc::new(body),
+                scalar: None,
             },
         );
+    }
+
+    /// Attach a word-level twin to an already-registered built-in (see
+    /// [`ExternFn::scalar_hint`]). Private on purpose: hints are only sound
+    /// when the twin matches the boxed body bit-for-bit, which this crate can
+    /// promise for its own standard registry but not for user registrations.
+    fn attach_scalar(&mut self, name: &str, scalar: ScalarExternFn) {
+        if let Some(f) = Arc::make_mut(&mut self.fns).get_mut(name) {
+            f.scalar = Some(scalar);
+        }
     }
 
     fn register_binary_nat<F>(&mut self, name: &str, op: F)
@@ -301,6 +349,48 @@ mod tests {
             Ok(args[0].clone())
         });
         assert_ne!(std1.fingerprint(), retyped.fingerprint());
+    }
+
+    #[test]
+    fn scalar_hints_match_the_boxed_bodies() {
+        let reg = ExternRegistry::standard();
+        let samples = [0u64, 1, 2, 5, 63, 64, 1000, u64::MAX];
+        for name in [
+            "nat_add", "nat_sub", "nat_mul", "nat_div", "nat_max", "nat_min", "nat_leq", "nat_bit",
+        ] {
+            let f = reg.get(name).unwrap();
+            let scalar = f.scalar_hint().expect("standard arithmetic has a twin");
+            for &a in &samples {
+                for &b in &samples {
+                    let boxed = (f.body)(&[Value::Nat(a), Value::Nat(b)]).unwrap();
+                    let word = scalar(&[a, b]);
+                    let expected = match boxed {
+                        Value::Nat(n) => n,
+                        Value::Bool(v) => u64::from(v),
+                        other => panic!("unexpected result {other}"),
+                    };
+                    assert_eq!(word, expected, "{name}({a}, {b})");
+                }
+            }
+        }
+        assert_eq!(
+            reg.get("atom_to_nat").unwrap().scalar_hint().unwrap()(&[9]),
+            9
+        );
+        assert!(reg.get("card").unwrap().scalar_hint().is_none());
+    }
+
+    #[test]
+    fn user_registration_clears_the_scalar_hint() {
+        let mut reg = ExternRegistry::standard();
+        reg.register("nat_add", vec![Type::Nat, Type::Nat], Type::Nat, |args| {
+            let (a, b) = two_nats(args)?;
+            Ok(Value::Nat(a.wrapping_add(b).wrapping_add(1)))
+        });
+        assert!(
+            reg.get("nat_add").unwrap().scalar_hint().is_none(),
+            "a re-registered body must not keep the old word twin"
+        );
     }
 
     #[test]

@@ -45,6 +45,11 @@
 //!   selections, relation composition, nest/unnest, membership, and friends.
 //! * [`externs`] — the external-function registry Σ (arithmetic and aggregates)
 //!   used in the Proposition 6.3 experiments.
+//! * [`kernel`] — compiled row kernels: `ext` bodies built from projections,
+//!   pairs, scalar comparisons/arithmetic and constants over flat-shaped
+//!   input lower to a register program executed directly over the columnar
+//!   word rows, with work/span accounting bit-identical to the interpreter
+//!   and a clean fallback for everything unliftable.
 
 pub mod analysis;
 pub mod analyze;
@@ -53,6 +58,7 @@ pub mod error;
 pub mod eval;
 pub mod expr;
 pub mod externs;
+pub mod kernel;
 pub mod parallel;
 pub mod rewrite;
 pub mod span;
@@ -63,6 +69,7 @@ pub use analyze::{analyze_query, Bound, CostBound, Finding, Lint, Poly, QueryAna
 pub use error::{EvalError, TypeError, TypeErrorKind};
 pub use eval::{CancelToken, CostStats, EvalConfig, Evaluator};
 pub use expr::{Expr, ExprKind};
+pub use kernel::{kernel_stats, KernelSite, KernelStats};
 pub use parallel::{eval_parallel, normalize_parallelism, parallelism_from_env, ParallelEvaluator};
 pub use rewrite::{optimize, FiredRewrite, OptLevel, RewriteOutcome};
 pub use span::Span;

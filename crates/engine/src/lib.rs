@@ -86,3 +86,9 @@ pub use ncql_core::analyze::{Bound, CostBound, Finding, Lint, QueryAnalysis, Sev
 // The optimizer vocabulary of `SessionBuilder::opt_level` /
 // `PreparedQuery::rewrites`, re-exported for the same reason.
 pub use ncql_core::rewrite::{FiredRewrite, OptLevel};
+
+// The row-kernel vocabulary of `PreparedQuery::kernel_sites` and the
+// process-wide kernel/columnar observability counters surfaced by the REPL's
+// `:stats` and the server's `stats` reply.
+pub use ncql_core::kernel::{kernel_stats, KernelSite, KernelStats};
+pub use ncql_object::{columnar_stats, ColumnarStats};

@@ -4,7 +4,7 @@ use crate::diagnostics::Diagnostic;
 use ncql_core::eval::CostStats;
 use ncql_core::expr::Expr;
 use ncql_core::rewrite::{FiredRewrite, OptLevel};
-use ncql_core::{CostBound, QueryAnalysis};
+use ncql_core::{CostBound, KernelSite, QueryAnalysis};
 use ncql_object::{Type, Value};
 use std::fmt;
 use std::sync::Arc;
@@ -50,6 +50,11 @@ pub(crate) struct PreparedPlan {
     /// fired (`None` means the executing plan *is* the raw plan, so
     /// [`PreparedQuery::analysis`] already bounds it).
     pub(crate) cost_before: Option<CostBound>,
+    /// What the row-kernel compiler decided about every `ext` site of the
+    /// *executing* plan (see [`ncql_core::kernel::analyze_sites`]): which
+    /// sites will run through a compiled kernel over columnar input, and why
+    /// the others fall back to the interpreter.
+    pub(crate) kernel_sites: Vec<KernelSite>,
 }
 
 /// A query that has been parsed, type-checked and analysed once, ready to be
@@ -148,6 +153,17 @@ impl PreparedQuery {
             .iter()
             .map(|finding| Diagnostic::from_finding(finding, source))
             .collect()
+    }
+
+    /// The row-kernel compiler's prepare-time decision for every `ext` site
+    /// of the executing plan, in plan order: a site with `compiled == true`
+    /// runs through a compiled row kernel whenever its argument set is
+    /// columnar and kernels are enabled (the compiler is deterministic in the
+    /// body, the input shape and the registry, so the prepare-time decision
+    /// *is* the runtime decision); the `detail` of a fallback site is the
+    /// compiler's rejection reason.
+    pub fn kernel_sites(&self) -> &[KernelSite] {
+        &self.plan.kernel_sites
     }
 
     /// Do two handles share one underlying plan? A cache hit in

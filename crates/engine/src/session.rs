@@ -192,8 +192,11 @@ impl SessionBuilder {
     /// `NCQL_PARALLELISM` (e.g. an oversubscribed pool on a small machine —
     /// the CI matrix runs one such leg). `NCQL_LINT=deny` (or `warn`) sets
     /// the [`LintPolicy`], and `NCQL_OPT=0` (or `none`/`off`) disables the
-    /// algebraic optimizer (`1`/`default`/`on` restore it). Unset, empty or
-    /// unparseable variables leave the defaults untouched.
+    /// algebraic optimizer (`1`/`default`/`on` restore it). `NCQL_KERNELS=0`
+    /// (or `false`/`off`) disables compiled row kernels for `ext` over
+    /// columnar sets — the kill switch the CI matrix exercises — and
+    /// `1`/`true`/`on` re-enables them. Unset, empty or unparseable
+    /// variables leave the defaults untouched.
     pub fn from_env() -> SessionBuilder {
         let mut builder = SessionBuilder::new();
         if let Ok(raw) = std::env::var("NCQL_PARALLELISM") {
@@ -222,6 +225,13 @@ impl SessionBuilder {
             match raw.trim() {
                 "0" | "none" | "off" => builder.opt_level = OptLevel::None,
                 "1" | "default" | "on" => builder.opt_level = OptLevel::Default,
+                _ => {}
+            }
+        }
+        if let Ok(raw) = std::env::var("NCQL_KERNELS") {
+            match raw.trim() {
+                "0" | "false" | "off" => builder.config.kernels = false,
+                "1" | "true" | "on" => builder.config.kernels = true,
                 _ => {}
             }
         }
@@ -289,6 +299,15 @@ impl SessionBuilder {
     /// against.
     pub fn registry(mut self, registry: ExternRegistry) -> SessionBuilder {
         self.config.registry = registry;
+        self
+    }
+
+    /// Enable or disable compiled row kernels for `ext` over columnar sets
+    /// (on by default; the `NCQL_KERNELS=0` environment kill switch read by
+    /// [`SessionBuilder::from_env`] sets the same knob). Purely an execution
+    /// strategy: values and cost statistics are bit-identical either way.
+    pub fn row_kernels(mut self, enabled: bool) -> SessionBuilder {
+        self.config.kernels = enabled;
         self
     }
 
@@ -562,6 +581,11 @@ impl Session {
                 span: expr.span,
             });
         }
+        // The kernel compiler's prepare-time pass over the *executing* plan:
+        // deterministic in (body, shape, registry), so a site reported
+        // compiled here is exactly a site the evaluator runs through a row
+        // kernel whenever its argument set is columnar and kernels are on.
+        let kernel_sites = ncql_core::kernel::analyze_sites(&expr, &self.config.registry);
         Ok(PreparedPlan {
             source,
             ty,
@@ -574,6 +598,7 @@ impl Session {
             opt_level: self.opt_level,
             rewrites,
             cost_before,
+            kernel_sites,
             expr,
         })
     }

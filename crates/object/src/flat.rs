@@ -23,6 +23,7 @@
 //! row-major rows and run membership, equality, ordering and the set
 //! operations as tight word loops with no per-element dispatch.
 
+use crate::types::Type;
 use crate::value::Value;
 use std::cmp::Ordering;
 
@@ -59,6 +60,26 @@ impl FlatShape {
                 Box::new(FlatShape::of_value(b)?),
             )),
             Value::Set(_) => None,
+        }
+    }
+
+    /// The unique shape of all values of a *flat* type, or `None` if the type
+    /// contains a set constructor anywhere. This is the static twin of
+    /// [`FlatShape::of_value`]: every value of a flat type `t` has shape
+    /// `of_type(t)`, which is what lets the row-kernel compiler derive shapes
+    /// for an `ext` body from the lambda's parameter annotation before any
+    /// value exists.
+    pub fn of_type(ty: &Type) -> Option<FlatShape> {
+        match ty {
+            Type::Unit => Some(FlatShape::Unit),
+            Type::Bool => Some(FlatShape::Bool),
+            Type::Base => Some(FlatShape::Atom),
+            Type::Nat => Some(FlatShape::Nat),
+            Type::Prod(a, b) => Some(FlatShape::Pair(
+                Box::new(FlatShape::of_type(a)?),
+                Box::new(FlatShape::of_type(b)?),
+            )),
+            _ => None,
         }
     }
 
@@ -285,6 +306,19 @@ mod tests {
         assert_eq!(FlatShape::of_value(&Value::empty_set()), None);
         assert_eq!(
             FlatShape::of_value(&pair(Value::Atom(1), Value::empty_set())),
+            None
+        );
+    }
+
+    #[test]
+    fn of_type_agrees_with_of_value() {
+        let ty = Type::prod(Type::Base, Type::prod(Type::Bool, Type::Nat));
+        let v = pair(Value::Atom(1), pair(Value::Bool(true), Value::Nat(9)));
+        assert_eq!(FlatShape::of_type(&ty), FlatShape::of_value(&v));
+        assert_eq!(FlatShape::of_type(&Type::Unit), Some(FlatShape::Unit));
+        assert_eq!(FlatShape::of_type(&Type::set(Type::Base)), None);
+        assert_eq!(
+            FlatShape::of_type(&Type::prod(Type::Base, Type::set(Type::Base))),
             None
         );
     }

@@ -1,0 +1,137 @@
+//! A process-wide atom interner: named atoms as dense `u32` ids.
+//!
+//! The base type `D` of the paper is an abstract ordered domain; the runtime
+//! has always represented its elements as bare `u64` identifiers
+//! ([`Atom`]). That representation is what keeps atom-bearing shapes
+//! *fixed-width* — one machine word per atom — and therefore eligible for the
+//! columnar set representation and the compiled row kernels. Applications,
+//! however, want symbolic atoms (`@alice`, `@paris`), and storing strings in
+//! values would make every atom variable-width again.
+//!
+//! This module squares the two: [`intern_atom`] maps a name to a dense
+//! `u32` id in a process-wide table and returns it tagged into the upper half
+//! of the atom space (`NAMED_ATOM_BASE | id`). The payload carried by values,
+//! rows, and wire encodings stays one `u64` word; `Display` consults the
+//! table to print the name back; `Ord` remains the plain word order (named
+//! atoms sort after all numeric atoms, in interning order — the order on `D`
+//! is abstract, so any fixed total order is sound). Interning is idempotent
+//! and the table only grows, so a name observed anywhere in the process
+//! always resolves to the same atom.
+
+use crate::value::Atom;
+use std::collections::HashMap;
+use std::sync::{OnceLock, RwLock};
+
+/// Tag for interned (named) atoms: the id lives in the low 32 bits. Numeric
+/// atom literals and data-generator atoms live below this in practice, so the
+/// two populations never collide; an un-interned atom above the tag simply
+/// has no name and prints numerically.
+pub const NAMED_ATOM_BASE: Atom = 1 << 63;
+
+/// The intern table: names are leaked once (the table is process-wide and
+/// append-only), so lookups can hand out `&'static str` without holding the
+/// lock.
+struct Interner {
+    by_name: HashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+fn table() -> &'static RwLock<Interner> {
+    static TABLE: OnceLock<RwLock<Interner>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        RwLock::new(Interner {
+            by_name: HashMap::new(),
+            names: Vec::new(),
+        })
+    })
+}
+
+/// Intern `name`, returning its atom. The first call for a name assigns the
+/// next dense `u32` id; every later call (from any thread) returns the same
+/// atom.
+pub fn intern_atom(name: &str) -> Atom {
+    if let Some(&id) = table()
+        .read()
+        .expect("intern table poisoned")
+        .by_name
+        .get(name)
+    {
+        return NAMED_ATOM_BASE | u64::from(id);
+    }
+    let mut t = table().write().expect("intern table poisoned");
+    if let Some(&id) = t.by_name.get(name) {
+        return NAMED_ATOM_BASE | u64::from(id);
+    }
+    let id = u32::try_from(t.names.len()).expect("atom intern table overflow");
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    t.names.push(leaked);
+    t.by_name.insert(leaked, id);
+    NAMED_ATOM_BASE | u64::from(id)
+}
+
+/// The name behind an interned atom, or `None` for numeric atoms and for
+/// tagged ids that were never interned in this process.
+pub fn atom_name(atom: Atom) -> Option<&'static str> {
+    if atom & NAMED_ATOM_BASE == 0 {
+        return None;
+    }
+    let id = atom & !NAMED_ATOM_BASE;
+    if id > u64::from(u32::MAX) {
+        return None;
+    }
+    table()
+        .read()
+        .expect("intern table poisoned")
+        .names
+        .get(id as usize)
+        .copied()
+}
+
+/// Number of distinct names interned so far in this process.
+pub fn interned_count() -> usize {
+    table().read().expect("intern table poisoned").names.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let a = intern_atom("intern-test-alpha");
+        let b = intern_atom("intern-test-beta");
+        assert_ne!(a, b);
+        assert_eq!(intern_atom("intern-test-alpha"), a);
+        assert_eq!(intern_atom("intern-test-beta"), b);
+        assert!(a & NAMED_ATOM_BASE != 0 && b & NAMED_ATOM_BASE != 0);
+        assert_eq!(atom_name(a), Some("intern-test-alpha"));
+        assert_eq!(atom_name(b), Some("intern-test-beta"));
+    }
+
+    #[test]
+    fn numeric_atoms_have_no_name() {
+        assert_eq!(atom_name(42), None);
+        // A tagged id far beyond anything interned resolves to no name.
+        assert_eq!(atom_name(NAMED_ATOM_BASE | 0xFFFF_FFF0), None);
+    }
+
+    #[test]
+    fn named_atoms_display_their_name_and_stay_one_word() {
+        let a = intern_atom("intern-test-display");
+        assert_eq!(Value::Atom(a).to_string(), "@intern-test-display");
+        assert_eq!(Value::Atom(7).to_string(), "a7");
+        // Named atoms sort after every numeric atom: plain word order.
+        assert!(Value::Atom(u64::MAX >> 1) < Value::Atom(a));
+    }
+
+    #[test]
+    fn interning_from_many_threads_agrees() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| intern_atom("intern-test-racy")))
+            .collect();
+        let ids: Vec<Atom> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+        assert!(interned_count() >= 1);
+    }
+}

@@ -16,6 +16,13 @@
 //! * [`encoding`] — the string encoding of complex objects over the eight-symbol
 //!   alphabet of §5, minimal encodings, the 3-bits-per-symbol binary form, and the
 //!   Immerman-style positional (characteristic vector) encoding of flat relations.
+//! * [`intern`] — a process-wide atom interner: symbolic atoms (`@alice`)
+//!   become dense `u32` ids tagged into the `u64` atom space, so atom-bearing
+//!   shapes stay fixed-width (and hence columnar/kernel-eligible) while
+//!   `Display` prints the name back.
+//! * [`obs`] — process-wide observability counters for the columnar
+//!   representation (promotions/demotions), kept outside the bit-compared
+//!   cost model.
 //! * [`morphism`] — base-domain morphisms (order-preserving injections) used to
 //!   state and test genericity of database queries (§5, following Chandra & Harel).
 //!
@@ -25,11 +32,15 @@
 pub mod encoding;
 pub mod error;
 pub mod flat;
+pub mod intern;
 pub mod morphism;
+pub mod obs;
 pub mod types;
 pub mod value;
 
 pub use error::ObjectError;
 pub use flat::FlatShape;
+pub use intern::{atom_name, intern_atom, NAMED_ATOM_BASE};
+pub use obs::{columnar_stats, ColumnarStats};
 pub use types::Type;
 pub use value::{Atom, VSet, Value};

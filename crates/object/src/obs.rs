@@ -1,0 +1,64 @@
+//! Process-wide observability counters for the columnar set representation.
+//!
+//! The representation choice (`Boxed` vs `Columnar`) is semantically
+//! invisible, which makes it hard to tell from the outside whether a workload
+//! is actually hitting the columnar fast paths. These counters make the
+//! policy observable without touching `CostStats` (which is part of the
+//! bit-compared cost model of the differential suites): they are process-wide
+//! relaxed atomics, monotonically increasing, and surfaced through the engine
+//! session stats, the REPL `:stats` command, and the `ncql-serve` `stats`
+//! wire reply.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static PROMOTIONS: AtomicU64 = AtomicU64::new(0);
+static DEMOTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the columnar representation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ColumnarStats {
+    /// Sets built in the columnar representation (bulk constructors, set
+    /// algebra results, and row-kernel outputs that met the policy).
+    pub promotions: u64,
+    /// Columnar candidates that ended up boxed again: row-form results below
+    /// the columnar threshold decoded back to boxed values, and columnar sets
+    /// demoted by a shape-mismatched `insert`.
+    pub demotions: u64,
+}
+
+#[inline]
+pub(crate) fn note_promotion() {
+    PROMOTIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn note_demotion() {
+    DEMOTIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Snapshot the process-wide columnar counters.
+pub fn columnar_stats() -> ColumnarStats {
+    ColumnarStats {
+        promotions: PROMOTIONS.load(Ordering::Relaxed),
+        demotions: DEMOTIONS.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{VSet, Value};
+
+    #[test]
+    fn promotions_and_demotions_are_counted() {
+        let before = columnar_stats();
+        let mut s = VSet::from_iter((0..32).map(Value::Atom));
+        assert!(s.is_columnar());
+        // A shape-mismatched insert demotes the set to boxed.
+        assert!(s.insert(Value::Nat(1)));
+        assert!(!s.is_columnar());
+        let after = columnar_stats();
+        assert!(after.promotions > before.promotions);
+        assert!(after.demotions > before.demotions);
+    }
+}

@@ -145,6 +145,7 @@ impl VSet {
                 if width >= 1 {
                     let mut words = Vec::with_capacity(elems.len() * width);
                     if elems.iter().all(|e| shape.encode_into(e, &mut words)) {
+                        crate::obs::note_promotion();
                         return VSet {
                             repr: Repr::Columnar(Arc::new(Columnar {
                                 shape,
@@ -167,6 +168,7 @@ impl VSet {
     fn from_canonical_rows(shape: FlatShape, width: usize, words: Vec<u64>) -> VSet {
         debug_assert!(width >= 1 && words.len().is_multiple_of(width));
         if words.len() / width >= COLUMNAR_MIN_LEN {
+            crate::obs::note_promotion();
             VSet {
                 repr: Repr::Columnar(Arc::new(Columnar {
                     shape,
@@ -176,9 +178,43 @@ impl VSet {
                 })),
             }
         } else {
+            crate::obs::note_demotion();
             VSet {
                 repr: Repr::Boxed(Arc::new(decode_rows(&shape, width, &words))),
             }
+        }
+    }
+
+    /// Build a set from raw (unsorted, possibly duplicated) rows of one flat
+    /// shape: the bulk entry point for row producers — the compiled `ext`
+    /// row kernels stream their output rows here. The rows are canonicalized
+    /// by the vectorized row sort/dedup and the result follows the usual
+    /// representation policy (columnar at ≥ 8 elements, decoded to boxed
+    /// below), so the set is indistinguishable from one built element-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the shape has width 0 (all-unit shapes are never columnar;
+    /// produce those element-wise) or when `words.len()` is not a multiple of
+    /// the width.
+    pub fn from_raw_rows(shape: FlatShape, words: Vec<u64>) -> VSet {
+        let width = shape.width();
+        assert!(
+            width >= 1 && words.len().is_multiple_of(width),
+            "from_raw_rows: rows must be non-empty-width and whole"
+        );
+        VSet::from_canonical_rows(shape, width, flat::row_sort_dedup(words, width))
+    }
+
+    /// The columnar payload of this set — its shared element shape, row
+    /// width, and the row-major word buffer — or `None` for a boxed set.
+    /// This is the zero-copy read side of the row-kernel entry points: the
+    /// rows are sorted ascending in the row (= value) order and
+    /// duplicate-free.
+    pub fn columnar_rows(&self) -> Option<(&FlatShape, usize, &[u64])> {
+        match &self.repr {
+            Repr::Columnar(c) => Some((&c.shape, c.width, c.words.as_slice())),
+            Repr::Boxed(_) => None,
         }
     }
 
@@ -330,6 +366,7 @@ impl VSet {
                 true
             }
             Plan::Demote => {
+                crate::obs::note_demotion();
                 let mut elems = std::mem::take(self).into_vec();
                 let pos = elems
                     .binary_search(&x)
@@ -826,7 +863,12 @@ impl Value {
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Value::Atom(a) => write!(f, "a{a}"),
+            // Interned atoms print their name; numeric atoms keep the classic
+            // `a{n}` form (the tag-bit check keeps the numeric path lock-free).
+            Value::Atom(a) => match crate::intern::atom_name(*a) {
+                Some(name) => write!(f, "@{name}"),
+                None => write!(f, "a{a}"),
+            },
             Value::Bool(b) => write!(f, "{b}"),
             Value::Unit => write!(f, "()"),
             Value::Nat(n) => write!(f, "{n}"),
@@ -1082,6 +1124,35 @@ mod tests {
         assert!(std::ptr::eq(before, after));
         assert_eq!(s.as_slice().len(), 66);
         assert!(s.contains(&Value::Atom(3)));
+    }
+
+    #[test]
+    fn raw_rows_round_trip_through_the_row_entry_points() {
+        let vals: Vec<Value> = (0..20)
+            .map(|i| Value::pair(Value::Atom(i % 7), Value::Nat(19 - i)))
+            .collect();
+        let expected = VSet::from_iter(vals.clone());
+        let shape = FlatShape::of_value(&vals[0]).unwrap();
+        // Encode in a scrambled order with duplicates: from_raw_rows must
+        // canonicalize exactly like the element-wise constructor.
+        let mut words = Vec::new();
+        for v in vals.iter().rev().chain(vals.iter().take(5)) {
+            assert!(shape.encode_into(v, &mut words));
+        }
+        let built = VSet::from_raw_rows(shape.clone(), words);
+        assert_eq!(built, expected);
+        let (s, w, rows) = built.columnar_rows().expect("20 flat rows go columnar");
+        assert_eq!((s, w), (&shape, 2));
+        assert_eq!(rows.len(), 2 * expected.len());
+        // Below the threshold the result demotes to boxed, like every other
+        // canonicalizing constructor.
+        let mut few = Vec::new();
+        for v in vals.iter().take(3) {
+            assert!(shape.encode_into(v, &mut few));
+        }
+        let small = VSet::from_raw_rows(shape, few);
+        assert!(small.columnar_rows().is_none());
+        assert_eq!(small, VSet::from_iter(vals[..3].to_vec()));
     }
 
     #[test]

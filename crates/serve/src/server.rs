@@ -461,10 +461,13 @@ fn stats_json(outcome: &Outcome) -> Json {
     ])
 }
 
-/// The `stats` response body: cache metrics, live pool workers, and the
-/// prepared-plan count — the same numbers the REPL's `:stats` command prints.
+/// The `stats` response body: cache metrics, live pool workers, the
+/// prepared-plan count, and the process-wide columnar/kernel observability
+/// counters — the same numbers the REPL's `:stats` command prints.
 pub fn stats_body(session: &Session) -> Json {
     let metrics = session.cache_metrics();
+    let columnar = ncql_engine::columnar_stats();
+    let kernels = ncql_engine::kernel_stats();
     Json::Obj(vec![
         (
             "cache".to_string(),
@@ -484,6 +487,22 @@ pub fn stats_body(session: &Session) -> Json {
         (
             "backend".to_string(),
             Json::str(session.backend().to_string()),
+        ),
+        (
+            "columnar".to_string(),
+            Json::Obj(vec![
+                ("promotions".to_string(), Json::num(columnar.promotions)),
+                ("demotions".to_string(), Json::num(columnar.demotions)),
+            ]),
+        ),
+        (
+            "kernels".to_string(),
+            Json::Obj(vec![
+                ("compiles".to_string(), Json::num(kernels.compiles)),
+                ("fallbacks".to_string(), Json::num(kernels.fallbacks)),
+                ("ext_hits".to_string(), Json::num(kernels.ext_hits)),
+                ("rows".to_string(), Json::num(kernels.rows)),
+            ]),
         ),
     ])
 }

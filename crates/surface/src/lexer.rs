@@ -47,7 +47,10 @@ impl fmt::Display for Token {
         match self {
             Token::Ident(s) => write!(f, "{s}"),
             Token::Number(n) => write!(f, "{n}"),
-            Token::AtomLit(n) => write!(f, "@{n}"),
+            Token::AtomLit(n) => match ncql_object::atom_name(*n) {
+                Some(name) => write!(f, "@{name}"),
+                None => write!(f, "@{n}"),
+            },
             Token::Backslash => write!(f, "\\"),
             Token::Dot => write!(f, "."),
             Token::Colon => write!(f, ":"),
@@ -181,20 +184,34 @@ pub fn tokenize(text: &str) -> Result<Vec<SpannedToken>, LexError> {
             '@' => {
                 let start = i + 1;
                 let mut j = start;
-                while j < bytes.len() && bytes[j].is_ascii_digit() {
-                    j += 1;
+                // `@NUMBER` is a numeric atom; `@name` is a symbolic atom,
+                // interned process-wide into the named region of the atom
+                // space at lex time, so the parser sees an ordinary
+                // `AtomLit` and the grammar is unchanged.
+                if bytes.get(start).is_some_and(|b| b.is_ascii_digit()) {
+                    while j < bytes.len() && bytes[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                    let n: u64 = text[start..j].parse().map_err(|_| LexError {
+                        span: Span::new(i, j),
+                        message: "atom literal out of range".to_string(),
+                    })?;
+                    push(&mut tokens, Token::AtomLit(n), i, j - i);
+                } else {
+                    while j < bytes.len()
+                        && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                    {
+                        j += 1;
+                    }
+                    if j == start {
+                        return Err(LexError {
+                            span: Span::new(i, i + 1),
+                            message: "expected digits or a name after '@'".to_string(),
+                        });
+                    }
+                    let atom = ncql_object::intern_atom(&text[start..j]);
+                    push(&mut tokens, Token::AtomLit(atom), i, j - i);
                 }
-                if j == start {
-                    return Err(LexError {
-                        span: Span::new(i, i + 1),
-                        message: "expected digits after '@'".to_string(),
-                    });
-                }
-                let n: u64 = text[start..j].parse().map_err(|_| LexError {
-                    span: Span::new(i, j),
-                    message: "atom literal out of range".to_string(),
-                })?;
-                push(&mut tokens, Token::AtomLit(n), i, j - i);
                 i = j;
             }
             c if c.is_ascii_digit() => {
@@ -291,9 +308,25 @@ mod tests {
         let err = tokenize("x $ y").unwrap_err();
         assert_eq!(err.span, Span::new(2, 3));
         assert_eq!(err.position(), 2);
-        let err2 = tokenize("@x").unwrap_err();
+        let err2 = tokenize("@ x").unwrap_err();
         assert!(err2.message.contains("digits"));
         assert_eq!(err2.span, Span::new(0, 1));
+    }
+
+    #[test]
+    fn named_atoms_intern_and_display_their_names() {
+        let toks = plain("@alice <= @bob");
+        let alice = ncql_object::intern_atom("alice");
+        let bob = ncql_object::intern_atom("bob");
+        assert_eq!(
+            toks,
+            vec![Token::AtomLit(alice), Token::Leq, Token::AtomLit(bob)]
+        );
+        // Re-lexing yields the same interned ids, and Display round-trips.
+        assert_eq!(plain("@alice"), vec![Token::AtomLit(alice)]);
+        assert_eq!(Token::AtomLit(alice).to_string(), "@alice");
+        // Named atoms live in the tagged region, disjoint from numerics.
+        assert!(alice >= ncql_object::NAMED_ATOM_BASE);
     }
 
     #[test]

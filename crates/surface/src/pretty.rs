@@ -18,7 +18,10 @@ fn print_type(ty: &Type) -> String {
 
 fn print_value(v: &Value) -> Option<String> {
     match v {
-        Value::Atom(a) => Some(format!("@{a}")),
+        Value::Atom(a) => Some(match ncql_object::atom_name(*a) {
+            Some(name) => format!("@{name}"),
+            None => format!("@{a}"),
+        }),
         Value::Nat(n) => Some(n.to_string()),
         Value::Bool(b) => Some(b.to_string()),
         Value::Unit => Some("()".to_string()),

@@ -81,6 +81,16 @@ fn report_stats(session: &Session) {
     println!("plans       : {}", metrics.len);
     println!("pool workers: {}", ncql::pram::live_pool_workers());
     println!("backend     : {}", session.backend());
+    let columnar = ncql::engine::columnar_stats();
+    println!(
+        "columnar    : {} promotions / {} demotions",
+        columnar.promotions, columnar.demotions
+    );
+    let kernels = ncql::engine::kernel_stats();
+    println!(
+        "kernels     : {} compiled / {} fallbacks, {} ext hits over {} rows",
+        kernels.compiles, kernels.fallbacks, kernels.ext_hits, kernels.rows
+    );
 }
 
 fn main() {

@@ -1,0 +1,224 @@
+//! Property-based equivalence of the compiled row-kernel path and the
+//! interpreted `ext` element map.
+//!
+//! For random flat sets and random kernel-liftable closure bodies, evaluating
+//! `ext(\x. body, set)` with row kernels enabled must be **bit-identical** —
+//! value *and* `CostStats` — to evaluating with kernels disabled, on both the
+//! sequential and the parallel backend. Unliftable bodies must reject at
+//! compile time (prepare-time analysis and the runtime dispatch make the same
+//! decision) and fall back to the interpreter with no observable change.
+
+use ncql::core::externs::ExternRegistry;
+use ncql::core::kernel::analyze_sites;
+use ncql::core::{CostStats, Expr};
+use ncql::object::{Type, Value};
+use ncql::SessionBuilder;
+use proptest::prelude::*;
+
+fn pair_ty() -> Type {
+    Type::prod(Type::Base, Type::Nat)
+}
+
+/// Random input sets of `(atom, nat)` pairs. The size range deliberately
+/// straddles the columnar promotion threshold, so the suite exercises both
+/// the kernel path (columnar input) and the boxed path (small input) under
+/// the same bodies.
+fn arb_input_set() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..40, 0u64..30), 0..96)
+}
+
+/// Random kernel-liftable nat-valued scalars over `x : atom * nat`.
+fn arb_nat_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        Just(Expr::proj2(Expr::var("x"))),
+        (0u64..40).prop_map(Expr::nat),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        (
+            inner.clone(),
+            inner,
+            prop::sample::select(vec![
+                "nat_add", "nat_sub", "nat_mul", "nat_div", "nat_min", "nat_max",
+            ]),
+        )
+            .prop_map(|(a, b, op)| Expr::extern_call(op, vec![a, b]))
+    })
+}
+
+/// Random kernel-liftable boolean scalars over `x : atom * nat`: word-level
+/// comparisons, scalar equality, and a whole-row `<=` that exercises the
+/// multi-word lexicographic compare.
+fn arb_bool_expr() -> impl Strategy<Value = Expr> {
+    (arb_nat_expr(), arb_nat_expr(), 0u8..3, 0u64..40, 0u64..30).prop_map(
+        |(a, b, pick, probe_a, probe_n)| match pick {
+            0 => Expr::extern_call("nat_leq", vec![a, b]),
+            1 => Expr::eq(a, b),
+            _ => Expr::leq(
+                Expr::var("x"),
+                Expr::pair(Expr::atom(probe_a), Expr::nat(probe_n)),
+            ),
+        },
+    )
+}
+
+/// Random kernel-liftable `ext` bodies emitting `(atom, nat)` rows: filters,
+/// projections-with-rebuild, lets, and nested conditionals.
+fn arb_liftable_body() -> impl Strategy<Value = Expr> {
+    let emit = prop_oneof![
+        // {(pi1 x, nat-expr)} — rebuild the pair with a computed column.
+        arb_nat_expr().prop_map(|n| Expr::singleton(Expr::pair(Expr::proj1(Expr::var("x")), n))),
+        // {x} — the identity emit.
+        Just(Expr::singleton(Expr::var("x"))),
+        // {} — drop the row.
+        Just(Expr::empty(pair_ty())),
+    ];
+    let guarded = (arb_bool_expr(), emit.clone(), emit)
+        .prop_map(|(c, t, e)| Expr::ite(c, t, e))
+        .boxed();
+    prop_oneof![
+        guarded.clone(),
+        // let y = nat-expr in if nat_leq(y, k) then <emit> else <emit>
+        (arb_nat_expr(), guarded).prop_map(|(bound, body)| Expr::let_in("y", bound, body)),
+    ]
+}
+
+fn input_value(rows: &[(u64, u64)]) -> Value {
+    Value::set_from(
+        rows.iter()
+            .map(|&(a, n)| Value::pair(Value::Atom(a), Value::Nat(n))),
+    )
+}
+
+/// Evaluate on the chosen backend through the engine's `Session` front door
+/// (no optimizer — `evaluate` is the trusted raw path), returning
+/// `(value, stats)`. The low cutoff makes the 64+-row cases actually fork.
+fn run(expr: &Expr, kernels: bool, threads: Option<usize>) -> (Value, CostStats) {
+    let session = SessionBuilder::new()
+        .parallel_cutoff(64)
+        .parallelism(threads)
+        .row_kernels(kernels)
+        .build();
+    let out = session.evaluate(expr).expect("evaluation succeeds");
+    (out.value, out.stats)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline property: for random liftable bodies over random flat
+    /// sets, the kernel strategy is invisible — identical values, identical
+    /// statistics — across all four (backend × kernels) combinations.
+    #[test]
+    fn kernel_and_interpreted_ext_are_bit_identical(
+        rows in arb_input_set(),
+        body in arb_liftable_body(),
+    ) {
+        let expr = Expr::ext(
+            Expr::lam("x", pair_ty(), body.clone()),
+            Expr::constant(input_value(&rows)),
+        );
+        // The compiler must accept every body this generator produces —
+        // otherwise the property is vacuously comparing interpreter to
+        // interpreter.
+        let sites = analyze_sites(&expr, &ExternRegistry::standard());
+        prop_assert_eq!(sites.len(), 1);
+        prop_assert!(sites[0].compiled, "generator produced an unliftable body: {}", sites[0].detail);
+
+        let (v_seq_on, s_seq_on) = run(&expr, true, None);
+        let (v_seq_off, s_seq_off) = run(&expr, false, None);
+        prop_assert_eq!(&v_seq_on, &v_seq_off);
+        prop_assert_eq!(s_seq_on, s_seq_off);
+        let (v_par_on, s_par_on) = run(&expr, true, Some(4));
+        let (v_par_off, s_par_off) = run(&expr, false, Some(4));
+        prop_assert_eq!(&v_par_on, &v_par_off);
+        prop_assert_eq!(s_par_on, s_par_off);
+        // And the two backends agree with each other, kernels or not.
+        prop_assert_eq!(&v_seq_on, &v_par_on);
+        prop_assert_eq!(s_seq_on, s_par_on);
+    }
+
+    /// Unliftable bodies reject deterministically at prepare time and the
+    /// runtime fallback changes nothing observable.
+    #[test]
+    fn unliftable_bodies_fall_back_identically(
+        rows in arb_input_set(),
+        which in 0usize..4,
+    ) {
+        let body = match which {
+            // Union of two singletons: set-level union is not liftable.
+            0 => Expr::union(
+                Expr::singleton(Expr::var("x")),
+                Expr::singleton(Expr::pair(Expr::proj1(Expr::var("x")), Expr::nat(0))),
+            ),
+            // A non-flat constant (a set literal) in the body.
+            1 => Expr::ite(
+                Expr::is_empty(Expr::constant(Value::atom_set([1, 2]))),
+                Expr::singleton(Expr::var("x")),
+                Expr::empty(pair_ty()),
+            ),
+            // A nested ext: set-typed subterms reject.
+            2 => Expr::ext(
+                Expr::lam("y", pair_ty(), Expr::singleton(Expr::var("y"))),
+                Expr::singleton(Expr::var("x")),
+            ),
+            // The `card` external consumes a set — no word-level twin.
+            _ => Expr::singleton(Expr::pair(
+                Expr::proj1(Expr::var("x")),
+                Expr::extern_call("card", vec![Expr::singleton(Expr::proj1(Expr::var("x")))]),
+            )),
+        };
+        let expr = Expr::ext(
+            Expr::lam("x", pair_ty(), body),
+            Expr::constant(input_value(&rows)),
+        );
+        let outer = &analyze_sites(&expr, &ExternRegistry::standard())[0];
+        prop_assert!(!outer.compiled, "body {which} unexpectedly compiled");
+
+        let (v_on, s_on) = run(&expr, true, None);
+        let (v_off, s_off) = run(&expr, false, None);
+        prop_assert_eq!(v_on, v_off);
+        prop_assert_eq!(s_on, s_off);
+    }
+}
+
+/// A deterministic large-input check pinning the kernel path against the
+/// interpreter at a size where the columnar representation and the parallel
+/// merge are both certainly engaged.
+#[test]
+fn large_kernel_ext_is_bit_identical_across_strategies_and_backends() {
+    let rows: Vec<(u64, u64)> = (0..4096u64)
+        .map(|i| {
+            let k = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            (k % 997, k % 613)
+        })
+        .collect();
+    let body = Expr::let_in(
+        "y",
+        Expr::extern_call("nat_add", vec![Expr::proj2(Expr::var("x")), Expr::nat(17)]),
+        Expr::ite(
+            Expr::extern_call("nat_leq", vec![Expr::var("y"), Expr::nat(400)]),
+            Expr::singleton(Expr::pair(Expr::var("y"), Expr::proj1(Expr::var("x")))),
+            Expr::empty(Type::prod(Type::Nat, Type::Base)),
+        ),
+    );
+    let expr = Expr::ext(
+        Expr::lam("x", pair_ty(), body),
+        Expr::constant(input_value(&rows)),
+    );
+    let mut results = Vec::new();
+    for kernels in [true, false] {
+        for threads in [None, Some(4)] {
+            results.push(run(&expr, kernels, threads));
+        }
+    }
+    let (v0, s0) = &results[0];
+    for (v, s) in &results[1..] {
+        assert_eq!(v, v0);
+        assert_eq!(s, s0);
+    }
+    if let Value::Set(s) = v0 {
+        assert!(!s.is_empty());
+    } else {
+        panic!("ext must return a set");
+    }
+}

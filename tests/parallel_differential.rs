@@ -197,6 +197,63 @@ fn large_ext_results_exercise_the_parallel_shard_merge() {
 }
 
 #[test]
+fn kernel_heavy_ext_is_invariant_across_backends_and_strategies() {
+    use ncql::core::Expr;
+    use ncql::object::{Type, Value};
+
+    // A 12k-row columnar input through a compiled row kernel (filter +
+    // arithmetic + pair rebuild): the four (backend × kernels) combinations
+    // must agree bit-for-bit on value and statistics, and the prepared plan
+    // must report the site as kernel-compiled.
+    let n: u64 = 12_000;
+    let pair_ty = Type::prod(Type::Base, Type::Nat);
+    let base = Expr::constant(Value::set_from((0..n).map(|i| {
+        let k = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Value::pair(Value::Atom(k % 4001), Value::Nat(k % 257))
+    })));
+    let body = Expr::let_in(
+        "y",
+        Expr::extern_call("nat_mul", vec![Expr::proj2(Expr::var("x")), Expr::nat(3)]),
+        Expr::ite(
+            Expr::extern_call("nat_leq", vec![Expr::var("y"), Expr::nat(384)]),
+            Expr::singleton(Expr::pair(Expr::proj1(Expr::var("x")), Expr::var("y"))),
+            Expr::empty(pair_ty.clone()),
+        ),
+    );
+    let query = Expr::ext(Expr::lam("x", pair_ty, body), base);
+
+    let kernel_session = forking_session(None);
+    let plan = kernel_session.prepare_expr(query.clone()).expect("prepare");
+    let sites = plan.kernel_sites();
+    assert_eq!(sites.len(), 1, "one ext site expected");
+    assert!(sites[0].compiled, "site must compile: {}", sites[0].detail);
+
+    let baseline = kernel_session.evaluate(&query).expect("kernel sequential");
+    for threads in thread_counts().into_iter().map(Some).chain([None]) {
+        for kernels in [true, false] {
+            let session = SessionBuilder::new()
+                .parallel_cutoff(64)
+                .parallelism(threads)
+                .row_kernels(kernels)
+                .build();
+            let outcome = session.evaluate(&query).unwrap_or_else(|e| {
+                panic!("kernel_heavy: threads={threads:?} kernels={kernels}: {e}")
+            });
+            assert_eq!(
+                outcome.value, baseline.value,
+                "values differ at threads={threads:?} kernels={kernels}"
+            );
+            assert_eq!(
+                outcome.stats, baseline.stats,
+                "stats differ at threads={threads:?} kernels={kernels}"
+            );
+        }
+    }
+    let set = baseline.value.as_set().expect("ext yields a set");
+    assert!(!set.is_empty() && set.len() < n as usize, "the filter must bite");
+}
+
+#[test]
 fn collapsing_large_ext_deduplicates_across_shards_identically() {
     use ncql::core::Expr;
     use ncql::object::{Type, Value};

@@ -1,18 +1,20 @@
 //! Offline stand-in for `proptest`.
 //!
 //! Implements the subset this workspace's property tests use: the [`Strategy`]
-//! trait with `prop_map`, integer-range and tuple strategies, `any::<bool>()`,
-//! `collection::vec`, `ProptestConfig::with_cases`, and the `proptest!` /
-//! `prop_assert!` / `prop_assert_eq!` macros. Sampling is deterministic (the
-//! case index seeds a SplitMix64 generator per test), and there is no
-//! shrinking — a failing case panics with the plain `assert!` message. Swap
-//! for the registry crate when network access is available; the test sources
-//! are written against the real proptest API.
+//! trait with `prop_map`, `prop_recursive` and `boxed`, integer-range, tuple,
+//! [`strategy::Just`] and [`strategy::Union`] strategies, `any::<bool>()`,
+//! `collection::vec`, `sample::select`, `ProptestConfig::with_cases`, and the
+//! `proptest!` / `prop_oneof!` / `prop_assert!` / `prop_assert_eq!` macros.
+//! Sampling is deterministic (the case index seeds a SplitMix64 generator per
+//! test), and there is no shrinking — a failing case panics with the plain
+//! `assert!` message. Swap for the registry crate when network access is
+//! available; the test sources are written against the real proptest API.
 
 use rand::rngs::StdRng;
 
 pub mod strategy {
     use super::test_runner::TestRng;
+    use std::sync::Arc;
 
     /// A generator of values of type `Self::Value` (mirrors
     /// `proptest::strategy::Strategy`, minus the shrink tree).
@@ -27,6 +29,112 @@ pub mod strategy {
             F: Fn(Self::Value) -> O,
         {
             Map { source: self, map: f }
+        }
+
+        /// Type-erase the strategy (mirrors `Strategy::boxed`; the stand-in's
+        /// boxed form is also `Clone`, which `prop_recursive` leans on).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let this = self;
+            BoxedStrategy {
+                gen: Arc::new(move |rng| this.generate(rng)),
+            }
+        }
+
+        /// Recursive strategies (mirrors `Strategy::prop_recursive`): `self`
+        /// is the leaf case and `recurse` builds one level on top of an
+        /// arbitrary strategy for the whole type. `_desired_size` and
+        /// `_expected_branch_size` shape real proptest's size control and are
+        /// accepted for API compatibility; the stand-in bounds depth by
+        /// `levels` and flips a fair coin per level between recursing and
+        /// bottoming out.
+        fn prop_recursive<R, F>(
+            self,
+            levels: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut strat = self.boxed();
+            for _ in 0..levels {
+                let deeper = recurse(strat.clone()).boxed();
+                let shallower = strat;
+                strat = BoxedStrategy {
+                    gen: Arc::new(move |rng| {
+                        if rand::Rng::gen_bool(rng, 0.5) {
+                            deeper.generate(rng)
+                        } else {
+                            shallower.generate(rng)
+                        }
+                    }),
+                };
+            }
+            strat
+        }
+    }
+
+    /// A type-erased strategy handle (mirrors
+    /// `proptest::strategy::BoxedStrategy`).
+    pub struct BoxedStrategy<V> {
+        gen: Arc<dyn Fn(&mut TestRng) -> V>,
+    }
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> BoxedStrategy<V> {
+            BoxedStrategy {
+                gen: Arc::clone(&self.gen),
+            }
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (self.gen)(rng)
+        }
+    }
+
+    /// The constant strategy (mirrors `proptest::strategy::Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// A uniform choice among same-valued strategies — the expansion target
+    /// of [`crate::prop_oneof!`] (mirrors `proptest::strategy::Union`).
+    #[derive(Clone)]
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Union<V> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rand::Rng::gen_range(rng, 0..self.options.len());
+            self.options[i].generate(rng)
         }
     }
 
@@ -85,6 +193,8 @@ pub mod strategy {
     impl_tuple_strategy!(A, B);
     impl_tuple_strategy!(A, B, C);
     impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
 
     /// Strategy for a type's canonical arbitrary values (see [`super::arbitrary`]).
     #[derive(Debug, Clone, Copy, Default)]
@@ -185,11 +295,37 @@ pub mod test_runner {
     }
 }
 
+pub mod sample {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// A uniform pick from a fixed list (mirrors `proptest::sample::select`).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select { options }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rand::Rng::gen_range(rng, 0..self.options.len());
+            self.options[i].clone()
+        }
+    }
+}
+
 pub mod prelude {
+    pub use crate as prop;
     pub use crate::arbitrary::any;
-    pub use crate::strategy::Strategy;
+    pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
 
 /// Runs each `#[test]` body `config.cases` times over freshly sampled inputs.
@@ -226,6 +362,17 @@ macro_rules! proptest {
             @with_config ($crate::test_runner::ProptestConfig::default())
             $($rest)*
         );
+    };
+}
+
+/// A uniform choice among strategies producing the same value type (mirrors
+/// `proptest::prop_oneof!`, unweighted arms only).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
     };
 }
 
@@ -276,6 +423,23 @@ mod tests {
         #[test]
         fn default_config_form_works(x in 0u64..10) {
             prop_assert!(x < 10);
+        }
+
+        #[test]
+        fn oneof_just_and_select_sample_their_arms(
+            x in prop_oneof![Just(1u64), 10u64..20, crate::sample::select(vec![7u64, 9])],
+        ) {
+            prop_assert!(x == 1 || (10..20).contains(&x) || x == 7 || x == 9);
+        }
+
+        #[test]
+        fn recursive_strategies_bottom_out(
+            n in (0u64..4).prop_recursive(3, 16, 2, |inner| {
+                (inner, 0u64..4).prop_map(|(a, b)| a + b)
+            }),
+        ) {
+            // Three levels of `+ (0..4)` on top of a `0..4` leaf.
+            prop_assert!(n < 16);
         }
     }
 }
